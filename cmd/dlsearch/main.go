@@ -1,0 +1,137 @@
+// Command dlsearch is the command-line front end to the search
+// engine: it builds the Australian Open index and serves queries,
+// prints the schema, the feature grammar and its dependency graph.
+//
+// Usage:
+//
+//	dlsearch demo                 run the Figure 13 walkthrough
+//	dlsearch query -q '<query>'   evaluate an integrated query
+//	dlsearch info                 print schema, path summary, sizes
+//	dlsearch grammar [-dot]       print the grammar (or its dependency graph)
+//
+// The -seed flag varies the generated website and footage.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dlsearch"
+	"dlsearch/internal/fg"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "website/footage generation seed")
+	queryText := fs.String("q", "", "query text (for the query command)")
+	dot := fs.Bool("dot", false, "emit the dependency graph in Graphviz format")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	switch cmd {
+	case "demo":
+		runDemo(*seed)
+	case "query":
+		if *queryText == "" {
+			fmt.Fprintln(os.Stderr, "dlsearch query -q '<query>'")
+			os.Exit(2)
+		}
+		runQuery(*seed, *queryText)
+	case "info":
+		runInfo(*seed)
+	case "grammar":
+		runGrammar(*dot)
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: dlsearch {demo|query|info|grammar} [flags]")
+}
+
+func build(seed int64) *dlsearch.Engine {
+	engine, _, _, err := dlsearch.BuildAusOpen(seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "build:", err)
+		os.Exit(1)
+	}
+	return engine
+}
+
+func runDemo(seed int64) {
+	engine := build(seed)
+	fmt.Println("Figure 13:", strings.TrimSpace(dlsearch.Figure13Query))
+	res, err := engine.Query(dlsearch.Figure13Query)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	printResult(res)
+}
+
+func runQuery(seed int64, q string) {
+	engine := build(seed)
+	res, err := engine.Query(q)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	printResult(res)
+}
+
+func printResult(res *dlsearch.QueryResult) {
+	fmt.Println(strings.Join(res.Columns, " | "))
+	for _, row := range res.Rows {
+		fmt.Printf("%s  (score %.3f)\n", strings.Join(row.Values, " | "), row.Score)
+		for _, s := range row.Shots {
+			fmt.Printf("  shot frames %d..%d netplay=%v\n", s.Begin, s.End, s.Netplay)
+		}
+	}
+	fmt.Printf("%d rows\n", len(res.Rows))
+}
+
+func runInfo(seed int64) {
+	engine := build(seed)
+	fmt.Println("schema:")
+	for _, c := range engine.Schema.Classes() {
+		fmt.Printf("  class %s:", c.Name)
+		for _, a := range c.Attrs {
+			fmt.Printf(" %s", a)
+		}
+		fmt.Println()
+	}
+	for _, a := range engine.Schema.Associations {
+		fmt.Printf("  association %s: %s -> %s\n", a.Name, a.From, a.To)
+	}
+	fmt.Println("\npath summary:")
+	for _, p := range engine.Store.PathSummary() {
+		fmt.Println(" ", p)
+	}
+	fmt.Printf("\n%d relations, %d associations, %d media objects\n",
+		len(engine.Store.RelationNames()),
+		engine.Store.Bats.TotalAssociations(),
+		len(engine.MediaLocations()))
+}
+
+func runGrammar(dot bool) {
+	g, err := dlsearch.ParseGrammar(fg.TennisGrammar)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if dot {
+		os.Stdout.WriteString(g.Dependencies().DOT())
+		return
+	}
+	os.Stdout.WriteString(fg.TennisGrammar)
+}

@@ -1,0 +1,189 @@
+// Package dlsearch is a flexible and scalable digital library search
+// engine: a from-scratch reproduction of "Flexible and Scalable
+// Digital Library Search" (Windhouwer, Schmidt, van Zwol, Petkovic,
+// Blok — CWI INS-R0111 / VLDB 2001).
+//
+// The system combines three levels:
+//
+//   - the conceptual level (Webspace Method): an object-oriented
+//     webspace schema over which documents are materialized views,
+//     enabling semantically rich conceptual search;
+//   - the logical level (feature grammars): a description language
+//     binding feature-extraction detectors into one grammar, with the
+//     Feature Detector Engine (FDE) populating and the Feature
+//     Detector Scheduler (FDS) incrementally maintaining the
+//     multimedia meta-index;
+//   - the physical level (Monet XML + IR): path-clustered binary
+//     relations storing both conceptual data and meta-data, with
+//     tf·idf full-text retrieval, idf-descending fragmentation and
+//     shared-nothing distribution.
+//
+// The package re-exports the stable public surface; the examples/
+// directory shows complete engines for the Australian Open running
+// example and for the generic Internet configuration.
+//
+// Quick start:
+//
+//	eng, site, report, err := dlsearch.BuildAusOpen(1)
+//	...
+//	res, err := eng.Query(dlsearch.Figure13Query)
+package dlsearch
+
+import (
+	"dlsearch/internal/cobra"
+	"dlsearch/internal/core"
+	"dlsearch/internal/crawler"
+	"dlsearch/internal/detector"
+	"dlsearch/internal/dist"
+	"dlsearch/internal/fde"
+	"dlsearch/internal/fds"
+	"dlsearch/internal/fg"
+	"dlsearch/internal/ir"
+	"dlsearch/internal/monetxml"
+	"dlsearch/internal/query"
+	"dlsearch/internal/site"
+	"dlsearch/internal/video"
+	"dlsearch/internal/webspace"
+)
+
+// Engine is a search-engine instance over one webspace schema and one
+// feature grammar; it owns the physical store, the full-text indexes
+// and the maintenance scheduler.
+type Engine = core.Engine
+
+// PopulateReport summarises a population run.
+type PopulateReport = core.PopulateReport
+
+// MaintenanceReport summarises a detector upgrade cycle.
+type MaintenanceReport = core.MaintenanceReport
+
+// InternetEngine is the unlimited-domain configuration of the paper:
+// a generic feature grammar and a direct interface on the logical
+// level.
+type InternetEngine = core.InternetEngine
+
+// Webspace (conceptual level) types.
+type (
+	// Schema is a webspace schema: classes, attributes, associations.
+	Schema = webspace.Schema
+	// Attribute is a typed class attribute.
+	Attribute = webspace.Attribute
+	// WebDocument is a materialized view over the schema.
+	WebDocument = webspace.Document
+	// WebObject is an instantiation of a schema class.
+	WebObject = webspace.Object
+)
+
+// Feature grammar (logical level) types.
+type (
+	// Grammar is a parsed feature grammar G = (V, D, T, S, P).
+	Grammar = fg.Grammar
+	// Detector is a registered detector implementation.
+	Detector = detector.Impl
+	// DetectorRegistry maps detector symbols to implementations.
+	DetectorRegistry = detector.Registry
+	// DetectorVersion is the three-level (major/minor/revision) version.
+	DetectorVersion = detector.Version
+	// Token is a (symbol, value) token on the FDE's token stack.
+	Token = detector.Token
+	// TokenContext carries a detector invocation's resolved inputs.
+	TokenContext = detector.Context
+	// ParseTree is an FDE parse tree.
+	ParseTree = fde.Tree
+	// Scheduler is the Feature Detector Scheduler.
+	Scheduler = fds.Scheduler
+)
+
+// Query types.
+type (
+	// QueryResult is a ranked result of an integrated query.
+	QueryResult = query.Result
+	// QueryRow is one result row with score and matched shots.
+	QueryRow = query.Row
+	// ShotEvent is a video shot with its recognised event state.
+	ShotEvent = query.ShotEvent
+)
+
+// Physical level types, exposed for advanced use and benchmarks.
+type (
+	// XMLStore is the Monet-transform store.
+	XMLStore = monetxml.Store
+	// XMLNode is an in-memory XML node.
+	XMLNode = monetxml.Node
+	// FullTextIndex is the tf·idf index (T/D/DT/TF/IDF relations).
+	FullTextIndex = ir.Index
+	// Cluster is a shared-nothing cluster of IR nodes.
+	Cluster = dist.Cluster
+)
+
+// Substrate types used by the examples.
+type (
+	// AusOpenSite is the generated Australian Open website.
+	AusOpenSite = site.Site
+	// VideoLibrary stores raw video by URL.
+	VideoLibrary = video.Library
+	// Analyzer runs the COBRA video analysis.
+	Analyzer = cobra.Analyzer
+	// CrawlResult is the crawler's output.
+	CrawlResult = crawler.Result
+)
+
+// Figure13Query is the paper's running-example query: "Show me video
+// shots of left-handed female players, who have won the Australian
+// Open in the past, and in which they approach the net."
+const Figure13Query = core.Figure13Query
+
+// TennisGrammar is the combined Figure 6+7 video feature grammar.
+const TennisGrammar = fg.TennisGrammar
+
+// InternetGrammar is the completed Figure 14 grammar.
+const InternetGrammar = fg.InternetGrammar
+
+// New creates an engine from a schema, a feature grammar and a
+// detector registry (the modeling stage of the lifecycle).
+func New(schema *Schema, grammar *Grammar, reg *DetectorRegistry) (*Engine, error) {
+	return core.New(schema, grammar, reg)
+}
+
+// NewAusOpen assembles the complete running-example engine over a
+// generated Australian Open website.
+func NewAusOpen(s *AusOpenSite) (*Engine, error) { return core.NewAusOpen(s) }
+
+// BuildAusOpen generates the website, crawls it and populates a fresh
+// engine: the entire populate stage in one call.
+func BuildAusOpen(seed int64) (*Engine, *AusOpenSite, *PopulateReport, error) {
+	return core.BuildAusOpen(seed)
+}
+
+// GenerateSite generates the deterministic Australian Open website
+// with its ground truth.
+func GenerateSite(seed int64) *AusOpenSite { return site.Generate(seed) }
+
+// NewCrawler returns a crawler that reengineers pages fetched by fetch
+// into materialized views over the schema.
+func NewCrawler(schema *Schema, fetch func(string) (string, error)) *crawler.Crawler {
+	return crawler.New(schema, fetch)
+}
+
+// ParseGrammar parses and validates feature grammar source text.
+func ParseGrammar(src string) (*Grammar, error) { return fg.Parse(src) }
+
+// AusOpenSchema returns the Figure 3 webspace schema.
+func AusOpenSchema() *Schema { return webspace.AusOpenSchema() }
+
+// NewRegistry returns an empty detector registry.
+func NewRegistry() *DetectorRegistry { return detector.NewRegistry() }
+
+// NewInternetEngine builds the generic Internet configuration over a
+// synthetic open web.
+func NewInternetEngine(pages []*core.WebPage, images []*core.WebImage) (*InternetEngine, error) {
+	return core.NewInternetEngine(pages, images)
+}
+
+// SyntheticWeb generates a small open web for the Internet example.
+func SyntheticWeb(seed int64) ([]*core.WebPage, []*core.WebImage) {
+	return core.SyntheticWeb(seed)
+}
+
+// NewCluster builds a shared-nothing cluster of k IR nodes.
+func NewCluster(k int) *Cluster { return dist.NewCluster(k, nil) }

@@ -1,0 +1,97 @@
+package dlsearch
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIQuickstart exercises the exported surface end to end:
+// build, query, inspect — what a downstream user does first.
+func TestPublicAPIQuickstart(t *testing.T) {
+	engine, site, report, err := BuildAusOpen(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Documents == 0 || report.MediaParsed == 0 {
+		t.Fatalf("report = %+v", report)
+	}
+	res, err := engine.Query(Figure13Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(site.Figure13Answer()) {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if got := len(engine.MediaLocations()); got != 2*len(site.Players) {
+		t.Fatalf("media locations = %d", got)
+	}
+}
+
+func TestPublicAPIModeling(t *testing.T) {
+	schema := AusOpenSchema()
+	if schema.Class("Player") == nil {
+		t.Fatal("schema incomplete")
+	}
+	g, err := ParseGrammar(TennisGrammar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Start != "MMO" {
+		t.Fatalf("start = %s", g.Start)
+	}
+	if _, err := ParseGrammar("not a grammar %%"); err == nil {
+		t.Fatal("bad grammar accepted")
+	}
+	reg := NewRegistry()
+	if len(reg.Names()) != 0 {
+		t.Fatal("fresh registry not empty")
+	}
+	if _, err := New(schema, g, reg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPICrawler(t *testing.T) {
+	site := GenerateSite(2)
+	c := NewCrawler(AusOpenSchema(), site.Fetch)
+	res, err := c.Crawl(site.BaseURL + "/index.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Documents) == 0 || len(res.Media) == 0 {
+		t.Fatal("crawl empty")
+	}
+}
+
+func TestPublicAPIInternet(t *testing.T) {
+	pages, images := SyntheticWeb(3)
+	e, err := NewInternetEngine(pages, images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.PopulateWeb(); err != nil {
+		t.Fatal(err)
+	}
+	hits := e.PortraitsOnPagesAbout("champion")
+	if len(hits) == 0 {
+		t.Fatal("no hits")
+	}
+	for _, h := range hits {
+		if !strings.HasSuffix(h.Image, ".jpg") {
+			t.Fatalf("hit = %+v", h)
+		}
+	}
+}
+
+func TestPublicAPICluster(t *testing.T) {
+	c := NewCluster(4)
+	if c.Size() != 4 {
+		t.Fatalf("size = %d", c.Size())
+	}
+	c.Add(1, "u", "tennis winner")
+	c.Add(2, "u", "tennis rally")
+	got := c.TopN("winner", 5)
+	if len(got) != 1 || got[0].Doc != 1 {
+		t.Fatalf("TopN = %v", got)
+	}
+}

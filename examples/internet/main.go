@@ -1,0 +1,46 @@
+// Command internet runs the paper's unlimited-domain configuration
+// (Figure 14): a generic feature grammar over an open web, answering
+// "show me all portraits embedded in pages containing keywords
+// semantically related to the word 'champion'".
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"dlsearch"
+)
+
+func main() {
+	pages, images := dlsearch.SyntheticWeb(5)
+	engine, err := dlsearch.NewInternetEngine(pages, images)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := engine.PopulateWeb(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d pages, %d images\n\n", len(pages), len(images))
+
+	// The web's link structure, recovered from the &html references of
+	// the grammar.
+	graph := engine.LinkGraph()
+	var urls []string
+	for u := range graph {
+		urls = append(urls, u)
+	}
+	sort.Strings(urls)
+	fmt.Println("link graph (from &html references):")
+	for _, u := range urls {
+		for _, to := range graph[u] {
+			fmt.Printf("  %s -> %s\n", u, to)
+		}
+	}
+
+	// The portraits query.
+	fmt.Println("\nportraits on pages about 'champion':")
+	for _, hit := range engine.PortraitsOnPagesAbout("champion", "winner", "trophy") {
+		fmt.Printf("  %-42s on %-38s score %.3f\n", hit.Image, hit.Page, hit.Score)
+	}
+}

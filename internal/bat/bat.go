@@ -1,0 +1,600 @@
+// Package bat implements Monet-style Binary Association Tables (BATs):
+// two-column relations of (head, tail) associations that form the
+// physical storage primitive of the system, mirroring the Monet DBMS
+// [BK95] the paper builds on.
+//
+// A BAT associates object identifiers (OIDs) in its head column with
+// values of a single tail type. The paper's physical level stores the
+// Monet transform of XML documents as one BAT per root-to-node path,
+// and the IR relations (T, D, TF, IDF, ...) as further BATs. All
+// higher levels of the system reduce their queries to scans,
+// selections and joins over BATs.
+package bat
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// OID is a unique object identifier. OIDs are dense, monotonically
+// increasing values handed out by a Sequence.
+type OID uint64
+
+// NilOID is the zero OID; it is never handed out by a Sequence and
+// marks "no object".
+const NilOID OID = 0
+
+// Sequence hands out fresh OIDs. It is safe for concurrent use.
+type Sequence struct {
+	mu   sync.Mutex
+	next OID
+}
+
+// NewSequence returns a Sequence whose first OID is 1.
+func NewSequence() *Sequence { return &Sequence{next: 1} }
+
+// Next returns a fresh, never-before-issued OID.
+func (s *Sequence) Next() OID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	oid := s.next
+	s.next++
+	return oid
+}
+
+// Peek reports the next OID that would be issued without issuing it.
+func (s *Sequence) Peek() OID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.next
+}
+
+// Kind enumerates the tail types a BAT can carry, corresponding to the
+// association types of the paper: oid×oid (tree edges), oid×string
+// (attribute values and character data), oid×int (rank / topology) and
+// oid×float (numeric features extracted by detectors).
+type Kind uint8
+
+const (
+	KindOID Kind = iota
+	KindString
+	KindInt
+	KindFloat
+	KindBool
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindOID:
+		return "oid"
+	case KindString:
+		return "str"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "flt"
+	case KindBool:
+		return "bit"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// BAT is a binary association table: a sequence of (head, tail)
+// pairs. The head column always holds OIDs; the tail column holds
+// values of a fixed Kind. Only one of the typed tail slices is in use,
+// selected by the Kind.
+//
+// A BAT maintains optional hash indexes over head and tail which are
+// built lazily on first point lookup and invalidated by appends.
+type BAT struct {
+	name string
+	kind Kind
+
+	head []OID
+
+	tailOID   []OID
+	tailStr   []string
+	tailInt   []int64
+	tailFloat []float64
+	tailBool  []bool
+
+	headIdx map[OID][]int
+	strIdx  map[string][]int
+	oidIdx  map[OID][]int
+	intIdx  map[int64][]int
+}
+
+// New returns an empty BAT with the given name and tail kind.
+func New(name string, kind Kind) *BAT {
+	return &BAT{name: name, kind: kind}
+}
+
+// Name returns the relation name, e.g. "image/colors/histogram".
+func (b *BAT) Name() string { return b.name }
+
+// Kind returns the tail type of the BAT.
+func (b *BAT) Kind() Kind { return b.kind }
+
+// Len returns the number of associations stored.
+func (b *BAT) Len() int { return len(b.head) }
+
+// invalidate drops all lazily built indexes. Called on every mutation.
+func (b *BAT) invalidate() {
+	b.headIdx = nil
+	b.strIdx = nil
+	b.oidIdx = nil
+	b.intIdx = nil
+}
+
+// AppendOID appends an oid×oid association. It panics if the BAT has a
+// different tail kind, which indicates a programming error at a level
+// that should have been caught by schema validation.
+func (b *BAT) AppendOID(head, tail OID) {
+	b.mustKind(KindOID)
+	b.head = append(b.head, head)
+	b.tailOID = append(b.tailOID, tail)
+	b.invalidate()
+}
+
+// AppendString appends an oid×string association.
+func (b *BAT) AppendString(head OID, tail string) {
+	b.mustKind(KindString)
+	b.head = append(b.head, head)
+	b.tailStr = append(b.tailStr, tail)
+	b.invalidate()
+}
+
+// AppendInt appends an oid×int association.
+func (b *BAT) AppendInt(head OID, tail int64) {
+	b.mustKind(KindInt)
+	b.head = append(b.head, head)
+	b.tailInt = append(b.tailInt, tail)
+	b.invalidate()
+}
+
+// AppendFloat appends an oid×float association.
+func (b *BAT) AppendFloat(head OID, tail float64) {
+	b.mustKind(KindFloat)
+	b.head = append(b.head, head)
+	b.tailFloat = append(b.tailFloat, tail)
+	b.invalidate()
+}
+
+// AppendBool appends an oid×bool association.
+func (b *BAT) AppendBool(head OID, tail bool) {
+	b.mustKind(KindBool)
+	b.head = append(b.head, head)
+	b.tailBool = append(b.tailBool, tail)
+	b.invalidate()
+}
+
+func (b *BAT) mustKind(k Kind) {
+	if b.kind != k {
+		panic(fmt.Sprintf("bat: %s has kind %s, not %s", b.name, b.kind, k))
+	}
+}
+
+// Head returns the head OID at position i.
+func (b *BAT) Head(i int) OID { return b.head[i] }
+
+// TailOID returns the tail at position i of an oid-kind BAT.
+func (b *BAT) TailOID(i int) OID { b.mustKind(KindOID); return b.tailOID[i] }
+
+// TailString returns the tail at position i of a string-kind BAT.
+func (b *BAT) TailString(i int) string { b.mustKind(KindString); return b.tailStr[i] }
+
+// TailInt returns the tail at position i of an int-kind BAT.
+func (b *BAT) TailInt(i int) int64 { b.mustKind(KindInt); return b.tailInt[i] }
+
+// TailFloat returns the tail at position i of a float-kind BAT.
+func (b *BAT) TailFloat(i int) float64 { b.mustKind(KindFloat); return b.tailFloat[i] }
+
+// TailBool returns the tail at position i of a bool-kind BAT.
+func (b *BAT) TailBool(i int) bool { b.mustKind(KindBool); return b.tailBool[i] }
+
+// buildHeadIdx builds the head hash index if absent.
+func (b *BAT) buildHeadIdx() {
+	if b.headIdx != nil {
+		return
+	}
+	b.headIdx = make(map[OID][]int, len(b.head))
+	for i, h := range b.head {
+		b.headIdx[h] = append(b.headIdx[h], i)
+	}
+}
+
+// FindHead returns the positions whose head equals oid, in insertion
+// order.
+func (b *BAT) FindHead(oid OID) []int {
+	b.buildHeadIdx()
+	return b.headIdx[oid]
+}
+
+// TailsOfHead returns all OID tails associated with head. Only valid
+// for oid-kind BATs.
+func (b *BAT) TailsOfHead(head OID) []OID {
+	b.mustKind(KindOID)
+	pos := b.FindHead(head)
+	out := make([]OID, len(pos))
+	for i, p := range pos {
+		out[i] = b.tailOID[p]
+	}
+	return out
+}
+
+// StringOfHead returns the first string tail associated with head and
+// whether one exists. Only valid for string-kind BATs.
+func (b *BAT) StringOfHead(head OID) (string, bool) {
+	b.mustKind(KindString)
+	pos := b.FindHead(head)
+	if len(pos) == 0 {
+		return "", false
+	}
+	return b.tailStr[pos[0]], true
+}
+
+// IntOfHead returns the first int tail associated with head.
+func (b *BAT) IntOfHead(head OID) (int64, bool) {
+	b.mustKind(KindInt)
+	pos := b.FindHead(head)
+	if len(pos) == 0 {
+		return 0, false
+	}
+	return b.tailInt[pos[0]], true
+}
+
+// FloatOfHead returns the first float tail associated with head.
+func (b *BAT) FloatOfHead(head OID) (float64, bool) {
+	b.mustKind(KindFloat)
+	pos := b.FindHead(head)
+	if len(pos) == 0 {
+		return 0, false
+	}
+	return b.tailFloat[pos[0]], true
+}
+
+// BoolOfHead returns the first bool tail associated with head.
+func (b *BAT) BoolOfHead(head OID) (bool, bool) {
+	b.mustKind(KindBool)
+	pos := b.FindHead(head)
+	if len(pos) == 0 {
+		return false, false
+	}
+	return b.tailBool[pos[0]], true
+}
+
+// HeadsOfString returns all heads whose string tail equals v.
+func (b *BAT) HeadsOfString(v string) []OID {
+	b.mustKind(KindString)
+	if b.strIdx == nil {
+		b.strIdx = make(map[string][]int, len(b.tailStr))
+		for i, s := range b.tailStr {
+			b.strIdx[s] = append(b.strIdx[s], i)
+		}
+	}
+	pos := b.strIdx[v]
+	out := make([]OID, len(pos))
+	for i, p := range pos {
+		out[i] = b.head[p]
+	}
+	return out
+}
+
+// HeadsOfOID returns all heads whose oid tail equals v.
+func (b *BAT) HeadsOfOID(v OID) []OID {
+	b.mustKind(KindOID)
+	if b.oidIdx == nil {
+		b.oidIdx = make(map[OID][]int, len(b.tailOID))
+		for i, t := range b.tailOID {
+			b.oidIdx[t] = append(b.oidIdx[t], i)
+		}
+	}
+	pos := b.oidIdx[v]
+	out := make([]OID, len(pos))
+	for i, p := range pos {
+		out[i] = b.head[p]
+	}
+	return out
+}
+
+// HeadsOfInt returns all heads whose int tail equals v.
+func (b *BAT) HeadsOfInt(v int64) []OID {
+	b.mustKind(KindInt)
+	if b.intIdx == nil {
+		b.intIdx = make(map[int64][]int, len(b.tailInt))
+		for i, t := range b.tailInt {
+			b.intIdx[t] = append(b.intIdx[t], i)
+		}
+	}
+	pos := b.intIdx[v]
+	out := make([]OID, len(pos))
+	for i, p := range pos {
+		out[i] = b.head[p]
+	}
+	return out
+}
+
+// Heads returns a copy of the head column.
+func (b *BAT) Heads() []OID {
+	out := make([]OID, len(b.head))
+	copy(out, b.head)
+	return out
+}
+
+// Reverse returns a new BAT with head and tail swapped. Only defined
+// for oid-kind BATs (the only ones where both columns are OIDs).
+func (b *BAT) Reverse() *BAT {
+	b.mustKind(KindOID)
+	r := New(b.name+".reverse", KindOID)
+	r.head = append(r.head, b.tailOID...)
+	r.tailOID = append(r.tailOID, b.head...)
+	return r
+}
+
+// SelectFloatRange returns the heads whose float tail t satisfies
+// lo <= t <= hi.
+func (b *BAT) SelectFloatRange(lo, hi float64) []OID {
+	b.mustKind(KindFloat)
+	var out []OID
+	for i, t := range b.tailFloat {
+		if t >= lo && t <= hi {
+			out = append(out, b.head[i])
+		}
+	}
+	return out
+}
+
+// SelectIntRange returns the heads whose int tail t satisfies
+// lo <= t <= hi.
+func (b *BAT) SelectIntRange(lo, hi int64) []OID {
+	b.mustKind(KindInt)
+	var out []OID
+	for i, t := range b.tailInt {
+		if t >= lo && t <= hi {
+			out = append(out, b.head[i])
+		}
+	}
+	return out
+}
+
+// SelectString returns the heads whose string tail satisfies pred.
+func (b *BAT) SelectString(pred func(string) bool) []OID {
+	b.mustKind(KindString)
+	var out []OID
+	for i, t := range b.tailStr {
+		if pred(t) {
+			out = append(out, b.head[i])
+		}
+	}
+	return out
+}
+
+// SemijoinHeads returns the positions of associations whose head is in
+// set, preserving order. This is the Monet semijoin used to restrict a
+// relation to a candidate set (the paper's a-priori restriction hook).
+func (b *BAT) SemijoinHeads(set map[OID]bool) []int {
+	var out []int
+	for i, h := range b.head {
+		if set[h] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// JoinOID joins b (oid-kind) with other on b.tail = other.head and
+// returns (b.head, other tail position) pairs as parallel slices of
+// positions into b and other. It implements the BAT join the physical
+// algebra uses to walk parent/child path steps.
+func (b *BAT) JoinOID(other *BAT) (left, right []int) {
+	b.mustKind(KindOID)
+	other.buildHeadIdx()
+	for i, t := range b.tailOID {
+		for _, j := range other.headIdx[t] {
+			left = append(left, i)
+			right = append(right, j)
+		}
+	}
+	return left, right
+}
+
+// Delete removes all associations whose head equals oid and reports
+// how many were removed. Used by incremental maintenance when the FDS
+// invalidates parse-tree nodes.
+func (b *BAT) Delete(head OID) int {
+	n := 0
+	w := 0
+	for i := range b.head {
+		if b.head[i] == head {
+			n++
+			continue
+		}
+		b.head[w] = b.head[i]
+		switch b.kind {
+		case KindOID:
+			b.tailOID[w] = b.tailOID[i]
+		case KindString:
+			b.tailStr[w] = b.tailStr[i]
+		case KindInt:
+			b.tailInt[w] = b.tailInt[i]
+		case KindFloat:
+			b.tailFloat[w] = b.tailFloat[i]
+		case KindBool:
+			b.tailBool[w] = b.tailBool[i]
+		}
+		w++
+	}
+	b.truncate(w)
+	if n > 0 {
+		b.invalidate()
+	}
+	return n
+}
+
+// DeleteTailOID removes all associations whose OID tail equals oid and
+// reports how many were removed. Since OIDs are unique per node, this
+// removes the edge pointing at a node when a subtree is invalidated.
+func (b *BAT) DeleteTailOID(tail OID) int {
+	b.mustKind(KindOID)
+	n := 0
+	w := 0
+	for i := range b.head {
+		if b.tailOID[i] == tail {
+			n++
+			continue
+		}
+		b.head[w] = b.head[i]
+		b.tailOID[w] = b.tailOID[i]
+		w++
+	}
+	b.truncate(w)
+	if n > 0 {
+		b.invalidate()
+	}
+	return n
+}
+
+// DeleteHeads removes all associations whose head is in set and
+// reports how many were removed.
+func (b *BAT) DeleteHeads(set map[OID]bool) int {
+	n := 0
+	w := 0
+	for i := range b.head {
+		if set[b.head[i]] {
+			n++
+			continue
+		}
+		b.head[w] = b.head[i]
+		switch b.kind {
+		case KindOID:
+			b.tailOID[w] = b.tailOID[i]
+		case KindString:
+			b.tailStr[w] = b.tailStr[i]
+		case KindInt:
+			b.tailInt[w] = b.tailInt[i]
+		case KindFloat:
+			b.tailFloat[w] = b.tailFloat[i]
+		case KindBool:
+			b.tailBool[w] = b.tailBool[i]
+		}
+		w++
+	}
+	b.truncate(w)
+	if n > 0 {
+		b.invalidate()
+	}
+	return n
+}
+
+func (b *BAT) truncate(w int) {
+	b.head = b.head[:w]
+	switch b.kind {
+	case KindOID:
+		b.tailOID = b.tailOID[:w]
+	case KindString:
+		b.tailStr = b.tailStr[:w]
+	case KindInt:
+		b.tailInt = b.tailInt[:w]
+	case KindFloat:
+		b.tailFloat = b.tailFloat[:w]
+	case KindBool:
+		b.tailBool = b.tailBool[:w]
+	}
+}
+
+// SortByIntTail sorts the associations ascending by int tail,
+// preserving a stable order among equal tails. Used to materialise
+// rank order when reconstructing documents.
+func (b *BAT) SortByIntTail() {
+	b.mustKind(KindInt)
+	idx := make([]int, len(b.head))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool { return b.tailInt[idx[i]] < b.tailInt[idx[j]] })
+	nh := make([]OID, len(b.head))
+	nt := make([]int64, len(b.tailInt))
+	for i, p := range idx {
+		nh[i] = b.head[p]
+		nt[i] = b.tailInt[p]
+	}
+	b.head, b.tailInt = nh, nt
+	b.invalidate()
+}
+
+// Store is a named collection of BATs: the database instance. Relation
+// names are the paths of the Monet transform ("R(path)") plus the IR
+// helper relations. A Store additionally owns the OID sequence so all
+// relations draw from one OID space, as in Monet.
+type Store struct {
+	mu   sync.RWMutex
+	bats map[string]*BAT
+	seq  *Sequence
+}
+
+// NewStore returns an empty store with a fresh OID sequence.
+func NewStore() *Store {
+	return &Store{bats: make(map[string]*BAT), seq: NewSequence()}
+}
+
+// Seq returns the store's OID sequence.
+func (s *Store) Seq() *Sequence { return s.seq }
+
+// Get returns the BAT with the given name, or nil if absent.
+func (s *Store) Get(name string) *BAT {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bats[name]
+}
+
+// GetOrCreate returns the BAT with the given name, creating it with
+// the given kind if absent. It panics if the BAT exists with a
+// different kind: the schema-tree machinery guarantees path→kind
+// stability, so a mismatch is a bug.
+func (s *Store) GetOrCreate(name string, kind Kind) *BAT {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.bats[name]; ok {
+		if b.kind != kind {
+			panic(fmt.Sprintf("bat: relation %s exists with kind %s, requested %s", name, b.kind, kind))
+		}
+		return b
+	}
+	b := New(name, kind)
+	s.bats[name] = b
+	return b
+}
+
+// Names returns all relation names in sorted order.
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.bats))
+	for n := range s.bats {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Drop removes the named relation.
+func (s *Store) Drop(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.bats, name)
+}
+
+// TotalAssociations returns the number of associations over all
+// relations; a cheap size metric used by the experiments.
+func (s *Store) TotalAssociations() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, b := range s.bats {
+		n += b.Len()
+	}
+	return n
+}

@@ -1,0 +1,406 @@
+package bat
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSequenceMonotonic(t *testing.T) {
+	s := NewSequence()
+	prev := OID(0)
+	for i := 0; i < 100; i++ {
+		o := s.Next()
+		if o <= prev {
+			t.Fatalf("OID %d not greater than previous %d", o, prev)
+		}
+		prev = o
+	}
+}
+
+func TestSequenceNeverNil(t *testing.T) {
+	s := NewSequence()
+	if o := s.Next(); o == NilOID {
+		t.Fatal("sequence issued NilOID")
+	}
+}
+
+func TestSequencePeek(t *testing.T) {
+	s := NewSequence()
+	p := s.Peek()
+	if got := s.Next(); got != p {
+		t.Fatalf("Peek=%d but Next=%d", p, got)
+	}
+	if s.Peek() == p {
+		t.Fatal("Peek did not advance after Next")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindOID: "oid", KindString: "str", KindInt: "int",
+		KindFloat: "flt", KindBool: "bit",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestAppendAndLookupString(t *testing.T) {
+	b := New("image[key]", KindString)
+	b.AppendString(1, "18934")
+	b.AppendString(2, "777")
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", b.Len())
+	}
+	v, ok := b.StringOfHead(1)
+	if !ok || v != "18934" {
+		t.Fatalf("StringOfHead(1) = %q,%v", v, ok)
+	}
+	if _, ok := b.StringOfHead(99); ok {
+		t.Fatal("StringOfHead(99) should be absent")
+	}
+	heads := b.HeadsOfString("777")
+	if len(heads) != 1 || heads[0] != 2 {
+		t.Fatalf("HeadsOfString = %v", heads)
+	}
+}
+
+func TestAppendKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	b := New("x", KindString)
+	b.AppendInt(1, 5)
+}
+
+func TestOIDAssociations(t *testing.T) {
+	b := New("image/colors", KindOID)
+	b.AppendOID(1, 10)
+	b.AppendOID(1, 11)
+	b.AppendOID(2, 12)
+	tails := b.TailsOfHead(1)
+	if len(tails) != 2 || tails[0] != 10 || tails[1] != 11 {
+		t.Fatalf("TailsOfHead(1) = %v", tails)
+	}
+	heads := b.HeadsOfOID(12)
+	if len(heads) != 1 || heads[0] != 2 {
+		t.Fatalf("HeadsOfOID(12) = %v", heads)
+	}
+}
+
+func TestReverse(t *testing.T) {
+	b := New("e", KindOID)
+	b.AppendOID(1, 10)
+	b.AppendOID(2, 20)
+	r := b.Reverse()
+	if r.Head(0) != 10 || r.TailOID(0) != 1 {
+		t.Fatalf("reverse mismatch: %v -> %v", r.Head(0), r.TailOID(0))
+	}
+	// Reversing must not alias the original.
+	r.AppendOID(99, 99)
+	if b.Len() != 2 {
+		t.Fatal("Reverse aliases original BAT")
+	}
+}
+
+func TestIntAndFloatSelect(t *testing.T) {
+	f := New("player/yPos", KindFloat)
+	f.AppendFloat(1, 150.0)
+	f.AppendFloat(2, 200.0)
+	f.AppendFloat(3, 169.9)
+	got := f.SelectFloatRange(0, 170.0)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("SelectFloatRange = %v", got)
+	}
+
+	i := New("frameNo", KindInt)
+	i.AppendInt(1, 5)
+	i.AppendInt(2, 50)
+	gi := i.SelectIntRange(10, 100)
+	if len(gi) != 1 || gi[0] != 2 {
+		t.Fatalf("SelectIntRange = %v", gi)
+	}
+}
+
+func TestSelectString(t *testing.T) {
+	b := New("type", KindString)
+	b.AppendString(1, "tennis")
+	b.AppendString(2, "other")
+	b.AppendString(3, "tennis")
+	got := b.SelectString(func(s string) bool { return s == "tennis" })
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("SelectString = %v", got)
+	}
+}
+
+func TestBoolTail(t *testing.T) {
+	b := New("netplay", KindBool)
+	b.AppendBool(7, true)
+	v, ok := b.BoolOfHead(7)
+	if !ok || !v {
+		t.Fatalf("BoolOfHead = %v,%v", v, ok)
+	}
+}
+
+func TestIntOfHeadAndFloatOfHead(t *testing.T) {
+	i := New("n", KindInt)
+	i.AppendInt(4, 42)
+	if v, ok := i.IntOfHead(4); !ok || v != 42 {
+		t.Fatalf("IntOfHead = %v,%v", v, ok)
+	}
+	if _, ok := i.IntOfHead(5); ok {
+		t.Fatal("IntOfHead(5) should be absent")
+	}
+	f := New("f", KindFloat)
+	f.AppendFloat(4, 1.5)
+	if v, ok := f.FloatOfHead(4); !ok || v != 1.5 {
+		t.Fatalf("FloatOfHead = %v,%v", v, ok)
+	}
+}
+
+func TestJoinOID(t *testing.T) {
+	// parent -> child ; child -> grandchild
+	e1 := New("a/b", KindOID)
+	e1.AppendOID(1, 10)
+	e1.AppendOID(2, 20)
+	e2 := New("a/b/c", KindOID)
+	e2.AppendOID(10, 100)
+	e2.AppendOID(10, 101)
+	e2.AppendOID(30, 300)
+	l, r := e1.JoinOID(e2)
+	if len(l) != 2 {
+		t.Fatalf("join size = %d, want 2", len(l))
+	}
+	for k := range l {
+		if e1.TailOID(l[k]) != e2.Head(r[k]) {
+			t.Fatalf("join pair %d not matching", k)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	b := New("x", KindString)
+	b.AppendString(1, "a")
+	b.AppendString(2, "b")
+	b.AppendString(1, "c")
+	if n := b.Delete(1); n != 2 {
+		t.Fatalf("Delete removed %d, want 2", n)
+	}
+	if b.Len() != 1 {
+		t.Fatalf("Len after delete = %d", b.Len())
+	}
+	if v, _ := b.StringOfHead(2); v != "b" {
+		t.Fatalf("surviving tuple corrupted: %q", v)
+	}
+	if n := b.Delete(99); n != 0 {
+		t.Fatalf("Delete(99) removed %d, want 0", n)
+	}
+}
+
+func TestDeleteHeads(t *testing.T) {
+	b := New("x", KindInt)
+	for i := OID(1); i <= 10; i++ {
+		b.AppendInt(i, int64(i))
+	}
+	n := b.DeleteHeads(map[OID]bool{2: true, 4: true, 6: true})
+	if n != 3 || b.Len() != 7 {
+		t.Fatalf("DeleteHeads removed %d, len %d", n, b.Len())
+	}
+	if _, ok := b.IntOfHead(4); ok {
+		t.Fatal("deleted head still present")
+	}
+}
+
+func TestSemijoinHeads(t *testing.T) {
+	b := New("x", KindString)
+	b.AppendString(1, "a")
+	b.AppendString(2, "b")
+	b.AppendString(3, "c")
+	pos := b.SemijoinHeads(map[OID]bool{1: true, 3: true})
+	if len(pos) != 2 || pos[0] != 0 || pos[1] != 2 {
+		t.Fatalf("SemijoinHeads = %v", pos)
+	}
+}
+
+func TestSortByIntTail(t *testing.T) {
+	b := New("rank", KindInt)
+	b.AppendInt(3, 30)
+	b.AppendInt(1, 10)
+	b.AppendInt(2, 20)
+	b.SortByIntTail()
+	want := []OID{1, 2, 3}
+	for i, w := range want {
+		if b.Head(i) != w {
+			t.Fatalf("pos %d head = %d, want %d", i, b.Head(i), w)
+		}
+	}
+}
+
+func TestStoreGetOrCreate(t *testing.T) {
+	s := NewStore()
+	b1 := s.GetOrCreate("r1", KindString)
+	b2 := s.GetOrCreate("r1", KindString)
+	if b1 != b2 {
+		t.Fatal("GetOrCreate did not return same BAT")
+	}
+	if s.Get("nope") != nil {
+		t.Fatal("Get of absent relation should be nil")
+	}
+}
+
+func TestStoreKindConflictPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind conflict")
+		}
+	}()
+	s := NewStore()
+	s.GetOrCreate("r1", KindString)
+	s.GetOrCreate("r1", KindInt)
+}
+
+func TestStoreNamesSortedAndDrop(t *testing.T) {
+	s := NewStore()
+	s.GetOrCreate("b", KindInt)
+	s.GetOrCreate("a", KindInt)
+	s.GetOrCreate("c", KindInt)
+	names := s.Names()
+	if len(names) != 3 || names[0] != "a" || names[2] != "c" {
+		t.Fatalf("Names = %v", names)
+	}
+	s.Drop("b")
+	if s.Get("b") != nil {
+		t.Fatal("Drop failed")
+	}
+}
+
+func TestStoreTotalAssociations(t *testing.T) {
+	s := NewStore()
+	a := s.GetOrCreate("a", KindInt)
+	a.AppendInt(1, 1)
+	a.AppendInt(2, 2)
+	b := s.GetOrCreate("b", KindString)
+	b.AppendString(3, "x")
+	if got := s.TotalAssociations(); got != 3 {
+		t.Fatalf("TotalAssociations = %d", got)
+	}
+}
+
+// Property: for any set of (head, tail) pairs inserted, every inserted
+// pair is found again through both directions of lookup.
+func TestPropertyInsertLookupRoundTrip(t *testing.T) {
+	f := func(pairs []struct {
+		H uint16
+		T uint16
+	}) bool {
+		b := New("p", KindOID)
+		for _, p := range pairs {
+			b.AppendOID(OID(p.H)+1, OID(p.T)+1)
+		}
+		for _, p := range pairs {
+			found := false
+			for _, tl := range b.TailsOfHead(OID(p.H) + 1) {
+				if tl == OID(p.T)+1 {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+			found = false
+			for _, h := range b.HeadsOfOID(OID(p.T) + 1) {
+				if h == OID(p.H)+1 {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Reverse(Reverse(b)) has identical contents to b.
+func TestPropertyDoubleReverse(t *testing.T) {
+	f := func(hs, ts []uint8) bool {
+		n := len(hs)
+		if len(ts) < n {
+			n = len(ts)
+		}
+		b := New("p", KindOID)
+		for i := 0; i < n; i++ {
+			b.AppendOID(OID(hs[i]), OID(ts[i]))
+		}
+		rr := b.Reverse().Reverse()
+		if rr.Len() != b.Len() {
+			return false
+		}
+		for i := 0; i < b.Len(); i++ {
+			if rr.Head(i) != b.Head(i) || rr.TailOID(i) != b.TailOID(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Delete(h) leaves no association with head h and preserves
+// all others in order.
+func TestPropertyDeletePreservesOthers(t *testing.T) {
+	f := func(hs []uint8, victim uint8) bool {
+		b := New("p", KindInt)
+		var kept []OID
+		for i, h := range hs {
+			b.AppendInt(OID(h), int64(i))
+			if OID(h) != OID(victim) {
+				kept = append(kept, OID(h))
+			}
+		}
+		b.Delete(OID(victim))
+		if b.Len() != len(kept) {
+			return false
+		}
+		for i, h := range kept {
+			if b.Head(i) != h {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAppendString(b *testing.B) {
+	bt := New("bench", KindString)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bt.AppendString(OID(i), "value")
+	}
+}
+
+func BenchmarkFindHead(b *testing.B) {
+	bt := New("bench", KindOID)
+	for i := 0; i < 100000; i++ {
+		bt.AppendOID(OID(i%1000), OID(i))
+	}
+	bt.FindHead(1) // build index
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bt.FindHead(OID(i % 1000))
+	}
+}

@@ -1,0 +1,157 @@
+package cobra
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"dlsearch/internal/detector"
+	"dlsearch/internal/video"
+)
+
+// Analyzer binds the video analysis to a video library and exposes the
+// segment and tennis detectors of the feature grammar (Figure 7) as
+// callable implementations. Segmentation results are cached per
+// location so the tennis detector (called once per court shot) does
+// not re-segment the video.
+type Analyzer struct {
+	Lib *video.Library
+	Seg *Segmenter
+
+	mu    sync.Mutex
+	cache map[string]Analysis
+}
+
+// NewAnalyzer returns an analyzer over the library with default
+// thresholds.
+func NewAnalyzer(lib *video.Library) *Analyzer {
+	return &Analyzer{Lib: lib, Seg: NewSegmenter(), cache: make(map[string]Analysis)}
+}
+
+// analysis returns the (cached) segmentation of the video at location.
+func (a *Analyzer) analysis(location string) (Analysis, *video.Video, error) {
+	v, err := a.Lib.Get(location)
+	if err != nil {
+		return Analysis{}, nil, err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if an, ok := a.cache[location]; ok {
+		return an, v, nil
+	}
+	an := a.Seg.Segment(v)
+	a.cache[location] = an
+	return an, v, nil
+}
+
+// Invalidate drops the cached analysis for a location (used when the
+// segment detector is upgraded).
+func (a *Analyzer) Invalidate(location string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.cache, location)
+}
+
+// SegmentFunc is the implementation of the grammar's segment detector:
+// input the video location, output per shot the begin and end frame
+// numbers and the classification literal.
+func (a *Analyzer) SegmentFunc() detector.Func {
+	return func(ctx *detector.Context) ([]detector.Token, error) {
+		an, _, err := a.analysis(ctx.Param(0))
+		if err != nil {
+			return nil, err
+		}
+		var toks []detector.Token
+		for _, s := range an.Shots {
+			toks = append(toks,
+				detector.Token{Symbol: "frameNo", Value: strconv.Itoa(s.Begin)},
+				detector.Token{Symbol: "frameNo", Value: strconv.Itoa(s.End)},
+				detector.Token{Value: s.Kind.String()},
+			)
+		}
+		return toks, nil
+	}
+}
+
+// TennisFunc is the implementation of the grammar's tennis detector:
+// input the location and the shot's begin/end frame numbers, output
+// per frame the frame number and the player's shape features.
+func (a *Analyzer) TennisFunc() detector.Func {
+	return func(ctx *detector.Context) ([]detector.Token, error) {
+		location := ctx.Param(0)
+		begin, err := strconv.Atoi(ctx.Param(1))
+		if err != nil {
+			return nil, fmt.Errorf("cobra: bad begin frame %q", ctx.Param(1))
+		}
+		end, err := strconv.Atoi(ctx.Param(2))
+		if err != nil {
+			return nil, fmt.Errorf("cobra: bad end frame %q", ctx.Param(2))
+		}
+		an, v, err := a.analysis(location)
+		if err != nil {
+			return nil, err
+		}
+		tracker := NewTracker()
+		track := tracker.Track(v, begin, end, an.CourtColor())
+		var toks []detector.Token
+		for _, ff := range track {
+			toks = append(toks,
+				detector.Token{Symbol: "frameNo", Value: strconv.Itoa(ff.FrameNo)},
+				detector.Token{Symbol: "xPos", Value: strconv.FormatFloat(ff.X, 'f', 1, 64)},
+				detector.Token{Symbol: "yPos", Value: strconv.FormatFloat(ff.Y, 'f', 1, 64)},
+				detector.Token{Symbol: "Area", Value: strconv.Itoa(ff.Area)},
+				detector.Token{Symbol: "Ecc", Value: strconv.FormatFloat(ff.Eccentricity, 'f', 3, 64)},
+				detector.Token{Symbol: "Orient", Value: strconv.FormatFloat(ff.Orientation, 'f', 3, 64)},
+			)
+		}
+		return toks, nil
+	}
+}
+
+// StrokeFunc is the implementation of the stroke detector of the
+// extended grammar (TennisGrammarWithStrokes): it tracks the player
+// through the shot, quantizes the motion into observation symbols and
+// classifies the stroke with the trained per-class HMMs.
+func (a *Analyzer) StrokeFunc(rec *StrokeRecognizer) detector.Func {
+	return func(ctx *detector.Context) ([]detector.Token, error) {
+		location := ctx.Param(0)
+		begin, err := strconv.Atoi(ctx.Param(1))
+		if err != nil {
+			return nil, fmt.Errorf("cobra: bad begin frame %q", ctx.Param(1))
+		}
+		end, err := strconv.Atoi(ctx.Param(2))
+		if err != nil {
+			return nil, fmt.Errorf("cobra: bad end frame %q", ctx.Param(2))
+		}
+		an, v, err := a.analysis(location)
+		if err != nil {
+			return nil, err
+		}
+		track := NewTracker().Track(v, begin, end, an.CourtColor())
+		obs := QuantizeMotion(track)
+		if len(obs) == 0 {
+			return []detector.Token{{Symbol: "label", Value: "unknown"}}, nil
+		}
+		class, _, err := rec.Classify(obs)
+		if err != nil {
+			return nil, err
+		}
+		return []detector.Token{{Symbol: "label", Value: class}}, nil
+	}
+}
+
+// HeaderFunc is the implementation of the header detector of Figure 6:
+// it resolves a location to its primary and secondary MIME type. The
+// fetcher interface stands in for the paper's W3C WWW library.
+func HeaderFunc(mime func(location string) (primary, secondary string, err error)) detector.Func {
+	return func(ctx *detector.Context) ([]detector.Token, error) {
+		p, s, err := mime(ctx.Param(0))
+		if err != nil {
+			return nil, err
+		}
+		return []detector.Token{
+			{Symbol: "primary", Value: p},
+			{Symbol: "secondary", Value: s},
+		}, nil
+	}
+}

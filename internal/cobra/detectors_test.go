@@ -1,0 +1,225 @@
+package cobra
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dlsearch/internal/detector"
+	"dlsearch/internal/fde"
+	"dlsearch/internal/fg"
+	"dlsearch/internal/video"
+)
+
+func analyzerFixture(t *testing.T) (*Analyzer, string, *video.Video) {
+	t.Helper()
+	lib := video.NewLibrary()
+	specs := []video.ShotSpec{
+		{Kind: video.Tennis, Frames: 12, Court: video.HardBlue, Netplay: true},
+		{Kind: video.Closeup, Frames: 6},
+		{Kind: video.Tennis, Frames: 12, Court: video.HardBlue, Netplay: false},
+		{Kind: video.Other, Frames: 6},
+	}
+	v := video.Generate(specs, video.Options{Seed: 77})
+	url := "http://ausopen.org/video/final.mpg"
+	lib.Put(url, v)
+	return NewAnalyzer(lib), url, v
+}
+
+func TestSegmentFuncTokens(t *testing.T) {
+	a, url, v := analyzerFixture(t)
+	toks, err := a.SegmentFunc()(&detector.Context{Params: []string{url}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3*len(v.Truth) {
+		t.Fatalf("tokens = %d, want %d", len(toks), 3*len(v.Truth))
+	}
+	// First shot: begin, end, "tennis".
+	if toks[0].Symbol != "frameNo" || toks[0].Value != "0" {
+		t.Fatalf("tok0 = %+v", toks[0])
+	}
+	if toks[2].Symbol != "" || toks[2].Value != "tennis" {
+		t.Fatalf("tok2 = %+v", toks[2])
+	}
+	// Missing video errors.
+	if _, err := a.SegmentFunc()(&detector.Context{Params: []string{"http://nope"}}); err == nil {
+		t.Fatal("missing video should error")
+	}
+}
+
+func TestTennisFuncTokens(t *testing.T) {
+	a, url, _ := analyzerFixture(t)
+	toks, err := a.TennisFunc()(&detector.Context{Params: []string{url, "0", "11"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 12*6 {
+		t.Fatalf("tokens = %d, want %d", len(toks), 12*6)
+	}
+	// Netplay shot: some yPos must be at or below the net threshold.
+	sawNet := false
+	for i := 0; i < len(toks); i += 6 {
+		if toks[i+2].Symbol != "yPos" {
+			t.Fatalf("token layout wrong at %d: %+v", i, toks[i+2])
+		}
+		y, err := strconv.ParseFloat(toks[i+2].Value, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if y <= video.NetRowFullRes {
+			sawNet = true
+		}
+	}
+	if !sawNet {
+		t.Fatal("netplay shot produced no near-net positions")
+	}
+	// Bad parameters.
+	if _, err := a.TennisFunc()(&detector.Context{Params: []string{url, "x", "11"}}); err == nil {
+		t.Fatal("bad begin should error")
+	}
+	if _, err := a.TennisFunc()(&detector.Context{Params: []string{url, "0", "y"}}); err == nil {
+		t.Fatal("bad end should error")
+	}
+}
+
+func TestAnalyzerCaching(t *testing.T) {
+	a, url, _ := analyzerFixture(t)
+	if _, _, err := a.analysis(url); err != nil {
+		t.Fatal(err)
+	}
+	an1, _, _ := a.analysis(url)
+	an2, _, _ := a.analysis(url)
+	if &an1 == &an2 {
+		t.Skip("values are copies; identity check not meaningful")
+	}
+	if len(a.cache) != 1 {
+		t.Fatalf("cache size = %d", len(a.cache))
+	}
+	a.Invalidate(url)
+	if len(a.cache) != 0 {
+		t.Fatal("Invalidate did not clear the cache")
+	}
+}
+
+func TestHeaderFunc(t *testing.T) {
+	fn := HeaderFunc(func(loc string) (string, string, error) {
+		if strings.HasSuffix(loc, ".mpg") {
+			return "video", "mpeg", nil
+		}
+		return "", "", fmt.Errorf("unknown")
+	})
+	toks, err := fn(&detector.Context{Params: []string{"a.mpg"}})
+	if err != nil || len(toks) != 2 || toks[0].Value != "video" {
+		t.Fatalf("toks = %v, %v", toks, err)
+	}
+	if _, err := fn(&detector.Context{Params: []string{"a.xyz"}}); err == nil {
+		t.Fatal("unknown MIME should error")
+	}
+}
+
+// TestEndToEndGrammarOverRealAnalysis runs the full Figure 6+7 grammar
+// with the real COBRA detectors over a generated broadcast: the
+// complete logical-level pipeline of the paper on this substrate.
+func TestEndToEndGrammarOverRealAnalysis(t *testing.T) {
+	a, url, v := analyzerFixture(t)
+	g := fg.MustParse(fg.TennisGrammar)
+	reg := detector.NewRegistry()
+	reg.Register(&detector.Impl{Name: "header", Version: detector.Version{Major: 1},
+		Fn: HeaderFunc(func(loc string) (string, string, error) { return "video", "mpeg", nil })})
+	reg.Register(&detector.Impl{Name: "segment", Version: detector.Version{Major: 1}, Fn: a.SegmentFunc()})
+	reg.Register(&detector.Impl{Name: "tennis", Version: detector.Version{Major: 1}, Fn: a.TennisFunc()})
+
+	e := fde.New(g, reg)
+	tree, err := e.Parse([]detector.Token{{Symbol: "location", Value: url}})
+	if err != nil {
+		t.Fatalf("end-to-end parse failed: %v", err)
+	}
+	shots := tree.NodesBySymbol("shot")
+	if len(shots) != len(v.Truth) {
+		t.Fatalf("shots = %d, want %d", len(shots), len(v.Truth))
+	}
+	nps := tree.NodesBySymbol("netplay")
+	if len(nps) != 2 {
+		t.Fatalf("netplay nodes = %d, want 2 (two tennis shots)", len(nps))
+	}
+	if nps[0].Value != "true" {
+		t.Fatalf("shot 1 netplay = %q, want true", nps[0].Value)
+	}
+	if nps[1].Value != "false" {
+		t.Fatalf("shot 3 netplay = %q, want false", nps[1].Value)
+	}
+}
+
+// TestStrokeExtendedGrammar exercises the grammar-evolution path: the
+// extended grammar with the HMM stroke detector parses the same video
+// and labels every tennis shot with a stroke class.
+func TestStrokeExtendedGrammar(t *testing.T) {
+	a, url, v := analyzerFixture(t)
+	g := fg.MustParse(fg.TennisGrammarWithStrokes)
+	rec, err := TrainStrokes(StrokeDataset(15, 12, 1), 3, 8, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := detector.NewRegistry()
+	reg.Register(&detector.Impl{Name: "header", Version: detector.Version{Major: 1},
+		Fn: HeaderFunc(func(loc string) (string, string, error) { return "video", "mpeg", nil })})
+	reg.Register(&detector.Impl{Name: "segment", Version: detector.Version{Major: 1}, Fn: a.SegmentFunc()})
+	reg.Register(&detector.Impl{Name: "tennis", Version: detector.Version{Major: 1}, Fn: a.TennisFunc()})
+	reg.Register(&detector.Impl{Name: "stroke", Version: detector.Version{Major: 1}, Fn: a.StrokeFunc(rec)})
+
+	e := fde.New(g, reg)
+	tree, err := e.Parse([]detector.Token{{Symbol: "location", Value: url}})
+	if err != nil {
+		t.Fatalf("extended parse failed: %v", err)
+	}
+	labels := tree.NodesBySymbol("label")
+	tennisShots := 0
+	for _, truth := range v.Truth {
+		if truth.Kind == video.Tennis {
+			tennisShots++
+		}
+	}
+	if len(labels) != tennisShots {
+		t.Fatalf("labels = %d, want one per tennis shot (%d)", len(labels), tennisShots)
+	}
+	valid := map[string]bool{"unknown": true}
+	for _, c := range StrokeClasses {
+		valid[c] = true
+	}
+	for _, l := range labels {
+		if !valid[l.Value] {
+			t.Fatalf("invalid stroke label %q", l.Value)
+		}
+	}
+	// The base grammar still works unchanged side by side.
+	base := fde.New(fg.MustParse(fg.TennisGrammar), reg)
+	if _, err := base.Parse([]detector.Token{{Symbol: "location", Value: url}}); err != nil {
+		t.Fatalf("base grammar broken by extension: %v", err)
+	}
+}
+
+func BenchmarkSegmentDetector(b *testing.B) {
+	lib := video.NewLibrary()
+	specs := video.RandomBroadcast(3, 20, video.HardBlue)
+	v := video.Generate(specs, video.Options{Seed: 3})
+	lib.Put("u", v)
+	seg := NewSegmenter()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seg.Segment(v)
+	}
+}
+
+func BenchmarkTracker(b *testing.B) {
+	v := video.Generate([]video.ShotSpec{
+		{Kind: video.Tennis, Frames: 30, Court: video.HardBlue, Netplay: true},
+	}, video.Options{Seed: 5})
+	a := NewSegmenter().Segment(v)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := NewTracker()
+		tr.Track(v, 0, len(v.Frames)-1, a.CourtColor())
+	}
+}

@@ -1,0 +1,489 @@
+package cobra
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// HMM is a discrete hidden Markov model, the stochastic event-layer
+// extension of the COBRA model used for stroke recognition in tennis
+// videos [PJZ01]: N hidden states (phases of a stroke), M observation
+// symbols (quantized motion features).
+type HMM struct {
+	N, M int
+	Pi   []float64   // initial state distribution
+	A    [][]float64 // state transitions
+	B    [][]float64 // emissions
+}
+
+// NewHMM returns a randomly initialised model (rows normalised), the
+// usual starting point for Baum-Welch training.
+func NewHMM(n, m int, seed int64) *HMM {
+	rng := rand.New(rand.NewSource(seed))
+	h := &HMM{N: n, M: m, Pi: make([]float64, n)}
+	h.A = make([][]float64, n)
+	h.B = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		h.A[i] = randRow(rng, n)
+		h.B[i] = randRow(rng, m)
+		h.Pi[i] = 1 / float64(n)
+	}
+	return h
+}
+
+func randRow(rng *rand.Rand, n int) []float64 {
+	row := make([]float64, n)
+	sum := 0.0
+	for i := range row {
+		row[i] = 0.5 + rng.Float64()
+		sum += row[i]
+	}
+	for i := range row {
+		row[i] /= sum
+	}
+	return row
+}
+
+// validateObs rejects out-of-range observation symbols.
+func (h *HMM) validateObs(obs []int) error {
+	for _, o := range obs {
+		if o < 0 || o >= h.M {
+			return fmt.Errorf("cobra: observation symbol %d outside [0,%d)", o, h.M)
+		}
+	}
+	return nil
+}
+
+// forward runs the scaled forward algorithm and returns the scaling
+// factors; the log-likelihood is -Σ log(scale).
+func (h *HMM) forward(obs []int) (alpha [][]float64, scales []float64) {
+	T := len(obs)
+	alpha = make([][]float64, T)
+	scales = make([]float64, T)
+	alpha[0] = make([]float64, h.N)
+	c := 0.0
+	for i := 0; i < h.N; i++ {
+		alpha[0][i] = h.Pi[i] * h.B[i][obs[0]]
+		c += alpha[0][i]
+	}
+	if c == 0 {
+		c = math.SmallestNonzeroFloat64
+	}
+	scales[0] = 1 / c
+	for i := range alpha[0] {
+		alpha[0][i] *= scales[0]
+	}
+	for t := 1; t < T; t++ {
+		alpha[t] = make([]float64, h.N)
+		c = 0.0
+		for j := 0; j < h.N; j++ {
+			s := 0.0
+			for i := 0; i < h.N; i++ {
+				s += alpha[t-1][i] * h.A[i][j]
+			}
+			alpha[t][j] = s * h.B[j][obs[t]]
+			c += alpha[t][j]
+		}
+		if c == 0 {
+			c = math.SmallestNonzeroFloat64
+		}
+		scales[t] = 1 / c
+		for j := range alpha[t] {
+			alpha[t][j] *= scales[t]
+		}
+	}
+	return alpha, scales
+}
+
+// LogLikelihood returns log P(obs | model).
+func (h *HMM) LogLikelihood(obs []int) (float64, error) {
+	if len(obs) == 0 {
+		return math.Inf(-1), fmt.Errorf("cobra: empty observation sequence")
+	}
+	if err := h.validateObs(obs); err != nil {
+		return math.Inf(-1), err
+	}
+	_, scales := h.forward(obs)
+	ll := 0.0
+	for _, c := range scales {
+		ll -= math.Log(c)
+	}
+	return ll, nil
+}
+
+// Viterbi returns the most likely hidden state sequence and its log
+// probability.
+func (h *HMM) Viterbi(obs []int) ([]int, float64, error) {
+	if len(obs) == 0 {
+		return nil, math.Inf(-1), fmt.Errorf("cobra: empty observation sequence")
+	}
+	if err := h.validateObs(obs); err != nil {
+		return nil, math.Inf(-1), err
+	}
+	T := len(obs)
+	logA := logMatrix(h.A)
+	logB := logMatrix(h.B)
+	delta := make([][]float64, T)
+	psi := make([][]int, T)
+	delta[0] = make([]float64, h.N)
+	psi[0] = make([]int, h.N)
+	for i := 0; i < h.N; i++ {
+		delta[0][i] = safeLog(h.Pi[i]) + logB[i][obs[0]]
+	}
+	for t := 1; t < T; t++ {
+		delta[t] = make([]float64, h.N)
+		psi[t] = make([]int, h.N)
+		for j := 0; j < h.N; j++ {
+			best, arg := math.Inf(-1), 0
+			for i := 0; i < h.N; i++ {
+				v := delta[t-1][i] + logA[i][j]
+				if v > best {
+					best, arg = v, i
+				}
+			}
+			delta[t][j] = best + logB[j][obs[t]]
+			psi[t][j] = arg
+		}
+	}
+	best, arg := math.Inf(-1), 0
+	for i := 0; i < h.N; i++ {
+		if delta[T-1][i] > best {
+			best, arg = delta[T-1][i], i
+		}
+	}
+	path := make([]int, T)
+	path[T-1] = arg
+	for t := T - 2; t >= 0; t-- {
+		path[t] = psi[t+1][path[t+1]]
+	}
+	return path, best, nil
+}
+
+func safeLog(v float64) float64 {
+	if v <= 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(v)
+}
+
+func logMatrix(m [][]float64) [][]float64 {
+	out := make([][]float64, len(m))
+	for i, row := range m {
+		out[i] = make([]float64, len(row))
+		for j, v := range row {
+			out[i][j] = safeLog(v)
+		}
+	}
+	return out
+}
+
+// BaumWelch trains the model on multiple observation sequences for the
+// given number of iterations (expectation-maximisation with scaling).
+func (h *HMM) BaumWelch(seqs [][]int, iters int) error {
+	for _, s := range seqs {
+		if len(s) == 0 {
+			return fmt.Errorf("cobra: empty training sequence")
+		}
+		if err := h.validateObs(s); err != nil {
+			return err
+		}
+	}
+	const eps = 1e-10
+	for iter := 0; iter < iters; iter++ {
+		piAcc := make([]float64, h.N)
+		aNum := zeros(h.N, h.N)
+		aDen := make([]float64, h.N)
+		bNum := zeros(h.N, h.M)
+		bDen := make([]float64, h.N)
+		for _, obs := range seqs {
+			T := len(obs)
+			alpha, scales := h.forward(obs)
+			beta := h.backward(obs, scales)
+			// gamma[t][i] ∝ alpha[t][i] * beta[t][i]
+			for t := 0; t < T; t++ {
+				norm := 0.0
+				for i := 0; i < h.N; i++ {
+					norm += alpha[t][i] * beta[t][i]
+				}
+				if norm == 0 {
+					norm = eps
+				}
+				for i := 0; i < h.N; i++ {
+					g := alpha[t][i] * beta[t][i] / norm
+					if t == 0 {
+						piAcc[i] += g
+					}
+					bNum[i][obs[t]] += g
+					bDen[i] += g
+					if t < T-1 {
+						aDen[i] += g
+					}
+				}
+			}
+			// xi[t][i][j]
+			for t := 0; t < T-1; t++ {
+				norm := 0.0
+				for i := 0; i < h.N; i++ {
+					for j := 0; j < h.N; j++ {
+						norm += alpha[t][i] * h.A[i][j] * h.B[j][obs[t+1]] * beta[t+1][j]
+					}
+				}
+				if norm == 0 {
+					norm = eps
+				}
+				for i := 0; i < h.N; i++ {
+					for j := 0; j < h.N; j++ {
+						aNum[i][j] += alpha[t][i] * h.A[i][j] * h.B[j][obs[t+1]] * beta[t+1][j] / norm
+					}
+				}
+			}
+		}
+		// Re-estimate.
+		nSeq := float64(len(seqs))
+		for i := 0; i < h.N; i++ {
+			h.Pi[i] = piAcc[i] / nSeq
+			for j := 0; j < h.N; j++ {
+				if aDen[i] > eps {
+					h.A[i][j] = aNum[i][j] / aDen[i]
+				}
+			}
+			for k := 0; k < h.M; k++ {
+				if bDen[i] > eps {
+					h.B[i][k] = bNum[i][k] / bDen[i]
+				}
+			}
+			normalize(h.A[i])
+			normalize(h.B[i])
+		}
+		normalize(h.Pi)
+	}
+	return nil
+}
+
+func (h *HMM) backward(obs []int, scales []float64) [][]float64 {
+	T := len(obs)
+	beta := make([][]float64, T)
+	beta[T-1] = make([]float64, h.N)
+	for i := range beta[T-1] {
+		beta[T-1][i] = scales[T-1]
+	}
+	for t := T - 2; t >= 0; t-- {
+		beta[t] = make([]float64, h.N)
+		for i := 0; i < h.N; i++ {
+			s := 0.0
+			for j := 0; j < h.N; j++ {
+				s += h.A[i][j] * h.B[j][obs[t+1]] * beta[t+1][j]
+			}
+			beta[t][i] = s * scales[t]
+		}
+	}
+	return beta
+}
+
+func zeros(r, c int) [][]float64 {
+	out := make([][]float64, r)
+	for i := range out {
+		out[i] = make([]float64, c)
+	}
+	return out
+}
+
+func normalize(row []float64) {
+	s := 0.0
+	for _, v := range row {
+		s += v
+	}
+	if s <= 0 {
+		for i := range row {
+			row[i] = 1 / float64(len(row))
+		}
+		return
+	}
+	for i := range row {
+		row[i] /= s
+	}
+}
+
+// Smooth floors every emission and transition probability at eps and
+// renormalises: Baum-Welch drives probabilities of symbols absent from
+// the training data to zero, which would assign -∞ log-likelihood to
+// any test sequence containing them. Smoothing keeps all models
+// comparable on arbitrary observation sequences.
+func (h *HMM) Smooth(eps float64) {
+	floor := func(row []float64) {
+		for i := range row {
+			if row[i] < eps {
+				row[i] = eps
+			}
+		}
+		normalize(row)
+	}
+	floor(h.Pi)
+	for i := 0; i < h.N; i++ {
+		floor(h.A[i])
+		floor(h.B[i])
+	}
+}
+
+// Sample draws an observation sequence of the given length from the
+// model; the stroke substrate uses this to synthesise labelled
+// training and test data (the paper trains on hand-labelled footage we
+// do not have).
+func (h *HMM) Sample(length int, rng *rand.Rand) []int {
+	obs := make([]int, length)
+	state := draw(h.Pi, rng)
+	for t := 0; t < length; t++ {
+		obs[t] = draw(h.B[state], rng)
+		state = draw(h.A[state], rng)
+	}
+	return obs
+}
+
+func draw(dist []float64, rng *rand.Rand) int {
+	r := rng.Float64()
+	acc := 0.0
+	for i, p := range dist {
+		acc += p
+		if r < acc {
+			return i
+		}
+	}
+	return len(dist) - 1
+}
+
+// StrokeRecognizer holds one trained HMM per stroke class and
+// classifies sequences by maximum likelihood.
+type StrokeRecognizer struct {
+	models map[string]*HMM
+}
+
+// TrainStrokes trains one HMM per class on the labelled sequences.
+func TrainStrokes(data map[string][][]int, states, symbols, iters int, seed int64) (*StrokeRecognizer, error) {
+	r := &StrokeRecognizer{models: make(map[string]*HMM, len(data))}
+	names := make([]string, 0, len(data))
+	for name := range data {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for i, name := range names {
+		m := NewHMM(states, symbols, seed+int64(i))
+		if err := m.BaumWelch(data[name], iters); err != nil {
+			return nil, fmt.Errorf("cobra: training %s: %w", name, err)
+		}
+		m.Smooth(1e-6)
+		r.models[name] = m
+	}
+	return r, nil
+}
+
+// Classes returns the trained class names in sorted order.
+func (r *StrokeRecognizer) Classes() []string {
+	out := make([]string, 0, len(r.models))
+	for n := range r.models {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Classify returns the most likely stroke class and its log-likelihood.
+func (r *StrokeRecognizer) Classify(obs []int) (string, float64, error) {
+	best, bestLL := "", math.Inf(-1)
+	for _, name := range r.Classes() {
+		ll, err := r.models[name].LogLikelihood(obs)
+		if err != nil {
+			return "", 0, err
+		}
+		if ll > bestLL {
+			best, bestLL = name, ll
+		}
+	}
+	if best == "" {
+		return "", 0, fmt.Errorf("cobra: no trained stroke models")
+	}
+	return best, bestLL, nil
+}
+
+// StrokeClasses are the stroke types recognised, as in [PJZ01].
+var StrokeClasses = []string{"backhand", "forehand", "serve", "smash"}
+
+// strokeTruth returns the generating ("true") model for a stroke
+// class: distinct phase structures over 8 motion symbols.
+func strokeTruth(class string) *HMM {
+	mk := func(pi []float64, a, b [][]float64) *HMM {
+		return &HMM{N: len(pi), M: len(b[0]), Pi: pi, A: a, B: b}
+	}
+	switch class {
+	case "forehand":
+		return mk(
+			[]float64{0.9, 0.1, 0},
+			[][]float64{{0.6, 0.4, 0}, {0, 0.6, 0.4}, {0.1, 0, 0.9}},
+			[][]float64{
+				{0.7, 0.2, 0.05, 0.05, 0, 0, 0, 0},
+				{0.05, 0.7, 0.2, 0.05, 0, 0, 0, 0},
+				{0, 0.1, 0.7, 0.2, 0, 0, 0, 0},
+			})
+	case "backhand":
+		return mk(
+			[]float64{0.9, 0.1, 0},
+			[][]float64{{0.6, 0.4, 0}, {0, 0.6, 0.4}, {0.1, 0, 0.9}},
+			[][]float64{
+				{0, 0, 0, 0, 0.7, 0.2, 0.05, 0.05},
+				{0, 0, 0, 0, 0.05, 0.7, 0.2, 0.05},
+				{0, 0, 0, 0, 0, 0.1, 0.7, 0.2},
+			})
+	case "serve":
+		return mk(
+			[]float64{1, 0, 0},
+			[][]float64{{0.5, 0.5, 0}, {0, 0.5, 0.5}, {0, 0, 1}},
+			[][]float64{
+				{0.1, 0, 0, 0.8, 0.1, 0, 0, 0},
+				{0, 0.1, 0, 0.1, 0.8, 0, 0, 0},
+				{0.8, 0, 0, 0.1, 0.1, 0, 0, 0},
+			})
+	default: // smash
+		return mk(
+			[]float64{1, 0, 0},
+			[][]float64{{0.4, 0.6, 0}, {0, 0.4, 0.6}, {0, 0, 1}},
+			[][]float64{
+				{0, 0, 0.8, 0, 0, 0.1, 0.1, 0},
+				{0, 0, 0.1, 0, 0, 0.8, 0.1, 0},
+				{0.1, 0, 0.1, 0, 0, 0, 0.8, 0},
+			})
+	}
+}
+
+// StrokeDataset synthesises labelled observation sequences per stroke
+// class by sampling each class's true model.
+func StrokeDataset(perClass, length int, seed int64) map[string][][]int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make(map[string][][]int, len(StrokeClasses))
+	for _, class := range StrokeClasses {
+		truth := strokeTruth(class)
+		for i := 0; i < perClass; i++ {
+			out[class] = append(out[class], truth.Sample(length, rng))
+		}
+	}
+	return out
+}
+
+// QuantizeMotion converts a tracked shot into observation symbols: the
+// motion direction between consecutive frames quantized into 8
+// sectors. This is the feature→symbol mapping the recognizer would use
+// over real tracks.
+func QuantizeMotion(track []FrameFeatures) []int {
+	var out []int
+	for i := 1; i < len(track); i++ {
+		dx := track[i].X - track[i-1].X
+		dy := track[i].Y - track[i-1].Y
+		angle := math.Atan2(dy, dx) // [-π, π]
+		sector := int((angle + math.Pi) / (2 * math.Pi / 8))
+		if sector > 7 {
+			sector = 7
+		}
+		out = append(out, sector)
+	}
+	return out
+}

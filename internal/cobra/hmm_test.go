@@ -1,0 +1,236 @@
+package cobra
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHMMRowsNormalised(t *testing.T) {
+	h := NewHMM(4, 6, 1)
+	check := func(row []float64) {
+		s := 0.0
+		for _, v := range row {
+			if v < 0 {
+				t.Fatal("negative probability")
+			}
+			s += v
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("row sums to %v", s)
+		}
+	}
+	check(h.Pi)
+	for i := 0; i < h.N; i++ {
+		check(h.A[i])
+		check(h.B[i])
+	}
+}
+
+func TestViterbiDeterministicChain(t *testing.T) {
+	// Two states; state 0 always emits 0, state 1 always emits 1;
+	// transitions deterministic 0->1->1.
+	h := &HMM{
+		N: 2, M: 2,
+		Pi: []float64{1, 0},
+		A:  [][]float64{{0, 1}, {0, 1}},
+		B:  [][]float64{{1, 0}, {0, 1}},
+	}
+	path, ll, err := h.Viterbi([]int{0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path[0] != 0 || path[1] != 1 || path[2] != 1 {
+		t.Fatalf("path = %v", path)
+	}
+	if ll == math.Inf(-1) {
+		t.Fatal("valid sequence has -inf likelihood")
+	}
+	// Impossible sequence.
+	_, ll2, err := h.Viterbi([]int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ll2 != math.Inf(-1) {
+		t.Fatalf("impossible sequence ll = %v", ll2)
+	}
+}
+
+func TestLogLikelihoodMatchesDirectComputation(t *testing.T) {
+	h := &HMM{
+		N: 1, M: 2,
+		Pi: []float64{1},
+		A:  [][]float64{{1}},
+		B:  [][]float64{{0.25, 0.75}},
+	}
+	// P(0,1,1) = 0.25 * 0.75 * 0.75
+	ll, err := h.LogLikelihood([]int{0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Log(0.25 * 0.75 * 0.75)
+	if math.Abs(ll-want) > 1e-9 {
+		t.Fatalf("ll = %v, want %v", ll, want)
+	}
+}
+
+func TestHMMErrors(t *testing.T) {
+	h := NewHMM(2, 3, 1)
+	if _, err := h.LogLikelihood(nil); err == nil {
+		t.Fatal("empty sequence should error")
+	}
+	if _, err := h.LogLikelihood([]int{5}); err == nil {
+		t.Fatal("out-of-range symbol should error")
+	}
+	if _, _, err := h.Viterbi([]int{-1}); err == nil {
+		t.Fatal("negative symbol should error")
+	}
+	if err := h.BaumWelch([][]int{{0}, {}}, 1); err == nil {
+		t.Fatal("empty training sequence should error")
+	}
+	if err := h.BaumWelch([][]int{{9}}, 1); err == nil {
+		t.Fatal("bad training symbol should error")
+	}
+}
+
+func TestBaumWelchImprovesLikelihood(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	truth := strokeTruth("forehand")
+	var seqs [][]int
+	for i := 0; i < 30; i++ {
+		seqs = append(seqs, truth.Sample(12, rng))
+	}
+	h := NewHMM(3, 8, 9)
+	before := totalLL(t, h, seqs)
+	if err := h.BaumWelch(seqs, 10); err != nil {
+		t.Fatal(err)
+	}
+	after := totalLL(t, h, seqs)
+	if after <= before {
+		t.Fatalf("training did not improve likelihood: %v -> %v", before, after)
+	}
+}
+
+func totalLL(t *testing.T, h *HMM, seqs [][]int) float64 {
+	t.Helper()
+	s := 0.0
+	for _, q := range seqs {
+		ll, err := h.LogLikelihood(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s += ll
+	}
+	return s
+}
+
+// TestHMMStrokeRecognition is experiment E15: per-class HMMs trained
+// with Baum-Welch must recognise held-out stroke sequences.
+func TestHMMStrokeRecognition(t *testing.T) {
+	train := StrokeDataset(25, 14, 100)
+	rec, err := TrainStrokes(train, 3, 8, 12, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Classes(); len(got) != len(StrokeClasses) {
+		t.Fatalf("classes = %v", got)
+	}
+	test := StrokeDataset(15, 14, 200) // fresh seed: held-out data
+	correct, total := 0, 0
+	for class, seqs := range test {
+		for _, q := range seqs {
+			got, ll, err := rec.Classify(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ll == math.Inf(-1) {
+				t.Fatal("classification with -inf likelihood")
+			}
+			if got == class {
+				correct++
+			}
+			total++
+		}
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.85 {
+		t.Fatalf("stroke recognition accuracy %.2f < 0.85 (%d/%d)", acc, correct, total)
+	}
+	t.Logf("stroke recognition accuracy: %.2f (%d/%d)", acc, correct, total)
+}
+
+func TestSmoothRemovesZeroEmissions(t *testing.T) {
+	h := &HMM{
+		N: 2, M: 3,
+		Pi: []float64{1, 0},
+		A:  [][]float64{{1, 0}, {0, 1}},
+		B:  [][]float64{{1, 0, 0}, {0, 1, 0}},
+	}
+	// Symbol 2 is impossible before smoothing.
+	if ll, err := h.LogLikelihood([]int{2}); err != nil || !math.IsInf(ll, -1) && ll > -600 {
+		t.Fatalf("precondition: ll = %v, %v", ll, err)
+	}
+	h.Smooth(1e-6)
+	ll, err := h.LogLikelihood([]int{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(ll, -1) || math.IsNaN(ll) {
+		t.Fatalf("smoothed model still assigns ll = %v", ll)
+	}
+	// Rows remain normalised.
+	for i := 0; i < h.N; i++ {
+		s := 0.0
+		for _, v := range h.B[i] {
+			s += v
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("row %d sums to %v after smoothing", i, s)
+		}
+	}
+}
+
+func TestClassifyWithoutModels(t *testing.T) {
+	r := &StrokeRecognizer{models: map[string]*HMM{}}
+	if _, _, err := r.Classify([]int{0}); err == nil {
+		t.Fatal("classification without models should error")
+	}
+}
+
+func TestSampleRespectsModel(t *testing.T) {
+	// A model that can only emit symbol 2.
+	h := &HMM{N: 1, M: 3, Pi: []float64{1}, A: [][]float64{{1}}, B: [][]float64{{0, 0, 1}}}
+	rng := rand.New(rand.NewSource(8))
+	for _, s := range h.Sample(50, rng) {
+		if s != 2 {
+			t.Fatalf("sampled impossible symbol %d", s)
+		}
+	}
+}
+
+func BenchmarkHMMViterbi(b *testing.B) {
+	truth := strokeTruth("serve")
+	rng := rand.New(rand.NewSource(1))
+	obs := truth.Sample(50, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := truth.Viterbi(obs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBaumWelchIteration(b *testing.B) {
+	train := StrokeDataset(10, 12, 5)
+	var seqs [][]int
+	for _, s := range train {
+		seqs = append(seqs, s...)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := NewHMM(3, 8, int64(i))
+		if err := h.BaumWelch(seqs, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,274 @@
+// Package cobra implements the COntent-Based RetrievAl (COBRA) video
+// data model [PJ00] and the tennis video analysis of the paper: shot
+// segmentation by colour-histogram differences, self-calibrating court
+// detection via dominant colours, shot classification into the four
+// categories of Figure 5 (tennis / close-up / audience / other), player
+// segmentation and tracking with shape features, rule-based event
+// recognition and HMM-based stroke recognition [PJZ01].
+//
+// The model distinguishes four layers: raw data, features, objects and
+// events; this package takes raw frames (package video) to features
+// (histograms, moments), objects (the tracked player) and events
+// (netplay, strokes).
+package cobra
+
+import (
+	"math"
+
+	"dlsearch/internal/video"
+)
+
+// HistBins is the size of the quantized RGB colour histogram (4 levels
+// per channel).
+const HistBins = 64
+
+// Histogram is a normalised 64-bin colour histogram: the feature-layer
+// representation of a frame.
+type Histogram [HistBins]float64
+
+// bin quantizes a pixel to its histogram bin.
+func bin(c video.RGB) int {
+	return int(c.R>>6)<<4 | int(c.G>>6)<<2 | int(c.B>>6)
+}
+
+// FrameHistogram computes the normalised colour histogram of a frame.
+func FrameHistogram(f *video.Frame) Histogram {
+	var h Histogram
+	for _, p := range f.Pix {
+		h[bin(p)]++
+	}
+	n := float64(len(f.Pix))
+	for i := range h {
+		h[i] /= n
+	}
+	return h
+}
+
+// Diff is the L1 distance between two histograms, in [0, 2]; shot
+// boundaries appear as spikes of this difference between neighbouring
+// frames.
+func (h Histogram) Diff(o Histogram) float64 {
+	d := 0.0
+	for i := range h {
+		d += math.Abs(h[i] - o[i])
+	}
+	return d
+}
+
+// Entropy returns the Shannon entropy of the histogram in bits; the
+// paper uses entropy characteristics for shot classification.
+func (h Histogram) Entropy() float64 {
+	e := 0.0
+	for _, p := range h {
+		if p > 0 {
+			e -= p * math.Log2(p)
+		}
+	}
+	return e
+}
+
+// Dominant returns the dominant bin and its fraction.
+func (h Histogram) Dominant() (int, float64) {
+	best, frac := 0, 0.0
+	for i, p := range h {
+		if p > frac {
+			best, frac = i, p
+		}
+	}
+	return best, frac
+}
+
+// isSkin is the skin-colour rule used for close-up detection.
+func isSkin(c video.RGB) bool {
+	return c.R > 180 && c.G > 120 && c.G < 210 && c.B > 60 && c.B < 160 && c.R > c.G && c.G > c.B
+}
+
+// SkinRatio returns the fraction of skin-coloured pixels.
+func SkinRatio(f *video.Frame) float64 {
+	n := 0
+	for _, p := range f.Pix {
+		if isSkin(p) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(f.Pix))
+}
+
+// IntensityStats returns the mean and variance of pixel intensity,
+// additional classification features mentioned in the paper.
+func IntensityStats(f *video.Frame) (mean, variance float64) {
+	for _, p := range f.Pix {
+		mean += float64(int(p.R)+int(p.G)+int(p.B)) / 3
+	}
+	mean /= float64(len(f.Pix))
+	for _, p := range f.Pix {
+		d := float64(int(p.R)+int(p.G)+int(p.B))/3 - mean
+		variance += d * d
+	}
+	variance /= float64(len(f.Pix))
+	return mean, variance
+}
+
+// Shot is a detected shot with its classification features.
+type Shot struct {
+	Begin, End   int // frame numbers, inclusive
+	Kind         video.ShotKind
+	DominantBin  int
+	DominantFrac float64
+	Skin         float64
+	Entropy      float64
+	Mean, Var    float64
+}
+
+// Segmenter holds the (court-independent) thresholds of the
+// segmentation and classification algorithm.
+type Segmenter struct {
+	// BoundaryThreshold on the histogram L1 difference between
+	// neighbouring frames.
+	BoundaryThreshold float64
+	// SkinThreshold on the skin-pixel fraction for close-ups.
+	SkinThreshold float64
+	// EntropyThreshold above which a non-court shot is audience.
+	EntropyThreshold float64
+	// CourtFracThreshold on the dominant-colour fraction for court
+	// shots.
+	CourtFracThreshold float64
+}
+
+// NewSegmenter returns a segmenter with the calibrated defaults.
+func NewSegmenter() *Segmenter {
+	return &Segmenter{
+		BoundaryThreshold:  0.8,
+		SkinThreshold:      0.20,
+		EntropyThreshold:   5.0,
+		CourtFracThreshold: 0.35,
+	}
+}
+
+// Analysis is the result of segmenting one video.
+type Analysis struct {
+	Shots    []Shot
+	CourtBin int // histogram bin of the detected court colour
+	// courtRGB is the estimated mean colour of court pixels ("estimated
+	// statistics of the tennis field color" in the paper's tracking
+	// step); more precise than the bin centre.
+	courtRGB    video.RGB
+	hasCourtRGB bool
+}
+
+// Segment detects shot boundaries, derives per-shot features,
+// self-calibrates the court colour (the dominant colour occurring most
+// frequently across shots — this is what makes the algorithm work for
+// any court class without parameter changes) and classifies every shot.
+func (s *Segmenter) Segment(v *video.Video) Analysis {
+	var a Analysis
+	if len(v.Frames) == 0 {
+		return a
+	}
+	// 1. Shot boundaries from histogram differences.
+	hists := make([]Histogram, len(v.Frames))
+	for i, f := range v.Frames {
+		hists[i] = FrameHistogram(f)
+	}
+	var bounds []int // first frame of each shot
+	bounds = append(bounds, 0)
+	for i := 1; i < len(hists); i++ {
+		if hists[i-1].Diff(hists[i]) > s.BoundaryThreshold {
+			bounds = append(bounds, i)
+		}
+	}
+	// 2. Per-shot features.
+	for bi, begin := range bounds {
+		end := len(v.Frames) - 1
+		if bi+1 < len(bounds) {
+			end = bounds[bi+1] - 1
+		}
+		shot := Shot{Begin: begin, End: end}
+		var acc Histogram
+		var skin float64
+		n := 0
+		for f := begin; f <= end; f++ {
+			for b := range acc {
+				acc[b] += hists[f][b]
+			}
+			skin += SkinRatio(v.Frames[f])
+			n++
+		}
+		for b := range acc {
+			acc[b] /= float64(n)
+		}
+		shot.Skin = skin / float64(n)
+		shot.DominantBin, shot.DominantFrac = acc.Dominant()
+		shot.Entropy = acc.Entropy()
+		shot.Mean, shot.Var = IntensityStats(v.Frames[begin])
+		a.Shots = append(a.Shots, shot)
+	}
+	// 3. Court colour: the most frequent dominant bin among shots that
+	// are plausibly court shots (strong dominant colour, not a face).
+	votes := map[int]int{}
+	for _, shot := range a.Shots {
+		if shot.DominantFrac >= s.CourtFracThreshold && shot.Skin < s.SkinThreshold {
+			votes[shot.DominantBin]++
+		}
+	}
+	best, bestVotes := -1, 0
+	for b, n := range votes {
+		if n > bestVotes || (n == bestVotes && b < best) {
+			best, bestVotes = b, n
+		}
+	}
+	a.CourtBin = best
+	// Estimate the court colour statistics: the mean RGB of all pixels
+	// falling into the court bin.
+	if best >= 0 {
+		var sr, sg, sb, n float64
+		for _, f := range v.Frames {
+			for _, p := range f.Pix {
+				if bin(p) == best {
+					sr += float64(p.R)
+					sg += float64(p.G)
+					sb += float64(p.B)
+					n++
+				}
+			}
+		}
+		if n > 0 {
+			a.courtRGB = video.RGB{R: uint8(sr / n), G: uint8(sg / n), B: uint8(sb / n)}
+			a.hasCourtRGB = true
+		}
+	}
+	// 4. Classification (Figure 5).
+	for i := range a.Shots {
+		a.Shots[i].Kind = s.classify(a.Shots[i], a.CourtBin)
+	}
+	return a
+}
+
+// classify assigns one of the four categories.
+func (s *Segmenter) classify(shot Shot, courtBin int) video.ShotKind {
+	switch {
+	case shot.Skin >= s.SkinThreshold:
+		return video.Closeup
+	case courtBin >= 0 && shot.DominantBin == courtBin && shot.DominantFrac >= s.CourtFracThreshold:
+		return video.Tennis
+	case shot.Entropy >= s.EntropyThreshold:
+		return video.Audience
+	default:
+		return video.Other
+	}
+}
+
+// CourtColor returns the estimated court colour: the mean of the
+// pixels in the detected court bin, falling back to the bin centre.
+func (a Analysis) CourtColor() video.RGB {
+	if a.hasCourtRGB {
+		return a.courtRGB
+	}
+	if a.CourtBin < 0 {
+		return video.RGB{}
+	}
+	r := uint8((a.CourtBin>>4)&3)<<6 + 32
+	g := uint8((a.CourtBin>>2)&3)<<6 + 32
+	b := uint8(a.CourtBin&3)<<6 + 32
+	return video.RGB{R: r, G: g, B: b}
+}

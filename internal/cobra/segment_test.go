@@ -1,0 +1,131 @@
+package cobra
+
+import (
+	"testing"
+
+	"dlsearch/internal/video"
+)
+
+// classify a standard broadcast and match detected shots against the
+// generator's ground truth by frame overlap.
+func runBroadcast(t *testing.T, seed int64, shots int, court video.CourtKind) (*video.Video, Analysis) {
+	t.Helper()
+	specs := video.RandomBroadcast(seed, shots, court)
+	v := video.Generate(specs, video.Options{Seed: seed})
+	return v, NewSegmenter().Segment(v)
+}
+
+// TestShotBoundariesExact: on the synthetic broadcast every cut is a
+// histogram spike, so boundaries must be recovered exactly.
+func TestShotBoundariesExact(t *testing.T) {
+	v, a := runBroadcast(t, 21, 20, video.HardBlue)
+	if len(a.Shots) != len(v.Truth) {
+		t.Fatalf("detected %d shots, truth has %d", len(a.Shots), len(v.Truth))
+	}
+	for i, s := range a.Shots {
+		if s.Begin != v.Truth[i].Begin || s.End != v.Truth[i].End {
+			t.Fatalf("shot %d = [%d,%d], truth [%d,%d]", i, s.Begin, s.End, v.Truth[i].Begin, v.Truth[i].End)
+		}
+	}
+}
+
+// TestShotClassificationAccuracy is experiment E14 (Figure 5): the
+// four-way classification must be essentially perfect on the clean
+// synthetic broadcast for every court class — the paper's point is
+// that the algorithm needs no per-court retuning.
+func TestShotClassificationAccuracy(t *testing.T) {
+	for _, court := range []video.CourtKind{video.HardBlue, video.GrassGreen, video.ClayRed} {
+		v, a := runBroadcast(t, 99, 30, court)
+		if len(a.Shots) != len(v.Truth) {
+			t.Fatalf("court %v: boundary mismatch", court)
+		}
+		correct := 0
+		for i, s := range a.Shots {
+			if s.Kind == v.Truth[i].Kind {
+				correct++
+			} else {
+				t.Logf("court %v shot %d: got %v, want %v (skin=%.2f frac=%.2f entropy=%.2f)",
+					court, i, s.Kind, v.Truth[i].Kind, s.Skin, s.DominantFrac, s.Entropy)
+			}
+		}
+		acc := float64(correct) / float64(len(a.Shots))
+		if acc < 0.95 {
+			t.Fatalf("court %v: classification accuracy %.2f < 0.95", court, acc)
+		}
+	}
+}
+
+func TestCourtColorSelfCalibration(t *testing.T) {
+	for _, court := range []video.CourtKind{video.HardBlue, video.GrassGreen, video.ClayRed} {
+		_, a := runBroadcast(t, 5, 20, court)
+		want := bin(court.Color())
+		if a.CourtBin != want {
+			t.Fatalf("court %v: detected bin %d, want %d", court, a.CourtBin, want)
+		}
+		cc := a.CourtColor()
+		if colorDist2(cc, court.Color()) > 3*64*64 {
+			t.Fatalf("court colour %v too far from truth %v", cc, court.Color())
+		}
+	}
+}
+
+func TestSegmentEmptyVideo(t *testing.T) {
+	a := NewSegmenter().Segment(&video.Video{})
+	if len(a.Shots) != 0 {
+		t.Fatal("empty video should yield no shots")
+	}
+}
+
+func TestHistogramProperties(t *testing.T) {
+	f := video.NewFrame(8, 8)
+	f.Fill(video.RGB{R: 200, G: 100, B: 50})
+	h := FrameHistogram(f)
+	sum := 0.0
+	for _, p := range h {
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("histogram not normalised: %v", sum)
+	}
+	dom, frac := h.Dominant()
+	if frac != 1.0 || dom != bin(video.RGB{R: 200, G: 100, B: 50}) {
+		t.Fatalf("dominant = %d (%.2f)", dom, frac)
+	}
+	if e := h.Entropy(); e != 0 {
+		t.Fatalf("uniform frame entropy = %v, want 0", e)
+	}
+	if d := h.Diff(h); d != 0 {
+		t.Fatalf("self diff = %v", d)
+	}
+}
+
+func TestHistogramDiffDisjoint(t *testing.T) {
+	f1 := video.NewFrame(4, 4)
+	f1.Fill(video.RGB{})
+	f2 := video.NewFrame(4, 4)
+	f2.Fill(video.RGB{R: 255, G: 255, B: 255})
+	if d := FrameHistogram(f1).Diff(FrameHistogram(f2)); d != 2.0 {
+		t.Fatalf("disjoint diff = %v, want 2", d)
+	}
+}
+
+func TestSkinRatio(t *testing.T) {
+	f := video.NewFrame(10, 10)
+	f.Fill(video.SkinTone)
+	if r := SkinRatio(f); r != 1.0 {
+		t.Fatalf("all-skin ratio = %v", r)
+	}
+	f.Fill(video.HardBlue.Color())
+	if r := SkinRatio(f); r != 0.0 {
+		t.Fatalf("court skin ratio = %v", r)
+	}
+}
+
+func TestIntensityStats(t *testing.T) {
+	f := video.NewFrame(4, 4)
+	f.Fill(video.RGB{R: 90, G: 90, B: 90})
+	mean, variance := IntensityStats(f)
+	if mean != 90 || variance != 0 {
+		t.Fatalf("stats = %v, %v", mean, variance)
+	}
+}

@@ -1,0 +1,247 @@
+package cobra
+
+import (
+	"math"
+
+	"dlsearch/internal/video"
+)
+
+// FrameFeatures are the object-layer shape features the tennis
+// detector extracts per frame: the player's position plus the standard
+// shape features of the paper (mass centre, area, bounding box,
+// orientation, eccentricity). Coordinates are reported in the
+// full-resolution system (raster × video.CoordScale) so the grammar's
+// netplay threshold of 170.0 applies unchanged.
+type FrameFeatures struct {
+	FrameNo int
+
+	X, Y         float64 // mass centre
+	Area         int
+	MinX, MinY   int // bounding box (full-res)
+	MaxX, MaxY   int
+	Orientation  float64
+	Eccentricity float64
+}
+
+// Tracker performs player segmentation and tracking within court
+// shots: an initial quadratic (full-frame) segmentation of the first
+// image, then prediction of the player position and a windowed search
+// in the neighbourhood for subsequent frames [PJZ01].
+type Tracker struct {
+	// ColorTolerance is the squared RGB distance within which a pixel
+	// counts as court or line (i.e. background).
+	ColorTolerance float64
+	// SearchRadius is the half-size of the prediction window.
+	SearchRadius int
+	// MinBlobArea below which a detection is considered lost and a full
+	// rescan is performed.
+	MinBlobArea int
+
+	// FullScans counts initial/recovery quadratic segmentations;
+	// WindowScans counts predicted-window searches. Their ratio shows
+	// the tracking optimisation at work.
+	FullScans, WindowScans int
+}
+
+// NewTracker returns a tracker with calibrated defaults.
+func NewTracker() *Tracker {
+	return &Tracker{ColorTolerance: 900, SearchRadius: 8, MinBlobArea: 4}
+}
+
+func colorDist2(a, b video.RGB) float64 {
+	dr := float64(int(a.R) - int(b.R))
+	dg := float64(int(a.G) - int(b.G))
+	db := float64(int(a.B) - int(b.B))
+	return dr*dr + dg*dg + db*db
+}
+
+// isBackground classifies court surface, court lines and the crowd
+// band as background using the estimated court colour statistics.
+func (t *Tracker) isBackground(f *video.Frame, x, y int, court video.RGB) bool {
+	if y < f.H/8 { // crowd band above the court
+		return true
+	}
+	p := f.At(x, y)
+	if colorDist2(p, court) <= t.ColorTolerance {
+		return true
+	}
+	return colorDist2(p, video.LineWhite) <= t.ColorTolerance
+}
+
+// blob is a connected component of foreground pixels.
+type blob struct {
+	pixels [][2]int
+}
+
+// segmentWindow finds the largest foreground blob within the given
+// window (pixel coordinates, clamped to the frame).
+func (t *Tracker) segmentWindow(f *video.Frame, court video.RGB, x0, y0, x1, y1 int) blob {
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 > f.W {
+		x1 = f.W
+	}
+	if y1 > f.H {
+		y1 = f.H
+	}
+	visited := make(map[int]bool)
+	var best blob
+	for y := y0; y < y1; y++ {
+		for x := x0; x < x1; x++ {
+			idx := y*f.W + x
+			if visited[idx] || t.isBackground(f, x, y, court) {
+				continue
+			}
+			// BFS flood fill within the window.
+			var b blob
+			queue := [][2]int{{x, y}}
+			visited[idx] = true
+			for len(queue) > 0 {
+				px := queue[0]
+				queue = queue[1:]
+				b.pixels = append(b.pixels, px)
+				for _, d := range [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+					nx, ny := px[0]+d[0], px[1]+d[1]
+					if nx < x0 || nx >= x1 || ny < y0 || ny >= y1 {
+						continue
+					}
+					nidx := ny*f.W + nx
+					if visited[nidx] || t.isBackground(f, nx, ny, court) {
+						continue
+					}
+					visited[nidx] = true
+					queue = append(queue, [2]int{nx, ny})
+				}
+			}
+			if len(b.pixels) > len(best.pixels) {
+				best = b
+			}
+		}
+	}
+	return best
+}
+
+// features derives the shape features from a blob.
+func features(b blob, frameNo int) FrameFeatures {
+	ff := FrameFeatures{FrameNo: frameNo}
+	if len(b.pixels) == 0 {
+		return ff
+	}
+	var sx, sy float64
+	minX, minY := math.MaxInt32, math.MaxInt32
+	maxX, maxY := -1, -1
+	for _, p := range b.pixels {
+		sx += float64(p[0])
+		sy += float64(p[1])
+		if p[0] < minX {
+			minX = p[0]
+		}
+		if p[0] > maxX {
+			maxX = p[0]
+		}
+		if p[1] < minY {
+			minY = p[1]
+		}
+		if p[1] > maxY {
+			maxY = p[1]
+		}
+	}
+	n := float64(len(b.pixels))
+	cx, cy := sx/n, sy/n
+	// Central second moments.
+	var mu20, mu02, mu11 float64
+	for _, p := range b.pixels {
+		dx, dy := float64(p[0])-cx, float64(p[1])-cy
+		mu20 += dx * dx
+		mu02 += dy * dy
+		mu11 += dx * dy
+	}
+	mu20 /= n
+	mu02 /= n
+	mu11 /= n
+	ff.Area = len(b.pixels)
+	ff.X = cx * video.CoordScale
+	ff.Y = cy * video.CoordScale
+	ff.MinX = int(float64(minX) * video.CoordScale)
+	ff.MinY = int(float64(minY) * video.CoordScale)
+	ff.MaxX = int(float64(maxX) * video.CoordScale)
+	ff.MaxY = int(float64(maxY) * video.CoordScale)
+	ff.Orientation = 0.5 * math.Atan2(2*mu11, mu20-mu02)
+	den := (mu20 + mu02) * (mu20 + mu02)
+	if den > 0 {
+		ff.Eccentricity = ((mu20-mu02)*(mu20-mu02) + 4*mu11*mu11) / den
+	}
+	return ff
+}
+
+// Track segments and tracks the player through the frames
+// [begin, end] of a video: full quadratic segmentation of the first
+// frame, then windowed search around the predicted position, with a
+// full rescan whenever the player is lost.
+func (t *Tracker) Track(v *video.Video, begin, end int, court video.RGB) []FrameFeatures {
+	var out []FrameFeatures
+	if begin < 0 || end >= len(v.Frames) || begin > end {
+		return out
+	}
+	var prev, vel [2]float64
+	havePrev := false
+	for fn := begin; fn <= end; fn++ {
+		f := v.Frames[fn]
+		var b blob
+		if havePrev {
+			// Predict and search the neighbourhood.
+			px := int(prev[0]+vel[0]) / int(video.CoordScale)
+			py := int(prev[1]+vel[1]) / int(video.CoordScale)
+			t.WindowScans++
+			b = t.segmentWindow(f, court, px-t.SearchRadius, py-t.SearchRadius, px+t.SearchRadius+1, py+t.SearchRadius+1)
+		}
+		if len(b.pixels) < t.MinBlobArea {
+			// Initial or recovery segmentation: the whole frame.
+			t.FullScans++
+			b = t.segmentWindow(f, court, 0, 0, f.W, f.H)
+		}
+		ff := features(b, fn)
+		if havePrev {
+			vel = [2]float64{ff.X - prev[0], ff.Y - prev[1]}
+		}
+		prev = [2]float64{ff.X, ff.Y}
+		havePrev = true
+		out = append(out, ff)
+	}
+	return out
+}
+
+// Event is an event-layer entity: a recognised high-level concept over
+// a span of frames.
+type Event struct {
+	Name       string
+	Begin, End int
+}
+
+// DetectNetplay applies the event-grammar rule of the paper: the
+// player approaches the net if in some frame the y position is at or
+// above (i.e. numerically below) the net threshold.
+func DetectNetplay(track []FrameFeatures) bool {
+	for _, ff := range track {
+		if ff.Area > 0 && ff.Y <= video.NetRowFullRes {
+			return true
+		}
+	}
+	return false
+}
+
+// Events derives the event layer for a tracked shot: netplay and
+// baseline rallies.
+func Events(track []FrameFeatures, begin, end int) []Event {
+	var out []Event
+	if DetectNetplay(track) {
+		out = append(out, Event{Name: "netplay", Begin: begin, End: end})
+	} else if len(track) > 0 {
+		out = append(out, Event{Name: "baseline_rally", Begin: begin, End: end})
+	}
+	return out
+}

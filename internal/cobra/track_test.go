@@ -1,0 +1,135 @@
+package cobra
+
+import (
+	"math"
+	"testing"
+
+	"dlsearch/internal/video"
+)
+
+func trackShot(t *testing.T, netplay bool, court video.CourtKind, seed int64) ([]FrameFeatures, *video.Video, *Tracker) {
+	t.Helper()
+	v := video.Generate([]video.ShotSpec{
+		{Kind: video.Tennis, Frames: 14, Court: court, Netplay: netplay},
+	}, video.Options{Seed: seed})
+	a := NewSegmenter().Segment(v)
+	if len(a.Shots) != 1 || a.Shots[0].Kind != video.Tennis {
+		t.Fatalf("segmentation precondition failed: %+v", a.Shots)
+	}
+	tr := NewTracker()
+	track := tr.Track(v, 0, len(v.Frames)-1, a.CourtColor())
+	return track, v, tr
+}
+
+func TestTrackFollowsPlayer(t *testing.T) {
+	track, v, _ := trackShot(t, false, video.HardBlue, 17)
+	if len(track) != len(v.Frames) {
+		t.Fatalf("track frames = %d", len(track))
+	}
+	for i, ff := range track {
+		truth := v.Truth[0].Track[i]
+		if ff.Area < 10 || ff.Area > 40 {
+			t.Fatalf("frame %d: area = %d, expected a ~21px blob", i, ff.Area)
+		}
+		dx := ff.X/video.CoordScale - float64(truth.X)
+		dy := ff.Y/video.CoordScale - float64(truth.Y)
+		if math.Abs(dx) > 3 || math.Abs(dy) > 3 {
+			t.Fatalf("frame %d: tracked (%.1f,%.1f), truth (%d,%d)",
+				i, ff.X/video.CoordScale, ff.Y/video.CoordScale, truth.X, truth.Y)
+		}
+	}
+}
+
+func TestTrackerUsesWindowedSearch(t *testing.T) {
+	_, _, tr := trackShot(t, false, video.GrassGreen, 23)
+	if tr.FullScans < 1 {
+		t.Fatal("initial segmentation must be a full scan")
+	}
+	if tr.WindowScans == 0 {
+		t.Fatal("subsequent frames must use the prediction window")
+	}
+	if tr.FullScans > tr.WindowScans {
+		t.Fatalf("tracking degenerated to full scans: %d full vs %d window", tr.FullScans, tr.WindowScans)
+	}
+}
+
+func TestNetplayDetection(t *testing.T) {
+	nettrack, _, _ := trackShot(t, true, video.ClayRed, 31)
+	if !DetectNetplay(nettrack) {
+		t.Fatal("net approach not detected")
+	}
+	base, _, _ := trackShot(t, false, video.ClayRed, 31)
+	if DetectNetplay(base) {
+		t.Fatal("baseline rally misdetected as netplay")
+	}
+}
+
+func TestEventsLayer(t *testing.T) {
+	nettrack, _, _ := trackShot(t, true, video.HardBlue, 41)
+	evs := Events(nettrack, 0, 13)
+	if len(evs) != 1 || evs[0].Name != "netplay" {
+		t.Fatalf("events = %v", evs)
+	}
+	base, _, _ := trackShot(t, false, video.HardBlue, 41)
+	evs = Events(base, 0, 13)
+	if len(evs) != 1 || evs[0].Name != "baseline_rally" {
+		t.Fatalf("events = %v", evs)
+	}
+	if got := Events(nil, 0, 0); len(got) != 0 {
+		t.Fatalf("empty track events = %v", got)
+	}
+}
+
+func TestShapeFeatures(t *testing.T) {
+	track, _, _ := trackShot(t, false, video.HardBlue, 53)
+	ff := track[0]
+	// The player blob is 3 wide × 7 tall: elongated vertically.
+	if ff.MaxY-ff.MinY <= ff.MaxX-ff.MinX {
+		t.Fatalf("bounding box not vertical: x %d..%d, y %d..%d", ff.MinX, ff.MaxX, ff.MinY, ff.MaxY)
+	}
+	if ff.Eccentricity < 0.3 {
+		t.Fatalf("eccentricity = %v, expected an elongated blob", ff.Eccentricity)
+	}
+	// Orientation of a vertical blob: |θ| near π/2.
+	if math.Abs(math.Abs(ff.Orientation)-math.Pi/2) > 0.3 {
+		t.Fatalf("orientation = %v, expected ±π/2", ff.Orientation)
+	}
+	// Mass centre inside the bounding box.
+	if ff.X < float64(ff.MinX) || ff.X > float64(ff.MaxX) || ff.Y < float64(ff.MinY) || ff.Y > float64(ff.MaxY) {
+		t.Fatal("mass centre outside bounding box")
+	}
+}
+
+func TestTrackInvalidRange(t *testing.T) {
+	v := video.Generate([]video.ShotSpec{{Kind: video.Tennis, Frames: 5, Court: video.HardBlue}}, video.Options{Seed: 1})
+	tr := NewTracker()
+	if got := tr.Track(v, 3, 2, video.HardBlue.Color()); len(got) != 0 {
+		t.Fatalf("inverted range returned %d frames", len(got))
+	}
+	if got := tr.Track(v, 0, 99, video.HardBlue.Color()); len(got) != 0 {
+		t.Fatalf("out-of-range returned %d frames", len(got))
+	}
+}
+
+func TestQuantizeMotion(t *testing.T) {
+	track := []FrameFeatures{
+		{X: 0, Y: 100},
+		{X: 50, Y: 100}, // moving right: angle 0 -> sector 4
+		{X: 50, Y: 50},  // moving up (dy<0): angle -π/2 -> sector 2
+	}
+	syms := QuantizeMotion(track)
+	if len(syms) != 2 {
+		t.Fatalf("symbols = %v", syms)
+	}
+	if syms[0] != 4 || syms[1] != 2 {
+		t.Fatalf("symbols = %v, want [4 2]", syms)
+	}
+	for _, s := range syms {
+		if s < 0 || s > 7 {
+			t.Fatalf("symbol %d out of range", s)
+		}
+	}
+	if got := QuantizeMotion(nil); len(got) != 0 {
+		t.Fatal("empty track should yield no symbols")
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"dlsearch/internal/cobra"
+	"dlsearch/internal/crawler"
+	"dlsearch/internal/detector"
+	"dlsearch/internal/fg"
+	"dlsearch/internal/site"
+	"dlsearch/internal/webspace"
+)
+
+// Figure13Query is the running example's mixed conceptual /
+// content-based query: "Show me video shots of left-handed female
+// players, who have won the Australian Open in the past, and in which
+// they approach the net."
+const Figure13Query = `
+SELECT p.name, v.video
+FROM Player p, Profile v
+WHERE p.gender = 'female'
+  AND p.hand = 'left'
+  AND contains(p.history, 'Winner')
+  AND About(v, p)
+  AND event(v.video, 'netplay')
+LIMIT 10`
+
+// NewAusOpen builds the complete Australian Open search engine of the
+// running example over a generated website: Figure 3 schema, Figure
+// 6+7 grammar, COBRA analysis detectors bound to the site's footage.
+func NewAusOpen(s *site.Site) (*Engine, error) {
+	grammar, err := fg.Parse(fg.TennisGrammar)
+	if err != nil {
+		return nil, err
+	}
+	reg := detector.NewRegistry()
+	analyzer := cobra.NewAnalyzer(s.Videos)
+	reg.Register(&detector.Impl{
+		Name:    "header",
+		Version: detector.Version{Major: 1},
+		Fn:      cobra.HeaderFunc(s.MIME),
+	})
+	// The external detectors go through the XML-RPC loopback, as the
+	// grammar's xml-rpc:: prefix prescribes.
+	srv := detector.NewXMLRPCServer()
+	srv.Register("segment", analyzer.SegmentFunc())
+	srv.Register("tennis", analyzer.TennisFunc())
+	client := detector.NewLoopback(srv)
+	reg.Register(&detector.Impl{Name: "segment", Version: detector.Version{Major: 1}, Transport: client})
+	reg.Register(&detector.Impl{Name: "tennis", Version: detector.Version{Major: 1}, Transport: client})
+
+	return New(webspace.AusOpenSchema(), grammar, reg)
+}
+
+// BuildAusOpen generates the site, crawls it and populates a fresh
+// engine: the full populate stage in one call. It returns the engine,
+// the site (with its ground truth) and the population report.
+func BuildAusOpen(seed int64) (*Engine, *site.Site, *PopulateReport, error) {
+	s := site.Generate(seed)
+	e, err := NewAusOpen(s)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	c := crawler.New(e.Schema, s.Fetch)
+	res, err := c.Crawl(s.BaseURL + "/index.html")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rep, err := e.Populate(res)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return e, s, rep, nil
+}

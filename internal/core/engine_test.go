@@ -1,0 +1,175 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dlsearch/internal/query"
+	"dlsearch/internal/site"
+)
+
+// buildOnce caches the populated engine across tests in this package:
+// population is deterministic, and the tests only read from it (tests
+// that mutate build their own).
+var (
+	sharedEngine *Engine
+	sharedSite   *site.Site
+	sharedReport *PopulateReport
+)
+
+func build(t *testing.T) (*Engine, *site.Site, *PopulateReport) {
+	t.Helper()
+	if sharedEngine == nil {
+		e, s, rep, err := BuildAusOpen(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedEngine, sharedSite, sharedReport = e, s, rep
+	}
+	return sharedEngine, sharedSite, sharedReport
+}
+
+func TestPopulateReport(t *testing.T) {
+	_, s, rep := build(t)
+	wantDocs := 2*len(s.Players) + len(s.Articles)
+	if rep.Documents != wantDocs {
+		t.Fatalf("documents = %d, want %d", rep.Documents, wantDocs)
+	}
+	// All videos and images parsed as MMOs.
+	if rep.MediaParsed != 2*len(s.Players) {
+		t.Fatalf("media parsed = %d, want %d", rep.MediaParsed, 2*len(s.Players))
+	}
+	if rep.MediaFailed != 0 {
+		t.Fatalf("media failed = %d", rep.MediaFailed)
+	}
+	// History per player + body per article indexed.
+	if rep.TextsIndexed != len(s.Players)+len(s.Articles) {
+		t.Fatalf("texts indexed = %d", rep.TextsIndexed)
+	}
+	if rep.Relations == 0 || rep.Associations == 0 {
+		t.Fatal("physical level is empty")
+	}
+	// The tennis detector ran once per tennis shot of every video
+	// (three per broadcast spec).
+	if got := rep.DetectorCalls["tennis"]; got != 3*len(s.Players) {
+		t.Fatalf("tennis calls = %d, want %d", got, 3*len(s.Players))
+	}
+}
+
+// TestFigure13MixedQuery is experiment E06: the paper's running
+// example query must return exactly the ground-truth players, ranked,
+// with their netplay shots attached.
+func TestFigure13MixedQuery(t *testing.T) {
+	e, s, _ := build(t)
+	res, err := e.Query(Figure13Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.Figure13Answer() // [jana-vilagos monica-seles]
+	if len(res.Rows) != len(want) {
+		t.Fatalf("rows = %d, want %d: %+v", len(res.Rows), len(want), res.Rows)
+	}
+	gotNames := map[string]bool{}
+	for _, r := range res.Rows {
+		gotNames[r.Values[0]] = true
+		if len(r.Shots) == 0 {
+			t.Fatalf("row %v has no netplay shots", r.Values)
+		}
+		for _, sh := range r.Shots {
+			if !sh.Netplay {
+				t.Fatalf("row %v carries a non-netplay shot", r.Values)
+			}
+			if sh.End <= sh.Begin {
+				t.Fatalf("degenerate shot %+v", sh)
+			}
+		}
+		if r.Score <= 0 {
+			t.Fatalf("row %v has no IR score", r.Values)
+		}
+		if !strings.HasSuffix(r.Values[1], ".mpg") {
+			t.Fatalf("second column should be the video url: %v", r.Values)
+		}
+	}
+	for _, slug := range want {
+		name := s.PlayerBySlug(slug).Name
+		if !gotNames[name] {
+			t.Fatalf("expected %s in result, got %v", name, gotNames)
+		}
+	}
+}
+
+// TestFigure13Exclusions verifies each predicate excludes the right
+// players: drop one conjunct and the corresponding near-miss appears.
+func TestFigure13Exclusions(t *testing.T) {
+	e, _, _ := build(t)
+	// Without the netplay predicate, Petra Novotna (left, female,
+	// champion, baseline player) joins the answer.
+	noEvent := `
+SELECT p.name, v.video FROM Player p, Profile v
+WHERE p.gender = 'female' AND p.hand = 'left'
+  AND contains(p.history, 'Winner') AND About(v, p)`
+	res, err := e.Query(noEvent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasValue(res, "Petra Novotna") {
+		t.Fatalf("Novotna should appear without the event predicate: %+v", res.Rows)
+	}
+	// Without the gender predicate, Petr Korda (left, male, champion,
+	// net rusher) appears.
+	noGender := `
+SELECT p.name, v.video FROM Player p, Profile v
+WHERE p.hand = 'left'
+  AND contains(p.history, 'Winner') AND About(v, p)
+  AND event(v.video, 'netplay')`
+	res, err = e.Query(noGender)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasValue(res, "Petr Korda") {
+		t.Fatalf("Korda should appear without the gender predicate: %+v", res.Rows)
+	}
+	// Without contains(), Patty Schnyder (left, female, net rusher, no
+	// title) appears.
+	noIR := `
+SELECT p.name, v.video FROM Player p, Profile v
+WHERE p.gender = 'female' AND p.hand = 'left'
+  AND About(v, p) AND event(v.video, 'netplay')`
+	res, err = e.Query(noIR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasValue(res, "Patty Schnyder") {
+		t.Fatalf("Schnyder should appear without the IR predicate: %+v", res.Rows)
+	}
+}
+
+func TestRallyEventQuery(t *testing.T) {
+	e, s, _ := build(t)
+	// Every generated match contains at least one baseline rally shot.
+	res, err := e.Query("SELECT v.video FROM Profile v WHERE event(v.video, 'rally')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(s.Players) {
+		t.Fatalf("rally rows = %d, want %d", len(res.Rows), len(s.Players))
+	}
+	for _, r := range res.Rows {
+		for _, sh := range r.Shots {
+			if sh.Netplay || !sh.Tennis {
+				t.Fatalf("rally row carries wrong shot: %+v", sh)
+			}
+		}
+	}
+}
+
+func hasValue(res *query.Result, v string) bool {
+	for _, r := range res.Rows {
+		for _, val := range r.Values {
+			if val == v {
+				return true
+			}
+		}
+	}
+	return false
+}

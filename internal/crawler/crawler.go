@@ -1,0 +1,301 @@
+// Package crawler implements the conceptual indexing stage: a crawler
+// retrieves the source documents from a webspace and the web object
+// retriever reconstructs the web-objects and the relations among them
+// against the webspace schema. For an existing website this is the
+// paper's reengineering process — the semantic concepts were flattened
+// into presentation-oriented HTML and are extracted back out (the
+// paper drives this with a special-purpose feature grammar; here it is
+// a domain-specific extractor with the same contract). Multimedia
+// references are collected for the logical level.
+package crawler
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dlsearch/internal/monetxml"
+	"dlsearch/internal/webspace"
+)
+
+// MediaRef is one multimedia attribute instance found during the
+// crawl: the hook where the conceptual level hands data to the logical
+// level. Hypertext carries its text inline; other media carry their
+// location.
+type MediaRef struct {
+	Owner  string // qualified object id, e.g. "Player:monica-seles"
+	Class  string
+	Attr   string
+	Type   webspace.AttrType
+	URL    string // location for Video/Image/Audio
+	Inline string // text for Hypertext
+}
+
+// Result of a crawl.
+type Result struct {
+	Documents []*webspace.Document
+	Media     []MediaRef
+	Pages     int
+}
+
+// Crawler walks a webspace and reengineers its pages.
+type Crawler struct {
+	Schema *webspace.Schema
+	Fetch  func(url string) (string, error)
+}
+
+// New returns a crawler over the given fetch function.
+func New(schema *webspace.Schema, fetch func(string) (string, error)) *Crawler {
+	return &Crawler{Schema: schema, Fetch: fetch}
+}
+
+// Crawl walks the webspace from the seed URL, reengineers every page
+// into a materialized view over the schema and collects multimedia
+// references. Documents are validated against the schema before they
+// are returned.
+func (c *Crawler) Crawl(seed string) (*Result, error) {
+	res := &Result{}
+	visited := map[string]bool{}
+	queue := []string{seed}
+	for len(queue) > 0 {
+		url := queue[0]
+		queue = queue[1:]
+		if visited[url] {
+			continue
+		}
+		visited[url] = true
+		page, err := c.Fetch(url)
+		if err != nil {
+			return nil, fmt.Errorf("crawler: fetch %s: %w", url, err)
+		}
+		root, err := monetxml.ParseNode(strings.NewReader(page))
+		if err != nil {
+			return nil, fmt.Errorf("crawler: parse %s: %w", url, err)
+		}
+		res.Pages++
+		doc, media, links := c.reengineer(url, root)
+		if doc != nil {
+			if err := doc.Validate(c.Schema); err != nil {
+				return nil, err
+			}
+			res.Documents = append(res.Documents, doc)
+			res.Media = append(res.Media, media...)
+		}
+		// Follow in-site links breadth-first.
+		sort.Strings(links)
+		for _, l := range links {
+			if !visited[l] {
+				queue = append(queue, l)
+			}
+		}
+	}
+	return res, nil
+}
+
+// reengineer dispatches on the page kind, recognisable from its URL.
+func (c *Crawler) reengineer(url string, root *monetxml.Node) (*webspace.Document, []MediaRef, []string) {
+	links := hrefs(root)
+	switch {
+	case strings.Contains(url, "/players/"):
+		doc, media := c.playerPage(url, root)
+		return doc, media, links
+	case strings.Contains(url, "/profile/"):
+		doc, media := c.profilePage(url, root)
+		return doc, media, links
+	case strings.Contains(url, "/articles/"):
+		doc, media := c.articlePage(url, root)
+		return doc, media, links
+	default:
+		return nil, nil, links // index and other pages only contribute links
+	}
+}
+
+// slugOf derives the object id from a page URL.
+func slugOf(url string) string {
+	base := url[strings.LastIndexByte(url, '/')+1:]
+	return strings.TrimSuffix(base, ".html")
+}
+
+// playerPage extracts the Player object: the definition list restores
+// the scalar concepts, the history div the Hypertext attribute, the
+// img the portrait.
+func (c *Crawler) playerPage(url string, root *monetxml.Node) (*webspace.Document, []MediaRef) {
+	slug := slugOf(url)
+	o := &webspace.Object{Class: "Player", ID: slug, Attrs: map[string]string{}}
+	for key, val := range defList(root) {
+		switch key {
+		case "Name":
+			o.Attrs["name"] = val
+		case "Gender":
+			o.Attrs["gender"] = val
+		case "Country":
+			o.Attrs["country"] = val
+		case "Plays":
+			o.Attrs["hand"] = val
+		}
+	}
+	var media []MediaRef
+	if div := byTagClass(root, "div", "history"); div != nil {
+		text := div.DeepText()
+		o.Attrs["history"] = text
+		media = append(media, MediaRef{
+			Owner: o.QualifiedID(), Class: "Player", Attr: "history",
+			Type: webspace.Hypertext, Inline: text,
+		})
+	}
+	if img := byTag(root, "img"); img != nil {
+		if src, ok := img.Attr("src"); ok {
+			o.Attrs["picture"] = src
+			media = append(media, MediaRef{
+				Owner: o.QualifiedID(), Class: "Player", Attr: "picture",
+				Type: webspace.Image, URL: src,
+			})
+		}
+	}
+	return &webspace.Document{URL: url, Objects: []*webspace.Object{o}}, media
+}
+
+// profilePage extracts the Profile object and its About association to
+// the player.
+func (c *Crawler) profilePage(url string, root *monetxml.Node) (*webspace.Document, []MediaRef) {
+	slug := slugOf(url)
+	o := &webspace.Object{Class: "Profile", ID: slug, Attrs: map[string]string{}}
+	var media []MediaRef
+	if a := byTagClass(root, "a", "document"); a != nil {
+		if href, ok := a.Attr("href"); ok {
+			o.Attrs["document"] = href
+		}
+	}
+	if v := byTag(root, "video"); v != nil {
+		if src, ok := v.Attr("src"); ok {
+			o.Attrs["video"] = src
+			media = append(media, MediaRef{
+				Owner: o.QualifiedID(), Class: "Profile", Attr: "video",
+				Type: webspace.Video, URL: src,
+			})
+		}
+	}
+	doc := &webspace.Document{URL: url, Objects: []*webspace.Object{o}}
+	doc.Links = append(doc.Links, webspace.Link{
+		Association: "About", From: o.QualifiedID(), To: "Player:" + slug,
+	})
+	return doc, media
+}
+
+// articlePage extracts the Article object and Is_covered_in links.
+func (c *Crawler) articlePage(url string, root *monetxml.Node) (*webspace.Document, []MediaRef) {
+	id := "articles-" + slugOf(url)
+	o := &webspace.Object{Class: "Article", ID: id, Attrs: map[string]string{}}
+	if h1 := byTag(root, "h1"); h1 != nil {
+		o.Attrs["title"] = h1.DeepText()
+	}
+	var media []MediaRef
+	if div := byTagClass(root, "div", "body"); div != nil {
+		text := div.DeepText()
+		o.Attrs["body"] = text
+		media = append(media, MediaRef{
+			Owner: o.QualifiedID(), Class: "Article", Attr: "body",
+			Type: webspace.Hypertext, Inline: text,
+		})
+	}
+	doc := &webspace.Document{URL: url, Objects: []*webspace.Object{o}}
+	for _, a := range byTagClassAll(root, "a", "covers") {
+		if href, ok := a.Attr("href"); ok {
+			doc.Links = append(doc.Links, webspace.Link{
+				Association: "Is_covered_in",
+				From:        "Player:" + slugOf(href),
+				To:          o.QualifiedID(),
+			})
+		}
+	}
+	return doc, media
+}
+
+// --- tiny HTML helpers over the parsed node tree ---
+
+func walkNodes(n *monetxml.Node, f func(*monetxml.Node) bool) bool {
+	if f(n) {
+		return true
+	}
+	for _, c := range n.Children {
+		if walkNodes(c, f) {
+			return true
+		}
+	}
+	return false
+}
+
+func byTag(root *monetxml.Node, tag string) *monetxml.Node {
+	var out *monetxml.Node
+	walkNodes(root, func(n *monetxml.Node) bool {
+		if n.Tag == tag {
+			out = n
+			return true
+		}
+		return false
+	})
+	return out
+}
+
+func byTagClass(root *monetxml.Node, tag, class string) *monetxml.Node {
+	var out *monetxml.Node
+	walkNodes(root, func(n *monetxml.Node) bool {
+		if n.Tag == tag {
+			if c, ok := n.Attr("class"); ok && c == class {
+				out = n
+				return true
+			}
+		}
+		return false
+	})
+	return out
+}
+
+func byTagClassAll(root *monetxml.Node, tag, class string) []*monetxml.Node {
+	var out []*monetxml.Node
+	walkNodes(root, func(n *monetxml.Node) bool {
+		if n.Tag == tag {
+			if c, ok := n.Attr("class"); ok && c == class {
+				out = append(out, n)
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// defList extracts dt/dd pairs from the first definition list.
+func defList(root *monetxml.Node) map[string]string {
+	out := map[string]string{}
+	dl := byTag(root, "dl")
+	if dl == nil {
+		return out
+	}
+	var key string
+	for _, c := range dl.Children {
+		switch c.Tag {
+		case "dt":
+			key = c.DeepText()
+		case "dd":
+			if key != "" {
+				out[key] = c.DeepText()
+				key = ""
+			}
+		}
+	}
+	return out
+}
+
+// hrefs collects all link targets on a page.
+func hrefs(root *monetxml.Node) []string {
+	var out []string
+	walkNodes(root, func(n *monetxml.Node) bool {
+		if n.Tag == "a" {
+			if href, ok := n.Attr("href"); ok {
+				out = append(out, href)
+			}
+		}
+		return false
+	})
+	return out
+}

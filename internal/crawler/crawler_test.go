@@ -1,0 +1,129 @@
+package crawler
+
+import (
+	"testing"
+
+	"dlsearch/internal/site"
+	"dlsearch/internal/webspace"
+)
+
+func crawlSite(t *testing.T) (*site.Site, *Result) {
+	t.Helper()
+	ws := site.Generate(1)
+	c := New(webspace.AusOpenSchema(), ws.Fetch)
+	res, err := c.Crawl(ws.BaseURL + "/index.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ws, res
+}
+
+// TestCrawlReconstructsConcepts is the heart of experiment E01: the
+// semantics hidden in presentation-oriented HTML (Figure 1) are
+// recovered as web-objects over the Figure 3 schema.
+func TestCrawlReconstructsConcepts(t *testing.T) {
+	ws, res := crawlSite(t)
+	// One document per player bio, player profile and article.
+	wantDocs := 2*len(ws.Players) + len(ws.Articles)
+	if len(res.Documents) != wantDocs {
+		t.Fatalf("documents = %d, want %d", len(res.Documents), wantDocs)
+	}
+	// Every page (incl. index) visited once.
+	if res.Pages != wantDocs+1 {
+		t.Fatalf("pages = %d", res.Pages)
+	}
+	// Find Seles' player object and check the recovered concepts.
+	var seles *webspace.Object
+	for _, d := range res.Documents {
+		if o := d.Object("Player:monica-seles"); o != nil {
+			seles = o
+		}
+	}
+	if seles == nil {
+		t.Fatal("Player:monica-seles not reconstructed")
+	}
+	truth := ws.PlayerBySlug("monica-seles")
+	if seles.Attr("name") != truth.Name ||
+		seles.Attr("gender") != truth.Gender ||
+		seles.Attr("country") != truth.Country ||
+		seles.Attr("hand") != truth.Hand {
+		t.Fatalf("reconstructed attrs = %v", seles.Attrs)
+	}
+	if seles.Attr("history") != truth.History {
+		t.Fatalf("history = %q", seles.Attr("history"))
+	}
+	if seles.Attr("picture") != truth.PictureURL {
+		t.Fatalf("picture = %q", seles.Attr("picture"))
+	}
+}
+
+func TestCrawlAssociations(t *testing.T) {
+	ws, res := crawlSite(t)
+	var about, covered int
+	for _, d := range res.Documents {
+		for _, l := range d.Links {
+			switch l.Association {
+			case "About":
+				about++
+			case "Is_covered_in":
+				covered++
+			}
+		}
+	}
+	if about != len(ws.Players) {
+		t.Fatalf("About links = %d, want %d", about, len(ws.Players))
+	}
+	if covered == 0 {
+		t.Fatal("no Is_covered_in links")
+	}
+}
+
+func TestCrawlMediaRefs(t *testing.T) {
+	ws, res := crawlSite(t)
+	byType := map[webspace.AttrType]int{}
+	for _, m := range res.Media {
+		byType[m.Type]++
+		switch m.Type {
+		case webspace.Hypertext:
+			if m.Inline == "" {
+				t.Fatalf("hypertext ref without inline text: %+v", m)
+			}
+		default:
+			if m.URL == "" {
+				t.Fatalf("media ref without URL: %+v", m)
+			}
+		}
+	}
+	if byType[webspace.Video] != len(ws.Players) {
+		t.Fatalf("video refs = %d", byType[webspace.Video])
+	}
+	if byType[webspace.Image] != len(ws.Players) {
+		t.Fatalf("image refs = %d", byType[webspace.Image])
+	}
+	// history per player + body per article
+	if byType[webspace.Hypertext] != len(ws.Players)+len(ws.Articles) {
+		t.Fatalf("hypertext refs = %d", byType[webspace.Hypertext])
+	}
+}
+
+func TestCrawlErrors(t *testing.T) {
+	schema := webspace.AusOpenSchema()
+	c := New(schema, func(url string) (string, error) {
+		return "", errTest
+	})
+	if _, err := c.Crawl("http://x"); err == nil {
+		t.Fatal("fetch failure not propagated")
+	}
+	c2 := New(schema, func(url string) (string, error) {
+		return "<broken", nil
+	})
+	if _, err := c2.Crawl("http://x"); err == nil {
+		t.Fatal("parse failure not propagated")
+	}
+}
+
+var errTest = errFake{}
+
+type errFake struct{}
+
+func (errFake) Error() string { return "fake" }

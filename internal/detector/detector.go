@@ -1,0 +1,196 @@
+// Package detector provides the detector registry of the logical
+// level: implementations of the blackbox detector symbols a feature
+// grammar declares, their three-level versions (major/minor/revision,
+// driving the Feature Detector Scheduler's invalidation decisions) and
+// the connection protocols for external implementations (the paper's
+// xml-rpc:: prefix; "code for the protocol instantiation is
+// generated", here provided by a loopback wire that really marshals
+// and unmarshals every call).
+package detector
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Token is one (symbol, value) token a detector pushes onto the token
+// stack of the Feature Detector Engine.
+type Token struct {
+	Symbol string
+	Value  string
+}
+
+// Context carries a detector invocation's resolved inputs: the values
+// of the parameter paths declared in the grammar, evaluated against
+// the parse tree built so far.
+type Context struct {
+	// Params holds one resolved value per declared parameter path, in
+	// declaration order.
+	Params []string
+	// Paths holds the parameter paths as written in the grammar.
+	Paths []string
+}
+
+// Param returns the i-th resolved parameter value.
+func (c *Context) Param(i int) string {
+	if i < 0 || i >= len(c.Params) {
+		return ""
+	}
+	return c.Params[i]
+}
+
+// Func is a blackbox detector implementation: it consumes the resolved
+// inputs and produces output tokens for the parser to validate against
+// the detector's output rules. Returning an error marks the detector
+// (and its enclosing alternative) invalid.
+type Func func(ctx *Context) ([]Token, error)
+
+// Version is the three-level detector version of the paper: a
+// revision bump never invalidates stored parse trees, a minor bump
+// invalidates them but leaves the data usable (low-priority
+// revalidation), a major bump makes stored data unusable
+// (high-priority revalidation).
+type Version struct {
+	Major, Minor, Revision int
+}
+
+func (v Version) String() string {
+	return fmt.Sprintf("%d.%d.%d", v.Major, v.Minor, v.Revision)
+}
+
+// Less orders versions lexicographically.
+func (v Version) Less(o Version) bool {
+	if v.Major != o.Major {
+		return v.Major < o.Major
+	}
+	if v.Minor != o.Minor {
+		return v.Minor < o.Minor
+	}
+	return v.Revision < o.Revision
+}
+
+// ChangeLevel classifies the impact of a version change.
+type ChangeLevel int
+
+// Change levels, ordered by severity.
+const (
+	ChangeNone ChangeLevel = iota
+	ChangeRevision
+	ChangeMinor
+	ChangeMajor
+)
+
+func (c ChangeLevel) String() string {
+	switch c {
+	case ChangeNone:
+		return "none"
+	case ChangeRevision:
+		return "revision"
+	case ChangeMinor:
+		return "minor"
+	case ChangeMajor:
+		return "major"
+	default:
+		return fmt.Sprintf("change(%d)", int(c))
+	}
+}
+
+// Compare classifies the upgrade old -> new.
+func Compare(old, new Version) ChangeLevel {
+	switch {
+	case new.Major != old.Major:
+		return ChangeMajor
+	case new.Minor != old.Minor:
+		return ChangeMinor
+	case new.Revision != old.Revision:
+		return ChangeRevision
+	default:
+		return ChangeNone
+	}
+}
+
+// Hooks are the special companion detectors of the paper: init runs
+// before the first invocation in a parse and final when the parser
+// finishes (e.g. setting up and tearing down the W3C WWW library);
+// begin and end run around every occurrence of the symbol.
+type Hooks struct {
+	Init  func() error
+	Final func() error
+	Begin func() error
+	End   func() error
+}
+
+// Impl is a registered detector implementation.
+type Impl struct {
+	Name      string
+	Fn        Func
+	Hooks     Hooks
+	Version   Version
+	Transport Transport // nil for linked-in implementations
+}
+
+// Call invokes the implementation, through its transport if external.
+func (im *Impl) Call(ctx *Context) ([]Token, error) {
+	if im.Transport != nil {
+		return im.Transport.Call(im.Name, ctx)
+	}
+	if im.Fn == nil {
+		return nil, fmt.Errorf("detector: %s has no implementation", im.Name)
+	}
+	return im.Fn(ctx)
+}
+
+// Registry maps detector names to implementations. It is safe for
+// concurrent use; the FDS swaps implementations at runtime when
+// algorithms evolve.
+type Registry struct {
+	mu    sync.RWMutex
+	impls map[string]*Impl
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{impls: make(map[string]*Impl)} }
+
+// Register installs (or replaces) an implementation.
+func (r *Registry) Register(im *Impl) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.impls[im.Name] = im
+}
+
+// RegisterFunc installs a linked-in implementation with version 1.0.0.
+func (r *Registry) RegisterFunc(name string, fn Func) {
+	r.Register(&Impl{Name: name, Fn: fn, Version: Version{Major: 1}})
+}
+
+// Lookup returns the implementation for name.
+func (r *Registry) Lookup(name string) (*Impl, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	im, ok := r.impls[name]
+	return im, ok
+}
+
+// VersionOf returns the registered version of a detector, or the zero
+// version if unregistered.
+func (r *Registry) VersionOf(name string) Version {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if im, ok := r.impls[name]; ok {
+		return im.Version
+	}
+	return Version{}
+}
+
+// Names returns the registered detector names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.impls))
+	for n := range r.impls {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

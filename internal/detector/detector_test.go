@@ -1,0 +1,174 @@
+package detector
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestVersionCompare(t *testing.T) {
+	base := Version{1, 2, 3}
+	cases := []struct {
+		next Version
+		want ChangeLevel
+	}{
+		{Version{1, 2, 3}, ChangeNone},
+		{Version{1, 2, 4}, ChangeRevision},
+		{Version{1, 3, 0}, ChangeMinor},
+		{Version{2, 0, 0}, ChangeMajor},
+		{Version{0, 9, 9}, ChangeMajor},
+	}
+	for _, c := range cases {
+		if got := Compare(base, c.next); got != c.want {
+			t.Errorf("Compare(%v, %v) = %v, want %v", base, c.next, got, c.want)
+		}
+	}
+}
+
+func TestVersionOrderingAndString(t *testing.T) {
+	if !(Version{1, 0, 0}).Less(Version{1, 0, 1}) {
+		t.Error("revision ordering broken")
+	}
+	if !(Version{1, 9, 9}).Less(Version{2, 0, 0}) {
+		t.Error("major ordering broken")
+	}
+	if (Version{2, 0, 0}).Less(Version{1, 9, 9}) {
+		t.Error("ordering not antisymmetric")
+	}
+	if got := (Version{1, 2, 3}).String(); got != "1.2.3" {
+		t.Errorf("String = %q", got)
+	}
+	for lvl, want := range map[ChangeLevel]string{
+		ChangeNone: "none", ChangeRevision: "revision",
+		ChangeMinor: "minor", ChangeMajor: "major",
+	} {
+		if lvl.String() != want {
+			t.Errorf("ChangeLevel(%d).String() = %q", lvl, lvl.String())
+		}
+	}
+}
+
+func TestRegistryRegisterLookup(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterFunc("header", func(ctx *Context) ([]Token, error) {
+		return []Token{{Symbol: "primary", Value: "video"}}, nil
+	})
+	im, ok := r.Lookup("header")
+	if !ok {
+		t.Fatal("header not found")
+	}
+	toks, err := im.Call(&Context{Params: []string{"http://x"}})
+	if err != nil || len(toks) != 1 || toks[0].Symbol != "primary" {
+		t.Fatalf("Call = %v, %v", toks, err)
+	}
+	if _, ok := r.Lookup("nope"); ok {
+		t.Fatal("phantom detector")
+	}
+	if v := r.VersionOf("header"); v.Major != 1 {
+		t.Fatalf("VersionOf = %v", v)
+	}
+	if v := r.VersionOf("nope"); v != (Version{}) {
+		t.Fatalf("VersionOf(nope) = %v", v)
+	}
+}
+
+func TestRegistryReplaceAndNames(t *testing.T) {
+	r := NewRegistry()
+	r.Register(&Impl{Name: "b", Version: Version{1, 0, 0}})
+	r.Register(&Impl{Name: "a", Version: Version{1, 0, 0}})
+	r.Register(&Impl{Name: "a", Version: Version{2, 0, 0}}) // upgrade
+	names := r.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names = %v", names)
+	}
+	if v := r.VersionOf("a"); v.Major != 2 {
+		t.Fatalf("upgrade lost: %v", v)
+	}
+}
+
+func TestImplWithoutFn(t *testing.T) {
+	im := &Impl{Name: "x"}
+	if _, err := im.Call(&Context{}); err == nil {
+		t.Fatal("expected error for missing implementation")
+	}
+}
+
+func TestContextParam(t *testing.T) {
+	c := &Context{Params: []string{"a", "b"}}
+	if c.Param(0) != "a" || c.Param(1) != "b" {
+		t.Fatal("Param lookup broken")
+	}
+	if c.Param(2) != "" || c.Param(-1) != "" {
+		t.Fatal("out-of-range Param should be empty")
+	}
+}
+
+func TestXMLRPCRoundTrip(t *testing.T) {
+	srv := NewXMLRPCServer()
+	srv.Register("segment", func(ctx *Context) ([]Token, error) {
+		if ctx.Param(0) != "http://video.mpg" {
+			return nil, errors.New("wrong param")
+		}
+		return []Token{
+			{Symbol: "frameNo", Value: "0"},
+			{Symbol: "frameNo", Value: "99"},
+			{Symbol: "", Value: "tennis"},
+		}, nil
+	})
+	client := NewLoopback(srv)
+	toks, err := client.Call("segment", &Context{Params: []string{"http://video.mpg"}, Paths: []string{"location"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0].Value != "0" || toks[2].Value != "tennis" {
+		t.Fatalf("tokens = %v", toks)
+	}
+	// Literal tokens keep their empty symbol across the wire.
+	if toks[2].Symbol != "" {
+		t.Fatalf("literal token symbol = %q", toks[2].Symbol)
+	}
+}
+
+func TestXMLRPCFaults(t *testing.T) {
+	srv := NewXMLRPCServer()
+	srv.Register("bad", func(ctx *Context) ([]Token, error) {
+		return nil, errors.New("boom")
+	})
+	client := NewLoopback(srv)
+	if _, err := client.Call("bad", &Context{}); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("fault not propagated: %v", err)
+	}
+	if _, err := client.Call("missing", &Context{}); err == nil || !strings.Contains(err.Error(), "no such method") {
+		t.Fatalf("missing method not reported: %v", err)
+	}
+}
+
+func TestXMLRPCWireFailure(t *testing.T) {
+	c := &XMLRPCClient{Wire: func([]byte) ([]byte, error) { return nil, errors.New("link down") }}
+	if _, err := c.Call("x", &Context{}); err == nil {
+		t.Fatal("wire failure not surfaced")
+	}
+	c2 := &XMLRPCClient{Wire: func([]byte) ([]byte, error) { return []byte("not xml"), nil }}
+	if _, err := c2.Call("x", &Context{}); err == nil {
+		t.Fatal("garbage response not surfaced")
+	}
+}
+
+func TestServerRejectsGarbage(t *testing.T) {
+	srv := NewXMLRPCServer()
+	if _, err := srv.Handle([]byte("<<<")); err == nil {
+		t.Fatal("garbage request accepted")
+	}
+}
+
+func TestImplViaTransport(t *testing.T) {
+	srv := NewXMLRPCServer()
+	srv.Register("tennis", func(ctx *Context) ([]Token, error) {
+		return []Token{{Symbol: "xPos", Value: "12.5"}}, nil
+	})
+	im := &Impl{Name: "tennis", Transport: NewLoopback(srv), Version: Version{1, 0, 0}}
+	toks, err := im.Call(&Context{})
+	if err != nil || len(toks) != 1 || toks[0].Value != "12.5" {
+		t.Fatalf("transport call = %v, %v", toks, err)
+	}
+}

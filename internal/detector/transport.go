@@ -1,0 +1,124 @@
+package detector
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"sync"
+)
+
+// Transport connects a detector symbol to an external implementation.
+// The paper generates protocol stubs for XML-RPC, plain system calls
+// and CORBA; here a transport genuinely marshals the call, crosses a
+// wire boundary (in-memory, since the process boundary is simulated)
+// and unmarshals the response, so the full encode/decode code path of
+// an external detector is exercised.
+type Transport interface {
+	Call(name string, ctx *Context) ([]Token, error)
+}
+
+// xmlRequest is the wire format of a call (a compact XML-RPC analog).
+type xmlRequest struct {
+	XMLName xml.Name `xml:"methodCall"`
+	Method  string   `xml:"methodName"`
+	Params  []string `xml:"params>param"`
+	Paths   []string `xml:"params>path"`
+}
+
+// xmlResponse is the wire format of a reply.
+type xmlResponse struct {
+	XMLName xml.Name   `xml:"methodResponse"`
+	Fault   string     `xml:"fault,omitempty"`
+	Tokens  []xmlToken `xml:"tokens>token"`
+}
+
+type xmlToken struct {
+	Symbol string `xml:"symbol,attr"`
+	Value  string `xml:",chardata"`
+}
+
+// XMLRPCServer hosts external detector implementations behind the
+// wire format. In the paper this runs "on a different machine".
+type XMLRPCServer struct {
+	mu       sync.RWMutex
+	handlers map[string]Func
+}
+
+// NewXMLRPCServer returns an empty server.
+func NewXMLRPCServer() *XMLRPCServer {
+	return &XMLRPCServer{handlers: make(map[string]Func)}
+}
+
+// Register installs a remote handler.
+func (s *XMLRPCServer) Register(name string, fn Func) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[name] = fn
+}
+
+// Handle decodes one request document, dispatches it and encodes the
+// response document.
+func (s *XMLRPCServer) Handle(request []byte) ([]byte, error) {
+	var req xmlRequest
+	if err := xml.Unmarshal(request, &req); err != nil {
+		return nil, fmt.Errorf("detector: bad request: %w", err)
+	}
+	s.mu.RLock()
+	fn := s.handlers[req.Method]
+	s.mu.RUnlock()
+	var resp xmlResponse
+	if fn == nil {
+		resp.Fault = fmt.Sprintf("no such method %s", req.Method)
+	} else {
+		toks, err := fn(&Context{Params: req.Params, Paths: req.Paths})
+		if err != nil {
+			resp.Fault = err.Error()
+		} else {
+			for _, t := range toks {
+				resp.Tokens = append(resp.Tokens, xmlToken{Symbol: t.Symbol, Value: t.Value})
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := xml.NewEncoder(&buf).Encode(resp); err != nil {
+		return nil, fmt.Errorf("detector: encode response: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// XMLRPCClient is the generated client stub: it owns the wire to one
+// server. Wire is a function so tests can interpose failures.
+type XMLRPCClient struct {
+	Wire func(request []byte) ([]byte, error)
+}
+
+// NewLoopback returns a client whose wire delivers directly to the
+// given server, simulating the remote process.
+func NewLoopback(s *XMLRPCServer) *XMLRPCClient {
+	return &XMLRPCClient{Wire: s.Handle}
+}
+
+// Call implements Transport by a marshal → wire → unmarshal round trip.
+func (c *XMLRPCClient) Call(name string, ctx *Context) ([]Token, error) {
+	var buf bytes.Buffer
+	req := xmlRequest{Method: name, Params: ctx.Params, Paths: ctx.Paths}
+	if err := xml.NewEncoder(&buf).Encode(req); err != nil {
+		return nil, fmt.Errorf("detector: encode request: %w", err)
+	}
+	raw, err := c.Wire(buf.Bytes())
+	if err != nil {
+		return nil, fmt.Errorf("detector: wire: %w", err)
+	}
+	var resp xmlResponse
+	if err := xml.Unmarshal(raw, &resp); err != nil {
+		return nil, fmt.Errorf("detector: bad response: %w", err)
+	}
+	if resp.Fault != "" {
+		return nil, fmt.Errorf("detector: remote fault: %s", resp.Fault)
+	}
+	out := make([]Token, 0, len(resp.Tokens))
+	for _, t := range resp.Tokens {
+		out = append(out, Token{Symbol: t.Symbol, Value: t.Value})
+	}
+	return out, nil
+}

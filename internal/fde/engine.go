@@ -1,0 +1,530 @@
+package fde
+
+import (
+	"fmt"
+	"strconv"
+
+	"dlsearch/internal/detector"
+	"dlsearch/internal/fg"
+)
+
+// maxDepth bounds recursion so pathological (e.g. left-recursive)
+// grammars fail with a diagnostic instead of exhausting the stack.
+const maxDepth = 512
+
+// Stats records engine cost metrics; experiment E13 reads
+// StackVersions (each is O(1) thanks to suffix sharing).
+type Stats struct {
+	DetectorCalls  map[string]int
+	TokensPushed   int
+	TokensConsumed int
+	Backtracks     int
+	StackVersions  int
+}
+
+// Engine is a Feature Detector Engine instance for one grammar and one
+// detector registry.
+type Engine struct {
+	G     *fg.Grammar
+	Reg   *detector.Registry
+	Stats Stats
+
+	inited map[string]bool
+	err    error // hard error (missing implementation, hook failure)
+}
+
+// New returns an engine for the grammar with the given registry.
+func New(g *fg.Grammar, reg *detector.Registry) *Engine {
+	return &Engine{G: g, Reg: reg, Stats: Stats{DetectorCalls: map[string]int{}}}
+}
+
+// Parse proves that the multimedia object described by the initial
+// token set (the %start arguments, e.g. its location) is a member of
+// the grammar's language, executing detectors on the way, and returns
+// the resulting parse tree.
+func (e *Engine) Parse(initial []detector.Token) (*Tree, error) {
+	e.err = nil
+	e.inited = map[string]bool{}
+	t := &Tree{Grammar: e.G}
+	st := NewStack(initial)
+	e.Stats.TokensPushed += len(initial)
+	node, rest, ok := e.parseSymbol(t, nil, e.G.Start, st, 0)
+	e.runFinals()
+	if e.err != nil {
+		return nil, e.err
+	}
+	if !ok {
+		return nil, fmt.Errorf("fde: %s is not in the language of the grammar", e.G.Start)
+	}
+	if !rest.Empty() {
+		top, _ := rest.Peek()
+		return nil, fmt.Errorf("fde: %d unconsumed tokens (next: %s=%q)", rest.Len(), top.Symbol, top.Value)
+	}
+	t.Root = node
+	return t, nil
+}
+
+func (e *Engine) runFinals() {
+	for name := range e.inited {
+		impl, ok := e.Reg.Lookup(name)
+		if !ok || impl.Hooks.Final == nil {
+			continue
+		}
+		if err := impl.Hooks.Final(); err != nil && e.err == nil {
+			e.err = fmt.Errorf("fde: final detector %s: %w", name, err)
+		}
+	}
+}
+
+// parseSymbol parses one occurrence of sym. On failure the tree is
+// restored to its prior state; the token stack needs no restoration
+// because versions are immutable.
+func (e *Engine) parseSymbol(t *Tree, parent *PNode, sym string, st Stack, depth int) (*PNode, Stack, bool) {
+	if e.err != nil {
+		return nil, st, false
+	}
+	if depth > maxDepth {
+		e.err = fmt.Errorf("fde: recursion limit exceeded at symbol %s (left recursion?)", sym)
+		return nil, st, false
+	}
+	saveOrder := len(t.order)
+	saveChildren := -1
+	if parent != nil {
+		saveChildren = len(parent.Children)
+	}
+	restore := func() {
+		t.order = t.order[:saveOrder]
+		if parent != nil {
+			parent.Children = parent.Children[:saveChildren]
+		}
+	}
+	switch {
+	case e.G.IsDetector(sym):
+		n, rest, ok := e.parseDetector(t, parent, sym, st, depth)
+		if !ok {
+			restore()
+			return nil, st, false
+		}
+		return n, rest, true
+	case e.G.IsAtom(sym):
+		tok, rest, ok := st.Pop()
+		if !ok || tok.Symbol != sym {
+			return nil, st, false
+		}
+		n := t.newNode(parent, sym, KindAtom)
+		n.Value = tok.Value
+		e.Stats.TokensConsumed++
+		return n, rest, true
+	default:
+		n := t.newNode(parent, sym, KindVariable)
+		rest, ok := e.parseAlternatives(t, n, sym, st, depth)
+		if !ok {
+			restore()
+			return nil, st, false
+		}
+		return n, rest, true
+	}
+}
+
+// parseDetector handles both detector flavours. Whitebox predicates
+// consume no tokens: value detectors (atom-typed, like netplay) always
+// succeed and store the truth value, plain predicates (video_type)
+// gate their alternative. Blackbox detectors resolve their input
+// paths, invoke the implementation, push the produced tokens and
+// validate them against their output rules.
+func (e *Engine) parseDetector(t *Tree, parent *PNode, sym string, st Stack, depth int) (*PNode, Stack, bool) {
+	d := e.G.Detectors[sym]
+	if d.Kind == fg.Whitebox {
+		e.Stats.DetectorCalls[sym]++
+		val := e.evalExpr(t, nil, d.Pred)
+		if e.G.IsAtom(sym) {
+			n := t.newNode(parent, sym, KindDetector)
+			n.Value = strconv.FormatBool(val)
+			return n, st, true
+		}
+		if !val {
+			return nil, st, false
+		}
+		n := t.newNode(parent, sym, KindDetector)
+		return n, st, true
+	}
+
+	impl, ok := e.Reg.Lookup(sym)
+	if !ok {
+		e.err = fmt.Errorf("fde: no implementation registered for blackbox detector %s", sym)
+		return nil, st, false
+	}
+	if !e.inited[sym] {
+		e.inited[sym] = true
+		if impl.Hooks.Init != nil {
+			if err := impl.Hooks.Init(); err != nil {
+				e.err = fmt.Errorf("fde: init detector %s: %w", sym, err)
+				return nil, st, false
+			}
+		}
+	}
+	if impl.Hooks.Begin != nil {
+		if err := impl.Hooks.Begin(); err != nil {
+			return nil, st, false
+		}
+	}
+	ctx, ok := e.resolveParams(t, d)
+	if !ok {
+		return nil, st, false
+	}
+	e.Stats.DetectorCalls[sym]++
+	toks, err := impl.Call(ctx)
+	if err != nil {
+		return nil, st, false // detector failure invalidates the alternative
+	}
+	n := t.newNode(parent, sym, KindDetector)
+	st = st.Push(toks)
+	e.Stats.TokensPushed += len(toks)
+
+	var rest Stack
+	if e.G.IsAtom(sym) && len(e.G.Alternatives(sym)) == 0 {
+		// Value detector: its single output token is its own value.
+		tok, r2, popped := st.Pop()
+		if !popped || tok.Symbol != sym {
+			return nil, st, false
+		}
+		e.Stats.TokensConsumed++
+		n.Value = tok.Value
+		rest = r2
+	} else {
+		r2, parsed := e.parseAlternatives(t, n, sym, st, depth)
+		if !parsed {
+			return nil, st, false
+		}
+		rest = r2
+	}
+	if impl.Hooks.End != nil {
+		if err := impl.Hooks.End(); err != nil {
+			return nil, st, false
+		}
+	}
+	return n, rest, true
+}
+
+// resolveParams evaluates the detector's input paths against the
+// preceding parse tree.
+func (e *Engine) resolveParams(t *Tree, d *fg.Detector) (*detector.Context, bool) {
+	ctx := &detector.Context{}
+	for _, p := range d.Params {
+		nodes := t.Resolve(p)
+		if len(nodes) == 0 {
+			return nil, false
+		}
+		v, ok := NodeValue(nodes[0])
+		if !ok {
+			return nil, false
+		}
+		ctx.Params = append(ctx.Params, v)
+		ctx.Paths = append(ctx.Paths, p.String())
+	}
+	return ctx, true
+}
+
+// parseAlternatives tries each production alternative for sym in
+// declaration order, backtracking on failure. Saving a token-stack
+// version is O(1): alternatives share the stack suffix.
+func (e *Engine) parseAlternatives(t *Tree, node *PNode, sym string, st Stack, depth int) (Stack, bool) {
+	alts := e.G.Alternatives(sym)
+	if len(alts) == 0 {
+		return st, true
+	}
+	for _, alt := range alts {
+		saveOrder := len(t.order)
+		saveChildren := len(node.Children)
+		e.Stats.StackVersions++
+		rest, ok := e.parseSeq(t, node, alt.RHS, st, depth)
+		if ok {
+			return rest, true
+		}
+		e.Stats.Backtracks++
+		t.order = t.order[:saveOrder]
+		node.Children = node.Children[:saveChildren]
+		if e.err != nil {
+			return st, false
+		}
+	}
+	return st, false
+}
+
+func (e *Engine) parseSeq(t *Tree, parent *PNode, els []fg.Element, st Stack, depth int) (Stack, bool) {
+	for _, el := range els {
+		rest, ok := e.parseRepeat(t, parent, el, st, depth)
+		if !ok {
+			return st, false
+		}
+		st = rest
+	}
+	return st, true
+}
+
+// parseRepeat greedily matches an element within its repetition bounds.
+func (e *Engine) parseRepeat(t *Tree, parent *PNode, el fg.Element, st Stack, depth int) (Stack, bool) {
+	count := 0
+	for el.Max == fg.Unbounded || count < el.Max {
+		saveOrder := len(t.order)
+		saveChildren := len(parent.Children)
+		e.Stats.StackVersions++
+		rest, ok := e.parseOnce(t, parent, el, st, depth)
+		if !ok {
+			t.order = t.order[:saveOrder]
+			parent.Children = parent.Children[:saveChildren]
+			break
+		}
+		st = rest
+		count++
+		if e.err != nil {
+			return st, false
+		}
+	}
+	if count < el.Min {
+		return st, false
+	}
+	return st, true
+}
+
+func (e *Engine) parseOnce(t *Tree, parent *PNode, el fg.Element, st Stack, depth int) (Stack, bool) {
+	switch el.Kind {
+	case fg.ElemSymbol:
+		_, rest, ok := e.parseSymbol(t, parent, el.Name, st, depth+1)
+		return rest, ok
+	case fg.ElemLiteral:
+		tok, rest, ok := st.Pop()
+		if !ok || tok.Value != el.Name {
+			return st, false
+		}
+		n := t.newNode(parent, el.Name, KindLiteral)
+		n.Value = el.Name
+		e.Stats.TokensConsumed++
+		return rest, true
+	case fg.ElemRef:
+		// A reference consumes a token carrying the referenced symbol
+		// and records a graph edge instead of recursing — this is how
+		// Figure 14 models the web's link structure without infinite
+		// descent.
+		tok, rest, ok := st.Pop()
+		if !ok || tok.Symbol != el.Name {
+			return st, false
+		}
+		n := t.newNode(parent, el.Name, KindRef)
+		n.Value = tok.Value
+		e.Stats.TokensConsumed++
+		return rest, true
+	case fg.ElemGroup:
+		return e.parseSeq(t, parent, el.Children, st, depth+1)
+	default:
+		return st, false
+	}
+}
+
+// --- Whitebox predicate evaluation ---
+
+// evalExpr evaluates a whitebox predicate; anchor, when non-nil,
+// scopes path resolution to a quantifier binding.
+func (e *Engine) evalExpr(t *Tree, anchor *PNode, x fg.Expr) bool {
+	switch v := x.(type) {
+	case *fg.Cmp:
+		l, lok := e.operandValue(t, anchor, v.Left)
+		r, rok := e.operandValue(t, anchor, v.Right)
+		if !lok || !rok {
+			return false
+		}
+		return compare(v.Op, l, r)
+	case *fg.PathTruth:
+		nodes := e.resolveExprPath(t, anchor, v.Path)
+		if len(nodes) == 0 {
+			return false
+		}
+		val, _ := NodeValue(nodes[0])
+		return val == "true"
+	case *fg.And:
+		return e.evalExpr(t, anchor, v.L) && e.evalExpr(t, anchor, v.R)
+	case *fg.Or:
+		return e.evalExpr(t, anchor, v.L) || e.evalExpr(t, anchor, v.R)
+	case *fg.Not:
+		return !e.evalExpr(t, anchor, v.E)
+	case *fg.Quant:
+		nodes := e.resolveExprPath(t, anchor, v.Over)
+		matches := 0
+		for _, n := range nodes {
+			if e.evalExpr(t, n, v.Body) {
+				matches++
+			}
+		}
+		switch v.Kind {
+		case fg.QuantSome:
+			return matches >= 1
+		case fg.QuantAll:
+			return matches == len(nodes) // vacuously true on empty
+		case fg.QuantOne:
+			return matches == 1
+		}
+	}
+	return false
+}
+
+// resolveExprPath resolves a path within the quantifier anchor first,
+// falling back to global (preceding-symbol) resolution.
+func (e *Engine) resolveExprPath(t *Tree, anchor *PNode, p fg.Path) []*PNode {
+	if anchor != nil {
+		if nodes := ResolveWithin(anchor, p); len(nodes) > 0 {
+			return nodes
+		}
+	}
+	return t.Resolve(p)
+}
+
+func (e *Engine) operandValue(t *Tree, anchor *PNode, o fg.Operand) (string, bool) {
+	switch {
+	case o.IsNum:
+		return strconv.FormatFloat(o.Value(), 'g', -1, 64), true
+	case o.IsStr:
+		return o.Str, true
+	default:
+		nodes := e.resolveExprPath(t, anchor, o.Path)
+		if len(nodes) == 0 {
+			return "", false
+		}
+		return NodeValue(nodes[0])
+	}
+}
+
+// compare applies an operator, numerically when both operands parse as
+// numbers and lexicographically otherwise.
+func compare(op fg.CmpOp, l, r string) bool {
+	lf, lerr := strconv.ParseFloat(l, 64)
+	rf, rerr := strconv.ParseFloat(r, 64)
+	if lerr == nil && rerr == nil {
+		switch op {
+		case fg.OpEq:
+			return lf == rf
+		case fg.OpNe:
+			return lf != rf
+		case fg.OpLt:
+			return lf < rf
+		case fg.OpLe:
+			return lf <= rf
+		case fg.OpGt:
+			return lf > rf
+		case fg.OpGe:
+			return lf >= rf
+		}
+	}
+	switch op {
+	case fg.OpEq:
+		return l == r
+	case fg.OpNe:
+		return l != r
+	case fg.OpLt:
+		return l < r
+	case fg.OpLe:
+		return l <= r
+	case fg.OpGt:
+		return l > r
+	case fg.OpGe:
+		return l >= r
+	}
+	return false
+}
+
+// ReparseDetector re-executes the detector at node within the existing
+// tree, replacing the node's subtree: the incremental parse the FDS
+// schedules after a detector upgrade. It reports whether the subtree's
+// content changed. Path resolution sees only nodes preceding the
+// detector, exactly as during the original parse.
+func (e *Engine) ReparseDetector(t *Tree, node *PNode) (bool, error) {
+	if e.err != nil {
+		return false, e.err
+	}
+	if node.Kind != KindDetector {
+		return false, fmt.Errorf("fde: node %s is not a detector instance", node.Symbol)
+	}
+	d, ok := e.G.Detectors[node.Symbol]
+	if !ok {
+		return false, fmt.Errorf("fde: %s is not a detector", node.Symbol)
+	}
+	before := snapshot(node)
+	oldChildren := node.Children
+	oldValue := node.Value
+	node.Children = nil
+	t.RebuildOrder()
+
+	// Scope resolution to the prefix ending at this node.
+	idx := -1
+	for i, n := range t.order {
+		if n == node {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		node.Children = oldChildren
+		t.RebuildOrder()
+		return false, fmt.Errorf("fde: node %s not in tree", node.Symbol)
+	}
+	// Copy the prefix so appends during re-parsing cannot clobber the
+	// suffix of t.order that RebuildOrder will restore afterwards.
+	scoped := &Tree{Grammar: t.Grammar, Root: t.Root, order: append([]*PNode(nil), t.order[:idx+1]...)}
+
+	fail := func(err error) (bool, error) {
+		node.Children = oldChildren
+		node.Value = oldValue
+		t.RebuildOrder()
+		return false, err
+	}
+
+	if d.Kind == fg.Whitebox {
+		e.inited = map[string]bool{}
+		e.Stats.DetectorCalls[d.Name]++
+		val := e.evalExpr(scoped, nil, d.Pred)
+		if e.G.IsAtom(d.Name) {
+			node.Value = strconv.FormatBool(val)
+		} else if !val {
+			return fail(fmt.Errorf("fde: whitebox detector %s no longer holds", d.Name))
+		}
+		t.RebuildOrder()
+		return snapshot(node) != before, nil
+	}
+
+	impl, found := e.Reg.Lookup(d.Name)
+	if !found {
+		return fail(fmt.Errorf("fde: no implementation for %s", d.Name))
+	}
+	e.inited = map[string]bool{}
+	ctx, ok := e.resolveParamsScoped(scoped, d)
+	if !ok {
+		return fail(fmt.Errorf("fde: cannot resolve parameters of %s", d.Name))
+	}
+	e.Stats.DetectorCalls[d.Name]++
+	toks, err := impl.Call(ctx)
+	if err != nil {
+		return fail(fmt.Errorf("fde: detector %s: %w", d.Name, err))
+	}
+	st := NewStack(toks)
+	e.Stats.TokensPushed += len(toks)
+	if e.G.IsAtom(d.Name) && len(e.G.Alternatives(d.Name)) == 0 {
+		tok, rest, popped := st.Pop()
+		if !popped || tok.Symbol != d.Name || !rest.Empty() {
+			return fail(fmt.Errorf("fde: value detector %s produced unexpected tokens", d.Name))
+		}
+		node.Value = tok.Value
+	} else {
+		rest, parsed := e.parseAlternatives(scoped, node, d.Name, st, 0)
+		if !parsed || !rest.Empty() {
+			return fail(fmt.Errorf("fde: output of %s does not match its rules", d.Name))
+		}
+	}
+	t.RebuildOrder()
+	return snapshot(node) != before, nil
+}
+
+func (e *Engine) resolveParamsScoped(t *Tree, d *fg.Detector) (*detector.Context, bool) {
+	return e.resolveParams(t, d)
+}
+
+// snapshot serialises a subtree for change detection.
+func snapshot(n *PNode) string { return nodeXML(n).String() }

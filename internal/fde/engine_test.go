@@ -1,0 +1,496 @@
+package fde
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"dlsearch/internal/detector"
+	"dlsearch/internal/fg"
+)
+
+// testShot is ground truth for the fake segment/tennis detectors.
+type testShot struct {
+	begin, end int
+	kind       string
+	yPos       []float64 // per frame, for tennis shots
+}
+
+var testShots = []testShot{
+	{0, 99, "tennis", []float64{200.0, 150.0}}, // net approach in frame 2
+	{100, 149, "closeup", nil},
+	{150, 299, "tennis", []float64{210.0, 205.0}}, // baseline rally
+	{300, 349, "audience", nil},
+	{350, 399, "other", nil},
+}
+
+// tennisRegistry wires fake header/segment/tennis implementations; the
+// external detectors go through the XML-RPC loopback, exactly as the
+// paper's xml-rpc:: prefix prescribes.
+func tennisRegistry(t *testing.T) (*detector.Registry, *hookCounter) {
+	t.Helper()
+	hooks := &hookCounter{}
+	reg := detector.NewRegistry()
+	reg.Register(&detector.Impl{
+		Name:    "header",
+		Version: detector.Version{Major: 1},
+		Fn: func(ctx *detector.Context) ([]detector.Token, error) {
+			loc := ctx.Param(0)
+			switch {
+			case strings.HasSuffix(loc, ".mpg"):
+				return []detector.Token{{Symbol: "primary", Value: "video"}, {Symbol: "secondary", Value: "mpeg"}}, nil
+			case strings.HasSuffix(loc, ".html"):
+				return []detector.Token{{Symbol: "primary", Value: "text"}, {Symbol: "secondary", Value: "html"}}, nil
+			default:
+				return nil, fmt.Errorf("unknown MIME type for %s", loc)
+			}
+		},
+		Hooks: detector.Hooks{
+			Init:  func() error { hooks.inits++; return nil },
+			Final: func() error { hooks.finals++; return nil },
+		},
+	})
+
+	srv := detector.NewXMLRPCServer()
+	srv.Register("segment", func(ctx *detector.Context) ([]detector.Token, error) {
+		var toks []detector.Token
+		for _, s := range testShots {
+			toks = append(toks,
+				detector.Token{Symbol: "frameNo", Value: fmt.Sprint(s.begin)},
+				detector.Token{Symbol: "frameNo", Value: fmt.Sprint(s.end)},
+				detector.Token{Value: s.kind},
+			)
+		}
+		return toks, nil
+	})
+	srv.Register("tennis", func(ctx *detector.Context) ([]detector.Token, error) {
+		begin := ctx.Param(1)
+		for _, s := range testShots {
+			if fmt.Sprint(s.begin) != begin {
+				continue
+			}
+			var toks []detector.Token
+			for i, y := range s.yPos {
+				toks = append(toks,
+					detector.Token{Symbol: "frameNo", Value: fmt.Sprint(s.begin + i)},
+					detector.Token{Symbol: "xPos", Value: "320.0"},
+					detector.Token{Symbol: "yPos", Value: fmt.Sprint(y)},
+					detector.Token{Symbol: "Area", Value: "450"},
+					detector.Token{Symbol: "Ecc", Value: "1.8"},
+					detector.Token{Symbol: "Orient", Value: "0.4"},
+				)
+			}
+			return toks, nil
+		}
+		return nil, fmt.Errorf("no shot starting at %s", begin)
+	})
+	client := detector.NewLoopback(srv)
+	reg.Register(&detector.Impl{Name: "segment", Version: detector.Version{Major: 1}, Transport: client})
+	reg.Register(&detector.Impl{Name: "tennis", Version: detector.Version{Major: 1}, Transport: client})
+	return reg, hooks
+}
+
+type hookCounter struct{ inits, finals int }
+
+func locationToken(url string) []detector.Token {
+	return []detector.Token{{Symbol: "location", Value: url}}
+}
+
+// TestTennisPipeline is experiment E03: the FDE drives the Figure 6+7
+// grammar over a (synthetic) tennis video, calling the external
+// detectors through XML-RPC, classifying shots and deriving the
+// netplay event with the quantified whitebox detector.
+func TestTennisPipeline(t *testing.T) {
+	g := fg.MustParse(fg.TennisGrammar)
+	reg, hooks := tennisRegistry(t)
+	e := New(g, reg)
+	tree, err := e.Parse(locationToken("http://ausopen.org/video/match.mpg"))
+	if err != nil {
+		t.Fatalf("parse failed: %v", err)
+	}
+	if tree.Root.Symbol != "MMO" {
+		t.Fatalf("root = %s", tree.Root.Symbol)
+	}
+	// MIME typing.
+	prim := tree.NodesBySymbol("primary")
+	if len(prim) != 1 || prim[0].Value != "video" {
+		t.Fatalf("primary = %v", prim)
+	}
+	// Five shots.
+	shots := tree.NodesBySymbol("shot")
+	if len(shots) != len(testShots) {
+		t.Fatalf("shots = %d, want %d", len(shots), len(testShots))
+	}
+	// Two tennis shots with events; netplay true only for the first.
+	nps := tree.NodesBySymbol("netplay")
+	if len(nps) != 2 {
+		t.Fatalf("netplay nodes = %d, want 2", len(nps))
+	}
+	if nps[0].Value != "true" {
+		t.Fatalf("first shot netplay = %q, want true (yPos 150 <= 170)", nps[0].Value)
+	}
+	if nps[1].Value != "false" {
+		t.Fatalf("second tennis shot netplay = %q, want false", nps[1].Value)
+	}
+	// Frames carry the full shape feature set.
+	players := tree.NodesBySymbol("player")
+	if len(players) != 4 {
+		t.Fatalf("players = %d", len(players))
+	}
+	for _, p := range players {
+		if len(p.Children) != 5 {
+			t.Fatalf("player features = %d, want 5", len(p.Children))
+		}
+	}
+	// Hooks ran.
+	if hooks.inits != 1 || hooks.finals != 1 {
+		t.Fatalf("header init/final = %d/%d", hooks.inits, hooks.finals)
+	}
+	// Detector call accounting: tennis ran once per tennis shot.
+	if e.Stats.DetectorCalls["tennis"] != 2 {
+		t.Fatalf("tennis calls = %d", e.Stats.DetectorCalls["tennis"])
+	}
+	if e.Stats.DetectorCalls["segment"] != 1 {
+		t.Fatalf("segment calls = %d", e.Stats.DetectorCalls["segment"])
+	}
+	// Backtracking happened (literal-guarded alternatives).
+	if e.Stats.Backtracks == 0 {
+		t.Fatal("expected backtracks over type alternatives")
+	}
+}
+
+func TestNonVideoSkipsMMType(t *testing.T) {
+	g := fg.MustParse(fg.TennisGrammar)
+	reg, _ := tennisRegistry(t)
+	e := New(g, reg)
+	tree, err := e.Parse(locationToken("http://ausopen.org/page.html"))
+	if err != nil {
+		t.Fatalf("parse failed: %v", err)
+	}
+	// video_type whitebox gate fails for text/html: mm_type absent.
+	if got := tree.NodesBySymbol("mm_type"); len(got) != 0 {
+		t.Fatalf("mm_type = %v for a text page", got)
+	}
+	if got := tree.NodesBySymbol("primary"); len(got) != 1 || got[0].Value != "text" {
+		t.Fatalf("primary = %v", got)
+	}
+}
+
+func TestDetectorErrorFailsParse(t *testing.T) {
+	g := fg.MustParse(fg.TennisGrammar)
+	reg, _ := tennisRegistry(t)
+	e := New(g, reg)
+	// The header fake errors on unknown extensions, and header is
+	// obligatory in MMO: the whole parse fails.
+	if _, err := e.Parse(locationToken("http://ausopen.org/object.weird")); err == nil {
+		t.Fatal("expected parse failure")
+	}
+}
+
+func TestMissingImplementationIsHardError(t *testing.T) {
+	g := fg.MustParse(fg.TennisGrammar)
+	e := New(g, detector.NewRegistry())
+	_, err := e.Parse(locationToken("http://x.mpg"))
+	if err == nil || !strings.Contains(err.Error(), "no implementation") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInitFailureAborts(t *testing.T) {
+	g := fg.MustParse(fg.TennisGrammar)
+	reg, _ := tennisRegistry(t)
+	impl, _ := reg.Lookup("header")
+	impl.Hooks.Init = func() error { return errors.New("lib init failed") }
+	e := New(g, reg)
+	if _, err := e.Parse(locationToken("http://x.mpg")); err == nil || !strings.Contains(err.Error(), "init detector") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnconsumedTokens(t *testing.T) {
+	g := fg.MustParse(fg.TennisGrammar)
+	reg, _ := tennisRegistry(t)
+	e := New(g, reg)
+	extra := append(locationToken("http://x.html"), detector.Token{Symbol: "location", Value: "stray"})
+	if _, err := e.Parse(extra); err == nil || !strings.Contains(err.Error(), "unconsumed") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestXMLDump(t *testing.T) {
+	g := fg.MustParse(fg.TennisGrammar)
+	reg, _ := tennisRegistry(t)
+	e := New(g, reg)
+	tree, err := e.Parse(locationToken("http://ausopen.org/video/match.mpg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tree.XML()
+	if x.Tag != "MMO" {
+		t.Fatalf("XML root = %s", x.Tag)
+	}
+	s := x.String()
+	for _, frag := range []string{
+		"<location>http://ausopen.org/video/match.mpg</location>",
+		"<primary>video</primary>",
+		"<netplay>true</netplay>",
+		"<yPos>150</yPos>",
+		"<type>tennis<tennis>", // literal becomes character data
+	} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("XML dump lacks %q", frag)
+		}
+	}
+}
+
+func TestTypeOracle(t *testing.T) {
+	g := fg.MustParse(fg.TennisGrammar)
+	oracle := TypeOracle(g)
+	if k, ok := oracle("MMO/mm_type/video/segment/shot/tennis/frame/player/yPos"); !ok || k.String() != "flt" {
+		t.Fatalf("yPos oracle = %v,%v", k, ok)
+	}
+	if k, ok := oracle("a/b/frameNo"); !ok || k.String() != "int" {
+		t.Fatalf("frameNo oracle = %v,%v", k, ok)
+	}
+	if k, ok := oracle("a/event/netplay"); !ok || k.String() != "bit" {
+		t.Fatalf("netplay oracle = %v,%v", k, ok)
+	}
+	if _, ok := oracle("a/b/primary"); ok { // str atoms carry no typed relation
+		t.Fatal("str atom must not be typed")
+	}
+	if _, ok := oracle("a/b/shot"); ok {
+		t.Fatal("variable must not be typed")
+	}
+}
+
+func TestInternetGrammarReferences(t *testing.T) {
+	g := fg.MustParse(fg.InternetGrammar)
+	reg := detector.NewRegistry()
+	reg.RegisterFunc("fetch", func(ctx *detector.Context) ([]detector.Token, error) {
+		return []detector.Token{
+			{Symbol: "title", Value: "Champions page"},
+			{Symbol: "word", Value: "champion"},
+			{Symbol: "word", Value: "tennis"},
+			{Symbol: "href", Value: "http://other.org/a"},
+			{Symbol: "html", Value: "http://other.org/a"},
+			{Symbol: "href", Value: "http://plain.org/b"},
+			{Symbol: "location", Value: "http://img.org/seles.jpg"},
+		}, nil
+	})
+	reg.RegisterFunc("portrait", func(ctx *detector.Context) ([]detector.Token, error) {
+		return []detector.Token{{Symbol: "portrait", Value: "true"}}, nil
+	})
+	e := New(g, reg)
+	tree, err := e.Parse(locationToken("http://me.org/index.html"))
+	if err != nil {
+		t.Fatalf("parse failed: %v", err)
+	}
+	// Two anchors: one with an &html reference, one without.
+	anchors := tree.NodesBySymbol("anchor")
+	if len(anchors) != 2 {
+		t.Fatalf("anchors = %d", len(anchors))
+	}
+	refs := tree.NodesBySymbol("html")
+	// root html node + 1 reference node
+	var refNodes []*PNode
+	for _, r := range refs {
+		if r.Kind == KindRef {
+			refNodes = append(refNodes, r)
+		}
+	}
+	if len(refNodes) != 1 || refNodes[0].Value != "http://other.org/a" {
+		t.Fatalf("reference nodes = %v", refNodes)
+	}
+	// Portrait detector is a blackbox value detector (atom-typed).
+	ps := tree.NodesBySymbol("portrait")
+	if len(ps) != 1 || ps[0].Value != "true" {
+		t.Fatalf("portrait = %v", ps)
+	}
+	// XML dump renders references with a ref attribute.
+	if s := tree.XML().String(); !strings.Contains(s, `<html ref="http://other.org/a"/>`) {
+		t.Errorf("XML lacks reference: %s", s)
+	}
+}
+
+func TestReparseDetectorChangesSubtree(t *testing.T) {
+	g := fg.MustParse(fg.TennisGrammar)
+	reg, _ := tennisRegistry(t)
+	e := New(g, reg)
+	tree, err := e.Parse(locationToken("http://ausopen.org/video/match.mpg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	headerNode := tree.NodesBySymbol("header")[0]
+
+	// Same implementation: reparse must report no change.
+	changed, err := e.ReparseDetector(tree, headerNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Fatal("identical implementation reported a change")
+	}
+
+	// Upgraded implementation with different output.
+	reg.Register(&detector.Impl{
+		Name:    "header",
+		Version: detector.Version{Major: 2},
+		Fn: func(ctx *detector.Context) ([]detector.Token, error) {
+			return []detector.Token{{Symbol: "primary", Value: "video"}, {Symbol: "secondary", Value: "quicktime"}}, nil
+		},
+	})
+	changed, err = e.ReparseDetector(tree, headerNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("upgraded implementation reported no change")
+	}
+	if got := tree.NodesBySymbol("secondary")[0].Value; got != "quicktime" {
+		t.Fatalf("secondary after reparse = %q", got)
+	}
+	// The rest of the tree is intact.
+	if got := len(tree.NodesBySymbol("shot")); got != len(testShots) {
+		t.Fatalf("shots after reparse = %d", got)
+	}
+}
+
+func TestReparseWhiteboxValueDetector(t *testing.T) {
+	g := fg.MustParse(fg.TennisGrammar)
+	reg, _ := tennisRegistry(t)
+	e := New(g, reg)
+	tree, err := e.Parse(locationToken("http://ausopen.org/video/match.mpg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	np := tree.NodesBySymbol("netplay")[0]
+	if np.Value != "true" {
+		t.Fatalf("precondition: netplay = %q", np.Value)
+	}
+	// Mutate the underlying yPos feature and re-run the whitebox.
+	yp := tree.NodesBySymbol("yPos")
+	for _, n := range yp[:2] { // frames of the first tennis shot
+		n.Value = "300.0"
+	}
+	changed, err := e.ReparseDetector(tree, np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed || np.Value != "false" {
+		t.Fatalf("netplay after feature change = %q (changed=%v)", np.Value, changed)
+	}
+}
+
+func TestReparseErrors(t *testing.T) {
+	g := fg.MustParse(fg.TennisGrammar)
+	reg, _ := tennisRegistry(t)
+	e := New(g, reg)
+	tree, err := e.Parse(locationToken("http://ausopen.org/video/match.mpg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not a detector.
+	shot := tree.NodesBySymbol("shot")[0]
+	if _, err := e.ReparseDetector(tree, shot); err == nil {
+		t.Fatal("reparsing a variable should fail")
+	}
+	// Node not in tree.
+	orphan := &PNode{Symbol: "header"}
+	if _, err := e.ReparseDetector(tree, orphan); err == nil {
+		t.Fatal("reparsing an orphan should fail")
+	}
+	// Failure restores the old subtree.
+	headerNode := tree.NodesBySymbol("header")[0]
+	reg.Register(&detector.Impl{
+		Name:    "header",
+		Version: detector.Version{Major: 3},
+		Fn: func(ctx *detector.Context) ([]detector.Token, error) {
+			return nil, errors.New("flaky")
+		},
+	})
+	if _, err := e.ReparseDetector(tree, headerNode); err == nil {
+		t.Fatal("failing detector should error")
+	}
+	if got := tree.NodesBySymbol("primary"); len(got) != 1 || got[0].Value != "video" {
+		t.Fatalf("failed reparse did not restore subtree: %v", got)
+	}
+}
+
+func TestLeftRecursionDiagnosed(t *testing.T) {
+	g := fg.MustParse(`
+%start s(a);
+%atom str a;
+s : s a;
+`)
+	e := New(g, detector.NewRegistry())
+	_, err := e.Parse([]detector.Token{{Symbol: "a", Value: "x"}})
+	if err == nil || !strings.Contains(err.Error(), "recursion") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestQuantifierSemantics(t *testing.T) {
+	mk := func(quant string) *Engine {
+		g := fg.MustParse(fmt.Sprintf(`
+%%start s(v);
+%%atom flt v;
+%%atom bit q;
+%%detector q %s[s.v](v >= 10);
+s : v v v q;
+`, quant))
+		return New(g, detector.NewRegistry())
+	}
+	toks := func(vals ...string) []detector.Token {
+		var out []detector.Token
+		for _, v := range vals {
+			out = append(out, detector.Token{Symbol: "v", Value: v})
+		}
+		return out
+	}
+	cases := []struct {
+		quant string
+		vals  []string
+		want  string
+	}{
+		{"some", []string{"1", "2", "30"}, "true"},
+		{"some", []string{"1", "2", "3"}, "false"},
+		{"all", []string{"10", "20", "30"}, "true"},
+		{"all", []string{"10", "2", "30"}, "false"},
+		{"one", []string{"10", "2", "3"}, "true"},
+		{"one", []string{"10", "20", "3"}, "false"},
+	}
+	for _, c := range cases {
+		e := mk(c.quant)
+		tree, err := e.Parse(toks(c.vals...))
+		if err != nil {
+			t.Fatalf("%s %v: %v", c.quant, c.vals, err)
+		}
+		if got := tree.NodesBySymbol("q")[0].Value; got != c.want {
+			t.Errorf("%s over %v = %s, want %s", c.quant, c.vals, got, c.want)
+		}
+	}
+}
+
+func TestGroupRepetition(t *testing.T) {
+	g := fg.MustParse(`
+%start s(a);
+%atom str a, b;
+s : (a b)+;
+`)
+	e := New(g, detector.NewRegistry())
+	tree, err := e.Parse([]detector.Token{
+		{Symbol: "a", Value: "1"}, {Symbol: "b", Value: "2"},
+		{Symbol: "a", Value: "3"}, {Symbol: "b", Value: "4"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tree.Root.Children); got != 4 {
+		t.Fatalf("children = %d", got)
+	}
+	// Unbalanced input fails.
+	if _, err := e.Parse([]detector.Token{{Symbol: "a", Value: "1"}}); err == nil {
+		t.Fatal("half a group should fail")
+	}
+}

@@ -1,0 +1,242 @@
+package fde
+
+import (
+	"fmt"
+	"strings"
+
+	"dlsearch/internal/bat"
+	"dlsearch/internal/fg"
+	"dlsearch/internal/monetxml"
+)
+
+// NodeKind classifies parse-tree nodes by their grammar symbol type.
+type NodeKind int
+
+// Node kinds.
+const (
+	KindVariable NodeKind = iota
+	KindDetector
+	KindAtom
+	KindLiteral
+	KindRef
+)
+
+// PNode is a parse-tree node. Atom and value-detector nodes carry a
+// Value; reference nodes carry the referenced object's token value
+// (typically a URL) in Value.
+type PNode struct {
+	Symbol   string
+	Kind     NodeKind
+	Value    string
+	Parent   *PNode
+	Children []*PNode
+}
+
+// Tree is a parse tree together with its document order, which the
+// engine maintains during parsing so that detector parameter paths can
+// be resolved against "preceding symbols".
+type Tree struct {
+	Grammar *fg.Grammar
+	Root    *PNode
+	order   []*PNode
+}
+
+// newNode creates a node, appends it to the document order and
+// attaches it to parent (if any).
+func (t *Tree) newNode(parent *PNode, sym string, kind NodeKind) *PNode {
+	n := &PNode{Symbol: sym, Kind: kind, Parent: parent}
+	t.order = append(t.order, n)
+	if parent != nil {
+		parent.Children = append(parent.Children, n)
+	}
+	return n
+}
+
+// Order returns the nodes in document order.
+func (t *Tree) Order() []*PNode { return t.order }
+
+// NodesBySymbol returns all nodes with the given symbol in document
+// order.
+func (t *Tree) NodesBySymbol(sym string) []*PNode {
+	var out []*PNode
+	for _, n := range t.order {
+		if n.Symbol == sym {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// RebuildOrder recomputes the document order from the tree structure;
+// the FDS calls this after subtree surgery.
+func (t *Tree) RebuildOrder() {
+	t.order = t.order[:0]
+	var walk func(*PNode)
+	walk = func(n *PNode) {
+		t.order = append(t.order, n)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	if t.Root != nil {
+		walk(t.Root)
+	}
+}
+
+// NodeValue returns the scalar value a path resolution yields for a
+// node: its own value if set, otherwise the value of its first
+// value-carrying descendant.
+func NodeValue(n *PNode) (string, bool) {
+	if n.Value != "" {
+		return n.Value, true
+	}
+	for _, c := range n.Children {
+		if v, ok := NodeValue(c); ok {
+			return v, true
+		}
+	}
+	return "", false
+}
+
+// Resolve evaluates a dotted path against the tree: the anchor is the
+// latest node in document order whose symbol equals the first
+// component (paths can only refer to preceding symbols — the limited
+// context sensitivity of feature grammars); the remaining components
+// select descendants. If the latest anchor yields no match, earlier
+// anchors are tried.
+func (t *Tree) Resolve(path fg.Path) []*PNode {
+	for i := len(t.order) - 1; i >= 0; i-- {
+		if t.order[i].Symbol != path.Head() {
+			continue
+		}
+		nodes := []*PNode{t.order[i]}
+		for _, comp := range path[1:] {
+			nodes = descendantsNamed(nodes, comp)
+			if len(nodes) == 0 {
+				break
+			}
+		}
+		if len(nodes) > 0 {
+			return nodes
+		}
+	}
+	return nil
+}
+
+// ResolveWithin evaluates a path relative to an anchor node: the first
+// component selects descendants of the anchor (or the anchor itself).
+func ResolveWithin(anchor *PNode, path fg.Path) []*PNode {
+	var nodes []*PNode
+	if anchor.Symbol == path.Head() {
+		nodes = []*PNode{anchor}
+	} else {
+		nodes = descendantsNamed([]*PNode{anchor}, path.Head())
+	}
+	for _, comp := range path[1:] {
+		nodes = descendantsNamed(nodes, comp)
+		if len(nodes) == 0 {
+			return nil
+		}
+	}
+	return nodes
+}
+
+// descendantsNamed collects, in document order, all descendants of the
+// given nodes whose symbol equals name.
+func descendantsNamed(nodes []*PNode, name string) []*PNode {
+	var out []*PNode
+	var walk func(*PNode)
+	walk = func(n *PNode) {
+		for _, c := range n.Children {
+			if c.Symbol == name {
+				out = append(out, c)
+			}
+			walk(c)
+		}
+	}
+	for _, n := range nodes {
+		walk(n)
+	}
+	return out
+}
+
+// XML dumps the parse tree as an XML document (the paper: "the parse
+// tree can be dumped as an XML-document"), ready for the physical
+// level. Atom and value-detector nodes become elements with character
+// data; literal nodes become character data in their parent; reference
+// nodes become empty elements with a ref attribute.
+func (t *Tree) XML() *monetxml.Node {
+	if t.Root == nil {
+		return nil
+	}
+	return nodeXML(t.Root)
+}
+
+func nodeXML(n *PNode) *monetxml.Node {
+	switch n.Kind {
+	case KindAtom:
+		return monetxml.Elem(n.Symbol, monetxml.TextNode(n.Value))
+	case KindRef:
+		e := monetxml.Elem(n.Symbol)
+		e.WithAttr("ref", n.Value)
+		return e
+	default:
+		e := monetxml.Elem(n.Symbol)
+		if n.Value != "" && len(n.Children) == 0 {
+			e.Children = append(e.Children, monetxml.TextNode(n.Value))
+		}
+		for _, c := range n.Children {
+			if c.Kind == KindLiteral {
+				e.Children = append(e.Children, monetxml.TextNode(c.Value))
+				continue
+			}
+			e.Children = append(e.Children, nodeXML(c))
+		}
+		return e
+	}
+}
+
+// TypeOracle derives a monetxml type oracle from the grammar's atom
+// ADT declarations, so parse-tree atoms land in typed relations (flt,
+// int, bit) the query engine can range-scan.
+func TypeOracle(g *fg.Grammar) monetxml.TypeOracle {
+	return func(elemPath string) (bat.Kind, bool) {
+		i := strings.LastIndexByte(elemPath, '/')
+		leaf := elemPath[i+1:]
+		a, ok := g.Atoms[leaf]
+		if !ok {
+			return 0, false
+		}
+		switch a.Type {
+		case "flt":
+			return bat.KindFloat, true
+		case "int":
+			return bat.KindInt, true
+		case "bit":
+			return bat.KindBool, true
+		default:
+			return 0, false
+		}
+	}
+}
+
+// String renders the tree compactly for debugging and tests.
+func (t *Tree) String() string {
+	var sb strings.Builder
+	var walk func(n *PNode, depth int)
+	walk = func(n *PNode, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(n.Symbol)
+		if n.Value != "" {
+			fmt.Fprintf(&sb, "=%q", n.Value)
+		}
+		sb.WriteByte('\n')
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	if t.Root != nil {
+		walk(t.Root, 0)
+	}
+	return sb.String()
+}

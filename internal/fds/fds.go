@@ -1,0 +1,383 @@
+// Package fds implements the Feature Detector Scheduler: the
+// demand-driven counterpart of the FDE that keeps the meta-index valid
+// while detector implementations and source data evolve. Based on the
+// dependency graph deduced from the grammar rules it localises the
+// effects of a change and triggers incremental parses, preventing the
+// regeneration of complete parse trees (and the associated detector
+// calls) — the paper's central maintenance claim, experiment E12.
+package fds
+
+import (
+	"fmt"
+	"sort"
+
+	"dlsearch/internal/detector"
+	"dlsearch/internal/fde"
+	"dlsearch/internal/fg"
+)
+
+// Priority of a scheduled revalidation. The paper assigns low priority
+// to minor revisions (stored data may still answer queries) and high
+// priority to major revisions (stored data is unusable).
+type Priority int
+
+// Priorities.
+const (
+	Low Priority = iota
+	High
+)
+
+func (p Priority) String() string {
+	if p == High {
+		return "high"
+	}
+	return "low"
+}
+
+// Task is one scheduled revalidation: an incremental parse of a
+// detector instance, or a full re-parse of a tree (Node == nil).
+type Task struct {
+	TreeID   string
+	Node     *fde.PNode
+	Detector string
+	Priority Priority
+}
+
+// UpgradeReport summarises the scheduling decision for one upgrade.
+type UpgradeReport struct {
+	Detector string
+	Level    detector.ChangeLevel
+	Tasks    int
+	Trees    int
+}
+
+// RunReport summarises one maintenance run.
+type RunReport struct {
+	TasksRun           int
+	Reparses           int
+	FullReparses       int
+	Escalations        int
+	ParamRevalidations int
+	Errors             int
+	Touched            []string // tree ids whose content changed
+}
+
+// entry is a managed parse tree plus the token set needed to rebuild
+// it from scratch.
+type entry struct {
+	tree    *fde.Tree
+	initial []detector.Token
+}
+
+// Scheduler manages the parse trees of the meta-index and their
+// consistency with the registered detector implementations.
+type Scheduler struct {
+	G      *fg.Grammar
+	Deps   *fg.DepGraph
+	Reg    *detector.Registry
+	Engine *fde.Engine
+
+	entries  map[string]*entry
+	ids      []string // insertion order
+	versions map[string]detector.Version
+	queue    []Task
+	seq      int // FIFO tiebreak within a priority
+}
+
+// New returns a scheduler for the grammar and registry; it shares the
+// registry with the engine so upgrades are visible to re-parses.
+func New(g *fg.Grammar, reg *detector.Registry) *Scheduler {
+	return &Scheduler{
+		G:        g,
+		Deps:     g.Dependencies(),
+		Reg:      reg,
+		Engine:   fde.New(g, reg),
+		entries:  map[string]*entry{},
+		versions: map[string]detector.Version{},
+	}
+}
+
+// AddTree registers a parse tree built from the given initial token
+// set and snapshots the versions of all registered detectors, so later
+// upgrades can be classified against what the stored data was built
+// with.
+func (s *Scheduler) AddTree(id string, tree *fde.Tree, initial []detector.Token) {
+	if _, ok := s.entries[id]; !ok {
+		s.ids = append(s.ids, id)
+	}
+	s.entries[id] = &entry{tree: tree, initial: initial}
+	for _, name := range s.Reg.Names() {
+		if _, ok := s.versions[name]; !ok {
+			s.versions[name] = s.Reg.VersionOf(name)
+		}
+	}
+}
+
+// Tree returns the managed tree with the given id.
+func (s *Scheduler) Tree(id string) *fde.Tree {
+	if e, ok := s.entries[id]; ok {
+		return e.tree
+	}
+	return nil
+}
+
+// IDs returns the managed tree ids in insertion order.
+func (s *Scheduler) IDs() []string { return append([]string(nil), s.ids...) }
+
+// Pending returns the number of queued tasks at the given priority.
+func (s *Scheduler) Pending(p Priority) int {
+	n := 0
+	for _, t := range s.queue {
+		if t.Priority == p {
+			n++
+		}
+	}
+	return n
+}
+
+// Usable reports whether the stored data for a tree may still answer
+// queries: true unless a high-priority (major revision) task is
+// pending for it.
+func (s *Scheduler) Usable(id string) bool {
+	for _, t := range s.queue {
+		if t.TreeID == id && t.Priority == High {
+			return false
+		}
+	}
+	return true
+}
+
+// Upgrade installs a new detector implementation and schedules the
+// revalidations its version change requires:
+//
+//   - a correction revision never invalidates stored parse trees — no
+//     action;
+//   - a minor revision invalidates the partial parse trees rooted at
+//     the detector, revalidated with low priority;
+//   - a major revision does the same with high priority.
+func (s *Scheduler) Upgrade(im *detector.Impl) UpgradeReport {
+	old := s.versions[im.Name]
+	level := detector.Compare(old, im.Version)
+	s.Reg.Register(im)
+	s.versions[im.Name] = im.Version
+	rep := UpgradeReport{Detector: im.Name, Level: level}
+	if level == detector.ChangeNone || level == detector.ChangeRevision {
+		return rep
+	}
+	prio := Low
+	if level == detector.ChangeMajor {
+		prio = High
+	}
+	for _, id := range s.ids {
+		e := s.entries[id]
+		// Only detector instances are revalidation roots; a literal can
+		// share the detector's name (type : "tennis" tennis).
+		var nodes []*fde.PNode
+		for _, n := range e.tree.NodesBySymbol(im.Name) {
+			if n.Kind == fde.KindDetector {
+				nodes = append(nodes, n)
+			}
+		}
+		if len(nodes) == 0 {
+			continue
+		}
+		rep.Trees++
+		for _, n := range nodes {
+			s.enqueue(Task{TreeID: id, Node: n, Detector: im.Name, Priority: prio})
+			rep.Tasks++
+		}
+	}
+	return rep
+}
+
+// ScheduleFull schedules a complete re-parse of a tree, used when the
+// start symbol's special source-check detector finds the source data
+// changed.
+func (s *Scheduler) ScheduleFull(id string, prio Priority) {
+	s.enqueue(Task{TreeID: id, Priority: prio})
+}
+
+// CheckSources runs the source-change check (the special detector
+// associated with the start symbol) over all trees and schedules full
+// high-priority re-parses for changed sources. The check receives the
+// tree id and its initial token set.
+func (s *Scheduler) CheckSources(changed func(id string, initial []detector.Token) bool) int {
+	n := 0
+	for _, id := range s.ids {
+		e := s.entries[id]
+		if changed(id, e.initial) {
+			s.ScheduleFull(id, High)
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Scheduler) enqueue(t Task) {
+	for _, q := range s.queue {
+		if q.TreeID == t.TreeID && q.Node == t.Node && q.Detector == t.Detector {
+			return // already scheduled
+		}
+	}
+	s.queue = append(s.queue, t)
+}
+
+// maxVisitsPerNode bounds re-scheduling cascades per node per run.
+const maxVisitsPerNode = 3
+
+// Run drains the queue in priority order (high first, FIFO within a
+// priority), performing the paper's three-step invalidation procedure:
+//
+//  1. incrementally re-parse the invalidated partial parse tree;
+//  2. if still valid but its values changed, revalidate the detectors
+//     whose parameter dependencies reference the changed symbols;
+//  3. if invalid, follow the rule and sibling dependencies upward to
+//     the first detector or start symbol and repeat there.
+func (s *Scheduler) Run() RunReport {
+	var rep RunReport
+	touched := map[string]bool{}
+	visits := map[*fde.PNode]int{}
+	for len(s.queue) > 0 {
+		sort.SliceStable(s.queue, func(i, j int) bool { return s.queue[i].Priority > s.queue[j].Priority })
+		task := s.queue[0]
+		s.queue = s.queue[1:]
+		rep.TasksRun++
+		e := s.entries[task.TreeID]
+		if e == nil {
+			rep.Errors++
+			continue
+		}
+		if task.Node == nil {
+			if err := s.fullReparse(task.TreeID, e); err != nil {
+				rep.Errors++
+			} else {
+				rep.FullReparses++
+				touched[task.TreeID] = true
+			}
+			continue
+		}
+		if visits[task.Node] >= maxVisitsPerNode {
+			continue
+		}
+		visits[task.Node]++
+
+		before := symbolValues(task.Node)
+		changed, err := s.Engine.ReparseDetector(e.tree, task.Node)
+		rep.Reparses++
+		if err != nil {
+			// Step 3: the subtree is invalid; escalate upward.
+			rep.Escalations += s.escalate(task, e)
+			continue
+		}
+		if !changed {
+			continue
+		}
+		touched[task.TreeID] = true
+		// Step 2: parameter dependencies of changed symbols.
+		after := symbolValues(task.Node)
+		for _, sym := range diffSymbols(before, after) {
+			for _, det := range s.Deps.ParamDependents(sym) {
+				for _, n := range e.tree.NodesBySymbol(det) {
+					if n.Kind != fde.KindDetector {
+						continue
+					}
+					s.enqueue(Task{TreeID: task.TreeID, Node: n, Detector: det, Priority: task.Priority})
+					rep.ParamRevalidations++
+				}
+			}
+		}
+	}
+	rep.Touched = sortedKeys(touched)
+	return rep
+}
+
+// escalate implements step 3: walk upward to the enclosing detector
+// instances (or schedule a full re-parse at the start symbol).
+func (s *Scheduler) escalate(task Task, e *entry) int {
+	n := 0
+	stops := s.Deps.UpwardStops(task.Detector)
+	for _, stop := range stops {
+		if stop == s.G.Start {
+			s.ScheduleFull(task.TreeID, task.Priority)
+			n++
+			continue
+		}
+		// Find the nearest enclosing instance of the stop detector.
+		for anc := task.Node.Parent; anc != nil; anc = anc.Parent {
+			if anc.Symbol == stop {
+				s.enqueue(Task{TreeID: task.TreeID, Node: anc, Detector: stop, Priority: task.Priority})
+				n++
+				break
+			}
+		}
+	}
+	if len(stops) == 0 {
+		// No enclosing scope: regenerate the tree.
+		s.ScheduleFull(task.TreeID, task.Priority)
+		n++
+	}
+	return n
+}
+
+func (s *Scheduler) fullReparse(id string, e *entry) error {
+	tree, err := s.Engine.Parse(e.initial)
+	if err != nil {
+		return fmt.Errorf("fds: full reparse of %s: %w", id, err)
+	}
+	e.tree = tree
+	return nil
+}
+
+// symbolValues snapshots the values in a subtree grouped by symbol.
+func symbolValues(n *fde.PNode) map[string][]string {
+	out := map[string][]string{}
+	var walk func(*fde.PNode)
+	walk = func(m *fde.PNode) {
+		if m.Value != "" {
+			out[m.Symbol] = append(out[m.Symbol], m.Value)
+		}
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// diffSymbols returns the symbols whose value lists differ.
+func diffSymbols(a, b map[string][]string) []string {
+	changed := map[string]bool{}
+	for sym, av := range a {
+		bv := b[sym]
+		if !equalStrings(av, bv) {
+			changed[sym] = true
+		}
+	}
+	for sym := range b {
+		if _, ok := a[sym]; !ok {
+			changed[sym] = true
+		}
+	}
+	return sortedKeys(changed)
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

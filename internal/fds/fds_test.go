@@ -1,0 +1,331 @@
+package fds
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"dlsearch/internal/detector"
+	"dlsearch/internal/fde"
+	"dlsearch/internal/fg"
+)
+
+// fixture builds a registry over the tennis grammar whose detector
+// outputs can be swapped to simulate algorithm evolution.
+type fixture struct {
+	g   *fg.Grammar
+	reg *detector.Registry
+	s   *Scheduler
+
+	headerSecondary string
+	yPos            string
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	f := &fixture{g: fg.MustParse(fg.TennisGrammar), headerSecondary: "mpeg", yPos: "200.0"}
+	f.reg = detector.NewRegistry()
+	f.reg.Register(&detector.Impl{Name: "header", Version: detector.Version{Major: 1}, Fn: f.headerV1})
+	f.reg.Register(&detector.Impl{Name: "segment", Version: detector.Version{Major: 1}, Fn: f.segmentFn})
+	f.reg.Register(&detector.Impl{Name: "tennis", Version: detector.Version{Major: 1}, Fn: f.tennisFn})
+	f.s = New(f.g, f.reg)
+	return f
+}
+
+func (f *fixture) headerV1(ctx *detector.Context) ([]detector.Token, error) {
+	if strings.HasSuffix(ctx.Param(0), ".mpg") {
+		return []detector.Token{{Symbol: "primary", Value: "video"}, {Symbol: "secondary", Value: f.headerSecondary}}, nil
+	}
+	return []detector.Token{{Symbol: "primary", Value: "text"}, {Symbol: "secondary", Value: "html"}}, nil
+}
+
+func (f *fixture) segmentFn(ctx *detector.Context) ([]detector.Token, error) {
+	return []detector.Token{
+		{Symbol: "frameNo", Value: "0"}, {Symbol: "frameNo", Value: "99"}, {Value: "tennis"},
+		{Symbol: "frameNo", Value: "100"}, {Symbol: "frameNo", Value: "199"}, {Value: "other"},
+	}, nil
+}
+
+func (f *fixture) tennisFn(ctx *detector.Context) ([]detector.Token, error) {
+	return []detector.Token{
+		{Symbol: "frameNo", Value: ctx.Param(1)},
+		{Symbol: "xPos", Value: "320.0"},
+		{Symbol: "yPos", Value: f.yPos},
+		{Symbol: "Area", Value: "450"},
+		{Symbol: "Ecc", Value: "1.8"},
+		{Symbol: "Orient", Value: "0.4"},
+	}, nil
+}
+
+func (f *fixture) load(t *testing.T, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		initial := []detector.Token{{Symbol: "location", Value: fmt.Sprintf("http://v/%d.mpg", i)}}
+		tree, err := f.s.Engine.Parse(initial)
+		if err != nil {
+			t.Fatalf("populate %d: %v", i, err)
+		}
+		f.s.AddTree(fmt.Sprintf("v%d", i), tree, initial)
+	}
+}
+
+func (f *fixture) calls(name string) int { return f.s.Engine.Stats.DetectorCalls[name] }
+
+func TestRevisionUpgradeNoAction(t *testing.T) {
+	f := newFixture(t)
+	f.load(t, 5)
+	before := f.calls("header")
+	rep := f.s.Upgrade(&detector.Impl{Name: "header", Version: detector.Version{Major: 1, Minor: 0, Revision: 1}, Fn: f.headerV1})
+	if rep.Level != detector.ChangeRevision || rep.Tasks != 0 {
+		t.Fatalf("revision upgrade scheduled work: %+v", rep)
+	}
+	run := f.s.Run()
+	if run.TasksRun != 0 || f.calls("header") != before {
+		t.Fatalf("revision upgrade caused detector calls: %+v", run)
+	}
+}
+
+func TestMinorUpgradePriorityAndUsability(t *testing.T) {
+	f := newFixture(t)
+	f.load(t, 3)
+	rep := f.s.Upgrade(&detector.Impl{Name: "header", Version: detector.Version{Major: 1, Minor: 1, Revision: 0}, Fn: f.headerV1})
+	if rep.Level != detector.ChangeMinor || rep.Tasks != 3 || rep.Trees != 3 {
+		t.Fatalf("minor upgrade report: %+v", rep)
+	}
+	if f.s.Pending(Low) != 3 || f.s.Pending(High) != 0 {
+		t.Fatalf("pending = %d low, %d high", f.s.Pending(Low), f.s.Pending(High))
+	}
+	// Minor revision: data may still answer queries.
+	if !f.s.Usable("v0") {
+		t.Fatal("minor upgrade should leave data usable")
+	}
+	f.s.Run()
+	if f.s.Pending(Low) != 0 {
+		t.Fatal("queue not drained")
+	}
+}
+
+func TestMajorUpgradeMakesDataUnusable(t *testing.T) {
+	f := newFixture(t)
+	f.load(t, 2)
+	rep := f.s.Upgrade(&detector.Impl{Name: "tennis", Version: detector.Version{Major: 2, Minor: 0, Revision: 0}, Fn: f.tennisFn})
+	if rep.Level != detector.ChangeMajor {
+		t.Fatalf("level = %v", rep.Level)
+	}
+	if f.s.Usable("v0") {
+		t.Fatal("major upgrade must make data unusable until revalidated")
+	}
+	f.s.Run()
+	if !f.s.Usable("v0") {
+		t.Fatal("data should be usable after revalidation")
+	}
+}
+
+// TestFDSHeaderUpgradeWalkthrough reproduces the paper's three-step
+// walkthrough: a changed header implementation invalidates the header
+// subtrees; the changed primary MIME type invalidates video_type via
+// its parameter dependency; the failed video_type escalates upward to
+// the start symbol, and the full re-parse drops mm_type.
+func TestFDSHeaderUpgradeWalkthrough(t *testing.T) {
+	f := newFixture(t)
+	f.load(t, 1)
+	tree := f.s.Tree("v0")
+	if len(tree.NodesBySymbol("mm_type")) != 1 {
+		t.Fatal("precondition: video was typed as video")
+	}
+
+	// The upgraded header classifies everything as text/plain.
+	f.s.Upgrade(&detector.Impl{
+		Name: "header", Version: detector.Version{Major: 1, Minor: 1, Revision: 0},
+		Fn: func(ctx *detector.Context) ([]detector.Token, error) {
+			return []detector.Token{{Symbol: "primary", Value: "text"}, {Symbol: "secondary", Value: "plain"}}, nil
+		},
+	})
+	rep := f.s.Run()
+	if rep.ParamRevalidations == 0 {
+		t.Fatalf("expected video_type parameter revalidation: %+v", rep)
+	}
+	if rep.Escalations == 0 {
+		t.Fatalf("expected upward escalation from failed video_type: %+v", rep)
+	}
+	if rep.FullReparses == 0 {
+		t.Fatalf("expected a full re-parse at the start symbol: %+v", rep)
+	}
+	after := f.s.Tree("v0")
+	if len(after.NodesBySymbol("mm_type")) != 0 {
+		t.Fatal("mm_type survived although the object is no longer a video")
+	}
+	if got := after.NodesBySymbol("primary")[0].Value; got != "text" {
+		t.Fatalf("primary = %q", got)
+	}
+}
+
+// TestIncrementalAvoidsDetectorCalls is the core of experiment E12:
+// upgrading header re-runs only header (plus cheap whitebox checks),
+// never the expensive segment/tennis detectors, whereas a full rebuild
+// re-runs everything.
+func TestIncrementalAvoidsDetectorCalls(t *testing.T) {
+	f := newFixture(t)
+	const n = 10
+	f.load(t, n)
+	segBefore, tenBefore, hdrBefore := f.calls("segment"), f.calls("tennis"), f.calls("header")
+
+	// Minor upgrade with identical output: only header re-runs.
+	f.s.Upgrade(&detector.Impl{Name: "header", Version: detector.Version{Major: 1, Minor: 1, Revision: 0}, Fn: f.headerV1})
+	rep := f.s.Run()
+	if rep.Reparses != n {
+		t.Fatalf("reparses = %d, want %d", rep.Reparses, n)
+	}
+	if got := f.calls("header") - hdrBefore; got != n {
+		t.Fatalf("header calls = %d, want %d", got, n)
+	}
+	if got := f.calls("segment") - segBefore; got != 0 {
+		t.Fatalf("segment re-called %d times; incremental maintenance must avoid this", got)
+	}
+	if got := f.calls("tennis") - tenBefore; got != 0 {
+		t.Fatalf("tennis re-called %d times; incremental maintenance must avoid this", got)
+	}
+	if len(rep.Touched) != 0 {
+		t.Fatalf("identical output should touch nothing: %v", rep.Touched)
+	}
+}
+
+// TestParamPropagationToNetplay: a tennis tracking upgrade changes
+// yPos values; the netplay whitebox depends on yPos via its parameter
+// paths and must be revalidated — and only it.
+func TestParamPropagationToNetplay(t *testing.T) {
+	f := newFixture(t)
+	f.load(t, 1)
+	tree := f.s.Tree("v0")
+	if got := tree.NodesBySymbol("netplay")[0].Value; got != "false" {
+		t.Fatalf("precondition: netplay = %q (yPos 200)", got)
+	}
+	segBefore := f.calls("segment")
+
+	// Improved tracker: the player is now found at the net.
+	f.yPos = "120.0"
+	f.s.Upgrade(&detector.Impl{Name: "tennis", Version: detector.Version{Major: 1, Minor: 1, Revision: 0}, Fn: f.tennisFn})
+	rep := f.s.Run()
+	if rep.ParamRevalidations == 0 {
+		t.Fatalf("netplay revalidation not scheduled: %+v", rep)
+	}
+	if got := f.s.Tree("v0").NodesBySymbol("netplay")[0].Value; got != "true" {
+		t.Fatalf("netplay after tracker upgrade = %q, want true", got)
+	}
+	if got := f.calls("segment") - segBefore; got != 0 {
+		t.Fatalf("segment re-called %d times", got)
+	}
+	if len(rep.Touched) != 1 || rep.Touched[0] != "v0" {
+		t.Fatalf("touched = %v", rep.Touched)
+	}
+}
+
+func TestCheckSources(t *testing.T) {
+	f := newFixture(t)
+	f.load(t, 3)
+	n := f.s.CheckSources(func(id string, initial []detector.Token) bool {
+		return id == "v1"
+	})
+	if n != 1 || f.s.Pending(High) != 1 {
+		t.Fatalf("scheduled %d, pending high %d", n, f.s.Pending(High))
+	}
+	rep := f.s.Run()
+	if rep.FullReparses != 1 {
+		t.Fatalf("full reparses = %d", rep.FullReparses)
+	}
+}
+
+func TestFailingDetectorReportsErrors(t *testing.T) {
+	f := newFixture(t)
+	f.load(t, 1)
+	f.s.Upgrade(&detector.Impl{
+		Name: "header", Version: detector.Version{Major: 2, Minor: 0, Revision: 0},
+		Fn: func(ctx *detector.Context) ([]detector.Token, error) {
+			return nil, errors.New("always fails")
+		},
+	})
+	rep := f.s.Run()
+	// header reparse fails -> escalates to start -> full reparse fails too.
+	if rep.Escalations == 0 || rep.Errors == 0 {
+		t.Fatalf("expected escalation and errors: %+v", rep)
+	}
+}
+
+func TestUpgradeUnknownDetectorIsMajorButHarmless(t *testing.T) {
+	f := newFixture(t)
+	f.load(t, 1)
+	rep := f.s.Upgrade(&detector.Impl{Name: "brandnew", Version: detector.Version{Major: 1, Minor: 0, Revision: 0}})
+	if rep.Tasks != 0 {
+		t.Fatalf("new detector scheduled tasks on trees without instances: %+v", rep)
+	}
+}
+
+func TestDuplicateEnqueueCollapses(t *testing.T) {
+	f := newFixture(t)
+	f.load(t, 1)
+	// Two upgrades before a run: the second set of tasks must not
+	// duplicate the first.
+	f.s.Upgrade(&detector.Impl{Name: "header", Version: detector.Version{Major: 1, Minor: 1, Revision: 0}, Fn: f.headerV1})
+	f.s.Upgrade(&detector.Impl{Name: "header", Version: detector.Version{Major: 1, Minor: 2, Revision: 0}, Fn: f.headerV1})
+	if got := f.s.Pending(Low); got != 1 {
+		t.Fatalf("pending = %d, want 1 (deduplicated)", got)
+	}
+}
+
+func TestTreeAccessors(t *testing.T) {
+	f := newFixture(t)
+	f.load(t, 2)
+	if f.s.Tree("nope") != nil {
+		t.Fatal("unknown tree should be nil")
+	}
+	ids := f.s.IDs()
+	if len(ids) != 2 || ids[0] != "v0" || ids[1] != "v1" {
+		t.Fatalf("IDs = %v", ids)
+	}
+}
+
+// BenchmarkIncrementalVsFull quantifies experiment E12.
+func BenchmarkIncrementalVsFull(b *testing.B) {
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			f := benchFixture(b)
+			b.StartTimer()
+			f.s.Upgrade(&detector.Impl{Name: "header", Version: detector.Version{Major: 1, Minor: i + 1, Revision: 0}, Fn: f.headerV1})
+			f.s.Run()
+		}
+	})
+	b.Run("full-rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			f := benchFixture(b)
+			b.StartTimer()
+			for _, id := range f.s.IDs() {
+				f.s.ScheduleFull(id, High)
+			}
+			f.s.Run()
+		}
+	})
+}
+
+func benchFixture(b *testing.B) *fixture {
+	b.Helper()
+	f := &fixture{g: fg.MustParse(fg.TennisGrammar), headerSecondary: "mpeg", yPos: "200.0"}
+	f.reg = detector.NewRegistry()
+	f.reg.Register(&detector.Impl{Name: "header", Version: detector.Version{Major: 1}, Fn: f.headerV1})
+	f.reg.Register(&detector.Impl{Name: "segment", Version: detector.Version{Major: 1}, Fn: f.segmentFn})
+	f.reg.Register(&detector.Impl{Name: "tennis", Version: detector.Version{Major: 1}, Fn: f.tennisFn})
+	f.s = New(f.g, f.reg)
+	for i := 0; i < 20; i++ {
+		initial := []detector.Token{{Symbol: "location", Value: fmt.Sprintf("http://v/%d.mpg", i)}}
+		tree, err := f.s.Engine.Parse(initial)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.s.AddTree(fmt.Sprintf("v%d", i), tree, initial)
+	}
+	return f
+}
+
+var _ = fde.KindAtom // keep the import for documentation cross-reference

@@ -1,0 +1,350 @@
+package fg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Builtin ADTs of the feature grammar language; additional ADTs (the
+// paper's `%atom url;`) are declared by the grammar itself.
+var builtinADTs = map[string]bool{
+	"str": true, "int": true, "flt": true, "bit": true,
+}
+
+// Unbounded marks an element with no upper repetition bound ('*', '+').
+const Unbounded = -1
+
+// ElementKind classifies the primaries of a regular right part.
+type ElementKind int
+
+const (
+	// ElemSymbol is a plain symbol occurrence (variable, detector or atom).
+	ElemSymbol ElementKind = iota
+	// ElemLiteral is a quoted token literal; during parsing it both
+	// matches a token value and directs alternative selection.
+	ElemLiteral
+	// ElemRef is a reference '&sym' that turns the tree into a graph
+	// (Figure 14: the web's link structure).
+	ElemRef
+	// ElemGroup is a parenthesised group with its own repetition bounds.
+	ElemGroup
+)
+
+// Element is one item of a production rule's right-hand side, with the
+// repetition bounds of the regular right part extension [LaL77]:
+// {1,1} plain, {0,1} '?', {0,∞} '*', {1,∞} '+'.
+type Element struct {
+	Kind     ElementKind
+	Name     string // symbol name or literal text
+	Children []Element
+	Min      int
+	Max      int // Unbounded for '*' and '+'
+}
+
+// Optional reports whether the element's lower bound is zero.
+func (e Element) Optional() bool { return e.Min == 0 }
+
+func (e Element) String() string {
+	var s string
+	switch e.Kind {
+	case ElemSymbol:
+		s = e.Name
+	case ElemLiteral:
+		s = fmt.Sprintf("%q", e.Name)
+	case ElemRef:
+		s = "&" + e.Name
+	case ElemGroup:
+		parts := make([]string, len(e.Children))
+		for i, c := range e.Children {
+			parts[i] = c.String()
+		}
+		s = "(" + strings.Join(parts, " ") + ")"
+	}
+	switch {
+	case e.Min == 0 && e.Max == 1:
+		s += "?"
+	case e.Min == 0 && e.Max == Unbounded:
+		s += "*"
+	case e.Min == 1 && e.Max == Unbounded:
+		s += "+"
+	}
+	return s
+}
+
+// Rule is one production alternative: LHS -> RHS.
+type Rule struct {
+	LHS  string
+	RHS  []Element
+	Line int
+}
+
+func (r *Rule) String() string {
+	parts := make([]string, len(r.RHS))
+	for i, e := range r.RHS {
+		parts[i] = e.String()
+	}
+	return r.LHS + " : " + strings.Join(parts, " ") + " ;"
+}
+
+// Path is a dotted parse-tree path such as "begin.frameNo", used as
+// detector parameter and inside whitebox expressions. Paths can only
+// refer to preceding symbols, which gives the grammar its limited
+// context sensitivity.
+type Path []string
+
+func (p Path) String() string { return strings.Join(p, ".") }
+
+// Head returns the first path component.
+func (p Path) Head() string { return p[0] }
+
+// DetectorKind distinguishes the two detector flavours of the paper.
+type DetectorKind int
+
+const (
+	// Blackbox detectors are implemented outside the grammar (in Go, or
+	// behind a remote protocol); only input paths and output rules are
+	// known.
+	Blackbox DetectorKind = iota
+	// Whitebox detectors are boolean predicates over the parse tree,
+	// fully specified inside the grammar.
+	Whitebox
+)
+
+// Detector is a declared detector symbol.
+type Detector struct {
+	Name     string
+	Kind     DetectorKind
+	Protocol string // "" for linked-in; "xml-rpc", "corba", "system" for external
+	Params   []Path // blackbox input paths
+	Pred     Expr   // whitebox predicate
+
+	// Special companion detectors (paper: init/final handle library
+	// setup, begin/end run per symbol occurrence).
+	HasInit, HasFinal, HasBegin, HasEnd bool
+
+	Line int
+}
+
+// Atom is a terminal symbol declaration with its ADT.
+type Atom struct {
+	Name string
+	Type string // "str", "int", "flt", "bit", or a declared ADT such as "url"
+	Line int
+}
+
+// Grammar is a parsed and validated feature grammar
+// G = (V, D, T, S, P).
+type Grammar struct {
+	Name      string // from %module, if present
+	Start     string
+	StartArgs []Path // minimum token set needed to start parsing
+
+	ADTs      map[string]bool
+	Atoms     map[string]*Atom
+	Detectors map[string]*Detector
+
+	Rules   []*Rule
+	BySym   map[string][]*Rule
+	symbols map[string]bool // every name mentioned anywhere
+}
+
+// IsAtom reports whether name is a declared terminal.
+func (g *Grammar) IsAtom(name string) bool { _, ok := g.Atoms[name]; return ok }
+
+// IsDetector reports whether name is a declared detector.
+func (g *Grammar) IsDetector(name string) bool { _, ok := g.Detectors[name]; return ok }
+
+// IsVariable reports whether name is a non-detector symbol with rules.
+func (g *Grammar) IsVariable(name string) bool {
+	if g.IsDetector(name) || g.IsAtom(name) {
+		return false
+	}
+	return len(g.BySym[name]) > 0
+}
+
+// Alternatives returns the production alternatives for a symbol.
+func (g *Grammar) Alternatives(sym string) []*Rule { return g.BySym[sym] }
+
+// Symbols returns all symbol names in deterministic order: start
+// symbol first, then rule LHSs in declaration order, then remaining
+// atoms/detectors in declaration order.
+func (g *Grammar) Symbols() []string {
+	var out []string
+	seen := make(map[string]bool)
+	add := func(n string) {
+		if n != "" && !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	add(g.Start)
+	for _, r := range g.Rules {
+		add(r.LHS)
+		walkElements(r.RHS, func(e Element) {
+			if e.Kind == ElemSymbol || e.Kind == ElemRef {
+				add(e.Name)
+			}
+		})
+	}
+	for _, a := range g.Atoms {
+		add(a.Name)
+	}
+	for _, d := range g.Detectors {
+		add(d.Name)
+	}
+	return out
+}
+
+// walkElements applies f to every element, recursing into groups.
+func walkElements(els []Element, f func(Element)) {
+	for _, e := range els {
+		f(e)
+		if e.Kind == ElemGroup {
+			walkElements(e.Children, f)
+		}
+	}
+}
+
+// --- Whitebox expression AST ---
+
+// Expr is a whitebox predicate expression.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// CmpOp is a comparison operator.
+type CmpOp string
+
+// Comparison operators of the expression language.
+const (
+	OpEq CmpOp = "=="
+	OpNe CmpOp = "!="
+	OpLt CmpOp = "<"
+	OpLe CmpOp = "<="
+	OpGt CmpOp = ">"
+	OpGe CmpOp = ">="
+)
+
+// Operand is a comparison operand: a path, a number or a string.
+type Operand struct {
+	Path   Path // non-nil when the operand is a tree path
+	Num    float64
+	Str    string
+	IsNum  bool
+	IsStr  bool
+	Negate bool // unary minus on a number
+}
+
+func (o Operand) String() string {
+	switch {
+	case o.IsNum:
+		if o.Negate {
+			return fmt.Sprintf("-%g", o.Num)
+		}
+		return fmt.Sprintf("%g", o.Num)
+	case o.IsStr:
+		return fmt.Sprintf("%q", o.Str)
+	default:
+		return o.Path.String()
+	}
+}
+
+// Value returns the numeric value including sign.
+func (o Operand) Value() float64 {
+	if o.Negate {
+		return -o.Num
+	}
+	return o.Num
+}
+
+// Cmp is a binary comparison.
+type Cmp struct {
+	Op          CmpOp
+	Left, Right Operand
+}
+
+func (*Cmp) exprNode()        {}
+func (c *Cmp) String() string { return c.Left.String() + " " + string(c.Op) + " " + c.Right.String() }
+
+// PathTruth is a bare path used as a boolean (a bit atom).
+type PathTruth struct{ Path Path }
+
+func (*PathTruth) exprNode()        {}
+func (p *PathTruth) String() string { return p.Path.String() }
+
+// And is logical conjunction.
+type And struct{ L, R Expr }
+
+func (*And) exprNode()        {}
+func (a *And) String() string { return "(" + a.L.String() + " && " + a.R.String() + ")" }
+
+// Or is logical disjunction.
+type Or struct{ L, R Expr }
+
+func (*Or) exprNode()        {}
+func (o *Or) String() string { return "(" + o.L.String() + " || " + o.R.String() + ")" }
+
+// Not is logical negation.
+type Not struct{ E Expr }
+
+func (*Not) exprNode()        {}
+func (n *Not) String() string { return "!" + n.E.String() }
+
+// QuantKind enumerates the paper's quantifiers.
+type QuantKind string
+
+// Quantifiers supported by the language: some (∃), all (∀) and one
+// (exactly one).
+const (
+	QuantSome QuantKind = "some"
+	QuantAll  QuantKind = "all"
+	QuantOne  QuantKind = "one"
+)
+
+// Quant is a quantified sub-expression over the nodes matching Over,
+// e.g. some[tennis.frame](player.yPos <= 170.0).
+type Quant struct {
+	Kind QuantKind
+	Over Path
+	Body Expr
+}
+
+func (*Quant) exprNode() {}
+func (q *Quant) String() string {
+	return string(q.Kind) + "[" + q.Over.String() + "](" + q.Body.String() + ")"
+}
+
+// ExprPaths collects every path mentioned in an expression; the
+// dependency graph derives parameter dependencies of whitebox
+// detectors from these.
+func ExprPaths(e Expr) []Path {
+	var out []Path
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch t := e.(type) {
+		case *Cmp:
+			if t.Left.Path != nil {
+				out = append(out, t.Left.Path)
+			}
+			if t.Right.Path != nil {
+				out = append(out, t.Right.Path)
+			}
+		case *PathTruth:
+			out = append(out, t.Path)
+		case *And:
+			walk(t.L)
+			walk(t.R)
+		case *Or:
+			walk(t.L)
+			walk(t.R)
+		case *Not:
+			walk(t.E)
+		case *Quant:
+			out = append(out, t.Over)
+			walk(t.Body)
+		}
+	}
+	walk(e)
+	return out
+}

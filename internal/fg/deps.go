@@ -1,0 +1,236 @@
+package fg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DepGraph is the dependency graph the Feature Detector Scheduler
+// derives from the grammar rules (Figure 8). Node types correspond to
+// the symbol types (atom, variable, detector); there are three edge
+// types:
+//
+//   - sibling dependencies between symbols that appear together in one
+//     right-hand side (they influence each other's validity),
+//   - rule dependencies from a rule's left-hand symbol to the last
+//     obligatory symbol of each alternative,
+//   - parameter dependencies from a detector to the symbols its input
+//     paths (or whitebox predicate paths) reference.
+type DepGraph struct {
+	g *Grammar
+
+	siblings   map[string]map[string]bool
+	ruleDeps   map[string]map[string]bool // lhs -> last obligatory symbol(s)
+	paramDeps  map[string]map[string]bool // detector -> referenced symbols
+	produces   map[string]map[string]bool // lhs -> all RHS symbols
+	producedBy map[string]map[string]bool // symbol -> lhs's mentioning it
+}
+
+// Dependencies derives the dependency graph from the grammar.
+func (g *Grammar) Dependencies() *DepGraph {
+	d := &DepGraph{
+		g:          g,
+		siblings:   map[string]map[string]bool{},
+		ruleDeps:   map[string]map[string]bool{},
+		paramDeps:  map[string]map[string]bool{},
+		produces:   map[string]map[string]bool{},
+		producedBy: map[string]map[string]bool{},
+	}
+	add := func(m map[string]map[string]bool, a, b string) {
+		if m[a] == nil {
+			m[a] = map[string]bool{}
+		}
+		m[a][b] = true
+	}
+	for _, r := range g.Rules {
+		var syms []string
+		walkElements(r.RHS, func(e Element) {
+			if e.Kind == ElemSymbol || e.Kind == ElemRef {
+				syms = append(syms, e.Name)
+				add(d.produces, r.LHS, e.Name)
+				add(d.producedBy, e.Name, r.LHS)
+			}
+		})
+		// Sibling dependencies: all pairs within one alternative.
+		for i := 0; i < len(syms); i++ {
+			for j := i + 1; j < len(syms); j++ {
+				if syms[i] == syms[j] {
+					continue
+				}
+				add(d.siblings, syms[i], syms[j])
+				add(d.siblings, syms[j], syms[i])
+			}
+		}
+		if last, ok := lastObligatory(r.RHS); ok {
+			add(d.ruleDeps, r.LHS, last)
+		}
+	}
+	for _, det := range g.Detectors {
+		var paths []Path
+		paths = append(paths, det.Params...)
+		if det.Pred != nil {
+			paths = append(paths, ExprPaths(det.Pred)...)
+		}
+		for _, path := range paths {
+			for _, comp := range path {
+				if comp == det.Name {
+					continue
+				}
+				add(d.paramDeps, det.Name, comp)
+			}
+		}
+	}
+	return d
+}
+
+// lastObligatory returns the last symbol with lower bound > 0 in a
+// right-hand side, descending into groups.
+func lastObligatory(els []Element) (string, bool) {
+	for i := len(els) - 1; i >= 0; i-- {
+		e := els[i]
+		if e.Min == 0 {
+			continue
+		}
+		switch e.Kind {
+		case ElemSymbol, ElemRef:
+			return e.Name, true
+		case ElemGroup:
+			if s, ok := lastObligatory(e.Children); ok {
+				return s, true
+			}
+		}
+	}
+	return "", false
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Siblings returns the sibling dependencies of a symbol.
+func (d *DepGraph) Siblings(sym string) []string { return sortedKeys(d.siblings[sym]) }
+
+// RuleDeps returns the symbols the given left-hand symbol depends on
+// (the last obligatory symbol of each alternative).
+func (d *DepGraph) RuleDeps(lhs string) []string { return sortedKeys(d.ruleDeps[lhs]) }
+
+// ParamDeps returns the symbols a detector's inputs reference.
+func (d *DepGraph) ParamDeps(det string) []string { return sortedKeys(d.paramDeps[det]) }
+
+// Produces returns the symbols appearing in any right-hand side of lhs.
+func (d *DepGraph) Produces(lhs string) []string { return sortedKeys(d.produces[lhs]) }
+
+// Downward returns the closure of symbols reachable from sym by
+// following rule (production) structure downward: all symbols that can
+// occur in a partial parse tree rooted at sym. This is the set the FDS
+// invalidates when the detector sym changes (paper's step 1: changing
+// header involves header, MIME_type, primary and secondary).
+func (d *DepGraph) Downward(sym string) []string {
+	seen := map[string]bool{sym: true}
+	stack := []string{sym}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for c := range d.produces[s] {
+			if !seen[c] {
+				seen[c] = true
+				stack = append(stack, c)
+			}
+		}
+	}
+	return sortedKeys(seen)
+}
+
+// UpwardStops walks rule and sibling dependencies upward from sym and
+// returns the first detectors or the start symbol encountered (the
+// paper's step 3: escalate an invalid subtree to the enclosing
+// invalidation scope).
+func (d *DepGraph) UpwardStops(sym string) []string {
+	stops := map[string]bool{}
+	seen := map[string]bool{sym: true}
+	queue := []string{sym}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for parent := range d.producedBy[s] {
+			if seen[parent] {
+				continue
+			}
+			seen[parent] = true
+			if d.g.IsDetector(parent) || parent == d.g.Start {
+				stops[parent] = true
+				continue
+			}
+			queue = append(queue, parent)
+		}
+	}
+	if len(stops) == 0 && (d.g.IsDetector(sym) || sym == d.g.Start) {
+		stops[sym] = true
+	}
+	return sortedKeys(stops)
+}
+
+// ParamDependents returns the detectors whose inputs reference sym;
+// when sym's value changes these detectors must be revalidated (the
+// paper's step 2: a changed primary MIME type invalidates video_type).
+func (d *DepGraph) ParamDependents(sym string) []string {
+	out := map[string]bool{}
+	for det, deps := range d.paramDeps {
+		if deps[sym] {
+			out[det] = true
+		}
+	}
+	return sortedKeys(out)
+}
+
+// DOT renders the dependency graph in Graphviz format: box nodes for
+// detectors, ellipses for variables, plain text for atoms; solid edges
+// for rule dependencies, dashed for siblings, dotted for parameters —
+// a faithful rendering of Figure 8.
+func (d *DepGraph) DOT() string {
+	var sb strings.Builder
+	sb.WriteString("digraph dependencies {\n")
+	for _, s := range d.g.Symbols() {
+		shape := "ellipse"
+		switch {
+		case d.g.IsDetector(s):
+			shape = "box"
+		case d.g.IsAtom(s):
+			shape = "plaintext"
+		}
+		fmt.Fprintf(&sb, "  %q [shape=%s];\n", s, shape)
+	}
+	for _, a := range sortedKeys(mapKeysOf(d.ruleDeps)) {
+		for _, b := range sortedKeys(d.ruleDeps[a]) {
+			fmt.Fprintf(&sb, "  %q -> %q [style=solid,label=\"rule\"];\n", a, b)
+		}
+	}
+	for _, a := range sortedKeys(mapKeysOf(d.siblings)) {
+		for _, b := range sortedKeys(d.siblings[a]) {
+			if a < b { // render each undirected sibling pair once
+				fmt.Fprintf(&sb, "  %q -> %q [style=dashed,dir=none,label=\"sibling\"];\n", a, b)
+			}
+		}
+	}
+	for _, a := range sortedKeys(mapKeysOf(d.paramDeps)) {
+		for _, b := range sortedKeys(d.paramDeps[a]) {
+			fmt.Fprintf(&sb, "  %q -> %q [style=dotted,label=\"param\"];\n", a, b)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func mapKeysOf[V any](m map[string]V) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}

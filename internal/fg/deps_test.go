@@ -1,0 +1,183 @@
+package fg
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestFigure8DependencyGraph is experiment E04: the dependency graph
+// derived from the Figure 6 fragment must contain exactly the edges
+// the paper's Figure 8 shows.
+func TestFigure8DependencyGraph(t *testing.T) {
+	g := MustParse(TennisGrammar)
+	d := g.Dependencies()
+
+	// Rule dependency: "MMO depends on the validity of header and not
+	// on the validity of mm_type, as it is optional."
+	if got := d.RuleDeps("MMO"); !reflect.DeepEqual(got, []string{"header"}) {
+		t.Fatalf("RuleDeps(MMO) = %v, want [header]", got)
+	}
+	// header : MIME_type -> rule dep.
+	if got := d.RuleDeps("header"); !reflect.DeepEqual(got, []string{"MIME_type"}) {
+		t.Fatalf("RuleDeps(header) = %v", got)
+	}
+	// MIME_type : primary secondary -> last obligatory is secondary.
+	if got := d.RuleDeps("MIME_type"); !reflect.DeepEqual(got, []string{"secondary"}) {
+		t.Fatalf("RuleDeps(MIME_type) = %v", got)
+	}
+
+	// Sibling dependencies: header appears with location and mm_type.
+	sib := d.Siblings("header")
+	want := []string{"location", "mm_type"}
+	if !reflect.DeepEqual(sib, want) {
+		t.Fatalf("Siblings(header) = %v, want %v", sib, want)
+	}
+	// Symmetry.
+	if got := d.Siblings("location"); !contains(got, "header") {
+		t.Fatalf("Siblings(location) = %v, must contain header", got)
+	}
+
+	// Parameter dependencies: "the header detector needs the location
+	// as input"; video_type's predicate reads primary.
+	if got := d.ParamDeps("header"); !reflect.DeepEqual(got, []string{"location"}) {
+		t.Fatalf("ParamDeps(header) = %v", got)
+	}
+	if got := d.ParamDeps("video_type"); !reflect.DeepEqual(got, []string{"primary"}) {
+		t.Fatalf("ParamDeps(video_type) = %v", got)
+	}
+}
+
+// TestFDSWalkthroughSets checks the symbol sets of the paper's
+// header-upgrade walkthrough against the graph operations.
+func TestFDSWalkthroughSets(t *testing.T) {
+	g := MustParse(TennisGrammar)
+	d := g.Dependencies()
+
+	// Step 1: invalidating header involves header, MIME_type, primary
+	// and secondary — the downward closure.
+	got := d.Downward("header")
+	want := []string{"MIME_type", "header", "primary", "secondary"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Downward(header) = %v, want %v", got, want)
+	}
+
+	// Step 2: "If the primary MIME type has changed the video_type
+	// detector will become invalid" — parameter dependents.
+	if got := d.ParamDependents("primary"); !reflect.DeepEqual(got, []string{"video_type"}) {
+		t.Fatalf("ParamDependents(primary) = %v", got)
+	}
+
+	// Step 3: escalating an invalid MIME_type subtree upward stops at
+	// the header detector.
+	if got := d.UpwardStops("MIME_type"); !reflect.DeepEqual(got, []string{"header"}) {
+		t.Fatalf("UpwardStops(MIME_type) = %v", got)
+	}
+	// Escalating an invalid header reaches the start symbol MMO.
+	if got := d.UpwardStops("header"); !reflect.DeepEqual(got, []string{"MMO"}) {
+		t.Fatalf("UpwardStops(header) = %v", got)
+	}
+}
+
+func TestDownwardOfTennisDetector(t *testing.T) {
+	g := MustParse(TennisGrammar)
+	d := g.Dependencies()
+	down := d.Downward("tennis")
+	for _, must := range []string{"frame", "player", "xPos", "yPos", "event", "netplay"} {
+		if !contains(down, must) {
+			t.Errorf("Downward(tennis) lacks %s: %v", must, down)
+		}
+	}
+	if contains(down, "segment") || contains(down, "MMO") {
+		t.Errorf("Downward(tennis) leaked upward symbols: %v", down)
+	}
+}
+
+func TestUpwardStopsAtDetectorNotBeyond(t *testing.T) {
+	g := MustParse(TennisGrammar)
+	d := g.Dependencies()
+	// player sits under frame under tennis (a detector): escalation
+	// stops there, it must not climb to segment or MMO.
+	got := d.UpwardStops("player")
+	if !reflect.DeepEqual(got, []string{"tennis"}) {
+		t.Fatalf("UpwardStops(player) = %v", got)
+	}
+	// netplay is below the netplay detector? No: netplay is produced by
+	// event; event is produced by tennis.
+	if got := d.UpwardStops("event"); !reflect.DeepEqual(got, []string{"tennis"}) {
+		t.Fatalf("UpwardStops(event) = %v", got)
+	}
+}
+
+func TestUpwardStopsOfStart(t *testing.T) {
+	g := MustParse(TennisGrammar)
+	d := g.Dependencies()
+	// The start symbol itself has no producers; it is its own stop.
+	if got := d.UpwardStops("MMO"); !reflect.DeepEqual(got, []string{"MMO"}) {
+		t.Fatalf("UpwardStops(MMO) = %v", got)
+	}
+}
+
+func TestRuleDepsSkipLiterals(t *testing.T) {
+	g := MustParse(TennisGrammar)
+	d := g.Dependencies()
+	// type : "tennis" tennis — last obligatory symbol is the tennis
+	// detector, the literal is not a symbol.
+	if got := d.RuleDeps("type"); !reflect.DeepEqual(got, []string{"tennis"}) {
+		t.Fatalf("RuleDeps(type) = %v", got)
+	}
+}
+
+func TestRuleDepsGroups(t *testing.T) {
+	g := MustParse(`
+%start s(a);
+%atom str a, b, c;
+s : a (b c)+;
+`)
+	d := g.Dependencies()
+	if got := d.RuleDeps("s"); !reflect.DeepEqual(got, []string{"c"}) {
+		t.Fatalf("RuleDeps(s) = %v, want last obligatory inside group", got)
+	}
+}
+
+func TestRuleDepsAllOptional(t *testing.T) {
+	g := MustParse(`
+%start s(a);
+%atom str a, b;
+s : a? b*;
+`)
+	d := g.Dependencies()
+	if got := d.RuleDeps("s"); len(got) != 0 {
+		t.Fatalf("RuleDeps(s) = %v, want none (all optional)", got)
+	}
+}
+
+func TestProducesAndDOT(t *testing.T) {
+	g := MustParse(TennisGrammar)
+	d := g.Dependencies()
+	if got := d.Produces("MIME_type"); !reflect.DeepEqual(got, []string{"primary", "secondary"}) {
+		t.Fatalf("Produces(MIME_type) = %v", got)
+	}
+	dot := d.DOT()
+	for _, frag := range []string{
+		"digraph dependencies",
+		`"header" [shape=box]`,
+		`"MIME_type" [shape=ellipse]`,
+		`"location" [shape=plaintext]`,
+		`"MMO" -> "header" [style=solid`,
+		`"header" -> "location" [style=dotted`,
+	} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("DOT output lacks %q", frag)
+		}
+	}
+}
+
+func contains(ss []string, want string) bool {
+	for _, s := range ss {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,139 @@
+package fg
+
+// TennisGrammar is the video feature grammar of the running example,
+// combining the fragments of Figure 6 (multimedia object typing) and
+// Figure 7 (tennis segmentation, tracking and event recognition). The
+// shot classification is completed with the close-up and audience
+// categories of Figure 5, which the paper's fragment elides.
+const TennisGrammar = `
+%module tennisvideo;
+
+%start MMO(location);
+
+%detector header(location);
+%detector header.init();
+%detector header.final();
+
+%detector video_type primary == "video";
+
+%atom url;
+
+%atom url location;
+%atom str primary;
+%atom str secondary;
+
+MMO       : location header mm_type?;
+header    : MIME_type;
+MIME_type : primary secondary;
+mm_type   : video_type video;
+
+%detector xml-rpc::segment(location);
+%detector xml-rpc::tennis(location, begin.frameNo, end.frameNo);
+
+%detector netplay some[tennis.frame](
+    player.yPos <= 170.0
+);
+
+%atom flt xPos, yPos, Ecc, Orient;
+%atom int frameNo, Area;
+%atom bit netplay;
+
+video   : segment;
+segment : shot*;
+shot    : begin end type;
+begin   : frameNo;
+end     : frameNo;
+type    : "tennis" tennis;
+type    : "closeup";
+type    : "audience";
+type    : "other";
+tennis  : frame* event;
+frame   : frameNo player;
+player  : xPos yPos Area Ecc Orient;
+event   : netplay;
+`
+
+// TennisGrammarWithStrokes extends TennisGrammar with the stochastic
+// event-layer extension of the COBRA model [PJZ01]: an external stroke
+// detector classifies each tennis shot's motion pattern with per-class
+// HMMs and contributes a stroke label to the event layer. The paper
+// presents exactly this kind of change as the grammar's evolution
+// path: "this grammar is easily extensible".
+const TennisGrammarWithStrokes = `
+%module tennisvideo_strokes;
+
+%start MMO(location);
+
+%detector header(location);
+%detector header.init();
+%detector header.final();
+
+%detector video_type primary == "video";
+
+%atom url;
+
+%atom url location;
+%atom str primary;
+%atom str secondary;
+
+MMO       : location header mm_type?;
+header    : MIME_type;
+MIME_type : primary secondary;
+mm_type   : video_type video;
+
+%detector xml-rpc::segment(location);
+%detector xml-rpc::tennis(location, begin.frameNo, end.frameNo);
+%detector xml-rpc::stroke(location, begin.frameNo, end.frameNo);
+
+%detector netplay some[tennis.frame](
+    player.yPos <= 170.0
+);
+
+%atom flt xPos, yPos, Ecc, Orient;
+%atom int frameNo, Area;
+%atom bit netplay;
+%atom str label;
+
+video   : segment;
+segment : shot*;
+shot    : begin end type;
+begin   : frameNo;
+end     : frameNo;
+type    : "tennis" tennis;
+type    : "closeup";
+type    : "audience";
+type    : "other";
+tennis  : frame* event;
+frame   : frameNo player;
+player  : xPos yPos Area Ecc Orient;
+event   : netplay stroke?;
+stroke  : label;
+`
+
+// InternetGrammar is a self-contained completion of the Internet
+// feature grammar fragment of Figure 14: HTML pages with titles,
+// keywords and anchors whose references (&html) turn the parse forest
+// into the web's link graph, plus embedded images classified by a
+// portrait (face detection) detector — enabling the paper's Internet
+// scale query "all portraits embedded in pages containing keywords
+// semantically related to 'champion'".
+const InternetGrammar = `
+%module internet;
+
+%start html(location);
+
+%detector fetch(location);
+%detector portrait(image.location);
+
+%atom url;
+
+%atom url location, href;
+%atom str title, word;
+%atom bit portrait;
+
+html    : location fetch;
+fetch   : title? keyword* anchor* image*;
+keyword : word;
+anchor  : href (&html)?;
+image   : location portrait;
+`

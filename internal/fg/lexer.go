@@ -1,0 +1,219 @@
+// Package fg implements the feature grammar language of the Acoi
+// system [KNW98, WSK99, SWK99], the core of the paper's logical level.
+// A feature grammar G = (V, D, T, S, P) is a context-free grammar
+// extended with a set D of detector symbols bound to feature
+// extraction algorithms. The package provides the language parser,
+// static validation and the dependency graph (sibling, rule and
+// parameter dependencies, Figure 8) the Feature Detector Scheduler
+// reasons over.
+package fg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNumber
+	tString
+	tPunct
+)
+
+// token is one lexical token with its source line for diagnostics.
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tEOF:
+		return "end of input"
+	case tString:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return t.text
+	}
+}
+
+// lexer tokenizes feature grammar source text.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+// lex splits src into tokens. Identifiers may contain '-' when
+// followed by a letter or digit (the protocol prefix "xml-rpc"), '_'
+// anywhere, and the multi-character operators of the whitebox
+// expression language are recognised greedily.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.peek(1) == '/':
+			l.skipLine()
+		case c == '#':
+			l.skipLine()
+		case c == '/' && l.peek(1) == '*':
+			if err := l.skipBlockComment(); err != nil {
+				return nil, err
+			}
+		case isIdentStart(c):
+			l.lexIdent()
+		case c >= '0' && c <= '9':
+			l.lexNumber()
+		case c == '"':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		default:
+			if err := l.lexPunct(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.toks = append(l.toks, token{kind: tEOF, line: l.line})
+	return l.toks, nil
+}
+
+func (l *lexer) peek(n int) byte {
+	if l.pos+n < len(l.src) {
+		return l.src[l.pos+n]
+	}
+	return 0
+}
+
+func (l *lexer) skipLine() {
+	for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+		l.pos++
+	}
+}
+
+func (l *lexer) skipBlockComment() error {
+	start := l.line
+	l.pos += 2
+	for l.pos < len(l.src) {
+		if l.src[l.pos] == '\n' {
+			l.line++
+		}
+		if l.src[l.pos] == '*' && l.peek(1) == '/' {
+			l.pos += 2
+			return nil
+		}
+		l.pos++
+	}
+	return fmt.Errorf("fg: line %d: unterminated block comment", start)
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if isIdentPart(c) {
+			l.pos++
+			continue
+		}
+		// Allow '-' inside identifiers when followed by an ident char
+		// ("xml-rpc"), but not a trailing '-'.
+		if c == '-' && l.pos+1 < len(l.src) && isIdentPart(l.src[l.pos+1]) {
+			l.pos += 2
+			continue
+		}
+		break
+	}
+	l.toks = append(l.toks, token{kind: tIdent, text: l.src[start:l.pos], line: l.line})
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c >= '0' && c <= '9' {
+			l.pos++
+			continue
+		}
+		if c == '.' && !seenDot && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		break
+	}
+	l.toks = append(l.toks, token{kind: tNumber, text: l.src[start:l.pos], line: l.line})
+}
+
+func (l *lexer) lexString() error {
+	startLine := l.line
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case '"':
+			l.pos++
+			l.toks = append(l.toks, token{kind: tString, text: sb.String(), line: startLine})
+			return nil
+		case '\\':
+			if l.pos+1 < len(l.src) {
+				l.pos++
+				sb.WriteByte(l.src[l.pos])
+				l.pos++
+				continue
+			}
+			return fmt.Errorf("fg: line %d: dangling escape", l.line)
+		case '\n':
+			return fmt.Errorf("fg: line %d: newline in string literal", startLine)
+		default:
+			sb.WriteByte(c)
+			l.pos++
+		}
+	}
+	return fmt.Errorf("fg: line %d: unterminated string literal", startLine)
+}
+
+// twoCharPuncts are the multi-character operators, tried before
+// single-character ones.
+var twoCharPuncts = []string{"::", "==", "!=", "<=", ">=", "&&", "||"}
+
+var singlePuncts = "%:;,()?*+&.<>![]|="
+
+func (l *lexer) lexPunct() error {
+	rest := l.src[l.pos:]
+	for _, p := range twoCharPuncts {
+		if strings.HasPrefix(rest, p) {
+			l.toks = append(l.toks, token{kind: tPunct, text: p, line: l.line})
+			l.pos += len(p)
+			return nil
+		}
+	}
+	c := l.src[l.pos]
+	if strings.IndexByte(singlePuncts, c) >= 0 {
+		l.toks = append(l.toks, token{kind: tPunct, text: string(c), line: l.line})
+		l.pos++
+		return nil
+	}
+	return fmt.Errorf("fg: line %d: unexpected character %q", l.line, string(c))
+}

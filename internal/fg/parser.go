@@ -1,0 +1,595 @@
+package fg
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses and validates feature grammar source text.
+func Parse(src string) (*Grammar, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, g: &Grammar{
+		ADTs:      map[string]bool{},
+		Atoms:     map[string]*Atom{},
+		Detectors: map[string]*Detector{},
+		BySym:     map[string][]*Rule{},
+		symbols:   map[string]bool{},
+	}}
+	for k := range builtinADTs {
+		p.g.ADTs[k] = true
+	}
+	if err := p.parse(); err != nil {
+		return nil, err
+	}
+	if err := p.g.validate(); err != nil {
+		return nil, err
+	}
+	return p.g, nil
+}
+
+// MustParse is Parse for grammar constants; it panics on error.
+func MustParse(src string) *Grammar {
+	g, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	g    *Grammar
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) accept(text string) bool {
+	if p.cur().kind == tPunct && p.cur().text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return p.errf("expected %q, found %s", text, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	if p.cur().kind != tIdent {
+		return "", p.errf("expected identifier, found %s", p.cur())
+	}
+	return p.next().text, nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("fg: line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parse() error {
+	for p.cur().kind != tEOF {
+		if p.accept("%") {
+			if err := p.parseDecl(); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := p.parseRule(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseDecl() error {
+	kw, err := p.ident()
+	if err != nil {
+		return err
+	}
+	switch kw {
+	case "start":
+		return p.parseStart()
+	case "module":
+		name, err := p.ident()
+		if err != nil {
+			return err
+		}
+		p.g.Name = name
+		return p.expect(";")
+	case "atom":
+		return p.parseAtom()
+	case "detector":
+		return p.parseDetector()
+	default:
+		return p.errf("unknown declaration %%%s", kw)
+	}
+}
+
+func (p *parser) parseStart() error {
+	if p.g.Start != "" {
+		return p.errf("duplicate %%start declaration")
+	}
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	p.g.Start = name
+	if err := p.expect("("); err != nil {
+		return err
+	}
+	if !p.accept(")") {
+		for {
+			path, err := p.parsePath()
+			if err != nil {
+				return err
+			}
+			p.g.StartArgs = append(p.g.StartArgs, path)
+			if p.accept(")") {
+				break
+			}
+			if err := p.expect(","); err != nil {
+				return err
+			}
+		}
+	}
+	return p.expect(";")
+}
+
+// parseAtom handles both ADT declarations (`%atom url;`) and atom
+// declarations (`%atom flt xPos, yPos;`).
+func (p *parser) parseAtom() error {
+	line := p.cur().line
+	first, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if p.accept(";") {
+		// New ADT declaration.
+		p.g.ADTs[first] = true
+		return nil
+	}
+	for {
+		name, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if prev, ok := p.g.Atoms[name]; ok && prev.Type != first {
+			return p.errf("atom %s redeclared with type %s (was %s)", name, first, prev.Type)
+		}
+		p.g.Atoms[name] = &Atom{Name: name, Type: first, Line: line}
+		if p.accept(";") {
+			return nil
+		}
+		if err := p.expect(","); err != nil {
+			return err
+		}
+	}
+}
+
+func (p *parser) parseDetector() error {
+	line := p.cur().line
+	first, err := p.ident()
+	if err != nil {
+		return err
+	}
+	protocol := ""
+	name := first
+	if p.accept("::") {
+		protocol = first
+		name, err = p.ident()
+		if err != nil {
+			return err
+		}
+	}
+	// Special companion detector: name.init() etc.
+	if p.accept(".") {
+		special, err := p.ident()
+		if err != nil {
+			return err
+		}
+		d := p.g.Detectors[name]
+		if d == nil {
+			return p.errf("special detector %s.%s for undeclared detector %s", name, special, name)
+		}
+		switch special {
+		case "init":
+			d.HasInit = true
+		case "final":
+			d.HasFinal = true
+		case "begin":
+			d.HasBegin = true
+		case "end":
+			d.HasEnd = true
+		default:
+			return p.errf("unknown special detector %s.%s", name, special)
+		}
+		if err := p.expect("("); err != nil {
+			return err
+		}
+		if err := p.expect(")"); err != nil {
+			return err
+		}
+		return p.expect(";")
+	}
+	if _, dup := p.g.Detectors[name]; dup {
+		return p.errf("detector %s declared twice", name)
+	}
+	d := &Detector{Name: name, Protocol: protocol, Line: line}
+	// Blackbox parameter list or whitebox expression: try the parameter
+	// list first and backtrack on failure.
+	if p.cur().kind == tPunct && p.cur().text == "(" {
+		save := p.pos
+		params, ok := p.tryParamList()
+		if ok {
+			d.Kind = Blackbox
+			d.Params = params
+			p.g.Detectors[name] = d
+			return nil
+		}
+		p.pos = save
+	}
+	expr, err := p.parseExpr()
+	if err != nil {
+		return err
+	}
+	if err := p.expect(";"); err != nil {
+		return err
+	}
+	d.Kind = Whitebox
+	d.Pred = expr
+	p.g.Detectors[name] = d
+	return nil
+}
+
+// tryParamList attempts to parse "(" path ("," path)* ")" ";" and
+// reports success. On failure the caller backtracks and reparses as a
+// whitebox expression.
+func (p *parser) tryParamList() ([]Path, bool) {
+	if !p.accept("(") {
+		return nil, false
+	}
+	var params []Path
+	if p.accept(")") {
+		if p.accept(";") {
+			return params, true
+		}
+		return nil, false
+	}
+	for {
+		if p.cur().kind != tIdent {
+			return nil, false
+		}
+		path, err := p.parsePath()
+		if err != nil {
+			return nil, false
+		}
+		params = append(params, path)
+		if p.accept(")") {
+			if p.accept(";") {
+				return params, true
+			}
+			return nil, false
+		}
+		if !p.accept(",") {
+			return nil, false
+		}
+	}
+}
+
+func (p *parser) parsePath() (Path, error) {
+	var path Path
+	seg, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	path = append(path, seg)
+	for p.accept(".") {
+		seg, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		path = append(path, seg)
+	}
+	return path, nil
+}
+
+func (p *parser) parseRule() error {
+	line := p.cur().line
+	lhs, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if err := p.expect(":"); err != nil {
+		return err
+	}
+	for {
+		els, err := p.parseElements()
+		if err != nil {
+			return err
+		}
+		rule := &Rule{LHS: lhs, RHS: els, Line: line}
+		p.g.Rules = append(p.g.Rules, rule)
+		p.g.BySym[lhs] = append(p.g.BySym[lhs], rule)
+		if p.accept(";") {
+			return nil
+		}
+		if err := p.expect("|"); err != nil {
+			return err
+		}
+	}
+}
+
+// parseElements parses a sequence of elements up to ';', '|' or ')'.
+func (p *parser) parseElements() ([]Element, error) {
+	var els []Element
+	for {
+		t := p.cur()
+		if t.kind == tPunct && (t.text == ";" || t.text == "|" || t.text == ")") {
+			return els, nil
+		}
+		if t.kind == tEOF {
+			return nil, p.errf("unterminated rule")
+		}
+		el, err := p.parseElement()
+		if err != nil {
+			return nil, err
+		}
+		els = append(els, el)
+	}
+}
+
+func (p *parser) parseElement() (Element, error) {
+	var el Element
+	t := p.cur()
+	switch {
+	case t.kind == tIdent:
+		p.pos++
+		el = Element{Kind: ElemSymbol, Name: t.text, Min: 1, Max: 1}
+	case t.kind == tString:
+		p.pos++
+		el = Element{Kind: ElemLiteral, Name: t.text, Min: 1, Max: 1}
+	case t.kind == tPunct && t.text == "&":
+		p.pos++
+		name, err := p.ident()
+		if err != nil {
+			return el, err
+		}
+		el = Element{Kind: ElemRef, Name: name, Min: 1, Max: 1}
+	case t.kind == tPunct && t.text == "(":
+		p.pos++
+		children, err := p.parseElements()
+		if err != nil {
+			return el, err
+		}
+		if err := p.expect(")"); err != nil {
+			return el, err
+		}
+		el = Element{Kind: ElemGroup, Children: children, Min: 1, Max: 1}
+	default:
+		return el, p.errf("unexpected %s in rule body", t)
+	}
+	switch {
+	case p.accept("?"):
+		el.Min, el.Max = 0, 1
+	case p.accept("*"):
+		el.Min, el.Max = 0, Unbounded
+	case p.accept("+"):
+		el.Min, el.Max = 1, Unbounded
+	}
+	return el, nil
+}
+
+// --- Whitebox expression parsing ---
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("||") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Or{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("&&") {
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &And{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept("!") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{E: e}, nil
+	}
+	// Quantifier?
+	if p.cur().kind == tIdent {
+		switch QuantKind(p.cur().text) {
+		case QuantSome, QuantAll, QuantOne:
+			if p.toks[p.pos+1].kind == tPunct && p.toks[p.pos+1].text == "[" {
+				return p.parseQuant()
+			}
+		}
+	}
+	if p.accept("(") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseQuant() (Expr, error) {
+	kind := QuantKind(p.next().text)
+	if err := p.expect("["); err != nil {
+		return nil, err
+	}
+	over, err := p.parsePath()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("]"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	body, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return &Quant{Kind: kind, Over: over, Body: body}, nil
+}
+
+var cmpOps = []CmpOp{OpEq, OpNe, OpLe, OpGe, OpLt, OpGt}
+
+func (p *parser) parseComparison() (Expr, error) {
+	left, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range cmpOps {
+		if p.accept(string(op)) {
+			right, err := p.parseOperand()
+			if err != nil {
+				return nil, err
+			}
+			return &Cmp{Op: op, Left: left, Right: right}, nil
+		}
+	}
+	if left.Path == nil {
+		return nil, p.errf("literal %s is not a boolean expression", left)
+	}
+	return &PathTruth{Path: left.Path}, nil
+}
+
+func (p *parser) parseOperand() (Operand, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tNumber:
+		p.pos++
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return Operand{}, p.errf("bad number %q", t.text)
+		}
+		return Operand{Num: v, IsNum: true}, nil
+	case t.kind == tPunct && t.text == "-":
+		return Operand{}, p.errf("unexpected '-'")
+	case t.kind == tString:
+		p.pos++
+		return Operand{Str: t.text, IsStr: true}, nil
+	case t.kind == tIdent:
+		path, err := p.parsePath()
+		if err != nil {
+			return Operand{}, err
+		}
+		return Operand{Path: path}, nil
+	default:
+		return Operand{}, p.errf("expected operand, found %s", t)
+	}
+}
+
+// --- Static validation ---
+
+func (g *Grammar) validate() error {
+	if g.Start == "" {
+		return fmt.Errorf("fg: missing %%start declaration")
+	}
+	// Collect defined names.
+	defined := func(name string) bool {
+		return g.IsAtom(name) || g.IsDetector(name) || len(g.BySym[name]) > 0
+	}
+	if !defined(g.Start) {
+		return fmt.Errorf("fg: start symbol %s has no definition", g.Start)
+	}
+	// Atom types must exist.
+	for _, a := range g.Atoms {
+		if !g.ADTs[a.Type] {
+			return fmt.Errorf("fg: line %d: atom %s has unknown ADT %s", a.Line, a.Name, a.Type)
+		}
+	}
+	// LHS of a rule must not be an atom.
+	for _, r := range g.Rules {
+		if g.IsAtom(r.LHS) {
+			return fmt.Errorf("fg: line %d: terminal %s cannot appear as rule head", r.Line, r.LHS)
+		}
+	}
+	// All referenced symbols must be defined.
+	for _, r := range g.Rules {
+		var bad error
+		walkElements(r.RHS, func(e Element) {
+			if bad != nil {
+				return
+			}
+			if (e.Kind == ElemSymbol || e.Kind == ElemRef) && !defined(e.Name) {
+				bad = fmt.Errorf("fg: line %d: undefined symbol %s in rule for %s", r.Line, e.Name, r.LHS)
+			}
+		})
+		if bad != nil {
+			return bad
+		}
+	}
+	// Blackbox detectors need output rules unless they are also atoms
+	// (whitebox value detectors like netplay are atom-typed).
+	for _, d := range g.Detectors {
+		if d.Kind == Blackbox && len(g.BySym[d.Name]) == 0 && !g.IsAtom(d.Name) && d.Name != g.Start {
+			return fmt.Errorf("fg: line %d: blackbox detector %s has no output rules", d.Line, d.Name)
+		}
+		heads := map[string]bool{}
+		for _, prm := range d.Params {
+			heads[prm.Head()] = true
+		}
+		if d.Pred != nil {
+			for _, path := range ExprPaths(d.Pred) {
+				heads[path.Head()] = true
+			}
+		}
+		for h := range heads {
+			if !defined(h) {
+				return fmt.Errorf("fg: line %d: detector %s parameter references unknown symbol %s", d.Line, d.Name, h)
+			}
+		}
+	}
+	// Start args must reference defined symbols.
+	for _, arg := range g.StartArgs {
+		if !defined(arg.Head()) {
+			return fmt.Errorf("fg: start argument %s is not a defined symbol", arg)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,269 @@
+package fg
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFigure6Grammar is experiment E02: the Figure 6 fragment (within
+// the combined tennis grammar) must parse with exactly the declared
+// structure.
+func TestFigure6Grammar(t *testing.T) {
+	g := MustParse(TennisGrammar)
+	if g.Start != "MMO" {
+		t.Fatalf("start = %q", g.Start)
+	}
+	if len(g.StartArgs) != 1 || g.StartArgs[0].String() != "location" {
+		t.Fatalf("start args = %v", g.StartArgs)
+	}
+	h := g.Detectors["header"]
+	if h == nil || h.Kind != Blackbox {
+		t.Fatal("header must be a blackbox detector")
+	}
+	if !h.HasInit || !h.HasFinal || h.HasBegin || h.HasEnd {
+		t.Fatalf("header specials wrong: %+v", h)
+	}
+	if len(h.Params) != 1 || h.Params[0].String() != "location" {
+		t.Fatalf("header params = %v", h.Params)
+	}
+	vt := g.Detectors["video_type"]
+	if vt == nil || vt.Kind != Whitebox {
+		t.Fatal("video_type must be a whitebox detector")
+	}
+	cmp, ok := vt.Pred.(*Cmp)
+	if !ok || cmp.Op != OpEq || cmp.Left.Path.String() != "primary" || cmp.Right.Str != "video" {
+		t.Fatalf("video_type predicate = %v", vt.Pred)
+	}
+	if !g.ADTs["url"] {
+		t.Fatal("ADT url not declared")
+	}
+	if a := g.Atoms["location"]; a == nil || a.Type != "url" {
+		t.Fatalf("atom location = %+v", a)
+	}
+	// MMO rule: location header mm_type?
+	mmo := g.Alternatives("MMO")
+	if len(mmo) != 1 || len(mmo[0].RHS) != 3 {
+		t.Fatalf("MMO alternatives = %v", mmo)
+	}
+	if mm := mmo[0].RHS[2]; mm.Name != "mm_type" || !mm.Optional() || mm.Max != 1 {
+		t.Fatalf("mm_type element = %+v", mm)
+	}
+}
+
+// TestFigure7Grammar covers the Figure 7 fragment: external detectors,
+// literals, repetition and the quantified whitebox netplay detector.
+func TestFigure7Grammar(t *testing.T) {
+	g := MustParse(TennisGrammar)
+	seg := g.Detectors["segment"]
+	if seg == nil || seg.Protocol != "xml-rpc" || seg.Kind != Blackbox {
+		t.Fatalf("segment = %+v", seg)
+	}
+	tn := g.Detectors["tennis"]
+	if tn == nil || len(tn.Params) != 3 {
+		t.Fatalf("tennis params = %v", tn.Params)
+	}
+	if tn.Params[1].String() != "begin.frameNo" || tn.Params[2].String() != "end.frameNo" {
+		t.Fatalf("tennis params = %v", tn.Params)
+	}
+	np := g.Detectors["netplay"]
+	if np == nil || np.Kind != Whitebox {
+		t.Fatal("netplay must be whitebox")
+	}
+	q, ok := np.Pred.(*Quant)
+	if !ok || q.Kind != QuantSome || q.Over.String() != "tennis.frame" {
+		t.Fatalf("netplay predicate = %v", np.Pred)
+	}
+	body, ok := q.Body.(*Cmp)
+	if !ok || body.Op != OpLe || body.Left.Path.String() != "player.yPos" || body.Right.Value() != 170.0 {
+		t.Fatalf("netplay body = %v", q.Body)
+	}
+	// netplay is both a detector and a bit atom.
+	if !g.IsAtom("netplay") || g.Atoms["netplay"].Type != "bit" {
+		t.Fatal("netplay must be a bit atom")
+	}
+	// shot* repetition.
+	segRules := g.Alternatives("segment")
+	if len(segRules) != 1 || segRules[0].RHS[0].Min != 0 || segRules[0].RHS[0].Max != Unbounded {
+		t.Fatalf("segment rule = %v", segRules)
+	}
+	// The four shot classification alternatives, the first guarded by a
+	// literal.
+	types := g.Alternatives("type")
+	if len(types) != 4 {
+		t.Fatalf("type alternatives = %d", len(types))
+	}
+	if types[0].RHS[0].Kind != ElemLiteral || types[0].RHS[0].Name != "tennis" {
+		t.Fatalf("type first alternative = %v", types[0])
+	}
+	if g.IsVariable("type") != true {
+		t.Fatal("type should be a variable")
+	}
+}
+
+func TestInternetGrammarParses(t *testing.T) {
+	g := MustParse(InternetGrammar)
+	if g.Name != "internet" {
+		t.Fatalf("module = %q", g.Name)
+	}
+	anchors := g.Alternatives("anchor")
+	if len(anchors) != 1 {
+		t.Fatalf("anchor rules = %v", anchors)
+	}
+	// anchor : href (&html)? — group with a reference inside.
+	grp := anchors[0].RHS[1]
+	if grp.Kind != ElemGroup || !grp.Optional() {
+		t.Fatalf("anchor group = %+v", grp)
+	}
+	if grp.Children[0].Kind != ElemRef || grp.Children[0].Name != "html" {
+		t.Fatalf("anchor ref = %+v", grp.Children[0])
+	}
+}
+
+func TestAlternativesViaPipe(t *testing.T) {
+	g := MustParse(`
+%start s(x);
+%atom str x, y;
+s : x | y "lit";
+`)
+	alts := g.Alternatives("s")
+	if len(alts) != 2 {
+		t.Fatalf("alternatives = %d", len(alts))
+	}
+	if alts[1].RHS[1].Kind != ElemLiteral || alts[1].RHS[1].Name != "lit" {
+		t.Fatalf("second alt = %v", alts[1])
+	}
+}
+
+func TestElementStringForms(t *testing.T) {
+	g := MustParse(`
+%start s(a);
+%atom str a, b;
+s : a? b* (a b)+ "x" &s;
+`)
+	r := g.Alternatives("s")[0]
+	wants := []string{"a?", "b*", "(a b)+", `"x"`, "&s"}
+	for i, w := range wants {
+		if got := r.RHS[i].String(); got != w {
+			t.Errorf("element %d = %q, want %q", i, got, w)
+		}
+	}
+	if got := r.String(); !strings.Contains(got, "s :") {
+		t.Errorf("rule string = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing start":          `%atom str a; s : a;`,
+		"undefined start":        `%start nope(a); %atom str a;`,
+		"duplicate start":        `%start s(a); %start s(a); %atom str a; s : a;`,
+		"unknown decl":           `%bogus x; %start s(a); %atom str a; s : a;`,
+		"undefined symbol":       `%start s(a); %atom str a; s : a zzz;`,
+		"bad atom type":          `%start s(a); %atom nosuchtype a; s : a;`,
+		"atom as rule head":      `%start s(a); %atom str a; s : a; a : s;`,
+		"special undeclared":     `%start s(a); %detector x.init(); %atom str a; s : a;`,
+		"unknown special":        `%start s(a); %detector d(a); %detector d.weird(); %atom str a; s : a; d : a;`,
+		"duplicate detector":     `%start s(a); %detector d(a); %detector d(a); %atom str a; s : d; d : a;`,
+		"blackbox without rule":  `%start s(a); %detector d(a); %atom str a; s : a d;`,
+		"unknown param symbol":   `%start s(a); %detector d(zzz); %atom str a; s : a d; d : a;`,
+		"unterminated rule":      `%start s(a); %atom str a; s : a`,
+		"unterminated string":    `%start s(a); %atom str a; s : "x;`,
+		"bad start arg":          `%start s(zzz); %atom str a; s : a;`,
+		"atom type conflict":     `%start s(a); %atom str a; %atom int a; s : a;`,
+		"literal as expression":  `%start s(a); %detector w "lit"; %atom str a; s : a w;`,
+		"unterminated block cmt": `/* hi %start s(a); %atom str a; s : a;`,
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestLexerIdentifiersWithHyphen(t *testing.T) {
+	toks, err := lex("xml-rpc::segment")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].text != "xml-rpc" || toks[1].text != "::" || toks[2].text != "segment" {
+		t.Fatalf("tokens = %v", toks)
+	}
+}
+
+func TestLexerComments(t *testing.T) {
+	g, err := Parse(`
+// line comment
+# hash comment
+/* block
+   comment */
+%start s(a);
+%atom str a;
+s : a; // trailing
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Start != "s" {
+		t.Fatal("comment handling broke parsing")
+	}
+}
+
+func TestLexerBadChar(t *testing.T) {
+	if _, err := lex("a @ b"); err == nil {
+		t.Fatal("expected error for @")
+	}
+}
+
+func TestWhiteboxExpressionForms(t *testing.T) {
+	g := MustParse(`
+%start s(a);
+%atom flt a, b;
+%atom bit w;
+%detector w (a <= 3.5 && b > 1) || !(a == b) && all[s.a](a != 0) && one[s.b](b >= 2) && w;
+s : a b w;
+`)
+	d := g.Detectors["w"]
+	if d == nil || d.Kind != Whitebox {
+		t.Fatal("w must be whitebox")
+	}
+	str := d.Pred.String()
+	for _, frag := range []string{"<=", "&&", "||", "!", "all[s.a]", "one[s.b]", "=="} {
+		if !strings.Contains(str, frag) {
+			t.Errorf("expression %q lacks %q", str, frag)
+		}
+	}
+	paths := ExprPaths(d.Pred)
+	if len(paths) < 5 {
+		t.Fatalf("ExprPaths = %v", paths)
+	}
+}
+
+func TestSymbolsDeterministic(t *testing.T) {
+	g := MustParse(TennisGrammar)
+	a := g.Symbols()
+	b := g.Symbols()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("Symbols() unstable: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Symbols() unstable at %d", i)
+		}
+	}
+	if a[0] != "MMO" {
+		t.Fatalf("start symbol should lead: %v", a[:3])
+	}
+}
+
+func TestIsVariableClassification(t *testing.T) {
+	g := MustParse(TennisGrammar)
+	if !g.IsVariable("MIME_type") || !g.IsVariable("shot") {
+		t.Fatal("variables misclassified")
+	}
+	if g.IsVariable("header") || g.IsVariable("location") {
+		t.Fatal("detector/atom classified as variable")
+	}
+	if !g.IsDetector("netplay") || !g.IsAtom("netplay") {
+		t.Fatal("netplay must be both detector and atom")
+	}
+}

@@ -1,0 +1,379 @@
+package ir
+
+import (
+	"math"
+	"sort"
+
+	"dlsearch/internal/bat"
+)
+
+// DefaultLambda is the smoothing parameter of the [Hie98] retrieval
+// model; Hiemstra's experiments motivate a small value.
+const DefaultLambda = 0.15
+
+// Posting is one (document, term frequency) entry of a term's posting
+// list. Postings are an access-path view over the DT/TF relations.
+type Posting struct {
+	Doc bat.OID
+	TF  int
+}
+
+// Result is a ranked retrieval result.
+type Result struct {
+	Doc   bat.OID
+	Score float64
+}
+
+// Fragment describes one horizontal fragment of the TF/DT relations.
+// Fragments are formed on descending idf: fragment 0 holds the rarest
+// (most significant, cheapest) terms, the last fragment the most
+// frequent (least significant, most expensive) ones. The query
+// optimizer may a-priori ignore trailing fragments ([BHC+01]).
+type Fragment struct {
+	Terms  []bat.OID // term oids in this fragment
+	MaxIDF float64   // highest idf in the fragment
+	MinIDF float64   // lowest idf in the fragment
+	Tuples int       // number of DT tuples covered
+}
+
+// Index is the full-text meta-index: the five relations of the paper
+// plus derived in-memory access paths.
+//
+//	T   term index           term-oid × term (stemmed, stopped)
+//	D   document index       doc-oid × doc-url
+//	DT  document term list   pair-oid × doc-oid and pair-oid × term-oid
+//	TF  term frequency       pair-oid × tf
+//	IDF inverse doc freq     term-oid × idf, idf = 1/df
+type Index struct {
+	T   *bat.BAT
+	D   *bat.BAT
+	DTd *bat.BAT
+	DTt *bat.BAT
+	TF  *bat.BAT
+	IDF *bat.BAT
+
+	seq    *bat.Sequence
+	lambda float64
+
+	termID   map[string]bat.OID
+	postings map[bat.OID][]Posting
+	docTerms map[bat.OID]map[bat.OID]int // doc -> term -> tf (naive plan's access path)
+	docLen   map[bat.OID]int
+	df       map[bat.OID]int
+	totalDF  int
+
+	fragments []Fragment
+	idfDirty  bool
+}
+
+// NewIndex returns an empty index with the default ranking parameter.
+func NewIndex() *Index {
+	return &Index{
+		T:        bat.New("T", bat.KindString),
+		D:        bat.New("D", bat.KindString),
+		DTd:      bat.New("DT.doc", bat.KindOID),
+		DTt:      bat.New("DT.term", bat.KindOID),
+		TF:       bat.New("TF", bat.KindInt),
+		IDF:      bat.New("IDF", bat.KindFloat),
+		seq:      bat.NewSequence(),
+		lambda:   DefaultLambda,
+		termID:   make(map[string]bat.OID),
+		postings: make(map[bat.OID][]Posting),
+		docTerms: make(map[bat.OID]map[bat.OID]int),
+		docLen:   make(map[bat.OID]int),
+		df:       make(map[bat.OID]int),
+	}
+}
+
+// SetLambda overrides the smoothing parameter (0 < λ < 1).
+func (ix *Index) SetLambda(l float64) { ix.lambda = l }
+
+// Add indexes the body text of a document. The caller supplies the
+// document oid from the global OID space; the paper's incremental
+// indexing process fills DT/T/D first and derives TF/IDF, which here
+// happens transparently (IDF lazily on first query).
+func (ix *Index) Add(doc bat.OID, url, text string) {
+	terms := Terms(text)
+	counts := make(map[bat.OID]int)
+	for _, t := range terms {
+		id, ok := ix.termID[t]
+		if !ok {
+			id = ix.seq.Next()
+			ix.termID[t] = id
+			ix.T.AppendString(id, t)
+		}
+		counts[id]++
+	}
+	ix.D.AppendString(doc, url)
+	ix.docLen[doc] += len(terms)
+	dt := ix.docTerms[doc]
+	if dt == nil {
+		dt = make(map[bat.OID]int)
+		ix.docTerms[doc] = dt
+	}
+	for id, tf := range counts {
+		pair := ix.seq.Next()
+		ix.DTd.AppendOID(pair, doc)
+		ix.DTt.AppendOID(pair, id)
+		ix.TF.AppendInt(pair, int64(tf))
+		if dt[id] == 0 {
+			ix.df[id]++
+			ix.totalDF++
+		}
+		dt[id] += tf
+		ix.postings[id] = append(ix.postings[id], Posting{Doc: doc, TF: tf})
+	}
+	ix.idfDirty = true
+	ix.fragments = nil
+}
+
+// DocCount returns the number of indexed documents.
+func (ix *Index) DocCount() int { return len(ix.docLen) }
+
+// TermCount returns the size of the vocabulary.
+func (ix *Index) TermCount() int { return len(ix.termID) }
+
+// TermOID returns the oid of a raw (already stemmed) term.
+func (ix *Index) TermOID(stem string) (bat.OID, bool) {
+	id, ok := ix.termID[stem]
+	return id, ok
+}
+
+// refreshIDF rebuilds the IDF relation from the df counts: the paper
+// defines idf(t) = 1/df(t) and notes IDF is derivable from TF/DT.
+func (ix *Index) refreshIDF() {
+	if !ix.idfDirty {
+		return
+	}
+	ix.IDF = bat.New("IDF", bat.KindFloat)
+	ids := make([]bat.OID, 0, len(ix.df))
+	for id := range ix.df {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		ix.IDF.AppendFloat(id, 1.0/float64(ix.df[id]))
+	}
+	ix.idfDirty = false
+}
+
+// IDFOf returns idf(t) = 1/df(t) for a stemmed term.
+func (ix *Index) IDFOf(stem string) float64 {
+	id, ok := ix.termID[stem]
+	if !ok {
+		return 0
+	}
+	ix.refreshIDF()
+	v, _ := ix.IDF.FloatOfHead(id)
+	return v
+}
+
+// weight is the per-term contribution of the [Hie98]-derived model:
+//
+//	w(t,d) = log(1 + λ·tf(t,d)·Σ_t' df(t') / ((1-λ)·df(t)·|d|))
+//
+// Rare terms (low df, high idf) contribute most, which is exactly the
+// property the idf-descending fragmentation exploits.
+func (ix *Index) weight(tf, df, docLen int) float64 {
+	if tf == 0 || df == 0 || docLen == 0 {
+		return 0
+	}
+	return logWeight(ix.lambda, tf, df, ix.totalDF, docLen)
+}
+
+func logWeight(lambda float64, tf, df, totalDF, docLen int) float64 {
+	return math.Log(1 + lambda*float64(tf)*float64(totalDF)/((1-lambda)*float64(df)*float64(docLen)))
+}
+
+// queryTerms resolves query text to known term oids.
+func (ix *Index) queryTerms(query string) []bat.OID {
+	var out []bat.OID
+	seen := make(map[bat.OID]bool)
+	for _, t := range Terms(query) {
+		if id, ok := ix.termID[t]; ok && !seen[id] {
+			out = append(out, id)
+			seen[id] = true
+		}
+	}
+	return out
+}
+
+// topNFromScores selects the n best (score desc, doc asc) results.
+func topNFromScores(scores map[bat.OID]float64, n int) []Result {
+	res := make([]Result, 0, len(scores))
+	for d, s := range scores {
+		if s > 0 {
+			res = append(res, Result{Doc: d, Score: s})
+		}
+	}
+	sort.Slice(res, func(i, j int) bool {
+		if res[i].Score != res[j].Score {
+			return res[i].Score > res[j].Score
+		}
+		return res[i].Doc < res[j].Doc
+	})
+	if len(res) > n {
+		res = res[:n]
+	}
+	return res
+}
+
+// TopN returns the n best-ranking documents for the query using the
+// optimized plan: only the posting lists of the query terms are
+// touched and scores accumulate per candidate document.
+func (ix *Index) TopN(query string, n int) []Result {
+	return ix.TopNRestricted(query, n, nil)
+}
+
+// TopNRestricted is TopN with an optional a-priori candidate
+// restriction (the paper's example: only articles by a certain
+// author). A nil candidate set means no restriction.
+func (ix *Index) TopNRestricted(query string, n int, candidates map[bat.OID]bool) []Result {
+	ix.refreshIDF()
+	scores := make(map[bat.OID]float64)
+	for _, id := range ix.queryTerms(query) {
+		df := ix.df[id]
+		for _, p := range ix.postings[id] {
+			if candidates != nil && !candidates[p.Doc] {
+				continue
+			}
+			scores[p.Doc] += ix.weight(p.TF, df, ix.docLen[p.Doc])
+		}
+	}
+	return topNFromScores(scores, n)
+}
+
+// TopNNaive computes the same answer with the unoptimized plan: every
+// document is scored against every query term through the DT access
+// path, then the full ranking is cut to n. Experiment E16's baseline.
+func (ix *Index) TopNNaive(query string, n int) []Result {
+	ix.refreshIDF()
+	qts := ix.queryTerms(query)
+	scores := make(map[bat.OID]float64)
+	for doc, terms := range ix.docTerms {
+		s := 0.0
+		for _, id := range qts {
+			if tf, ok := terms[id]; ok {
+				s += ix.weight(tf, ix.df[id], ix.docLen[doc])
+			}
+		}
+		if s > 0 {
+			scores[doc] = s
+		}
+	}
+	return topNFromScores(scores, n)
+}
+
+// Fragmentize partitions the vocabulary into k horizontal fragments on
+// descending idf with approximately equal DT tuple counts per
+// fragment, mirroring the paper's physical design: high-idf
+// (significant, cheap) terms lead; low-idf (insignificant, expensive)
+// terms trail, where they can be cut off a-priori.
+func (ix *Index) Fragmentize(k int) {
+	if k < 1 {
+		k = 1
+	}
+	ix.refreshIDF()
+	ids := make([]bat.OID, 0, len(ix.df))
+	total := 0
+	for id := range ix.df {
+		ids = append(ids, id)
+		total += len(ix.postings[id])
+	}
+	// Descending idf == ascending df; ties broken by oid for determinism.
+	sort.Slice(ids, func(i, j int) bool {
+		if ix.df[ids[i]] != ix.df[ids[j]] {
+			return ix.df[ids[i]] < ix.df[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	per := (total + k - 1) / k
+	if per < 1 {
+		per = 1
+	}
+	ix.fragments = nil
+	cur := Fragment{MaxIDF: 0, MinIDF: math.Inf(1)}
+	for _, id := range ids {
+		idf := 1.0 / float64(ix.df[id])
+		cur.Terms = append(cur.Terms, id)
+		cur.Tuples += len(ix.postings[id])
+		if idf > cur.MaxIDF {
+			cur.MaxIDF = idf
+		}
+		if idf < cur.MinIDF {
+			cur.MinIDF = idf
+		}
+		if cur.Tuples >= per && len(ix.fragments) < k-1 {
+			ix.fragments = append(ix.fragments, cur)
+			cur = Fragment{MaxIDF: 0, MinIDF: math.Inf(1)}
+		}
+	}
+	if len(cur.Terms) > 0 {
+		ix.fragments = append(ix.fragments, cur)
+	}
+}
+
+// Fragments returns the current fragmentation (nil before Fragmentize
+// or after new documents arrive).
+func (ix *Index) Fragments() []Fragment { return ix.fragments }
+
+// TopNFragments evaluates the query over only the first maxFrag
+// fragments and returns the results plus the estimated quality: the
+// fraction of the query's total idf mass covered by the processed
+// fragments (1.0 means the cut-off provably did not change the
+// candidate term set). This is the a-priori cost/quality trade-off of
+// [BHC+01].
+func (ix *Index) TopNFragments(query string, n, maxFrag int) ([]Result, float64) {
+	ix.refreshIDF()
+	if ix.fragments == nil {
+		ix.Fragmentize(1)
+	}
+	if maxFrag > len(ix.fragments) {
+		maxFrag = len(ix.fragments)
+	}
+	inFrag := make(map[bat.OID]int)
+	for fi, f := range ix.fragments {
+		for _, id := range f.Terms {
+			inFrag[id] = fi
+		}
+	}
+	qts := ix.queryTerms(query)
+	var coveredIDF, totalIDF float64
+	scores := make(map[bat.OID]float64)
+	for _, id := range qts {
+		idf := 1.0 / float64(ix.df[id])
+		totalIDF += idf
+		if inFrag[id] >= maxFrag {
+			continue // a-priori ignored fragment
+		}
+		coveredIDF += idf
+		for _, p := range ix.postings[id] {
+			scores[p.Doc] += ix.weight(p.TF, ix.df[id], ix.docLen[p.Doc])
+		}
+	}
+	quality := 1.0
+	if totalIDF > 0 {
+		quality = coveredIDF / totalIDF
+	}
+	return topNFromScores(scores, n), quality
+}
+
+// Merge folds per-node rankings into a master ranking of size n; the
+// central DBMS of the paper performs exactly this merge over the
+// RES(doc-oid, rank) sets the distributed nodes return.
+func Merge(n int, rankings ...[]Result) []Result {
+	var all []Result
+	for _, r := range rankings {
+		all = append(all, r...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Score != all[j].Score {
+			return all[i].Score > all[j].Score
+		}
+		return all[i].Doc < all[j].Doc
+	})
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}

@@ -1,0 +1,282 @@
+package ir
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dlsearch/internal/bat"
+)
+
+func smallIndex() *Index {
+	ix := NewIndex()
+	ix.Add(1, "d1", "Seles is the winner of the Australian Open final")
+	ix.Add(2, "d2", "Hingis loses the final against the winner Seles")
+	ix.Add(3, "d3", "A report about weather in Melbourne during the tournament")
+	ix.Add(4, "d4", "The winner winner winner takes the championship trophy")
+	return ix
+}
+
+func TestIndexCounts(t *testing.T) {
+	ix := smallIndex()
+	if ix.DocCount() != 4 {
+		t.Fatalf("DocCount = %d", ix.DocCount())
+	}
+	if ix.TermCount() == 0 {
+		t.Fatal("empty vocabulary")
+	}
+	if _, ok := ix.TermOID(Stem("winner")); !ok {
+		t.Fatal("winner not in vocabulary")
+	}
+	if _, ok := ix.TermOID("zzzz"); ok {
+		t.Fatal("phantom term in vocabulary")
+	}
+}
+
+func TestRelationsShape(t *testing.T) {
+	ix := smallIndex()
+	// DT decomposition is aligned: same pair oids in both columns.
+	if ix.DTd.Len() != ix.DTt.Len() || ix.DTd.Len() != ix.TF.Len() {
+		t.Fatalf("DT/TF misaligned: %d %d %d", ix.DTd.Len(), ix.DTt.Len(), ix.TF.Len())
+	}
+	for i := 0; i < ix.DTd.Len(); i++ {
+		if ix.DTd.Head(i) != ix.DTt.Head(i) || ix.DTd.Head(i) != ix.TF.Head(i) {
+			t.Fatalf("pair oid mismatch at %d", i)
+		}
+	}
+}
+
+func TestIDFDefinition(t *testing.T) {
+	ix := smallIndex()
+	// "winner" appears in docs 1, 2, 4 -> df=3 -> idf=1/3.
+	if got := ix.IDFOf(Stem("winner")); got != 1.0/3.0 {
+		t.Fatalf("idf(winner) = %v, want 1/3", got)
+	}
+	if got := ix.IDFOf(Stem("melbourne")); got != 1.0 {
+		t.Fatalf("idf(melbourne) = %v, want 1", got)
+	}
+	if got := ix.IDFOf("absent"); got != 0 {
+		t.Fatalf("idf(absent) = %v, want 0", got)
+	}
+}
+
+func TestTopNRanking(t *testing.T) {
+	ix := smallIndex()
+	res := ix.TopN("winner", 10)
+	if len(res) != 3 {
+		t.Fatalf("results = %v", res)
+	}
+	// d4 mentions winner three times in a short doc: must rank first.
+	if res[0].Doc != 4 {
+		t.Fatalf("top doc = %d, want 4", res[0].Doc)
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Score > res[i-1].Score {
+			t.Fatal("results not sorted by score desc")
+		}
+	}
+}
+
+func TestTopNLimits(t *testing.T) {
+	ix := smallIndex()
+	if got := ix.TopN("winner", 1); len(got) != 1 {
+		t.Fatalf("n=1 returned %d", len(got))
+	}
+	if got := ix.TopN("quetzalcoatl", 5); len(got) != 0 {
+		t.Fatalf("unknown term returned %v", got)
+	}
+	if got := ix.TopN("the of and", 5); len(got) != 0 {
+		t.Fatalf("stop-word query returned %v", got)
+	}
+}
+
+func TestNaiveEqualsOptimized(t *testing.T) {
+	ix := smallIndex()
+	for _, q := range []string{"winner", "seles final", "weather melbourne", "championship trophy winner"} {
+		opt := ix.TopN(q, 10)
+		naive := ix.TopNNaive(q, 10)
+		if len(opt) != len(naive) {
+			t.Fatalf("q=%q: sizes differ: %v vs %v", q, opt, naive)
+		}
+		for i := range opt {
+			if opt[i].Doc != naive[i].Doc || opt[i].Score != naive[i].Score {
+				t.Fatalf("q=%q: rank %d differs: %v vs %v", q, i, opt[i], naive[i])
+			}
+		}
+	}
+}
+
+func TestTopNRestricted(t *testing.T) {
+	ix := smallIndex()
+	res := ix.TopNRestricted("winner", 10, map[bat.OID]bool{2: true})
+	if len(res) != 1 || res[0].Doc != 2 {
+		t.Fatalf("restricted = %v", res)
+	}
+}
+
+func TestFragmentize(t *testing.T) {
+	ix := smallIndex()
+	ix.Fragmentize(3)
+	frags := ix.Fragments()
+	if len(frags) == 0 || len(frags) > 3 {
+		t.Fatalf("fragments = %d", len(frags))
+	}
+	// idf must descend across fragments.
+	for i := 1; i < len(frags); i++ {
+		if frags[i].MaxIDF > frags[i-1].MinIDF+1e-12 {
+			t.Fatalf("fragment %d idf ordering broken: %v after %v", i, frags[i].MaxIDF, frags[i-1].MinIDF)
+		}
+	}
+	// Every term appears in exactly one fragment.
+	seen := make(map[bat.OID]bool)
+	total := 0
+	for _, f := range frags {
+		for _, id := range f.Terms {
+			if seen[id] {
+				t.Fatal("term in two fragments")
+			}
+			seen[id] = true
+			total++
+		}
+	}
+	if total != ix.TermCount() {
+		t.Fatalf("fragments cover %d terms, vocabulary has %d", total, ix.TermCount())
+	}
+}
+
+func TestFragmentizeDegenerate(t *testing.T) {
+	ix := smallIndex()
+	ix.Fragmentize(0) // clamped to 1
+	if len(ix.Fragments()) != 1 {
+		t.Fatalf("k=0 fragments = %d", len(ix.Fragments()))
+	}
+	ix.Fragmentize(1000) // more fragments than tuples
+	for _, f := range ix.Fragments() {
+		if len(f.Terms) == 0 {
+			t.Fatal("empty fragment emitted")
+		}
+	}
+}
+
+func TestTopNFragmentsQuality(t *testing.T) {
+	ix := smallIndex()
+	ix.Fragmentize(4)
+	full, q := ix.TopNFragments("winner melbourne", 10, len(ix.Fragments()))
+	if q != 1.0 {
+		t.Fatalf("full evaluation quality = %v", q)
+	}
+	exact := ix.TopN("winner melbourne", 10)
+	if len(full) != len(exact) {
+		t.Fatalf("full fragment eval differs from exact: %v vs %v", full, exact)
+	}
+	// Cutting fragments can only lower (or keep) quality.
+	prev := 0.0
+	for k := 1; k <= len(ix.Fragments()); k++ {
+		_, qk := ix.TopNFragments("winner melbourne", 10, k)
+		if qk < prev-1e-12 {
+			t.Fatalf("quality not monotone: %v after %v at k=%d", qk, prev, k)
+		}
+		prev = qk
+	}
+	if prev != 1.0 {
+		t.Fatalf("processing all fragments must give quality 1, got %v", prev)
+	}
+}
+
+func TestFragmentCutoffKeepsRareTerms(t *testing.T) {
+	// The rare term "melbourne" (df=1, idf=1) must live in an earlier
+	// fragment than the common "winner" (df=3); with one fragment cut
+	// off, the rare term's contribution must survive.
+	ix := smallIndex()
+	ix.Fragmentize(ix.TermCount()) // one term per fragment, idf-desc
+	melbourne, _ := ix.TermOID(Stem("melbourne"))
+	winner, _ := ix.TermOID(Stem("winner"))
+	fragOf := func(id bat.OID) int {
+		for fi, f := range ix.Fragments() {
+			for _, t := range f.Terms {
+				if t == id {
+					return fi
+				}
+			}
+		}
+		return -1
+	}
+	fm, fw := fragOf(melbourne), fragOf(winner)
+	if fm < 0 || fw < 0 {
+		t.Fatal("query terms missing from fragments")
+	}
+	if fm >= fw {
+		t.Fatalf("rare term (df=1) in fragment %d, common term (df=3) in %d; idf order broken", fm, fw)
+	}
+	// Cut off everything after melbourne's fragment: its contribution
+	// survives, winner's is dropped, quality falls below 1.
+	res, q := ix.TopNFragments("melbourne winner", 10, fm+1)
+	if len(res) == 0 || res[0].Doc != 3 {
+		t.Fatalf("melbourne doc should rank, got %v", res)
+	}
+	if q >= 1.0 {
+		t.Fatal("cutting fragments with a query term present must reduce quality below 1")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := []Result{{Doc: 1, Score: 3}, {Doc: 2, Score: 1}}
+	b := []Result{{Doc: 3, Score: 2}}
+	got := Merge(2, a, b)
+	if len(got) != 2 || got[0].Doc != 1 || got[1].Doc != 3 {
+		t.Fatalf("Merge = %v", got)
+	}
+	if got := Merge(10); len(got) != 0 {
+		t.Fatalf("empty merge = %v", got)
+	}
+}
+
+// Property: for random corpora, the optimized and naive plans return
+// identical rankings, and fragment evaluation with all fragments
+// equals exact evaluation.
+func TestPropertyPlansAgree(t *testing.T) {
+	words := []string{"tennis", "open", "winner", "net", "serve", "ace",
+		"match", "court", "player", "champion", "rally", "set"}
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 30; iter++ {
+		ix := NewIndex()
+		nDocs := 2 + rng.Intn(20)
+		for d := 1; d <= nDocs; d++ {
+			var text string
+			for w := 0; w < 3+rng.Intn(30); w++ {
+				text += words[rng.Intn(len(words))] + " "
+			}
+			ix.Add(bat.OID(d), fmt.Sprintf("d%d", d), text)
+		}
+		query := words[rng.Intn(len(words))] + " " + words[rng.Intn(len(words))]
+		opt := ix.TopN(query, 5)
+		naive := ix.TopNNaive(query, 5)
+		if len(opt) != len(naive) {
+			t.Fatalf("iter %d: plan size mismatch", iter)
+		}
+		for i := range opt {
+			if opt[i].Doc != naive[i].Doc {
+				t.Fatalf("iter %d: plan rank mismatch at %d: %v vs %v", iter, i, opt, naive)
+			}
+		}
+		ix.Fragmentize(1 + rng.Intn(5))
+		frag, q := ix.TopNFragments(query, 5, len(ix.Fragments()))
+		if q != 1.0 {
+			t.Fatalf("iter %d: full-fragment quality %v", iter, q)
+		}
+		for i := range opt {
+			if frag[i].Doc != opt[i].Doc {
+				t.Fatalf("iter %d: fragment eval mismatch", iter)
+			}
+		}
+	}
+}
+
+func BenchmarkAddDocument(b *testing.B) {
+	ix := NewIndex()
+	text := "the quick brown fox jumps over the lazy dog while the winner celebrates the championship"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ix.Add(bat.OID(i+1), "u", text)
+	}
+}

@@ -1,0 +1,70 @@
+package ir
+
+import "dlsearch/internal/bat"
+
+// Stats carries collection-wide term statistics keyed by stemmed term.
+// In the distributed setting the central DBMS aggregates the local
+// statistics of every node and ships them with the query, so each node
+// computes exactly the scores a single global index would — this is
+// what makes the per-document distribution transparent to the ranking.
+type Stats struct {
+	DF      map[string]int
+	TotalDF int
+	Docs    int
+}
+
+// StatsLocal extracts this index's local term statistics.
+func (ix *Index) StatsLocal() Stats {
+	st := Stats{DF: make(map[string]int, len(ix.termID)), TotalDF: ix.totalDF, Docs: ix.DocCount()}
+	for term, id := range ix.termID {
+		st.DF[term] = ix.df[id]
+	}
+	return st
+}
+
+// MergeStats sums local statistics into global statistics.
+func MergeStats(locals ...Stats) Stats {
+	g := Stats{DF: make(map[string]int)}
+	for _, l := range locals {
+		for t, df := range l.DF {
+			g.DF[t] += df
+		}
+		g.TotalDF += l.TotalDF
+		g.Docs += l.Docs
+	}
+	return g
+}
+
+// weightWith is the [Hie98] term weight with explicit statistics.
+func weightWith(lambda float64, tf, df, totalDF, docLen int) float64 {
+	if tf == 0 || df == 0 || docLen == 0 {
+		return 0
+	}
+	return logWeight(lambda, tf, df, totalDF, docLen)
+}
+
+// TopNWithStats ranks this node's local documents using the supplied
+// global statistics instead of local ones. Combined with Merge this
+// yields a distributed ranking identical to a single global index.
+func (ix *Index) TopNWithStats(query string, n int, global Stats) []Result {
+	scores := make(map[bat.OID]float64)
+	seen := make(map[string]bool)
+	for _, term := range Terms(query) {
+		if seen[term] {
+			continue
+		}
+		seen[term] = true
+		id, ok := ix.termID[term]
+		if !ok {
+			continue
+		}
+		df := global.DF[term]
+		if df == 0 {
+			continue
+		}
+		for _, p := range ix.postings[id] {
+			scores[p.Doc] += weightWith(ix.lambda, p.TF, df, global.TotalDF, ix.docLen[p.Doc])
+		}
+	}
+	return topNFromScores(scores, n)
+}

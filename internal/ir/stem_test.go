@@ -1,0 +1,112 @@
+package ir
+
+import "testing"
+
+// Standard Porter test vectors from the original 1980 paper.
+func TestStemVectors(t *testing.T) {
+	cases := map[string]string{
+		"caresses": "caress", "ponies": "poni", "ties": "ti",
+		"caress": "caress", "cats": "cat",
+		"feed": "feed", "agreed": "agre", "plastered": "plaster",
+		"bled": "bled", "motoring": "motor", "sing": "sing",
+		"conflated": "conflat", "troubled": "troubl", "sized": "size",
+		"hopping": "hop", "tanned": "tan", "falling": "fall",
+		"hissing": "hiss", "fizzed": "fizz", "failing": "fail",
+		"filing": "file",
+		"happy":  "happi", "sky": "sky",
+		"relational": "relat", "conditional": "condit", "rational": "ration",
+		"valenci": "valenc", "hesitanci": "hesit", "digitizer": "digit",
+		"radicalli": "radic", "differentli": "differ", "vileli": "vile",
+		"analogousli": "analog", "vietnamization": "vietnam",
+		"predication": "predic", "operator": "oper", "feudalism": "feudal",
+		"decisiveness": "decis", "hopefulness": "hope",
+		"callousness": "callous", "formaliti": "formal",
+		"sensitiviti": "sensit", "sensibiliti": "sensibl",
+		"triplicate": "triplic", "formative": "form", "formalize": "formal",
+		"electriciti": "electr", "electrical": "electr", "hopeful": "hope",
+		"goodness": "good",
+		"revival":  "reviv", "allowance": "allow", "inference": "infer",
+		"airliner": "airlin", "gyroscopic": "gyroscop",
+		"adjustable": "adjust", "defensible": "defens", "irritant": "irrit",
+		"replacement": "replac", "adjustment": "adjust",
+		"dependent": "depend", "adoption": "adopt", "communism": "commun",
+		"activate": "activ", "homologous": "homolog", "effective": "effect",
+		"bowdlerize": "bowdler",
+		"probate":    "probat", "rate": "rate", "cease": "ceas",
+		"controll": "control", "roll": "roll",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemShortWords(t *testing.T) {
+	for _, w := range []string{"a", "is", "be"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, short words must pass through", w, got)
+		}
+	}
+}
+
+func TestStemIdempotentOnDomainWords(t *testing.T) {
+	// Words from the running example; stemming twice must be stable for
+	// the vocabulary to be well defined.
+	for _, w := range []string{"winner", "champion", "tennis", "seles", "player", "approaches"} {
+		once := Stem(w)
+		if twice := Stem(once); twice != once {
+			t.Errorf("Stem not stable on %q: %q -> %q", w, once, twice)
+		}
+	}
+}
+
+func TestStemCaseInsensitive(t *testing.T) {
+	if Stem("Winner") != Stem("winner") {
+		t.Error("stemming must lower-case")
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Monica Seles, winner-of 1996!")
+	want := []string{"monica", "seles", "winner", "of", "1996"}
+	if len(got) != len(want) {
+		t.Fatalf("Tokenize = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Tokenize = %v, want %v", got, want)
+		}
+	}
+	if len(Tokenize("")) != 0 {
+		t.Fatal("empty text should yield no tokens")
+	}
+	if len(Tokenize("...!!!")) != 0 {
+		t.Fatal("punctuation-only text should yield no tokens")
+	}
+}
+
+func TestTermsAppliesStopAndStem(t *testing.T) {
+	got := Terms("The winner of the championships")
+	// "the", "of" stopped; "winner" -> winner, "championships" -> championship...
+	for _, term := range got {
+		if IsStopWord(term) {
+			t.Errorf("stop word %q survived", term)
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("Terms = %v, want 2 terms", got)
+	}
+	if got[0] != "winner" {
+		t.Errorf("Terms[0] = %q", got[0])
+	}
+}
+
+func TestIsStopWord(t *testing.T) {
+	if !IsStopWord("The") || !IsStopWord("and") {
+		t.Error("common stop words not recognised")
+	}
+	if IsStopWord("tennis") {
+		t.Error("tennis is not a stop word")
+	}
+}

@@ -1,0 +1,71 @@
+package ir
+
+import "strings"
+
+// stopWords is the stop list applied before terms enter the
+// vocabulary; the paper: "Stop terms are expected to be filtered out."
+var stopWords = map[string]bool{
+	"a": true, "about": true, "above": true, "after": true, "again": true,
+	"all": true, "also": true, "am": true, "an": true, "and": true,
+	"any": true, "are": true, "as": true, "at": true, "be": true,
+	"because": true, "been": true, "before": true, "being": true,
+	"below": true, "between": true, "both": true, "but": true, "by": true,
+	"can": true, "could": true, "did": true, "do": true, "does": true,
+	"doing": true, "down": true, "during": true, "each": true, "few": true,
+	"for": true, "from": true, "further": true, "had": true, "has": true,
+	"have": true, "having": true, "he": true, "her": true, "here": true,
+	"hers": true, "him": true, "his": true, "how": true, "i": true,
+	"if": true, "in": true, "into": true, "is": true, "it": true,
+	"its": true, "just": true, "me": true, "more": true, "most": true,
+	"my": true, "no": true, "nor": true, "not": true, "now": true,
+	"of": true, "off": true, "on": true, "once": true, "only": true,
+	"or": true, "other": true, "our": true, "out": true, "over": true,
+	"own": true, "same": true, "she": true, "should": true, "so": true,
+	"some": true, "such": true, "than": true, "that": true, "the": true,
+	"their": true, "them": true, "then": true, "there": true,
+	"these": true, "they": true, "this": true, "those": true,
+	"through": true, "to": true, "too": true, "under": true, "until": true,
+	"up": true, "very": true, "was": true, "we": true, "were": true,
+	"what": true, "when": true, "where": true, "which": true,
+	"while": true, "who": true, "whom": true, "why": true, "will": true,
+	"with": true, "would": true, "you": true, "your": true,
+}
+
+// IsStopWord reports whether the (lower-cased) word is on the stop list.
+func IsStopWord(w string) bool { return stopWords[strings.ToLower(w)] }
+
+// Tokenize splits text into lower-case word tokens; anything that is
+// not a letter or digit separates tokens.
+func Tokenize(text string) []string {
+	var out []string
+	var sb strings.Builder
+	flush := func() {
+		if sb.Len() > 0 {
+			out = append(out, sb.String())
+			sb.Reset()
+		}
+	}
+	for _, r := range strings.ToLower(text) {
+		if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') {
+			sb.WriteRune(r)
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// Terms pushes text through the tokenizer, the stop filter and the
+// stemmer, exactly the pipeline the central database server applies to
+// both documents and query terms in the paper.
+func Terms(text string) []string {
+	var out []string
+	for _, tok := range Tokenize(text) {
+		if stopWords[tok] {
+			continue
+		}
+		out = append(out, Stem(tok))
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package monetxml
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestEdgeStoreBasics(t *testing.T) {
+	e := NewEdgeStore()
+	n := MustParseNode(`<a x="1"><b>hello</b><b>world</b><c><b>deep</b></c></a>`)
+	root := e.LoadNode(n)
+	if len(e.Roots()) != 1 || e.Roots()[0] != root {
+		t.Fatalf("Roots = %v", e.Roots())
+	}
+	if v, ok := e.AttrOf(root, "x"); !ok || v != "1" {
+		t.Fatalf("AttrOf = %q,%v", v, ok)
+	}
+	if _, ok := e.AttrOf(root, "nope"); ok {
+		t.Fatal("absent attribute found")
+	}
+
+	bs := e.NodesAt("a/b")
+	if len(bs) != 2 {
+		t.Fatalf("a/b count = %d, want 2 (deep b must not match)", len(bs))
+	}
+	deep := e.NodesAt("a/c/b")
+	if len(deep) != 1 {
+		t.Fatalf("a/c/b count = %d", len(deep))
+	}
+	if got := e.TextOf(deep[0]); got != "deep" {
+		t.Fatalf("TextOf = %q", got)
+	}
+	if got := e.NodesAt("z/b"); len(got) != 0 {
+		t.Fatalf("z/b should be empty, got %v", got)
+	}
+}
+
+// TestEdgeStoreAgreesWithMonet is the correctness half of experiment
+// E09: both mappings must return the same answers; the benchmark half
+// measures the cost difference.
+func TestEdgeStoreAgreesWithMonet(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	ms := NewStore()
+	es := NewEdgeStore()
+	for i := 0; i < 40; i++ {
+		tree := randomTree(rng, 4)
+		if _, err := ms.LoadNode(fmt.Sprintf("u%d", i), tree); err != nil {
+			t.Fatal(err)
+		}
+		es.LoadNode(tree)
+	}
+	exprs := []string{"a/b", "a/b/c", "b/a", "c/d", "a/a/a", "d/c/b/a"}
+	for _, expr := range exprs {
+		mres, err := ms.NodesAt(expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eres := es.NodesAt(expr)
+		if len(mres) != len(eres) {
+			t.Fatalf("expr %q: monet=%d edge=%d", expr, len(mres), len(eres))
+		}
+	}
+}
+
+func TestEdgeStoreNodeCount(t *testing.T) {
+	e := NewEdgeStore()
+	e.LoadNode(MustParseNode(`<a><b>x</b></a>`))
+	// a, b, text = 3
+	if got := e.NodeCount(); got != 3 {
+		t.Fatalf("NodeCount = %d", got)
+	}
+}

@@ -1,0 +1,126 @@
+package monetxml
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseNodeBasics(t *testing.T) {
+	n := MustParseNode(`<a x="1"><b>hi</b><c/></a>`)
+	if n.Tag != "a" {
+		t.Fatalf("root tag %q", n.Tag)
+	}
+	if v, ok := n.Attr("x"); !ok || v != "1" {
+		t.Fatalf("attr x = %q,%v", v, ok)
+	}
+	b := n.Child("b")
+	if b == nil || b.InnerText() != "hi" {
+		t.Fatalf("child b: %v", b)
+	}
+	if n.Child("c") == nil {
+		t.Fatal("child c missing")
+	}
+	if n.Child("zzz") != nil {
+		t.Fatal("nonexistent child found")
+	}
+}
+
+func TestParseNodeErrors(t *testing.T) {
+	if _, err := ParseNode(strings.NewReader("")); err == nil {
+		t.Fatal("empty doc should error")
+	}
+	if _, err := ParseNode(strings.NewReader("<a></a><b></b>")); err == nil {
+		t.Fatal("multiple roots should error")
+	}
+	if _, err := ParseNode(strings.NewReader("<a><b></a>")); err == nil {
+		t.Fatal("unbalanced tags should error")
+	}
+}
+
+func TestNodeStringRoundTrip(t *testing.T) {
+	src := `<image key="18934"><date>999010530</date><colors><histogram>0.399 0.277 0.344</histogram></colors></image>`
+	n := MustParseNode(src)
+	again := MustParseNode(n.String())
+	if !n.Equal(again) {
+		t.Fatalf("round trip not isomorphic:\n%s\nvs\n%s", n, again)
+	}
+}
+
+func TestNodeStringEscaping(t *testing.T) {
+	n := Elem("a", TextNode(`x < y & "z"`)).WithAttr("q", `a<b`)
+	again := MustParseNode(n.String())
+	if !n.Equal(again) {
+		t.Fatalf("escaped round trip failed: %s vs %s", n, again)
+	}
+}
+
+func TestEqualAttrOrderInsensitive(t *testing.T) {
+	a := Elem("a").WithAttr("x", "1").WithAttr("y", "2")
+	b := Elem("a").WithAttr("y", "2").WithAttr("x", "1")
+	if !a.Equal(b) {
+		t.Fatal("attribute order should not matter")
+	}
+	c := Elem("a").WithAttr("x", "other")
+	if a.Equal(c) {
+		t.Fatal("different attrs should not be equal")
+	}
+}
+
+func TestEqualDistinguishesStructure(t *testing.T) {
+	a := Elem("a", Elem("b"), Elem("c"))
+	b := Elem("a", Elem("c"), Elem("b"))
+	if a.Equal(b) {
+		t.Fatal("element order must matter")
+	}
+	if a.Equal(Elem("a", Elem("b"))) {
+		t.Fatal("child count must matter")
+	}
+	if Elem("a").Equal(TextNode("a")) {
+		t.Fatal("element vs text must differ")
+	}
+}
+
+func TestEqualIgnoresWhitespaceText(t *testing.T) {
+	a := Elem("a", TextNode("  "), Elem("b"))
+	b := Elem("a", Elem("b"))
+	if !a.Equal(b) {
+		t.Fatal("whitespace-only text nodes should be ignored")
+	}
+}
+
+func TestDeepTextAndInnerText(t *testing.T) {
+	n := MustParseNode(`<p>one<b>two</b>three</p>`)
+	if got := n.DeepText(); got != "onetwothree" {
+		t.Fatalf("DeepText = %q", got)
+	}
+	if got := n.InnerText(); got != "onethree" {
+		t.Fatalf("InnerText = %q", got)
+	}
+}
+
+func TestCountNodesAndHeight(t *testing.T) {
+	n := MustParseNode(`<a><b><c>x</c></b><d/></a>`)
+	// a, b, c, text(x), d = 5 nodes
+	if got := n.CountNodes(); got != 5 {
+		t.Fatalf("CountNodes = %d", got)
+	}
+	if got := n.Height(); got != 3 {
+		t.Fatalf("Height = %d", got)
+	}
+}
+
+func TestChildrenByTag(t *testing.T) {
+	n := MustParseNode(`<a><s>1</s><t/><s>2</s></a>`)
+	ss := n.ChildrenByTag("s")
+	if len(ss) != 2 || ss[0].InnerText() != "1" || ss[1].InnerText() != "2" {
+		t.Fatalf("ChildrenByTag = %v", ss)
+	}
+}
+
+func TestSortedAttrNames(t *testing.T) {
+	n := Elem("a").WithAttr("z", "1").WithAttr("a", "2")
+	got := n.SortedAttrNames()
+	if len(got) != 2 || got[0] != "a" || got[1] != "z" {
+		t.Fatalf("SortedAttrNames = %v", got)
+	}
+}

@@ -1,0 +1,250 @@
+package monetxml
+
+import (
+	"fmt"
+	"strings"
+
+	"dlsearch/internal/bat"
+)
+
+// PathExpr is a parsed path expression over the path summary:
+//
+//	expr   := ["//"] step { "/" step } [ "[" attr "]" ]
+//	step   := tag | "*"
+//
+// A leading "//" matches any schema path whose trailing steps equal
+// the given steps (descendant-anywhere); otherwise steps are matched
+// from a document root. "*" matches any tag at its position. A final
+// "[attr]" selects the attribute relation of the matched path.
+type PathExpr struct {
+	Steps      []string
+	Descendant bool
+	Attr       string
+}
+
+// ParsePath parses a path expression.
+func ParsePath(expr string) (PathExpr, error) {
+	var pe PathExpr
+	rest := expr
+	if strings.HasPrefix(rest, "//") {
+		pe.Descendant = true
+		rest = rest[2:]
+	} else {
+		rest = strings.TrimPrefix(rest, "/")
+	}
+	if i := strings.IndexByte(rest, '['); i >= 0 {
+		if !strings.HasSuffix(rest, "]") {
+			return pe, fmt.Errorf("monetxml: malformed attribute selector in %q", expr)
+		}
+		pe.Attr = rest[i+1 : len(rest)-1]
+		rest = rest[:i]
+	}
+	if rest == "" {
+		return pe, fmt.Errorf("monetxml: empty path %q", expr)
+	}
+	pe.Steps = strings.Split(rest, "/")
+	for _, s := range pe.Steps {
+		if s == "" {
+			return pe, fmt.Errorf("monetxml: empty step in %q", expr)
+		}
+	}
+	return pe, nil
+}
+
+// stepsMatch reports whether the path's step sequence matches the
+// expression steps (with "*" wildcards).
+func stepsMatch(pathSteps, exprSteps []string) bool {
+	if len(pathSteps) != len(exprSteps) {
+		return false
+	}
+	for i := range exprSteps {
+		if exprSteps[i] != "*" && exprSteps[i] != pathSteps[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchPaths returns the schema nodes whose canonical path matches the
+// expression, in path-summary order. Because the path summary is tiny
+// compared to the data, this resolution step is what makes arbitrary
+// path expressions cheap: each match is then a single relation scan.
+func (s *Store) MatchPaths(pe PathExpr) []*SchemaNode {
+	var out []*SchemaNode
+	var walk func(*SchemaNode, []string)
+	walk = func(sn *SchemaNode, prefix []string) {
+		steps := append(prefix, sn.Tag)
+		if pe.Descendant {
+			if len(steps) >= len(pe.Steps) && stepsMatch(steps[len(steps)-len(pe.Steps):], pe.Steps) {
+				out = append(out, sn)
+			}
+		} else if stepsMatch(steps, pe.Steps) {
+			out = append(out, sn)
+		}
+		for _, c := range sn.Children() {
+			walk(c, steps)
+		}
+	}
+	for _, r := range s.SchemaRoots() {
+		walk(r, nil)
+	}
+	return out
+}
+
+// NodesAt evaluates a path expression and returns the oids of all
+// matching element nodes. For a non-attribute expression each matched
+// schema node costs exactly one scan of its edge relation — the
+// semantic-clustering payoff of the Monet transform.
+func (s *Store) NodesAt(expr string) ([]bat.OID, error) {
+	pe, err := ParsePath(expr)
+	if err != nil {
+		return nil, err
+	}
+	if pe.Attr != "" {
+		return nil, fmt.Errorf("monetxml: NodesAt on attribute expression %q", expr)
+	}
+	var out []bat.OID
+	for _, sn := range s.MatchPaths(pe) {
+		rel := s.Bats.Get(sn.Path)
+		if rel == nil {
+			continue
+		}
+		for i := 0; i < rel.Len(); i++ {
+			out = append(out, rel.TailOID(i))
+		}
+	}
+	return out, nil
+}
+
+// ValuesAt evaluates a path expression and returns the character data
+// directly below each matching element, in storage order.
+func (s *Store) ValuesAt(expr string) ([]string, error) {
+	pe, err := ParsePath(expr)
+	if err != nil {
+		return nil, err
+	}
+	if pe.Attr != "" {
+		pairs, err := s.AttrsAt(expr)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]string, len(pairs))
+		for i, p := range pairs {
+			out[i] = p.Value
+		}
+		return out, nil
+	}
+	var out []string
+	for _, sn := range s.MatchPaths(pe) {
+		pc := sn.Child(PCDataTag)
+		if pc == nil {
+			continue
+		}
+		rel := s.Bats.Get(pc.Path + cdataSuffix)
+		if rel == nil {
+			continue
+		}
+		for i := 0; i < rel.Len(); i++ {
+			out = append(out, rel.TailString(i))
+		}
+	}
+	return out, nil
+}
+
+// AttrPair is an (element oid, attribute value) result of AttrsAt.
+type AttrPair struct {
+	OID   bat.OID
+	Value string
+}
+
+// AttrsAt evaluates a path expression ending in an attribute selector
+// and returns (oid, value) pairs.
+func (s *Store) AttrsAt(expr string) ([]AttrPair, error) {
+	pe, err := ParsePath(expr)
+	if err != nil {
+		return nil, err
+	}
+	if pe.Attr == "" {
+		return nil, fmt.Errorf("monetxml: AttrsAt needs an attribute selector in %q", expr)
+	}
+	var out []AttrPair
+	for _, sn := range s.MatchPaths(pe) {
+		rel := s.Bats.Get(sn.Path + "[" + pe.Attr + "]")
+		if rel == nil {
+			continue
+		}
+		for i := 0; i < rel.Len(); i++ {
+			out = append(out, AttrPair{OID: rel.Head(i), Value: rel.TailString(i)})
+		}
+	}
+	return out, nil
+}
+
+// TextOf returns the character data directly below the element with
+// the given schema path and oid.
+func (s *Store) TextOf(path string, oid bat.OID) string {
+	sn := s.SchemaNodeAt(path)
+	if sn == nil {
+		return ""
+	}
+	pc := sn.Child(PCDataTag)
+	if pc == nil {
+		return ""
+	}
+	edge := s.Bats.Get(pc.Path)
+	val := s.Bats.Get(pc.Path + cdataSuffix)
+	if edge == nil || val == nil {
+		return ""
+	}
+	var sb strings.Builder
+	for _, t := range edge.TailsOfHead(oid) {
+		if v, ok := val.StringOfHead(t); ok {
+			sb.WriteString(v)
+		}
+	}
+	return sb.String()
+}
+
+// ParentOf returns the parent oid of the node at (path, oid) together
+// with the parent's schema path; ok is false at a root.
+func (s *Store) ParentOf(path string, oid bat.OID) (string, bat.OID, bool) {
+	sn := s.SchemaNodeAt(path)
+	if sn == nil || sn.Parent == nil {
+		return "", 0, false
+	}
+	edge := s.Bats.Get(sn.Path)
+	if edge == nil {
+		return "", 0, false
+	}
+	heads := edge.HeadsOfOID(oid)
+	if len(heads) == 0 {
+		return "", 0, false
+	}
+	return sn.Parent.Path, heads[0], true
+}
+
+// DocOf walks from a node at (path, oid) up to its document root and
+// returns the owning document id.
+func (s *Store) DocOf(path string, oid bat.OID) (DocID, bool) {
+	for {
+		ppath, poid, ok := s.ParentOf(path, oid)
+		if !ok {
+			break
+		}
+		path, oid = ppath, poid
+	}
+	// oid is now a root node; the root edge relation maps doc -> root.
+	sn := s.SchemaNodeAt(path)
+	if sn == nil || sn.Parent != nil {
+		return 0, false
+	}
+	rel := s.Bats.Get(sn.Path)
+	if rel == nil {
+		return 0, false
+	}
+	docs := rel.HeadsOfOID(oid)
+	if len(docs) == 0 {
+		return 0, false
+	}
+	return docs[0], true
+}

@@ -1,0 +1,159 @@
+package monetxml
+
+import (
+	"strings"
+	"testing"
+)
+
+func loadCorpus(t *testing.T) *Store {
+	t.Helper()
+	s := NewStore()
+	docs := []string{
+		`<article id="1"><title>Final</title><body>Seles wins the final</body></article>`,
+		`<article id="2"><title>Semi</title><body>Hingis in the semi</body></article>`,
+		`<profile name="Seles"><history>Winner 1996</history><stats><aces>10</aces></stats></profile>`,
+	}
+	for _, d := range docs {
+		if _, err := s.Load("u", strings.NewReader(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestParsePath(t *testing.T) {
+	pe, err := ParsePath("a/b/c")
+	if err != nil || pe.Descendant || pe.Attr != "" || len(pe.Steps) != 3 {
+		t.Fatalf("ParsePath(a/b/c) = %+v, %v", pe, err)
+	}
+	pe, err = ParsePath("//c[k]")
+	if err != nil || !pe.Descendant || pe.Attr != "k" || len(pe.Steps) != 1 {
+		t.Fatalf("ParsePath(//c[k]) = %+v, %v", pe, err)
+	}
+	pe, err = ParsePath("/a/b")
+	if err != nil || pe.Descendant || len(pe.Steps) != 2 {
+		t.Fatalf("ParsePath(/a/b) = %+v, %v", pe, err)
+	}
+	for _, bad := range []string{"", "a//b", "a[", "[x]"} {
+		if _, err := ParsePath(bad); err == nil {
+			t.Errorf("ParsePath(%q) should fail", bad)
+		}
+	}
+}
+
+func TestNodesAtAbsolute(t *testing.T) {
+	s := loadCorpus(t)
+	oids, err := s.NodesAt("article/title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oids) != 2 {
+		t.Fatalf("article/title count = %d", len(oids))
+	}
+	// Attribute expression must be rejected by NodesAt.
+	if _, err := s.NodesAt("article[id]"); err == nil {
+		t.Fatal("NodesAt with attr selector should fail")
+	}
+}
+
+func TestNodesAtWildcardAndDescendant(t *testing.T) {
+	s := loadCorpus(t)
+	all, err := s.NodesAt("article/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// title, body per article = 4 elements (pcdata children are not elements
+	// but they are schema children; the wildcard matches them too).
+	if len(all) < 4 {
+		t.Fatalf("article/* count = %d", len(all))
+	}
+	aces, err := s.NodesAt("//aces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aces) != 1 {
+		t.Fatalf("//aces count = %d", len(aces))
+	}
+}
+
+func TestValuesAt(t *testing.T) {
+	s := loadCorpus(t)
+	vals, err := s.ValuesAt("article/body")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 || vals[0] != "Seles wins the final" {
+		t.Fatalf("ValuesAt = %v", vals)
+	}
+	ids, err := s.ValuesAt("article[id]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != "1" || ids[1] != "2" {
+		t.Fatalf("attr values = %v", ids)
+	}
+}
+
+func TestAttrsAt(t *testing.T) {
+	s := loadCorpus(t)
+	pairs, err := s.AttrsAt("profile[name]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 || pairs[0].Value != "Seles" {
+		t.Fatalf("AttrsAt = %v", pairs)
+	}
+	if _, err := s.AttrsAt("profile"); err == nil {
+		t.Fatal("AttrsAt without selector should fail")
+	}
+}
+
+func TestTextOf(t *testing.T) {
+	s := loadCorpus(t)
+	hs, _ := s.NodesAt("profile/history")
+	if len(hs) != 1 {
+		t.Fatalf("history nodes = %v", hs)
+	}
+	if got := s.TextOf("profile/history", hs[0]); got != "Winner 1996" {
+		t.Fatalf("TextOf = %q", got)
+	}
+	if got := s.TextOf("no/path", 1); got != "" {
+		t.Fatalf("TextOf unknown path = %q", got)
+	}
+}
+
+func TestParentOfAndDocOf(t *testing.T) {
+	s := loadCorpus(t)
+	aces, _ := s.NodesAt("profile/stats/aces")
+	ppath, poid, ok := s.ParentOf("profile/stats/aces", aces[0])
+	if !ok || ppath != "profile/stats" {
+		t.Fatalf("ParentOf = %q,%v,%v", ppath, poid, ok)
+	}
+	doc, ok := s.DocOf("profile/stats/aces", aces[0])
+	if !ok {
+		t.Fatal("DocOf failed")
+	}
+	rec, err := s.Reconstruct(doc)
+	if err != nil || rec.Tag != "profile" {
+		t.Fatalf("DocOf resolved wrong doc: %v %v", rec, err)
+	}
+	// Root has no parent.
+	roots, _ := s.NodesAt("profile")
+	if _, _, ok := s.ParentOf("profile", roots[0]); ok {
+		t.Fatal("root should have no parent")
+	}
+}
+
+func TestMatchPathsMultipleRoots(t *testing.T) {
+	s := loadCorpus(t)
+	pe, _ := ParsePath("//pcdata")
+	matches := s.MatchPaths(pe)
+	if len(matches) < 4 {
+		t.Fatalf("//pcdata matched %d schema nodes", len(matches))
+	}
+	for _, m := range matches {
+		if m.Tag != PCDataTag {
+			t.Fatalf("matched non-pcdata node %q", m.Path)
+		}
+	}
+}

@@ -1,0 +1,609 @@
+package monetxml
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dlsearch/internal/bat"
+)
+
+// PCDataTag is the synthetic tag of character-data nodes: the paper
+// models character data as a special attribute of cdata nodes.
+const PCDataTag = "pcdata"
+
+// Relation name suffixes. Genuine XML attribute names cannot contain
+// '*', so the typed-value suffixes never collide with A relations.
+const (
+	rankSuffix  = "[rank]"
+	cdataSuffix = "[cdata]"
+	fltSuffix   = "[*flt]"
+	intSuffix   = "[*int]"
+	bitSuffix   = "[*bit]"
+)
+
+// Reserved relation names; '$' is invalid in XML names so they cannot
+// collide with path-derived relation names.
+const (
+	relDocs = "$docs" // doc-oid × source url
+	relRoot = "$root" // doc-oid × root-node-oid
+	relSys  = "$sys"  // root-node-oid × root tag (paper: insert(sys, <o1, image>))
+)
+
+// DocID identifies a loaded document.
+type DocID = bat.OID
+
+// SchemaNode is a node of the schema tree (Figure 12): one node per
+// distinct root-to-element path, holding the tag, the canonical path
+// (also the name of its edge relation) and its children. The bulkloader
+// navigates this tree instead of hashing complete paths.
+type SchemaNode struct {
+	Tag    string
+	Path   string
+	Parent *SchemaNode
+
+	children   map[string]*SchemaNode
+	childOrder []string
+	attrs      map[string]bool
+	attrOrder  []string
+}
+
+// Child returns the child schema node for tag, or nil.
+func (sn *SchemaNode) Child(tag string) *SchemaNode {
+	if sn.children == nil {
+		return nil
+	}
+	return sn.children[tag]
+}
+
+// Children returns the child schema nodes in first-seen order.
+func (sn *SchemaNode) Children() []*SchemaNode {
+	out := make([]*SchemaNode, 0, len(sn.childOrder))
+	for _, t := range sn.childOrder {
+		out = append(out, sn.children[t])
+	}
+	return out
+}
+
+// AttrNames returns the attribute names seen at this path, in
+// first-seen order.
+func (sn *SchemaNode) AttrNames() []string { return append([]string(nil), sn.attrOrder...) }
+
+// TypeOracle optionally assigns a typed ADT to the character data of
+// elements at a given path. The feature-grammar level supplies one so
+// that atoms declared `%atom flt yPos` are additionally stored in
+// typed relations the query engine can range-scan.
+type TypeOracle func(elemPath string) (bat.Kind, bool)
+
+// BulkloadStats records the cost metrics of experiment E08.
+type BulkloadStats struct {
+	Documents     int // documents loaded
+	Nodes         int // element + text nodes inserted
+	Inserts       int // association insert operations executed
+	MaxStackDepth int // maximum live stack frames: the O(height) bound
+}
+
+// Store is a Monet-transform database instance over a bat.Store.
+type Store struct {
+	Bats *bat.Store
+
+	roots     map[string]*SchemaNode
+	rootOrder []string
+	oracle    TypeOracle
+	stats     BulkloadStats
+}
+
+// NewStore returns an empty Monet XML store.
+func NewStore() *Store {
+	s := &Store{Bats: bat.NewStore(), roots: make(map[string]*SchemaNode)}
+	s.Bats.GetOrCreate(relDocs, bat.KindString)
+	s.Bats.GetOrCreate(relRoot, bat.KindOID)
+	s.Bats.GetOrCreate(relSys, bat.KindString)
+	return s
+}
+
+// SetTypeOracle installs the ADT oracle used for typed atom storage.
+func (s *Store) SetTypeOracle(o TypeOracle) { s.oracle = o }
+
+// Stats returns bulkload statistics accumulated so far.
+func (s *Store) Stats() BulkloadStats { return s.stats }
+
+// rootSchema returns (creating if needed) the schema node for a root tag.
+func (s *Store) rootSchema(tag string) *SchemaNode {
+	if sn, ok := s.roots[tag]; ok {
+		return sn
+	}
+	sn := &SchemaNode{Tag: tag, Path: tag}
+	s.roots[tag] = sn
+	s.rootOrder = append(s.rootOrder, tag)
+	return sn
+}
+
+// ensureChild returns (creating if needed) the child schema node; this
+// is the "look at the sons of the current context" step of the paper's
+// bulkload, replacing full-path hashing.
+func (s *Store) ensureChild(sn *SchemaNode, tag string) *SchemaNode {
+	if c := sn.Child(tag); c != nil {
+		return c
+	}
+	c := &SchemaNode{Tag: tag, Path: sn.Path + "/" + tag, Parent: sn}
+	if sn.children == nil {
+		sn.children = make(map[string]*SchemaNode)
+	}
+	sn.children[tag] = c
+	sn.childOrder = append(sn.childOrder, tag)
+	return c
+}
+
+func (sn *SchemaNode) noteAttr(name string) {
+	if sn.attrs == nil {
+		sn.attrs = make(map[string]bool)
+	}
+	if !sn.attrs[name] {
+		sn.attrs[name] = true
+		sn.attrOrder = append(sn.attrOrder, name)
+	}
+}
+
+// frame is a live bulkload stack frame.
+type frame struct {
+	sn       *SchemaNode
+	oid      bat.OID
+	nextRank int64
+}
+
+// Load bulkloads one XML document from r in a single SAX-style pass,
+// keeping only O(height) state. It returns the new document's id.
+func (s *Store) Load(url string, r io.Reader) (DocID, error) {
+	dec := xml.NewDecoder(r)
+	var (
+		stack []frame
+		doc   DocID
+		done  bool
+	)
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, fmt.Errorf("monetxml: load %s: %w", url, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if done {
+				return 0, fmt.Errorf("monetxml: load %s: multiple roots", url)
+			}
+			var sn *SchemaNode
+			var oid bat.OID
+			if len(stack) == 0 {
+				doc, sn, oid = s.beginDocument(url, t.Name.Local)
+			} else {
+				top := &stack[len(stack)-1]
+				sn, oid = s.insertElement(top, t.Name.Local)
+			}
+			for _, a := range t.Attr {
+				s.insertAttr(sn, oid, a.Name.Local, a.Value)
+			}
+			stack = append(stack, frame{sn: sn, oid: oid})
+			if len(stack) > s.stats.MaxStackDepth {
+				s.stats.MaxStackDepth = len(stack)
+			}
+		case xml.EndElement:
+			stack = stack[:len(stack)-1]
+			if len(stack) == 0 {
+				done = true
+			}
+		case xml.CharData:
+			if len(stack) == 0 {
+				continue
+			}
+			text := strings.TrimSpace(string(t))
+			if text == "" {
+				continue
+			}
+			s.insertText(&stack[len(stack)-1], text)
+		}
+	}
+	if !done {
+		return 0, fmt.Errorf("monetxml: load %s: no root element", url)
+	}
+	s.stats.Documents++
+	return doc, nil
+}
+
+// LoadNode inserts an already materialised Node tree; the conceptual
+// level and the FDE use this to pass their XML documents on to the
+// physical level.
+func (s *Store) LoadNode(url string, n *Node) (DocID, error) {
+	if n == nil || n.IsText() {
+		return 0, fmt.Errorf("monetxml: LoadNode: not an element")
+	}
+	doc, sn, oid := s.beginDocument(url, n.Tag)
+	for _, a := range n.Attrs {
+		s.insertAttr(sn, oid, a.Name, a.Value)
+	}
+	f := frame{sn: sn, oid: oid}
+	if err := s.loadChildren(&f, n, 1); err != nil {
+		return 0, err
+	}
+	s.stats.Documents++
+	return doc, nil
+}
+
+func (s *Store) loadChildren(parent *frame, n *Node, depth int) error {
+	if depth+1 > s.stats.MaxStackDepth {
+		s.stats.MaxStackDepth = depth + 1
+	}
+	for _, c := range n.Children {
+		if c.IsText() {
+			if strings.TrimSpace(c.Text) == "" {
+				continue
+			}
+			s.insertText(parent, strings.TrimSpace(c.Text))
+			continue
+		}
+		sn, oid := s.insertElement(parent, c.Tag)
+		for _, a := range c.Attrs {
+			s.insertAttr(sn, oid, a.Name, a.Value)
+		}
+		f := frame{sn: sn, oid: oid}
+		if err := s.loadChildren(&f, c, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// beginDocument registers a new document with a root element of the
+// given tag and returns (doc, root schema node, root oid).
+func (s *Store) beginDocument(url, tag string) (DocID, *SchemaNode, bat.OID) {
+	doc := s.Bats.Seq().Next()
+	oid := s.Bats.Seq().Next()
+	sn := s.rootSchema(tag)
+	s.Bats.Get(relDocs).AppendString(doc, url)
+	s.Bats.Get(relRoot).AppendOID(doc, oid)
+	s.Bats.Get(relSys).AppendString(oid, tag)
+	// R(tag): All Documents -> root instance (Figure 12, R1).
+	s.Bats.GetOrCreate(sn.Path, bat.KindOID).AppendOID(doc, oid)
+	s.stats.Nodes++
+	s.stats.Inserts += 4
+	return doc, sn, oid
+}
+
+// insertElement appends a child element below the parent frame and
+// returns its schema node and oid.
+func (s *Store) insertElement(parent *frame, tag string) (*SchemaNode, bat.OID) {
+	sn := s.ensureChild(parent.sn, tag)
+	oid := s.Bats.Seq().Next()
+	s.Bats.GetOrCreate(sn.Path, bat.KindOID).AppendOID(parent.oid, oid)
+	s.Bats.GetOrCreate(sn.Path+rankSuffix, bat.KindInt).AppendInt(oid, parent.nextRank)
+	parent.nextRank++
+	s.stats.Nodes++
+	s.stats.Inserts += 2
+	return sn, oid
+}
+
+func (s *Store) insertAttr(sn *SchemaNode, oid bat.OID, name, value string) {
+	sn.noteAttr(name)
+	s.Bats.GetOrCreate(sn.Path+"["+name+"]", bat.KindString).AppendString(oid, value)
+	s.stats.Inserts++
+}
+
+// insertText appends a pcdata node below the parent frame, storing its
+// character data as the special cdata attribute. If the type oracle
+// assigns an ADT to the parent element's path, a typed copy keyed by
+// the parent element's oid is stored as well.
+func (s *Store) insertText(parent *frame, text string) {
+	sn := s.ensureChild(parent.sn, PCDataTag)
+	oid := s.Bats.Seq().Next()
+	s.Bats.GetOrCreate(sn.Path, bat.KindOID).AppendOID(parent.oid, oid)
+	s.Bats.GetOrCreate(sn.Path+rankSuffix, bat.KindInt).AppendInt(oid, parent.nextRank)
+	parent.nextRank++
+	s.Bats.GetOrCreate(sn.Path+cdataSuffix, bat.KindString).AppendString(oid, text)
+	s.stats.Nodes++
+	s.stats.Inserts += 3
+	if s.oracle == nil {
+		return
+	}
+	kind, ok := s.oracle(parent.sn.Path)
+	if !ok {
+		return
+	}
+	switch kind {
+	case bat.KindFloat:
+		if v, err := strconv.ParseFloat(text, 64); err == nil {
+			s.Bats.GetOrCreate(parent.sn.Path+fltSuffix, bat.KindFloat).AppendFloat(parent.oid, v)
+			s.stats.Inserts++
+		}
+	case bat.KindInt:
+		if v, err := strconv.ParseInt(text, 10, 64); err == nil {
+			s.Bats.GetOrCreate(parent.sn.Path+intSuffix, bat.KindInt).AppendInt(parent.oid, v)
+			s.stats.Inserts++
+		}
+	case bat.KindBool:
+		if v, err := strconv.ParseBool(text); err == nil {
+			s.Bats.GetOrCreate(parent.sn.Path+bitSuffix, bat.KindBool).AppendBool(parent.oid, v)
+			s.stats.Inserts++
+		}
+	}
+}
+
+// Docs returns the ids of all loaded documents in load order.
+func (s *Store) Docs() []DocID { return s.Bats.Get(relDocs).Heads() }
+
+// DocURL returns the source URL of a document.
+func (s *Store) DocURL(doc DocID) (string, bool) {
+	return s.Bats.Get(relDocs).StringOfHead(doc)
+}
+
+// DocByURL returns the most recently loaded document with the given URL.
+func (s *Store) DocByURL(url string) (DocID, bool) {
+	heads := s.Bats.Get(relDocs).HeadsOfString(url)
+	if len(heads) == 0 {
+		return 0, false
+	}
+	return heads[len(heads)-1], true
+}
+
+// RootOf returns the root node oid and root tag of a document.
+func (s *Store) RootOf(doc DocID) (bat.OID, string, bool) {
+	oid, ok := rootOID(s, doc)
+	if !ok {
+		return 0, "", false
+	}
+	tag, _ := s.Bats.Get(relSys).StringOfHead(oid)
+	return oid, tag, true
+}
+
+func rootOID(s *Store, doc DocID) (bat.OID, bool) {
+	tails := s.Bats.Get(relRoot).TailsOfHead(doc)
+	if len(tails) == 0 {
+		return 0, false
+	}
+	return tails[0], true
+}
+
+// Relation returns the named relation (R(path)), or nil.
+func (s *Store) Relation(name string) *bat.BAT { return s.Bats.Get(name) }
+
+// SchemaRoots returns the root schema nodes in first-seen order.
+func (s *Store) SchemaRoots() []*SchemaNode {
+	out := make([]*SchemaNode, 0, len(s.rootOrder))
+	for _, t := range s.rootOrder {
+		out = append(out, s.roots[t])
+	}
+	return out
+}
+
+// SchemaNodeAt returns the schema node with the given canonical path,
+// or nil. Paths are slash-separated tags, e.g. "image/colors".
+func (s *Store) SchemaNodeAt(path string) *SchemaNode {
+	parts := strings.Split(path, "/")
+	sn := s.roots[parts[0]]
+	for _, p := range parts[1:] {
+		if sn == nil {
+			return nil
+		}
+		sn = sn.Child(p)
+	}
+	return sn
+}
+
+// PathSummary returns the canonical paths of all schema nodes in
+// depth-first, first-seen order. This is the paper's Path Summary,
+// central to the query engine.
+func (s *Store) PathSummary() []string {
+	var out []string
+	var walk func(*SchemaNode)
+	walk = func(sn *SchemaNode) {
+		out = append(out, sn.Path)
+		for _, c := range sn.Children() {
+			walk(c)
+		}
+	}
+	for _, t := range s.rootOrder {
+		walk(s.roots[t])
+	}
+	return out
+}
+
+// RelationNames returns the names of all materialised relations sorted
+// lexicographically (R1..Rn of Figure 12, plus bookkeeping relations).
+func (s *Store) RelationNames() []string {
+	names := s.Bats.Names()
+	sort.Strings(names)
+	return names
+}
+
+// Reconstruct applies the inverse mapping Mt⁻¹ and returns a Node tree
+// isomorphic to the originally loaded document.
+func (s *Store) Reconstruct(doc DocID) (*Node, error) {
+	oid, tag, ok := s.RootOf(doc)
+	if !ok {
+		return nil, fmt.Errorf("monetxml: unknown document %d", doc)
+	}
+	sn := s.roots[tag]
+	if sn == nil {
+		return nil, fmt.Errorf("monetxml: no schema for root %q", tag)
+	}
+	return s.reconstruct(sn, oid), nil
+}
+
+// ReconstructSubtree rebuilds the subtree rooted at the node with the
+// given schema path and oid.
+func (s *Store) ReconstructSubtree(path string, oid bat.OID) (*Node, error) {
+	sn := s.SchemaNodeAt(path)
+	if sn == nil {
+		return nil, fmt.Errorf("monetxml: unknown path %q", path)
+	}
+	return s.reconstruct(sn, oid), nil
+}
+
+type rankedChild struct {
+	sn   *SchemaNode
+	oid  bat.OID
+	rank int64
+}
+
+func (s *Store) reconstruct(sn *SchemaNode, oid bat.OID) *Node {
+	if sn.Tag == PCDataTag {
+		text, _ := s.Bats.Get(sn.Path + cdataSuffix).StringOfHead(oid)
+		return TextNode(text)
+	}
+	n := &Node{Tag: sn.Tag}
+	for _, name := range sn.attrOrder {
+		rel := s.Bats.Get(sn.Path + "[" + name + "]")
+		if rel == nil {
+			continue
+		}
+		if v, ok := rel.StringOfHead(oid); ok {
+			n.Attrs = append(n.Attrs, Attr{Name: name, Value: v})
+		}
+	}
+	var kids []rankedChild
+	for _, c := range sn.Children() {
+		edge := s.Bats.Get(c.Path)
+		if edge == nil {
+			continue
+		}
+		rank := s.Bats.Get(c.Path + rankSuffix)
+		for _, child := range edge.TailsOfHead(oid) {
+			r := int64(0)
+			if rank != nil {
+				r, _ = rank.IntOfHead(child)
+			}
+			kids = append(kids, rankedChild{sn: c, oid: child, rank: r})
+		}
+	}
+	sort.SliceStable(kids, func(i, j int) bool { return kids[i].rank < kids[j].rank })
+	for _, k := range kids {
+		n.Children = append(n.Children, s.reconstruct(k.sn, k.oid))
+	}
+	return n
+}
+
+// DeleteSubtree removes the node with the given schema path and oid,
+// its incoming edge and its whole subtree from all relations, and
+// reports the number of nodes removed. The FDS uses this to invalidate
+// partial parse trees before an incremental re-parse.
+func (s *Store) DeleteSubtree(path string, oid bat.OID) int {
+	sn := s.SchemaNodeAt(path)
+	if sn == nil {
+		return 0
+	}
+	// Remove the edge pointing at this node.
+	if edge := s.Bats.Get(sn.Path); edge != nil {
+		edge.DeleteTailOID(oid)
+	}
+	return s.deleteRec(sn, oid)
+}
+
+func (s *Store) deleteRec(sn *SchemaNode, oid bat.OID) int {
+	n := 1
+	for _, c := range sn.Children() {
+		edge := s.Bats.Get(c.Path)
+		if edge == nil {
+			continue
+		}
+		for _, child := range edge.TailsOfHead(oid) {
+			n += s.deleteRec(c, child)
+		}
+		edge.Delete(oid)
+	}
+	if rank := s.Bats.Get(sn.Path + rankSuffix); rank != nil {
+		rank.Delete(oid)
+	}
+	for _, name := range sn.attrOrder {
+		if rel := s.Bats.Get(sn.Path + "[" + name + "]"); rel != nil {
+			rel.Delete(oid)
+		}
+	}
+	for _, suffix := range []string{cdataSuffix, fltSuffix, intSuffix, bitSuffix} {
+		if rel := s.Bats.Get(sn.Path + suffix); rel != nil {
+			rel.Delete(oid)
+		}
+	}
+	return n
+}
+
+// DeleteDoc removes a document and its whole tree.
+func (s *Store) DeleteDoc(doc DocID) error {
+	oid, tag, ok := s.RootOf(doc)
+	if !ok {
+		return fmt.Errorf("monetxml: unknown document %d", doc)
+	}
+	sn := s.roots[tag]
+	if edge := s.Bats.Get(sn.Path); edge != nil {
+		edge.Delete(doc)
+	}
+	s.deleteRec(sn, oid)
+	s.Bats.Get(relDocs).Delete(doc)
+	s.Bats.Get(relRoot).Delete(doc)
+	s.Bats.Get(relSys).Delete(oid)
+	return nil
+}
+
+// InsertSubtree inserts the Node tree n as a new child of the element
+// identified by (parentPath, parent) with the given sibling rank, and
+// returns the new subtree root's oid. The FDS uses this for
+// incremental parse-tree updates; the rank slot of a replaced subtree
+// can be reused so document order is preserved.
+func (s *Store) InsertSubtree(parentPath string, parent bat.OID, rank int64, n *Node) (bat.OID, error) {
+	psn := s.SchemaNodeAt(parentPath)
+	if psn == nil {
+		return 0, fmt.Errorf("monetxml: unknown parent path %q", parentPath)
+	}
+	if n.IsText() {
+		sn := s.ensureChild(psn, PCDataTag)
+		oid := s.Bats.Seq().Next()
+		s.Bats.GetOrCreate(sn.Path, bat.KindOID).AppendOID(parent, oid)
+		s.Bats.GetOrCreate(sn.Path+rankSuffix, bat.KindInt).AppendInt(oid, rank)
+		s.Bats.GetOrCreate(sn.Path+cdataSuffix, bat.KindString).AppendString(oid, strings.TrimSpace(n.Text))
+		s.stats.Nodes++
+		return oid, nil
+	}
+	sn := s.ensureChild(psn, n.Tag)
+	oid := s.Bats.Seq().Next()
+	s.Bats.GetOrCreate(sn.Path, bat.KindOID).AppendOID(parent, oid)
+	s.Bats.GetOrCreate(sn.Path+rankSuffix, bat.KindInt).AppendInt(oid, rank)
+	for _, a := range n.Attrs {
+		s.insertAttr(sn, oid, a.Name, a.Value)
+	}
+	s.stats.Nodes++
+	f := frame{sn: sn, oid: oid}
+	if err := s.loadChildren(&f, n, 1); err != nil {
+		return 0, err
+	}
+	return oid, nil
+}
+
+// NextRank returns one more than the highest sibling rank currently
+// below the given element, i.e. the rank a newly appended child should
+// receive.
+func (s *Store) NextRank(path string, oid bat.OID) int64 {
+	sn := s.SchemaNodeAt(path)
+	if sn == nil {
+		return 0
+	}
+	max := int64(-1)
+	for _, c := range sn.Children() {
+		edge := s.Bats.Get(c.Path)
+		if edge == nil {
+			continue
+		}
+		rank := s.Bats.Get(c.Path + rankSuffix)
+		if rank == nil {
+			continue
+		}
+		for _, child := range edge.TailsOfHead(oid) {
+			if r, ok := rank.IntOfHead(child); ok && r > max {
+				max = r
+			}
+		}
+	}
+	return max + 1
+}

@@ -1,0 +1,415 @@
+package monetxml
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dlsearch/internal/bat"
+)
+
+// figure9 is the example document of Figure 9 of the paper.
+const figure9 = `<image key="18934" source="http://ausopen.org/seles.jpg">
+  <date> 999010530 </date>
+  <colors>
+    <histogram> 0.399 0.277 0.344 </histogram>
+    <saturation> 0.390 </saturation>
+    <version> 0.8 </version>
+  </colors>
+</image>`
+
+// TestFigure9to12MonetTransform reproduces experiment E05: loading the
+// Figure 9 document must materialise exactly the relations R1..R12 of
+// the schema tree in Figure 12 (modulo bookkeeping relations), and the
+// inverse mapping must reproduce an isomorphic document.
+func TestFigure9to12MonetTransform(t *testing.T) {
+	s := NewStore()
+	doc, err := s.Load("http://ausopen.org/seles.jpg.meta", strings.NewReader(figure9))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The paths of Figure 12's schema tree.
+	wantPaths := []string{
+		"image",
+		"image/date",
+		"image/date/pcdata",
+		"image/colors",
+		"image/colors/histogram",
+		"image/colors/histogram/pcdata",
+		"image/colors/saturation",
+		"image/colors/saturation/pcdata",
+		"image/colors/version",
+		"image/colors/version/pcdata",
+	}
+	got := s.PathSummary()
+	if len(got) != len(wantPaths) {
+		t.Fatalf("path summary = %v, want %v", got, wantPaths)
+	}
+	for i := range wantPaths {
+		if got[i] != wantPaths[i] {
+			t.Fatalf("path %d = %q, want %q", i, got[i], wantPaths[i])
+		}
+	}
+
+	// R2/R3: attribute relations.
+	key := s.Relation("image[key]")
+	if key == nil || key.Len() != 1 || key.TailString(0) != "18934" {
+		t.Fatalf("R(image[key]) wrong: %v", key)
+	}
+	src := s.Relation("image[source]")
+	if src == nil || src.Len() != 1 {
+		t.Fatal("R(image[source]) missing")
+	}
+
+	// R1: All Documents -> image instance.
+	r1 := s.Relation("image")
+	if r1 == nil || r1.Len() != 1 || r1.Head(0) != doc {
+		t.Fatalf("R(image) should map the document to its root")
+	}
+
+	// Character data of histogram via the cdata attribute relation.
+	vals, err := s.ValuesAt("image/colors/histogram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 1 || vals[0] != "0.399 0.277 0.344" {
+		t.Fatalf("histogram cdata = %v", vals)
+	}
+
+	// Inverse mapping: isomorphic reconstruction (Definition 1).
+	orig := MustParseNode(figure9)
+	rec, err := s.Reconstruct(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !orig.Equal(rec) {
+		t.Fatalf("reconstruction not isomorphic:\norig: %s\nrec:  %s", orig, rec)
+	}
+}
+
+func TestLoadRejectsBadDocuments(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Load("u", strings.NewReader("")); err == nil {
+		t.Fatal("empty document should fail")
+	}
+	if _, err := s.Load("u", strings.NewReader("<a></a><b></b>")); err == nil {
+		t.Fatal("multiple roots should fail")
+	}
+	if _, err := s.Load("u", strings.NewReader("just text")); err == nil {
+		t.Fatal("no root element should fail")
+	}
+}
+
+func TestDocBookkeeping(t *testing.T) {
+	s := NewStore()
+	d1, err := s.Load("url1", strings.NewReader("<a/>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := s.Load("url2", strings.NewReader("<a><b/></a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := s.Docs()
+	if len(docs) != 2 || docs[0] != d1 || docs[1] != d2 {
+		t.Fatalf("Docs = %v", docs)
+	}
+	if u, ok := s.DocURL(d2); !ok || u != "url2" {
+		t.Fatalf("DocURL = %q,%v", u, ok)
+	}
+	if got, ok := s.DocByURL("url1"); !ok || got != d1 {
+		t.Fatalf("DocByURL = %v,%v", got, ok)
+	}
+	if _, ok := s.DocByURL("nope"); ok {
+		t.Fatal("DocByURL of unknown url should fail")
+	}
+	if _, tag, ok := s.RootOf(d1); !ok || tag != "a" {
+		t.Fatalf("RootOf = %q,%v", tag, ok)
+	}
+}
+
+func TestLoadNodeEquivalentToLoad(t *testing.T) {
+	src := `<profile name="Seles"><history>Winner <b>1996</b></history><video src="v.mpg"/></profile>`
+	s1 := NewStore()
+	d1, err := s1.Load("u", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewStore()
+	d2, err := s2.LoadNode("u", MustParseNode(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := s1.Reconstruct(d1)
+	r2, _ := s2.Reconstruct(d2)
+	if !r1.Equal(r2) {
+		t.Fatalf("Load and LoadNode disagree:\n%s\n%s", r1, r2)
+	}
+}
+
+// TestBulkloadMemoryHeight is experiment E08's invariant: the
+// streaming bulkload keeps at most O(document height) live frames, in
+// contrast to the DOM baseline which materialises every node.
+func TestBulkloadMemoryHeight(t *testing.T) {
+	var sb strings.Builder
+	depth := 12
+	width := 30
+	sb.WriteString("<root>")
+	for i := 0; i < width; i++ {
+		for d := 0; d < depth; d++ {
+			fmt.Fprintf(&sb, "<n%d>", d)
+		}
+		sb.WriteString("leaf")
+		for d := depth - 1; d >= 0; d-- {
+			fmt.Fprintf(&sb, "</n%d>", d)
+		}
+	}
+	sb.WriteString("</root>")
+
+	s := NewStore()
+	if _, err := s.Load("u", strings.NewReader(sb.String())); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	wantDepth := depth + 1 // root + chain
+	if st.MaxStackDepth != wantDepth {
+		t.Fatalf("MaxStackDepth = %d, want %d (O(height), not O(nodes))", st.MaxStackDepth, wantDepth)
+	}
+	if st.Nodes < width*depth {
+		t.Fatalf("Nodes = %d, expected at least %d", st.Nodes, width*depth)
+	}
+	if st.MaxStackDepth >= st.Nodes {
+		t.Fatal("stack depth should be far below total node count")
+	}
+}
+
+func TestTypeOracleTypedRelations(t *testing.T) {
+	s := NewStore()
+	s.SetTypeOracle(func(path string) (bat.Kind, bool) {
+		switch path {
+		case "player/yPos":
+			return bat.KindFloat, true
+		case "player/frameNo":
+			return bat.KindInt, true
+		case "player/netplay":
+			return bat.KindBool, true
+		}
+		return 0, false
+	})
+	src := `<player><yPos>169.5</yPos><frameNo>42</frameNo><netplay>true</netplay><name>Seles</name></player>`
+	if _, err := s.Load("u", strings.NewReader(src)); err != nil {
+		t.Fatal(err)
+	}
+	f := s.Relation("player/yPos[*flt]")
+	if f == nil || f.Len() != 1 || f.TailFloat(0) != 169.5 {
+		t.Fatalf("typed float relation wrong: %v", f)
+	}
+	i := s.Relation("player/frameNo[*int]")
+	if i == nil || i.Len() != 1 || i.TailInt(0) != 42 {
+		t.Fatalf("typed int relation wrong: %v", i)
+	}
+	b := s.Relation("player/netplay[*bit]")
+	if b == nil || b.Len() != 1 || !b.TailBool(0) {
+		t.Fatalf("typed bool relation wrong: %v", b)
+	}
+	if s.Relation("player/name[*flt]") != nil {
+		t.Fatal("untyped path must not get a typed relation")
+	}
+}
+
+func TestTypeOracleUnparsableText(t *testing.T) {
+	s := NewStore()
+	s.SetTypeOracle(func(path string) (bat.Kind, bool) { return bat.KindFloat, true })
+	if _, err := s.Load("u", strings.NewReader(`<a>not-a-number</a>`)); err != nil {
+		t.Fatal(err)
+	}
+	if rel := s.Relation("a[*flt]"); rel != nil && rel.Len() != 0 {
+		t.Fatal("unparsable text must not produce a typed value")
+	}
+}
+
+func TestDeleteSubtree(t *testing.T) {
+	s := NewStore()
+	doc, err := s.Load("u", strings.NewReader(
+		`<mmo><header><primary>video</primary></header><video><shot>1</shot><shot>2</shot></video></mmo>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	headers, err := s.NodesAt("mmo/header")
+	if err != nil || len(headers) != 1 {
+		t.Fatalf("headers = %v, %v", headers, err)
+	}
+	removed := s.DeleteSubtree("mmo/header", headers[0])
+	if removed != 3 { // header, primary, pcdata
+		t.Fatalf("removed %d nodes, want 3", removed)
+	}
+	rec, err := s.Reconstruct(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MustParseNode(`<mmo><video><shot>1</shot><shot>2</shot></video></mmo>`)
+	if !rec.Equal(want) {
+		t.Fatalf("after delete:\n%s\nwant\n%s", rec, want)
+	}
+	if s.DeleteSubtree("no/such/path", 1) != 0 {
+		t.Fatal("deleting unknown path should remove nothing")
+	}
+}
+
+func TestInsertSubtreePreservesOrder(t *testing.T) {
+	s := NewStore()
+	doc, err := s.Load("u", strings.NewReader(`<mmo><location>http://x</location></mmo>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, _, _ := s.RootOf(doc)
+	rank := s.NextRank("mmo", root)
+	if rank != 1 {
+		t.Fatalf("NextRank = %d, want 1", rank)
+	}
+	header := MustParseNode(`<header><primary>video</primary><secondary>mpeg</secondary></header>`)
+	if _, err := s.InsertSubtree("mmo", root, rank, header); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := s.Reconstruct(doc)
+	want := MustParseNode(`<mmo><location>http://x</location><header><primary>video</primary><secondary>mpeg</secondary></header></mmo>`)
+	if !rec.Equal(want) {
+		t.Fatalf("after insert:\n%s\nwant\n%s", rec, want)
+	}
+}
+
+func TestInsertThenDeleteIsIdentity(t *testing.T) {
+	s := NewStore()
+	doc, _ := s.Load("u", strings.NewReader(`<a><b>x</b></a>`))
+	before, _ := s.Reconstruct(doc)
+	root, _, _ := s.RootOf(doc)
+	oid, err := s.InsertSubtree("a", root, s.NextRank("a", root), MustParseNode(`<c q="1"><d>y</d></c>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.DeleteSubtree("a/c", oid)
+	after, _ := s.Reconstruct(doc)
+	if !before.Equal(after) {
+		t.Fatalf("insert+delete changed document:\n%s\nvs\n%s", before, after)
+	}
+}
+
+func TestDeleteDoc(t *testing.T) {
+	s := NewStore()
+	d1, _ := s.Load("u1", strings.NewReader(`<a><b>1</b></a>`))
+	d2, _ := s.Load("u2", strings.NewReader(`<a><b>2</b></a>`))
+	if err := s.DeleteDoc(d1); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Docs()) != 1 {
+		t.Fatalf("Docs after delete = %v", s.Docs())
+	}
+	rec, err := s.Reconstruct(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Equal(MustParseNode(`<a><b>2</b></a>`)) {
+		t.Fatalf("surviving doc corrupted: %s", rec)
+	}
+	if err := s.DeleteDoc(d1); err == nil {
+		t.Fatal("double delete should error")
+	}
+	vals, _ := s.ValuesAt("a/b")
+	if len(vals) != 1 || vals[0] != "2" {
+		t.Fatalf("relation contents after delete = %v", vals)
+	}
+}
+
+// randomTree builds a deterministic random tree for property testing.
+func randomTree(rng *rand.Rand, depth int) *Node {
+	tags := []string{"a", "b", "c", "d"}
+	n := Elem(tags[rng.Intn(len(tags))])
+	if rng.Intn(2) == 0 {
+		n.WithAttr("k", fmt.Sprintf("v%d", rng.Intn(10)))
+	}
+	kids := rng.Intn(4)
+	for i := 0; i < kids; i++ {
+		if depth <= 1 || rng.Intn(3) == 0 {
+			n.Children = append(n.Children, TextNode(fmt.Sprintf("t%d", rng.Intn(100))))
+		} else {
+			n.Children = append(n.Children, randomTree(rng, depth-1))
+		}
+	}
+	return n
+}
+
+// Property: Reconstruct(Load(d)) is isomorphic to d for arbitrary
+// trees — the paper's Mt⁻¹(Mt(d)) ≅ d guarantee.
+func TestPropertyReconstructIsomorphic(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		tree := randomTree(rng, 4)
+		s := NewStore()
+		doc, err := s.LoadNode("u", tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := s.Reconstruct(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tree.Equal(rec) {
+			t.Fatalf("iteration %d: not isomorphic:\norig: %s\nrec:  %s", i, tree, rec)
+		}
+	}
+}
+
+// Property: loading many documents into one store keeps each
+// reconstructible independently.
+func TestPropertyMultiDocIsolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := NewStore()
+	var docs []DocID
+	var trees []*Node
+	for i := 0; i < 50; i++ {
+		tree := randomTree(rng, 3)
+		d, err := s.LoadNode(fmt.Sprintf("u%d", i), tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs = append(docs, d)
+		trees = append(trees, tree)
+	}
+	for i, d := range docs {
+		rec, err := s.Reconstruct(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !trees[i].Equal(rec) {
+			t.Fatalf("doc %d corrupted by co-loaded documents", i)
+		}
+	}
+}
+
+func TestReconstructErrors(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Reconstruct(999); err == nil {
+		t.Fatal("unknown doc should error")
+	}
+	if _, err := s.ReconstructSubtree("nope", 1); err == nil {
+		t.Fatal("unknown path should error")
+	}
+}
+
+func TestReconstructSubtree(t *testing.T) {
+	s := NewStore()
+	_, err := s.Load("u", strings.NewReader(`<a><b i="1"><c>deep</c></b></a>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, _ := s.NodesAt("a/b")
+	sub, err := s.ReconstructSubtree("a/b", bs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sub.Equal(MustParseNode(`<b i="1"><c>deep</c></b>`)) {
+		t.Fatalf("subtree = %s", sub)
+	}
+}

@@ -1,0 +1,263 @@
+// Package query implements the paper's querying stage: a declarative
+// query language over the webspace schema in which conceptual
+// selections and joins, content-based IR ranking (contains) and
+// feature-grammar event predicates (event) mix freely — the
+// integration traditional search engines lack. Under the hood queries
+// break down to structured searches over the path-named binary
+// relations of the physical level.
+package query
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"dlsearch/internal/bat"
+	"dlsearch/internal/ir"
+	"dlsearch/internal/monetxml"
+)
+
+// Database is the physical access layer the executor runs against:
+// the Monet XML store holding both the conceptual documents and the
+// multimedia meta-index, plus one full-text index per Hypertext
+// attribute (keyed "Class.attr") whose document oids are the owning
+// object element oids.
+type Database struct {
+	Store *monetxml.Store
+	IR    map[string]*ir.Index
+
+	objects *objectIndex
+	events  map[string][]ShotEvent
+}
+
+// NewDatabase wraps a store and IR indexes.
+func NewDatabase(store *monetxml.Store, irIdx map[string]*ir.Index) *Database {
+	if irIdx == nil {
+		irIdx = map[string]*ir.Index{}
+	}
+	return &Database{Store: store, IR: irIdx}
+}
+
+// InvalidateCaches drops derived access paths after new data arrives.
+func (db *Database) InvalidateCaches() {
+	db.objects = nil
+	db.events = nil
+}
+
+// --- conceptual object access over the path relations ---
+
+// objectIndex is a derived access path over the webspace relations:
+// object oids by class, attribute values per object, association
+// pairs. It is rebuilt lazily after population.
+type objectIndex struct {
+	byClass map[string][]bat.OID
+	qidOf   map[bat.OID]string
+	oidOf   map[string]bat.OID
+	attrs   map[bat.OID]map[string]string
+	// assoc name -> list of (fromQID, toQID)
+	assocs map[string][][2]string
+}
+
+func (db *Database) index() *objectIndex {
+	if db.objects != nil {
+		return db.objects
+	}
+	ix := &objectIndex{
+		byClass: map[string][]bat.OID{},
+		qidOf:   map[bat.OID]string{},
+		oidOf:   map[string]bat.OID{},
+		attrs:   map[bat.OID]map[string]string{},
+		assocs:  map[string][][2]string{},
+	}
+	db.objects = ix
+	classRel := db.Store.Relation("webspace/object[class]")
+	idRel := db.Store.Relation("webspace/object[id]")
+	if classRel == nil || idRel == nil {
+		return ix
+	}
+	for i := 0; i < classRel.Len(); i++ {
+		oid := classRel.Head(i)
+		class := classRel.TailString(i)
+		id, _ := idRel.StringOfHead(oid)
+		qid := class + ":" + id
+		ix.byClass[class] = append(ix.byClass[class], oid)
+		ix.qidOf[oid] = qid
+		ix.oidOf[qid] = oid
+		ix.attrs[oid] = map[string]string{}
+	}
+	// Attribute values: webspace/object/attr elements with [name] and
+	// pcdata content.
+	attrEdge := db.Store.Relation("webspace/object/attr")
+	attrName := db.Store.Relation("webspace/object/attr[name]")
+	if attrEdge != nil && attrName != nil {
+		for i := 0; i < attrEdge.Len(); i++ {
+			owner := attrEdge.Head(i)
+			attrOID := attrEdge.TailOID(i)
+			name, _ := attrName.StringOfHead(attrOID)
+			if m, ok := ix.attrs[owner]; ok && name != "" {
+				m[name] = db.Store.TextOf("webspace/object/attr", attrOID)
+			}
+		}
+	}
+	// Associations.
+	an := db.Store.Relation("webspace/assoc[name]")
+	af := db.Store.Relation("webspace/assoc[from]")
+	at := db.Store.Relation("webspace/assoc[to]")
+	if an != nil && af != nil && at != nil {
+		for i := 0; i < an.Len(); i++ {
+			oid := an.Head(i)
+			name := an.TailString(i)
+			from, _ := af.StringOfHead(oid)
+			to, _ := at.StringOfHead(oid)
+			ix.assocs[name] = append(ix.assocs[name], [2]string{from, to})
+		}
+	}
+	return ix
+}
+
+// ObjectsOfClass returns the element oids of all objects of a class.
+func (db *Database) ObjectsOfClass(class string) []bat.OID {
+	return append([]bat.OID(nil), db.index().byClass[class]...)
+}
+
+// AttrOf returns an attribute value of an object.
+func (db *Database) AttrOf(oid bat.OID, attr string) string {
+	return db.index().attrs[oid][attr]
+}
+
+// QIDOf returns the qualified id of an object element.
+func (db *Database) QIDOf(oid bat.OID) string { return db.index().qidOf[oid] }
+
+// OIDOf returns the element oid of a qualified id.
+func (db *Database) OIDOf(qid string) (bat.OID, bool) {
+	oid, ok := db.index().oidOf[qid]
+	return oid, ok
+}
+
+// AssocPairs returns the (from, to) qualified-id pairs of an
+// association.
+func (db *Database) AssocPairs(name string) [][2]string {
+	return db.index().assocs[name]
+}
+
+// --- meta-index access (video events) ---
+
+// ShotEvent is a shot of a video with its recognised event state.
+// Tennis marks shots classified as court play; a tennis shot without a
+// netplay event is a baseline rally in the COBRA event layer.
+type ShotEvent struct {
+	Begin, End int
+	Tennis     bool
+	Netplay    bool
+}
+
+// mmoPaths are the parse-tree paths of the tennis grammar's stored
+// meta-data.
+const (
+	pathLocation = "MMO/location"
+	pathShot     = "MMO/mm_type/video/segment/shot"
+	pathBegin    = "MMO/mm_type/video/segment/shot/begin"
+	pathEnd      = "MMO/mm_type/video/segment/shot/end"
+	pathNetplay  = "MMO/mm_type/video/segment/shot/type/tennis/event/netplay"
+)
+
+// VideoEvents derives (and caches) the per-video shot/event table from
+// the meta-index: location URL -> tennis shots with netplay state.
+// Everything is resolved through the path-named relations the FDE
+// parse trees were stored into.
+func (db *Database) VideoEvents() map[string][]ShotEvent {
+	if db.events != nil {
+		return db.events
+	}
+	out := map[string][]ShotEvent{}
+	db.events = out
+	shotRel := db.Store.Relation(pathShot)
+	if shotRel == nil {
+		return out
+	}
+	// location per MMO root.
+	locByRoot := map[bat.OID]string{}
+	if locEdge := db.Store.Relation(pathLocation); locEdge != nil {
+		for i := 0; i < locEdge.Len(); i++ {
+			root := locEdge.Head(i)
+			locByRoot[root] = db.Store.TextOf(pathLocation, locEdge.TailOID(i))
+		}
+	}
+	for i := 0; i < shotRel.Len(); i++ {
+		shotOID := shotRel.TailOID(i)
+		// Owning MMO root: shot -> segment -> video -> mm_type -> MMO.
+		path, oid := pathShot, shotOID
+		for {
+			ppath, poid, ok := db.Store.ParentOf(path, oid)
+			if !ok {
+				break
+			}
+			path, oid = ppath, poid
+		}
+		loc := locByRoot[oid]
+		ev := ShotEvent{
+			Begin: db.intBelow(pathBegin, shotOID),
+			End:   db.intBelow(pathEnd, shotOID),
+		}
+		// netplay, if the shot was a tennis shot (a tennis shot always
+		// carries a netplay event node, true or false).
+		for _, npOID := range db.netplayOf(shotOID) {
+			ev.Tennis = true
+			if db.Store.TextOf(pathNetplay, npOID) == "true" {
+				ev.Netplay = true
+			}
+		}
+		out[loc] = append(out[loc], ev)
+	}
+	for loc := range out {
+		sort.Slice(out[loc], func(i, j int) bool { return out[loc][i].Begin < out[loc][j].Begin })
+	}
+	return out
+}
+
+// intBelow reads the frameNo below a shot's begin/end element,
+// preferring the typed relation over the character data.
+func (db *Database) intBelow(path string, shot bat.OID) int {
+	edge := db.Store.Relation(path)
+	fEdge := db.Store.Relation(path + "/frameNo")
+	if edge == nil || fEdge == nil {
+		return 0
+	}
+	typed := db.Store.Relation(path + "/frameNo[*int]")
+	for _, elem := range edge.TailsOfHead(shot) {
+		for _, f := range fEdge.TailsOfHead(elem) {
+			if typed != nil {
+				if v, ok := typed.IntOfHead(f); ok {
+					return int(v)
+				}
+			}
+			if v := db.Store.TextOf(path+"/frameNo", f); v != "" {
+				if n, err := strconv.Atoi(strings.TrimSpace(v)); err == nil {
+					return n
+				}
+			}
+		}
+	}
+	return 0
+}
+
+// netplayOf returns the netplay element oids below a shot, walking the
+// edge relations shot → type → tennis → event → netplay.
+func (db *Database) netplayOf(shot bat.OID) []bat.OID {
+	var out []bat.OID
+	typeEdge := db.Store.Relation(pathShot + "/type")
+	tennisEdge := db.Store.Relation(pathShot + "/type/tennis")
+	eventEdge := db.Store.Relation(pathShot + "/type/tennis/event")
+	npEdge := db.Store.Relation(pathNetplay)
+	if typeEdge == nil || tennisEdge == nil || eventEdge == nil || npEdge == nil {
+		return out
+	}
+	for _, ty := range typeEdge.TailsOfHead(shot) {
+		for _, tn := range tennisEdge.TailsOfHead(ty) {
+			for _, ev := range eventEdge.TailsOfHead(tn) {
+				out = append(out, npEdge.TailsOfHead(ev)...)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,387 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FieldRef is a variable.attribute reference.
+type FieldRef struct {
+	Var  string
+	Attr string
+}
+
+func (f FieldRef) String() string { return f.Var + "." + f.Attr }
+
+// Binding binds a query variable to a schema class.
+type Binding struct {
+	Class string
+	Var   string
+}
+
+// Predicate is a WHERE conjunct.
+type Predicate interface{ predNode() }
+
+// AttrPred is a conceptual selection: var.attr op 'literal'.
+type AttrPred struct {
+	Field FieldRef
+	Op    string // =, !=, <, <=, >, >=
+	Value string
+}
+
+func (*AttrPred) predNode() {}
+
+// ContainsPred is a content-based IR predicate over a Hypertext
+// attribute: contains(var.attr, 'free text').
+type ContainsPred struct {
+	Field FieldRef
+	Text  string
+}
+
+func (*ContainsPred) predNode() {}
+
+// EventPred is a feature-grammar event predicate over a Video
+// attribute: event(var.attr, 'netplay').
+type EventPred struct {
+	Field FieldRef
+	Event string
+}
+
+func (*EventPred) predNode() {}
+
+// AssocPred joins two variables through a schema association:
+// About(v, p).
+type AssocPred struct {
+	Name    string
+	FromVar string
+	ToVar   string
+}
+
+func (*AssocPred) predNode() {}
+
+// Query is a parsed query.
+type Query struct {
+	Select []FieldRef
+	From   []Binding
+	Preds  []Predicate
+	Limit  int // 0 = unlimited
+}
+
+// Binding returns the binding of a variable.
+func (q *Query) Binding(v string) (Binding, bool) {
+	for _, b := range q.From {
+		if b.Var == v {
+			return b, true
+		}
+	}
+	return Binding{}, false
+}
+
+// qtoken is a query-language token.
+type qtoken struct {
+	kind string // ident, string, punct, number, eof
+	text string
+}
+
+func qlex(src string) ([]qtoken, error) {
+	var toks []qtoken
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for j < len(src) && src[j] != '\'' {
+				sb.WriteByte(src[j])
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("query: unterminated string literal")
+			}
+			toks = append(toks, qtoken{kind: "string", text: sb.String()})
+			i = j + 1
+		case isQIdentStart(c):
+			j := i
+			for j < len(src) && isQIdentPart(src[j]) {
+				j++
+			}
+			toks = append(toks, qtoken{kind: "ident", text: src[i:j]})
+			i = j
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			toks = append(toks, qtoken{kind: "number", text: src[i:j]})
+			i = j
+		default:
+			for _, op := range []string{"!=", "<=", ">=", "=", "<", ">", ",", ".", "(", ")"} {
+				if strings.HasPrefix(src[i:], op) {
+					toks = append(toks, qtoken{kind: "punct", text: op})
+					i += len(op)
+					goto next
+				}
+			}
+			return nil, fmt.Errorf("query: unexpected character %q", string(c))
+		next:
+		}
+	}
+	toks = append(toks, qtoken{kind: "eof"})
+	return toks, nil
+}
+
+func isQIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isQIdentPart(c byte) bool { return isQIdentStart(c) || (c >= '0' && c <= '9') }
+
+type qparser struct {
+	toks []qtoken
+	pos  int
+}
+
+func (p *qparser) cur() qtoken  { return p.toks[p.pos] }
+func (p *qparser) next() qtoken { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *qparser) keyword(kw string) bool {
+	if p.cur().kind == "ident" && strings.EqualFold(p.cur().text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *qparser) punct(s string) bool {
+	if p.cur().kind == "punct" && p.cur().text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *qparser) ident() (string, error) {
+	if p.cur().kind != "ident" {
+		return "", fmt.Errorf("query: expected identifier, found %q", p.cur().text)
+	}
+	return p.next().text, nil
+}
+
+func (p *qparser) str() (string, error) {
+	if p.cur().kind != "string" {
+		return "", fmt.Errorf("query: expected string literal, found %q", p.cur().text)
+	}
+	return p.next().text, nil
+}
+
+// Parse parses a query:
+//
+//	SELECT var.attr {, var.attr}
+//	FROM Class var {, Class var}
+//	[WHERE pred {AND pred}]
+//	[LIMIT n]
+//
+// where pred is one of
+//
+//	var.attr op 'literal'
+//	contains(var.attr, 'text')
+//	event(var.attr, 'name')
+//	AssocName(fromVar, toVar)
+func Parse(src string) (*Query, error) {
+	toks, err := qlex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &qparser{toks: toks}
+	q := &Query{}
+	if !p.keyword("select") {
+		return nil, fmt.Errorf("query: expected SELECT")
+	}
+	for {
+		f, err := p.fieldRef()
+		if err != nil {
+			return nil, err
+		}
+		q.Select = append(q.Select, f)
+		if !p.punct(",") {
+			break
+		}
+	}
+	if !p.keyword("from") {
+		return nil, fmt.Errorf("query: expected FROM")
+	}
+	for {
+		class, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		v, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		q.From = append(q.From, Binding{Class: class, Var: v})
+		if !p.punct(",") {
+			break
+		}
+	}
+	if p.keyword("where") {
+		for {
+			pred, err := p.predicate()
+			if err != nil {
+				return nil, err
+			}
+			q.Preds = append(q.Preds, pred)
+			if !p.keyword("and") {
+				break
+			}
+		}
+	}
+	if p.keyword("limit") {
+		if p.cur().kind != "number" {
+			return nil, fmt.Errorf("query: expected number after LIMIT")
+		}
+		n, err := strconv.Atoi(p.next().text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("query: bad LIMIT")
+		}
+		q.Limit = n
+	}
+	if p.cur().kind != "eof" {
+		return nil, fmt.Errorf("query: trailing input at %q", p.cur().text)
+	}
+	return q, q.check()
+}
+
+func (p *qparser) fieldRef() (FieldRef, error) {
+	v, err := p.ident()
+	if err != nil {
+		return FieldRef{}, err
+	}
+	if !p.punct(".") {
+		return FieldRef{}, fmt.Errorf("query: expected '.' after %q", v)
+	}
+	a, err := p.ident()
+	if err != nil {
+		return FieldRef{}, err
+	}
+	return FieldRef{Var: v, Attr: a}, nil
+}
+
+func (p *qparser) predicate() (Predicate, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	// Function-style: contains / event / association.
+	if p.punct("(") {
+		switch strings.ToLower(name) {
+		case "contains", "event":
+			f, err := p.fieldRef()
+			if err != nil {
+				return nil, err
+			}
+			if !p.punct(",") {
+				return nil, fmt.Errorf("query: expected ',' in %s()", name)
+			}
+			text, err := p.str()
+			if err != nil {
+				return nil, err
+			}
+			if !p.punct(")") {
+				return nil, fmt.Errorf("query: expected ')'")
+			}
+			if strings.EqualFold(name, "contains") {
+				return &ContainsPred{Field: f, Text: text}, nil
+			}
+			return &EventPred{Field: f, Event: text}, nil
+		default:
+			from, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if !p.punct(",") {
+				return nil, fmt.Errorf("query: expected ',' in association %s()", name)
+			}
+			to, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if !p.punct(")") {
+				return nil, fmt.Errorf("query: expected ')'")
+			}
+			return &AssocPred{Name: name, FromVar: from, ToVar: to}, nil
+		}
+	}
+	// Comparison: name must have been "var" of var.attr.
+	if !p.punct(".") {
+		return nil, fmt.Errorf("query: expected '.' or '(' after %q", name)
+	}
+	attr, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	op := ""
+	for _, o := range []string{"!=", "<=", ">=", "=", "<", ">"} {
+		if p.punct(o) {
+			op = o
+			break
+		}
+	}
+	if op == "" {
+		return nil, fmt.Errorf("query: expected comparison operator after %s.%s", name, attr)
+	}
+	val, err := p.str()
+	if err != nil {
+		return nil, err
+	}
+	return &AttrPred{Field: FieldRef{Var: name, Attr: attr}, Op: op, Value: val}, nil
+}
+
+// check validates variable references.
+func (q *Query) check() error {
+	vars := map[string]bool{}
+	for _, b := range q.From {
+		if vars[b.Var] {
+			return fmt.Errorf("query: duplicate variable %s", b.Var)
+		}
+		vars[b.Var] = true
+	}
+	need := func(v string) error {
+		if !vars[v] {
+			return fmt.Errorf("query: unbound variable %s", v)
+		}
+		return nil
+	}
+	for _, f := range q.Select {
+		if err := need(f.Var); err != nil {
+			return err
+		}
+	}
+	for _, p := range q.Preds {
+		switch t := p.(type) {
+		case *AttrPred:
+			if err := need(t.Field.Var); err != nil {
+				return err
+			}
+		case *ContainsPred:
+			if err := need(t.Field.Var); err != nil {
+				return err
+			}
+		case *EventPred:
+			if err := need(t.Field.Var); err != nil {
+				return err
+			}
+		case *AssocPred:
+			if err := need(t.FromVar); err != nil {
+				return err
+			}
+			if err := need(t.ToVar); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

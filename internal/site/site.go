@@ -1,0 +1,296 @@
+// Package site synthesises the Australian Open website of the paper's
+// running example. The real site is long gone; the generator produces
+// what the paper's pipeline consumes: presentation-oriented HTML pages
+// in which the domain concepts (player names, genders, play hands,
+// tournament histories) are only implicit, plus the multimedia objects
+// (match videos, portraits) those pages embed — together with ground
+// truth, so the Figure 13 query has a checkable answer.
+package site
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dlsearch/internal/video"
+)
+
+// Player is the ground truth for one tennis player.
+type Player struct {
+	Name    string
+	Slug    string
+	Gender  string // "female" or "male"
+	Country string
+	Hand    string // "left" or "right"
+	// ChampionYears lists Australian Open titles; empty for non-winners.
+	ChampionYears []int
+	// NetRusher players approach the net: their match videos contain
+	// netplay shots.
+	NetRusher bool
+
+	History    string
+	BioURL     string
+	ProfileURL string
+	PictureURL string
+	VideoURL   string
+}
+
+// Article is a news article covering one or more players.
+type Article struct {
+	Title  string
+	Body   string
+	URL    string
+	Covers []string // player slugs
+}
+
+// roster is the fixed synthetic world. Names are era-plausible; the
+// attribute combinations are chosen so the running example's queries
+// have non-trivial, known answers. In particular the Figure 13 query
+// ("video shots of left-handed female players who have won the
+// Australian Open in the past, in which they approach the net") is
+// satisfied by exactly Monica Seles and Jana Vilagos.
+var roster = []Player{
+	{Name: "Monica Seles", Gender: "female", Country: "USA", Hand: "left", ChampionYears: []int{1991, 1992, 1993, 1996}, NetRusher: true},
+	{Name: "Jana Vilagos", Gender: "female", Country: "HUN", Hand: "left", ChampionYears: []int{1989}, NetRusher: true},
+	{Name: "Petra Novotna", Gender: "female", Country: "CZE", Hand: "left", ChampionYears: []int{1995}, NetRusher: false},
+	{Name: "Martina Hingis", Gender: "female", Country: "SUI", Hand: "right", ChampionYears: []int{1997, 1998, 1999}, NetRusher: false},
+	{Name: "Jennifer Capriati", Gender: "female", Country: "USA", Hand: "right", ChampionYears: []int{2001}, NetRusher: false},
+	{Name: "Lindsay Davenport", Gender: "female", Country: "USA", Hand: "right", ChampionYears: []int{2000}, NetRusher: true},
+	{Name: "Patty Schnyder", Gender: "female", Country: "SUI", Hand: "left", NetRusher: true},
+	{Name: "Amelie Mauresmo", Gender: "female", Country: "FRA", Hand: "right", NetRusher: false},
+	{Name: "Kim Clijsters", Gender: "female", Country: "BEL", Hand: "right", NetRusher: false},
+	{Name: "Andre Agassi", Gender: "male", Country: "USA", Hand: "right", ChampionYears: []int{1995, 2000, 2001}, NetRusher: false},
+	{Name: "Petr Korda", Gender: "male", Country: "CZE", Hand: "left", ChampionYears: []int{1998}, NetRusher: true},
+	{Name: "Thomas Muster", Gender: "male", Country: "AUT", Hand: "left", NetRusher: false},
+	{Name: "Marcelo Rios", Gender: "male", Country: "CHI", Hand: "left", NetRusher: false},
+	{Name: "Yevgeny Kafelnikov", Gender: "male", Country: "RUS", Hand: "right", ChampionYears: []int{1999}, NetRusher: false},
+	{Name: "Pat Rafter", Gender: "male", Country: "AUS", Hand: "right", NetRusher: true},
+	{Name: "Pete Sampras", Gender: "male", Country: "USA", Hand: "right", ChampionYears: []int{1994, 1997}, NetRusher: true},
+}
+
+// Site is the generated website: pages, MIME types and raw multimedia.
+type Site struct {
+	BaseURL  string
+	Players  []*Player
+	Articles []*Article
+	Videos   *video.Library
+
+	pages map[string]string
+	mimes map[string][2]string
+}
+
+// Generate builds the deterministic website. The seed varies the video
+// footage, not the roster.
+func Generate(seed int64) *Site {
+	s := &Site{
+		BaseURL: "http://ausopen.org",
+		Videos:  video.NewLibrary(),
+		pages:   map[string]string{},
+		mimes:   map[string][2]string{},
+	}
+	for i := range roster {
+		p := roster[i] // copy
+		p.Slug = slugify(p.Name)
+		p.History = historyText(&p)
+		p.BioURL = fmt.Sprintf("%s/players/%s.html", s.BaseURL, p.Slug)
+		p.ProfileURL = fmt.Sprintf("%s/profile/%s.html", s.BaseURL, p.Slug)
+		p.PictureURL = fmt.Sprintf("%s/img/%s.jpg", s.BaseURL, p.Slug)
+		p.VideoURL = fmt.Sprintf("%s/video/%s-match.mpg", s.BaseURL, p.Slug)
+		s.Players = append(s.Players, &p)
+
+		// Match footage: net rushers produce netplay shots.
+		specs := matchSpecs(&p, seed+int64(i))
+		s.Videos.Put(p.VideoURL, video.Generate(specs, video.Options{Seed: seed + int64(i)}))
+		s.mimes[p.VideoURL] = [2]string{"video", "mpeg"}
+		s.mimes[p.PictureURL] = [2]string{"image", "jpeg"}
+	}
+	s.Articles = makeArticles(s)
+	s.renderPages()
+	return s
+}
+
+// matchSpecs builds the broadcast shot list for a player's match.
+func matchSpecs(p *Player, seed int64) []video.ShotSpec {
+	court := video.HardBlue
+	specs := []video.ShotSpec{
+		{Kind: video.Tennis, Frames: 12, Court: court, Netplay: p.NetRusher},
+		{Kind: video.Closeup, Frames: 6},
+		{Kind: video.Tennis, Frames: 12, Court: court, Netplay: false},
+		{Kind: video.Audience, Frames: 6},
+		{Kind: video.Tennis, Frames: 12, Court: court, Netplay: p.NetRusher},
+		{Kind: video.Other, Frames: 6},
+	}
+	return specs
+}
+
+// historyText writes the biography paragraph; for champions it
+// contains the word "Winner", the hook of the Figure 13 query.
+func historyText(p *Player) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s of %s plays %s-handed tennis. ", p.Name, p.Country, p.Hand)
+	if len(p.ChampionYears) > 0 {
+		years := make([]string, len(p.ChampionYears))
+		for i, y := range p.ChampionYears {
+			years[i] = fmt.Sprint(y)
+		}
+		fmt.Fprintf(&sb, "Winner of the Australian Open in %s. ", strings.Join(years, ", "))
+		sb.WriteString("A true champion of the tournament. ")
+	} else {
+		sb.WriteString("Still chasing a first grand slam title in Melbourne. ")
+	}
+	if p.NetRusher {
+		sb.WriteString("Known for relentlessly attacking the net.")
+	} else {
+		sb.WriteString("Prefers long rallies from the baseline.")
+	}
+	return sb.String()
+}
+
+// makeArticles writes tournament coverage referencing players.
+func makeArticles(s *Site) []*Article {
+	var arts []*Article
+	add := func(title, body string, covers ...string) {
+		a := &Article{
+			Title:  title,
+			Body:   body,
+			URL:    fmt.Sprintf("%s/articles/%d.html", s.BaseURL, len(arts)+1),
+			Covers: covers,
+		}
+		arts = append(arts, a)
+	}
+	bySlug := map[string]*Player{}
+	for _, p := range s.Players {
+		bySlug[p.Slug] = p
+	}
+	for _, p := range s.Players {
+		if len(p.ChampionYears) > 0 {
+			add(
+				fmt.Sprintf("%s storms to the title", p.Name),
+				fmt.Sprintf("%s defeated every opponent on the way to the championship trophy. The crowd in Melbourne celebrated a deserved winner. %s", p.Name, p.History),
+				p.Slug,
+			)
+		}
+	}
+	add("Weather disrupts day three",
+		"Heavy rain in Melbourne forced the organisers to close the roof. Matches resumed in the evening session.",
+	)
+	add("Serve and volley revival",
+		"Several players brought the classic net game back to the tournament, charging forward behind every serve. Seles and Rafter delighted the audience.",
+		"monica-seles", "pat-rafter",
+	)
+	_ = bySlug
+	return arts
+}
+
+// renderPages emits the presentation-oriented HTML: the semantic
+// structure visible in the generator is deliberately flattened into
+// markup, exactly the situation the paper's reengineering step
+// reverses.
+func (s *Site) renderPages() {
+	var index strings.Builder
+	index.WriteString("<html><head><title>Australian Open</title></head><body><h1>Australian Open</h1><ul>")
+	for _, p := range s.Players {
+		fmt.Fprintf(&index, `<li><a href="%s">%s</a></li>`, p.BioURL, p.Name)
+	}
+	for _, a := range s.Articles {
+		fmt.Fprintf(&index, `<li><a href="%s">%s</a></li>`, a.URL, a.Title)
+	}
+	index.WriteString("</ul></body></html>")
+	s.putPage(s.BaseURL+"/index.html", index.String())
+
+	for _, p := range s.Players {
+		var b strings.Builder
+		fmt.Fprintf(&b, "<html><head><title>%s</title></head><body>", p.Name)
+		fmt.Fprintf(&b, `<img src="%s" alt="portrait"/>`, p.PictureURL)
+		b.WriteString("<dl>")
+		fmt.Fprintf(&b, "<dt>Name</dt><dd>%s</dd>", p.Name)
+		fmt.Fprintf(&b, "<dt>Gender</dt><dd>%s</dd>", p.Gender)
+		fmt.Fprintf(&b, "<dt>Country</dt><dd>%s</dd>", p.Country)
+		fmt.Fprintf(&b, "<dt>Plays</dt><dd>%s</dd>", p.Hand)
+		b.WriteString("</dl>")
+		fmt.Fprintf(&b, `<div class="history">%s</div>`, p.History)
+		fmt.Fprintf(&b, `<a class="profile" href="%s">match centre</a>`, p.ProfileURL)
+		b.WriteString("</body></html>")
+		s.putPage(p.BioURL, b.String())
+
+		var pr strings.Builder
+		fmt.Fprintf(&pr, "<html><head><title>%s match centre</title></head><body>", p.Name)
+		fmt.Fprintf(&pr, `<a class="document" href="%s">biography</a>`, p.BioURL)
+		fmt.Fprintf(&pr, `<video src="%s"></video>`, p.VideoURL)
+		pr.WriteString("</body></html>")
+		s.putPage(p.ProfileURL, pr.String())
+	}
+	for _, a := range s.Articles {
+		var b strings.Builder
+		fmt.Fprintf(&b, "<html><head><title>%s</title></head><body><h1>%s</h1>", a.Title, a.Title)
+		fmt.Fprintf(&b, `<div class="body">%s</div>`, a.Body)
+		for _, slug := range a.Covers {
+			fmt.Fprintf(&b, `<a class="covers" href="%s/players/%s.html">%s</a>`, s.BaseURL, slug, slug)
+		}
+		b.WriteString("</body></html>")
+		s.putPage(a.URL, b.String())
+	}
+}
+
+func (s *Site) putPage(url, html string) {
+	s.pages[url] = html
+	s.mimes[url] = [2]string{"text", "html"}
+}
+
+// Fetch returns the page content at url; it errors for non-page
+// resources and unknown URLs (the crawler only fetches pages).
+func (s *Site) Fetch(url string) (string, error) {
+	page, ok := s.pages[url]
+	if !ok {
+		return "", fmt.Errorf("site: no page at %s", url)
+	}
+	return page, nil
+}
+
+// MIME resolves a URL to its primary and secondary MIME type; this
+// implements the header detector's probe.
+func (s *Site) MIME(url string) (string, string, error) {
+	m, ok := s.mimes[url]
+	if !ok {
+		return "", "", fmt.Errorf("site: unknown resource %s", url)
+	}
+	return m[0], m[1], nil
+}
+
+// PageURLs returns all page URLs in sorted order.
+func (s *Site) PageURLs() []string {
+	out := make([]string, 0, len(s.pages))
+	for u := range s.pages {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PlayerBySlug returns the ground-truth player with the given slug.
+func (s *Site) PlayerBySlug(slug string) *Player {
+	for _, p := range s.Players {
+		if p.Slug == slug {
+			return p
+		}
+	}
+	return nil
+}
+
+// Figure13Answer returns the slugs of the players that satisfy the
+// Figure 13 query per ground truth: left-handed female Australian Open
+// champions whose footage contains net approaches.
+func (s *Site) Figure13Answer() []string {
+	var out []string
+	for _, p := range s.Players {
+		if p.Gender == "female" && p.Hand == "left" && len(p.ChampionYears) > 0 && p.NetRusher {
+			out = append(out, p.Slug)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func slugify(name string) string {
+	return strings.ToLower(strings.ReplaceAll(name, " ", "-"))
+}

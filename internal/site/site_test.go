@@ -1,0 +1,145 @@
+package site
+
+import (
+	"strings"
+	"testing"
+
+	"dlsearch/internal/video"
+)
+
+func TestGenerateDeterministicRoster(t *testing.T) {
+	s := Generate(1)
+	if len(s.Players) != len(roster) {
+		t.Fatalf("players = %d", len(s.Players))
+	}
+	seles := s.PlayerBySlug("monica-seles")
+	if seles == nil {
+		t.Fatal("Seles missing")
+	}
+	if seles.Gender != "female" || seles.Hand != "left" || !seles.NetRusher {
+		t.Fatalf("Seles ground truth wrong: %+v", seles)
+	}
+	if !strings.Contains(seles.History, "Winner of the Australian Open") {
+		t.Fatalf("champion history lacks Winner: %q", seles.History)
+	}
+	nonChampion := s.PlayerBySlug("patty-schnyder")
+	if strings.Contains(nonChampion.History, "Winner of the Australian Open") {
+		t.Fatal("non-champion history claims a title")
+	}
+	if s.PlayerBySlug("nobody") != nil {
+		t.Fatal("phantom player")
+	}
+}
+
+func TestFigure13AnswerGroundTruth(t *testing.T) {
+	s := Generate(1)
+	got := s.Figure13Answer()
+	want := []string{"jana-vilagos", "monica-seles"}
+	if len(got) != len(want) {
+		t.Fatalf("Figure13Answer = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Figure13Answer = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPagesWellFormedAndLinked(t *testing.T) {
+	s := Generate(1)
+	urls := s.PageURLs()
+	// index + per player (bio+profile) + articles
+	if len(urls) < 1+2*len(s.Players)+len(s.Articles) {
+		t.Fatalf("pages = %d", len(urls))
+	}
+	index, err := s.Fetch(s.BaseURL + "/index.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range s.Players {
+		if !strings.Contains(index, p.BioURL) {
+			t.Fatalf("index lacks link to %s", p.BioURL)
+		}
+	}
+	if _, err := s.Fetch("http://nope"); err == nil {
+		t.Fatal("unknown page fetched")
+	}
+}
+
+func TestBioPageHidesSemantics(t *testing.T) {
+	s := Generate(1)
+	p := s.PlayerBySlug("monica-seles")
+	page, err := s.Fetch(p.BioURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The concepts are present as text…
+	for _, frag := range []string{"Monica Seles", "female", "left", "<dt>Plays</dt>"} {
+		if !strings.Contains(page, frag) {
+			t.Fatalf("bio page lacks %q", frag)
+		}
+	}
+	// …but only as presentation markup, not as schema markup.
+	if strings.Contains(page, "webspace") || strings.Contains(page, "class=\"Player\"") {
+		t.Fatal("bio page leaks schema structure")
+	}
+}
+
+func TestMIMEResolution(t *testing.T) {
+	s := Generate(1)
+	p := s.Players[0]
+	if pr, sec, err := s.MIME(p.VideoURL); err != nil || pr != "video" || sec != "mpeg" {
+		t.Fatalf("video MIME = %s/%s, %v", pr, sec, err)
+	}
+	if pr, _, err := s.MIME(p.PictureURL); err != nil || pr != "image" {
+		t.Fatalf("picture MIME = %s, %v", pr, err)
+	}
+	if pr, _, err := s.MIME(p.BioURL); err != nil || pr != "text" {
+		t.Fatalf("page MIME = %s, %v", pr, err)
+	}
+	if _, _, err := s.MIME("http://nope"); err == nil {
+		t.Fatal("unknown resource resolved")
+	}
+}
+
+func TestVideoGroundTruthMatchesNetRusher(t *testing.T) {
+	s := Generate(7)
+	for _, p := range s.Players {
+		v, err := s.Videos.Get(p.VideoURL)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Slug, err)
+		}
+		hasNetplay := false
+		for _, truth := range v.Truth {
+			if truth.Kind == video.Tennis && truth.Netplay {
+				hasNetplay = true
+			}
+		}
+		if hasNetplay != p.NetRusher {
+			t.Fatalf("%s: netplay footage %v, NetRusher %v", p.Slug, hasNetplay, p.NetRusher)
+		}
+	}
+}
+
+func TestArticlesCoverage(t *testing.T) {
+	s := Generate(1)
+	if len(s.Articles) == 0 {
+		t.Fatal("no articles")
+	}
+	covered := false
+	for _, a := range s.Articles {
+		page, err := s.Fetch(a.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(page, a.Title) {
+			t.Fatalf("article page lacks title %q", a.Title)
+		}
+		if len(a.Covers) > 0 {
+			covered = true
+		}
+	}
+	if !covered {
+		t.Fatal("no article covers any player")
+	}
+}

@@ -1,0 +1,139 @@
+package video
+
+import (
+	"testing"
+)
+
+func TestGenerateBasicStructure(t *testing.T) {
+	specs := []ShotSpec{
+		{Kind: Tennis, Frames: 10, Court: HardBlue, Netplay: true},
+		{Kind: Closeup, Frames: 5},
+		{Kind: Audience, Frames: 5},
+		{Kind: Other, Frames: 5},
+	}
+	v := Generate(specs, Options{Seed: 1})
+	if len(v.Frames) != 25 {
+		t.Fatalf("frames = %d", len(v.Frames))
+	}
+	if len(v.Truth) != 4 {
+		t.Fatalf("truth = %d", len(v.Truth))
+	}
+	if v.Truth[0].Begin != 0 || v.Truth[0].End != 9 {
+		t.Fatalf("shot 0 = [%d,%d]", v.Truth[0].Begin, v.Truth[0].End)
+	}
+	if v.Truth[1].Begin != 10 || v.Truth[3].End != 24 {
+		t.Fatal("frame ranges not contiguous")
+	}
+	if len(v.Truth[0].Track) != 10 {
+		t.Fatalf("track length = %d", len(v.Truth[0].Track))
+	}
+	if v.Truth[1].Track != nil {
+		t.Fatal("closeup should have no track")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	specs := RandomBroadcast(7, 10, GrassGreen)
+	a := Generate(specs, Options{Seed: 42})
+	b := Generate(specs, Options{Seed: 42})
+	if len(a.Frames) != len(b.Frames) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Frames {
+		for j := range a.Frames[i].Pix {
+			if a.Frames[i].Pix[j] != b.Frames[i].Pix[j] {
+				t.Fatalf("frame %d pixel %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestNetplayTrajectoryReachesNet(t *testing.T) {
+	v := Generate([]ShotSpec{{Kind: Tennis, Frames: 12, Court: ClayRed, Netplay: true}}, Options{Seed: 3})
+	track := v.Truth[0].Track
+	last := track[len(track)-1]
+	if float64(last.Y)*CoordScale > NetRowFullRes {
+		t.Fatalf("netplay track ends at y=%d (%.0f full-res), above the net threshold %v",
+			last.Y, float64(last.Y)*CoordScale, NetRowFullRes)
+	}
+	first := track[0]
+	if first.Y <= last.Y {
+		t.Fatal("approach should move toward the net (decreasing y)")
+	}
+}
+
+func TestBaselineStaysBack(t *testing.T) {
+	v := Generate([]ShotSpec{{Kind: Tennis, Frames: 12, Court: HardBlue, Netplay: false}}, Options{Seed: 3})
+	for _, p := range v.Truth[0].Track {
+		if float64(p.Y)*CoordScale <= NetRowFullRes {
+			t.Fatalf("baseline rally reached the net at y=%d", p.Y)
+		}
+	}
+}
+
+func TestCourtKinds(t *testing.T) {
+	seen := map[RGB]bool{}
+	for _, c := range []CourtKind{HardBlue, GrassGreen, ClayRed} {
+		col := c.Color()
+		if seen[col] {
+			t.Fatalf("duplicate court colour %v", col)
+		}
+		seen[col] = true
+	}
+}
+
+func TestShotKindString(t *testing.T) {
+	want := map[ShotKind]string{Tennis: "tennis", Closeup: "closeup", Audience: "audience", Other: "other"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%v.String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestRandomBroadcastNoAdjacentSameKind(t *testing.T) {
+	specs := RandomBroadcast(11, 50, HardBlue)
+	if len(specs) != 50 {
+		t.Fatalf("specs = %d", len(specs))
+	}
+	for i := 1; i < len(specs); i++ {
+		if specs[i].Kind == specs[i-1].Kind {
+			t.Fatalf("adjacent shots %d,%d share kind %v", i-1, i, specs[i].Kind)
+		}
+	}
+}
+
+func TestDefaultFrames(t *testing.T) {
+	v := Generate([]ShotSpec{{Kind: Other}}, Options{Seed: 1})
+	if len(v.Frames) == 0 {
+		t.Fatal("zero-frame spec should default to a positive length")
+	}
+}
+
+func TestLibrary(t *testing.T) {
+	lib := NewLibrary()
+	v := Generate([]ShotSpec{{Kind: Other, Frames: 2}}, Options{Seed: 1})
+	lib.Put("http://v/a.mpg", v)
+	got, err := lib.Get("http://v/a.mpg")
+	if err != nil || got != v {
+		t.Fatalf("Get = %v, %v", got, err)
+	}
+	if _, err := lib.Get("http://v/missing.mpg"); err == nil {
+		t.Fatal("missing video should error")
+	}
+	if lib.Len() != 1 {
+		t.Fatalf("Len = %d", lib.Len())
+	}
+}
+
+func TestFrameAccessors(t *testing.T) {
+	f := NewFrame(4, 3)
+	f.Fill(RGB{R: 9})
+	if f.At(3, 2).R != 9 {
+		t.Fatal("Fill/At broken")
+	}
+	f.Set(1, 1, RGB{G: 5})
+	if f.At(1, 1).G != 5 {
+		t.Fatal("Set broken")
+	}
+}

@@ -1,0 +1,174 @@
+package webspace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dlsearch/internal/monetxml"
+)
+
+// Object is a web-object: an instantiation of a schema class found in
+// (or authored into) a document. Its ID is unique within the webspace
+// and qualified by class, e.g. "Player:monica-seles".
+type Object struct {
+	Class string
+	ID    string
+	Attrs map[string]string
+}
+
+// QualifiedID returns the class-qualified identity.
+func (o *Object) QualifiedID() string { return o.Class + ":" + o.ID }
+
+// Attr returns an attribute value.
+func (o *Object) Attr(name string) string { return o.Attrs[name] }
+
+// Link is an instantiation of an association between two web-objects.
+type Link struct {
+	Association string
+	From        string // qualified id
+	To          string // qualified id
+}
+
+// Document is a materialized view over the webspace schema: the
+// web-objects and association instances one document contributes.
+type Document struct {
+	URL     string
+	Objects []*Object
+	Links   []Link
+}
+
+// Object returns the document's object with the given qualified id.
+func (d *Document) Object(qid string) *Object {
+	for _, o := range d.Objects {
+		if o.QualifiedID() == qid {
+			return o
+		}
+	}
+	return nil
+}
+
+// Validate checks the document against the schema: known classes,
+// known attributes, association endpoints of the right classes.
+func (d *Document) Validate(s *Schema) error {
+	byID := map[string]*Object{}
+	for _, o := range d.Objects {
+		c := s.Class(o.Class)
+		if c == nil {
+			return fmt.Errorf("webspace: %s: unknown class %s", d.URL, o.Class)
+		}
+		if o.ID == "" {
+			return fmt.Errorf("webspace: %s: object of class %s without id", d.URL, o.Class)
+		}
+		for name := range o.Attrs {
+			if _, ok := c.Attr(name); !ok {
+				return fmt.Errorf("webspace: %s: class %s has no attribute %s", d.URL, o.Class, name)
+			}
+		}
+		byID[o.QualifiedID()] = o
+	}
+	for _, l := range d.Links {
+		a, ok := s.Association(l.Association)
+		if !ok {
+			return fmt.Errorf("webspace: %s: unknown association %s", d.URL, l.Association)
+		}
+		if !strings.HasPrefix(l.From, a.From+":") {
+			return fmt.Errorf("webspace: %s: association %s source %s is not a %s", d.URL, l.Association, l.From, a.From)
+		}
+		if !strings.HasPrefix(l.To, a.To+":") {
+			return fmt.Errorf("webspace: %s: association %s target %s is not a %s", d.URL, l.Association, l.To, a.To)
+		}
+	}
+	return nil
+}
+
+// XML serialises the materialized view for the physical level. The
+// element structure mirrors the schema, so each stored document indeed
+// "contains both content and schematic information":
+//
+//	<webspace url="...">
+//	  <object class="Player" id="monica-seles">
+//	    <attr name="name">Monica Seles</attr>
+//	    ...
+//	  </object>
+//	  <assoc name="About" from="Profile:x" to="Player:y"/>
+//	</webspace>
+func (d *Document) XML() *monetxml.Node {
+	root := monetxml.Elem("webspace").WithAttr("url", d.URL)
+	for _, o := range d.Objects {
+		oe := monetxml.Elem("object").WithAttr("class", o.Class).WithAttr("id", o.ID)
+		names := make([]string, 0, len(o.Attrs))
+		for n := range o.Attrs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			ae := monetxml.Elem("attr", monetxml.TextNode(o.Attrs[n])).WithAttr("name", n)
+			oe.Children = append(oe.Children, ae)
+		}
+		root.Children = append(root.Children, oe)
+	}
+	for _, l := range d.Links {
+		le := monetxml.Elem("assoc").
+			WithAttr("name", l.Association).
+			WithAttr("from", l.From).
+			WithAttr("to", l.To)
+		root.Children = append(root.Children, le)
+	}
+	return root
+}
+
+// DocumentFromXML parses a materialized view back from its XML form;
+// the inverse of Document.XML.
+func DocumentFromXML(n *monetxml.Node) (*Document, error) {
+	if n.Tag != "webspace" {
+		return nil, fmt.Errorf("webspace: root is %q, want webspace", n.Tag)
+	}
+	url, _ := n.Attr("url")
+	d := &Document{URL: url}
+	for _, c := range n.Children {
+		switch c.Tag {
+		case "object":
+			class, _ := c.Attr("class")
+			id, _ := c.Attr("id")
+			o := &Object{Class: class, ID: id, Attrs: map[string]string{}}
+			for _, ae := range c.ChildrenByTag("attr") {
+				name, _ := ae.Attr("name")
+				o.Attrs[name] = ae.InnerText()
+			}
+			d.Objects = append(d.Objects, o)
+		case "assoc":
+			name, _ := c.Attr("name")
+			from, _ := c.Attr("from")
+			to, _ := c.Attr("to")
+			d.Links = append(d.Links, Link{Association: name, From: from, To: to})
+		}
+	}
+	return d, nil
+}
+
+// AusOpenSchema builds the webspace schema of the running example
+// (Figure 3): Article, Player and Profile concepts with multimedia
+// attributes, connected by the Is_covered_in and About associations.
+func AusOpenSchema() *Schema {
+	s := NewSchema("ausopen")
+	s.MustAddClass("Article",
+		Attribute{Name: "title", Type: Varchar, Size: 100},
+		Attribute{Name: "body", Type: Hypertext},
+	)
+	s.MustAddClass("Player",
+		Attribute{Name: "name", Type: Varchar, Size: 50},
+		Attribute{Name: "gender", Type: Varchar, Size: 10},
+		Attribute{Name: "country", Type: Varchar, Size: 30},
+		Attribute{Name: "hand", Type: Varchar, Size: 10},
+		Attribute{Name: "history", Type: Hypertext},
+		Attribute{Name: "picture", Type: Image},
+	)
+	s.MustAddClass("Profile",
+		Attribute{Name: "document", Type: Uri},
+		Attribute{Name: "video", Type: Video},
+	)
+	s.MustAddAssociation("Is_covered_in", "Player", "Article")
+	s.MustAddAssociation("About", "Profile", "Player")
+	return s
+}

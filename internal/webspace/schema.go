@@ -1,0 +1,215 @@
+// Package webspace implements the conceptual level of the paper: the
+// Webspace Method [ZA99, ZA00a]. A webspace schema models the concepts
+// of a limited web domain — classes, attributes (including multimedia
+// types) and associations — and every document of the webspace is a
+// materialized view over that schema, carrying both content and
+// schematic information. This is what enables conceptual search over
+// the document collection and the integration of information stored in
+// different documents into a single query.
+package webspace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AttrType is the type of a class attribute. Beyond the usual scalar
+// types, attributes can be of a multimedia type; such attributes are
+// what the logical level's feature grammars augment with meta-data.
+type AttrType int
+
+// Attribute types.
+const (
+	Varchar AttrType = iota
+	Int
+	Float
+	Uri
+	Hypertext
+	Video
+	Audio
+	Image
+)
+
+func (t AttrType) String() string {
+	switch t {
+	case Varchar:
+		return "varchar"
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case Uri:
+		return "Uri"
+	case Hypertext:
+		return "Hypertext"
+	case Video:
+		return "Video"
+	case Audio:
+		return "Audio"
+	case Image:
+		return "Image"
+	default:
+		return fmt.Sprintf("type(%d)", int(t))
+	}
+}
+
+// IsMultimedia reports whether values of this type refer to multimedia
+// objects that the logical level should analyse.
+func (t AttrType) IsMultimedia() bool {
+	switch t {
+	case Hypertext, Video, Audio, Image:
+		return true
+	}
+	return false
+}
+
+// Attribute is a typed attribute of a class, e.g. name::varchar(50).
+type Attribute struct {
+	Name string
+	Type AttrType
+	Size int // for varchar
+}
+
+func (a Attribute) String() string {
+	if a.Type == Varchar && a.Size > 0 {
+		return fmt.Sprintf("%s::varchar(%d)", a.Name, a.Size)
+	}
+	return fmt.Sprintf("%s::%s", a.Name, a.Type)
+}
+
+// Class is a concept of the webspace schema.
+type Class struct {
+	Name  string
+	Attrs []Attribute
+
+	byName map[string]int
+}
+
+// Attr returns the attribute with the given name.
+func (c *Class) Attr(name string) (Attribute, bool) {
+	i, ok := c.byName[name]
+	if !ok {
+		return Attribute{}, false
+	}
+	return c.Attrs[i], true
+}
+
+// Association is a named, directed relation between two classes, e.g.
+// Is_covered_in(Player, Article).
+type Association struct {
+	Name string
+	From string // class name
+	To   string // class name
+}
+
+// Schema is a webspace schema: the semantic description of the content
+// available in a webspace.
+type Schema struct {
+	Name         string
+	classes      map[string]*Class
+	classOrder   []string
+	Associations []Association
+}
+
+// NewSchema returns an empty schema.
+func NewSchema(name string) *Schema {
+	return &Schema{Name: name, classes: make(map[string]*Class)}
+}
+
+// AddClass defines a class with its attributes; it returns an error on
+// duplicates.
+func (s *Schema) AddClass(name string, attrs ...Attribute) error {
+	if _, dup := s.classes[name]; dup {
+		return fmt.Errorf("webspace: class %s already defined", name)
+	}
+	c := &Class{Name: name, Attrs: attrs, byName: make(map[string]int, len(attrs))}
+	for i, a := range attrs {
+		if _, dup := c.byName[a.Name]; dup {
+			return fmt.Errorf("webspace: class %s has duplicate attribute %s", name, a.Name)
+		}
+		c.byName[a.Name] = i
+	}
+	s.classes[name] = c
+	s.classOrder = append(s.classOrder, name)
+	return nil
+}
+
+// MustAddClass is AddClass for schema constants; it panics on error.
+func (s *Schema) MustAddClass(name string, attrs ...Attribute) {
+	if err := s.AddClass(name, attrs...); err != nil {
+		panic(err)
+	}
+}
+
+// AddAssociation defines an association over existing classes.
+func (s *Schema) AddAssociation(name, from, to string) error {
+	if s.Class(from) == nil {
+		return fmt.Errorf("webspace: association %s: unknown class %s", name, from)
+	}
+	if s.Class(to) == nil {
+		return fmt.Errorf("webspace: association %s: unknown class %s", name, to)
+	}
+	for _, a := range s.Associations {
+		if a.Name == name {
+			return fmt.Errorf("webspace: association %s already defined", name)
+		}
+	}
+	s.Associations = append(s.Associations, Association{Name: name, From: from, To: to})
+	return nil
+}
+
+// MustAddAssociation is AddAssociation that panics on error.
+func (s *Schema) MustAddAssociation(name, from, to string) {
+	if err := s.AddAssociation(name, from, to); err != nil {
+		panic(err)
+	}
+}
+
+// Class returns the class with the given name, or nil.
+func (s *Schema) Class(name string) *Class { return s.classes[name] }
+
+// Classes returns the classes in definition order.
+func (s *Schema) Classes() []*Class {
+	out := make([]*Class, 0, len(s.classOrder))
+	for _, n := range s.classOrder {
+		out = append(out, s.classes[n])
+	}
+	return out
+}
+
+// Association returns the association with the given name.
+func (s *Schema) Association(name string) (Association, bool) {
+	for _, a := range s.Associations {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Association{}, false
+}
+
+// MultimediaAttrs returns the (class, attribute) pairs of multimedia
+// type, in deterministic order — the hooks where the conceptual level
+// hands objects to the logical level.
+func (s *Schema) MultimediaAttrs() []string {
+	var out []string
+	for _, cn := range s.classOrder {
+		for _, a := range s.classes[cn].Attrs {
+			if a.Type.IsMultimedia() {
+				out = append(out, cn+"."+a.Name)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate checks referential consistency (duplicate checks happen at
+// definition time; this re-verifies association endpoints).
+func (s *Schema) Validate() error {
+	for _, a := range s.Associations {
+		if s.Class(a.From) == nil || s.Class(a.To) == nil {
+			return fmt.Errorf("webspace: association %s references unknown classes", a.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package webspace
+
+import (
+	"strings"
+	"testing"
+
+	"dlsearch/internal/monetxml"
+)
+
+func monetxmlElem(tag string) *monetxml.Node { return monetxml.Elem(tag) }
+
+// TestFigure3Schema is part of experiment E01: the Australian Open
+// webspace schema must contain the concepts of Figure 3.
+func TestFigure3Schema(t *testing.T) {
+	s := AusOpenSchema()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	player := s.Class("Player")
+	if player == nil {
+		t.Fatal("Player class missing")
+	}
+	name, ok := player.Attr("name")
+	if !ok || name.Type != Varchar || name.Size != 50 {
+		t.Fatalf("Player.name = %+v", name)
+	}
+	hist, ok := player.Attr("history")
+	if !ok || hist.Type != Hypertext {
+		t.Fatalf("Player.history = %+v", hist)
+	}
+	profile := s.Class("Profile")
+	if v, ok := profile.Attr("video"); !ok || v.Type != Video {
+		t.Fatal("Profile.video must be Video")
+	}
+	if d, ok := profile.Attr("document"); !ok || d.Type != Uri {
+		t.Fatal("Profile.document must be Uri")
+	}
+	if a, ok := s.Association("Is_covered_in"); !ok || a.From != "Player" || a.To != "Article" {
+		t.Fatalf("Is_covered_in = %+v", a)
+	}
+	if a, ok := s.Association("About"); !ok || a.From != "Profile" || a.To != "Player" {
+		t.Fatalf("About = %+v", a)
+	}
+	mm := s.MultimediaAttrs()
+	want := []string{"Article.body", "Player.history", "Player.picture", "Profile.video"}
+	if len(mm) != len(want) {
+		t.Fatalf("MultimediaAttrs = %v", mm)
+	}
+	for i := range want {
+		if mm[i] != want[i] {
+			t.Fatalf("MultimediaAttrs = %v, want %v", mm, want)
+		}
+	}
+}
+
+func TestSchemaDuplicateErrors(t *testing.T) {
+	s := NewSchema("x")
+	if err := s.AddClass("A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddClass("A"); err == nil {
+		t.Fatal("duplicate class accepted")
+	}
+	if err := s.AddClass("B", Attribute{Name: "x"}, Attribute{Name: "x"}); err == nil {
+		t.Fatal("duplicate attribute accepted")
+	}
+	if err := s.AddAssociation("r", "A", "Nope"); err == nil {
+		t.Fatal("association to unknown class accepted")
+	}
+	if err := s.AddAssociation("r", "A", "A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddAssociation("r", "A", "A"); err == nil {
+		t.Fatal("duplicate association accepted")
+	}
+}
+
+func TestAttrTypeStringsAndMultimedia(t *testing.T) {
+	if Varchar.IsMultimedia() || Uri.IsMultimedia() || Int.IsMultimedia() {
+		t.Fatal("scalar types flagged as multimedia")
+	}
+	for _, mt := range []AttrType{Hypertext, Video, Audio, Image} {
+		if !mt.IsMultimedia() {
+			t.Fatalf("%v not multimedia", mt)
+		}
+	}
+	a := Attribute{Name: "name", Type: Varchar, Size: 50}
+	if a.String() != "name::varchar(50)" {
+		t.Fatalf("attr string = %q", a.String())
+	}
+	b := Attribute{Name: "video", Type: Video}
+	if b.String() != "video::Video" {
+		t.Fatalf("attr string = %q", b.String())
+	}
+}
+
+func TestDocumentValidate(t *testing.T) {
+	s := AusOpenSchema()
+	good := &Document{
+		URL: "u",
+		Objects: []*Object{
+			{Class: "Player", ID: "p1", Attrs: map[string]string{"name": "X"}},
+			{Class: "Profile", ID: "p1", Attrs: map[string]string{"video": "v"}},
+		},
+		Links: []Link{{Association: "About", From: "Profile:p1", To: "Player:p1"}},
+	}
+	if err := good.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Document{
+		{URL: "u", Objects: []*Object{{Class: "Nope", ID: "x"}}},
+		{URL: "u", Objects: []*Object{{Class: "Player", ID: ""}}},
+		{URL: "u", Objects: []*Object{{Class: "Player", ID: "p", Attrs: map[string]string{"zzz": "1"}}}},
+		{URL: "u", Links: []Link{{Association: "Nope", From: "A:1", To: "B:2"}}},
+		{URL: "u", Links: []Link{{Association: "About", From: "Player:x", To: "Player:y"}}},
+		{URL: "u", Links: []Link{{Association: "About", From: "Profile:x", To: "Article:y"}}},
+	}
+	for i, d := range bad {
+		if err := d.Validate(s); err == nil {
+			t.Errorf("bad document %d accepted", i)
+		}
+	}
+}
+
+func TestDocumentXMLRoundTrip(t *testing.T) {
+	d := &Document{
+		URL: "http://x/p.html",
+		Objects: []*Object{
+			{Class: "Player", ID: "seles", Attrs: map[string]string{
+				"name": "Monica Seles", "gender": "female",
+			}},
+		},
+		Links: []Link{{Association: "About", From: "Profile:seles", To: "Player:seles"}},
+	}
+	x := d.XML()
+	if x.Tag != "webspace" {
+		t.Fatalf("root = %s", x.Tag)
+	}
+	s := x.String()
+	for _, frag := range []string{`class="Player"`, `id="seles"`, `name="About"`, "Monica Seles"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("XML lacks %q", frag)
+		}
+	}
+	back, err := DocumentFromXML(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.URL != d.URL || len(back.Objects) != 1 || len(back.Links) != 1 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	o := back.Objects[0]
+	if o.QualifiedID() != "Player:seles" || o.Attr("gender") != "female" {
+		t.Fatalf("object round trip = %+v", o)
+	}
+	if back.Links[0] != d.Links[0] {
+		t.Fatalf("link round trip = %+v", back.Links[0])
+	}
+}
+
+func TestDocumentFromXMLErrors(t *testing.T) {
+	if _, err := DocumentFromXML(monetxmlElem("notwebspace")); err == nil {
+		t.Fatal("wrong root element accepted")
+	}
+}
+
+func TestDocumentObjectLookup(t *testing.T) {
+	d := &Document{Objects: []*Object{{Class: "Player", ID: "a"}}}
+	if d.Object("Player:a") == nil {
+		t.Fatal("lookup failed")
+	}
+	if d.Object("Player:b") != nil {
+		t.Fatal("phantom object")
+	}
+}
