@@ -156,6 +156,7 @@ func BenchmarkE10FragmentedTopN(b *testing.B) {
 		ix.Fragmentize(8)
 		res, quality := ix.TopNFragments(query, 10, frags)
 		b.Run(fmt.Sprintf("cutoff=%d-of-8", frags), func(b *testing.B) {
+			b.ReportAllocs()
 			b.ReportMetric(quality, "quality")
 			b.ReportMetric(float64(len(res)), "results")
 			for i := 0; i < b.N; i++ {
@@ -175,6 +176,7 @@ func BenchmarkE11DistributedTopN(b *testing.B) {
 			c.Add(bat.OID(i+1), "u", d)
 		}
 		b.Run(fmt.Sprintf("parallel/nodes=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if got := c.TopN("champion winner serve", 10); len(got) != 10 {
 					b.Fatalf("got %d", len(got))
@@ -182,6 +184,7 @@ func BenchmarkE11DistributedTopN(b *testing.B) {
 			}
 		})
 		b.Run(fmt.Sprintf("sequential/nodes=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				c.TopNSequential("champion winner serve", 10)
 			}
@@ -250,11 +253,13 @@ func BenchmarkE16TopN(b *testing.B) {
 	}
 	const query = "seles trophy"
 	b.Run("optimized", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			ix.TopN(query, 10)
 		}
 	})
 	b.Run("naive-full-ranking", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			ix.TopNNaive(query, 10)
 		}
@@ -281,11 +286,13 @@ func BenchmarkE17APrioriRestriction(b *testing.B) {
 	}
 	const query = "champion winner serve"
 	b.Run("restricted", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			ix.TopNRestricted(query, 10, candidates)
 		}
 	})
 	b.Run("unrestricted-late-filter", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			all := ix.TopN(query, len(docs))
 			kept := 0

@@ -114,6 +114,8 @@ type (
 	FullTextIndex = ir.Index
 	// Cluster is a shared-nothing cluster of IR nodes.
 	Cluster = dist.Cluster
+	// ClusterOptions configures partitioning and ranking of a Cluster.
+	ClusterOptions = dist.Options
 )
 
 // Substrate types used by the examples.
@@ -185,5 +187,10 @@ func SyntheticWeb(seed int64) ([]*core.WebPage, []*core.WebImage) {
 	return core.SyntheticWeb(seed)
 }
 
-// NewCluster builds a shared-nothing cluster of k IR nodes.
+// NewCluster builds a shared-nothing cluster of k IR nodes with
+// deterministic round-robin document partitioning.
 func NewCluster(k int) *Cluster { return dist.NewCluster(k, nil) }
+
+// NewClusterWith builds a shared-nothing cluster of k IR nodes with
+// explicit partitioning / ranking options.
+func NewClusterWith(k int, opts *ClusterOptions) *Cluster { return dist.NewCluster(k, opts) }

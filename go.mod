@@ -1,0 +1,3 @@
+module dlsearch
+
+go 1.24

@@ -266,6 +266,15 @@ func (b *BAT) BoolOfHead(head OID) (bool, bool) {
 	return b.tailBool[pos[0]], true
 }
 
+// SetFloatAt overwrites the float tail at position i in place. The
+// head column is untouched, so lazily built head indexes stay valid —
+// this is what lets derived relations like IDF be maintained
+// incrementally instead of being rebuilt on every change.
+func (b *BAT) SetFloatAt(i int, v float64) {
+	b.mustKind(KindFloat)
+	b.tailFloat[i] = v
+}
+
 // HeadsOfString returns all heads whose string tail equals v.
 func (b *BAT) HeadsOfString(v string) []OID {
 	b.mustKind(KindString)

@@ -112,6 +112,13 @@ func (e *Engine) Populate(res *crawler.Result) (*PopulateReport, error) {
 		}
 	}
 	e.DB.InvalidateCaches()
+	// The bulk load is complete: freeze every full-text index so the
+	// incremental IDF rows and posting-list sort order are in place
+	// before the first query, and concurrent read-only queries never
+	// mutate index state.
+	for _, idx := range e.IR {
+		idx.Freeze()
+	}
 	rep.Relations = len(e.Store.RelationNames())
 	rep.Associations = e.Store.Bats.TotalAssociations()
 	rep.DetectorCalls = e.Scheduler.Engine.Stats.DetectorCalls

@@ -139,6 +139,9 @@ func (e *InternetEngine) PopulateWeb() error {
 		}
 		e.Keywords.Add(id, u, p.Title+" "+text)
 	}
+	// Bulk load done: freeze the index's derived access paths once so
+	// queries start on sorted posting lists and fresh IDF rows.
+	e.Keywords.Freeze()
 	return nil
 }
 

@@ -1,0 +1,170 @@
+// Package dist implements the paper's shared-nothing distribution of
+// the full-text meta-index (Section "Scalability", experiment E11):
+// the document collection is fragmented per document over k
+// autonomous ir.Index nodes, each holding the complete T/D/DT/TF/IDF
+// relations for its document subset.
+//
+// The protocol mirrors the paper's central-DBMS architecture:
+//
+//  1. The central site aggregates the per-node term statistics
+//     (df, Σdf, |D|) into global statistics and ships them with the
+//     query, so every node scores its local documents exactly as one
+//     global index would (ir.Stats / ir.TopNWithStats).
+//  2. Every node evaluates the top-N query over its local fragment
+//     only — no inter-node communication — and returns a small
+//     RES(doc-oid, score) set of at most N rows.
+//  3. The central site merges the RES sets with ir.Merge into the
+//     master ranking. Because the global top-N is a subset of the
+//     union of the local top-Ns and all scores are computed from the
+//     same global statistics, the merged ranking is identical to the
+//     ranking of a single index over the whole collection.
+//
+// This makes the distribution transparent to the ranking and lets
+// throughput scale with the number of nodes ("(almost) perfect
+// shared-nothing parallelism").
+package dist
+
+import (
+	"sync"
+
+	"dlsearch/internal/bat"
+	"dlsearch/internal/ir"
+)
+
+// Options configures a Cluster. The zero value (or a nil *Options)
+// selects deterministic round-robin partitioning on the document oid
+// and the default ranking parameter.
+type Options struct {
+	// Partition maps a document oid to a node in [0, k). It must be
+	// deterministic: the same oid must always land on the same node.
+	// Nil selects round-robin on the oid, which yields balanced node
+	// loads for the dense oid sequences the engine hands out.
+	Partition func(doc bat.OID, k int) int
+
+	// Lambda overrides the smoothing parameter of the retrieval model
+	// on every node; 0 keeps ir.DefaultLambda.
+	Lambda float64
+}
+
+// roundRobin is the default partitioning: dense oids spread evenly.
+func roundRobin(doc bat.OID, k int) int {
+	if doc == bat.NilOID {
+		return 0
+	}
+	return int((uint64(doc) - 1) % uint64(k))
+}
+
+// Cluster is a shared-nothing cluster of ir.Index nodes with a
+// central merge site. Add calls must not run concurrently with each
+// other or with queries; TopN / TopNSequential / NodeLoads are safe
+// to call from many goroutines at once.
+type Cluster struct {
+	nodes     []*ir.Index
+	partition func(bat.OID, int) int
+
+	mu    sync.Mutex // guards stats/freeze refresh
+	stats ir.Stats
+	fresh bool // stats reflect all Adds and nodes are frozen
+}
+
+// NewCluster builds a cluster of k nodes (k < 1 is clamped to 1).
+func NewCluster(k int, opts *Options) *Cluster {
+	if k < 1 {
+		k = 1
+	}
+	c := &Cluster{nodes: make([]*ir.Index, k), partition: roundRobin}
+	if opts != nil && opts.Partition != nil {
+		c.partition = opts.Partition
+	}
+	for i := range c.nodes {
+		c.nodes[i] = ir.NewIndex()
+		if opts != nil && opts.Lambda != 0 {
+			c.nodes[i].SetLambda(opts.Lambda)
+		}
+	}
+	return c
+}
+
+// Size returns the number of nodes.
+func (c *Cluster) Size() int { return len(c.nodes) }
+
+// Node returns node i, for inspection by experiments.
+func (c *Cluster) Node(i int) *ir.Index { return c.nodes[i] }
+
+// Add routes one document to its node by the deterministic
+// per-document partitioning.
+func (c *Cluster) Add(doc bat.OID, url, text string) {
+	c.mu.Lock()
+	c.fresh = false
+	c.mu.Unlock()
+	c.nodes[c.partition(doc, len(c.nodes))].Add(doc, url, text)
+}
+
+// DocCount returns the number of documents over all nodes.
+func (c *Cluster) DocCount() int {
+	n := 0
+	for _, node := range c.nodes {
+		n += node.DocCount()
+	}
+	return n
+}
+
+// NodeLoads returns the number of documents on each node; with the
+// default partitioning the loads differ by at most one.
+func (c *Cluster) NodeLoads() []int {
+	loads := make([]int, len(c.nodes))
+	for i, node := range c.nodes {
+		loads[i] = node.DocCount()
+	}
+	return loads
+}
+
+// GlobalStats returns the aggregated collection statistics the
+// central site ships with every query, refreshing them (and freezing
+// every node's access paths) if documents arrived since the last
+// query.
+func (c *Cluster) GlobalStats() ir.Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.fresh {
+		locals := make([]ir.Stats, len(c.nodes))
+		for i, node := range c.nodes {
+			node.Freeze()
+			locals[i] = node.StatsLocal()
+		}
+		c.stats = ir.MergeStats(locals...)
+		c.fresh = true
+	}
+	return c.stats
+}
+
+// TopN evaluates the query on every node in parallel — one worker
+// goroutine per node, shared-nothing — and fans the per-node RES sets
+// in through the central ir.Merge. The result is identical to the
+// TopN of a single index holding the whole collection.
+func (c *Cluster) TopN(query string, n int) []ir.Result {
+	global := c.GlobalStats()
+	rankings := make([][]ir.Result, len(c.nodes))
+	var wg sync.WaitGroup
+	for i, node := range c.nodes {
+		wg.Add(1)
+		go func(i int, node *ir.Index) {
+			defer wg.Done()
+			rankings[i] = node.TopNWithStats(query, n, global)
+		}(i, node)
+	}
+	wg.Wait()
+	return ir.Merge(n, rankings...)
+}
+
+// TopNSequential is the single-worker baseline: the same plan, the
+// same per-node RES sets and the same merged ranking, but the nodes
+// are visited one after another. E11 measures parallel against this.
+func (c *Cluster) TopNSequential(query string, n int) []ir.Result {
+	global := c.GlobalStats()
+	rankings := make([][]ir.Result, len(c.nodes))
+	for i, node := range c.nodes {
+		rankings[i] = node.TopNWithStats(query, n, global)
+	}
+	return ir.Merge(n, rankings...)
+}

@@ -90,13 +90,28 @@ func (c CompressedPostings) Walk(f func(doc bat.OID, tf int) bool) error {
 	return nil
 }
 
+// PostingsOf materialises the posting list of a term oid as (doc, tf)
+// pairs in the access path's order.
+func (ix *Index) PostingsOf(id bat.OID) []Posting {
+	pl := ix.plists[id]
+	if pl == nil {
+		return nil
+	}
+	out := make([]Posting, len(pl.slots))
+	for i, slot := range pl.slots {
+		out[i] = Posting{Doc: ix.docIDs[slot], TF: int(pl.tfs[i])}
+	}
+	return out
+}
+
 // CompressIndex encodes every posting list of the index and returns
 // the compressed lists plus the plain and compressed sizes in bytes
 // (16 bytes per plain posting: oid + int).
 func CompressIndex(ix *Index) (map[bat.OID]CompressedPostings, int, int) {
-	out := make(map[bat.OID]CompressedPostings, len(ix.postings))
+	out := make(map[bat.OID]CompressedPostings, len(ix.plists))
 	plain, packed := 0, 0
-	for id, ps := range ix.postings {
+	for id := range ix.plists {
+		ps := ix.PostingsOf(id)
 		c := Compress(ps)
 		out[id] = c
 		plain += 16 * len(ps)

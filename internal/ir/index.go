@@ -2,7 +2,9 @@ package ir
 
 import (
 	"math"
+	"slices"
 	"sort"
+	"sync"
 
 	"dlsearch/internal/bat"
 )
@@ -36,6 +38,19 @@ type Fragment struct {
 	Tuples int       // number of DT tuples covered
 }
 
+// plist is the columnar access path of one term's posting list: two
+// parallel arrays of dense document slots and term frequencies, the
+// Monet-style decomposition the scorer scans. Slots index the
+// docIDs/docLens columns of the index. At freeze time the list is
+// sorted by document oid so restricted scans and merges run
+// cache-friendly; appends in oid order (the common case) keep it
+// sorted for free.
+type plist struct {
+	slots  []int32
+	tfs    []int32
+	sorted bool
+}
+
 // Index is the full-text meta-index: the five relations of the paper
 // plus derived in-memory access paths.
 //
@@ -44,6 +59,13 @@ type Fragment struct {
 //	DT  document term list   pair-oid × doc-oid and pair-oid × term-oid
 //	TF  term frequency       pair-oid × tf
 //	IDF inverse doc freq     term-oid × idf, idf = 1/df
+//
+// The query hot path is columnar: documents live in dense slots
+// (docIDs/docLens), posting lists address those slots directly, and
+// per-query score accumulation runs over a reusable doc-indexed score
+// slice instead of hash maps. Derived state (IDF rows, posting-list
+// sort order, fragment placement) is maintained incrementally; Freeze
+// flushes whatever is still pending.
 type Index struct {
 	T   *bat.BAT
 	D   *bat.BAT
@@ -55,15 +77,25 @@ type Index struct {
 	seq    *bat.Sequence
 	lambda float64
 
-	termID   map[string]bat.OID
-	postings map[bat.OID][]Posting
+	termID map[string]bat.OID
+	plists map[bat.OID]*plist
+
+	// Columnar document store: slot = dense insertion index.
+	docIDs  []bat.OID
+	docLens []int32
+	docSlot map[bat.OID]int32
+
 	docTerms map[bat.OID]map[bat.OID]int // doc -> term -> tf (naive plan's access path)
-	docLen   map[bat.OID]int
 	df       map[bat.OID]int
 	totalDF  int
 
+	idfPos map[bat.OID]int      // term -> row of the IDF relation
+	dirty  map[bat.OID]struct{} // terms with pending derived-state work
+
 	fragments []Fragment
-	idfDirty  bool
+	fragOf    map[bat.OID]int // term -> fragment index
+
+	scorers sync.Pool // *scorer: reusable per-query buffers
 }
 
 // NewIndex returns an empty index with the default ranking parameter.
@@ -78,23 +110,38 @@ func NewIndex() *Index {
 		seq:      bat.NewSequence(),
 		lambda:   DefaultLambda,
 		termID:   make(map[string]bat.OID),
-		postings: make(map[bat.OID][]Posting),
+		plists:   make(map[bat.OID]*plist),
+		docSlot:  make(map[bat.OID]int32),
 		docTerms: make(map[bat.OID]map[bat.OID]int),
-		docLen:   make(map[bat.OID]int),
 		df:       make(map[bat.OID]int),
+		idfPos:   make(map[bat.OID]int),
+		dirty:    make(map[bat.OID]struct{}),
 	}
 }
 
 // SetLambda overrides the smoothing parameter (0 < λ < 1).
 func (ix *Index) SetLambda(l float64) { ix.lambda = l }
 
+// slotOf returns the dense slot of a document, registering it if new.
+func (ix *Index) slotOf(doc bat.OID) int32 {
+	if slot, ok := ix.docSlot[doc]; ok {
+		return slot
+	}
+	slot := int32(len(ix.docIDs))
+	ix.docSlot[doc] = slot
+	ix.docIDs = append(ix.docIDs, doc)
+	ix.docLens = append(ix.docLens, 0)
+	return slot
+}
+
 // Add indexes the body text of a document. The caller supplies the
 // document oid from the global OID space; the paper's incremental
 // indexing process fills DT/T/D first and derives TF/IDF, which here
-// happens transparently (IDF lazily on first query).
+// happens transparently (incrementally on the next freeze). Add must
+// not run concurrently with queries.
 func (ix *Index) Add(doc bat.OID, url, text string) {
 	terms := Terms(text)
-	counts := make(map[bat.OID]int)
+	counts := make(map[bat.OID]int, len(terms))
 	for _, t := range terms {
 		id, ok := ix.termID[t]
 		if !ok {
@@ -105,10 +152,11 @@ func (ix *Index) Add(doc bat.OID, url, text string) {
 		counts[id]++
 	}
 	ix.D.AppendString(doc, url)
-	ix.docLen[doc] += len(terms)
+	slot := ix.slotOf(doc)
+	ix.docLens[slot] += int32(len(terms))
 	dt := ix.docTerms[doc]
 	if dt == nil {
-		dt = make(map[bat.OID]int)
+		dt = make(map[bat.OID]int, len(counts))
 		ix.docTerms[doc] = dt
 	}
 	for id, tf := range counts {
@@ -116,19 +164,50 @@ func (ix *Index) Add(doc bat.OID, url, text string) {
 		ix.DTd.AppendOID(pair, doc)
 		ix.DTt.AppendOID(pair, id)
 		ix.TF.AppendInt(pair, int64(tf))
+		pl := ix.plists[id]
+		if pl == nil {
+			pl = &plist{sorted: true}
+			ix.plists[id] = pl
+		}
 		if dt[id] == 0 {
 			ix.df[id]++
 			ix.totalDF++
+			if len(pl.slots) > 0 && ix.docIDs[pl.slots[len(pl.slots)-1]] > doc {
+				pl.sorted = false
+			}
+			pl.slots = append(pl.slots, slot)
+			pl.tfs = append(pl.tfs, int32(tf))
+			ix.dirty[id] = struct{}{}
+			if ix.fragments != nil {
+				ix.placeFragTerm(id, 1)
+			}
+		} else {
+			// The document was added before with this term: fold the
+			// new occurrences into the existing posting so the access
+			// path agrees with the merged DT view (and with the naive
+			// plan) instead of splitting the tf over two postings.
+			if pl.sorted {
+				i := sort.Search(len(pl.slots), func(i int) bool {
+					return ix.docIDs[pl.slots[i]] >= doc
+				})
+				if i < len(pl.slots) && pl.slots[i] == slot {
+					pl.tfs[i] += int32(tf)
+				}
+			} else {
+				for i := len(pl.slots) - 1; i >= 0; i-- {
+					if pl.slots[i] == slot {
+						pl.tfs[i] += int32(tf)
+						break
+					}
+				}
+			}
 		}
 		dt[id] += tf
-		ix.postings[id] = append(ix.postings[id], Posting{Doc: doc, TF: tf})
 	}
-	ix.idfDirty = true
-	ix.fragments = nil
 }
 
 // DocCount returns the number of indexed documents.
-func (ix *Index) DocCount() int { return len(ix.docLen) }
+func (ix *Index) DocCount() int { return len(ix.docIDs) }
 
 // TermCount returns the size of the vocabulary.
 func (ix *Index) TermCount() int { return len(ix.termID) }
@@ -139,22 +218,63 @@ func (ix *Index) TermOID(stem string) (bat.OID, bool) {
 	return id, ok
 }
 
-// refreshIDF rebuilds the IDF relation from the df counts: the paper
-// defines idf(t) = 1/df(t) and notes IDF is derivable from TF/DT.
-func (ix *Index) refreshIDF() {
-	if !ix.idfDirty {
+// docLenOf returns |d| for a document oid (0 if unknown).
+func (ix *Index) docLenOf(doc bat.OID) int {
+	if slot, ok := ix.docSlot[doc]; ok {
+		return int(ix.docLens[slot])
+	}
+	return 0
+}
+
+// Freeze brings all incrementally maintained derived state up to
+// date: stale IDF rows are rewritten in place (new terms appended)
+// and posting lists that received out-of-order appends are re-sorted
+// by document oid. Freeze touches only the terms dirtied since the
+// last freeze — it is O(changes), not O(vocabulary) — and is a no-op
+// when nothing changed. Query methods freeze lazily; bulk loaders and
+// the distributed cluster call it once after loading so concurrent
+// read-only queries never mutate the index.
+func (ix *Index) Freeze() {
+	if len(ix.dirty) == 0 {
 		return
 	}
-	ix.IDF = bat.New("IDF", bat.KindFloat)
-	ids := make([]bat.OID, 0, len(ix.df))
-	for id := range ix.df {
+	ids := make([]bat.OID, 0, len(ix.dirty))
+	for id := range ix.dirty {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
-		ix.IDF.AppendFloat(id, 1.0/float64(ix.df[id]))
+		idf := 1.0 / float64(ix.df[id])
+		if pos, ok := ix.idfPos[id]; ok {
+			ix.IDF.SetFloatAt(pos, idf)
+		} else {
+			ix.idfPos[id] = ix.IDF.Len()
+			ix.IDF.AppendFloat(id, idf)
+		}
+		if pl := ix.plists[id]; pl != nil && !pl.sorted {
+			pl.sortByDoc(ix.docIDs)
+		}
 	}
-	ix.idfDirty = false
+	clear(ix.dirty)
+}
+
+// sortByDoc co-sorts the slot/tf columns ascending by document oid.
+func (pl *plist) sortByDoc(docIDs []bat.OID) {
+	ord := make([]int32, len(pl.slots))
+	for i := range ord {
+		ord[i] = int32(i)
+	}
+	sort.Slice(ord, func(i, j int) bool {
+		return docIDs[pl.slots[ord[i]]] < docIDs[pl.slots[ord[j]]]
+	})
+	slots := make([]int32, len(pl.slots))
+	tfs := make([]int32, len(pl.tfs))
+	for i, o := range ord {
+		slots[i] = pl.slots[o]
+		tfs[i] = pl.tfs[o]
+	}
+	pl.slots, pl.tfs = slots, tfs
+	pl.sorted = true
 }
 
 // IDFOf returns idf(t) = 1/df(t) for a stemmed term.
@@ -163,7 +283,7 @@ func (ix *Index) IDFOf(stem string) float64 {
 	if !ok {
 		return 0
 	}
-	ix.refreshIDF()
+	ix.Freeze()
 	v, _ := ix.IDF.FloatOfHead(id)
 	return v
 }
@@ -185,20 +305,21 @@ func logWeight(lambda float64, tf, df, totalDF, docLen int) float64 {
 	return math.Log(1 + lambda*float64(tf)*float64(totalDF)/((1-lambda)*float64(df)*float64(docLen)))
 }
 
-// queryTerms resolves query text to known term oids.
-func (ix *Index) queryTerms(query string) []bat.OID {
-	var out []bat.OID
-	seen := make(map[bat.OID]bool)
+// queryTermsInto resolves query text to known term oids, reusing buf.
+// Queries are a handful of terms, so duplicates are eliminated with a
+// linear scan instead of an allocated seen-set.
+func (ix *Index) queryTermsInto(buf []bat.OID, query string) []bat.OID {
+	out := buf[:0]
 	for _, t := range Terms(query) {
-		if id, ok := ix.termID[t]; ok && !seen[id] {
+		if id, ok := ix.termID[t]; ok && !slices.Contains(out, id) {
 			out = append(out, id)
-			seen[id] = true
 		}
 	}
 	return out
 }
 
-// topNFromScores selects the n best (score desc, doc asc) results.
+// topNFromScores selects the n best (score desc, doc asc) results
+// from a score map; retained as the naive plan's selection step.
 func topNFromScores(scores map[bat.OID]float64, n int) []Result {
 	res := make([]Result, 0, len(scores))
 	for d, s := range scores {
@@ -212,6 +333,9 @@ func topNFromScores(scores map[bat.OID]float64, n int) []Result {
 		}
 		return res[i].Doc < res[j].Doc
 	})
+	if n < 0 {
+		n = 0
+	}
 	if len(res) > n {
 		res = res[:n]
 	}
@@ -229,32 +353,28 @@ func (ix *Index) TopN(query string, n int) []Result {
 // restriction (the paper's example: only articles by a certain
 // author). A nil candidate set means no restriction.
 func (ix *Index) TopNRestricted(query string, n int, candidates map[bat.OID]bool) []Result {
-	ix.refreshIDF()
-	scores := make(map[bat.OID]float64)
-	for _, id := range ix.queryTerms(query) {
-		df := ix.df[id]
-		for _, p := range ix.postings[id] {
-			if candidates != nil && !candidates[p.Doc] {
-				continue
-			}
-			scores[p.Doc] += ix.weight(p.TF, df, ix.docLen[p.Doc])
-		}
+	ix.Freeze()
+	s := ix.getScorer()
+	defer ix.putScorer(s)
+	s.qterms = ix.queryTermsInto(s.qterms, query)
+	for _, id := range s.qterms {
+		ix.scoreTerm(s, id, ix.df[id], ix.totalDF, candidates)
 	}
-	return topNFromScores(scores, n)
+	return s.selectTopN(ix.docIDs, n)
 }
 
 // TopNNaive computes the same answer with the unoptimized plan: every
 // document is scored against every query term through the DT access
 // path, then the full ranking is cut to n. Experiment E16's baseline.
 func (ix *Index) TopNNaive(query string, n int) []Result {
-	ix.refreshIDF()
-	qts := ix.queryTerms(query)
+	ix.Freeze()
+	qts := ix.queryTermsInto(nil, query)
 	scores := make(map[bat.OID]float64)
 	for doc, terms := range ix.docTerms {
 		s := 0.0
 		for _, id := range qts {
 			if tf, ok := terms[id]; ok {
-				s += ix.weight(tf, ix.df[id], ix.docLen[doc])
+				s += ix.weight(tf, ix.df[id], ix.docLenOf(doc))
 			}
 		}
 		if s > 0 {
@@ -273,12 +393,12 @@ func (ix *Index) Fragmentize(k int) {
 	if k < 1 {
 		k = 1
 	}
-	ix.refreshIDF()
+	ix.Freeze()
 	ids := make([]bat.OID, 0, len(ix.df))
 	total := 0
 	for id := range ix.df {
 		ids = append(ids, id)
-		total += len(ix.postings[id])
+		total += len(ix.plists[id].slots)
 	}
 	// Descending idf == ascending df; ties broken by oid for determinism.
 	sort.Slice(ids, func(i, j int) bool {
@@ -292,11 +412,13 @@ func (ix *Index) Fragmentize(k int) {
 		per = 1
 	}
 	ix.fragments = nil
+	ix.fragOf = make(map[bat.OID]int, len(ids))
 	cur := Fragment{MaxIDF: 0, MinIDF: math.Inf(1)}
 	for _, id := range ids {
 		idf := 1.0 / float64(ix.df[id])
 		cur.Terms = append(cur.Terms, id)
-		cur.Tuples += len(ix.postings[id])
+		ix.fragOf[id] = len(ix.fragments)
+		cur.Tuples += len(ix.plists[id].slots)
 		if idf > cur.MaxIDF {
 			cur.MaxIDF = idf
 		}
@@ -313,8 +435,68 @@ func (ix *Index) Fragmentize(k int) {
 	}
 }
 
-// Fragments returns the current fragmentation (nil before Fragmentize
-// or after new documents arrive).
+// placeFragTerm incrementally maintains the fragmentation when Add
+// touches a term: instead of discarding the whole fragmentation, the
+// term is (re)placed into the fragment whose idf range covers its new
+// idf, and tuple counts are adjusted by deltaTuples. Balance may
+// drift as documents stream in — Fragmentize re-balances — but the
+// invariants the cut-off relies on (every term in exactly one
+// fragment, idf descending across fragments) hold continuously.
+func (ix *Index) placeFragTerm(id bat.OID, deltaTuples int) {
+	idf := 1.0 / float64(ix.df[id])
+	// Target: the first fragment whose idf range reaches down to this
+	// idf; terms rarer than everything seen go to fragment 0, terms
+	// more common than everything seen extend the last fragment.
+	target := len(ix.fragments) - 1
+	for f := range ix.fragments {
+		if ix.fragments[f].MinIDF <= idf {
+			target = f
+			break
+		}
+	}
+	old, had := ix.fragOf[id]
+	tuples := 0
+	if pl := ix.plists[id]; pl != nil {
+		tuples = len(pl.slots)
+	}
+	if had {
+		if old == target {
+			ix.fragments[old].Tuples += deltaTuples
+			ix.expandFrag(target, idf)
+			return
+		}
+		// df changed enough to cross a fragment boundary: move the
+		// term. The old fragment keeps its (now conservative) bounds.
+		fo := &ix.fragments[old]
+		fo.Tuples -= tuples - deltaTuples
+		for i, t := range fo.Terms {
+			if t == id {
+				fo.Terms[i] = fo.Terms[len(fo.Terms)-1]
+				fo.Terms = fo.Terms[:len(fo.Terms)-1]
+				break
+			}
+		}
+	}
+	ft := &ix.fragments[target]
+	ft.Terms = append(ft.Terms, id)
+	ft.Tuples += tuples
+	ix.fragOf[id] = target
+	ix.expandFrag(target, idf)
+}
+
+// expandFrag widens a fragment's idf bounds to cover idf.
+func (ix *Index) expandFrag(f int, idf float64) {
+	if idf > ix.fragments[f].MaxIDF {
+		ix.fragments[f].MaxIDF = idf
+	}
+	if idf < ix.fragments[f].MinIDF {
+		ix.fragments[f].MinIDF = idf
+	}
+}
+
+// Fragments returns the current fragmentation (nil before the first
+// Fragmentize; afterwards it stays valid across Add through
+// incremental placement).
 func (ix *Index) Fragments() []Fragment { return ix.fragments }
 
 // TopNFragments evaluates the query over only the first maxFrag
@@ -324,45 +506,42 @@ func (ix *Index) Fragments() []Fragment { return ix.fragments }
 // candidate term set). This is the a-priori cost/quality trade-off of
 // [BHC+01].
 func (ix *Index) TopNFragments(query string, n, maxFrag int) ([]Result, float64) {
-	ix.refreshIDF()
+	ix.Freeze()
 	if ix.fragments == nil {
 		ix.Fragmentize(1)
 	}
 	if maxFrag > len(ix.fragments) {
 		maxFrag = len(ix.fragments)
 	}
-	inFrag := make(map[bat.OID]int)
-	for fi, f := range ix.fragments {
-		for _, id := range f.Terms {
-			inFrag[id] = fi
-		}
-	}
-	qts := ix.queryTerms(query)
+	s := ix.getScorer()
+	defer ix.putScorer(s)
+	s.qterms = ix.queryTermsInto(s.qterms, query)
 	var coveredIDF, totalIDF float64
-	scores := make(map[bat.OID]float64)
-	for _, id := range qts {
+	for _, id := range s.qterms {
 		idf := 1.0 / float64(ix.df[id])
 		totalIDF += idf
-		if inFrag[id] >= maxFrag {
+		if ix.fragOf[id] >= maxFrag {
 			continue // a-priori ignored fragment
 		}
 		coveredIDF += idf
-		for _, p := range ix.postings[id] {
-			scores[p.Doc] += ix.weight(p.TF, ix.df[id], ix.docLen[p.Doc])
-		}
+		ix.scoreTerm(s, id, ix.df[id], ix.totalDF, nil)
 	}
 	quality := 1.0
 	if totalIDF > 0 {
 		quality = coveredIDF / totalIDF
 	}
-	return topNFromScores(scores, n), quality
+	return s.selectTopN(ix.docIDs, n), quality
 }
 
 // Merge folds per-node rankings into a master ranking of size n; the
 // central DBMS of the paper performs exactly this merge over the
-// RES(doc-oid, rank) sets the distributed nodes return.
+// RES(doc-oid, score) sets the distributed nodes return.
 func Merge(n int, rankings ...[]Result) []Result {
-	var all []Result
+	total := 0
+	for _, r := range rankings {
+		total += len(r)
+	}
+	all := make([]Result, 0, total)
 	for _, r := range rankings {
 		all = append(all, r...)
 	}
@@ -372,6 +551,9 @@ func Merge(n int, rankings ...[]Result) []Result {
 		}
 		return all[i].Doc < all[j].Doc
 	})
+	if n < 0 {
+		n = 0
+	}
 	if len(all) > n {
 		all = all[:n]
 	}

@@ -1,6 +1,6 @@
 package ir
 
-import "dlsearch/internal/bat"
+import "slices"
 
 // Stats carries collection-wide term statistics keyed by stemmed term.
 // In the distributed setting the central DBMS aggregates the local
@@ -35,36 +35,25 @@ func MergeStats(locals ...Stats) Stats {
 	return g
 }
 
-// weightWith is the [Hie98] term weight with explicit statistics.
-func weightWith(lambda float64, tf, df, totalDF, docLen int) float64 {
-	if tf == 0 || df == 0 || docLen == 0 {
-		return 0
-	}
-	return logWeight(lambda, tf, df, totalDF, docLen)
-}
-
 // TopNWithStats ranks this node's local documents using the supplied
 // global statistics instead of local ones. Combined with Merge this
 // yields a distributed ranking identical to a single global index.
+//
+// TopNWithStats never mutates the index, so after a Freeze any number
+// of goroutines may call it concurrently — this is the read path the
+// shared-nothing cluster fans out over its nodes.
 func (ix *Index) TopNWithStats(query string, n int, global Stats) []Result {
-	scores := make(map[bat.OID]float64)
-	seen := make(map[string]bool)
+	s := ix.getScorer()
+	defer ix.putScorer(s)
+	qts := s.qterms[:0]
 	for _, term := range Terms(query) {
-		if seen[term] {
-			continue
-		}
-		seen[term] = true
 		id, ok := ix.termID[term]
-		if !ok {
+		if !ok || slices.Contains(qts, id) {
 			continue
 		}
-		df := global.DF[term]
-		if df == 0 {
-			continue
-		}
-		for _, p := range ix.postings[id] {
-			scores[p.Doc] += weightWith(ix.lambda, p.TF, df, global.TotalDF, ix.docLen[p.Doc])
-		}
+		qts = append(qts, id)
+		ix.scoreTerm(s, id, global.DF[term], global.TotalDF, nil)
 	}
-	return topNFromScores(scores, n)
+	s.qterms = qts
+	return s.selectTopN(ix.docIDs, n)
 }

@@ -92,7 +92,7 @@ func (ex *Executor) Run(q *Query) (*Result, error) {
 		} else {
 			// Optimized: push the conceptual candidate set below the
 			// ranking (the paper's a-priori restriction).
-			set := map[bat.OID]bool{}
+			set := make(map[bat.OID]bool, len(cands[cp.Field.Var]))
 			for _, oid := range cands[cp.Field.Var] {
 				set[oid] = true
 			}
