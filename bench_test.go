@@ -7,17 +7,21 @@
 package dlsearch
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"net/http/httptest"
 	"strings"
 	"testing"
 
 	"dlsearch/internal/bat"
 	"dlsearch/internal/cobra"
+	"dlsearch/internal/core"
 	"dlsearch/internal/detector"
 	"dlsearch/internal/dist"
 	"dlsearch/internal/ir"
 	"dlsearch/internal/monetxml"
+	"dlsearch/internal/server"
 	"dlsearch/internal/video"
 )
 
@@ -187,6 +191,46 @@ func BenchmarkE11DistributedTopN(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				c.TopNSequential("champion winner serve", 10)
+			}
+		})
+	}
+}
+
+// --- E11 remote: the networked cluster over HTTP node servers ---
+
+// BenchmarkE11RemoteTopN measures the network overhead of the serving
+// layer: the same shared-nothing top-N as E11, but every node lives
+// behind an httptest HTTP server and is reached through
+// dist.RemoteNode (JSON round-trips, loopback transport). Compare
+// against E11DistributedTopN/parallel to read the per-query cost of
+// the network boundary.
+func BenchmarkE11RemoteTopN(b *testing.B) {
+	docs := textCorpus(2000, 4)
+	ctx := context.Background()
+	for _, k := range []int{1, 2, 4, 8} {
+		nodes := make([]dist.Node, k)
+		for i := range nodes {
+			srv := httptest.NewServer(server.NewNodeHandler(ir.NewIndex(),
+				&server.NodeConfig{Cache: core.NewQueryCache(64)}))
+			b.Cleanup(srv.Close)
+			nodes[i] = dist.NewRemoteNode(srv.URL, srv.Client())
+		}
+		c := dist.NewClusterOf(nodes, nil)
+		for i, d := range docs {
+			if err := c.AddContext(ctx, bat.OID(i+1), "u", d); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.Run(fmt.Sprintf("nodes=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sr, err := c.Search(ctx, "champion winner serve", 10)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(sr.Results) != 10 || !sr.Complete() {
+					b.Fatalf("results=%d dropped=%v", len(sr.Results), sr.Dropped)
+				}
 			}
 		})
 	}

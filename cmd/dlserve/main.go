@@ -1,0 +1,156 @@
+// Command dlserve serves the full-text search engine over HTTP, in
+// the two roles of the paper's shared-nothing architecture:
+//
+//	dlserve node -addr :8081
+//	    serve one index fragment (the dist.Node operations) so a
+//	    coordinator can address it as a remote cluster node
+//
+//	dlserve coordinator -addr :8080 -nodes http://h1:8081,http://h2:8082
+//	    serve /search, /add, /stats and /healthz over a cluster of
+//	    remote nodes (or -local k in-process nodes), with per-node
+//	    deadlines and straggler handling
+//
+// A two-machine deployment is two `dlserve node` processes plus one
+// coordinator pointed at them:
+//
+//	curl -s -X POST localhost:8080/add \
+//	    -d '{"text":"melbourne champion trophy","url":"doc-1"}'
+//	curl -s -X POST localhost:8080/search -d '{"query":"champion","n":10}'
+//	curl -s localhost:8080/stats
+//
+// Both roles shut down gracefully on SIGINT/SIGTERM, draining
+// in-flight requests.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dlsearch/internal/core"
+	"dlsearch/internal/dist"
+	"dlsearch/internal/ir"
+	"dlsearch/internal/server"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	addr := fs.String("addr", "", "listen address (host:port)")
+	cache := fs.Int("cache", core.DefaultQueryCacheSize, "query-cache capacity (0 disables)")
+	lambda := fs.Float64("lambda", 0, "ranking smoothing parameter (0 keeps the default)")
+	nodes := fs.String("nodes", "", "comma-separated remote node base URLs (coordinator)")
+	local := fs.Int("local", 0, "number of in-process nodes when -nodes is empty (coordinator)")
+	index := fs.String("index", "default", "name of the served index (coordinator)")
+	nodeTimeout := fs.Duration("node-timeout", 2*time.Second, "per-node call deadline, 0 disables (coordinator)")
+	searchTimeout := fs.Duration("search-timeout", 5*time.Second, "end-to-end /search deadline, 0 disables (coordinator)")
+	maxConc := fs.Int("max-concurrent", server.DefaultMaxConcurrent, "bound on in-flight requests")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	var handler http.Handler
+	switch cmd {
+	case "node":
+		if *addr == "" {
+			*addr = ":8081"
+		}
+		ix := ir.NewIndex()
+		if *lambda != 0 {
+			ix.SetLambda(*lambda)
+		}
+		cfg := &server.NodeConfig{MaxConcurrent: *maxConc}
+		if *cache > 0 {
+			cfg.Cache = core.NewQueryCache(*cache)
+		}
+		handler = server.NewNodeHandler(ix, cfg)
+	case "coordinator":
+		if *addr == "" {
+			*addr = ":8080"
+		}
+		cluster, qc, err := buildCluster(*nodes, *local, *lambda, *nodeTimeout, *cache)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dlserve:", err)
+			os.Exit(1)
+		}
+		co := server.NewCoordinator(map[string]*dist.Cluster{*index: cluster}, &server.CoordinatorConfig{
+			MaxConcurrent: *maxConc,
+			SearchTimeout: *searchTimeout,
+			Cache:         qc,
+		})
+		handler = co.Handler()
+	default:
+		usage()
+		os.Exit(2)
+	}
+
+	fmt.Fprintf(os.Stderr, "dlserve: %s listening on %s\n", cmd, *addr)
+	if err := server.Run(ctx, *addr, handler, 0); err != nil {
+		fmt.Fprintln(os.Stderr, "dlserve:", err)
+		os.Exit(1)
+	}
+}
+
+// buildCluster assembles the coordinator's cluster: remote nodes from
+// the URL list, or k in-process nodes as a single-binary deployment.
+// The query cache exists only in the local mode, where it sits on the
+// nodes' top-N path and its /stats counters mean something; remote
+// nodes cache server-side (their own -cache flag) instead.
+func buildCluster(nodeURLs string, local int, lambda float64, nodeTimeout time.Duration, cacheCap int) (*dist.Cluster, *core.QueryCache, error) {
+	opts := &dist.Options{Lambda: lambda, NodeTimeout: nodeTimeout}
+	if nodeURLs != "" {
+		var members []dist.Node
+		for _, u := range strings.Split(nodeURLs, ",") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				continue
+			}
+			members = append(members, dist.NewRemoteNode(u, nil))
+		}
+		if len(members) == 0 {
+			return nil, nil, fmt.Errorf("no node URLs in -nodes")
+		}
+		return dist.NewClusterOf(members, opts), nil, nil
+	}
+	if local < 1 {
+		local = 1
+	}
+	var qc *core.QueryCache
+	if cacheCap > 0 {
+		qc = core.NewQueryCache(cacheCap)
+	}
+	members := make([]dist.Node, local)
+	for i := range members {
+		ix := ir.NewIndex()
+		if lambda != 0 {
+			ix.SetLambda(lambda)
+		}
+		ln := dist.NewLocalNode(ix)
+		if qc != nil {
+			ln.SetResolver(qc.Resolve)
+		}
+		members[i] = ln
+	}
+	return dist.NewClusterOf(members, opts), qc, nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: dlserve {node|coordinator} [flags]
+
+  dlserve node -addr :8081
+  dlserve coordinator -addr :8080 -nodes http://h1:8081,http://h2:8082
+  dlserve coordinator -addr :8080 -local 4`)
+}

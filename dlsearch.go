@@ -30,6 +30,9 @@
 package dlsearch
 
 import (
+	"context"
+	"net/http"
+
 	"dlsearch/internal/cobra"
 	"dlsearch/internal/core"
 	"dlsearch/internal/crawler"
@@ -41,6 +44,7 @@ import (
 	"dlsearch/internal/ir"
 	"dlsearch/internal/monetxml"
 	"dlsearch/internal/query"
+	"dlsearch/internal/server"
 	"dlsearch/internal/site"
 	"dlsearch/internal/video"
 	"dlsearch/internal/webspace"
@@ -114,8 +118,30 @@ type (
 	FullTextIndex = ir.Index
 	// Cluster is a shared-nothing cluster of IR nodes.
 	Cluster = dist.Cluster
-	// ClusterOptions configures partitioning and ranking of a Cluster.
+	// ClusterOptions configures partitioning, ranking and per-node
+	// deadlines of a Cluster.
 	ClusterOptions = dist.Options
+)
+
+// Networked serving types: the Node boundary, its local and HTTP
+// implementations, and the serving layer's building blocks.
+type (
+	// ClusterNode is one member of a Cluster — in-process or remote.
+	ClusterNode = dist.Node
+	// LocalNode is the in-process Node over a FullTextIndex.
+	LocalNode = dist.LocalNode
+	// RemoteNode speaks the HTTP node protocol to a node server.
+	RemoteNode = dist.RemoteNode
+	// ClusterSearchResult is a distributed ranking with straggler info.
+	ClusterSearchResult = dist.SearchResult
+	// QueryCache is the query-side LRU over (query → term oids).
+	QueryCache = core.QueryCache
+	// NodeServerConfig tunes an HTTP node server.
+	NodeServerConfig = server.NodeConfig
+	// Coordinator serves /search, /add, /stats and /healthz.
+	Coordinator = server.Coordinator
+	// CoordinatorConfig tunes a Coordinator.
+	CoordinatorConfig = server.CoordinatorConfig
 )
 
 // Substrate types used by the examples.
@@ -194,3 +220,38 @@ func NewCluster(k int) *Cluster { return dist.NewCluster(k, nil) }
 // NewClusterWith builds a shared-nothing cluster of k IR nodes with
 // explicit partitioning / ranking options.
 func NewClusterWith(k int, opts *ClusterOptions) *Cluster { return dist.NewCluster(k, opts) }
+
+// NewClusterOf builds a cluster over caller-supplied nodes — local,
+// remote, or a mix — with per-node timeouts and straggler handling.
+func NewClusterOf(nodes []ClusterNode, opts *ClusterOptions) *Cluster {
+	return dist.NewClusterOf(nodes, opts)
+}
+
+// NewLocalNode wraps a full-text index as an in-process cluster node.
+func NewLocalNode(ix *FullTextIndex) *LocalNode { return dist.NewLocalNode(ix) }
+
+// NewRemoteNode returns a cluster node speaking the HTTP node
+// protocol at baseURL (nil client selects a pooled default).
+func NewRemoteNode(baseURL string) *RemoteNode { return dist.NewRemoteNode(baseURL, nil) }
+
+// NewQueryCache returns a query-side LRU term cache of the given
+// capacity.
+func NewQueryCache(capacity int) *QueryCache { return core.NewQueryCache(capacity) }
+
+// NewNodeServer returns the HTTP handler serving ix as a remote
+// cluster node (the dist.Node operations plus /healthz).
+func NewNodeServer(ix *FullTextIndex, cfg *NodeServerConfig) http.Handler {
+	return server.NewNodeHandler(ix, cfg)
+}
+
+// NewCoordinator builds the central serving site over named clusters;
+// its Handler exposes /search, /add, /stats and /healthz.
+func NewCoordinator(indexes map[string]*Cluster, cfg *CoordinatorConfig) *Coordinator {
+	return server.NewCoordinator(indexes, cfg)
+}
+
+// ServeUntil serves h on addr until ctx is cancelled, then shuts down
+// gracefully, draining in-flight requests.
+func ServeUntil(ctx context.Context, addr string, h http.Handler) error {
+	return server.Run(ctx, addr, h, 0)
+}

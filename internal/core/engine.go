@@ -30,6 +30,11 @@ type Engine struct {
 	Scheduler *fds.Scheduler
 	DB        *query.Database
 
+	// Cache is the query-side LRU over (query → term oids); the
+	// executor's IR predicates resolve through it, and the serving
+	// layer exposes its hit/miss counters.
+	Cache *QueryCache
+
 	conceptDocs map[string]monetxml.DocID // page url -> stored document
 	mediaDocs   map[string]monetxml.DocID // media location -> stored parse tree
 }
@@ -47,11 +52,13 @@ func New(schema *webspace.Schema, grammar *fg.Grammar, reg *detector.Registry) (
 		Store:       monetxml.NewStore(),
 		IR:          map[string]*ir.Index{},
 		Scheduler:   fds.New(grammar, reg),
+		Cache:       NewQueryCache(DefaultQueryCacheSize),
 		conceptDocs: map[string]monetxml.DocID{},
 		mediaDocs:   map[string]monetxml.DocID{},
 	}
 	e.Store.SetTypeOracle(fde.TypeOracle(grammar))
 	e.DB = query.NewDatabase(e.Store, e.IR)
+	e.DB.ResolveTerms = e.Cache.ResolverFor()
 	return e, nil
 }
 

@@ -43,6 +43,7 @@ type InternetEngine struct {
 	Store    *monetxml.Store
 	Engine   *fde.Engine
 	Keywords *ir.Index // doc oid = stored page document id
+	Cache    *QueryCache
 
 	pages  map[string]*WebPage
 	images map[string]*WebImage
@@ -60,6 +61,7 @@ func NewInternetEngine(pages []*WebPage, images []*WebImage) (*InternetEngine, e
 		Registry: detector.NewRegistry(),
 		Store:    monetxml.NewStore(),
 		Keywords: ir.NewIndex(),
+		Cache:    NewQueryCache(DefaultQueryCacheSize),
 		pages:    map[string]*WebPage{},
 		images:   map[string]*WebImage{},
 		docs:     map[string]monetxml.DocID{},
@@ -162,7 +164,9 @@ func (e *InternetEngine) PortraitsOnPagesAbout(word string, related ...string) [
 	for _, r := range related {
 		queryText += " " + r
 	}
-	ranked := e.Keywords.TopN(queryText, e.Keywords.DocCount())
+	e.Keywords.Freeze()
+	_, oids := e.Cache.Resolve(e.Keywords, queryText)
+	ranked := e.Keywords.TopNTerms(oids, e.Keywords.DocCount())
 	var hits []PortraitHit
 	for _, r := range ranked {
 		url, _ := e.Store.DocURL(r.Doc)

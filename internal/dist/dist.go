@@ -1,8 +1,8 @@
 // Package dist implements the paper's shared-nothing distribution of
 // the full-text meta-index (Section "Scalability", experiment E11):
 // the document collection is fragmented per document over k
-// autonomous ir.Index nodes, each holding the complete T/D/DT/TF/IDF
-// relations for its document subset.
+// autonomous nodes, each holding the complete T/D/DT/TF/IDF relations
+// for its document subset.
 //
 // The protocol mirrors the paper's central-DBMS architecture:
 //
@@ -19,21 +19,28 @@
 //     same global statistics, the merged ranking is identical to the
 //     ranking of a single index over the whole collection.
 //
-// This makes the distribution transparent to the ranking and lets
-// throughput scale with the number of nodes ("(almost) perfect
-// shared-nothing parallelism").
+// Nodes are addressed through the Node interface, so a fragment may
+// live in-process (LocalNode) or behind an HTTP boundary (RemoteNode)
+// without the central site noticing. Per-node deadlines and straggler
+// handling (Search) keep one slow or dead node from stalling the
+// whole query: the merge proceeds over the responsive nodes and the
+// dropped ones are reported.
 package dist
 
 import (
+	"context"
+	"errors"
+	"sort"
 	"sync"
+	"time"
 
 	"dlsearch/internal/bat"
 	"dlsearch/internal/ir"
 )
 
 // Options configures a Cluster. The zero value (or a nil *Options)
-// selects deterministic round-robin partitioning on the document oid
-// and the default ranking parameter.
+// selects deterministic round-robin partitioning on the document oid,
+// the default ranking parameter and no per-node deadline.
 type Options struct {
 	// Partition maps a document oid to a node in [0, k). It must be
 	// deterministic: the same oid must always land on the same node.
@@ -42,8 +49,15 @@ type Options struct {
 	Partition func(doc bat.OID, k int) int
 
 	// Lambda overrides the smoothing parameter of the retrieval model
-	// on every node; 0 keeps ir.DefaultLambda.
+	// on every node built by NewCluster; 0 keeps ir.DefaultLambda.
+	// Nodes supplied to NewClusterOf configure their own indexes.
 	Lambda float64
+
+	// NodeTimeout bounds every per-node call (stats, top-N, load,
+	// add). A node that does not answer within the deadline is treated
+	// as a straggler: Search merges the responsive nodes' results and
+	// reports the dropped node. 0 means no per-node deadline.
+	NodeTimeout time.Duration
 }
 
 // roundRobin is the default partitioning: dense oids spread evenly.
@@ -54,33 +68,54 @@ func roundRobin(doc bat.OID, k int) int {
 	return int((uint64(doc) - 1) % uint64(k))
 }
 
-// Cluster is a shared-nothing cluster of ir.Index nodes with a
-// central merge site. Add calls must not run concurrently with each
-// other or with queries; TopN / TopNSequential / NodeLoads are safe
-// to call from many goroutines at once.
+// Cluster is a shared-nothing cluster of Nodes with a central merge
+// site. All methods are safe for concurrent use when every node is
+// (LocalNode and RemoteNode both synchronize their index); a query
+// racing an Add may score against statistics from just before or just
+// after the new document, but never against torn state.
 type Cluster struct {
-	nodes     []*ir.Index
+	nodes     []Node
 	partition func(bat.OID, int) int
+	timeout   time.Duration
 
-	mu    sync.Mutex // guards stats/freeze refresh
-	stats ir.Stats
-	fresh bool // stats reflect all Adds and nodes are frozen
+	mu         sync.Mutex // guards the stats fields below
+	stats      ir.Stats
+	fresh      bool      // stats reflect all Adds routed through this cluster
+	have       bool      // stats were successfully aggregated at least once
+	gen        uint64    // bumped by every invalidation; guards refresh races
+	retryAfter time.Time // failed-aggregation backoff deadline
 }
 
-// NewCluster builds a cluster of k nodes (k < 1 is clamped to 1).
+// NewCluster builds a cluster of k in-process nodes (k < 1 is clamped
+// to 1).
 func NewCluster(k int, opts *Options) *Cluster {
 	if k < 1 {
 		k = 1
 	}
-	c := &Cluster{nodes: make([]*ir.Index, k), partition: roundRobin}
-	if opts != nil && opts.Partition != nil {
-		c.partition = opts.Partition
-	}
-	for i := range c.nodes {
-		c.nodes[i] = ir.NewIndex()
+	nodes := make([]Node, k)
+	for i := range nodes {
+		ix := ir.NewIndex()
 		if opts != nil && opts.Lambda != 0 {
-			c.nodes[i].SetLambda(opts.Lambda)
+			ix.SetLambda(opts.Lambda)
 		}
+		nodes[i] = NewLocalNode(ix)
+	}
+	return NewClusterOf(nodes, opts)
+}
+
+// NewClusterOf builds a cluster over caller-supplied nodes — local,
+// remote, or a mix. It panics on an empty slice (a deferred
+// divide-by-zero at the first Add would be far harder to diagnose).
+func NewClusterOf(nodes []Node, opts *Options) *Cluster {
+	if len(nodes) == 0 {
+		panic("dist: NewClusterOf requires at least one node")
+	}
+	c := &Cluster{nodes: nodes, partition: roundRobin}
+	if opts != nil {
+		if opts.Partition != nil {
+			c.partition = opts.Partition
+		}
+		c.timeout = opts.NodeTimeout
 	}
 	return c
 }
@@ -88,83 +123,345 @@ func NewCluster(k int, opts *Options) *Cluster {
 // Size returns the number of nodes.
 func (c *Cluster) Size() int { return len(c.nodes) }
 
-// Node returns node i, for inspection by experiments.
-func (c *Cluster) Node(i int) *ir.Index { return c.nodes[i] }
+// NodeAt returns node i, for inspection by experiments.
+func (c *Cluster) NodeAt(i int) Node { return c.nodes[i] }
 
-// Add routes one document to its node by the deterministic
-// per-document partitioning.
-func (c *Cluster) Add(doc bat.OID, url, text string) {
-	c.mu.Lock()
-	c.fresh = false
-	c.mu.Unlock()
-	c.nodes[c.partition(doc, len(c.nodes))].Add(doc, url, text)
+// LocalIndex returns the underlying index of node i if it is an
+// in-process node, nil otherwise.
+func (c *Cluster) LocalIndex(i int) *ir.Index {
+	if ln, ok := c.nodes[i].(*LocalNode); ok {
+		return ln.Index()
+	}
+	return nil
 }
 
-// DocCount returns the number of documents over all nodes.
+// InvalidateStats forces the next query to re-aggregate global
+// statistics. Use it when documents were added to a node outside this
+// cluster (e.g. directly against a remote node's server).
+func (c *Cluster) InvalidateStats() {
+	c.mu.Lock()
+	c.fresh = false
+	c.gen++
+	c.mu.Unlock()
+}
+
+// nodeCtx derives the per-node deadline context.
+func (c *Cluster) nodeCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.timeout > 0 {
+		return context.WithTimeout(ctx, c.timeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+// AddContext routes one document to its node by the deterministic
+// per-document partitioning. Stats are invalidated after the add
+// lands (not before): a concurrent query that re-aggregated while the
+// add was in flight must not leave stale statistics marked fresh.
+func (c *Cluster) AddContext(ctx context.Context, doc bat.OID, url, text string) error {
+	defer c.InvalidateStats()
+	nctx, cancel := c.nodeCtx(ctx)
+	defer cancel()
+	return c.nodes[c.partition(doc, len(c.nodes))].Add(nctx, doc, url, text)
+}
+
+// Add is AddContext with a background context, for in-process clusters
+// whose nodes cannot fail.
+func (c *Cluster) Add(doc bat.OID, url, text string) {
+	_ = c.AddContext(context.Background(), doc, url, text)
+}
+
+// DocCount returns the number of documents over all nodes (0 counted
+// for unreachable nodes).
 func (c *Cluster) DocCount() int {
+	infos, _ := c.NodeInfoContext(context.Background())
 	n := 0
-	for _, node := range c.nodes {
-		n += node.DocCount()
+	for _, l := range infos {
+		n += l.Docs
 	}
 	return n
+}
+
+// NodeInfoContext returns every node's load, gathered in parallel; an
+// unreachable node reports a zero load and the first error is
+// returned alongside the loads.
+func (c *Cluster) NodeInfoContext(ctx context.Context) ([]NodeLoad, error) {
+	infos := make([]NodeLoad, len(c.nodes))
+	errs := make([]error, len(c.nodes))
+	var wg sync.WaitGroup
+	for i, node := range c.nodes {
+		wg.Add(1)
+		go func(i int, node Node) {
+			defer wg.Done()
+			nctx, cancel := c.nodeCtx(ctx)
+			defer cancel()
+			infos[i], errs[i] = node.Load(nctx)
+		}(i, node)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return infos, err
+		}
+	}
+	return infos, nil
+}
+
+// NodeLoadsContext returns the number of documents on each node.
+func (c *Cluster) NodeLoadsContext(ctx context.Context) ([]int, error) {
+	infos, err := c.NodeInfoContext(ctx)
+	loads := make([]int, len(infos))
+	for i, l := range infos {
+		loads[i] = l.Docs
+	}
+	return loads, err
 }
 
 // NodeLoads returns the number of documents on each node; with the
 // default partitioning the loads differ by at most one.
 func (c *Cluster) NodeLoads() []int {
-	loads := make([]int, len(c.nodes))
-	for i, node := range c.nodes {
-		loads[i] = node.DocCount()
-	}
+	loads, _ := c.NodeLoadsContext(context.Background())
 	return loads
 }
 
-// GlobalStats returns the aggregated collection statistics the
-// central site ships with every query, refreshing them (and freezing
-// every node's access paths) if documents arrived since the last
-// query.
-func (c *Cluster) GlobalStats() ir.Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if !c.fresh {
-		locals := make([]ir.Stats, len(c.nodes))
-		for i, node := range c.nodes {
-			node.Freeze()
-			locals[i] = node.StatsLocal()
-		}
-		c.stats = ir.MergeStats(locals...)
-		c.fresh = true
+// MaxDocContext returns the highest document oid over all nodes, so
+// an oid allocator can continue after the documents already indexed.
+func (c *Cluster) MaxDocContext(ctx context.Context) (bat.OID, error) {
+	infos, err := c.NodeInfoContext(ctx)
+	if err != nil {
+		return bat.NilOID, err
 	}
-	return c.stats
+	max := bat.NilOID
+	for _, l := range infos {
+		if l.MaxDoc > max {
+			max = l.MaxDoc
+		}
+	}
+	return max, nil
 }
 
-// TopN evaluates the query on every node in parallel — one worker
-// goroutine per node, shared-nothing — and fans the per-node RES sets
-// in through the central ir.Merge. The result is identical to the
-// TopN of a single index holding the whole collection.
-func (c *Cluster) TopN(query string, n int) []ir.Result {
-	global := c.GlobalStats()
-	rankings := make([][]ir.Result, len(c.nodes))
+// errStatsBackoff reports a refresh suppressed by the failure backoff.
+var errStatsBackoff = errors.New("dist: stats aggregation backing off after node failure")
+
+// statsBackoff returns how long failed aggregations are suppressed:
+// the per-node timeout when one is configured, else one second.
+func (c *Cluster) statsBackoff() time.Duration {
+	if c.timeout > 0 {
+		return c.timeout
+	}
+	return time.Second
+}
+
+// GlobalStatsContext returns the aggregated collection statistics the
+// central site ships with every query, refreshing them (and freezing
+// every node's access paths) if documents arrived through this
+// cluster since the last query. Aggregation fails if any node is
+// unreachable: scoring with partial global statistics would silently
+// change the ranking. A failed refresh is not retried for a backoff
+// window (the per-node timeout), so searches fall back to stale
+// statistics quickly instead of each paying the dead node's timeout.
+//
+// The network fan-out runs outside the cluster lock: concurrent
+// refreshes may race each other (they produce the same answer), but
+// queries never queue behind a slow node's round-trip. A refresh that
+// overlapped an Add stores its result as the latest aggregation
+// without marking it fresh, so the next query re-aggregates.
+func (c *Cluster) GlobalStatsContext(ctx context.Context) (ir.Stats, error) {
+	c.mu.Lock()
+	if c.fresh {
+		st := c.stats
+		c.mu.Unlock()
+		return st, nil
+	}
+	if time.Now().Before(c.retryAfter) {
+		c.mu.Unlock()
+		return ir.Stats{}, errStatsBackoff
+	}
+	gen := c.gen
+	c.mu.Unlock()
+
+	locals := make([]ir.Stats, len(c.nodes))
+	errs := make([]error, len(c.nodes))
 	var wg sync.WaitGroup
 	for i, node := range c.nodes {
 		wg.Add(1)
-		go func(i int, node *ir.Index) {
+		go func(i int, node Node) {
 			defer wg.Done()
-			rankings[i] = node.TopNWithStats(query, n, global)
+			nctx, cancel := c.nodeCtx(ctx)
+			defer cancel()
+			locals[i], errs[i] = node.Stats(nctx)
 		}(i, node)
 	}
 	wg.Wait()
-	return ir.Merge(n, rankings...)
+	for _, err := range errs {
+		if err != nil {
+			// Arm the backoff only for genuine node failures — one
+			// caller cancelling its own context must not degrade
+			// every other client's searches for the backoff window.
+			if ctx.Err() == nil {
+				c.mu.Lock()
+				c.retryAfter = time.Now().Add(c.statsBackoff())
+				c.mu.Unlock()
+			}
+			return ir.Stats{}, err
+		}
+	}
+	merged := ir.MergeStats(locals...)
+	c.mu.Lock()
+	c.stats = merged
+	c.have = true
+	c.retryAfter = time.Time{}
+	if c.gen == gen {
+		c.fresh = true
+	}
+	c.mu.Unlock()
+	return merged, nil
+}
+
+// lastStats returns the most recently aggregated statistics, possibly
+// stale, and whether any exist.
+func (c *Cluster) lastStats() (ir.Stats, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats, c.have
+}
+
+// GlobalStats is GlobalStatsContext with a background context, for
+// in-process clusters whose nodes cannot fail.
+func (c *Cluster) GlobalStats() ir.Stats {
+	stats, _ := c.GlobalStatsContext(context.Background())
+	return stats
+}
+
+// SearchResult is the outcome of a distributed query: the merged
+// ranking over the responsive nodes, plus which nodes (if any) were
+// dropped and why. Complete reports whether every node contributed
+// with fresh statistics — when true the ranking is exactly the
+// single-index ranking.
+type SearchResult struct {
+	Results []ir.Result
+	Dropped []int         // indices of dropped nodes, ascending
+	Errs    map[int]error // reason per dropped node
+	// StaleStats is set when re-aggregating global statistics failed
+	// (a node was unreachable) and the query was scored with the last
+	// successful aggregation instead — degraded but available.
+	StaleStats bool
+}
+
+// Complete reports whether every node answered in time with fresh
+// global statistics.
+func (r *SearchResult) Complete() bool { return len(r.Dropped) == 0 && !r.StaleStats }
+
+// Search evaluates the query on every node in parallel — one worker
+// per node, shared-nothing — and fans the per-node RES sets in through
+// the central ir.Merge. Nodes that fail or miss their deadline (the
+// per-node NodeTimeout and/or the deadline of ctx) are dropped: the
+// merge proceeds over the responsive nodes and the dropped indices
+// are reported in the result, deterministically ordered. With no
+// drops the merged ranking is identical to the TopN of a single index
+// holding the whole collection.
+//
+// If global statistics cannot be re-aggregated because a node is
+// unreachable, the query falls back to the last successful
+// aggregation (StaleStats is set) so one dead node degrades the
+// ranking instead of turning every search into an outage; only a
+// cluster that never aggregated stats at all fails outright.
+func (c *Cluster) Search(ctx context.Context, query string, n int) (*SearchResult, error) {
+	sr := &SearchResult{}
+	if n <= 0 {
+		return sr, nil // degenerate: empty ranking, no fan-out
+	}
+	global, err := c.GlobalStatsContext(ctx)
+	if err != nil {
+		stale, ok := c.lastStats()
+		if !ok {
+			return nil, err
+		}
+		global, sr.StaleStats = stale, true
+	}
+	type nodeRes struct {
+		i   int
+		res []ir.Result
+		err error
+	}
+	ch := make(chan nodeRes, len(c.nodes))
+	for i, node := range c.nodes {
+		go func(i int, node Node) {
+			nctx, cancel := c.nodeCtx(ctx)
+			defer cancel()
+			res, err := node.TopNWithStats(nctx, query, n, global)
+			ch <- nodeRes{i, res, err}
+		}(i, node)
+	}
+	rankings := make([][]ir.Result, len(c.nodes))
+	answered := make([]bool, len(c.nodes))
+	pending := len(c.nodes)
+collect:
+	for pending > 0 {
+		select {
+		case r := <-ch:
+			pending--
+			answered[r.i] = true
+			if r.err != nil {
+				sr.fail(r.i, r.err)
+			} else {
+				rankings[r.i] = r.res
+			}
+		case <-ctx.Done():
+			// Overall deadline: whatever has not answered yet is a
+			// straggler. The workers still drain into the buffered
+			// channel and exit; their late results are discarded.
+			for i, ok := range answered {
+				if !ok {
+					sr.fail(i, ctx.Err())
+				}
+			}
+			break collect
+		}
+	}
+	sort.Ints(sr.Dropped)
+	sr.Results = ir.Merge(n, rankings...)
+	return sr, nil
+}
+
+func (r *SearchResult) fail(i int, err error) {
+	r.Dropped = append(r.Dropped, i)
+	if r.Errs == nil {
+		r.Errs = map[int]error{}
+	}
+	r.Errs[i] = err
+}
+
+// TopN is the convenience form of Search for in-process clusters
+// without a NodeTimeout: background context, every node awaited, and
+// the merged ranking identical to a single index over the whole
+// collection. With remote nodes or a NodeTimeout configured it may
+// silently return a partial ranking (dropped fragments) or nil (stats
+// aggregation failed on a cold cluster) — serving layers must call
+// Search, which reports both.
+func (c *Cluster) TopN(query string, n int) []ir.Result {
+	sr, err := c.Search(context.Background(), query, n)
+	if err != nil {
+		return nil
+	}
+	return sr.Results
 }
 
 // TopNSequential is the single-worker baseline: the same plan, the
 // same per-node RES sets and the same merged ranking, but the nodes
 // are visited one after another. E11 measures parallel against this.
+// Like TopN it is meant for in-process clusters; failing nodes are
+// silently skipped.
 func (c *Cluster) TopNSequential(query string, n int) []ir.Result {
-	global := c.GlobalStats()
+	ctx := context.Background()
+	global, err := c.GlobalStatsContext(ctx)
+	if err != nil {
+		return nil
+	}
 	rankings := make([][]ir.Result, len(c.nodes))
 	for i, node := range c.nodes {
-		rankings[i] = node.TopNWithStats(query, n, global)
+		if res, err := node.TopNWithStats(ctx, query, n, global); err == nil {
+			rankings[i] = res
+		}
 	}
 	return ir.Merge(n, rankings...)
 }

@@ -1,0 +1,104 @@
+package dist
+
+import (
+	"context"
+	"sync"
+
+	"dlsearch/internal/bat"
+	"dlsearch/internal/ir"
+)
+
+// Node is one shared-nothing member of a Cluster. The interface is the
+// network boundary of the distributed design: the in-process LocalNode
+// and the HTTP-backed RemoteNode both satisfy it, so a cluster mixes
+// local and remote members transparently and the central site neither
+// knows nor cares where a fragment physically lives.
+//
+// Every method takes a context so the central site can impose
+// per-node deadlines; a node that cannot answer in time is dropped
+// from the merge (straggler handling) rather than stalling the query.
+type Node interface {
+	// Add indexes one document on this node.
+	Add(ctx context.Context, doc bat.OID, url, text string) error
+	// Stats freezes the node's derived state and returns its local
+	// term statistics for central aggregation.
+	Stats(ctx context.Context) (ir.Stats, error)
+	// TopNWithStats evaluates the query over the node's local fragment
+	// using the supplied global statistics and returns at most n
+	// results — the RES(doc-oid, score) set of the paper.
+	TopNWithStats(ctx context.Context, query string, n int, global ir.Stats) ([]ir.Result, error)
+	// Load returns the node's document load.
+	Load(ctx context.Context) (NodeLoad, error)
+}
+
+// NodeLoad describes one node's document load: how many documents it
+// holds and the highest oid among them (so central oid allocators can
+// continue the sequence without reusing a live oid).
+type NodeLoad struct {
+	Docs   int
+	MaxDoc bat.OID
+}
+
+// LocalNode adapts an in-process ir.Index to the Node interface. Its
+// methods never fail and ignore context cancellation mid-call (an
+// in-memory query completes in microseconds); the cluster's straggler
+// machinery still applies uniformly.
+//
+// A RWMutex arbitrates the index's one-writer rule so a serving layer
+// may add documents and answer queries concurrently: Add and Stats
+// (which freezes) take the write lock, queries the read lock.
+type LocalNode struct {
+	mu      sync.RWMutex
+	ix      *ir.Index
+	resolve func(*ir.Index, string) ([]string, []bat.OID)
+}
+
+// NewLocalNode wraps an index as a cluster node.
+func NewLocalNode(ix *ir.Index) *LocalNode { return &LocalNode{ix: ix} }
+
+// Index exposes the underlying index for experiments and tests. Do
+// not mutate it while the node is serving queries — go through Add.
+func (n *LocalNode) Index() *ir.Index { return n.ix }
+
+// SetResolver injects a query-term resolver — the engine's query-side
+// LRU cache (core.QueryCache.Resolve fits the signature) — so this
+// node's top-N path skips re-tokenizing and re-stemming hot queries.
+// Set it before the node starts serving queries.
+func (n *LocalNode) SetResolver(f func(*ir.Index, string) ([]string, []bat.OID)) { n.resolve = f }
+
+// Add implements Node.
+func (n *LocalNode) Add(_ context.Context, doc bat.OID, url, text string) error {
+	n.mu.Lock()
+	n.ix.Add(doc, url, text)
+	n.mu.Unlock()
+	return nil
+}
+
+// Stats implements Node: it freezes the index (so concurrent read-only
+// queries never mutate it) and extracts the local statistics.
+func (n *LocalNode) Stats(context.Context) (ir.Stats, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.ix.Freeze()
+	return n.ix.StatsLocal(), nil
+}
+
+// TopNWithStats implements Node. With a resolver injected the query
+// resolves through it (cached) and scores via the pre-resolved-terms
+// path; either way the result is identical.
+func (n *LocalNode) TopNWithStats(_ context.Context, query string, topn int, global ir.Stats) ([]ir.Result, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if n.resolve != nil && !n.ix.Dirty() {
+		stems, oids := n.resolve(n.ix, query)
+		return n.ix.TopNWithStatsTerms(stems, oids, topn, global), nil
+	}
+	return n.ix.TopNWithStats(query, topn, global), nil
+}
+
+// Load implements Node.
+func (n *LocalNode) Load(context.Context) (NodeLoad, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return NodeLoad{Docs: n.ix.DocCount(), MaxDoc: n.ix.MaxDoc()}, nil
+}

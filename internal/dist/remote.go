@@ -1,0 +1,205 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"dlsearch/internal/bat"
+	"dlsearch/internal/ir"
+)
+
+// The node wire protocol: four JSON endpoints mirroring the Node
+// interface, served by internal/server.NewNodeHandler and spoken by
+// RemoteNode. Scores travel as JSON float64 numbers, which Go encodes
+// in shortest round-trip form — a remote ranking is byte-identical to
+// the local one.
+const (
+	PathNodeAdd   = "/node/add"
+	PathNodeStats = "/node/stats"
+	PathNodeTopN  = "/node/topn"
+	PathNodeLoad  = "/node/load"
+	PathHealthz   = "/healthz"
+)
+
+// AddRequest is the body of POST /node/add.
+type AddRequest struct {
+	Doc  uint64 `json:"doc"`
+	URL  string `json:"url"`
+	Text string `json:"text"`
+}
+
+// StatsJSON is the wire form of ir.Stats (GET /node/stats, and the
+// global statistics shipped with every top-N request).
+type StatsJSON struct {
+	DF      map[string]int `json:"df"`
+	TotalDF int            `json:"total_df"`
+	Docs    int            `json:"docs"`
+}
+
+// StatsToJSON converts collection statistics to their wire form.
+func StatsToJSON(st ir.Stats) StatsJSON {
+	return StatsJSON{DF: st.DF, TotalDF: st.TotalDF, Docs: st.Docs}
+}
+
+// StatsFromJSON converts wire statistics back.
+func StatsFromJSON(w StatsJSON) ir.Stats {
+	df := w.DF
+	if df == nil {
+		df = map[string]int{}
+	}
+	return ir.Stats{DF: df, TotalDF: w.TotalDF, Docs: w.Docs}
+}
+
+// TopNRequest is the body of POST /node/topn.
+type TopNRequest struct {
+	Query string    `json:"query"`
+	N     int       `json:"n"`
+	Stats StatsJSON `json:"stats"`
+}
+
+// ResultJSON is one ranked result on the wire.
+type ResultJSON struct {
+	Doc   uint64  `json:"doc"`
+	Score float64 `json:"score"`
+}
+
+// TopNResponse is the body answering POST /node/topn.
+type TopNResponse struct {
+	Results []ResultJSON `json:"results"`
+}
+
+// ResultsToJSON converts a ranking to its wire form.
+func ResultsToJSON(rs []ir.Result) []ResultJSON {
+	out := make([]ResultJSON, len(rs))
+	for i, r := range rs {
+		out[i] = ResultJSON{Doc: uint64(r.Doc), Score: r.Score}
+	}
+	return out
+}
+
+// ResultsFromJSON converts a wire ranking back.
+func ResultsFromJSON(ws []ResultJSON) []ir.Result {
+	out := make([]ir.Result, len(ws))
+	for i, w := range ws {
+		out[i] = ir.Result{Doc: bat.OID(w.Doc), Score: w.Score}
+	}
+	return out
+}
+
+// LoadResponse is the body answering GET /node/load.
+type LoadResponse struct {
+	Docs   int    `json:"docs"`
+	MaxDoc uint64 `json:"max_doc"`
+}
+
+// RemoteNode implements Node over the HTTP/JSON node protocol, so a
+// Cluster can address an index living in another process or on
+// another machine exactly like an in-process one. All calls honour
+// the caller's context: a deadline set by the cluster's straggler
+// machinery cancels the in-flight request.
+type RemoteNode struct {
+	base   string
+	client *http.Client
+}
+
+// defaultClient is shared by RemoteNodes built without an explicit
+// client; connection pooling across nodes of the same host is what a
+// coordinator wants by default.
+var defaultClient = &http.Client{Timeout: 30 * time.Second}
+
+// NewRemoteNode returns a node speaking the HTTP protocol at baseURL
+// (e.g. "http://host:8081"). A nil client selects a shared pooled
+// default; pass a custom client to control transport details.
+func NewRemoteNode(baseURL string, client *http.Client) *RemoteNode {
+	if client == nil {
+		client = defaultClient
+	}
+	return &RemoteNode{base: strings.TrimRight(baseURL, "/"), client: client}
+}
+
+// BaseURL returns the node's base URL.
+func (rn *RemoteNode) BaseURL() string { return rn.base }
+
+// do runs one round-trip: POST body as JSON if in is non-nil, GET
+// otherwise; decode the 200 response into out if out is non-nil.
+func (rn *RemoteNode) do(ctx context.Context, path string, in, out any) error {
+	var body io.Reader
+	method := http.MethodGet
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("dist: encode %s: %w", path, err)
+		}
+		body = bytes.NewReader(buf)
+		method = http.MethodPost
+	}
+	req, err := http.NewRequestWithContext(ctx, method, rn.base+path, body)
+	if err != nil {
+		return fmt.Errorf("dist: request %s: %w", path, err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := rn.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("dist: node %s%s: %w", rn.base, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("dist: node %s%s: status %d: %s",
+			rn.base, path, resp.StatusCode, strings.TrimSpace(string(snippet)))
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("dist: decode %s%s: %w", rn.base, path, err)
+	}
+	return nil
+}
+
+// Add implements Node.
+func (rn *RemoteNode) Add(ctx context.Context, doc bat.OID, url, text string) error {
+	return rn.do(ctx, PathNodeAdd, &AddRequest{Doc: uint64(doc), URL: url, Text: text}, nil)
+}
+
+// Stats implements Node.
+func (rn *RemoteNode) Stats(ctx context.Context) (ir.Stats, error) {
+	var w StatsJSON
+	if err := rn.do(ctx, PathNodeStats, nil, &w); err != nil {
+		return ir.Stats{}, err
+	}
+	return StatsFromJSON(w), nil
+}
+
+// TopNWithStats implements Node.
+func (rn *RemoteNode) TopNWithStats(ctx context.Context, query string, n int, global ir.Stats) ([]ir.Result, error) {
+	var resp TopNResponse
+	req := &TopNRequest{Query: query, N: n, Stats: StatsToJSON(global)}
+	if err := rn.do(ctx, PathNodeTopN, req, &resp); err != nil {
+		return nil, err
+	}
+	return ResultsFromJSON(resp.Results), nil
+}
+
+// Load implements Node.
+func (rn *RemoteNode) Load(ctx context.Context) (NodeLoad, error) {
+	var resp LoadResponse
+	if err := rn.do(ctx, PathNodeLoad, nil, &resp); err != nil {
+		return NodeLoad{}, err
+	}
+	return NodeLoad{Docs: resp.Docs, MaxDoc: bat.OID(resp.MaxDoc)}, nil
+}
+
+// Healthy reports whether the remote node answers its health probe.
+func (rn *RemoteNode) Healthy(ctx context.Context) bool {
+	return rn.do(ctx, PathHealthz, nil, nil) == nil
+}

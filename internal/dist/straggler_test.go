@@ -1,0 +1,222 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dlsearch/internal/bat"
+	"dlsearch/internal/ir"
+)
+
+// blockingNode wraps an inner node but never answers queries until its
+// context is cancelled — a deterministic straggler: it ALWAYS misses
+// any deadline, so which node gets dropped never depends on timing.
+type blockingNode struct {
+	inner Node
+}
+
+func (n *blockingNode) Add(ctx context.Context, doc bat.OID, url, text string) error {
+	return n.inner.Add(ctx, doc, url, text)
+}
+
+func (n *blockingNode) Stats(ctx context.Context) (ir.Stats, error) { return n.inner.Stats(ctx) }
+
+func (n *blockingNode) TopNWithStats(ctx context.Context, query string, topn int, global ir.Stats) ([]ir.Result, error) {
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+func (n *blockingNode) Load(ctx context.Context) (NodeLoad, error) { return n.inner.Load(ctx) }
+
+// failingNode errors immediately on queries.
+type failingNode struct {
+	inner Node
+}
+
+var errNodeDown = errors.New("node down")
+
+func (n *failingNode) Add(ctx context.Context, doc bat.OID, url, text string) error {
+	return n.inner.Add(ctx, doc, url, text)
+}
+
+func (n *failingNode) Stats(ctx context.Context) (ir.Stats, error) { return n.inner.Stats(ctx) }
+
+func (n *failingNode) TopNWithStats(context.Context, string, int, ir.Stats) ([]ir.Result, error) {
+	return nil, errNodeDown
+}
+
+func (n *failingNode) Load(ctx context.Context) (NodeLoad, error) { return n.inner.Load(ctx) }
+
+// buildMixedCluster returns a 4-node cluster whose node `special`
+// (index 2) is wrapped by wrap, plus a plain all-local control cluster
+// over the same documents and partitioning.
+func buildMixedCluster(t *testing.T, wrap func(Node) Node, opts *Options) (c, control *Cluster) {
+	t.Helper()
+	const k, special = 4, 2
+	docs := corpus(200, 5)
+	mixed := make([]Node, k)
+	plain := make([]Node, k)
+	for i := 0; i < k; i++ {
+		mixed[i] = NewLocalNode(ir.NewIndex())
+		plain[i] = NewLocalNode(ir.NewIndex())
+	}
+	mixed[special] = wrap(mixed[special])
+	c = NewClusterOf(mixed, opts)
+	control = NewClusterOf(plain, opts2noTimeout(opts))
+	for i, d := range docs {
+		c.Add(bat.OID(i+1), "u", d)
+		control.Add(bat.OID(i+1), "u", d)
+	}
+	return c, control
+}
+
+func opts2noTimeout(opts *Options) *Options {
+	if opts == nil {
+		return nil
+	}
+	o := *opts
+	o.NodeTimeout = 0
+	return &o
+}
+
+// TestStragglerDropped: with a per-node timeout, a node that cannot
+// answer is dropped, the query still completes within the deadline,
+// and the merged ranking deterministically equals the merge over the
+// responsive nodes.
+func TestStragglerDropped(t *testing.T) {
+	const timeout = 100 * time.Millisecond
+	c, control := buildMixedCluster(t, func(n Node) Node { return &blockingNode{inner: n} },
+		&Options{NodeTimeout: timeout})
+
+	// The expected partial ranking: the control cluster with node 2's
+	// RES set removed. Compute it by querying the control's nodes
+	// directly and merging all but index 2.
+	global := control.GlobalStats()
+	var partial [][]ir.Result
+	for i := 0; i < control.Size(); i++ {
+		if i == 2 {
+			continue
+		}
+		res, err := control.NodeAt(i).TopNWithStats(context.Background(), "champion winner serve", 10, global)
+		if err != nil {
+			t.Fatal(err)
+		}
+		partial = append(partial, res)
+	}
+	want := ir.Merge(10, partial...)
+
+	for rep := 0; rep < 3; rep++ {
+		start := time.Now()
+		sr, err := c.Search(context.Background(), "champion winner serve", 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if elapsed := time.Since(start); elapsed > 10*timeout {
+			t.Fatalf("query took %v, deadline is %v", elapsed, timeout)
+		}
+		if len(sr.Dropped) != 1 || sr.Dropped[0] != 2 {
+			t.Fatalf("dropped = %v, want [2]", sr.Dropped)
+		}
+		if sr.Complete() {
+			t.Fatal("Complete() = true with a dropped node")
+		}
+		if !errors.Is(sr.Errs[2], context.DeadlineExceeded) {
+			t.Fatalf("drop reason = %v, want deadline exceeded", sr.Errs[2])
+		}
+		sameRanking(t, "partial merge", sr.Results, want)
+	}
+}
+
+// TestOverallDeadline: an expired caller context drops every node that
+// has not answered, rather than hanging.
+func TestOverallDeadline(t *testing.T) {
+	c, _ := buildMixedCluster(t, func(n Node) Node { return &blockingNode{inner: n} }, nil)
+	c.GlobalStats() // warm stats so only the query phase races the deadline
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	sr, err := c.Search(ctx, "champion", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, i := range sr.Dropped {
+		if i == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("dropped = %v, want node 2 included", sr.Dropped)
+	}
+}
+
+// TestFailedNodeDropped: a node erroring outright is reported like a
+// straggler and the merge proceeds without it.
+func TestFailedNodeDropped(t *testing.T) {
+	c, _ := buildMixedCluster(t, func(n Node) Node { return &failingNode{inner: n} }, nil)
+	sr, err := c.Search(context.Background(), "champion winner", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Dropped) != 1 || sr.Dropped[0] != 2 {
+		t.Fatalf("dropped = %v, want [2]", sr.Dropped)
+	}
+	if !errors.Is(sr.Errs[2], errNodeDown) {
+		t.Fatalf("drop reason = %v, want %v", sr.Errs[2], errNodeDown)
+	}
+	if len(sr.Results) == 0 {
+		t.Fatal("no results from responsive nodes")
+	}
+}
+
+// TestNoTimeoutComplete: without deadlines nothing is ever dropped and
+// Search equals TopN equals the single-index ranking.
+func TestNoTimeoutComplete(t *testing.T) {
+	docs := corpus(150, 13)
+	single := ir.NewIndex()
+	c := NewCluster(4, nil)
+	for i, d := range docs {
+		single.Add(bat.OID(i+1), "u", d)
+		c.Add(bat.OID(i+1), "u", d)
+	}
+	sr, err := c.Search(context.Background(), "champion winner serve", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Complete() || len(sr.Dropped) != 0 {
+		t.Fatalf("dropped = %v on a healthy cluster", sr.Dropped)
+	}
+	sameRanking(t, "search vs single", sr.Results, single.TopN("champion winner serve", 10))
+}
+
+// TestLocalNodeResolver: a LocalNode with the cached resolver injected
+// returns exactly the uncached ranking.
+func TestLocalNodeResolver(t *testing.T) {
+	docs := corpus(150, 17)
+	var resolved atomic.Int64
+	resolver := func(ix *ir.Index, q string) ([]string, []bat.OID) {
+		resolved.Add(1)
+		return ix.ResolveQuery(q)
+	}
+	plain := make([]Node, 2)
+	cached := make([]Node, 2)
+	for i := range plain {
+		plain[i] = NewLocalNode(ir.NewIndex())
+		ln := NewLocalNode(ir.NewIndex())
+		ln.SetResolver(resolver)
+		cached[i] = ln
+	}
+	cp := NewClusterOf(plain, nil)
+	cc := NewClusterOf(cached, nil)
+	for i, d := range docs {
+		cp.Add(bat.OID(i+1), "u", d)
+		cc.Add(bat.OID(i+1), "u", d)
+	}
+	want := cp.TopN("melbourne trophy volley", 10)
+	sameRanking(t, "resolver path", cc.TopN("melbourne trophy volley", 10), want)
+	if resolved.Load() == 0 {
+		t.Fatal("resolver never invoked")
+	}
+}

@@ -84,6 +84,7 @@ type Index struct {
 	docIDs  []bat.OID
 	docLens []int32
 	docSlot map[bat.OID]int32
+	maxDoc  bat.OID
 
 	docTerms map[bat.OID]map[bat.OID]int // doc -> term -> tf (naive plan's access path)
 	df       map[bat.OID]int
@@ -91,6 +92,7 @@ type Index struct {
 
 	idfPos map[bat.OID]int      // term -> row of the IDF relation
 	dirty  map[bat.OID]struct{} // terms with pending derived-state work
+	epoch  uint64               // freeze epoch: bumped by every Freeze that did work
 
 	fragments []Fragment
 	fragOf    map[bat.OID]int // term -> fragment index
@@ -131,6 +133,9 @@ func (ix *Index) slotOf(doc bat.OID) int32 {
 	ix.docSlot[doc] = slot
 	ix.docIDs = append(ix.docIDs, doc)
 	ix.docLens = append(ix.docLens, 0)
+	if doc > ix.maxDoc {
+		ix.maxDoc = doc
+	}
 	return slot
 }
 
@@ -209,6 +214,10 @@ func (ix *Index) Add(doc bat.OID, url, text string) {
 // DocCount returns the number of indexed documents.
 func (ix *Index) DocCount() int { return len(ix.docIDs) }
 
+// MaxDoc returns the highest document oid ever indexed (NilOID when
+// empty) — oid allocators seed from it so they never reuse a live oid.
+func (ix *Index) MaxDoc() bat.OID { return ix.maxDoc }
+
 // TermCount returns the size of the vocabulary.
 func (ix *Index) TermCount() int { return len(ix.termID) }
 
@@ -238,6 +247,7 @@ func (ix *Index) Freeze() {
 	if len(ix.dirty) == 0 {
 		return
 	}
+	ix.epoch++
 	ids := make([]bat.OID, 0, len(ix.dirty))
 	for id := range ix.dirty {
 		ids = append(ids, id)
@@ -275,6 +285,33 @@ func (pl *plist) sortByDoc(docIDs []bat.OID) {
 	}
 	pl.slots, pl.tfs = slots, tfs
 	pl.sorted = true
+}
+
+// Epoch returns the freeze epoch: a counter bumped by every Freeze
+// that had pending derived-state work. Together with Dirty it lets
+// query-side caches (query text → resolved term oids) validate their
+// entries: a resolution captured at epoch e on a clean index stays
+// valid until the epoch moves.
+func (ix *Index) Epoch() uint64 { return ix.epoch }
+
+// Dirty reports whether derived state (IDF rows, posting sort order,
+// and therefore term resolutions captured by caches) is pending a
+// Freeze.
+func (ix *Index) Dirty() bool { return len(ix.dirty) > 0 }
+
+// ResolveQuery resolves query text through the tokenize/stop/stem
+// pipeline to the unique known terms, returned as parallel stem/oid
+// slices. Terms outside this index's vocabulary are omitted: they
+// cannot contribute postings here (the global statistics a distributed
+// node receives are keyed by stem, which is why the stems ride along).
+func (ix *Index) ResolveQuery(query string) (stems []string, oids []bat.OID) {
+	for _, t := range Terms(query) {
+		if id, ok := ix.termID[t]; ok && !slices.Contains(oids, id) {
+			stems = append(stems, t)
+			oids = append(oids, id)
+		}
+	}
+	return stems, oids
 }
 
 // IDFOf returns idf(t) = 1/df(t) for a stemmed term.
@@ -358,6 +395,24 @@ func (ix *Index) TopNRestricted(query string, n int, candidates map[bat.OID]bool
 	defer ix.putScorer(s)
 	s.qterms = ix.queryTermsInto(s.qterms, query)
 	for _, id := range s.qterms {
+		ix.scoreTerm(s, id, ix.df[id], ix.totalDF, candidates)
+	}
+	return s.selectTopN(ix.docIDs, n)
+}
+
+// TopNTerms is TopN over pre-resolved term oids (see ResolveQuery),
+// skipping the tokenize/stop/stem pipeline — the entry point for the
+// query-side term cache. The oids must belong to this index.
+func (ix *Index) TopNTerms(terms []bat.OID, n int) []Result {
+	return ix.TopNTermsRestricted(terms, n, nil)
+}
+
+// TopNTermsRestricted is TopNRestricted over pre-resolved term oids.
+func (ix *Index) TopNTermsRestricted(terms []bat.OID, n int, candidates map[bat.OID]bool) []Result {
+	ix.Freeze()
+	s := ix.getScorer()
+	defer ix.putScorer(s)
+	for _, id := range terms {
 		ix.scoreTerm(s, id, ix.df[id], ix.totalDF, candidates)
 	}
 	return s.selectTopN(ix.docIDs, n)

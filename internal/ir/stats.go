@@ -1,6 +1,10 @@
 package ir
 
-import "slices"
+import (
+	"slices"
+
+	"dlsearch/internal/bat"
+)
 
 // Stats carries collection-wide term statistics keyed by stemmed term.
 // In the distributed setting the central DBMS aggregates the local
@@ -55,5 +59,19 @@ func (ix *Index) TopNWithStats(query string, n int, global Stats) []Result {
 		ix.scoreTerm(s, id, global.DF[term], global.TotalDF, nil)
 	}
 	s.qterms = qts
+	return s.selectTopN(ix.docIDs, n)
+}
+
+// TopNWithStatsTerms is TopNWithStats over a pre-resolved query: the
+// parallel stem/oid slices ResolveQuery returns. The stems key the
+// global DF lookups; the oids address the local posting lists. This is
+// the cached hot path of the node server — the same query string no
+// longer re-tokenizes and re-stems on every request.
+func (ix *Index) TopNWithStatsTerms(stems []string, terms []bat.OID, n int, global Stats) []Result {
+	s := ix.getScorer()
+	defer ix.putScorer(s)
+	for i, id := range terms {
+		ix.scoreTerm(s, id, global.DF[stems[i]], global.TotalDF, nil)
+	}
 	return s.selectTopN(ix.docIDs, n)
 }

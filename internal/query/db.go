@@ -26,6 +26,12 @@ type Database struct {
 	Store *monetxml.Store
 	IR    map[string]*ir.Index
 
+	// ResolveTerms, when set, resolves query text to term oids for an
+	// index — the engine injects its query-side LRU cache here so hot
+	// queries skip the tokenize/stop/stem pipeline. Nil falls back to
+	// uncached resolution inside the index.
+	ResolveTerms func(*ir.Index, string) []bat.OID
+
 	objects *objectIndex
 	events  map[string][]ShotEvent
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"dlsearch/internal/bat"
+	"dlsearch/internal/ir"
 )
 
 // Row is one result binding: the projected values, the accumulated IR
@@ -42,6 +43,17 @@ type Executor struct {
 
 // NewExecutor returns an executor over the database.
 func NewExecutor(db *Database) *Executor { return &Executor{DB: db} }
+
+// rank evaluates one IR predicate (nil candidates = unrestricted),
+// going through the database's term resolver — the engine's query
+// cache — when one is injected.
+func (ex *Executor) rank(idx *ir.Index, text string, n int, candidates map[bat.OID]bool) []ir.Result {
+	if ex.DB.ResolveTerms != nil {
+		idx.Freeze()
+		return idx.TopNTermsRestricted(ex.DB.ResolveTerms(idx, text), n, candidates)
+	}
+	return idx.TopNRestricted(text, n, candidates)
+}
 
 // Run evaluates a parsed query.
 func (ex *Executor) Run(q *Query) (*Result, error) {
@@ -86,7 +98,7 @@ func (ex *Executor) Run(q *Query) (*Result, error) {
 		var ranked []rankedDoc
 		if ex.DisableRestriction {
 			// Unoptimized: rank the whole collection, filter late.
-			for _, r := range idx.TopN(cp.Text, idx.DocCount()) {
+			for _, r := range ex.rank(idx, cp.Text, idx.DocCount(), nil) {
 				ranked = append(ranked, rankedDoc{r.Doc, r.Score})
 			}
 		} else {
@@ -96,7 +108,7 @@ func (ex *Executor) Run(q *Query) (*Result, error) {
 			for _, oid := range cands[cp.Field.Var] {
 				set[oid] = true
 			}
-			for _, r := range idx.TopNRestricted(cp.Text, len(set), set) {
+			for _, r := range ex.rank(idx, cp.Text, len(set), set) {
 				ranked = append(ranked, rankedDoc{r.Doc, r.Score})
 			}
 		}

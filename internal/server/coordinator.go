@@ -1,0 +1,354 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dlsearch/internal/bat"
+	"dlsearch/internal/core"
+	"dlsearch/internal/dist"
+)
+
+// CoordinatorConfig tunes a coordinator. The zero value selects the
+// package defaults, no overall search deadline and no cache report.
+type CoordinatorConfig struct {
+	MaxBody       int64
+	MaxConcurrent int
+	MaxTopN       int // /search n clamp; 0 selects DefaultMaxTopN
+	// SearchTimeout bounds each /search end to end. Together with the
+	// clusters' per-node NodeTimeout this is the straggler policy: the
+	// coordinator answers with the responsive nodes' merged ranking
+	// and reports the dropped nodes. 0 means no deadline.
+	SearchTimeout time.Duration
+	// Cache is the engine's query-side term cache; when set its
+	// hit/miss counters appear under query_cache in /stats. The local
+	// nodes served by this process share it via their NodeConfig.
+	Cache *core.QueryCache
+}
+
+// docSeq assigns document oids for /add requests without an explicit
+// oid. The sequence seeds itself from the cluster's highest live oid
+// on first use, so a freshly restarted coordinator in front of
+// long-lived nodes continues after the documents already indexed
+// instead of silently reusing a live oid (which would merge two
+// documents). A failed add may leave an unused gap in the sequence —
+// harmless, since seeding reads the true maximum, never a count.
+type docSeq struct {
+	mu     sync.Mutex
+	next   bat.OID
+	seeded bool
+}
+
+func (s *docSeq) assign(ctx context.Context, c *dist.Cluster) (bat.OID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.seeded {
+		max, err := c.MaxDocContext(ctx)
+		if err != nil {
+			return bat.NilOID, err
+		}
+		// Never move backwards: observe() may have recorded a higher
+		// explicit oid whose add is still in flight on a node.
+		if max > s.next {
+			s.next = max
+		}
+		s.seeded = true
+	}
+	s.next++
+	return s.next, nil
+}
+
+// observe folds an explicit client-chosen oid into the sequence so a
+// later auto-assign never reuses it.
+func (s *docSeq) observe(doc bat.OID) {
+	s.mu.Lock()
+	if doc > s.next {
+		s.next = doc
+	}
+	s.mu.Unlock()
+}
+
+// Coordinator is the central serving site: named search indexes, each
+// a shared-nothing dist.Cluster of local and/or remote nodes.
+type Coordinator struct {
+	indexes map[string]*dist.Cluster
+	seqs    map[string]*docSeq // auto-assigned doc oids per index
+	cfg     CoordinatorConfig
+	start   time.Time
+
+	searches atomic.Uint64
+	adds     atomic.Uint64
+	errs     atomic.Uint64
+}
+
+// NewCoordinator builds a coordinator over named clusters. The map
+// must contain at least one index; a nil cfg selects defaults.
+//
+// Document oids auto-assigned by /add continue after the highest oid
+// already on the nodes, so they survive a coordinator restart and
+// coexist with explicit oids (as long as only one coordinator writes
+// at a time).
+func NewCoordinator(indexes map[string]*dist.Cluster, cfg *CoordinatorConfig) *Coordinator {
+	co := &Coordinator{
+		indexes: indexes,
+		seqs:    make(map[string]*docSeq, len(indexes)),
+		start:   time.Now(),
+	}
+	if cfg != nil {
+		co.cfg = *cfg
+	}
+	if co.cfg.MaxBody <= 0 {
+		co.cfg.MaxBody = DefaultMaxBody
+	}
+	if co.cfg.MaxConcurrent <= 0 {
+		co.cfg.MaxConcurrent = DefaultMaxConcurrent
+	}
+	if co.cfg.MaxTopN <= 0 {
+		co.cfg.MaxTopN = DefaultMaxTopN
+	}
+	for name := range indexes {
+		co.seqs[name] = &docSeq{}
+	}
+	return co
+}
+
+// Handler returns the coordinator's HTTP handler: POST /search,
+// POST /add, GET /stats, GET /healthz.
+func (co *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search", co.search)
+	mux.HandleFunc("/add", co.add)
+	mux.HandleFunc("/stats", co.statsHandler)
+	// The health probe bypasses the semaphore: a saturated
+	// coordinator is busy, not dead, and must not be ejected by its
+	// load balancer.
+	outer := http.NewServeMux()
+	outer.HandleFunc(dist.PathHealthz, co.healthz)
+	outer.Handle("/", limitConcurrency(co.cfg.MaxConcurrent, mux))
+	return outer
+}
+
+// resolveIndex maps a request's index name to its cluster; an empty
+// name selects the sole index when exactly one is served.
+func (co *Coordinator) resolveIndex(w http.ResponseWriter, name string) (*dist.Cluster, string, bool) {
+	if name == "" {
+		if len(co.indexes) == 1 {
+			for n, c := range co.indexes {
+				return c, n, true
+			}
+		}
+		fail(w, http.StatusBadRequest, "missing index name")
+		return nil, "", false
+	}
+	c, ok := co.indexes[name]
+	if !ok {
+		fail(w, http.StatusNotFound, "unknown index: "+name)
+		return nil, "", false
+	}
+	return c, name, true
+}
+
+// SearchRequest is the body of POST /search.
+type SearchRequest struct {
+	Index string `json:"index,omitempty"`
+	Query string `json:"query"`
+	N     int    `json:"n"`
+}
+
+// SearchResponse answers POST /search. Complete is false when the
+// ranking is degraded in either way the cluster models: stragglers
+// were dropped (the ranking covers the responsive nodes only) and/or
+// it was scored with stale global statistics.
+type SearchResponse struct {
+	Index      string            `json:"index"`
+	Results    []dist.ResultJSON `json:"results"`
+	Dropped    []int             `json:"dropped,omitempty"`
+	StaleStats bool              `json:"stale_stats,omitempty"`
+	Complete   bool              `json:"complete"`
+}
+
+func (co *Coordinator) search(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req SearchRequest
+	if !readJSON(w, r, co.cfg.MaxBody, &req) {
+		co.errs.Add(1)
+		return
+	}
+	if req.Query == "" {
+		co.errs.Add(1)
+		fail(w, http.StatusBadRequest, "missing query")
+		return
+	}
+	if req.N <= 0 {
+		co.errs.Add(1)
+		fail(w, http.StatusBadRequest, "n must be positive")
+		return
+	}
+	if req.N > co.cfg.MaxTopN {
+		req.N = co.cfg.MaxTopN
+	}
+	cluster, name, ok := co.resolveIndex(w, req.Index)
+	if !ok {
+		co.errs.Add(1)
+		return
+	}
+	ctx := r.Context()
+	if co.cfg.SearchTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, co.cfg.SearchTimeout)
+		defer cancel()
+	}
+	sr, err := cluster.Search(ctx, req.Query, req.N)
+	if err != nil {
+		co.errs.Add(1)
+		fail(w, http.StatusBadGateway, "cluster unavailable: "+err.Error())
+		return
+	}
+	co.searches.Add(1)
+	writeJSON(w, http.StatusOK, SearchResponse{
+		Index:      name,
+		Results:    dist.ResultsToJSON(sr.Results),
+		Dropped:    sr.Dropped,
+		StaleStats: sr.StaleStats,
+		Complete:   sr.Complete(),
+	})
+}
+
+// AddDocRequest is the body of POST /add. Doc 0 auto-assigns the next
+// oid of the index's sequence.
+type AddDocRequest struct {
+	Index string `json:"index,omitempty"`
+	Doc   uint64 `json:"doc,omitempty"`
+	URL   string `json:"url,omitempty"`
+	Text  string `json:"text"`
+}
+
+// AddDocResponse reports the oid the document was indexed under.
+type AddDocResponse struct {
+	Index string `json:"index"`
+	Doc   uint64 `json:"doc"`
+}
+
+func (co *Coordinator) add(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req AddDocRequest
+	if !readJSON(w, r, co.cfg.MaxBody, &req) {
+		co.errs.Add(1)
+		return
+	}
+	if req.Text == "" {
+		co.errs.Add(1)
+		fail(w, http.StatusBadRequest, "missing text")
+		return
+	}
+	cluster, name, ok := co.resolveIndex(w, req.Index)
+	if !ok {
+		co.errs.Add(1)
+		return
+	}
+	doc := bat.OID(req.Doc)
+	if doc == bat.NilOID {
+		var err error
+		if doc, err = co.seqs[name].assign(r.Context(), cluster); err != nil {
+			co.errs.Add(1)
+			fail(w, http.StatusBadGateway, "cannot assign oid: "+err.Error())
+			return
+		}
+	} else {
+		co.seqs[name].observe(doc)
+	}
+	if err := cluster.AddContext(r.Context(), doc, req.URL, req.Text); err != nil {
+		co.errs.Add(1)
+		fail(w, http.StatusBadGateway, "node unavailable: "+err.Error())
+		return
+	}
+	co.adds.Add(1)
+	writeJSON(w, http.StatusOK, AddDocResponse{Index: name, Doc: uint64(doc)})
+}
+
+// StatsResponse answers GET /stats.
+type StatsResponse struct {
+	UptimeSeconds float64               `json:"uptime_seconds"`
+	Requests      RequestStats          `json:"requests"`
+	Indexes       map[string]IndexStats `json:"indexes"`
+	QueryCache    *QueryCacheStats      `json:"query_cache,omitempty"`
+}
+
+// RequestStats are the coordinator's cumulative request counters.
+type RequestStats struct {
+	Search uint64 `json:"search"`
+	Add    uint64 `json:"add"`
+	Errors uint64 `json:"errors"`
+}
+
+// IndexStats describes one served index. Error is set when the load
+// read was partial (a node was unreachable): Docs then undercounts
+// and must not be read as data loss.
+type IndexStats struct {
+	Nodes     int    `json:"nodes"`
+	Docs      int    `json:"docs"`
+	NodeLoads []int  `json:"node_loads"`
+	Error     string `json:"error,omitempty"`
+}
+
+// QueryCacheStats are the engine's query-side cache counters.
+type QueryCacheStats struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Entries int    `json:"entries"`
+}
+
+func (co *Coordinator) statsHandler(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	resp := StatsResponse{
+		UptimeSeconds: time.Since(co.start).Seconds(),
+		Requests: RequestStats{
+			Search: co.searches.Load(),
+			Add:    co.adds.Load(),
+			Errors: co.errs.Load(),
+		},
+		Indexes: make(map[string]IndexStats, len(co.indexes)),
+	}
+	names := make([]string, 0, len(co.indexes))
+	for name := range co.indexes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := co.indexes[name]
+		loads, err := c.NodeLoadsContext(r.Context())
+		docs := 0
+		for _, l := range loads {
+			docs += l
+		}
+		st := IndexStats{Nodes: c.Size(), Docs: docs, NodeLoads: loads}
+		if err != nil {
+			st.Error = err.Error()
+		}
+		resp.Indexes[name] = st
+	}
+	if co.cfg.Cache != nil {
+		hits, misses := co.cfg.Cache.Counters()
+		resp.QueryCache = &QueryCacheStats{Hits: hits, Misses: misses, Entries: co.cfg.Cache.Len()}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (co *Coordinator) healthz(w http.ResponseWriter, r *http.Request) {
+	names := make([]string, 0, len(co.indexes))
+	for name := range co.indexes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "indexes": names})
+}

@@ -1,0 +1,111 @@
+package server
+
+import (
+	"net/http"
+
+	"dlsearch/internal/bat"
+	"dlsearch/internal/core"
+	"dlsearch/internal/dist"
+	"dlsearch/internal/ir"
+)
+
+// NodeConfig tunes a node server. The zero value selects the package
+// defaults and no query cache.
+type NodeConfig struct {
+	MaxBody       int64            // request-body cap, bytes
+	MaxConcurrent int              // in-flight request bound
+	Cache         *core.QueryCache // optional (query → term oids) cache for /node/topn
+}
+
+// nodeHandler serves one shared-nothing index fragment over the node
+// wire protocol. All index access goes through a dist.LocalNode,
+// which arbitrates the one-writer rule (adds and freezes exclusive,
+// queries shared) and runs the cached-resolution top-N path — the
+// handler itself only speaks JSON and validates.
+type nodeHandler struct {
+	node    *dist.LocalNode
+	maxBody int64
+}
+
+// NewNodeHandler returns the HTTP handler serving ix as a remote
+// cluster node: POST /node/add, GET /node/stats, POST /node/topn,
+// GET /node/load, GET /healthz. A nil cfg selects defaults.
+func NewNodeHandler(ix *ir.Index, cfg *NodeConfig) http.Handler {
+	h := &nodeHandler{node: dist.NewLocalNode(ix), maxBody: DefaultMaxBody}
+	maxConc := DefaultMaxConcurrent
+	if cfg != nil {
+		if cfg.MaxBody > 0 {
+			h.maxBody = cfg.MaxBody
+		}
+		if cfg.MaxConcurrent > 0 {
+			maxConc = cfg.MaxConcurrent
+		}
+		if cfg.Cache != nil {
+			h.node.SetResolver(cfg.Cache.Resolve)
+		}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc(dist.PathNodeAdd, h.add)
+	mux.HandleFunc(dist.PathNodeStats, h.stats)
+	mux.HandleFunc(dist.PathNodeTopN, h.topn)
+	mux.HandleFunc(dist.PathNodeLoad, h.load)
+	// The health probe bypasses the semaphore: a saturated node is
+	// busy, not dead, and must not be ejected by its load balancer.
+	outer := http.NewServeMux()
+	outer.HandleFunc(dist.PathHealthz, h.healthz)
+	outer.Handle("/", limitConcurrency(maxConc, mux))
+	return outer
+}
+
+func (h *nodeHandler) add(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req dist.AddRequest
+	if !readJSON(w, r, h.maxBody, &req) {
+		return
+	}
+	if req.Doc == 0 {
+		fail(w, http.StatusBadRequest, "missing document oid")
+		return
+	}
+	h.node.Add(r.Context(), bat.OID(req.Doc), req.URL, req.Text)
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (h *nodeHandler) stats(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	st, _ := h.node.Stats(r.Context())
+	writeJSON(w, http.StatusOK, dist.StatsToJSON(st))
+}
+
+func (h *nodeHandler) topn(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req dist.TopNRequest
+	if !readJSON(w, r, h.maxBody, &req) {
+		return
+	}
+	// Empty queries and non-positive n are well-defined (an empty
+	// ranking) and must behave exactly like a LocalNode would —
+	// client-facing validation lives in the coordinator, and the
+	// cluster's local/remote transparency depends on the node
+	// protocol never rejecting what a LocalNode accepts.
+	res, _ := h.node.TopNWithStats(r.Context(), req.Query, req.N, dist.StatsFromJSON(req.Stats))
+	writeJSON(w, http.StatusOK, dist.TopNResponse{Results: dist.ResultsToJSON(res)})
+}
+
+func (h *nodeHandler) load(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	l, _ := h.node.Load(r.Context())
+	writeJSON(w, http.StatusOK, dist.LoadResponse{Docs: l.Docs, MaxDoc: uint64(l.MaxDoc)})
+}
+
+func (h *nodeHandler) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,122 @@
+// Package server is the networked serving layer: HTTP/JSON handlers
+// exposing the search engine over the wire. Two roles mirror the
+// paper's central-DBMS architecture:
+//
+//   - the node server (NewNodeHandler) serves one shared-nothing
+//     fragment — the dist.Node operations — so an index can live in
+//     its own process or machine behind dist.RemoteNode;
+//   - the coordinator (NewCoordinator) is the central site: it fans
+//     /search out over a dist.Cluster of local and/or remote nodes,
+//     merges the per-node RES sets, and exposes /add, /stats and
+//     /healthz for operation.
+//
+// Both roles validate requests (malformed JSON, oversized bodies, bad
+// parameters are 4xx, never panics), bound their concurrency with a
+// semaphore (503 when saturated) and shut down gracefully via Run.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+)
+
+// Defaults for the serving knobs; constructors apply them when the
+// corresponding config field is zero.
+const (
+	DefaultMaxBody       = 1 << 20 // 1 MiB request-body cap
+	DefaultMaxConcurrent = 64      // in-flight requests per handler
+	DefaultMaxTopN       = 1000    // /search n is clamped to this
+)
+
+// errorResponse is the uniform error body of both servers.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// writeJSON encodes v as the response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// fail writes a JSON error response.
+func fail(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+// readJSON decodes the request body into v under the byte cap,
+// answering 400 (malformed / trailing data) or 413 (oversized) itself.
+// It reports whether decoding succeeded.
+func readJSON(w http.ResponseWriter, r *http.Request, maxBody int64, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			fail(w, http.StatusRequestEntityTooLarge, "request body too large")
+		} else {
+			fail(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+		}
+		return false
+	}
+	if dec.More() {
+		fail(w, http.StatusBadRequest, "trailing data after JSON body")
+		return false
+	}
+	return true
+}
+
+// requireMethod answers 405 unless the request uses the method.
+func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		w.Header().Set("Allow", method)
+		fail(w, http.StatusMethodNotAllowed, "method not allowed")
+		return false
+	}
+	return true
+}
+
+// limitConcurrency bounds the handler to max in-flight requests; a
+// request arriving while the semaphore is full is answered 503
+// immediately — under overload the server sheds load instead of
+// queueing unboundedly.
+func limitConcurrency(max int, h http.Handler) http.Handler {
+	sem := make(chan struct{}, max)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case sem <- struct{}{}:
+			defer func() { <-sem }()
+			h.ServeHTTP(w, r)
+		default:
+			fail(w, http.StatusServiceUnavailable, "server at capacity")
+		}
+	})
+}
+
+// Run serves h on addr until ctx is cancelled, then drains in-flight
+// requests through a graceful shutdown (bounded by grace; 0 selects
+// 5s). It returns nil after a clean shutdown.
+func Run(ctx context.Context, addr string, h http.Handler, grace time.Duration) error {
+	if grace <= 0 {
+		grace = 5 * time.Second
+	}
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), grace)
+		defer cancel()
+		return srv.Shutdown(sctx)
+	case err := <-errc:
+		return err
+	}
+}

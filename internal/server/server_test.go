@@ -1,0 +1,353 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dlsearch/internal/bat"
+	"dlsearch/internal/core"
+	"dlsearch/internal/dist"
+	"dlsearch/internal/ir"
+)
+
+func postJSON(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, path, nil))
+	return w
+}
+
+// --- node handler validation ---
+
+func TestNodeHandlerValidation(t *testing.T) {
+	h := NewNodeHandler(ir.NewIndex(), &NodeConfig{MaxBody: 512})
+	cases := []struct {
+		name, path, body string
+		status           int
+	}{
+		{"malformed add", dist.PathNodeAdd, `{"doc": nope}`, http.StatusBadRequest},
+		{"missing doc oid", dist.PathNodeAdd, `{"url":"u","text":"hi"}`, http.StatusBadRequest},
+		{"trailing data", dist.PathNodeAdd, `{"doc":1,"text":"a"} extra`, http.StatusBadRequest},
+		{"oversized body", dist.PathNodeAdd, `{"doc":1,"text":"` + strings.Repeat("x", 2048) + `"}`, http.StatusRequestEntityTooLarge},
+		{"malformed topn", dist.PathNodeTopN, `{`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if w := postJSON(t, h, c.path, c.body); w.Code != c.status {
+				t.Fatalf("status = %d, want %d (body %s)", w.Code, c.status, w.Body)
+			}
+		})
+	}
+	if w := get(t, h, dist.PathNodeTopN); w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET topn = %d, want 405", w.Code)
+	}
+	// Empty queries and non-positive n mirror LocalNode: well-defined
+	// empty rankings, not errors — Cluster transparency depends on
+	// the node protocol never rejecting what a LocalNode accepts.
+	for _, body := range []string{`{"query":"","n":10}`, `{"query":"a","n":0}`, `{"query":"a","n":-3}`} {
+		if w := postJSON(t, h, dist.PathNodeTopN, body); w.Code != http.StatusOK {
+			t.Fatalf("degenerate topn %s = %d, want 200 (%s)", body, w.Code, w.Body)
+		}
+	}
+	if w := postJSON(t, h, dist.PathNodeStats, `{}`); w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST stats = %d, want 405", w.Code)
+	}
+	if w := get(t, h, dist.PathHealthz); w.Code != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", w.Code)
+	}
+}
+
+// --- coordinator validation ---
+
+func testCoordinator(t *testing.T, cfg *CoordinatorConfig) (*Coordinator, http.Handler) {
+	t.Helper()
+	cluster := dist.NewCluster(2, nil)
+	for i, text := range []string{
+		"melbourne champion trophy",
+		"champion winner serve",
+		"volley smash rally",
+	} {
+		cluster.Add(bat.OID(i+1), fmt.Sprintf("doc-%d", i+1), text)
+	}
+	co := NewCoordinator(map[string]*dist.Cluster{"articles": cluster}, cfg)
+	return co, co.Handler()
+}
+
+func TestCoordinatorValidation(t *testing.T) {
+	_, h := testCoordinator(t, &CoordinatorConfig{MaxBody: 512})
+	cases := []struct {
+		name, path, body string
+		status           int
+	}{
+		{"malformed search", "/search", `{"query": }`, http.StatusBadRequest},
+		{"missing query", "/search", `{"index":"articles","n":10}`, http.StatusBadRequest},
+		{"zero n", "/search", `{"index":"articles","query":"champion","n":0}`, http.StatusBadRequest},
+		{"negative n", "/search", `{"index":"articles","query":"champion","n":-1}`, http.StatusBadRequest},
+		{"unknown index", "/search", `{"index":"nope","query":"champion","n":10}`, http.StatusNotFound},
+		{"oversized search", "/search", `{"query":"` + strings.Repeat("q ", 1024) + `","n":1}`, http.StatusRequestEntityTooLarge},
+		{"malformed add", "/add", `not json`, http.StatusBadRequest},
+		{"missing text", "/add", `{"index":"articles"}`, http.StatusBadRequest},
+		{"unknown index add", "/add", `{"index":"nope","text":"hello"}`, http.StatusNotFound},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if w := postJSON(t, h, c.path, c.body); w.Code != c.status {
+				t.Fatalf("status = %d, want %d (body %s)", w.Code, c.status, w.Body)
+			}
+		})
+	}
+	if w := get(t, h, "/search"); w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /search = %d, want 405", w.Code)
+	}
+}
+
+// TestCoordinatorSearchAddStats drives the full serving loop: add
+// documents, search them, read the counters back.
+func TestCoordinatorSearchAddStats(t *testing.T) {
+	_, h := testCoordinator(t, nil)
+
+	// The fixture seeded oids 1..3 directly on the cluster; the
+	// auto-assigner continues the dense sequence after them.
+	w := postJSON(t, h, "/add", `{"text":"seles wins melbourne","url":"doc-new"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/add = %d: %s", w.Code, w.Body)
+	}
+	var added AddDocResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &added); err != nil || added.Doc != 4 {
+		t.Fatalf("add response %s (want doc 4): %v", w.Body, err)
+	}
+
+	w = postJSON(t, h, "/search", `{"index":"articles","query":"champion melbourne","n":10}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/search = %d: %s", w.Code, w.Body)
+	}
+	var sr SearchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Complete || len(sr.Results) == 0 {
+		t.Fatalf("search response %+v", sr)
+	}
+	for i := 1; i < len(sr.Results); i++ {
+		if sr.Results[i].Score > sr.Results[i-1].Score {
+			t.Fatalf("ranking out of order: %+v", sr.Results)
+		}
+	}
+
+	// Index name may be omitted when a single index is served.
+	if w = postJSON(t, h, "/search", `{"query":"champion","n":5}`); w.Code != http.StatusOK {
+		t.Fatalf("nameless /search = %d: %s", w.Code, w.Body)
+	}
+
+	w = get(t, h, "/stats")
+	if w.Code != http.StatusOK {
+		t.Fatalf("/stats = %d", w.Code)
+	}
+	var st StatsResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests.Search != 2 || st.Requests.Add != 1 {
+		t.Fatalf("request counters = %+v", st.Requests)
+	}
+	ix, ok := st.Indexes["articles"]
+	if !ok || ix.Docs != 4 || ix.Nodes != 2 {
+		t.Fatalf("index stats = %+v", st.Indexes)
+	}
+}
+
+// TestCoordinatorQueryCacheStats: the engine's cache counters surface
+// in /stats, moving as cached local nodes serve repeated queries.
+func TestCoordinatorQueryCacheStats(t *testing.T) {
+	qc := core.NewQueryCache(32)
+	ix := ir.NewIndex()
+	ln := dist.NewLocalNode(ix)
+	ln.SetResolver(qc.Resolve)
+	cluster := dist.NewClusterOf([]dist.Node{ln}, nil)
+	cluster.Add(1, "u", "melbourne champion trophy")
+	co := NewCoordinator(map[string]*dist.Cluster{"a": cluster}, &CoordinatorConfig{Cache: qc})
+	h := co.Handler()
+	for i := 0; i < 3; i++ {
+		if w := postJSON(t, h, "/search", `{"query":"champion","n":5}`); w.Code != http.StatusOK {
+			t.Fatalf("/search = %d: %s", w.Code, w.Body)
+		}
+	}
+	var st StatsResponse
+	if err := json.Unmarshal(get(t, h, "/stats").Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.QueryCache == nil {
+		t.Fatal("query_cache missing from /stats")
+	}
+	if st.QueryCache.Misses == 0 || st.QueryCache.Hits == 0 {
+		t.Fatalf("cache counters = %+v, want hits and misses > 0", st.QueryCache)
+	}
+}
+
+// TestCoordinatorOverRemoteNodes: the full network stack — coordinator
+// → RemoteNode → node server — returns the single-index ranking.
+func TestCoordinatorOverRemoteNodes(t *testing.T) {
+	var nodes []dist.Node
+	for i := 0; i < 3; i++ {
+		srv := httptest.NewServer(NewNodeHandler(ir.NewIndex(), nil))
+		t.Cleanup(srv.Close)
+		nodes = append(nodes, dist.NewRemoteNode(srv.URL, srv.Client()))
+	}
+	cluster := dist.NewClusterOf(nodes, &dist.Options{NodeTimeout: 5 * time.Second})
+	co := NewCoordinator(map[string]*dist.Cluster{"a": cluster}, nil)
+	h := co.Handler()
+
+	single := ir.NewIndex()
+	texts := []string{"melbourne champion", "champion winner serve", "volley smash", "trophy champion rally"}
+	for i, text := range texts {
+		single.Add(bat.OID(i+1), "u", text)
+		w := postJSON(t, h, "/add", fmt.Sprintf(`{"text":%q,"url":"u"}`, text))
+		if w.Code != http.StatusOK {
+			t.Fatalf("/add = %d: %s", w.Code, w.Body)
+		}
+	}
+	w := postJSON(t, h, "/search", `{"query":"champion","n":10}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/search = %d: %s", w.Code, w.Body)
+	}
+	var sr SearchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &sr); err != nil {
+		t.Fatal(err)
+	}
+	want := single.TopN("champion", 10)
+	if len(sr.Results) != len(want) {
+		t.Fatalf("%d results, want %d", len(sr.Results), len(want))
+	}
+	for i, r := range want {
+		if sr.Results[i].Doc != uint64(r.Doc) || sr.Results[i].Score != r.Score {
+			t.Fatalf("rank %d = %+v, want %+v", i, sr.Results[i], r)
+		}
+	}
+}
+
+// TestCoordinatorRestartContinuesOIDs: a new coordinator in front of
+// a cluster that already holds documents continues the oid sequence
+// instead of reusing oid 1 and silently merging documents.
+func TestCoordinatorRestartContinuesOIDs(t *testing.T) {
+	cluster := dist.NewCluster(2, nil)
+	first := NewCoordinator(map[string]*dist.Cluster{"a": cluster}, nil)
+	h := first.Handler()
+	for i := 0; i < 3; i++ {
+		if w := postJSON(t, h, "/add", `{"text":"melbourne champion"}`); w.Code != http.StatusOK {
+			t.Fatalf("/add = %d: %s", w.Code, w.Body)
+		}
+	}
+	// A sparse explicit oid leaves a gap in the sequence.
+	if w := postJSON(t, h, "/add", `{"doc":10,"text":"serve rally"}`); w.Code != http.StatusOK {
+		t.Fatalf("explicit /add = %d: %s", w.Code, w.Body)
+	}
+	// "Restart": a fresh coordinator over the same still-loaded
+	// cluster must continue after the highest live oid, not the count.
+	restarted := NewCoordinator(map[string]*dist.Cluster{"a": cluster}, nil)
+	w := postJSON(t, restarted.Handler(), "/add", `{"text":"trophy winner"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("post-restart /add = %d: %s", w.Code, w.Body)
+	}
+	var added AddDocResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &added); err != nil || added.Doc != 11 {
+		t.Fatalf("post-restart add = %s (want doc 11): %v", w.Body, err)
+	}
+	if got := cluster.DocCount(); got != 5 {
+		t.Fatalf("doc count = %d, want 5 distinct documents", got)
+	}
+}
+
+// TestCoordinatorConcurrentAddSearch: the serving layer may index and
+// query local nodes at the same time (the race detector guards the
+// LocalNode locking here).
+func TestCoordinatorConcurrentAddSearch(t *testing.T) {
+	cluster := dist.NewCluster(2, nil)
+	co := NewCoordinator(map[string]*dist.Cluster{"a": cluster}, nil)
+	h := co.Handler()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if g%2 == 0 {
+					w := postJSON(t, h, "/add", `{"text":"melbourne champion trophy"}`)
+					if w.Code != http.StatusOK {
+						t.Errorf("/add = %d: %s", w.Code, w.Body)
+						return
+					}
+				} else {
+					w := postJSON(t, h, "/search", `{"query":"champion","n":5}`)
+					if w.Code != http.StatusOK {
+						t.Errorf("/search = %d: %s", w.Code, w.Body)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestConcurrencyLimit: requests beyond the bound are shed with 503
+// instead of queueing.
+func TestConcurrencyLimit(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	h := limitConcurrency(1, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+		w.WriteHeader(http.StatusOK)
+	}))
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/", nil))
+	}()
+	<-entered // first request holds the only slot
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/", nil))
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("second request = %d, want 503", w.Code)
+	}
+	close(release)
+	wg.Wait()
+}
+
+// TestRunGracefulShutdown: Run serves until the context is cancelled,
+// then drains and returns nil.
+func TestRunGracefulShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- Run(ctx, "127.0.0.1:0", http.NewServeMux(), time.Second)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not shut down")
+	}
+}
