@@ -161,7 +161,7 @@ func BenchmarkE10FragmentedTopN(b *testing.B) {
 		res, quality := ix.TopNFragments(query, 10, frags)
 		b.Run(fmt.Sprintf("cutoff=%d-of-8", frags), func(b *testing.B) {
 			b.ReportAllocs()
-			b.ReportMetric(quality, "quality")
+			b.ReportMetric(quality.Value(), "quality")
 			b.ReportMetric(float64(len(res)), "results")
 			for i := 0; i < b.N; i++ {
 				ix.TopNFragments(query, 10, frags)
@@ -350,4 +350,95 @@ func BenchmarkE17APrioriRestriction(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- E18: fragment-budgeted distributed search ---
+
+// BenchmarkE18FragmentBudgetRemote sweeps the fragment budget over a
+// cluster of HTTP node servers: the a-priori cut-off of E10 pushed
+// below the per-node RES sets of E11. budget=8-of-8 is the exact
+// search (byte-identical to /search without a plan); smaller budgets
+// trade reported quality for latency — the quality metric is the
+// cluster-wide estimate the coordinator returns.
+func BenchmarkE18FragmentBudgetRemote(b *testing.B) {
+	docs := textCorpus(2000, 4)
+	ctx := context.Background()
+	const k = 4
+	nodes := make([]dist.Node, k)
+	for i := range nodes {
+		srv := httptest.NewServer(server.NewNodeHandler(ir.NewIndex(), nil))
+		b.Cleanup(srv.Close)
+		nodes[i] = dist.NewRemoteNode(srv.URL, srv.Client())
+	}
+	c := dist.NewClusterOf(nodes, nil)
+	for i, d := range docs {
+		if err := c.AddContext(ctx, bat.OID(i+1), "u", d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	const query = "seles champion volley match"
+	for _, budget := range []int{1, 2, 4, 8} {
+		plan := ir.EvalPlan{N: 10, Frags: 8, Budget: budget}
+		sr, err := c.SearchPlan(ctx, query, plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		quality := sr.Quality.Value()
+		b.Run(fmt.Sprintf("budget=%d-of-8", budget), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ReportMetric(quality, "quality")
+			for i := 0; i < b.N; i++ {
+				sr, err := c.SearchPlan(ctx, query, plan)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(sr.Results) == 0 || !sr.Complete() {
+					b.Fatalf("results=%d dropped=%v", len(sr.Results), sr.Dropped)
+				}
+			}
+		})
+	}
+}
+
+// --- E19: compressed postings in the scoring hot path ---
+
+// BenchmarkE19CompressedScoring quantifies the memory-budget
+// trade-off: the same top-N over plain posting columns vs an index
+// whose cold (low-idf) lists are held delta+varint compressed and
+// walked in place. The plain_kb/packed_kb metrics record the
+// space side of the trade ("compressed postings in the hot path",
+// ROADMAP E-ablation).
+func BenchmarkE19CompressedScoring(b *testing.B) {
+	docs := textCorpus(5000, 6)
+	build := func(budgetDiv int) *ir.Index {
+		ix := ir.NewIndex()
+		for i, d := range docs {
+			ix.Add(bat.OID(i+1), "u", d)
+		}
+		ix.Freeze()
+		if budgetDiv > 0 {
+			plain, _, _ := ix.MemoryFootprint()
+			ix.SetMemoryBudget(plain / budgetDiv)
+		}
+		return ix
+	}
+	const query = "seles champion volley match"
+	for _, cfg := range []struct {
+		name      string
+		budgetDiv int
+	}{{"plain", 0}, {"budget=1/4", 4}, {"budget=1/16", 16}} {
+		ix := build(cfg.budgetDiv)
+		plain, packed, cold := ix.MemoryFootprint()
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ReportMetric(float64(plain)/1024, "plain_kb")
+			b.ReportMetric(float64(packed)/1024, "packed_kb")
+			b.ReportMetric(float64(cold), "cold_terms")
+			for i := 0; i < b.N; i++ {
+				if got := ix.TopN(query, 10); len(got) != 10 {
+					b.Fatalf("got %d", len(got))
+				}
+			}
+		})
+	}
 }

@@ -1,0 +1,164 @@
+// Command benchcompare guards the perf trajectory in CI: it parses
+// `go test -bench -benchmem` output from stdin, looks every benchmark
+// up in BENCH_baseline.json, and fails loudly (non-zero exit plus a
+// GitHub ::error:: annotation) when allocations regress beyond the
+// tolerance. Wall-clock is deliberately NOT gated — CI machines are
+// too noisy — but is printed for the log; allocs/op is deterministic
+// and is the contract.
+//
+//	go test -run '^$' -bench E1 -benchtime=2x -benchmem . |
+//	    go run ./cmd/benchcompare -baseline BENCH_baseline.json \
+//	        -sections pr3_fragplan,current -tolerance 0.25
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// baselineEntry is one benchmark's recorded numbers; extra metric keys
+// (quality, plain_kb, ...) are ignored.
+type baselineEntry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"B_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// measurement is one parsed benchmark result line.
+type measurement struct {
+	name   string
+	ns     float64
+	bytes  float64
+	allocs float64
+}
+
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench extracts measurements from `go test -bench` output.
+func parseBench(r *bufio.Scanner) []measurement {
+	var out []measurement
+	for r.Scan() {
+		line := strings.TrimSpace(r.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		m := measurement{name: fields[0], allocs: -1, bytes: -1}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.ns = v
+			case "B/op":
+				m.bytes = v
+			case "allocs/op":
+				m.allocs = v
+			}
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline JSON file")
+	sections := flag.String("sections", "pr3_fragplan,current", "baseline sections to look benchmarks up in, in priority order")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional allocs/op increase over baseline")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(2)
+	}
+	var file map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &file); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare: parse baseline:", err)
+		os.Exit(2)
+	}
+	// A gate that silently compares nothing is worse than no gate:
+	// every named section must exist in the baseline, and at least one
+	// benchmark must actually be compared, or we fail the run.
+	secEntries := map[string]map[string]baselineEntry{}
+	var secOrder []string
+	for _, sec := range strings.Split(*sections, ",") {
+		sec = strings.TrimSpace(sec)
+		raw, ok := file[sec]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchcompare: section %q not in %s\n", sec, *baselinePath)
+			os.Exit(2)
+		}
+		var entries map[string]baselineEntry
+		if err := json.Unmarshal(raw, &entries); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcompare: section %q: %v\n", sec, err)
+			os.Exit(2)
+		}
+		secEntries[sec] = entries
+		secOrder = append(secOrder, sec)
+	}
+	// Benchmark names carry a -GOMAXPROCS suffix on multi-core hosts
+	// but none on single-core ones, and sub-benchmark names may
+	// themselves end in digits ("cutoff=1-of-8") — so try the exact
+	// name first and the suffix-stripped one second.
+	lookup := func(name string) (baselineEntry, string, bool) {
+		for _, cand := range []string{name, procSuffix.ReplaceAllString(name, "")} {
+			for _, sec := range secOrder {
+				if e, ok := secEntries[sec][cand]; ok {
+					return e, sec, true
+				}
+			}
+		}
+		return baselineEntry{}, "", false
+	}
+
+	ms := parseBench(bufio.NewScanner(os.Stdin))
+	if len(ms) == 0 {
+		fmt.Fprintln(os.Stderr, "benchcompare: no benchmark lines on stdin")
+		os.Exit(2)
+	}
+	regressions, compared := 0, 0
+	for _, m := range ms {
+		base, sec, ok := lookup(m.name)
+		if !ok {
+			fmt.Printf("SKIP %-55s not in baseline (record it in %s)\n", m.name, *baselinePath)
+			continue
+		}
+		if m.allocs < 0 || base.AllocsPerOp <= 0 {
+			fmt.Printf("SKIP %-55s no allocs/op to compare\n", m.name)
+			continue
+		}
+		compared++
+		limit := base.AllocsPerOp * (1 + *tolerance)
+		status := "ok  "
+		if m.allocs > limit {
+			status = "FAIL"
+			regressions++
+			fmt.Printf("::error title=alloc regression::%s: %.0f allocs/op vs baseline %.0f (%s, limit %.0f)\n",
+				m.name, m.allocs, base.AllocsPerOp, sec, limit)
+		}
+		fmt.Printf("%s %-55s allocs %6.0f / base %6.0f (%s)  ns %10.0f / base %10.0f\n",
+			status, m.name, m.allocs, base.AllocsPerOp, sec, m.ns, base.NsPerOp)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchcompare: %d alloc regression(s) beyond %.0f%% tolerance\n",
+			regressions, *tolerance*100)
+		os.Exit(1)
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchcompare: zero benchmarks compared — baseline and bench run are disjoint; gate would be meaningless")
+		os.Exit(2)
+	}
+	fmt.Printf("benchcompare: no alloc regressions (%d compared)\n", compared)
+}

@@ -55,6 +55,10 @@ func main() {
 	nodeTimeout := fs.Duration("node-timeout", 2*time.Second, "per-node call deadline, 0 disables (coordinator)")
 	searchTimeout := fs.Duration("search-timeout", 5*time.Second, "end-to-end /search deadline, 0 disables (coordinator)")
 	maxConc := fs.Int("max-concurrent", server.DefaultMaxConcurrent, "bound on in-flight requests")
+	frags := fs.Int("frags", 0, "per-node idf fragmentation granularity for budgeted /search, 0 selects the default (coordinator)")
+	fragBudget := fs.Int("frag-budget", 0, "default /search fragment budget: leading fragments evaluated per node, 0 = exact (coordinator)")
+	minQuality := fs.Float64("min-quality", 0, "default /search quality floor in (0,1], 0 disables (coordinator)")
+	memBudget := fs.Int("mem-budget", 0, "posting-store memory budget in bytes, cold lists held compressed, 0 disables (node)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -72,7 +76,7 @@ func main() {
 		if *lambda != 0 {
 			ix.SetLambda(*lambda)
 		}
-		cfg := &server.NodeConfig{MaxConcurrent: *maxConc}
+		cfg := &server.NodeConfig{MaxConcurrent: *maxConc, MemoryBudget: *memBudget}
 		if *cache > 0 {
 			cfg.Cache = core.NewQueryCache(*cache)
 		}
@@ -90,6 +94,9 @@ func main() {
 			MaxConcurrent: *maxConc,
 			SearchTimeout: *searchTimeout,
 			Cache:         qc,
+			Frags:         *frags,
+			FragBudget:    *fragBudget,
+			MinQuality:    *minQuality,
 		})
 		handler = co.Handler()
 	default:
@@ -141,6 +148,7 @@ func buildCluster(nodeURLs string, local int, lambda float64, nodeTimeout time.D
 		ln := dist.NewLocalNode(ix)
 		if qc != nil {
 			ln.SetResolver(qc.Resolve)
+			ln.SetRankingCache(qc)
 		}
 		members[i] = ln
 	}

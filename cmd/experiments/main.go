@@ -196,12 +196,12 @@ func e10() {
 		const iters = 50
 		start := time.Now()
 		var res []ir.Result
-		var q float64
+		var q ir.QualityEstimate
 		for i := 0; i < iters; i++ {
 			res, q = ix.TopNFragments(query, 10, frags)
 		}
 		el := time.Since(start) / iters
-		fmt.Printf("  %d-of-8  %.3f    %-10s  %d/10\n", frags, q, el, overlap(res, exact))
+		fmt.Printf("  %d-of-8  %.3f    %-10s  %d/10\n", frags, q.Value(), el, overlap(res, exact))
 	}
 	fmt.Println("  paper: ignoring expensive low-idf fragments trades bounded quality for speed")
 }

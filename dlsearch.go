@@ -116,6 +116,13 @@ type (
 	XMLNode = monetxml.Node
 	// FullTextIndex is the tf·idf index (T/D/DT/TF/IDF relations).
 	FullTextIndex = ir.Index
+	// EvalPlan is a fragment-budgeted, quality-bounded evaluation
+	// strategy: how many leading idf-descending fragments each node
+	// evaluates, and the quality floor that re-admits trailing ones.
+	EvalPlan = ir.EvalPlan
+	// QualityEstimate is the structured quality accounting a budgeted
+	// evaluation reports (covered/total idf mass, fragments used).
+	QualityEstimate = ir.QualityEstimate
 	// Cluster is a shared-nothing cluster of IR nodes.
 	Cluster = dist.Cluster
 	// ClusterOptions configures partitioning, ranking and per-node

@@ -173,6 +173,24 @@ func (e *Engine) QueryWithStats(src string, disableRestriction bool) (*query.Res
 	return res, ex.Stats, err
 }
 
+// QueryBudgeted evaluates an integrated query under a fragment-
+// budgeted evaluation plan: unrestricted contains predicates touch
+// only the plan's leading idf-descending fragments and the achieved
+// quality estimate is returned alongside the result. Predicates under
+// an a-priori conceptual restriction are evaluated exactly (the
+// executor falls back), so the estimate only accounts for the
+// predicates the budget actually cut.
+func (e *Engine) QueryBudgeted(src string, plan ir.EvalPlan) (*query.Result, ir.QualityEstimate, error) {
+	q, err := query.Parse(src)
+	if err != nil {
+		return nil, ir.QualityEstimate{}, err
+	}
+	ex := query.NewExecutor(e.DB)
+	ex.Plan = &plan
+	res, err := ex.Run(q)
+	return res, ex.Quality, err
+}
+
 // MaintenanceReport summarises a detector upgrade cycle.
 type MaintenanceReport struct {
 	Upgrade  fds.UpgradeReport

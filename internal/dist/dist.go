@@ -25,6 +25,13 @@
 // handling (Search) keep one slow or dead node from stalling the
 // whole query: the merge proceeds over the responsive nodes and the
 // dropped ones are reported.
+//
+// SearchPlan combines the paper's two scaling axes: the query ships
+// with an ir.EvalPlan, each shared-nothing node fragments its own
+// partition on descending idf and evaluates only the budgeted prefix
+// (the a-priori cut-off of [BHC+01], pushed below the per-node RES
+// sets), and the merge additionally folds the nodes' quality
+// estimates into a cluster-wide ir.QualityEstimate.
 package dist
 
 import (
@@ -147,8 +154,19 @@ func (c *Cluster) InvalidateStats() {
 
 // nodeCtx derives the per-node deadline context.
 func (c *Cluster) nodeCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	return c.nodeCtxN(ctx, 1)
+}
+
+// nodeCtxN derives a per-node deadline scaled by the amount of work
+// shipped in the call: NodeTimeout is sized for one operation, so a
+// batch of n documents gets n times the budget (the caller's own ctx
+// still bounds everything).
+func (c *Cluster) nodeCtxN(ctx context.Context, n int) (context.Context, context.CancelFunc) {
 	if c.timeout > 0 {
-		return context.WithTimeout(ctx, c.timeout)
+		if n < 1 {
+			n = 1
+		}
+		return context.WithTimeout(ctx, time.Duration(n)*c.timeout)
 	}
 	return context.WithCancel(ctx)
 }
@@ -168,6 +186,53 @@ func (c *Cluster) AddContext(ctx context.Context, doc bat.OID, url, text string)
 // whose nodes cannot fail.
 func (c *Cluster) Add(doc bat.OID, url, text string) {
 	_ = c.AddContext(context.Background(), doc, url, text)
+}
+
+// AddBatchContext routes a batch of documents to their nodes with one
+// round-trip per touched partition: documents are grouped by the
+// deterministic partitioning, and each group ships through the node's
+// BatchAdder capability (one request) or, for nodes without it, a
+// per-document Add loop. Groups load in parallel; the joined errors
+// are returned after every group settled, so a partial failure never
+// leaves goroutines writing behind the caller's back.
+//
+// Partition groups commit independently: on error, the documents of
+// the groups that succeeded ARE indexed. Retrying the whole batch
+// would fold their term frequencies in twice — retry only the failed
+// partitions' documents (the error names the failing nodes), or use
+// fresh oids. Per-document outcome reporting is a ROADMAP follow-up.
+func (c *Cluster) AddBatchContext(ctx context.Context, docs []Doc) error {
+	if len(docs) == 0 {
+		return nil
+	}
+	defer c.InvalidateStats()
+	groups := make(map[int][]Doc)
+	for _, d := range docs {
+		i := c.partition(d.OID, len(c.nodes))
+		groups[i] = append(groups[i], d)
+	}
+	errs := make([]error, len(c.nodes))
+	var wg sync.WaitGroup
+	for i, part := range groups {
+		wg.Add(1)
+		go func(i int, part []Doc) {
+			defer wg.Done()
+			nctx, cancel := c.nodeCtxN(ctx, len(part))
+			defer cancel()
+			if ba, ok := c.nodes[i].(BatchAdder); ok {
+				errs[i] = ba.AddBatch(nctx, part)
+				return
+			}
+			for _, d := range part {
+				if err := c.nodes[i].Add(nctx, d.OID, d.URL, d.Text); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i, part)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
 }
 
 // DocCount returns the number of documents over all nodes (0 counted
@@ -339,6 +404,11 @@ func (c *Cluster) GlobalStats() ir.Stats {
 // single-index ranking.
 type SearchResult struct {
 	Results []ir.Result
+	// Quality is the cluster-wide quality estimate of a budgeted
+	// search: the responsive nodes' per-fragment idf-mass accounting
+	// merged by MergeQuality. Exact searches report the trivially
+	// exact estimate (Value() == 1).
+	Quality ir.QualityEstimate
 	Dropped []int         // indices of dropped nodes, ascending
 	Errs    map[int]error // reason per dropped node
 	// StaleStats is set when re-aggregating global statistics failed
@@ -366,8 +436,21 @@ func (r *SearchResult) Complete() bool { return len(r.Dropped) == 0 && !r.StaleS
 // ranking instead of turning every search into an outage; only a
 // cluster that never aggregated stats at all fails outright.
 func (c *Cluster) Search(ctx context.Context, query string, n int) (*SearchResult, error) {
+	return c.SearchPlan(ctx, query, ir.EvalPlan{N: n})
+}
+
+// SearchPlan is Search under an evaluation plan: the plan ships with
+// the query to every node, each node fragments its own partition on
+// descending idf and evaluates only the budgeted prefix, and the
+// coordinator merges the RES sets plus a cluster-wide quality
+// estimate. The a-priori cut-off thus executes *below* the per-node
+// RES sets — each node skips its own trailing fragments — rather than
+// centrally after full evaluation. An exact plan (zero Budget) is
+// exactly Search: the merged ranking is identical to a single index
+// over the whole collection.
+func (c *Cluster) SearchPlan(ctx context.Context, query string, plan ir.EvalPlan) (*SearchResult, error) {
 	sr := &SearchResult{}
-	if n <= 0 {
+	if plan.N <= 0 {
 		return sr, nil // degenerate: empty ranking, no fan-out
 	}
 	global, err := c.GlobalStatsContext(ctx)
@@ -381,6 +464,7 @@ func (c *Cluster) Search(ctx context.Context, query string, n int) (*SearchResul
 	type nodeRes struct {
 		i   int
 		res []ir.Result
+		est ir.QualityEstimate
 		err error
 	}
 	ch := make(chan nodeRes, len(c.nodes))
@@ -388,11 +472,17 @@ func (c *Cluster) Search(ctx context.Context, query string, n int) (*SearchResul
 		go func(i int, node Node) {
 			nctx, cancel := c.nodeCtx(ctx)
 			defer cancel()
-			res, err := node.TopNWithStats(nctx, query, n, global)
-			ch <- nodeRes{i, res, err}
+			res, est, err := node.SearchPlan(nctx, query, plan, global)
+			ch <- nodeRes{i, res, est, err}
 		}(i, node)
 	}
 	rankings := make([][]ir.Result, len(c.nodes))
+	// Estimates are kept in node order: merging sums floating-point
+	// masses, and summation in nondeterministic arrival order would
+	// make the reported cluster quality differ between identical
+	// queries in the last bit. A failed node's zero estimate is a
+	// no-op in the merge.
+	ests := make([]ir.QualityEstimate, len(c.nodes))
 	answered := make([]bool, len(c.nodes))
 	pending := len(c.nodes)
 collect:
@@ -405,6 +495,7 @@ collect:
 				sr.fail(r.i, r.err)
 			} else {
 				rankings[r.i] = r.res
+				ests[r.i] = r.est
 			}
 		case <-ctx.Done():
 			// Overall deadline: whatever has not answered yet is a
@@ -419,7 +510,8 @@ collect:
 		}
 	}
 	sort.Ints(sr.Dropped)
-	sr.Results = ir.Merge(n, rankings...)
+	sr.Results = ir.Merge(plan.N, rankings...)
+	sr.Quality = ir.MergeQuality(ests...)
 	return sr, nil
 }
 

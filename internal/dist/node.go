@@ -27,6 +27,13 @@ type Node interface {
 	// using the supplied global statistics and returns at most n
 	// results — the RES(doc-oid, score) set of the paper.
 	TopNWithStats(ctx context.Context, query string, n int, global ir.Stats) ([]ir.Result, error)
+	// SearchPlan evaluates the query under a fragment-budgeted plan:
+	// the node fragments its own partition on descending idf, evaluates
+	// only the plan's budgeted prefix, and reports the RES set plus the
+	// quality it achieved. An exact plan behaves like TopNWithStats.
+	// This pushes the a-priori cut-off of [BHC+01] below the per-node
+	// RES sets — the fragment-aware combination of both scaling axes.
+	SearchPlan(ctx context.Context, query string, plan ir.EvalPlan, global ir.Stats) ([]ir.Result, ir.QualityEstimate, error)
 	// Load returns the node's document load.
 	Load(ctx context.Context) (NodeLoad, error)
 }
@@ -37,6 +44,33 @@ type Node interface {
 type NodeLoad struct {
 	Docs   int
 	MaxDoc bat.OID
+}
+
+// Doc is one document of a batch add.
+type Doc struct {
+	OID  bat.OID
+	URL  string
+	Text string
+}
+
+// BatchAdder is an optional Node capability: indexing a whole partition
+// batch in one round-trip. Cluster.AddBatchContext uses it when a node
+// implements it and falls back to per-document Add otherwise, so the
+// capability stays optional for third-party nodes.
+type BatchAdder interface {
+	AddBatch(ctx context.Context, docs []Doc) error
+}
+
+// RankingCache is the serving layer's RES-set cache boundary: rankings
+// keyed by (index, query), reusable for any n the cached ranking
+// covers. core.QueryCache implements it; the interface lives here so
+// dist does not depend on the cache's owner.
+type RankingCache interface {
+	// Ranking returns a cached RES set valid for a top-n query scored
+	// with the given global statistics, or false.
+	Ranking(ix *ir.Index, query string, n int, global ir.Stats) ([]ir.Result, bool)
+	// StoreRanking caches a freshly computed RES set.
+	StoreRanking(ix *ir.Index, query string, n int, global ir.Stats, res []ir.Result)
 }
 
 // LocalNode adapts an in-process ir.Index to the Node interface. Its
@@ -51,6 +85,7 @@ type LocalNode struct {
 	mu      sync.RWMutex
 	ix      *ir.Index
 	resolve func(*ir.Index, string) ([]string, []bat.OID)
+	rank    RankingCache
 }
 
 // NewLocalNode wraps an index as a cluster node.
@@ -66,10 +101,26 @@ func (n *LocalNode) Index() *ir.Index { return n.ix }
 // Set it before the node starts serving queries.
 func (n *LocalNode) SetResolver(f func(*ir.Index, string) ([]string, []bat.OID)) { n.resolve = f }
 
+// SetRankingCache injects a RES-set cache (core.QueryCache implements
+// RankingCache) so repeated exact queries skip scoring entirely. Set
+// it before the node starts serving queries.
+func (n *LocalNode) SetRankingCache(rc RankingCache) { n.rank = rc }
+
 // Add implements Node.
 func (n *LocalNode) Add(_ context.Context, doc bat.OID, url, text string) error {
 	n.mu.Lock()
 	n.ix.Add(doc, url, text)
+	n.mu.Unlock()
+	return nil
+}
+
+// AddBatch implements BatchAdder: the whole batch lands under one
+// write-lock acquisition.
+func (n *LocalNode) AddBatch(_ context.Context, docs []Doc) error {
+	n.mu.Lock()
+	for _, d := range docs {
+		n.ix.Add(d.OID, d.URL, d.Text)
+	}
 	n.mu.Unlock()
 	return nil
 }
@@ -85,15 +136,68 @@ func (n *LocalNode) Stats(context.Context) (ir.Stats, error) {
 
 // TopNWithStats implements Node. With a resolver injected the query
 // resolves through it (cached) and scores via the pre-resolved-terms
-// path; either way the result is identical.
+// path; either way the result is identical. A ranking cache, when
+// injected, short-circuits repeated exact queries — top-N-aware, so a
+// cached top-50 answers any n ≤ 50.
 func (n *LocalNode) TopNWithStats(_ context.Context, query string, topn int, global ir.Stats) ([]ir.Result, error) {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
+	clean := !n.ix.Dirty()
+	if n.rank != nil && clean {
+		if res, ok := n.rank.Ranking(n.ix, query, topn, global); ok {
+			return res, nil
+		}
+	}
+	var res []ir.Result
+	if n.resolve != nil && clean {
+		stems, oids := n.resolve(n.ix, query)
+		res = n.ix.TopNWithStatsTerms(stems, oids, topn, global)
+	} else {
+		res = n.ix.TopNWithStats(query, topn, global)
+	}
+	if n.rank != nil && clean {
+		n.rank.StoreRanking(n.ix, query, topn, global, res)
+	}
+	return res, nil
+}
+
+// SearchPlan implements Node. An exact plan takes the TopNWithStats
+// path (ranking cache included). A budgeted plan normally evaluates
+// read-only under the read lock; when the index is not ready for the
+// plan (pending adds, or a different fragmentation granularity) the
+// freeze/re-fragment AND the evaluation run under one write-lock
+// acquisition, so the budget is always interpreted against the
+// granularity this very plan asked for — never against a concurrent
+// plan's. Re-fragmentation is O(vocabulary log vocabulary): the
+// granularity is meant to be a deployment constant (the coordinator's
+// -frags default), not a per-request variable.
+func (n *LocalNode) SearchPlan(ctx context.Context, query string, plan ir.EvalPlan, global ir.Stats) ([]ir.Result, ir.QualityEstimate, error) {
+	if plan.Exact() {
+		res, err := n.TopNWithStats(ctx, query, plan.N, global)
+		return res, ir.QualityEstimate{}, err
+	}
+	n.mu.RLock()
+	if n.ix.PlanReady(plan) {
+		defer n.mu.RUnlock()
+		res, est := n.planWithStats(query, plan, global)
+		return res, est, nil
+	}
+	n.mu.RUnlock()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.ix.Freeze()
+	n.ix.EnsureFragments(plan)
+	res, est := n.planWithStats(query, plan, global)
+	return res, est, nil
+}
+
+// planWithStats evaluates a budgeted plan; the caller holds the lock.
+func (n *LocalNode) planWithStats(query string, plan ir.EvalPlan, global ir.Stats) ([]ir.Result, ir.QualityEstimate) {
 	if n.resolve != nil && !n.ix.Dirty() {
 		stems, oids := n.resolve(n.ix, query)
-		return n.ix.TopNWithStatsTerms(stems, oids, topn, global), nil
+		return n.ix.TopNPlanWithStatsTerms(stems, oids, plan, global)
 	}
-	return n.ix.TopNWithStats(query, topn, global), nil
+	return n.ix.TopNPlanWithStats(query, plan, global)
 }
 
 // Load implements Node.

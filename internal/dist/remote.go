@@ -20,18 +20,27 @@ import (
 // in shortest round-trip form — a remote ranking is byte-identical to
 // the local one.
 const (
-	PathNodeAdd   = "/node/add"
-	PathNodeStats = "/node/stats"
-	PathNodeTopN  = "/node/topn"
-	PathNodeLoad  = "/node/load"
-	PathHealthz   = "/healthz"
+	PathNodeAdd      = "/node/add"
+	PathNodeAddBatch = "/node/add/batch"
+	PathNodeStats    = "/node/stats"
+	PathNodeTopN     = "/node/topn"
+	PathNodeSearch   = "/node/search"
+	PathNodeLoad     = "/node/load"
+	PathHealthz      = "/healthz"
 )
 
-// AddRequest is the body of POST /node/add.
+// AddRequest is the body of POST /node/add, and one element of a
+// batch add.
 type AddRequest struct {
 	Doc  uint64 `json:"doc"`
 	URL  string `json:"url"`
 	Text string `json:"text"`
+}
+
+// AddBatchRequest is the body of POST /node/add/batch: one partition's
+// documents in a single round-trip.
+type AddBatchRequest struct {
+	Docs []AddRequest `json:"docs"`
 }
 
 // StatsJSON is the wire form of ir.Stats (GET /node/stats, and the
@@ -72,6 +81,72 @@ type ResultJSON struct {
 // TopNResponse is the body answering POST /node/topn.
 type TopNResponse struct {
 	Results []ResultJSON `json:"results"`
+}
+
+// PlanJSON is the wire form of ir.EvalPlan: the evaluation strategy a
+// coordinator ships so every node budgets its own idf-descending
+// fragments identically.
+type PlanJSON struct {
+	N          int     `json:"n"`
+	Frags      int     `json:"frags,omitempty"`
+	Budget     int     `json:"budget,omitempty"`
+	MinQuality float64 `json:"min_quality,omitempty"`
+}
+
+// PlanToJSON converts an evaluation plan to its wire form.
+func PlanToJSON(p ir.EvalPlan) PlanJSON {
+	return PlanJSON{N: p.N, Frags: p.Frags, Budget: p.Budget, MinQuality: p.MinQuality}
+}
+
+// PlanFromJSON converts a wire plan back.
+func PlanFromJSON(w PlanJSON) ir.EvalPlan {
+	return ir.EvalPlan{N: w.N, Frags: w.Frags, Budget: w.Budget, MinQuality: w.MinQuality}
+}
+
+// QualityJSON is the wire form of ir.QualityEstimate, plus the scalar
+// value so curl users need no arithmetic.
+type QualityJSON struct {
+	Value      float64 `json:"value"`
+	CoveredIDF float64 `json:"covered_idf"`
+	TotalIDF   float64 `json:"total_idf"`
+	FragsUsed  int     `json:"frags_used"`
+	FragsTotal int     `json:"frags_total"`
+}
+
+// QualityToJSON converts a quality estimate to its wire form.
+func QualityToJSON(q ir.QualityEstimate) QualityJSON {
+	return QualityJSON{
+		Value:      q.Value(),
+		CoveredIDF: q.CoveredIDF,
+		TotalIDF:   q.TotalIDF,
+		FragsUsed:  q.FragsUsed,
+		FragsTotal: q.FragsTotal,
+	}
+}
+
+// QualityFromJSON converts a wire quality estimate back.
+func QualityFromJSON(w QualityJSON) ir.QualityEstimate {
+	return ir.QualityEstimate{
+		CoveredIDF: w.CoveredIDF,
+		TotalIDF:   w.TotalIDF,
+		FragsUsed:  w.FragsUsed,
+		FragsTotal: w.FragsTotal,
+	}
+}
+
+// SearchPlanRequest is the body of POST /node/search: the query, the
+// plan and the global statistics it is to be scored with.
+type SearchPlanRequest struct {
+	Query string    `json:"query"`
+	Plan  PlanJSON  `json:"plan"`
+	Stats StatsJSON `json:"stats"`
+}
+
+// SearchPlanResponse answers POST /node/search with the RES set and
+// the quality the node achieved over its own fragments.
+type SearchPlanResponse struct {
+	Results []ResultJSON `json:"results"`
+	Quality QualityJSON  `json:"quality"`
 }
 
 // ResultsToJSON converts a ranking to its wire form.
@@ -171,6 +246,16 @@ func (rn *RemoteNode) Add(ctx context.Context, doc bat.OID, url, text string) er
 	return rn.do(ctx, PathNodeAdd, &AddRequest{Doc: uint64(doc), URL: url, Text: text}, nil)
 }
 
+// AddBatch implements BatchAdder: the node's partition of a batch in
+// one round-trip.
+func (rn *RemoteNode) AddBatch(ctx context.Context, docs []Doc) error {
+	req := &AddBatchRequest{Docs: make([]AddRequest, len(docs))}
+	for i, d := range docs {
+		req.Docs[i] = AddRequest{Doc: uint64(d.OID), URL: d.URL, Text: d.Text}
+	}
+	return rn.do(ctx, PathNodeAddBatch, req, nil)
+}
+
 // Stats implements Node.
 func (rn *RemoteNode) Stats(ctx context.Context) (ir.Stats, error) {
 	var w StatsJSON
@@ -188,6 +273,23 @@ func (rn *RemoteNode) TopNWithStats(ctx context.Context, query string, n int, gl
 		return nil, err
 	}
 	return ResultsFromJSON(resp.Results), nil
+}
+
+// SearchPlan implements Node. An exact plan takes the /node/topn
+// round-trip (identical to TopNWithStats, RES-cacheable server-side);
+// a budgeted plan ships the plan itself over /node/search so the
+// cut-off executes below the remote node's RES set.
+func (rn *RemoteNode) SearchPlan(ctx context.Context, query string, plan ir.EvalPlan, global ir.Stats) ([]ir.Result, ir.QualityEstimate, error) {
+	if plan.Exact() {
+		res, err := rn.TopNWithStats(ctx, query, plan.N, global)
+		return res, ir.QualityEstimate{}, err
+	}
+	var resp SearchPlanResponse
+	req := &SearchPlanRequest{Query: query, Plan: PlanToJSON(plan), Stats: StatsToJSON(global)}
+	if err := rn.do(ctx, PathNodeSearch, req, &resp); err != nil {
+		return nil, ir.QualityEstimate{}, err
+	}
+	return ResultsFromJSON(resp.Results), QualityFromJSON(resp.Quality), nil
 }
 
 // Load implements Node.

@@ -29,6 +29,11 @@ func (n *blockingNode) TopNWithStats(ctx context.Context, query string, topn int
 	return nil, ctx.Err()
 }
 
+func (n *blockingNode) SearchPlan(ctx context.Context, query string, plan ir.EvalPlan, global ir.Stats) ([]ir.Result, ir.QualityEstimate, error) {
+	<-ctx.Done()
+	return nil, ir.QualityEstimate{}, ctx.Err()
+}
+
 func (n *blockingNode) Load(ctx context.Context) (NodeLoad, error) { return n.inner.Load(ctx) }
 
 // failingNode errors immediately on queries.
@@ -46,6 +51,10 @@ func (n *failingNode) Stats(ctx context.Context) (ir.Stats, error) { return n.in
 
 func (n *failingNode) TopNWithStats(context.Context, string, int, ir.Stats) ([]ir.Result, error) {
 	return nil, errNodeDown
+}
+
+func (n *failingNode) SearchPlan(context.Context, string, ir.EvalPlan, ir.Stats) ([]ir.Result, ir.QualityEstimate, error) {
+	return nil, ir.QualityEstimate{}, errNodeDown
 }
 
 func (n *failingNode) Load(ctx context.Context) (NodeLoad, error) { return n.inner.Load(ctx) }

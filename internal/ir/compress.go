@@ -91,10 +91,15 @@ func (c CompressedPostings) Walk(f func(doc bat.OID, tf int) bool) error {
 }
 
 // PostingsOf materialises the posting list of a term oid as (doc, tf)
-// pairs in the access path's order.
+// pairs in the access path's order, decoding terms the memory budget
+// holds compressed.
 func (ix *Index) PostingsOf(id bat.OID) []Posting {
 	pl := ix.plists[id]
 	if pl == nil {
+		if cp, ok := ix.cold[id]; ok {
+			ps, _ := cp.Decode()
+			return ps
+		}
 		return nil
 	}
 	out := make([]Posting, len(pl.slots))
@@ -108,10 +113,13 @@ func (ix *Index) PostingsOf(id bat.OID) []Posting {
 // the compressed lists plus the plain and compressed sizes in bytes
 // (16 bytes per plain posting: oid + int).
 func CompressIndex(ix *Index) (map[bat.OID]CompressedPostings, int, int) {
-	out := make(map[bat.OID]CompressedPostings, len(ix.plists))
+	out := make(map[bat.OID]CompressedPostings, len(ix.termID))
 	plain, packed := 0, 0
-	for id := range ix.plists {
+	for _, id := range ix.termID {
 		ps := ix.PostingsOf(id)
+		if len(ps) == 0 {
+			continue
+		}
 		c := Compress(ps)
 		out[id] = c
 		plain += 16 * len(ps)

@@ -140,8 +140,8 @@ func TestFragmentsSurviveAdd(t *testing.T) {
 	}
 	// Full-fragment evaluation still equals the exact ranking.
 	res, q := ix.TopNFragments("winner melbourne quetzalcoatl", 10, len(frags))
-	if q != 1.0 {
-		t.Fatalf("full evaluation quality = %v", q)
+	if q.Value() != 1.0 {
+		t.Fatalf("full evaluation quality = %v", q.Value())
 	}
 	exact := ix.TopN("winner melbourne quetzalcoatl", 10)
 	if len(res) != len(exact) {

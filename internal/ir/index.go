@@ -96,6 +96,15 @@ type Index struct {
 
 	fragments []Fragment
 	fragOf    map[bat.OID]int // term -> fragment index
+	fragK     int             // granularity Fragmentize was last asked for
+
+	// Memory budget over the columnar posting lists: when positive,
+	// Freeze keeps the plain slot/tf columns within the budget by
+	// holding the coldest (lowest idf, largest) lists delta+varint
+	// compressed; the scorer walks them without materialising.
+	memBudget  int
+	cold       map[bat.OID]CompressedPostings
+	plainBytes int // resident bytes of the plain slot/tf columns
 
 	scorers sync.Pool // *scorer: reusable per-query buffers
 }
@@ -169,6 +178,11 @@ func (ix *Index) Add(doc bat.OID, url, text string) {
 		ix.DTd.AppendOID(pair, doc)
 		ix.DTt.AppendOID(pair, id)
 		ix.TF.AppendInt(pair, int64(tf))
+		if cp, ok := ix.cold[id]; ok {
+			// The term's postings are held compressed: re-inflate before
+			// appending; the next Freeze re-applies the memory budget.
+			ix.inflate(id, cp)
+		}
 		pl := ix.plists[id]
 		if pl == nil {
 			pl = &plist{sorted: true}
@@ -182,6 +196,7 @@ func (ix *Index) Add(doc bat.OID, url, text string) {
 			}
 			pl.slots = append(pl.slots, slot)
 			pl.tfs = append(pl.tfs, int32(tf))
+			ix.plainBytes += 8
 			ix.dirty[id] = struct{}{}
 			if ix.fragments != nil {
 				ix.placeFragTerm(id, 1)
@@ -191,6 +206,12 @@ func (ix *Index) Add(doc bat.OID, url, text string) {
 			// new occurrences into the existing posting so the access
 			// path agrees with the merged DT view (and with the naive
 			// plan) instead of splitting the tf over two postings.
+			// The fold changes scores (tf, and docLens above), so the
+			// term is dirtied like any other mutation — epoch-guarded
+			// caches must not keep serving the pre-fold ranking, and
+			// the next Freeze re-applies any memory budget to the
+			// re-inflated list.
+			ix.dirty[id] = struct{}{}
 			if pl.sorted {
 				i := sort.Search(len(pl.slots), func(i int) bool {
 					return ix.docIDs[pl.slots[i]] >= doc
@@ -266,6 +287,111 @@ func (ix *Index) Freeze() {
 		}
 	}
 	clear(ix.dirty)
+	ix.applyMemoryBudget()
+}
+
+// SetMemoryBudget bounds the resident size of the plain posting
+// columns to budget bytes (8 bytes per posting): the coldest terms —
+// lowest idf, i.e. the most frequent and largest lists — are held
+// delta+varint compressed and the scorer walks them in place, trading
+// scan speed for space exactly where the idf-descending design says
+// the expensive, insignificant terms live. Adds touching a compressed
+// term transparently re-inflate it; the next Freeze re-applies the
+// budget. A budget <= 0 (the default) keeps every list plain.
+func (ix *Index) SetMemoryBudget(budget int) {
+	ix.memBudget = budget
+	if ix.Dirty() {
+		ix.Freeze() // applies the budget as its last step
+		return
+	}
+	ix.applyMemoryBudget()
+}
+
+// MemoryFootprint reports the posting-store residency: plain bytes
+// (8 per uncompressed posting), compressed bytes, and how many terms
+// are held compressed.
+func (ix *Index) MemoryFootprint() (plain, compressed, coldTerms int) {
+	for _, cp := range ix.cold {
+		compressed += cp.Bytes()
+	}
+	return ix.plainBytes, compressed, len(ix.cold)
+}
+
+// applyMemoryBudget enforces the memory budget: with no budget every
+// compressed list is inflated back; otherwise the largest-df terms are
+// compressed until the plain columns fit.
+func (ix *Index) applyMemoryBudget() {
+	if ix.memBudget <= 0 {
+		for id, cp := range ix.cold {
+			ix.inflate(id, cp)
+		}
+		return
+	}
+	if ix.plainBytes <= ix.memBudget {
+		return
+	}
+	ids := make([]bat.OID, 0, len(ix.plists))
+	for id, pl := range ix.plists {
+		if len(pl.slots) > 0 && pl.sorted {
+			ids = append(ids, id)
+		}
+	}
+	// Coldest first: highest df (lowest idf); ties by oid for
+	// determinism.
+	sort.Slice(ids, func(i, j int) bool {
+		if ix.df[ids[i]] != ix.df[ids[j]] {
+			return ix.df[ids[i]] > ix.df[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	for _, id := range ids {
+		if ix.plainBytes <= ix.memBudget {
+			break
+		}
+		ix.compressTerm(id)
+	}
+}
+
+// compressTerm moves one term's postings from the plain columns into
+// the compressed store.
+func (ix *Index) compressTerm(id bat.OID) {
+	pl := ix.plists[id]
+	ps := make([]Posting, len(pl.slots))
+	for i, slot := range pl.slots {
+		ps[i] = Posting{Doc: ix.docIDs[slot], TF: int(pl.tfs[i])}
+	}
+	if ix.cold == nil {
+		ix.cold = make(map[bat.OID]CompressedPostings)
+	}
+	ix.cold[id] = Compress(ps)
+	delete(ix.plists, id)
+	ix.plainBytes -= 8 * len(ps)
+}
+
+// inflate materialises a compressed posting list back into the plain
+// columns (doc-sorted, so the access-path invariants hold).
+func (ix *Index) inflate(id bat.OID, cp CompressedPostings) {
+	pl := &plist{
+		slots:  make([]int32, 0, cp.Len()),
+		tfs:    make([]int32, 0, cp.Len()),
+		sorted: true,
+	}
+	cp.Walk(func(doc bat.OID, tf int) bool {
+		pl.slots = append(pl.slots, ix.docSlot[doc])
+		pl.tfs = append(pl.tfs, int32(tf))
+		return true
+	})
+	ix.plists[id] = pl
+	delete(ix.cold, id)
+	ix.plainBytes += 8 * len(pl.slots)
+}
+
+// postingLen returns the posting count of a term over both stores.
+func (ix *Index) postingLen(id bat.OID) int {
+	if pl := ix.plists[id]; pl != nil {
+		return len(pl.slots)
+	}
+	return ix.cold[id].Len()
 }
 
 // sortByDoc co-sorts the slot/tf columns ascending by document oid.
@@ -449,11 +575,12 @@ func (ix *Index) Fragmentize(k int) {
 		k = 1
 	}
 	ix.Freeze()
+	ix.fragK = k
 	ids := make([]bat.OID, 0, len(ix.df))
 	total := 0
 	for id := range ix.df {
 		ids = append(ids, id)
-		total += len(ix.plists[id].slots)
+		total += ix.postingLen(id)
 	}
 	// Descending idf == ascending df; ties broken by oid for determinism.
 	sort.Slice(ids, func(i, j int) bool {
@@ -473,7 +600,7 @@ func (ix *Index) Fragmentize(k int) {
 		idf := 1.0 / float64(ix.df[id])
 		cur.Terms = append(cur.Terms, id)
 		ix.fragOf[id] = len(ix.fragments)
-		cur.Tuples += len(ix.plists[id].slots)
+		cur.Tuples += ix.postingLen(id)
 		if idf > cur.MaxIDF {
 			cur.MaxIDF = idf
 		}
@@ -510,10 +637,7 @@ func (ix *Index) placeFragTerm(id bat.OID, deltaTuples int) {
 		}
 	}
 	old, had := ix.fragOf[id]
-	tuples := 0
-	if pl := ix.plists[id]; pl != nil {
-		tuples = len(pl.slots)
-	}
+	tuples := ix.postingLen(id)
 	if had {
 		if old == target {
 			ix.fragments[old].Tuples += deltaTuples
@@ -555,37 +679,35 @@ func (ix *Index) expandFrag(f int, idf float64) {
 func (ix *Index) Fragments() []Fragment { return ix.fragments }
 
 // TopNFragments evaluates the query over only the first maxFrag
-// fragments and returns the results plus the estimated quality: the
-// fraction of the query's total idf mass covered by the processed
-// fragments (1.0 means the cut-off provably did not change the
-// candidate term set). This is the a-priori cost/quality trade-off of
-// [BHC+01].
-func (ix *Index) TopNFragments(query string, n, maxFrag int) ([]Result, float64) {
+// fragments and returns the results plus the structured quality
+// estimate: the fraction of the query's total idf mass covered by the
+// processed fragments (Value() == 1.0 means the cut-off provably did
+// not change the candidate term set). This is the a-priori
+// cost/quality trade-off of [BHC+01]; EvalPlan is its generalised,
+// pipeline-wide form and this method is now a thin view over it that
+// keeps whatever fragmentation already exists.
+func (ix *Index) TopNFragments(query string, n, maxFrag int) ([]Result, QualityEstimate) {
 	ix.Freeze()
 	if ix.fragments == nil {
 		ix.Fragmentize(1)
 	}
-	if maxFrag > len(ix.fragments) {
-		maxFrag = len(ix.fragments)
-	}
 	s := ix.getScorer()
 	defer ix.putScorer(s)
 	s.qterms = ix.queryTermsInto(s.qterms, query)
-	var coveredIDF, totalIDF float64
-	for _, id := range s.qterms {
-		idf := 1.0 / float64(ix.df[id])
-		totalIDF += idf
-		if ix.fragOf[id] >= maxFrag {
-			continue // a-priori ignored fragment
+	if maxFrag <= 0 {
+		// Degenerate cut-off: nothing is evaluated (EvalPlan reads a
+		// non-positive budget as "all", so this keeps the historical
+		// maxFrag semantics).
+		est := QualityEstimate{FragsTotal: len(ix.fragments)}
+		for _, id := range s.qterms {
+			if df := ix.df[id]; df > 0 {
+				est.TotalIDF += 1.0 / float64(df)
+			}
 		}
-		coveredIDF += idf
-		ix.scoreTerm(s, id, ix.df[id], ix.totalDF, nil)
+		return nil, est
 	}
-	quality := 1.0
-	if totalIDF > 0 {
-		quality = coveredIDF / totalIDF
-	}
-	return s.selectTopN(ix.docIDs, n), quality
+	est := ix.evalPlan(s, nil, s.qterms, EvalPlan{N: n, Budget: maxFrag}, nil)
+	return s.selectTopN(ix.docIDs, n), est
 }
 
 // Merge folds per-node rankings into a master ranking of size n; the

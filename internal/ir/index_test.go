@@ -162,8 +162,11 @@ func TestTopNFragmentsQuality(t *testing.T) {
 	ix := smallIndex()
 	ix.Fragmentize(4)
 	full, q := ix.TopNFragments("winner melbourne", 10, len(ix.Fragments()))
-	if q != 1.0 {
-		t.Fatalf("full evaluation quality = %v", q)
+	if q.Value() != 1.0 || !q.Exact() {
+		t.Fatalf("full evaluation quality = %+v", q)
+	}
+	if q.FragsUsed != len(ix.Fragments()) || q.FragsTotal != len(ix.Fragments()) {
+		t.Fatalf("fragment accounting = %+v, want all %d", q, len(ix.Fragments()))
 	}
 	exact := ix.TopN("winner melbourne", 10)
 	if len(full) != len(exact) {
@@ -173,10 +176,10 @@ func TestTopNFragmentsQuality(t *testing.T) {
 	prev := 0.0
 	for k := 1; k <= len(ix.Fragments()); k++ {
 		_, qk := ix.TopNFragments("winner melbourne", 10, k)
-		if qk < prev-1e-12 {
-			t.Fatalf("quality not monotone: %v after %v at k=%d", qk, prev, k)
+		if qk.Value() < prev-1e-12 {
+			t.Fatalf("quality not monotone: %v after %v at k=%d", qk.Value(), prev, k)
 		}
-		prev = qk
+		prev = qk.Value()
 	}
 	if prev != 1.0 {
 		t.Fatalf("processing all fragments must give quality 1, got %v", prev)
@@ -214,7 +217,7 @@ func TestFragmentCutoffKeepsRareTerms(t *testing.T) {
 	if len(res) == 0 || res[0].Doc != 3 {
 		t.Fatalf("melbourne doc should rank, got %v", res)
 	}
-	if q >= 1.0 {
+	if q.Value() >= 1.0 {
 		t.Fatal("cutting fragments with a query term present must reduce quality below 1")
 	}
 }
@@ -261,8 +264,8 @@ func TestPropertyPlansAgree(t *testing.T) {
 		}
 		ix.Fragmentize(1 + rng.Intn(5))
 		frag, q := ix.TopNFragments(query, 5, len(ix.Fragments()))
-		if q != 1.0 {
-			t.Fatalf("iter %d: full-fragment quality %v", iter, q)
+		if q.Value() != 1.0 {
+			t.Fatalf("iter %d: full-fragment quality %v", iter, q.Value())
 		}
 		for i := range opt {
 			if frag[i].Doc != opt[i].Doc {

@@ -1,0 +1,272 @@
+package ir
+
+import (
+	"slices"
+	"sort"
+
+	"dlsearch/internal/bat"
+)
+
+// DefaultFragments is the fragmentation granularity an EvalPlan
+// selects when it does not name one: the sweep width of the paper's
+// E10 experiment, fine enough that trailing-fragment cut-offs have
+// room to trade quality for cost.
+const DefaultFragments = 8
+
+// EvalPlan describes how a top-N query is to be evaluated: the a-priori
+// cost/quality trade-off of [BHC+01] as an execution strategy the whole
+// retrieval pipeline understands, instead of an ir-only experiment.
+//
+// The zero value (any N) is the exact plan: every fragment of every
+// query term is evaluated and the ranking equals TopN. A positive
+// Budget instructs the evaluator to touch only the leading (highest
+// idf, cheapest) fragments and report the estimated quality; MinQuality
+// re-admits trailing fragments until the estimate reaches the floor, so
+// a caller can bound quality loss instead of cost.
+type EvalPlan struct {
+	// N is the ranking size.
+	N int
+	// Frags is the fragmentation granularity the evaluating index
+	// should use. 0 keeps whatever fragmentation exists (creating
+	// DefaultFragments on a never-fragmented index); a positive value
+	// re-fragments an index whose granularity differs.
+	Frags int
+	// Budget is the number of leading idf-descending fragments to
+	// evaluate. <= 0 means all fragments: the exact plan.
+	Budget int
+	// MinQuality is the quality floor in (0, 1]: after applying the
+	// Budget, evaluation extends fragment by fragment until the
+	// estimated quality reaches the floor (or fragments run out).
+	// 0 disables the floor.
+	MinQuality float64
+}
+
+// Exact reports whether the plan evaluates every fragment, making the
+// result identical to the unbudgeted TopN.
+func (p EvalPlan) Exact() bool { return p.Budget <= 0 }
+
+// QualityEstimate is the structured quality accounting of a budgeted
+// evaluation: how much of the query's idf mass the evaluated fragments
+// covered. Covered == Total (or Total == 0) proves the cut-off did not
+// change the candidate term set. Estimates from shared-nothing nodes
+// merge by summing the masses (MergeQuality), giving the cluster-wide
+// estimate the coordinator reports.
+type QualityEstimate struct {
+	CoveredIDF float64 // idf mass of the evaluated query terms
+	TotalIDF   float64 // idf mass of all query terms known to the index
+	FragsUsed  int     // leading fragments evaluated (after any floor extension)
+	FragsTotal int     // fragments the index is partitioned into
+}
+
+// Value returns the scalar quality in [0, 1]: the covered fraction of
+// the query's idf mass. An estimate with no mass (empty query, or the
+// exact plan's shortcut) is exact by definition and reports 1.
+func (q QualityEstimate) Value() float64 {
+	if q.TotalIDF <= 0 {
+		return 1
+	}
+	v := q.CoveredIDF / q.TotalIDF
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Exact reports whether the evaluation provably covered the whole
+// candidate term set.
+func (q QualityEstimate) Exact() bool { return q.Value() >= 1 }
+
+// MergeQuality folds per-node estimates into the cluster-wide
+// estimate: idf masses sum (each node accounts for the query mass of
+// its own partition), fragment counts report the widest node.
+func MergeQuality(ests ...QualityEstimate) QualityEstimate {
+	var m QualityEstimate
+	for _, e := range ests {
+		m.CoveredIDF += e.CoveredIDF
+		m.TotalIDF += e.TotalIDF
+		if e.FragsUsed > m.FragsUsed {
+			m.FragsUsed = e.FragsUsed
+		}
+		if e.FragsTotal > m.FragsTotal {
+			m.FragsTotal = e.FragsTotal
+		}
+	}
+	return m
+}
+
+// EnsureFragments brings the index's fragmentation in line with the
+// plan: a never-fragmented index is partitioned (plan granularity, or
+// DefaultFragments), and a positive plan granularity that differs from
+// the current one re-fragments. Mutates the index — serving layers
+// call it under their write lock before evaluating plans read-only.
+func (ix *Index) EnsureFragments(plan EvalPlan) {
+	if ix.fragments == nil {
+		k := plan.Frags
+		if k <= 0 {
+			k = DefaultFragments
+		}
+		ix.Fragmentize(k)
+		return
+	}
+	if plan.Frags > 0 && ix.fragK != plan.Frags {
+		ix.Fragmentize(plan.Frags)
+	}
+}
+
+// PlanReady reports whether the index can evaluate the plan without
+// mutating: derived state frozen and fragmentation at the plan's
+// granularity. An empty vocabulary is trivially ready — there is
+// nothing to fragment, and treating it as unready would force every
+// budgeted query on an empty partition through the write lock.
+func (ix *Index) PlanReady(plan EvalPlan) bool {
+	if ix.Dirty() {
+		return false
+	}
+	if ix.fragments == nil {
+		return len(ix.termID) == 0
+	}
+	return plan.Frags <= 0 || ix.fragK == plan.Frags
+}
+
+// evalPlan scores the query terms the plan admits and returns the
+// quality accounting. stems (parallel to oids) key global-statistics
+// lookups; nil global scores and weighs with local statistics. Terms
+// are scored in their original query order so a full-budget plan
+// accumulates floating-point scores in exactly the order the exact
+// path does — byte-identical rankings, not just equivalent ones.
+func (ix *Index) evalPlan(s *scorer, stems []string, oids []bat.OID, plan EvalPlan, global *Stats) QualityEstimate {
+	frags := len(ix.fragments)
+	if frags == 0 {
+		frags = 1 // unfragmented: one implicit fragment holding everything
+	}
+	budget := plan.Budget
+	if budget <= 0 || budget > frags {
+		budget = frags
+	}
+	// Per-term idf mass and fragment placement, in the scorer's pooled
+	// buffers. The mass uses global statistics when supplied, so every
+	// node of a cluster weighs a term identically and the merged
+	// estimate is consistent.
+	mass := s.mass[:0]
+	frag := s.frag[:0]
+	var total float64
+	for i, id := range oids {
+		df := ix.df[id]
+		if global != nil && stems != nil {
+			if gdf := global.DF[stems[i]]; gdf > 0 {
+				df = gdf
+			}
+		}
+		m := 0.0
+		if df > 0 {
+			m = 1.0 / float64(df)
+		}
+		f := int32(0)
+		if ix.fragments != nil {
+			f = int32(ix.fragOf[id])
+		}
+		mass = append(mass, m)
+		frag = append(frag, f)
+		total += m
+	}
+	s.mass, s.frag = mass, frag
+	// Admit the budgeted prefix; then extend fragment by fragment (in
+	// idf-descending order, so the cheapest extensions first) until the
+	// quality floor is met or fragments run out.
+	covered := 0.0
+	for i := range oids {
+		if int(frag[i]) < budget {
+			covered += mass[i]
+		}
+	}
+	if plan.MinQuality > 0 && total > 0 {
+		order := make([]int, 0, len(oids))
+		for i := range oids {
+			if int(frag[i]) >= budget {
+				order = append(order, i)
+			}
+		}
+		sort.Slice(order, func(a, b int) bool { return frag[order[a]] < frag[order[b]] })
+		// Extend whole fragments at a time: admitting a fragment admits
+		// every query term it holds, and the accounting must agree with
+		// the scoring loop below.
+		for j := 0; j < len(order) && covered/total < plan.MinQuality-1e-12; {
+			b := int(frag[order[j]]) + 1
+			for ; j < len(order) && int(frag[order[j]]) < b; j++ {
+				covered += mass[order[j]]
+			}
+			budget = b
+		}
+	}
+	for i, id := range oids {
+		if int(frag[i]) >= budget {
+			continue // a-priori ignored fragment
+		}
+		df, totalDF := ix.df[id], ix.totalDF
+		if global != nil && stems != nil {
+			df, totalDF = global.DF[stems[i]], global.TotalDF
+		}
+		ix.scoreTerm(s, id, df, totalDF, nil)
+	}
+	return QualityEstimate{CoveredIDF: covered, TotalIDF: total, FragsUsed: budget, FragsTotal: frags}
+}
+
+// TopNPlan evaluates the query under the plan against this index alone
+// (local statistics), fragmenting the vocabulary on demand. This is
+// the single-index entry point of the quality-bounded execution
+// strategy; the distributed pipeline uses TopNPlanWithStats per node.
+func (ix *Index) TopNPlan(query string, plan EvalPlan) ([]Result, QualityEstimate) {
+	ix.Freeze()
+	ix.EnsureFragments(plan)
+	s := ix.getScorer()
+	defer ix.putScorer(s)
+	s.qterms = ix.queryTermsInto(s.qterms, query)
+	est := ix.evalPlan(s, nil, s.qterms, plan, nil)
+	return s.selectTopN(ix.docIDs, plan.N), est
+}
+
+// TopNPlanTerms is TopNPlan over pre-resolved term oids (see
+// ResolveQuery), skipping the tokenize/stop/stem pipeline — the entry
+// point for the query executor's cached budgeted path. The oids must
+// belong to this index.
+func (ix *Index) TopNPlanTerms(terms []bat.OID, plan EvalPlan) ([]Result, QualityEstimate) {
+	ix.Freeze()
+	ix.EnsureFragments(plan)
+	s := ix.getScorer()
+	defer ix.putScorer(s)
+	est := ix.evalPlan(s, nil, terms, plan, nil)
+	return s.selectTopN(ix.docIDs, plan.N), est
+}
+
+// TopNPlanWithStats ranks this node's local documents under the plan
+// using the supplied global statistics: the distributed read path.
+// Like TopNWithStats it never mutates the index — callers ensure
+// Freeze/EnsureFragments ran (see LocalNode); an unfragmented index
+// degrades to exact evaluation over one implicit fragment.
+func (ix *Index) TopNPlanWithStats(query string, plan EvalPlan, global Stats) ([]Result, QualityEstimate) {
+	s := ix.getScorer()
+	defer ix.putScorer(s)
+	qts := s.qterms[:0]
+	stems := make([]string, 0, 8)
+	for _, term := range Terms(query) {
+		id, ok := ix.termID[term]
+		if !ok || slices.Contains(qts, id) {
+			continue
+		}
+		qts = append(qts, id)
+		stems = append(stems, term)
+	}
+	s.qterms = qts
+	est := ix.evalPlan(s, stems, qts, plan, &global)
+	return s.selectTopN(ix.docIDs, plan.N), est
+}
+
+// TopNPlanWithStatsTerms is TopNPlanWithStats over a pre-resolved
+// query (the parallel stem/oid slices ResolveQuery returns) — the
+// cached hot path of the node server.
+func (ix *Index) TopNPlanWithStatsTerms(stems []string, oids []bat.OID, plan EvalPlan, global Stats) ([]Result, QualityEstimate) {
+	s := ix.getScorer()
+	defer ix.putScorer(s)
+	est := ix.evalPlan(s, stems, oids, plan, &global)
+	return s.selectTopN(ix.docIDs, plan.N), est
+}

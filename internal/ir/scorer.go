@@ -17,6 +17,8 @@ type scorer struct {
 	touched []int32
 	qterms  []bat.OID
 	heap    []Result
+	mass    []float64 // per-query-term idf mass (plan evaluation)
+	frag    []int32   // per-query-term fragment index (plan evaluation)
 }
 
 // getScorer fetches a scorer with an all-zero score column covering
@@ -46,9 +48,18 @@ func (ix *Index) putScorer(s *scorer) {
 // column: a single sequential scan over the term's slot/tf columns.
 // Every contribution is strictly positive, so a zero score cell means
 // "first touch" and the slot is recorded for reset and selection.
+// Terms the memory budget holds compressed are walked in place — the
+// same (doc, tf) sequence in the same doc order, so scores come out
+// identical, just slower per posting.
 func (ix *Index) scoreTerm(s *scorer, id bat.OID, df, totalDF int, candidates map[bat.OID]bool) {
+	if df == 0 {
+		return
+	}
 	pl := ix.plists[id]
-	if pl == nil || df == 0 {
+	if pl == nil {
+		if cp, ok := ix.cold[id]; ok {
+			ix.scoreCompressed(s, cp, df, totalDF, candidates)
+		}
 		return
 	}
 	lambda := ix.lambda
@@ -63,6 +74,27 @@ func (ix *Index) scoreTerm(s *scorer, id bat.OID, df, totalDF int, candidates ma
 		}
 		s.scores[slot] += w
 	}
+}
+
+// scoreCompressed is scoreTerm's access path over a compressed posting
+// list: decode-as-you-go via Walk, no materialised slice.
+func (ix *Index) scoreCompressed(s *scorer, cp CompressedPostings, df, totalDF int, candidates map[bat.OID]bool) {
+	lambda := ix.lambda
+	cp.Walk(func(doc bat.OID, tf int) bool {
+		if candidates != nil && !candidates[doc] {
+			return true
+		}
+		slot, ok := ix.docSlot[doc]
+		if !ok {
+			return true
+		}
+		w := logWeight(lambda, tf, df, totalDF, int(ix.docLens[slot]))
+		if s.scores[slot] == 0 {
+			s.touched = append(s.touched, slot)
+		}
+		s.scores[slot] += w
+		return true
+	})
 }
 
 // worse reports whether a ranks strictly below b in the total result

@@ -35,9 +35,19 @@ type ExecStats struct {
 // applies the paper's optimizer hooks: cheap conceptual selections
 // restrict the candidate set a-priori before the IR ranking runs
 // (DisableRestriction turns this off to quantify the benefit).
+//
+// Plan, when set, makes the executor evaluate unrestricted contains
+// predicates under a fragment-budgeted ir.EvalPlan — the idf cut-off
+// as a first-class execution strategy — accumulating the achieved
+// quality in Quality. Predicates carrying an a-priori candidate
+// restriction fall back to exact evaluation: the conceptual
+// restriction is already the cheaper cut, and stacking a lossy one on
+// top would make the quality accounting lie about it.
 type Executor struct {
 	DB                 *Database
 	DisableRestriction bool
+	Plan               *ir.EvalPlan
+	Quality            ir.QualityEstimate
 	Stats              ExecStats
 }
 
@@ -46,8 +56,23 @@ func NewExecutor(db *Database) *Executor { return &Executor{DB: db} }
 
 // rank evaluates one IR predicate (nil candidates = unrestricted),
 // going through the database's term resolver — the engine's query
-// cache — when one is injected.
+// cache — when one is injected, and through the budgeted plan when
+// one is picked and the predicate is unrestricted.
 func (ex *Executor) rank(idx *ir.Index, text string, n int, candidates map[bat.OID]bool) []ir.Result {
+	if ex.Plan != nil && candidates == nil {
+		plan := *ex.Plan
+		plan.N = n
+		var res []ir.Result
+		var est ir.QualityEstimate
+		if ex.DB.ResolveTerms != nil {
+			idx.Freeze() // resolve against frozen state, like the exact path
+			res, est = idx.TopNPlanTerms(ex.DB.ResolveTerms(idx, text), plan)
+		} else {
+			res, est = idx.TopNPlan(text, plan)
+		}
+		ex.Quality = ir.MergeQuality(ex.Quality, est)
+		return res
+	}
 	if ex.DB.ResolveTerms != nil {
 		idx.Freeze()
 		return idx.TopNTermsRestricted(ex.DB.ResolveTerms(idx, text), n, candidates)

@@ -258,3 +258,49 @@ func TestEmptyDatabase(t *testing.T) {
 		t.Fatalf("events = %v", ev)
 	}
 }
+
+// TestExecutorBudgetedPlan: the executor evaluates unrestricted
+// contains predicates under an ir.EvalPlan, accumulates the achieved
+// quality, and a full-coverage plan returns exactly the exact answer.
+func TestExecutorBudgetedPlan(t *testing.T) {
+	db := fixtureDB(t)
+	const src = "SELECT p.name FROM Player p WHERE contains(p.history, 'winner title')"
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := NewExecutor(db)
+	exact.DisableRestriction = true // unrestricted: the plan applies
+	wantRes, err := exact.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgeted := NewExecutor(db)
+	budgeted.DisableRestriction = true
+	budgeted.Plan = &ir.EvalPlan{Frags: 2, Budget: 2}
+	gotRes, err := budgeted.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if budgeted.Quality.Value() != 1.0 {
+		t.Fatalf("full-coverage plan quality = %v", budgeted.Quality.Value())
+	}
+	if len(gotRes.Rows) != len(wantRes.Rows) {
+		t.Fatalf("budgeted rows = %d, want %d", len(gotRes.Rows), len(wantRes.Rows))
+	}
+	for i := range wantRes.Rows {
+		if gotRes.Rows[i].Score != wantRes.Rows[i].Score {
+			t.Fatalf("row %d score %v, want %v", i, gotRes.Rows[i].Score, wantRes.Rows[i].Score)
+		}
+	}
+	// Restricted predicates fall back to exact: the quality stays
+	// trivially exact and results match the unplanned executor.
+	restricted := NewExecutor(db)
+	restricted.Plan = &ir.EvalPlan{Frags: 2, Budget: 1}
+	if _, err := restricted.Run(q); err != nil {
+		t.Fatal(err)
+	}
+	if restricted.Quality.TotalIDF != 0 {
+		t.Fatalf("restricted predicates leaked into quality accounting: %+v", restricted.Quality)
+	}
+}

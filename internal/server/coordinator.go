@@ -4,6 +4,7 @@ import (
 	"context"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"dlsearch/internal/bat"
 	"dlsearch/internal/core"
 	"dlsearch/internal/dist"
+	"dlsearch/internal/ir"
 )
 
 // CoordinatorConfig tunes a coordinator. The zero value selects the
@@ -28,6 +30,15 @@ type CoordinatorConfig struct {
 	// hit/miss counters appear under query_cache in /stats. The local
 	// nodes served by this process share it via their NodeConfig.
 	Cache *core.QueryCache
+	// Frags, FragBudget and MinQuality form the default evaluation
+	// plan applied to /search requests that do not carry their own
+	// plan fields: the fragmentation granularity each node uses for
+	// its own partition, how many leading idf-descending fragments it
+	// evaluates (0 = all: exact search), and the quality floor that
+	// re-admits trailing fragments. Requests override per field.
+	Frags      int
+	FragBudget int
+	MinQuality float64
 }
 
 // docSeq assigns document oids for /add requests without an explicit
@@ -122,6 +133,7 @@ func (co *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/search", co.search)
 	mux.HandleFunc("/add", co.add)
+	mux.HandleFunc("/add/batch", co.addBatch)
 	mux.HandleFunc("/stats", co.statsHandler)
 	// The health probe bypasses the semaphore: a saturated
 	// coordinator is busy, not dead, and must not be ejected by its
@@ -152,20 +164,39 @@ func (co *Coordinator) resolveIndex(w http.ResponseWriter, name string) (*dist.C
 	return c, name, true
 }
 
-// SearchRequest is the body of POST /search.
+// SearchRequest is the body of POST /search. Frags, Budget and
+// MinQuality select a fragment-budgeted evaluation plan (defaults come
+// from the coordinator's config); the same knobs are also accepted as
+// URL query parameters — `/search?frag=2` — which take precedence, so
+// a curl user can sweep the cost/quality trade-off without editing the
+// body.
 type SearchRequest struct {
 	Index string `json:"index,omitempty"`
 	Query string `json:"query"`
 	N     int    `json:"n"`
+	// Frags is the per-node fragmentation granularity (0 = keep the
+	// node's current one). Absent fields keep the coordinator's
+	// configured defaults; present fields override them — including
+	// explicit zeros, so "budget": 0 requests the exact search even
+	// when the coordinator defaults to a budget.
+	Frags *int `json:"frags,omitempty"`
+	// Budget is how many leading idf-descending fragments each node
+	// evaluates; 0 means all — the exact search.
+	Budget *int `json:"budget,omitempty"`
+	// MinQuality is the quality floor in [0, 1]; 0 disables it.
+	MinQuality *float64 `json:"min_quality,omitempty"`
 }
 
 // SearchResponse answers POST /search. Complete is false when the
 // ranking is degraded in either way the cluster models: stragglers
 // were dropped (the ranking covers the responsive nodes only) and/or
-// it was scored with stale global statistics.
+// it was scored with stale global statistics. Quality is the
+// cluster-wide estimate of a budgeted search (value 1 for exact
+// searches).
 type SearchResponse struct {
 	Index      string            `json:"index"`
 	Results    []dist.ResultJSON `json:"results"`
+	Quality    dist.QualityJSON  `json:"quality"`
 	Dropped    []int             `json:"dropped,omitempty"`
 	StaleStats bool              `json:"stale_stats,omitempty"`
 	Complete   bool              `json:"complete"`
@@ -193,6 +224,11 @@ func (co *Coordinator) search(w http.ResponseWriter, r *http.Request) {
 	if req.N > co.cfg.MaxTopN {
 		req.N = co.cfg.MaxTopN
 	}
+	plan, ok := co.buildPlan(w, r, &req)
+	if !ok {
+		co.errs.Add(1)
+		return
+	}
 	cluster, name, ok := co.resolveIndex(w, req.Index)
 	if !ok {
 		co.errs.Add(1)
@@ -204,7 +240,7 @@ func (co *Coordinator) search(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, co.cfg.SearchTimeout)
 		defer cancel()
 	}
-	sr, err := cluster.Search(ctx, req.Query, req.N)
+	sr, err := cluster.SearchPlan(ctx, req.Query, plan)
 	if err != nil {
 		co.errs.Add(1)
 		fail(w, http.StatusBadGateway, "cluster unavailable: "+err.Error())
@@ -214,10 +250,71 @@ func (co *Coordinator) search(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, SearchResponse{
 		Index:      name,
 		Results:    dist.ResultsToJSON(sr.Results),
+		Quality:    dist.QualityToJSON(sr.Quality),
 		Dropped:    sr.Dropped,
 		StaleStats: sr.StaleStats,
 		Complete:   sr.Complete(),
 	})
+}
+
+// buildPlan folds the config defaults, the request body and the URL
+// query parameters (highest precedence) into the evaluation plan,
+// answering 400 on malformed parameters itself. Body fields are held
+// to the same validity rules as their query-parameter spellings.
+func (co *Coordinator) buildPlan(w http.ResponseWriter, r *http.Request, req *SearchRequest) (ir.EvalPlan, bool) {
+	plan := ir.EvalPlan{
+		N:          req.N,
+		Frags:      co.cfg.Frags,
+		Budget:     co.cfg.FragBudget,
+		MinQuality: co.cfg.MinQuality,
+	}
+	if req.Frags != nil {
+		if *req.Frags < 0 {
+			fail(w, http.StatusBadRequest, "frags must be non-negative")
+			return plan, false
+		}
+		plan.Frags = *req.Frags
+	}
+	if req.Budget != nil {
+		if *req.Budget < 0 {
+			fail(w, http.StatusBadRequest, "budget must be non-negative")
+			return plan, false
+		}
+		plan.Budget = *req.Budget
+	}
+	if req.MinQuality != nil {
+		if *req.MinQuality < 0 || *req.MinQuality > 1 {
+			fail(w, http.StatusBadRequest, "min_quality must be in [0, 1]")
+			return plan, false
+		}
+		plan.MinQuality = *req.MinQuality
+	}
+	q := r.URL.Query()
+	intParam := func(name string, dst *int) bool {
+		v := q.Get(name)
+		if v == "" {
+			return true
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			fail(w, http.StatusBadRequest, "bad "+name+" parameter: "+v)
+			return false
+		}
+		*dst = n
+		return true
+	}
+	if !intParam("frag", &plan.Budget) || !intParam("frags", &plan.Frags) {
+		return plan, false
+	}
+	if v := q.Get("min_quality"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 0 || f > 1 {
+			fail(w, http.StatusBadRequest, "bad min_quality parameter: "+v)
+			return plan, false
+		}
+		plan.MinQuality = f
+	}
+	return plan, true
 }
 
 // AddDocRequest is the body of POST /add. Doc 0 auto-assigns the next
@@ -274,6 +371,88 @@ func (co *Coordinator) add(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, AddDocResponse{Index: name, Doc: uint64(doc)})
 }
 
+// BatchDoc is one document of a coordinator batch add. Doc 0
+// auto-assigns the next oid of the index's sequence.
+type BatchDoc struct {
+	Doc  uint64 `json:"doc,omitempty"`
+	URL  string `json:"url,omitempty"`
+	Text string `json:"text"`
+}
+
+// AddBatchRequest is the body of POST /add/batch: many documents in
+// one request, indexed with one partition round-trip per node instead
+// of one per document.
+type AddBatchRequest struct {
+	Index string     `json:"index,omitempty"`
+	Docs  []BatchDoc `json:"docs"`
+}
+
+// AddBatchResponse reports the oids the documents were indexed under,
+// in request order. On partial failure (502) the same body shape is
+// returned with Error set: partition groups commit independently, so
+// the client needs the assigned oids to retry safely — re-posting the
+// whole batch would fold term frequencies in twice on the partitions
+// that succeeded. The error message names the failing nodes.
+type AddBatchResponse struct {
+	Index string   `json:"index"`
+	Docs  []uint64 `json:"docs"`
+	Error string   `json:"error,omitempty"`
+}
+
+func (co *Coordinator) addBatch(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req AddBatchRequest
+	if !readJSON(w, r, co.cfg.MaxBody, &req) {
+		co.errs.Add(1)
+		return
+	}
+	if len(req.Docs) == 0 {
+		co.errs.Add(1)
+		fail(w, http.StatusBadRequest, "empty docs array")
+		return
+	}
+	for i, d := range req.Docs {
+		if d.Text == "" {
+			co.errs.Add(1)
+			fail(w, http.StatusBadRequest, "missing text in docs["+strconv.Itoa(i)+"]")
+			return
+		}
+	}
+	cluster, name, ok := co.resolveIndex(w, req.Index)
+	if !ok {
+		co.errs.Add(1)
+		return
+	}
+	docs := make([]dist.Doc, len(req.Docs))
+	oids := make([]uint64, len(req.Docs))
+	for i, d := range req.Docs {
+		doc := bat.OID(d.Doc)
+		if doc == bat.NilOID {
+			var err error
+			if doc, err = co.seqs[name].assign(r.Context(), cluster); err != nil {
+				co.errs.Add(1)
+				fail(w, http.StatusBadGateway, "cannot assign oid: "+err.Error())
+				return
+			}
+		} else {
+			co.seqs[name].observe(doc)
+		}
+		docs[i] = dist.Doc{OID: doc, URL: d.URL, Text: d.Text}
+		oids[i] = uint64(doc)
+	}
+	if err := cluster.AddBatchContext(r.Context(), docs); err != nil {
+		co.errs.Add(1)
+		writeJSON(w, http.StatusBadGateway, AddBatchResponse{
+			Index: name, Docs: oids, Error: "node unavailable: " + err.Error(),
+		})
+		return
+	}
+	co.adds.Add(uint64(len(docs)))
+	writeJSON(w, http.StatusOK, AddBatchResponse{Index: name, Docs: oids})
+}
+
 // StatsResponse answers GET /stats.
 type StatsResponse struct {
 	UptimeSeconds float64               `json:"uptime_seconds"`
@@ -299,11 +478,15 @@ type IndexStats struct {
 	Error     string `json:"error,omitempty"`
 }
 
-// QueryCacheStats are the engine's query-side cache counters.
+// QueryCacheStats are the engine's query-side cache counters: term
+// resolutions and cached RES sets (rankings) separately.
 type QueryCacheStats struct {
-	Hits    uint64 `json:"hits"`
-	Misses  uint64 `json:"misses"`
-	Entries int    `json:"entries"`
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Entries     int    `json:"entries"`
+	RankHits    uint64 `json:"rank_hits"`
+	RankMisses  uint64 `json:"rank_misses"`
+	RankEntries int    `json:"rank_entries"`
 }
 
 func (co *Coordinator) statsHandler(w http.ResponseWriter, r *http.Request) {
@@ -339,7 +522,11 @@ func (co *Coordinator) statsHandler(w http.ResponseWriter, r *http.Request) {
 	}
 	if co.cfg.Cache != nil {
 		hits, misses := co.cfg.Cache.Counters()
-		resp.QueryCache = &QueryCacheStats{Hits: hits, Misses: misses, Entries: co.cfg.Cache.Len()}
+		rankHits, rankMisses := co.cfg.Cache.RankCounters()
+		resp.QueryCache = &QueryCacheStats{
+			Hits: hits, Misses: misses, Entries: co.cfg.Cache.Len(),
+			RankHits: rankHits, RankMisses: rankMisses, RankEntries: co.cfg.Cache.RankLen(),
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

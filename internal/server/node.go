@@ -12,9 +12,15 @@ import (
 // NodeConfig tunes a node server. The zero value selects the package
 // defaults and no query cache.
 type NodeConfig struct {
-	MaxBody       int64            // request-body cap, bytes
-	MaxConcurrent int              // in-flight request bound
-	Cache         *core.QueryCache // optional (query → term oids) cache for /node/topn
+	MaxBody       int64 // request-body cap, bytes
+	MaxConcurrent int   // in-flight request bound
+	// Cache caches (query → term oids) resolutions AND whole RES sets
+	// (query → ranking, top-N-aware) for this node's query endpoints.
+	Cache *core.QueryCache
+	// MemoryBudget, when positive, bounds the resident bytes of the
+	// index's plain posting columns; cold low-idf lists are held
+	// compressed (ir.SetMemoryBudget).
+	MemoryBudget int
 }
 
 // nodeHandler serves one shared-nothing index fragment over the node
@@ -42,12 +48,18 @@ func NewNodeHandler(ix *ir.Index, cfg *NodeConfig) http.Handler {
 		}
 		if cfg.Cache != nil {
 			h.node.SetResolver(cfg.Cache.Resolve)
+			h.node.SetRankingCache(cfg.Cache)
+		}
+		if cfg.MemoryBudget > 0 {
+			ix.SetMemoryBudget(cfg.MemoryBudget)
 		}
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc(dist.PathNodeAdd, h.add)
+	mux.HandleFunc(dist.PathNodeAddBatch, h.addBatch)
 	mux.HandleFunc(dist.PathNodeStats, h.stats)
 	mux.HandleFunc(dist.PathNodeTopN, h.topn)
+	mux.HandleFunc(dist.PathNodeSearch, h.search)
 	mux.HandleFunc(dist.PathNodeLoad, h.load)
 	// The health probe bypasses the semaphore: a saturated node is
 	// busy, not dead, and must not be ejected by its load balancer.
@@ -70,6 +82,33 @@ func (h *nodeHandler) add(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h.node.Add(r.Context(), bat.OID(req.Doc), req.URL, req.Text)
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (h *nodeHandler) addBatch(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req dist.AddBatchRequest
+	if !readJSON(w, r, h.maxBody, &req) {
+		return
+	}
+	if len(req.Docs) == 0 {
+		fail(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	docs := make([]dist.Doc, len(req.Docs))
+	for i, d := range req.Docs {
+		if d.Doc == 0 {
+			fail(w, http.StatusBadRequest, "missing document oid in batch")
+			return
+		}
+		docs[i] = dist.Doc{OID: bat.OID(d.Doc), URL: d.URL, Text: d.Text}
+	}
+	if err := h.node.AddBatch(r.Context(), docs); err != nil {
+		fail(w, http.StatusBadGateway, "batch add failed: "+err.Error())
+		return
+	}
 	writeJSON(w, http.StatusOK, struct{}{})
 }
 
@@ -96,6 +135,24 @@ func (h *nodeHandler) topn(w http.ResponseWriter, r *http.Request) {
 	// protocol never rejecting what a LocalNode accepts.
 	res, _ := h.node.TopNWithStats(r.Context(), req.Query, req.N, dist.StatsFromJSON(req.Stats))
 	writeJSON(w, http.StatusOK, dist.TopNResponse{Results: dist.ResultsToJSON(res)})
+}
+
+func (h *nodeHandler) search(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req dist.SearchPlanRequest
+	if !readJSON(w, r, h.maxBody, &req) {
+		return
+	}
+	// Degenerate plans mirror LocalNode (empty ranking, exact quality)
+	// for the same transparency reason as /node/topn.
+	res, est, _ := h.node.SearchPlan(r.Context(), req.Query, dist.PlanFromJSON(req.Plan),
+		dist.StatsFromJSON(req.Stats))
+	writeJSON(w, http.StatusOK, dist.SearchPlanResponse{
+		Results: dist.ResultsToJSON(res),
+		Quality: dist.QualityToJSON(est),
+	})
 }
 
 func (h *nodeHandler) load(w http.ResponseWriter, r *http.Request) {

@@ -351,3 +351,189 @@ func TestRunGracefulShutdown(t *testing.T) {
 		t.Fatal("Run did not shut down")
 	}
 }
+
+// TestCoordinatorBudgetedSearch: the /search plan knobs surface the
+// fragment cut-off end to end — body fields and the ?frag= query
+// parameter — and the response carries the cluster-wide quality.
+func TestCoordinatorBudgetedSearch(t *testing.T) {
+	cluster := dist.NewCluster(2, nil)
+	for i := 0; i < 60; i++ {
+		text := "match play game set court ball"
+		if i%10 == 0 {
+			text = "seles melbourne trophy"
+		}
+		cluster.Add(bat.OID(i+1), "u", text)
+	}
+	co := NewCoordinator(map[string]*dist.Cluster{"a": cluster}, nil)
+	h := co.Handler()
+
+	// Exact search: quality reports value 1.
+	w := postJSON(t, h, "/search", `{"query":"seles match","n":10}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/search = %d: %s", w.Code, w.Body)
+	}
+	var exact SearchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &exact); err != nil {
+		t.Fatal(err)
+	}
+	if exact.Quality.Value != 1.0 {
+		t.Fatalf("exact quality = %+v", exact.Quality)
+	}
+
+	// Budgeted via body fields: quality drops below 1 and the ranking
+	// still answers.
+	w = postJSON(t, h, "/search", `{"query":"seles match ball","n":10,"frags":8,"budget":1}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("budgeted /search = %d: %s", w.Code, w.Body)
+	}
+	var budgeted SearchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &budgeted); err != nil {
+		t.Fatal(err)
+	}
+	if v := budgeted.Quality.Value; v >= 1.0 || v <= 0 {
+		t.Fatalf("budgeted quality = %+v, want in (0, 1)", budgeted.Quality)
+	}
+	if len(budgeted.Results) == 0 || !budgeted.Complete {
+		t.Fatalf("budgeted response = %+v", budgeted)
+	}
+
+	// The ?frag= query parameter is the curl-side spelling of the
+	// budget and overrides the body.
+	w = postJSON(t, h, "/search?frag=1&frags=8", `{"query":"seles match ball","n":10}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("?frag= /search = %d: %s", w.Code, w.Body)
+	}
+	var viaParam SearchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &viaParam); err != nil {
+		t.Fatal(err)
+	}
+	if viaParam.Quality != budgeted.Quality {
+		t.Fatalf("?frag= quality %+v != body-budget quality %+v", viaParam.Quality, budgeted.Quality)
+	}
+
+	// An explicit body budget of 0 overrides a configured default
+	// budget back to the exact search.
+	co2 := NewCoordinator(map[string]*dist.Cluster{"a": cluster},
+		&CoordinatorConfig{Frags: 8, FragBudget: 1})
+	h2 := co2.Handler()
+	w = postJSON(t, h2, "/search", `{"query":"seles match ball","n":10,"budget":0}`)
+	var exactOverride SearchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &exactOverride); err != nil {
+		t.Fatal(err)
+	}
+	if exactOverride.Quality.Value != 1.0 {
+		t.Fatalf("body budget:0 did not force exact: %+v", exactOverride.Quality)
+	}
+	w = postJSON(t, h2, "/search", `{"query":"seles match ball","n":10}`)
+	var defaulted SearchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &defaulted); err != nil {
+		t.Fatal(err)
+	}
+	if defaulted.Quality.Value >= 1.0 {
+		t.Fatalf("configured default budget not applied: %+v", defaulted.Quality)
+	}
+
+	// A quality floor re-admits fragments.
+	w = postJSON(t, h, "/search", `{"query":"seles match ball","n":10,"frags":8,"budget":1,"min_quality":1.0}`)
+	var floored SearchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &floored); err != nil {
+		t.Fatal(err)
+	}
+	if floored.Quality.Value != 1.0 {
+		t.Fatalf("floored quality = %+v", floored.Quality)
+	}
+
+	// Malformed plan parameters are 4xx — query params and the
+	// equivalent body fields alike.
+	for _, path := range []string{"/search?frag=x", "/search?frags=-2", "/search?min_quality=2"} {
+		if w := postJSON(t, h, path, `{"query":"seles","n":5}`); w.Code != http.StatusBadRequest {
+			t.Fatalf("%s = %d, want 400", path, w.Code)
+		}
+	}
+	for _, body := range []string{
+		`{"query":"seles","n":5,"min_quality":2}`,
+		`{"query":"seles","n":5,"budget":-1}`,
+		`{"query":"seles","n":5,"frags":-3}`,
+	} {
+		if w := postJSON(t, h, "/search", body); w.Code != http.StatusBadRequest {
+			t.Fatalf("body %s = %d, want 400", body, w.Code)
+		}
+	}
+}
+
+// TestCoordinatorAddBatch: one batch request indexes many documents,
+// auto-assigning oids in order and mixing with explicit oids; the
+// request counter moves by the number of documents.
+func TestCoordinatorAddBatch(t *testing.T) {
+	cluster := dist.NewCluster(2, nil)
+	co := NewCoordinator(map[string]*dist.Cluster{"a": cluster}, nil)
+	h := co.Handler()
+	w := postJSON(t, h, "/add/batch",
+		`{"docs":[{"text":"melbourne champion trophy"},{"doc":10,"text":"seles wins"},{"text":"volley smash rally"}]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/add/batch = %d: %s", w.Code, w.Body)
+	}
+	var resp AddBatchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Docs) != 3 || resp.Docs[0] != 1 || resp.Docs[1] != 10 || resp.Docs[2] != 11 {
+		t.Fatalf("assigned oids = %v, want [1 10 11]", resp.Docs)
+	}
+	if got := cluster.DocCount(); got != 3 {
+		t.Fatalf("doc count = %d, want 3", got)
+	}
+	// The documents are searchable.
+	w = postJSON(t, h, "/search", `{"query":"champion","n":5}`)
+	var sr SearchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &sr); err != nil || len(sr.Results) == 0 {
+		t.Fatalf("post-batch search = %s: %v", w.Body, err)
+	}
+	// Validation: empty batch and missing text are 400.
+	if w := postJSON(t, h, "/add/batch", `{"docs":[]}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("empty batch = %d, want 400", w.Code)
+	}
+	if w := postJSON(t, h, "/add/batch", `{"docs":[{"text":"a"},{"url":"u"}]}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("missing text = %d, want 400", w.Code)
+	}
+	var st StatsResponse
+	if err := json.Unmarshal(get(t, h, "/stats").Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests.Add != 3 {
+		t.Fatalf("add counter = %d, want 3", st.Requests.Add)
+	}
+}
+
+// TestNodeBatchAndSearchEndpoints: the node wire protocol's batch add
+// and plan search endpoints validate and answer like a LocalNode.
+func TestNodeBatchAndSearchEndpoints(t *testing.T) {
+	h := NewNodeHandler(ir.NewIndex(), nil)
+	w := postJSON(t, h, dist.PathNodeAddBatch,
+		`{"docs":[{"doc":1,"text":"seles melbourne"},{"doc":2,"text":"match ball court"}]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("node batch = %d: %s", w.Code, w.Body)
+	}
+	for _, body := range []string{`{"docs":[]}`, `{"docs":[{"text":"no oid"}]}`} {
+		if w := postJSON(t, h, dist.PathNodeAddBatch, body); w.Code != http.StatusBadRequest {
+			t.Fatalf("invalid batch %s = %d, want 400", body, w.Code)
+		}
+	}
+	// Plan search over the node protocol: degenerate plans are 200
+	// (LocalNode transparency), budgeted plans report quality.
+	w = postJSON(t, h, dist.PathNodeSearch,
+		`{"query":"seles match","plan":{"n":5,"frags":4,"budget":4},"stats":{"df":{"sele":1,"match":1},"total_df":5,"docs":2}}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("node search = %d: %s", w.Code, w.Body)
+	}
+	var resp dist.SearchPlanResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) == 0 || resp.Quality.Value != 1.0 {
+		t.Fatalf("node search response = %+v", resp)
+	}
+	if w := postJSON(t, h, dist.PathNodeSearch, `{"query":"","plan":{"n":0},"stats":{}}`); w.Code != http.StatusOK {
+		t.Fatalf("degenerate node search = %d, want 200", w.Code)
+	}
+}
