@@ -1,32 +1,42 @@
 // Command dlserve serves the full-text search engine over HTTP, in
 // the two roles of the paper's shared-nothing architecture:
 //
-//	dlserve node -addr :8081
+//	dlserve node -addr :8081 -data-dir /var/lib/dlsearch/node1
 //	    serve one index fragment (the dist.Node operations) so a
-//	    coordinator can address it as a remote cluster node
+//	    coordinator can address it as a remote cluster node. With a
+//	    data dir the node restores its fragment from the last snapshot
+//	    on boot, persists one on graceful shutdown, and accepts
+//	    POST /node/snapshot to persist one on demand — a restarted
+//	    node serves its pre-restart fragment without reindexing.
 //
 //	dlserve coordinator -addr :8080 -nodes http://h1:8081,http://h2:8082
 //	    serve /search, /add, /stats and /healthz over a cluster of
 //	    remote nodes (or -local k in-process nodes), with per-node
-//	    deadlines and straggler handling
+//	    deadlines and straggler handling. With -replicas R the node
+//	    list is sliced into replica groups of R: writes fan out to all
+//	    replicas of a partition and reads fail over between them, so
+//	    killing any single node does not degrade the ranking.
 //
-// A two-machine deployment is two `dlserve node` processes plus one
-// coordinator pointed at them:
+// A replicated two-partition deployment is four `dlserve node`
+// processes plus one coordinator pointed at them:
 //
+//	dlserve coordinator -addr :8080 -replicas 2 \
+//	    -nodes http://h1:8081,http://h2:8082,http://h3:8083,http://h4:8084
 //	curl -s -X POST localhost:8080/add \
 //	    -d '{"text":"melbourne champion trophy","url":"doc-1"}'
 //	curl -s -X POST localhost:8080/search -d '{"query":"champion","n":10}'
 //	curl -s localhost:8080/stats
 //
 // Both roles shut down gracefully on SIGINT/SIGTERM, draining
-// in-flight requests.
+// in-flight requests (and, with -data-dir, snapshotting the fragment).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"net/http"
+	"io/fs"
 	"os"
 	"os/signal"
 	"strings"
@@ -36,6 +46,7 @@ import (
 	"dlsearch/internal/core"
 	"dlsearch/internal/dist"
 	"dlsearch/internal/ir"
+	"dlsearch/internal/persist"
 	"dlsearch/internal/server"
 )
 
@@ -51,6 +62,7 @@ func main() {
 	lambda := fs.Float64("lambda", 0, "ranking smoothing parameter (0 keeps the default)")
 	nodes := fs.String("nodes", "", "comma-separated remote node base URLs (coordinator)")
 	local := fs.Int("local", 0, "number of in-process nodes when -nodes is empty (coordinator)")
+	replicas := fs.Int("replicas", 1, "replication factor: nodes are sliced into replica groups of this size (coordinator)")
 	index := fs.String("index", "default", "name of the served index (coordinator)")
 	nodeTimeout := fs.Duration("node-timeout", 2*time.Second, "per-node call deadline, 0 disables (coordinator)")
 	searchTimeout := fs.Duration("search-timeout", 5*time.Second, "end-to-end /search deadline, 0 disables (coordinator)")
@@ -59,6 +71,7 @@ func main() {
 	fragBudget := fs.Int("frag-budget", 0, "default /search fragment budget: leading fragments evaluated per node, 0 = exact (coordinator)")
 	minQuality := fs.Float64("min-quality", 0, "default /search quality floor in (0,1], 0 disables (coordinator)")
 	memBudget := fs.Int("mem-budget", 0, "posting-store memory budget in bytes, cold lists held compressed, 0 disables (node)")
+	dataDir := fs.String("data-dir", "", "durability directory: restore on boot, snapshot on shutdown and on POST /node/snapshot (node)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -66,29 +79,19 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	var handler http.Handler
 	switch cmd {
 	case "node":
 		if *addr == "" {
 			*addr = ":8081"
 		}
-		ix := ir.NewIndex()
-		if *lambda != 0 {
-			ix.SetLambda(*lambda)
-		}
-		cfg := &server.NodeConfig{MaxConcurrent: *maxConc, MemoryBudget: *memBudget}
-		if *cache > 0 {
-			cfg.Cache = core.NewQueryCache(*cache)
-		}
-		handler = server.NewNodeHandler(ix, cfg)
+		runNode(ctx, *addr, *lambda, *cache, *maxConc, *memBudget, *dataDir)
 	case "coordinator":
 		if *addr == "" {
 			*addr = ":8080"
 		}
-		cluster, qc, err := buildCluster(*nodes, *local, *lambda, *nodeTimeout, *cache)
+		cluster, qc, err := buildCluster(*nodes, *local, *replicas, *lambda, *nodeTimeout, *cache)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dlserve:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		co := server.NewCoordinator(map[string]*dist.Cluster{*index: cluster}, &server.CoordinatorConfig{
 			MaxConcurrent: *maxConc,
@@ -98,25 +101,83 @@ func main() {
 			FragBudget:    *fragBudget,
 			MinQuality:    *minQuality,
 		})
-		handler = co.Handler()
+		fmt.Fprintf(os.Stderr, "dlserve: coordinator listening on %s\n", *addr)
+		if err := server.Run(ctx, *addr, co.Handler(), 0); err != nil {
+			fatal(err)
+		}
 	default:
 		usage()
 		os.Exit(2)
 	}
+}
 
-	fmt.Fprintf(os.Stderr, "dlserve: %s listening on %s\n", cmd, *addr)
-	if err := server.Run(ctx, *addr, handler, 0); err != nil {
-		fmt.Fprintln(os.Stderr, "dlserve:", err)
-		os.Exit(1)
+// runNode boots one fragment server: restore from the data dir's
+// snapshot if one exists (a corrupt snapshot is fatal — the node
+// refuses to serve a partial index rather than silently dropping
+// documents from every ranking), serve until the context cancels,
+// then snapshot the fragment so the next boot restores it.
+func runNode(ctx context.Context, addr string, lambda float64, cacheCap, maxConc, memBudget int, dataDir string) {
+	ix := ir.NewIndex()
+	restoredUnix := int64(0)
+	if dataDir != "" {
+		if err := os.MkdirAll(dataDir, 0o755); err != nil {
+			fatal(err)
+		}
+		path := persist.SnapshotPath(dataDir)
+		restored, err := persist.LoadIndex(path)
+		switch {
+		case err == nil:
+			ix = restored
+			if fi, serr := os.Stat(path); serr == nil {
+				restoredUnix = fi.ModTime().Unix()
+			}
+			fmt.Fprintf(os.Stderr, "dlserve: restored %d docs, %d terms from %s\n",
+				ix.DocCount(), ix.TermCount(), path)
+		case errors.Is(err, fs.ErrNotExist):
+			// First boot: nothing to restore.
+		default:
+			fatal(fmt.Errorf("refusing to serve: %w", err))
+		}
+	}
+	if lambda != 0 {
+		ix.SetLambda(lambda)
+	}
+	cfg := &server.NodeConfig{
+		MaxConcurrent: maxConc,
+		MemoryBudget:  memBudget,
+		DataDir:       dataDir,
+	}
+	if cacheCap > 0 {
+		cfg.Cache = core.NewQueryCache(cacheCap)
+	}
+	ns := server.NewNodeServer(ix, cfg)
+	if restoredUnix > 0 {
+		ns.MarkRestored(restoredUnix)
+	}
+	fmt.Fprintf(os.Stderr, "dlserve: node listening on %s\n", addr)
+	err := server.Run(ctx, addr, ns.Handler(), 0)
+	if dataDir != "" && ctx.Err() != nil {
+		// Graceful shutdown (not a listen failure): persist the
+		// fragment so a restart serves it without reindexing.
+		if snap, serr := ns.Snapshot(); serr != nil {
+			fmt.Fprintln(os.Stderr, "dlserve: shutdown snapshot failed:", serr)
+		} else {
+			fmt.Fprintf(os.Stderr, "dlserve: snapshot %s (%d docs, %d bytes)\n",
+				snap.Path, snap.Docs, snap.Bytes)
+		}
+	}
+	if err != nil {
+		fatal(err)
 	}
 }
 
 // buildCluster assembles the coordinator's cluster: remote nodes from
-// the URL list, or k in-process nodes as a single-binary deployment.
-// The query cache exists only in the local mode, where it sits on the
-// nodes' top-N path and its /stats counters mean something; remote
-// nodes cache server-side (their own -cache flag) instead.
-func buildCluster(nodeURLs string, local int, lambda float64, nodeTimeout time.Duration, cacheCap int) (*dist.Cluster, *core.QueryCache, error) {
+// the URL list (sliced into replica groups of r), or k in-process
+// nodes as a single-binary deployment. The query cache exists only in
+// the local mode, where it sits on the nodes' top-N path and its
+// /stats counters mean something; remote nodes cache server-side
+// (their own -cache flag) instead.
+func buildCluster(nodeURLs string, local, r int, lambda float64, nodeTimeout time.Duration, cacheCap int) (*dist.Cluster, *core.QueryCache, error) {
 	opts := &dist.Options{Lambda: lambda, NodeTimeout: nodeTimeout}
 	if nodeURLs != "" {
 		var members []dist.Node
@@ -130,7 +191,8 @@ func buildCluster(nodeURLs string, local int, lambda float64, nodeTimeout time.D
 		if len(members) == 0 {
 			return nil, nil, fmt.Errorf("no node URLs in -nodes")
 		}
-		return dist.NewClusterOf(members, opts), nil, nil
+		cluster, err := dist.NewReplicatedCluster(members, r, opts)
+		return cluster, nil, err
 	}
 	if local < 1 {
 		local = 1
@@ -152,13 +214,20 @@ func buildCluster(nodeURLs string, local int, lambda float64, nodeTimeout time.D
 		}
 		members[i] = ln
 	}
-	return dist.NewClusterOf(members, opts), qc, nil
+	cluster, err := dist.NewReplicatedCluster(members, r, opts)
+	return cluster, qc, err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dlserve:", err)
+	os.Exit(1)
 }
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: dlserve {node|coordinator} [flags]
 
-  dlserve node -addr :8081
+  dlserve node -addr :8081 -data-dir /var/lib/dlsearch/node1
   dlserve coordinator -addr :8080 -nodes http://h1:8081,http://h2:8082
+  dlserve coordinator -addr :8080 -replicas 2 -nodes http://h1:8081,...
   dlserve coordinator -addr :8080 -local 4`)
 }

@@ -43,6 +43,7 @@ import (
 	"dlsearch/internal/fg"
 	"dlsearch/internal/ir"
 	"dlsearch/internal/monetxml"
+	"dlsearch/internal/persist"
 	"dlsearch/internal/query"
 	"dlsearch/internal/server"
 	"dlsearch/internal/site"
@@ -145,11 +146,36 @@ type (
 	QueryCache = core.QueryCache
 	// NodeServerConfig tunes an HTTP node server.
 	NodeServerConfig = server.NodeConfig
+	// NodeServer serves one fragment over the node wire protocol and
+	// owns its durability hooks (Snapshot, MarkRestored).
+	NodeServer = server.NodeServer
 	// Coordinator serves /search, /add, /stats and /healthz.
 	Coordinator = server.Coordinator
 	// CoordinatorConfig tunes a Coordinator.
 	CoordinatorConfig = server.CoordinatorConfig
 )
+
+// Durability & replication types: snapshot state, replica routing
+// health, per-partition batch outcomes and cluster availability
+// telemetry.
+type (
+	// IndexState is the stable serialization form of a FullTextIndex —
+	// what a snapshot persists and a restore rebuilds.
+	IndexState = ir.IndexState
+	// ReplicaHealth is one replica's routing state (consecutive
+	// failures, last error).
+	ReplicaHealth = dist.ReplicaHealth
+	// ClusterTelemetry is a cluster's cumulative availability counters.
+	ClusterTelemetry = dist.Telemetry
+	// PartitionResult is one partition's commit outcome of a batch add.
+	PartitionResult = dist.PartitionResult
+)
+
+// ErrSnapshotCorrupt reports a snapshot that failed integrity
+// verification (bad magic, truncation, checksum mismatch, or an
+// inconsistent decoded state): loads fail closed, never yielding a
+// partial index.
+var ErrSnapshotCorrupt = persist.ErrCorrupt
 
 // Substrate types used by the examples.
 type (
@@ -232,6 +258,36 @@ func NewClusterWith(k int, opts *ClusterOptions) *Cluster { return dist.NewClust
 // remote, or a mix — with per-node timeouts and straggler handling.
 func NewClusterOf(nodes []ClusterNode, opts *ClusterOptions) *Cluster {
 	return dist.NewClusterOf(nodes, opts)
+}
+
+// NewReplicatedCluster builds a cluster that places each partition on
+// r of the supplied nodes (consecutive groups): writes fan out to all
+// replicas of a partition, reads fail over between them, and killing
+// any single node leaves the merged ranking byte-identical to the
+// exact single-index ranking.
+func NewReplicatedCluster(nodes []ClusterNode, r int, opts *ClusterOptions) (*Cluster, error) {
+	return dist.NewReplicatedCluster(nodes, r, opts)
+}
+
+// NewReplicatedClusterOf builds a cluster over caller-supplied replica
+// groups: each inner slice is one partition's replicas.
+func NewReplicatedClusterOf(groups [][]ClusterNode, opts *ClusterOptions) *Cluster {
+	return dist.NewReplicatedClusterOf(groups, opts)
+}
+
+// SaveIndexSnapshot persists a full-text index to path in the
+// versioned, checksummed binary snapshot format, atomically
+// (write-to-temp, fsync, rename). The caller must not mutate the
+// index concurrently.
+func SaveIndexSnapshot(path string, ix *FullTextIndex) error {
+	return persist.SaveIndex(path, ix)
+}
+
+// LoadIndexSnapshot rebuilds a full-text index from the snapshot at
+// path. Corruption fails closed with ErrSnapshotCorrupt; a missing
+// file reports fs.ErrNotExist.
+func LoadIndexSnapshot(path string) (*FullTextIndex, error) {
+	return persist.LoadIndex(path)
 }
 
 // NewLocalNode wraps a full-text index as an in-process cluster node.

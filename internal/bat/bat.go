@@ -50,6 +50,18 @@ func (s *Sequence) Peek() OID {
 	return s.next
 }
 
+// Advance moves the sequence forward so the next issued OID is at
+// least next; a sequence already past that point is untouched. Snapshot
+// restore uses it to re-seed a fresh sequence beyond every persisted
+// oid, so post-restore allocations never collide with restored objects.
+func (s *Sequence) Advance(next OID) {
+	s.mu.Lock()
+	if next > s.next {
+		s.next = next
+	}
+	s.mu.Unlock()
+}
+
 // Kind enumerates the tail types a BAT can carry, corresponding to the
 // association types of the paper: oid×oid (tree edges), oid×string
 // (attribute values and character data), oid×int (rank / topology) and

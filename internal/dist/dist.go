@@ -1,44 +1,58 @@
 // Package dist implements the paper's shared-nothing distribution of
 // the full-text meta-index (Section "Scalability", experiment E11):
 // the document collection is fragmented per document over k
-// autonomous nodes, each holding the complete T/D/DT/TF/IDF relations
-// for its document subset.
+// autonomous partitions, each holding the complete T/D/DT/TF/IDF
+// relations for its document subset.
 //
 // The protocol mirrors the paper's central-DBMS architecture:
 //
-//  1. The central site aggregates the per-node term statistics
+//  1. The central site aggregates the per-partition term statistics
 //     (df, Σdf, |D|) into global statistics and ships them with the
 //     query, so every node scores its local documents exactly as one
 //     global index would (ir.Stats / ir.TopNWithStats).
-//  2. Every node evaluates the top-N query over its local fragment
-//     only — no inter-node communication — and returns a small
-//     RES(doc-oid, score) set of at most N rows.
+//  2. Every partition evaluates the top-N query over its local
+//     fragment only — no inter-node communication — and returns a
+//     small RES(doc-oid, score) set of at most N rows.
 //  3. The central site merges the RES sets with ir.Merge into the
 //     master ranking. Because the global top-N is a subset of the
 //     union of the local top-Ns and all scores are computed from the
 //     same global statistics, the merged ranking is identical to the
 //     ranking of a single index over the whole collection.
 //
-// Nodes are addressed through the Node interface, so a fragment may
-// live in-process (LocalNode) or behind an HTTP boundary (RemoteNode)
-// without the central site noticing. Per-node deadlines and straggler
-// handling (Search) keep one slow or dead node from stalling the
-// whole query: the merge proceeds over the responsive nodes and the
-// dropped ones are reported.
+// Partitions are addressed through the Node interface, so a fragment
+// may live in-process (LocalNode) or behind an HTTP boundary
+// (RemoteNode) without the central site noticing. Per-node deadlines
+// and straggler handling (Search) keep one slow or dead node from
+// stalling the whole query: the merge proceeds over the responsive
+// partitions and the dropped ones are reported.
+//
+// Replication is the availability axis on top: a Cluster built by
+// NewReplicatedCluster places every partition on R nodes — a replica
+// group. Writes fan out to all replicas of the document's partition so
+// the group's members stay identical copies; reads route each
+// partition to one healthy replica and fail over to the next on error
+// or missed deadline, so killing any single node leaves the merged
+// ranking byte-identical to the exact single-index ranking. Only when
+// a whole group is unreachable does a search degrade along PR 2's
+// paths (dropped fragment, stale statistics). Per-replica health —
+// consecutive failures, last error — steers routing and is exported
+// for the serving layer's /stats.
 //
 // SearchPlan combines the paper's two scaling axes: the query ships
-// with an ir.EvalPlan, each shared-nothing node fragments its own
-// partition on descending idf and evaluates only the budgeted prefix
-// (the a-priori cut-off of [BHC+01], pushed below the per-node RES
-// sets), and the merge additionally folds the nodes' quality
+// with an ir.EvalPlan, each shared-nothing partition fragments its own
+// document subset on descending idf and evaluates only the budgeted
+// prefix (the a-priori cut-off of [BHC+01], pushed below the per-node
+// RES sets), and the merge additionally folds the partitions' quality
 // estimates into a cluster-wide ir.QualityEstimate.
 package dist
 
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dlsearch/internal/bat"
@@ -49,10 +63,10 @@ import (
 // selects deterministic round-robin partitioning on the document oid,
 // the default ranking parameter and no per-node deadline.
 type Options struct {
-	// Partition maps a document oid to a node in [0, k). It must be
-	// deterministic: the same oid must always land on the same node.
-	// Nil selects round-robin on the oid, which yields balanced node
-	// loads for the dense oid sequences the engine hands out.
+	// Partition maps a document oid to a partition in [0, k). It must
+	// be deterministic: the same oid must always land on the same
+	// partition. Nil selects round-robin on the oid, which yields
+	// balanced loads for the dense oid sequences the engine hands out.
 	Partition func(doc bat.OID, k int) int
 
 	// Lambda overrides the smoothing parameter of the retrieval model
@@ -62,8 +76,9 @@ type Options struct {
 
 	// NodeTimeout bounds every per-node call (stats, top-N, load,
 	// add). A node that does not answer within the deadline is treated
-	// as a straggler: Search merges the responsive nodes' results and
-	// reports the dropped node. 0 means no per-node deadline.
+	// as a straggler: reads fail over to the partition's next replica,
+	// and only a partition with no responsive replica left is dropped
+	// from the merge. 0 means no per-node deadline.
 	NodeTimeout time.Duration
 }
 
@@ -75,13 +90,62 @@ func roundRobin(doc bat.OID, k int) int {
 	return int((uint64(doc) - 1) % uint64(k))
 }
 
-// Cluster is a shared-nothing cluster of Nodes with a central merge
-// site. All methods are safe for concurrent use when every node is
-// (LocalNode and RemoteNode both synchronize their index); a query
-// racing an Add may score against statistics from just before or just
-// after the new document, but never against torn state.
+// replicaStatus is one replica's routing state, guarded by the owning
+// groupHealth's mutex. Fails counts CONSECUTIVE failures: any success
+// resets it, so a recovered replica immediately regains routing
+// preference. diverged is stickier: it marks a replica that failed a
+// write its group committed — its copy is missing documents, and a
+// later successful call must NOT re-admit it as an equal, because it
+// would serve rankings silently missing committed documents. A
+// diverged replica routes last (better a stale ranking than a dropped
+// partition), searches it serves are flagged, and the mark outlives
+// reconnects: clearing it requires restoring the replica and
+// rebuilding the cluster (ROADMAP: automatic resync).
+type replicaStatus struct {
+	fails    uint64
+	lastErr  string
+	lastOK   time.Time
+	lastFail time.Time
+	diverged bool
+}
+
+// groupHealth tracks the routing state of one replica group.
+type groupHealth struct {
+	mu   sync.Mutex
+	reps []replicaStatus
+}
+
+// ReplicaHealth is the exported snapshot of one replica's routing
+// state, reported by Cluster.ReplicaHealth and the coordinator /stats.
+type ReplicaHealth struct {
+	// Fails is the consecutive-failure count; 0 means reachable.
+	Fails uint64
+	// LastErr is the most recent failure ("" when none since the last
+	// success).
+	LastErr string
+	// LastOKUnix / LastFailUnix are the unix seconds of the most
+	// recent success / failure (0 = never).
+	LastOKUnix   int64
+	LastFailUnix int64
+	// Diverged marks a replica that failed a write its group
+	// committed: its copy is missing documents and needs restoration
+	// (snapshot restore) before it can serve as an equal again.
+	Diverged bool
+}
+
+// Healthy reports whether the replica's last call succeeded AND its
+// copy is not known to be missing committed writes.
+func (h ReplicaHealth) Healthy() bool { return h.Fails == 0 && !h.Diverged }
+
+// Cluster is a shared-nothing cluster of replica groups with a central
+// merge site; the common unreplicated cluster is the R=1 special case
+// (every group one node). All methods are safe for concurrent use when
+// every node is (LocalNode and RemoteNode both synchronize their
+// index); a query racing an Add may score against statistics from just
+// before or just after the new document, but never against torn state.
 type Cluster struct {
-	nodes     []Node
+	groups    [][]Node
+	health    []*groupHealth
 	partition func(bat.OID, int) int
 	timeout   time.Duration
 
@@ -91,10 +155,14 @@ type Cluster struct {
 	have       bool      // stats were successfully aggregated at least once
 	gen        uint64    // bumped by every invalidation; guards refresh races
 	retryAfter time.Time // failed-aggregation backoff deadline
+
+	searchCount   atomic.Uint64 // searches served
+	failoverCount atomic.Uint64 // replica failovers across all searches
+	droppedCount  atomic.Uint64 // partitions dropped from merges
 }
 
-// NewCluster builds a cluster of k in-process nodes (k < 1 is clamped
-// to 1).
+// NewCluster builds a cluster of k in-process single-replica
+// partitions (k < 1 is clamped to 1).
 func NewCluster(k int, opts *Options) *Cluster {
 	if k < 1 {
 		k = 1
@@ -110,14 +178,62 @@ func NewCluster(k int, opts *Options) *Cluster {
 	return NewClusterOf(nodes, opts)
 }
 
-// NewClusterOf builds a cluster over caller-supplied nodes — local,
-// remote, or a mix. It panics on an empty slice (a deferred
-// divide-by-zero at the first Add would be far harder to diagnose).
+// NewClusterOf builds an unreplicated cluster over caller-supplied
+// nodes — local, remote, or a mix: every node is its own partition.
+// It panics on an empty slice (a deferred divide-by-zero at the first
+// Add would be far harder to diagnose).
 func NewClusterOf(nodes []Node, opts *Options) *Cluster {
-	if len(nodes) == 0 {
-		panic("dist: NewClusterOf requires at least one node")
+	groups := make([][]Node, len(nodes))
+	for i, n := range nodes {
+		groups[i] = []Node{n}
 	}
-	c := &Cluster{nodes: nodes, partition: roundRobin}
+	return NewReplicatedClusterOf(groups, opts)
+}
+
+// NewReplicaGroups slices nodes into partitions of r replicas each:
+// group i holds nodes[i*r : (i+1)*r]. The node count must be a
+// multiple of r — a short trailing group would silently have less
+// fault tolerance than the rest of the cluster.
+func NewReplicaGroups(nodes []Node, r int) ([][]Node, error) {
+	if r < 1 {
+		r = 1
+	}
+	if len(nodes) == 0 || len(nodes)%r != 0 {
+		return nil, fmt.Errorf("dist: %d nodes do not divide into replica groups of %d", len(nodes), r)
+	}
+	groups := make([][]Node, len(nodes)/r)
+	for i := range groups {
+		groups[i] = nodes[i*r : (i+1)*r]
+	}
+	return groups, nil
+}
+
+// NewReplicatedCluster builds a cluster that places each partition on
+// r nodes (see NewReplicaGroups for the placement).
+func NewReplicatedCluster(nodes []Node, r int, opts *Options) (*Cluster, error) {
+	groups, err := NewReplicaGroups(nodes, r)
+	if err != nil {
+		return nil, err
+	}
+	return NewReplicatedClusterOf(groups, opts), nil
+}
+
+// NewReplicatedClusterOf builds a cluster over caller-supplied replica
+// groups: each inner slice is one partition's replicas (all holding,
+// or about to hold, identical copies of that partition). Groups may
+// differ in size. It panics on an empty cluster or an empty group.
+func NewReplicatedClusterOf(groups [][]Node, opts *Options) *Cluster {
+	if len(groups) == 0 {
+		panic("dist: cluster requires at least one replica group")
+	}
+	c := &Cluster{groups: groups, partition: roundRobin}
+	c.health = make([]*groupHealth, len(groups))
+	for g, reps := range groups {
+		if len(reps) == 0 {
+			panic("dist: replica group must hold at least one node")
+		}
+		c.health[g] = &groupHealth{reps: make([]replicaStatus, len(reps))}
+	}
 	if opts != nil {
 		if opts.Partition != nil {
 			c.partition = opts.Partition
@@ -127,20 +243,250 @@ func NewClusterOf(nodes []Node, opts *Options) *Cluster {
 	return c
 }
 
-// Size returns the number of nodes.
-func (c *Cluster) Size() int { return len(c.nodes) }
+// Size returns the number of partitions (replica groups).
+func (c *Cluster) Size() int { return len(c.groups) }
 
-// NodeAt returns node i, for inspection by experiments.
-func (c *Cluster) NodeAt(i int) Node { return c.nodes[i] }
+// Replicas returns the replica count of partition g.
+func (c *Cluster) Replicas(g int) int { return len(c.groups[g]) }
 
-// LocalIndex returns the underlying index of node i if it is an
-// in-process node, nil otherwise.
+// NodeAt returns partition i's primary (first) replica, for inspection
+// by experiments.
+func (c *Cluster) NodeAt(i int) Node { return c.groups[i][0] }
+
+// ReplicaAt returns replica r of partition g.
+func (c *Cluster) ReplicaAt(g, r int) Node { return c.groups[g][r] }
+
+// LocalIndex returns the underlying index of partition i's primary
+// replica if it is an in-process node, nil otherwise.
 func (c *Cluster) LocalIndex(i int) *ir.Index {
-	if ln, ok := c.nodes[i].(*LocalNode); ok {
+	if ln, ok := c.groups[i][0].(*LocalNode); ok {
 		return ln.Index()
 	}
 	return nil
 }
+
+// ReplicaHealth returns a snapshot of every replica's routing state,
+// indexed [partition][replica].
+func (c *Cluster) ReplicaHealth() [][]ReplicaHealth {
+	out := make([][]ReplicaHealth, len(c.groups))
+	for g, gh := range c.health {
+		gh.mu.Lock()
+		out[g] = make([]ReplicaHealth, len(gh.reps))
+		for r, st := range gh.reps {
+			h := ReplicaHealth{Fails: st.fails, LastErr: st.lastErr, Diverged: st.diverged}
+			if !st.lastOK.IsZero() {
+				h.LastOKUnix = st.lastOK.Unix()
+			}
+			if !st.lastFail.IsZero() {
+				h.LastFailUnix = st.lastFail.Unix()
+			}
+			out[g][r] = h
+		}
+		gh.mu.Unlock()
+	}
+	return out
+}
+
+// Telemetry is the cluster's cumulative availability accounting.
+type Telemetry struct {
+	Searches uint64 // searches served (SearchPlan calls that fanned out)
+	// Failovers counts replica failovers across EVERY read path —
+	// searches, statistics aggregation and load probes alike — so with
+	// a dead primary it can legitimately exceed Searches.
+	Failovers uint64
+	Dropped   uint64 // partitions dropped from merged rankings
+}
+
+// Telemetry returns the cumulative counters.
+func (c *Cluster) Telemetry() Telemetry {
+	return Telemetry{
+		Searches:  c.searchCount.Load(),
+		Failovers: c.failoverCount.Load(),
+		Dropped:   c.droppedCount.Load(),
+	}
+}
+
+// record folds one call outcome into a replica's routing state.
+func (c *Cluster) record(g, r int, err error) {
+	gh := c.health[g]
+	gh.mu.Lock()
+	st := &gh.reps[r]
+	if err == nil {
+		st.fails = 0
+		st.lastErr = ""
+		st.lastOK = time.Now()
+	} else {
+		st.fails++
+		st.lastErr = err.Error()
+		st.lastFail = time.Now()
+	}
+	gh.mu.Unlock()
+}
+
+// markDiverged flags a replica whose copy is known to be missing
+// committed writes.
+func (c *Cluster) markDiverged(g, r int) {
+	gh := c.health[g]
+	gh.mu.Lock()
+	gh.reps[r].diverged = true
+	gh.mu.Unlock()
+}
+
+// isDiverged reports whether a replica carries the divergence mark.
+func (c *Cluster) isDiverged(g, r int) bool {
+	gh := c.health[g]
+	gh.mu.Lock()
+	defer gh.mu.Unlock()
+	return gh.reps[r].diverged
+}
+
+// replicaOrder returns the routing order for a group's replicas:
+// non-diverged, least-failing replicas first, ties broken by index so
+// the primary is preferred when all are healthy; diverged replicas
+// come last regardless of reachability — a reconnecting replica that
+// missed writes must not serve as an equal just because it answers.
+// Single-replica groups short-circuit without allocating.
+func (c *Cluster) replicaOrder(g int) []int {
+	reps := c.groups[g]
+	if len(reps) == 1 {
+		return nil
+	}
+	gh := c.health[g]
+	gh.mu.Lock()
+	fails := make([]uint64, len(reps))
+	diverged := make([]bool, len(reps))
+	for r := range reps {
+		fails[r] = gh.reps[r].fails
+		diverged[r] = gh.reps[r].diverged
+	}
+	gh.mu.Unlock()
+	order := make([]int, len(reps))
+	for r := range order {
+		order[r] = r
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if diverged[a] != diverged[b] {
+			return !diverged[a]
+		}
+		return fails[a] < fails[b]
+	})
+	return order
+}
+
+// groupCall routes one read through partition g with failover: the
+// replicas are tried in health-preference order, each under its own
+// per-node deadline, until one answers. It returns the answer, how
+// many failovers (failed attempts before the outcome) happened,
+// whether the replica that answered is marked diverged (its copy may
+// miss committed writes — callers surface this instead of claiming a
+// complete answer), and the last error when every replica failed. A
+// caller-cancelled context stops the failover loop — the caller's
+// deadline must not be spent walking dead replicas — and is not held
+// against the replica.
+func groupCall[T any](c *Cluster, ctx context.Context, g, scale int, call func(context.Context, Node) (T, error)) (T, int, bool, error) {
+	var zero T
+	order := c.replicaOrder(g)
+	n := len(c.groups[g])
+	var lastErr error
+	tried := 0
+	for i := 0; i < n; i++ {
+		r := i
+		if order != nil {
+			r = order[i]
+		}
+		if err := ctx.Err(); err != nil {
+			if lastErr == nil {
+				lastErr = err
+			}
+			break
+		}
+		nctx, cancel := c.nodeCtxN(ctx, scale)
+		v, err := call(nctx, c.groups[g][r])
+		cancel()
+		tried++
+		if err == nil {
+			c.record(g, r, nil)
+			return v, tried - 1, c.isDiverged(g, r), nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			// The caller's own deadline expired mid-call: the failure
+			// says nothing about this replica.
+			break
+		}
+		c.record(g, r, err)
+	}
+	failovers := tried - 1
+	if failovers < 0 {
+		failovers = 0
+	}
+	return zero, failovers, false, lastErr
+}
+
+// fanToGroup routes one write to ALL replicas of partition g in
+// parallel — replicas must stay identical copies — and reports how
+// many committed plus the joined per-replica errors. A partial commit
+// (0 < committed < replicas) means the failing replicas are now STALE:
+// they miss documents the group's survivors hold, and must be restored
+// from a snapshot (or re-fed the documents) before they can serve
+// again. The serving layer surfaces this through per-replica health.
+func (c *Cluster) fanToGroup(ctx context.Context, g, scale int, call func(context.Context, Node) error) (int, error) {
+	reps := c.groups[g]
+	errs := make([]error, len(reps))
+	var wg sync.WaitGroup
+	for r, node := range reps {
+		wg.Add(1)
+		go func(r int, node Node) {
+			defer wg.Done()
+			nctx, cancel := c.nodeCtxN(ctx, scale)
+			defer cancel()
+			err := call(nctx, node)
+			if err == nil || ctx.Err() == nil {
+				// A failure caused by the caller's own cancellation
+				// says nothing about the replica — don't record it.
+				c.record(g, r, err)
+			}
+			if err != nil {
+				errs[r] = fmt.Errorf("partition %d replica %d: %w", g, r, err)
+			}
+		}(r, node)
+	}
+	wg.Wait()
+	committed := 0
+	for _, err := range errs {
+		if err == nil {
+			committed++
+		}
+	}
+	if committed > 0 {
+		// The group committed the write; a replica that failed it is
+		// now missing documents its partners hold — quarantine it in
+		// routing until it is restored, or reads served by it would
+		// silently miss committed documents.
+		for r, err := range errs {
+			if err != nil {
+				c.markDiverged(g, r)
+			}
+		}
+	}
+	return committed, errors.Join(errs...)
+}
+
+// partialApplyError wraps a per-document add failure that happened
+// AFTER earlier documents of the same group batch were applied: the
+// replica holds an unknown prefix, so "no replica acknowledged" must
+// not be read as retry-safe.
+type partialApplyError struct {
+	applied, total int
+	err            error
+}
+
+func (e *partialApplyError) Error() string {
+	return fmt.Sprintf("applied %d of %d documents before failing: %v", e.applied, e.total, e.err)
+}
+
+func (e *partialApplyError) Unwrap() error { return e.err }
 
 // InvalidateStats forces the next query to re-aggregate global
 // statistics. Use it when documents were added to a node outside this
@@ -171,15 +517,18 @@ func (c *Cluster) nodeCtxN(ctx context.Context, n int) (context.Context, context
 	return context.WithCancel(ctx)
 }
 
-// AddContext routes one document to its node by the deterministic
-// per-document partitioning. Stats are invalidated after the add
-// lands (not before): a concurrent query that re-aggregated while the
-// add was in flight must not leave stale statistics marked fresh.
+// AddContext routes one document to every replica of its partition by
+// the deterministic per-document partitioning. Stats are invalidated
+// after the add lands (not before): a concurrent query that
+// re-aggregated while the add was in flight must not leave stale
+// statistics marked fresh.
 func (c *Cluster) AddContext(ctx context.Context, doc bat.OID, url, text string) error {
 	defer c.InvalidateStats()
-	nctx, cancel := c.nodeCtx(ctx)
-	defer cancel()
-	return c.nodes[c.partition(doc, len(c.nodes))].Add(nctx, doc, url, text)
+	g := c.partition(doc, len(c.groups))
+	_, err := c.fanToGroup(ctx, g, 1, func(nctx context.Context, n Node) error {
+		return n.Add(nctx, doc, url, text)
+	})
+	return err
 }
 
 // Add is AddContext with a background context, for in-process clusters
@@ -188,55 +537,124 @@ func (c *Cluster) Add(doc bat.OID, url, text string) {
 	_ = c.AddContext(context.Background(), doc, url, text)
 }
 
-// AddBatchContext routes a batch of documents to their nodes with one
-// round-trip per touched partition: documents are grouped by the
-// deterministic partitioning, and each group ships through the node's
-// BatchAdder capability (one request) or, for nodes without it, a
-// per-document Add loop. Groups load in parallel; the joined errors
-// are returned after every group settled, so a partial failure never
-// leaves goroutines writing behind the caller's back.
+// PartitionResult is one partition's outcome of a batch add: which of
+// the batch's documents were routed to it, how many replicas
+// ACKNOWLEDGED committing them, and the joined error when any replica
+// failed.
 //
-// Partition groups commit independently: on error, the documents of
-// the groups that succeeded ARE indexed. Retrying the whole batch
-// would fold their term frequencies in twice — retry only the failed
-// partitions' documents (the error names the failing nodes), or use
-// fresh oids. Per-document outcome reporting is a ROADMAP follow-up.
-func (c *Cluster) AddBatchContext(ctx context.Context, docs []Doc) error {
+// Retry semantics: a partition with Committed == 0 acknowledged none
+// of its documents — retrying exactly those documents is safe when the
+// failures were connection-level (node down, connection refused). A
+// TIMED-OUT replica is ambiguous: it may have applied the batch
+// without the acknowledgement arriving, in which case a retry
+// double-folds term frequencies (ir.Index.Add merges tf by design);
+// the error text names the failure, so treat deadline errors as
+// needs-verification, not retry-safe. A partition with
+// 0 < Committed < Replicas is DEGRADED, never retryable: the
+// acknowledged replicas would double-fold; the failed replicas need
+// restoration instead (snapshot restore, or administrative re-add
+// against the lagging node only).
+type PartitionResult struct {
+	Partition int
+	Docs      []bat.OID // the batch's documents routed here, request order
+	Replicas  int       // replica count of the partition
+	Committed int       // replicas that acknowledged the whole group batch
+	Err       error     // nil when every replica acknowledged
+	// Ambiguous is set when a replica demonstrably applied SOME of the
+	// partition's documents before failing (the per-document fallback
+	// loop progressed past its first document): even with Committed 0
+	// a retry would double-fold the applied prefix.
+	Ambiguous bool
+}
+
+// Failed reports whether no replica acknowledged the commit and no
+// partial application was observed — the (connection-level-failure)
+// retry-safe case; see the type comment for the timeout caveat.
+func (p *PartitionResult) Failed() bool {
+	return p.Committed == 0 && p.Err != nil && !p.Ambiguous
+}
+
+// AddBatchResults routes a batch of documents to their partitions with
+// one round-trip per touched replica: documents are grouped by the
+// deterministic partitioning, and each group ships to every replica
+// through the node's BatchAdder capability (one request) or, for nodes
+// without it, a per-document Add loop. Groups load in parallel and
+// every group settles before the call returns, so a partial failure
+// never leaves goroutines writing behind the caller's back.
+//
+// The per-partition outcomes come back in ascending partition order so
+// a client can retry exactly the failed partitions (see
+// PartitionResult for the commit/degraded/failed trichotomy).
+func (c *Cluster) AddBatchResults(ctx context.Context, docs []Doc) []PartitionResult {
 	if len(docs) == 0 {
 		return nil
 	}
 	defer c.InvalidateStats()
-	groups := make(map[int][]Doc)
+	grouped := make(map[int][]Doc)
 	for _, d := range docs {
-		i := c.partition(d.OID, len(c.nodes))
-		groups[i] = append(groups[i], d)
+		g := c.partition(d.OID, len(c.groups))
+		grouped[g] = append(grouped[g], d)
 	}
-	errs := make([]error, len(c.nodes))
+	parts := make([]int, 0, len(grouped))
+	for g := range grouped {
+		parts = append(parts, g)
+	}
+	sort.Ints(parts)
+	results := make([]PartitionResult, len(parts))
 	var wg sync.WaitGroup
-	for i, part := range groups {
+	for i, g := range parts {
+		part := grouped[g]
+		oids := make([]bat.OID, len(part))
+		for j, d := range part {
+			oids[j] = d.OID
+		}
+		results[i] = PartitionResult{Partition: g, Docs: oids, Replicas: len(c.groups[g])}
 		wg.Add(1)
-		go func(i int, part []Doc) {
+		go func(i, g int, part []Doc) {
 			defer wg.Done()
-			nctx, cancel := c.nodeCtxN(ctx, len(part))
-			defer cancel()
-			if ba, ok := c.nodes[i].(BatchAdder); ok {
-				errs[i] = ba.AddBatch(nctx, part)
-				return
-			}
-			for _, d := range part {
-				if err := c.nodes[i].Add(nctx, d.OID, d.URL, d.Text); err != nil {
-					errs[i] = err
-					return
+			committed, err := c.fanToGroup(ctx, g, len(part), func(nctx context.Context, n Node) error {
+				if ba, ok := n.(BatchAdder); ok {
+					return ba.AddBatch(nctx, part)
 				}
+				for j, d := range part {
+					if err := n.Add(nctx, d.OID, d.URL, d.Text); err != nil {
+						if j > 0 {
+							return &partialApplyError{applied: j, total: len(part), err: err}
+						}
+						return err
+					}
+				}
+				return nil
+			})
+			results[i].Committed = committed
+			results[i].Err = err
+			var pa *partialApplyError
+			if errors.As(err, &pa) {
+				results[i].Ambiguous = true
 			}
-		}(i, part)
+		}(i, g, part)
 	}
 	wg.Wait()
+	return results
+}
+
+// AddBatchContext is AddBatchResults reduced to one error: nil when
+// every partition fully committed, the joined partition errors
+// otherwise. Callers that need per-partition retry information use
+// AddBatchResults.
+func (c *Cluster) AddBatchContext(ctx context.Context, docs []Doc) error {
+	results := c.AddBatchResults(ctx, docs)
+	errs := make([]error, 0, len(results))
+	for i := range results {
+		if results[i].Err != nil {
+			errs = append(errs, results[i].Err)
+		}
+	}
 	return errors.Join(errs...)
 }
 
-// DocCount returns the number of documents over all nodes (0 counted
-// for unreachable nodes).
+// DocCount returns the number of documents over all partitions (0
+// counted for unreachable partitions; replicas count once).
 func (c *Cluster) DocCount() int {
 	infos, _ := c.NodeInfoContext(context.Background())
 	n := 0
@@ -246,21 +664,26 @@ func (c *Cluster) DocCount() int {
 	return n
 }
 
-// NodeInfoContext returns every node's load, gathered in parallel; an
-// unreachable node reports a zero load and the first error is
+// NodeInfoContext returns every partition's load — read from its first
+// healthy replica, failing over like any read — gathered in parallel;
+// an unreachable partition reports a zero load and the first error is
 // returned alongside the loads.
 func (c *Cluster) NodeInfoContext(ctx context.Context) ([]NodeLoad, error) {
-	infos := make([]NodeLoad, len(c.nodes))
-	errs := make([]error, len(c.nodes))
+	infos := make([]NodeLoad, len(c.groups))
+	errs := make([]error, len(c.groups))
 	var wg sync.WaitGroup
-	for i, node := range c.nodes {
+	for g := range c.groups {
 		wg.Add(1)
-		go func(i int, node Node) {
+		go func(g int) {
 			defer wg.Done()
-			nctx, cancel := c.nodeCtx(ctx)
-			defer cancel()
-			infos[i], errs[i] = node.Load(nctx)
-		}(i, node)
+			var fo int
+			infos[g], fo, _, errs[g] = groupCall(c, ctx, g, 1, func(nctx context.Context, n Node) (NodeLoad, error) {
+				return n.Load(nctx)
+			})
+			if fo > 0 {
+				c.failoverCount.Add(uint64(fo))
+			}
+		}(g)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -271,7 +694,40 @@ func (c *Cluster) NodeInfoContext(ctx context.Context) ([]NodeLoad, error) {
 	return infos, nil
 }
 
-// NodeLoadsContext returns the number of documents on each node.
+// ReplicaInfo is one replica's load and routing state, as gathered by
+// ReplicaInfoContext for the serving layer's /stats.
+type ReplicaInfo struct {
+	Load   NodeLoad
+	Err    error // load probe failure (replica unreachable)
+	Health ReplicaHealth
+}
+
+// ReplicaInfoContext probes EVERY replica of every partition in
+// parallel — no failover, this is the observability path where an
+// unreachable replica is exactly the finding — and pairs each load
+// with the replica's routing state.
+func (c *Cluster) ReplicaInfoContext(ctx context.Context) [][]ReplicaInfo {
+	health := c.ReplicaHealth()
+	out := make([][]ReplicaInfo, len(c.groups))
+	var wg sync.WaitGroup
+	for g, reps := range c.groups {
+		out[g] = make([]ReplicaInfo, len(reps))
+		for r, node := range reps {
+			out[g][r].Health = health[g][r]
+			wg.Add(1)
+			go func(g, r int, node Node) {
+				defer wg.Done()
+				nctx, cancel := c.nodeCtx(ctx)
+				defer cancel()
+				out[g][r].Load, out[g][r].Err = node.Load(nctx)
+			}(g, r, node)
+		}
+	}
+	wg.Wait()
+	return out
+}
+
+// NodeLoadsContext returns the number of documents on each partition.
 func (c *Cluster) NodeLoadsContext(ctx context.Context) ([]int, error) {
 	infos, err := c.NodeInfoContext(ctx)
 	loads := make([]int, len(infos))
@@ -281,15 +737,15 @@ func (c *Cluster) NodeLoadsContext(ctx context.Context) ([]int, error) {
 	return loads, err
 }
 
-// NodeLoads returns the number of documents on each node; with the
-// default partitioning the loads differ by at most one.
+// NodeLoads returns the number of documents on each partition; with
+// the default partitioning the loads differ by at most one.
 func (c *Cluster) NodeLoads() []int {
 	loads, _ := c.NodeLoadsContext(context.Background())
 	return loads
 }
 
-// MaxDocContext returns the highest document oid over all nodes, so
-// an oid allocator can continue after the documents already indexed.
+// MaxDocContext returns the highest document oid over all partitions,
+// so an oid allocator can continue after the documents already indexed.
 func (c *Cluster) MaxDocContext(ctx context.Context) (bat.OID, error) {
 	infos, err := c.NodeInfoContext(ctx)
 	if err != nil {
@@ -319,11 +775,15 @@ func (c *Cluster) statsBackoff() time.Duration {
 // GlobalStatsContext returns the aggregated collection statistics the
 // central site ships with every query, refreshing them (and freezing
 // every node's access paths) if documents arrived through this
-// cluster since the last query. Aggregation fails if any node is
-// unreachable: scoring with partial global statistics would silently
-// change the ranking. A failed refresh is not retried for a backoff
-// window (the per-node timeout), so searches fall back to stale
-// statistics quickly instead of each paying the dead node's timeout.
+// cluster since the last query. Each partition's statistics come from
+// its first responsive replica — replicas hold identical copies, so
+// any one of them speaks for the group, and a dead node only fails the
+// aggregation when its whole group is down. Aggregation fails if any
+// partition is unreachable: scoring with partial global statistics
+// would silently change the ranking. A failed refresh is not retried
+// for a backoff window (the per-node timeout), so searches fall back
+// to stale statistics quickly instead of each paying the dead
+// partition's timeout.
 //
 // The network fan-out runs outside the cluster lock: concurrent
 // refreshes may race each other (they produce the same answer), but
@@ -344,17 +804,23 @@ func (c *Cluster) GlobalStatsContext(ctx context.Context) (ir.Stats, error) {
 	gen := c.gen
 	c.mu.Unlock()
 
-	locals := make([]ir.Stats, len(c.nodes))
-	errs := make([]error, len(c.nodes))
+	locals := make([]ir.Stats, len(c.groups))
+	errs := make([]error, len(c.groups))
 	var wg sync.WaitGroup
-	for i, node := range c.nodes {
+	for g := range c.groups {
 		wg.Add(1)
-		go func(i int, node Node) {
+		go func(g int) {
 			defer wg.Done()
-			nctx, cancel := c.nodeCtx(ctx)
-			defer cancel()
-			locals[i], errs[i] = node.Stats(nctx)
-		}(i, node)
+			var fo int
+			locals[g], fo, _, errs[g] = groupCall(c, ctx, g, 1, func(nctx context.Context, n Node) (ir.Stats, error) {
+				return n.Stats(nctx)
+			})
+			if fo > 0 {
+				// Aggregation re-routed around a dead replica: count it —
+				// telemetry reflects every failover, wherever it happens.
+				c.failoverCount.Add(uint64(fo))
+			}
+		}(g)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -398,41 +864,68 @@ func (c *Cluster) GlobalStats() ir.Stats {
 }
 
 // SearchResult is the outcome of a distributed query: the merged
-// ranking over the responsive nodes, plus which nodes (if any) were
-// dropped and why. Complete reports whether every node contributed
-// with fresh statistics — when true the ranking is exactly the
-// single-index ranking.
+// ranking over the responsive partitions, plus which partitions (if
+// any) were dropped and why, and which needed replica failover.
+// Complete reports whether every partition contributed with fresh
+// statistics — when true the ranking is exactly the single-index
+// ranking, failovers included (a failover re-routes to an identical
+// replica; it never degrades the ranking).
 type SearchResult struct {
 	Results []ir.Result
 	// Quality is the cluster-wide quality estimate of a budgeted
-	// search: the responsive nodes' per-fragment idf-mass accounting
-	// merged by MergeQuality. Exact searches report the trivially
-	// exact estimate (Value() == 1).
+	// search: the responsive partitions' per-fragment idf-mass
+	// accounting merged by MergeQuality. Exact searches report the
+	// trivially exact estimate (Value() == 1).
 	Quality ir.QualityEstimate
-	Dropped []int         // indices of dropped nodes, ascending
-	Errs    map[int]error // reason per dropped node
+	Dropped []int         // indices of dropped partitions, ascending
+	Errs    map[int]error // reason per dropped partition
+	// Failovers maps partition index → replica failovers this search
+	// needed there (absent partitions needed none). A populated map
+	// with an empty Dropped is the replication subsystem working as
+	// designed: a node died and the ranking did not degrade.
+	Failovers map[int]int
+	// Diverged lists partitions whose RES set came from a replica
+	// marked diverged (it previously failed a write its group
+	// committed): the ranking may be missing committed documents.
+	// Serving it beats dropping the partition, but it must not pass as
+	// complete.
+	Diverged []int
 	// StaleStats is set when re-aggregating global statistics failed
-	// (a node was unreachable) and the query was scored with the last
-	// successful aggregation instead — degraded but available.
+	// (a whole replica group was unreachable) and the query was scored
+	// with the last successful aggregation instead — degraded but
+	// available.
 	StaleStats bool
 }
 
-// Complete reports whether every node answered in time with fresh
-// global statistics.
-func (r *SearchResult) Complete() bool { return len(r.Dropped) == 0 && !r.StaleStats }
+// Complete reports whether every partition answered in time with fresh
+// global statistics from a replica holding the full committed state.
+func (r *SearchResult) Complete() bool {
+	return len(r.Dropped) == 0 && len(r.Diverged) == 0 && !r.StaleStats
+}
 
-// Search evaluates the query on every node in parallel — one worker
-// per node, shared-nothing — and fans the per-node RES sets in through
-// the central ir.Merge. Nodes that fail or miss their deadline (the
-// per-node NodeTimeout and/or the deadline of ctx) are dropped: the
-// merge proceeds over the responsive nodes and the dropped indices
-// are reported in the result, deterministically ordered. With no
-// drops the merged ranking is identical to the TopN of a single index
-// holding the whole collection.
+// FailoverTotal sums the replica failovers across partitions.
+func (r *SearchResult) FailoverTotal() int {
+	n := 0
+	for _, f := range r.Failovers {
+		n += f
+	}
+	return n
+}
+
+// Search evaluates the query on every partition in parallel — one
+// worker per replica group, shared-nothing — and fans the per-node RES
+// sets in through the central ir.Merge. Within a group the worker
+// routes to the healthiest replica and fails over on error or missed
+// deadline; a partition whose every replica fails is dropped, the
+// merge proceeds over the responsive partitions and the dropped
+// indices are reported in the result, deterministically ordered. With
+// no drops the merged ranking is identical to the TopN of a single
+// index holding the whole collection — even when individual replicas
+// died, as long as each partition kept one responsive replica.
 //
-// If global statistics cannot be re-aggregated because a node is
-// unreachable, the query falls back to the last successful
-// aggregation (StaleStats is set) so one dead node degrades the
+// If global statistics cannot be re-aggregated because a whole group
+// is unreachable, the query falls back to the last successful
+// aggregation (StaleStats is set) so a dead partition degrades the
 // ranking instead of turning every search into an outage; only a
 // cluster that never aggregated stats at all fails outright.
 func (c *Cluster) Search(ctx context.Context, query string, n int) (*SearchResult, error) {
@@ -440,14 +933,14 @@ func (c *Cluster) Search(ctx context.Context, query string, n int) (*SearchResul
 }
 
 // SearchPlan is Search under an evaluation plan: the plan ships with
-// the query to every node, each node fragments its own partition on
-// descending idf and evaluates only the budgeted prefix, and the
-// coordinator merges the RES sets plus a cluster-wide quality
-// estimate. The a-priori cut-off thus executes *below* the per-node
-// RES sets — each node skips its own trailing fragments — rather than
-// centrally after full evaluation. An exact plan (zero Budget) is
-// exactly Search: the merged ranking is identical to a single index
-// over the whole collection.
+// the query to every partition, each partition fragments its own
+// document subset on descending idf and evaluates only the budgeted
+// prefix, and the coordinator merges the RES sets plus a cluster-wide
+// quality estimate. The a-priori cut-off thus executes *below* the
+// per-node RES sets — each partition skips its own trailing fragments
+// — rather than centrally after full evaluation. An exact plan (zero
+// Budget) is exactly Search: the merged ranking is identical to a
+// single index over the whole collection.
 func (c *Cluster) SearchPlan(ctx context.Context, query string, plan ir.EvalPlan) (*SearchResult, error) {
 	sr := &SearchResult{}
 	if plan.N <= 0 {
@@ -461,55 +954,74 @@ func (c *Cluster) SearchPlan(ctx context.Context, query string, plan ir.EvalPlan
 		}
 		global, sr.StaleStats = stale, true
 	}
-	type nodeRes struct {
-		i   int
+	c.searchCount.Add(1)
+	type planRes struct {
 		res []ir.Result
 		est ir.QualityEstimate
-		err error
 	}
-	ch := make(chan nodeRes, len(c.nodes))
-	for i, node := range c.nodes {
-		go func(i int, node Node) {
-			nctx, cancel := c.nodeCtx(ctx)
-			defer cancel()
-			res, est, err := node.SearchPlan(nctx, query, plan, global)
-			ch <- nodeRes{i, res, est, err}
-		}(i, node)
+	type groupRes struct {
+		g        int
+		r        planRes
+		fo       int
+		diverged bool
+		err      error
 	}
-	rankings := make([][]ir.Result, len(c.nodes))
-	// Estimates are kept in node order: merging sums floating-point
-	// masses, and summation in nondeterministic arrival order would
-	// make the reported cluster quality differ between identical
-	// queries in the last bit. A failed node's zero estimate is a
-	// no-op in the merge.
-	ests := make([]ir.QualityEstimate, len(c.nodes))
-	answered := make([]bool, len(c.nodes))
-	pending := len(c.nodes)
+	ch := make(chan groupRes, len(c.groups))
+	for g := range c.groups {
+		go func(g int) {
+			r, fo, diverged, err := groupCall(c, ctx, g, 1, func(nctx context.Context, n Node) (planRes, error) {
+				res, est, err := n.SearchPlan(nctx, query, plan, global)
+				return planRes{res, est}, err
+			})
+			ch <- groupRes{g, r, fo, diverged, err}
+		}(g)
+	}
+	rankings := make([][]ir.Result, len(c.groups))
+	// Estimates are kept in partition order: merging sums
+	// floating-point masses, and summation in nondeterministic arrival
+	// order would make the reported cluster quality differ between
+	// identical queries in the last bit. A failed partition's zero
+	// estimate is a no-op in the merge.
+	ests := make([]ir.QualityEstimate, len(c.groups))
+	answered := make([]bool, len(c.groups))
+	pending := len(c.groups)
 collect:
 	for pending > 0 {
 		select {
 		case r := <-ch:
 			pending--
-			answered[r.i] = true
+			answered[r.g] = true
+			if r.fo > 0 {
+				if sr.Failovers == nil {
+					sr.Failovers = map[int]int{}
+				}
+				sr.Failovers[r.g] = r.fo
+				c.failoverCount.Add(uint64(r.fo))
+			}
 			if r.err != nil {
-				sr.fail(r.i, r.err)
+				sr.fail(r.g, r.err)
 			} else {
-				rankings[r.i] = r.res
-				ests[r.i] = r.est
+				rankings[r.g] = r.r.res
+				ests[r.g] = r.r.est
+				if r.diverged {
+					sr.Diverged = append(sr.Diverged, r.g)
+				}
 			}
 		case <-ctx.Done():
 			// Overall deadline: whatever has not answered yet is a
 			// straggler. The workers still drain into the buffered
 			// channel and exit; their late results are discarded.
-			for i, ok := range answered {
+			for g, ok := range answered {
 				if !ok {
-					sr.fail(i, ctx.Err())
+					sr.fail(g, ctx.Err())
 				}
 			}
 			break collect
 		}
 	}
 	sort.Ints(sr.Dropped)
+	sort.Ints(sr.Diverged)
+	c.droppedCount.Add(uint64(len(sr.Dropped)))
 	sr.Results = ir.Merge(plan.N, rankings...)
 	sr.Quality = ir.MergeQuality(ests...)
 	return sr, nil
@@ -524,8 +1036,8 @@ func (r *SearchResult) fail(i int, err error) {
 }
 
 // TopN is the convenience form of Search for in-process clusters
-// without a NodeTimeout: background context, every node awaited, and
-// the merged ranking identical to a single index over the whole
+// without a NodeTimeout: background context, every partition awaited,
+// and the merged ranking identical to a single index over the whole
 // collection. With remote nodes or a NodeTimeout configured it may
 // silently return a partial ranking (dropped fragments) or nil (stats
 // aggregation failed on a cold cluster) — serving layers must call
@@ -539,20 +1051,23 @@ func (c *Cluster) TopN(query string, n int) []ir.Result {
 }
 
 // TopNSequential is the single-worker baseline: the same plan, the
-// same per-node RES sets and the same merged ranking, but the nodes
-// are visited one after another. E11 measures parallel against this.
-// Like TopN it is meant for in-process clusters; failing nodes are
-// silently skipped.
+// same per-node RES sets and the same merged ranking, but the
+// partitions are visited one after another. E11 measures parallel
+// against this. Like TopN it is meant for in-process clusters; failing
+// partitions are silently skipped.
 func (c *Cluster) TopNSequential(query string, n int) []ir.Result {
 	ctx := context.Background()
 	global, err := c.GlobalStatsContext(ctx)
 	if err != nil {
 		return nil
 	}
-	rankings := make([][]ir.Result, len(c.nodes))
-	for i, node := range c.nodes {
-		if res, err := node.TopNWithStats(ctx, query, n, global); err == nil {
-			rankings[i] = res
+	rankings := make([][]ir.Result, len(c.groups))
+	for g := range c.groups {
+		res, _, _, err := groupCall(c, ctx, g, 1, func(nctx context.Context, n_ Node) ([]ir.Result, error) {
+			return n_.TopNWithStats(nctx, query, n, global)
+		})
+		if err == nil {
+			rankings[g] = res
 		}
 	}
 	return ir.Merge(n, rankings...)

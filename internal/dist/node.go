@@ -3,6 +3,7 @@ package dist
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 
 	"dlsearch/internal/bat"
 	"dlsearch/internal/ir"
@@ -39,11 +40,14 @@ type Node interface {
 }
 
 // NodeLoad describes one node's document load: how many documents it
-// holds and the highest oid among them (so central oid allocators can
-// continue the sequence without reusing a live oid).
+// holds, the highest oid among them (so central oid allocators can
+// continue the sequence without reusing a live oid), and when the node
+// last persisted a snapshot (unix seconds, 0 = never) so operators can
+// see how much work a crash would lose.
 type NodeLoad struct {
-	Docs   int
-	MaxDoc bat.OID
+	Docs         int
+	MaxDoc       bat.OID
+	SnapshotUnix int64
 }
 
 // Doc is one document of a batch add.
@@ -82,10 +86,11 @@ type RankingCache interface {
 // may add documents and answer queries concurrently: Add and Stats
 // (which freezes) take the write lock, queries the read lock.
 type LocalNode struct {
-	mu      sync.RWMutex
-	ix      *ir.Index
-	resolve func(*ir.Index, string) ([]string, []bat.OID)
-	rank    RankingCache
+	mu       sync.RWMutex
+	ix       *ir.Index
+	resolve  func(*ir.Index, string) ([]string, []bat.OID)
+	rank     RankingCache
+	lastSnap atomic.Int64 // unix seconds of the last persisted snapshot
 }
 
 // NewLocalNode wraps an index as a cluster node.
@@ -204,5 +209,28 @@ func (n *LocalNode) planWithStats(query string, plan ir.EvalPlan, global ir.Stat
 func (n *LocalNode) Load(context.Context) (NodeLoad, error) {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	return NodeLoad{Docs: n.ix.DocCount(), MaxDoc: n.ix.MaxDoc()}, nil
+	return NodeLoad{
+		Docs:         n.ix.DocCount(),
+		MaxDoc:       n.ix.MaxDoc(),
+		SnapshotUnix: n.lastSnap.Load(),
+	}, nil
 }
+
+// ExportState freezes the index and captures its complete logical
+// state under the write lock — the consistent cut the durability layer
+// persists. Queries blocked behind the export resume against the very
+// state the snapshot holds.
+func (n *LocalNode) ExportState() *ir.IndexState {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ix.ExportState()
+}
+
+// MarkSnapshot records that a snapshot of this node's state was
+// durably persisted at t; Load reports it so coordinators can surface
+// per-replica snapshot age.
+func (n *LocalNode) MarkSnapshot(unix int64) { n.lastSnap.Store(unix) }
+
+// LastSnapshotUnix returns when the node last persisted a snapshot
+// (unix seconds, 0 = never).
+func (n *LocalNode) LastSnapshotUnix() int64 { return n.lastSnap.Load() }

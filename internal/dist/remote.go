@@ -26,6 +26,7 @@ const (
 	PathNodeTopN     = "/node/topn"
 	PathNodeSearch   = "/node/search"
 	PathNodeLoad     = "/node/load"
+	PathNodeSnapshot = "/node/snapshot"
 	PathHealthz      = "/healthz"
 )
 
@@ -167,10 +168,23 @@ func ResultsFromJSON(ws []ResultJSON) []ir.Result {
 	return out
 }
 
-// LoadResponse is the body answering GET /node/load.
+// LoadResponse is the body answering GET /node/load. SnapshotUnix is
+// when the node last persisted a snapshot (unix seconds, 0 = never).
 type LoadResponse struct {
+	Docs         int    `json:"docs"`
+	MaxDoc       uint64 `json:"max_doc"`
+	SnapshotUnix int64  `json:"snapshot_unix,omitempty"`
+}
+
+// SnapshotResponse answers POST /node/snapshot: where the snapshot
+// landed and what it covers.
+type SnapshotResponse struct {
+	Path   string `json:"path"`
+	Bytes  int64  `json:"bytes"`
 	Docs   int    `json:"docs"`
-	MaxDoc uint64 `json:"max_doc"`
+	Terms  int    `json:"terms"`
+	TookMS int64  `json:"took_ms"`
+	Unix   int64  `json:"unix"`
 }
 
 // RemoteNode implements Node over the HTTP/JSON node protocol, so a
@@ -298,7 +312,20 @@ func (rn *RemoteNode) Load(ctx context.Context) (NodeLoad, error) {
 	if err := rn.do(ctx, PathNodeLoad, nil, &resp); err != nil {
 		return NodeLoad{}, err
 	}
-	return NodeLoad{Docs: resp.Docs, MaxDoc: bat.OID(resp.MaxDoc)}, nil
+	return NodeLoad{
+		Docs:         resp.Docs,
+		MaxDoc:       bat.OID(resp.MaxDoc),
+		SnapshotUnix: resp.SnapshotUnix,
+	}, nil
+}
+
+// Snapshot asks the remote node to persist a snapshot of its fragment
+// to its data dir now (POST /node/snapshot). Nodes running without a
+// data dir answer an error status, which comes back as an error here.
+func (rn *RemoteNode) Snapshot(ctx context.Context) (SnapshotResponse, error) {
+	var resp SnapshotResponse
+	err := rn.do(ctx, PathNodeSnapshot, struct{}{}, &resp)
+	return resp, err
 }
 
 // Healthy reports whether the remote node answers its health probe.

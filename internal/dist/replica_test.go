@@ -1,0 +1,256 @@
+package dist_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"dlsearch/internal/bat"
+	"dlsearch/internal/dist"
+	"dlsearch/internal/ir"
+	"dlsearch/internal/server"
+)
+
+// startReplicatedCluster spins up parts*replicas httptest node servers
+// and slices them into a replicated cluster of `parts` partitions with
+// `replicas` replicas each. The returned servers are indexed
+// [partition*replicas + replica], so killing servers[p*replicas+r]
+// kills replica r of partition p.
+func startReplicatedCluster(t testing.TB, parts, replicas int) (*dist.Cluster, []*httptest.Server) {
+	t.Helper()
+	n := parts * replicas
+	nodes := make([]dist.Node, n)
+	servers := make([]*httptest.Server, n)
+	for i := 0; i < n; i++ {
+		srv := httptest.NewServer(server.NewNodeHandler(ir.NewIndex(), nil))
+		t.Cleanup(srv.Close)
+		servers[i] = srv
+		nodes[i] = dist.NewRemoteNode(srv.URL, srv.Client())
+	}
+	c, err := dist.NewReplicatedCluster(nodes, replicas, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, servers
+}
+
+// fillCluster adds the corpus through the cluster (fanning out to all
+// replicas) and returns a single index over the same documents.
+func fillCluster(t testing.TB, c *dist.Cluster, docs []string) *ir.Index {
+	t.Helper()
+	single := ir.NewIndex()
+	for i, d := range docs {
+		single.Add(bat.OID(i+1), "u", d)
+		if err := c.AddContext(context.Background(), bat.OID(i+1), "u", d); err != nil {
+			t.Fatalf("add %d: %v", i+1, err)
+		}
+	}
+	return single
+}
+
+func assertRanking(t *testing.T, ctx string, got, want []ir.Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", ctx, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Doc != want[i].Doc || got[i].Score != want[i].Score {
+			t.Fatalf("%s: rank %d = %+v, want %+v", ctx, i, got[i], want[i])
+		}
+	}
+}
+
+// TestReplicatedClusterEqualsSingle: with every node healthy, a
+// replicated cluster returns exactly the single-index ranking — the
+// write fan-out keeps the replicas identical and the read path picks
+// one replica per partition, never double-counting a document.
+func TestReplicatedClusterEqualsSingle(t *testing.T) {
+	docs := remoteCorpus(300, 53)
+	for _, shape := range []struct{ parts, replicas int }{{1, 2}, {2, 2}, {2, 3}} {
+		c, _ := startReplicatedCluster(t, shape.parts, shape.replicas)
+		single := fillCluster(t, c, docs)
+		for _, q := range []string{"champion winner serve", "seles", "quetzalcoatl"} {
+			for _, n := range []int{1, 10, 50} {
+				sr, err := c.Search(context.Background(), q, n)
+				if err != nil {
+					t.Fatalf("%+v: %v", shape, err)
+				}
+				if !sr.Complete() || sr.FailoverTotal() != 0 {
+					t.Fatalf("%+v q=%q: degraded on a healthy cluster: %+v", shape, q, sr)
+				}
+				assertRanking(t, fmt.Sprintf("%+v q=%q n=%d", shape, q, n), sr.Results, single.TopN(q, n))
+			}
+		}
+		if loads := c.NodeLoads(); len(loads) != shape.parts {
+			t.Fatalf("%+v: %d partition loads, want %d", shape, len(loads), shape.parts)
+		}
+	}
+}
+
+// TestReplicatedKillAnyOneNode is the acceptance guarantee of the
+// replication subsystem: with replication factor 2, killing ANY single
+// node leaves the merged /search ranking byte-identical to the exact
+// single-index ranking — scores included — with the dead replica's
+// partition failing over instead of dropping, and global statistics
+// re-aggregating through the surviving replicas (no stale fallback).
+func TestReplicatedKillAnyOneNode(t *testing.T) {
+	const parts, replicas = 2, 2
+	docs := remoteCorpus(300, 59)
+	queries := []string{"champion winner serve", "melbourne trophy volley match", "seles"}
+	for kill := 0; kill < parts*replicas; kill++ {
+		c, servers := startReplicatedCluster(t, parts, replicas)
+		single := fillCluster(t, c, docs)
+		// Warm statistics, then kill one node and invalidate as if
+		// documents kept arriving — the re-aggregation must succeed
+		// through the surviving replicas.
+		if _, err := c.GlobalStatsContext(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		servers[kill].Close()
+		c.InvalidateStats()
+		killedPart := kill / replicas
+		for qi, q := range queries {
+			for _, n := range []int{1, 10, 50} {
+				sr, err := c.Search(context.Background(), q, n)
+				if err != nil {
+					t.Fatalf("kill=%d q=%q: %v", kill, q, err)
+				}
+				if sr.StaleStats {
+					t.Fatalf("kill=%d q=%q: stats went stale despite a live replica", kill, q)
+				}
+				if len(sr.Dropped) != 0 {
+					t.Fatalf("kill=%d q=%q: partitions dropped: %v (%v)", kill, q, sr.Dropped, sr.Errs)
+				}
+				if !sr.Complete() {
+					t.Fatalf("kill=%d q=%q: Complete() = false", kill, q)
+				}
+				assertRanking(t, fmt.Sprintf("kill=%d q=%q n=%d", kill, q, n), sr.Results, single.TopN(q, n))
+				if qi == 0 && n == 1 {
+					// The very first search after the kill must have
+					// failed over on the dead replica's partition (the
+					// stats probe may already have demoted it, in which
+					// case routing avoids it — either way never a drop).
+					if f, ok := sr.Failovers[killedPart]; ok && f < 1 {
+						t.Fatalf("kill=%d: recorded %d failovers on partition %d", kill, f, killedPart)
+					}
+				}
+			}
+		}
+		// The observability probe must find the dead replica
+		// unreachable and its partner fine.
+		infos := c.ReplicaInfoContext(context.Background())
+		if infos[killedPart][kill%replicas].Err == nil {
+			t.Fatalf("kill=%d: dead replica probes reachable", kill)
+		}
+		if infos[killedPart][(kill+1)%replicas].Err != nil {
+			t.Fatalf("kill=%d: surviving replica probes unreachable: %v",
+				kill, infos[killedPart][(kill+1)%replicas].Err)
+		}
+		// Later searches must not burn attempts on a replica known
+		// dead: either routing learned (primary killed, failover
+		// recorded it) or the corpse was never preferred (standby
+		// killed) — both mean zero failovers now.
+		sr, err := c.Search(context.Background(), queries[0], 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sr.FailoverTotal() != 0 {
+			t.Fatalf("kill=%d: routing still tries the dead replica first: %+v", kill, sr.Failovers)
+		}
+		tel := c.Telemetry()
+		if kill%replicas == 0 {
+			// The preferred (primary) replica died: something must have
+			// failed over, and routing health must show the corpse.
+			if tel.Failovers == 0 {
+				t.Fatalf("kill=%d: cumulative failover counter never moved", kill)
+			}
+			if c.ReplicaHealth()[killedPart][0].Healthy() {
+				t.Fatalf("kill=%d: dead primary reported healthy after failover", kill)
+			}
+		} else if tel.Failovers != 0 {
+			// A dead standby is never tried, so nothing fails over.
+			t.Fatalf("kill=%d: %d failovers without the preferred replica dying", kill, tel.Failovers)
+		}
+		if tel.Dropped != 0 {
+			t.Fatalf("kill=%d: %d partitions dropped with a replica alive", kill, tel.Dropped)
+		}
+	}
+}
+
+// TestReplicatedKillOneNodeBudgeted: the fragment-budgeted read path
+// fails over identically — results AND the cluster-wide quality
+// estimate match an intact cluster's, because replicas hold identical
+// copies and fragment their partition identically.
+func TestReplicatedKillOneNodeBudgeted(t *testing.T) {
+	const parts, replicas = 2, 2
+	docs := remoteCorpus(300, 61)
+	c, servers := startReplicatedCluster(t, parts, replicas)
+	fillCluster(t, c, docs)
+	intact := dist.NewCluster(parts, nil)
+	for i, d := range docs {
+		intact.Add(bat.OID(i+1), "u", d)
+	}
+	if _, err := c.GlobalStatsContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	servers[1].Close() // replica 1 of partition 0
+	c.InvalidateStats()
+	for _, plan := range []ir.EvalPlan{
+		{N: 10, Frags: 4, Budget: 1},
+		{N: 10, Frags: 4, Budget: 2},
+		{N: 10, Frags: 4, Budget: 4},
+	} {
+		q := "champion winner serve melbourne"
+		want, err := intact.SearchPlan(context.Background(), q, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.SearchPlan(context.Background(), q, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Complete() {
+			t.Fatalf("budget %d: degraded: %+v", plan.Budget, got)
+		}
+		assertRanking(t, fmt.Sprintf("budget %d", plan.Budget), got.Results, want.Results)
+		if got.Quality != want.Quality {
+			t.Fatalf("budget %d: quality %+v, want %+v", plan.Budget, got.Quality, want.Quality)
+		}
+		if v := got.Quality.Value(); plan.Budget == 4 && v != 1.0 {
+			t.Fatalf("full budget quality = %v", v)
+		}
+	}
+}
+
+// TestReplicatedWholeGroupDown: when BOTH replicas of a partition die,
+// the search degrades along the unreplicated paths — stale statistics,
+// the partition dropped and reported — instead of failing outright.
+func TestReplicatedWholeGroupDown(t *testing.T) {
+	const parts, replicas = 2, 2
+	docs := remoteCorpus(200, 67)
+	c, servers := startReplicatedCluster(t, parts, replicas)
+	fillCluster(t, c, docs)
+	if _, err := c.GlobalStatsContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	servers[0].Close() // both replicas of partition 0
+	servers[1].Close()
+	c.InvalidateStats()
+	sr, err := c.Search(context.Background(), "champion winner serve", 10)
+	if err != nil {
+		t.Fatalf("whole-group death turned search into an outage: %v", err)
+	}
+	if !sr.StaleStats {
+		t.Fatal("StaleStats not reported after a whole group died")
+	}
+	if len(sr.Dropped) != 1 || sr.Dropped[0] != 0 {
+		t.Fatalf("dropped = %v, want [0]", sr.Dropped)
+	}
+	if len(sr.Results) == 0 {
+		t.Fatal("no results from the surviving partition")
+	}
+	if c.Telemetry().Dropped == 0 {
+		t.Fatal("dropped-partition counter never moved")
+	}
+}

@@ -1,0 +1,226 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+
+	"dlsearch/internal/bat"
+)
+
+// IndexState is the complete logical content of an Index in a stable,
+// implementation-independent shape: the serialization boundary between
+// the in-memory columnar access paths and the durability layer
+// (internal/persist). Everything derived — df, docTerms, idf rows,
+// slot numbers, fragment membership maps, compressed cold lists — is
+// reconstructed from it, so the format survives hot-path refactors as
+// long as the logical relations stay expressible.
+//
+// The state round-trips exactly: ImportState(ExportState()) yields an
+// index whose TopN and TopNPlan rankings (documents AND scores) are
+// byte-identical to the original's, because scores depend only on
+// (tf, df, Σdf, |d|, λ) and on the doc-sorted posting scan order that
+// export preserves.
+type IndexState struct {
+	Lambda    float64
+	Epoch     uint64  // freeze epoch at export time
+	NextOID   bat.OID // sequence position: restored allocations continue past it
+	MemBudget int     // posting-store memory budget (0 = unbounded)
+	FragK     int     // granularity Fragmentize was last asked for (0 = never)
+
+	Docs      []DocState
+	Terms     []TermState // ascending by term oid
+	Fragments []FragmentState
+	HasFrags  bool // distinguishes "no fragmentation" from zero fragments
+}
+
+// DocState is one document: its global oid, url and length in terms.
+type DocState struct {
+	OID bat.OID
+	URL string
+	Len int32
+}
+
+// TermState is one vocabulary term with its full posting list in
+// ascending document-oid order (the frozen access-path order — scores
+// accumulate in exactly this order, which is what makes restored
+// rankings byte-identical, not merely equivalent).
+type TermState struct {
+	OID      bat.OID
+	Stem     string
+	Postings []Posting
+}
+
+// FragmentState is one horizontal fragment of the idf-descending
+// fragmentation, term membership order preserved.
+type FragmentState struct {
+	Terms  []bat.OID
+	MaxIDF float64
+	MinIDF float64
+	Tuples int
+}
+
+// ExportState freezes the index and captures its complete logical
+// state. The caller must hold the index's write side (it may mutate
+// via Freeze); the returned state shares no memory with the index.
+func (ix *Index) ExportState() *IndexState {
+	ix.Freeze()
+	st := &IndexState{
+		Lambda:    ix.lambda,
+		Epoch:     ix.epoch,
+		NextOID:   ix.seq.Peek(),
+		MemBudget: ix.memBudget,
+		FragK:     ix.fragK,
+	}
+	st.Docs = make([]DocState, len(ix.docIDs))
+	for slot, doc := range ix.docIDs {
+		url, _ := ix.D.StringOfHead(doc)
+		st.Docs[slot] = DocState{OID: doc, URL: url, Len: ix.docLens[slot]}
+	}
+	ids := make([]bat.OID, 0, len(ix.termID))
+	for _, id := range ix.termID {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	stemOf := make(map[bat.OID]string, len(ix.termID))
+	for stem, id := range ix.termID {
+		stemOf[id] = stem
+	}
+	st.Terms = make([]TermState, len(ids))
+	for i, id := range ids {
+		st.Terms[i] = TermState{OID: id, Stem: stemOf[id], Postings: ix.PostingsOf(id)}
+	}
+	if ix.fragments != nil {
+		st.HasFrags = true
+		st.Fragments = make([]FragmentState, len(ix.fragments))
+		for f, frag := range ix.fragments {
+			st.Fragments[f] = FragmentState{
+				Terms:  append([]bat.OID(nil), frag.Terms...),
+				MaxIDF: frag.MaxIDF,
+				MinIDF: frag.MinIDF,
+				Tuples: frag.Tuples,
+			}
+		}
+	}
+	return st
+}
+
+// ImportState rebuilds a fully functional index from exported state:
+// base relations (T, D, DT, TF), columnar access paths, derived
+// statistics and IDF rows, fragment placement and the memory budget
+// (cold lists re-compressed by the same deterministic coldest-first
+// policy). It validates referential integrity and fails closed — a
+// state whose postings reference unknown documents or fragments
+// reference unknown terms yields an error, never a partial index.
+func ImportState(st *IndexState) (*Index, error) {
+	ix := NewIndex()
+	if st.Lambda > 0 {
+		ix.lambda = st.Lambda
+	}
+	ix.epoch = st.Epoch
+	ix.fragK = st.FragK
+
+	for _, d := range st.Docs {
+		if d.OID == bat.NilOID {
+			return nil, fmt.Errorf("ir: import: nil document oid")
+		}
+		if _, dup := ix.docSlot[d.OID]; dup {
+			return nil, fmt.Errorf("ir: import: duplicate document oid %d", d.OID)
+		}
+		slot := ix.slotOf(d.OID)
+		ix.docLens[slot] = d.Len
+		ix.D.AppendString(d.OID, d.URL)
+	}
+	// Pair oids for the rebuilt DT/TF rows are drawn after re-seeding
+	// the sequence past every persisted oid, so they never collide with
+	// restored term oids (nor with each other). A NextOID at or below a
+	// restored term oid would hand a live oid out again on the next Add
+	// — merging two unrelated terms silently — so it fails closed here.
+	// (Document oids live in the caller's global space and may
+	// legitimately exceed the node-local sequence.)
+	for _, t := range st.Terms {
+		if t.OID >= st.NextOID {
+			return nil, fmt.Errorf("ir: import: term oid %d not below the sequence position %d — a post-restore allocation would reuse it", t.OID, st.NextOID)
+		}
+	}
+	ix.seq.Advance(st.NextOID)
+	seen := make(map[bat.OID]bool, len(st.Terms))
+	for _, t := range st.Terms {
+		if t.OID == bat.NilOID {
+			return nil, fmt.Errorf("ir: import: nil term oid for %q", t.Stem)
+		}
+		if seen[t.OID] {
+			return nil, fmt.Errorf("ir: import: duplicate term oid %d", t.OID)
+		}
+		if _, dup := ix.termID[t.Stem]; dup {
+			return nil, fmt.Errorf("ir: import: duplicate term %q", t.Stem)
+		}
+		seen[t.OID] = true
+		ix.termID[t.Stem] = t.OID
+		ix.T.AppendString(t.OID, t.Stem)
+		pl := &plist{
+			slots:  make([]int32, 0, len(t.Postings)),
+			tfs:    make([]int32, 0, len(t.Postings)),
+			sorted: true,
+		}
+		prev := bat.NilOID
+		for _, p := range t.Postings {
+			slot, ok := ix.docSlot[p.Doc]
+			if !ok {
+				return nil, fmt.Errorf("ir: import: term %q posting references unknown document %d", t.Stem, p.Doc)
+			}
+			if p.Doc <= prev {
+				return nil, fmt.Errorf("ir: import: term %q postings not in ascending doc order", t.Stem)
+			}
+			if p.TF < 1 {
+				return nil, fmt.Errorf("ir: import: term %q has non-positive tf %d for document %d", t.Stem, p.TF, p.Doc)
+			}
+			prev = p.Doc
+			pl.slots = append(pl.slots, slot)
+			pl.tfs = append(pl.tfs, int32(p.TF))
+			dt := ix.docTerms[p.Doc]
+			if dt == nil {
+				dt = make(map[bat.OID]int)
+				ix.docTerms[p.Doc] = dt
+			}
+			dt[t.OID] = p.TF
+			pair := ix.seq.Next()
+			ix.DTd.AppendOID(pair, p.Doc)
+			ix.DTt.AppendOID(pair, t.OID)
+			ix.TF.AppendInt(pair, int64(p.TF))
+		}
+		ix.plists[t.OID] = pl
+		ix.plainBytes += 8 * len(t.Postings)
+		if df := len(t.Postings); df > 0 {
+			ix.df[t.OID] = df
+			ix.totalDF += df
+			ix.idfPos[t.OID] = ix.IDF.Len()
+			ix.IDF.AppendFloat(t.OID, 1.0/float64(df))
+		}
+	}
+	if st.HasFrags {
+		ix.fragments = make([]Fragment, len(st.Fragments))
+		ix.fragOf = make(map[bat.OID]int)
+		for f, frag := range st.Fragments {
+			for _, id := range frag.Terms {
+				if !seen[id] {
+					return nil, fmt.Errorf("ir: import: fragment %d references unknown term oid %d", f, id)
+				}
+				if prev, dup := ix.fragOf[id]; dup {
+					return nil, fmt.Errorf("ir: import: term oid %d in fragments %d and %d", id, prev, f)
+				}
+				ix.fragOf[id] = f
+			}
+			ix.fragments[f] = Fragment{
+				Terms:  append([]bat.OID(nil), frag.Terms...),
+				MaxIDF: frag.MaxIDF,
+				MinIDF: frag.MinIDF,
+				Tuples: frag.Tuples,
+			}
+		}
+	}
+	if st.MemBudget > 0 {
+		ix.memBudget = st.MemBudget
+		ix.applyMemoryBudget()
+	}
+	return ix, nil
+}

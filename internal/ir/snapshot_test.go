@@ -1,0 +1,190 @@
+package ir
+
+import (
+	"testing"
+
+	"dlsearch/internal/bat"
+)
+
+var snapQueries = []string{
+	"champion winner serve",
+	"seles",
+	"melbourne trophy volley match",
+	"match play game set court ball",
+	"quetzalcoatl", // unknown term
+}
+
+// roundTrip exports ix and imports the state back, failing the test on
+// any import error.
+func roundTrip(t *testing.T, ix *Index) *Index {
+	t.Helper()
+	st := ix.ExportState()
+	got, err := ImportState(st)
+	if err != nil {
+		t.Fatalf("ImportState: %v", err)
+	}
+	return got
+}
+
+// TestSnapshotRoundTripExact: save→load yields byte-identical TopN
+// rankings — documents AND scores — plus identical statistics, epoch
+// and vocabulary.
+func TestSnapshotRoundTripExact(t *testing.T) {
+	ix := planCorpus(300, 19)
+	got := roundTrip(t, ix)
+	if got.DocCount() != ix.DocCount() || got.TermCount() != ix.TermCount() {
+		t.Fatalf("size: %d/%d docs, %d/%d terms",
+			got.DocCount(), ix.DocCount(), got.TermCount(), ix.TermCount())
+	}
+	if got.MaxDoc() != ix.MaxDoc() {
+		t.Fatalf("MaxDoc %d != %d", got.MaxDoc(), ix.MaxDoc())
+	}
+	if got.Epoch() != ix.Epoch() {
+		t.Fatalf("epoch %d != %d", got.Epoch(), ix.Epoch())
+	}
+	if got.Dirty() {
+		t.Fatal("imported index reports pending derived state")
+	}
+	for _, q := range snapQueries {
+		for _, n := range []int{1, 10, 50} {
+			sameResults(t, q, got.TopN(q, n), ix.TopN(q, n))
+		}
+	}
+	// The naive plan reads the rebuilt docTerms access path; it must
+	// agree too, proving the base relations round-tripped.
+	sameResults(t, "naive", got.TopNNaive("champion winner", 10), ix.TopNNaive("champion winner", 10))
+	// Global-statistics scoring (the distributed read path).
+	global := ix.StatsLocal()
+	sameResults(t, "with stats",
+		got.TopNWithStats("champion winner serve", 10, global),
+		ix.TopNWithStats("champion winner serve", 10, global))
+}
+
+// TestSnapshotRoundTripPlans: budgeted evaluation after restore is
+// byte-identical — the fragment placement (including incremental
+// drift) round-trips exactly, not just the documents.
+func TestSnapshotRoundTripPlans(t *testing.T) {
+	ix := planCorpus(300, 23)
+	ix.Fragmentize(6)
+	// Drift the placement incrementally past the initial Fragmentize so
+	// the exported fragments differ from what a fresh Fragmentize(6)
+	// would build — the round-trip must preserve the drifted state.
+	ix.Add(9001, "d9001", "champion serve volley extra melbourne")
+	ix.Add(9002, "d9002", "seles hingis capriati trophy")
+	ix.Freeze()
+	got := roundTrip(t, ix)
+	for _, q := range snapQueries {
+		for _, plan := range []EvalPlan{
+			{N: 10, Budget: 1},
+			{N: 10, Budget: 3},
+			{N: 10, Budget: 6},
+			{N: 10, Budget: 2, MinQuality: 0.9},
+		} {
+			wantRes, wantEst := ix.TopNPlan(q, plan)
+			gotRes, gotEst := got.TopNPlan(q, plan)
+			sameResults(t, q, gotRes, wantRes)
+			if gotEst != wantEst {
+				t.Fatalf("%q plan %+v: estimate %+v, want %+v", q, plan, gotEst, wantEst)
+			}
+		}
+	}
+}
+
+// TestSnapshotRoundTripMemoryBudget: a memory-budgeted index (cold
+// lists compressed) round-trips to identical rankings, and the restored
+// index re-applies the same budget.
+func TestSnapshotRoundTripMemoryBudget(t *testing.T) {
+	ix := planCorpus(300, 29)
+	ix.SetMemoryBudget(2048)
+	plainBefore, _, coldBefore := ix.MemoryFootprint()
+	if coldBefore == 0 {
+		t.Fatal("test corpus too small: no term was compressed")
+	}
+	got := roundTrip(t, ix)
+	plainAfter, _, coldAfter := got.MemoryFootprint()
+	if coldAfter != coldBefore || plainAfter != plainBefore {
+		t.Fatalf("footprint: plain %d cold %d, want plain %d cold %d",
+			plainAfter, coldAfter, plainBefore, coldBefore)
+	}
+	for _, q := range snapQueries {
+		sameResults(t, q, got.TopN(q, 10), ix.TopN(q, 10))
+	}
+}
+
+// TestSnapshotThenAdd: an imported index keeps indexing — documents
+// added after restore rank exactly as they would on an index that
+// never restarted, and freshly allocated oids never collide with
+// restored ones.
+func TestSnapshotThenAdd(t *testing.T) {
+	live := planCorpus(200, 31)
+	restored := roundTrip(t, live)
+	extra := []string{
+		"champion volley melbourne smash",
+		"seles winner rally serve serve",
+	}
+	for i, text := range extra {
+		oid := bat.OID(5000 + i)
+		live.Add(oid, "u", text)
+		restored.Add(oid, "u", text)
+	}
+	for _, q := range snapQueries {
+		sameResults(t, q, restored.TopN(q, 20), live.TopN(q, 20))
+	}
+}
+
+// TestImportStateFailsClosed: inconsistent states yield an error, not
+// a partial index.
+func TestImportStateFailsClosed(t *testing.T) {
+	base := func() *IndexState {
+		ix := planCorpus(20, 7)
+		ix.Fragmentize(2)
+		return ix.ExportState()
+	}
+	cases := []struct {
+		name   string
+		mutate func(*IndexState)
+	}{
+		{"unknown posting doc", func(st *IndexState) {
+			st.Terms[0].Postings[0].Doc = 999999
+		}},
+		{"non-positive tf", func(st *IndexState) {
+			st.Terms[0].Postings[0].TF = 0
+		}},
+		{"duplicate doc oid", func(st *IndexState) {
+			st.Docs[1].OID = st.Docs[0].OID
+		}},
+		{"duplicate term oid", func(st *IndexState) {
+			st.Terms[1].OID = st.Terms[0].OID
+		}},
+		{"duplicate stem", func(st *IndexState) {
+			st.Terms[1].Stem = st.Terms[0].Stem
+		}},
+		{"fragment references unknown term", func(st *IndexState) {
+			st.Fragments[0].Terms[0] = 999999
+		}},
+		{"sequence below term oids", func(st *IndexState) {
+			// A forgotten/zeroed NextOID would let a post-restore Add
+			// reissue a live term oid, silently merging two terms.
+			st.NextOID = 0
+		}},
+		{"unsorted postings", func(st *IndexState) {
+			// Swap the first two postings of the longest list; the 20-doc
+			// corpus guarantees common terms with many postings.
+			widest := 0
+			for i := range st.Terms {
+				if len(st.Terms[i].Postings) > len(st.Terms[widest].Postings) {
+					widest = i
+				}
+			}
+			p := st.Terms[widest].Postings
+			p[0], p[1] = p[1], p[0]
+		}},
+	}
+	for _, tc := range cases {
+		st := base()
+		tc.mutate(st)
+		if _, err := ImportState(st); err == nil {
+			t.Fatalf("%s: import succeeded on inconsistent state", tc.name)
+		}
+	}
+}

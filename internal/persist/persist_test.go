@@ -1,0 +1,208 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dlsearch/internal/bat"
+	"dlsearch/internal/ir"
+)
+
+// snapCorpus builds the skewed-vocabulary index the ir tests use.
+func snapCorpus(n int, seed int64) *ir.Index {
+	common := []string{"match", "play", "game", "set", "court", "ball"}
+	rare := []string{"seles", "hingis", "capriati", "melbourne", "trophy",
+		"champion", "winner", "ace", "volley", "smash", "rally", "serve"}
+	rng := rand.New(rand.NewSource(seed))
+	ix := ir.NewIndex()
+	for i := 0; i < n; i++ {
+		var sb strings.Builder
+		for w := 0; w < 30; w++ {
+			if rng.Intn(4) == 0 {
+				sb.WriteString(rare[rng.Intn(len(rare))])
+			} else {
+				sb.WriteString(common[rng.Intn(len(common))])
+			}
+			sb.WriteByte(' ')
+		}
+		ix.Add(bat.OID(i+1), fmt.Sprintf("d%d", i+1), sb.String())
+	}
+	return ix
+}
+
+func sameResults(t *testing.T, ctx string, got, want []ir.Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", ctx, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Doc != want[i].Doc || got[i].Score != want[i].Score {
+			t.Fatalf("%s: rank %d = %+v, want %+v", ctx, i, got[i], want[i])
+		}
+	}
+}
+
+// TestFileRoundTrip: SaveIndex → LoadIndex over a real file yields
+// byte-identical rankings, exact and budgeted, with and without the
+// posting-store memory budget.
+func TestFileRoundTrip(t *testing.T) {
+	for _, memBudget := range []int{0, 2048} {
+		ix := snapCorpus(250, 41)
+		ix.Fragmentize(4)
+		if memBudget > 0 {
+			ix.SetMemoryBudget(memBudget)
+		}
+		path := filepath.Join(t.TempDir(), SnapshotFile)
+		if err := SaveIndex(path, ix); err != nil {
+			t.Fatalf("mem=%d save: %v", memBudget, err)
+		}
+		got, err := LoadIndex(path)
+		if err != nil {
+			t.Fatalf("mem=%d load: %v", memBudget, err)
+		}
+		for _, q := range []string{"champion winner serve", "seles", "match court"} {
+			sameResults(t, fmt.Sprintf("mem=%d exact %s", memBudget, q),
+				got.TopN(q, 10), ix.TopN(q, 10))
+			wantRes, wantEst := ix.TopNPlan(q, ir.EvalPlan{N: 10, Budget: 2})
+			gotRes, gotEst := got.TopNPlan(q, ir.EvalPlan{N: 10, Budget: 2})
+			sameResults(t, fmt.Sprintf("mem=%d budgeted %s", memBudget, q), gotRes, wantRes)
+			if gotEst != wantEst {
+				t.Fatalf("mem=%d %s: estimate %+v, want %+v", memBudget, q, gotEst, wantEst)
+			}
+		}
+	}
+}
+
+// TestSaveFileAtomic: saving over an existing snapshot leaves no temp
+// files behind and the target is replaced, never appended.
+func TestSaveFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := SnapshotPath(dir)
+	for i := 0; i < 3; i++ {
+		ix := snapCorpus(50+i, int64(i))
+		if err := SaveIndex(path, ix); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadIndex(path); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != SnapshotFile {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("data dir = %v, want exactly [%s]", names, SnapshotFile)
+	}
+}
+
+// TestLoadMissingFile: a missing snapshot is fs.ErrNotExist (first
+// boot), NOT corruption.
+func TestLoadMissingFile(t *testing.T) {
+	_, err := LoadFile(filepath.Join(t.TempDir(), SnapshotFile))
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("err = %v, want fs.ErrNotExist", err)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Fatal("missing file misreported as corruption")
+	}
+}
+
+// TestCorruptionFailsClosed: every way a snapshot can rot — truncation
+// at any point, a flipped bit anywhere, bad magic, an unknown version —
+// fails the load with an error; no partial index ever comes back.
+func TestCorruptionFailsClosed(t *testing.T) {
+	ix := snapCorpus(80, 43)
+	var buf bytes.Buffer
+	if err := Save(&buf, ix.ExportState()); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	if _, err := Load(bytes.NewReader(good)); err != nil {
+		t.Fatalf("pristine snapshot failed to load: %v", err)
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		for _, cut := range []int{0, 4, 19, 20, 51, len(good) / 2, len(good) - 1} {
+			if _, err := Load(bytes.NewReader(good[:cut])); err == nil {
+				t.Fatalf("load of %d/%d bytes succeeded", cut, len(good))
+			}
+		}
+	})
+	t.Run("flipped bits", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(47))
+		for i := 0; i < 50; i++ {
+			bad := append([]byte(nil), good...)
+			bad[rng.Intn(len(bad))] ^= 1 << uint(rng.Intn(8))
+			if st, err := Load(bytes.NewReader(bad)); err == nil {
+				// A flip confined to the unread tail cannot happen: the
+				// checksum covers the whole payload and the header is
+				// fully validated, so success means a true collision.
+				t.Fatalf("iteration %d: corrupted snapshot loaded: %+v", i, st != nil)
+			}
+		}
+	})
+	t.Run("checksum mismatch is ErrCorrupt", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[len(bad)-1] ^= 0xff // payload byte: checksum must catch it
+		_, err := Load(bytes.NewReader(bad))
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[0] = 'X'
+		if _, err := Load(bytes.NewReader(bad)); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("future version", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[8] = 0xfe // version field
+		_, err := Load(bytes.NewReader(bad))
+		if err == nil {
+			t.Fatal("future-version snapshot loaded")
+		}
+		if errors.Is(err, ErrCorrupt) {
+			t.Fatal("version mismatch misreported as corruption")
+		}
+	})
+	t.Run("trailing garbage", func(t *testing.T) {
+		// Extra bytes after the declared payload are ignored by Load
+		// (framing is length-prefixed) — but a LENGTH that overclaims
+		// fails the checksum. Verify the file-level behaviour: the
+		// declared payload still loads.
+		padded := append(append([]byte(nil), good...), 0xaa, 0xbb)
+		if _, err := Load(bytes.NewReader(padded)); err != nil {
+			t.Fatalf("length-prefixed load rejected trailing bytes: %v", err)
+		}
+	})
+}
+
+// TestLoadIndexCorruptState: a snapshot with a valid checksum but an
+// inconsistent decoded state (import-level validation) also fails
+// closed through LoadIndex.
+func TestLoadIndexCorruptState(t *testing.T) {
+	ix := snapCorpus(30, 5)
+	st := ix.ExportState()
+	st.Terms[0].Postings[0].Doc = 999999 // dangling doc reference
+	path := filepath.Join(t.TempDir(), SnapshotFile)
+	if err := SaveFile(path, st); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadIndex(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}

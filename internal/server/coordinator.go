@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 	"sort"
 	"strconv"
@@ -188,18 +189,24 @@ type SearchRequest struct {
 }
 
 // SearchResponse answers POST /search. Complete is false when the
-// ranking is degraded in either way the cluster models: stragglers
-// were dropped (the ranking covers the responsive nodes only) and/or
-// it was scored with stale global statistics. Quality is the
-// cluster-wide estimate of a budgeted search (value 1 for exact
-// searches).
+// ranking is degraded in either way the cluster models: partitions
+// were dropped (the ranking covers the responsive partitions only)
+// and/or it was scored with stale global statistics. Failovers counts
+// replica failovers this search needed — a non-zero count with
+// Complete still true is the replication subsystem absorbing a node
+// failure without degrading the ranking. Quality is the cluster-wide
+// estimate of a budgeted search (value 1 for exact searches).
 type SearchResponse struct {
-	Index      string            `json:"index"`
-	Results    []dist.ResultJSON `json:"results"`
-	Quality    dist.QualityJSON  `json:"quality"`
-	Dropped    []int             `json:"dropped,omitempty"`
-	StaleStats bool              `json:"stale_stats,omitempty"`
-	Complete   bool              `json:"complete"`
+	Index     string            `json:"index"`
+	Results   []dist.ResultJSON `json:"results"`
+	Quality   dist.QualityJSON  `json:"quality"`
+	Dropped   []int             `json:"dropped,omitempty"`
+	Failovers int               `json:"failovers,omitempty"`
+	// Diverged lists partitions answered by a replica known to be
+	// missing committed writes — the ranking may lack documents.
+	Diverged   []int `json:"diverged,omitempty"`
+	StaleStats bool  `json:"stale_stats,omitempty"`
+	Complete   bool  `json:"complete"`
 }
 
 func (co *Coordinator) search(w http.ResponseWriter, r *http.Request) {
@@ -252,6 +259,8 @@ func (co *Coordinator) search(w http.ResponseWriter, r *http.Request) {
 		Results:    dist.ResultsToJSON(sr.Results),
 		Quality:    dist.QualityToJSON(sr.Quality),
 		Dropped:    sr.Dropped,
+		Failovers:  sr.FailoverTotal(),
+		Diverged:   sr.Diverged,
 		StaleStats: sr.StaleStats,
 		Complete:   sr.Complete(),
 	})
@@ -326,10 +335,22 @@ type AddDocRequest struct {
 	Text  string `json:"text"`
 }
 
-// AddDocResponse reports the oid the document was indexed under.
+// AddDocResponse reports the oid the document was indexed under and —
+// with replication — how many of its partition's replicas acknowledged
+// it. On failure (502) the same shape comes back with Error set:
+// Committed 0 means no replica acknowledged (retry-safe for
+// connection-level failures; a timeout is ambiguous — the replica may
+// have applied the add without acknowledging), while Degraded means
+// SOME replicas committed — the document is searchable, re-posting it
+// would double-fold its term frequencies on the committed replicas,
+// and the lagging replicas need restoration instead.
 type AddDocResponse struct {
-	Index string `json:"index"`
-	Doc   uint64 `json:"doc"`
+	Index     string `json:"index"`
+	Doc       uint64 `json:"doc"`
+	Replicas  int    `json:"replicas,omitempty"`
+	Committed int    `json:"committed,omitempty"`
+	Degraded  bool   `json:"degraded,omitempty"`
+	Error     string `json:"error,omitempty"`
 }
 
 func (co *Coordinator) add(w http.ResponseWriter, r *http.Request) {
@@ -362,13 +383,25 @@ func (co *Coordinator) add(w http.ResponseWriter, r *http.Request) {
 	} else {
 		co.seqs[name].observe(doc)
 	}
-	if err := cluster.AddContext(r.Context(), doc, req.URL, req.Text); err != nil {
+	// Route through the outcome-reporting path so a partial replica
+	// commit is never mistaken for "not indexed, retry safe" — a blind
+	// retry would double-fold term frequencies on the replica that
+	// committed.
+	results := cluster.AddBatchResults(r.Context(), []dist.Doc{{OID: doc, URL: req.URL, Text: req.Text}})
+	p := &results[0]
+	resp := AddDocResponse{Index: name, Doc: uint64(doc), Replicas: p.Replicas, Committed: p.Committed}
+	if p.Err != nil {
 		co.errs.Add(1)
-		fail(w, http.StatusBadGateway, "node unavailable: "+err.Error())
+		resp.Degraded = p.Committed > 0
+		resp.Error = "node unavailable: " + p.Err.Error()
+		if p.Committed > 0 {
+			co.adds.Add(1) // the document IS searchable, via the survivors
+		}
+		writeJSON(w, http.StatusBadGateway, resp)
 		return
 	}
 	co.adds.Add(1)
-	writeJSON(w, http.StatusOK, AddDocResponse{Index: name, Doc: uint64(doc)})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // BatchDoc is one document of a coordinator batch add. Doc 0
@@ -387,16 +420,42 @@ type AddBatchRequest struct {
 	Docs  []BatchDoc `json:"docs"`
 }
 
+// BatchPartitionJSON is one partition's commit outcome of a batch add:
+// which of the batch's documents were routed to it and how many of its
+// replicas committed them.
+type BatchPartitionJSON struct {
+	Partition int      `json:"partition"`
+	Docs      []uint64 `json:"docs"`
+	Replicas  int      `json:"replicas"`
+	Committed int      `json:"committed"`
+	Error     string   `json:"error,omitempty"`
+}
+
 // AddBatchResponse reports the oids the documents were indexed under,
-// in request order. On partial failure (502) the same body shape is
-// returned with Error set: partition groups commit independently, so
-// the client needs the assigned oids to retry safely — re-posting the
-// whole batch would fold term frequencies in twice on the partitions
-// that succeeded. The error message names the failing nodes.
+// in request order, plus the per-partition commit outcomes. Partition
+// groups commit independently, so on partial failure (502) the client
+// must NOT re-post the whole batch — that would fold term frequencies
+// in twice on the partitions that committed. Instead:
+//
+//   - Failed lists the documents of partitions NO replica
+//     acknowledged: safe to retry with the same oids when the failures
+//     were connection-level (node down). A timed-out partition is
+//     ambiguous — the node may have applied the batch without the
+//     acknowledgement arriving — so check the per-partition error text
+//     before retrying.
+//   - Degraded lists partitions that must NOT be blindly retried:
+//     either SOME but not all replicas committed (documents
+//     searchable; the failed replicas are stale and need restoration,
+//     not a retry), or a replica demonstrably applied part of the
+//     batch before failing (unknown prefix — verify before
+//     re-ingesting).
 type AddBatchResponse struct {
-	Index string   `json:"index"`
-	Docs  []uint64 `json:"docs"`
-	Error string   `json:"error,omitempty"`
+	Index      string               `json:"index"`
+	Docs       []uint64             `json:"docs"`
+	Partitions []BatchPartitionJSON `json:"partitions,omitempty"`
+	Failed     []uint64             `json:"failed,omitempty"`
+	Degraded   []int                `json:"degraded,omitempty"`
+	Error      string               `json:"error,omitempty"`
 }
 
 func (co *Coordinator) addBatch(w http.ResponseWriter, r *http.Request) {
@@ -442,15 +501,52 @@ func (co *Coordinator) addBatch(w http.ResponseWriter, r *http.Request) {
 		docs[i] = dist.Doc{OID: doc, URL: d.URL, Text: d.Text}
 		oids[i] = uint64(doc)
 	}
-	if err := cluster.AddBatchContext(r.Context(), docs); err != nil {
+	results := cluster.AddBatchResults(r.Context(), docs)
+	resp := AddBatchResponse{Index: name, Docs: oids}
+	committed := 0
+	failedParts := 0
+	for i := range results {
+		p := &results[i]
+		pj := BatchPartitionJSON{
+			Partition: p.Partition,
+			Docs:      make([]uint64, len(p.Docs)),
+			Replicas:  p.Replicas,
+			Committed: p.Committed,
+		}
+		for j, oid := range p.Docs {
+			pj.Docs[j] = uint64(oid)
+		}
+		if p.Err != nil {
+			pj.Error = p.Err.Error()
+		}
+		resp.Partitions = append(resp.Partitions, pj)
+		switch {
+		case p.Err == nil:
+			committed += len(p.Docs)
+		case p.Failed():
+			failedParts++
+			for _, oid := range p.Docs {
+				resp.Failed = append(resp.Failed, uint64(oid))
+			}
+		case p.Committed == 0:
+			// Ambiguous: a replica applied part of the batch before
+			// failing — not searchable as a whole, not retry-safe.
+			resp.Degraded = append(resp.Degraded, p.Partition)
+		default:
+			// Partially committed: searchable, but replicas diverged.
+			resp.Degraded = append(resp.Degraded, p.Partition)
+			committed += len(p.Docs)
+		}
+	}
+	co.adds.Add(uint64(committed))
+	if len(resp.Failed) > 0 || len(resp.Degraded) > 0 {
 		co.errs.Add(1)
-		writeJSON(w, http.StatusBadGateway, AddBatchResponse{
-			Index: name, Docs: oids, Error: "node unavailable: " + err.Error(),
-		})
+		resp.Error = fmt.Sprintf("partial commit: %d partitions failed, %d degraded — retry only the docs in 'failed'",
+			failedParts, len(resp.Degraded))
+		writeJSON(w, http.StatusBadGateway, resp)
 		return
 	}
-	co.adds.Add(uint64(len(docs)))
-	writeJSON(w, http.StatusOK, AddBatchResponse{Index: name, Docs: oids})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // StatsResponse answers GET /stats.
@@ -468,14 +564,50 @@ type RequestStats struct {
 	Errors uint64 `json:"errors"`
 }
 
-// IndexStats describes one served index. Error is set when the load
-// read was partial (a node was unreachable): Docs then undercounts
-// and must not be read as data loss.
+// IndexStats describes one served index: its partitions, their
+// replicas' health, and the cluster's cumulative availability
+// counters. Error is set when the load read was partial (a whole
+// replica group was unreachable): Docs then undercounts and must not
+// be read as data loss.
 type IndexStats struct {
-	Nodes     int    `json:"nodes"`
+	Nodes     int   `json:"nodes"` // partitions (replica groups)
+	Docs      int   `json:"docs"`
+	NodeLoads []int `json:"node_loads"` // per partition, replicas counted once
+	// Groups reports every replica of every partition: reachability,
+	// routing health and snapshot age.
+	Groups []GroupStats `json:"groups,omitempty"`
+	// Searches/Failovers/DroppedNodes are the cluster's cumulative
+	// availability counters: how many searches fanned out, how many
+	// replica failovers they needed, and how many partitions were
+	// dropped from merged rankings.
+	Searches     uint64 `json:"searches"`
+	Failovers    uint64 `json:"failovers"`
+	DroppedNodes uint64 `json:"dropped_nodes"`
+	Error        string `json:"error,omitempty"`
+}
+
+// GroupStats is one partition's replica set.
+type GroupStats struct {
+	Partition int            `json:"partition"`
+	Replicas  []ReplicaStats `json:"replicas"`
+}
+
+// ReplicaStats is one replica's probe result: its load (when
+// reachable), routing health, and how old its last snapshot is.
+type ReplicaStats struct {
 	Docs      int    `json:"docs"`
-	NodeLoads []int  `json:"node_loads"`
-	Error     string `json:"error,omitempty"`
+	MaxDoc    uint64 `json:"max_doc"`
+	Reachable bool   `json:"reachable"`
+	Healthy   bool   `json:"healthy"` // last call succeeded AND not diverged
+	// Diverged marks a replica that failed a write its group
+	// committed: it is missing documents and needs a snapshot restore.
+	Diverged  bool   `json:"diverged,omitempty"`
+	Fails     uint64 `json:"fails,omitempty"`
+	LastError string `json:"last_error,omitempty"`
+	// SnapshotUnix / SnapshotAgeSeconds report durability lag: when the
+	// replica last persisted a snapshot (0 / absent = never).
+	SnapshotUnix       int64   `json:"snapshot_unix,omitempty"`
+	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds,omitempty"`
 }
 
 // QueryCacheStats are the engine's query-side cache counters: term
@@ -507,16 +639,53 @@ func (co *Coordinator) statsHandler(w http.ResponseWriter, r *http.Request) {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	now := time.Now()
 	for _, name := range names {
 		c := co.indexes[name]
-		loads, err := c.NodeLoadsContext(r.Context())
-		docs := 0
-		for _, l := range loads {
-			docs += l
+		tel := c.Telemetry()
+		st := IndexStats{
+			Nodes:        c.Size(),
+			NodeLoads:    make([]int, c.Size()),
+			Searches:     tel.Searches,
+			Failovers:    tel.Failovers,
+			DroppedNodes: tel.Dropped,
 		}
-		st := IndexStats{Nodes: c.Size(), Docs: docs, NodeLoads: loads}
-		if err != nil {
-			st.Error = err.Error()
+		// One probe of every replica serves both views: the per-replica
+		// report AND the per-partition loads (first reachable replica
+		// speaks for its group, replicas counted once) — /stats never
+		// routes through the failover path nor touches routing health.
+		for g, reps := range c.ReplicaInfoContext(r.Context()) {
+			gs := GroupStats{Partition: g, Replicas: make([]ReplicaStats, len(reps))}
+			counted := false
+			for ri, info := range reps {
+				rs := ReplicaStats{
+					Reachable: info.Err == nil,
+					Healthy:   info.Health.Healthy(),
+					Diverged:  info.Health.Diverged,
+					Fails:     info.Health.Fails,
+					LastError: info.Health.LastErr,
+				}
+				if info.Err == nil {
+					rs.Docs = info.Load.Docs
+					rs.MaxDoc = uint64(info.Load.MaxDoc)
+					if info.Load.SnapshotUnix > 0 {
+						rs.SnapshotUnix = info.Load.SnapshotUnix
+						rs.SnapshotAgeSeconds = now.Sub(time.Unix(info.Load.SnapshotUnix, 0)).Seconds()
+					}
+					if !counted {
+						st.NodeLoads[g] = info.Load.Docs
+						st.Docs += info.Load.Docs
+						counted = true
+					}
+				} else if rs.LastError == "" {
+					rs.LastError = info.Err.Error()
+				}
+				gs.Replicas[ri] = rs
+			}
+			if !counted && st.Error == "" {
+				st.Error = fmt.Sprintf("partition %d unreachable: doc count is partial", g)
+			}
+			st.Groups = append(st.Groups, gs)
 		}
 		resp.Indexes[name] = st
 	}

@@ -1,16 +1,21 @@
 package server
 
 import (
+	"errors"
 	"net/http"
+	"os"
+	"sync"
+	"time"
 
 	"dlsearch/internal/bat"
 	"dlsearch/internal/core"
 	"dlsearch/internal/dist"
 	"dlsearch/internal/ir"
+	"dlsearch/internal/persist"
 )
 
 // NodeConfig tunes a node server. The zero value selects the package
-// defaults and no query cache.
+// defaults, no query cache and no durability.
 type NodeConfig struct {
 	MaxBody       int64 // request-body cap, bytes
 	MaxConcurrent int   // in-flight request bound
@@ -21,76 +26,148 @@ type NodeConfig struct {
 	// index's plain posting columns; cold low-idf lists are held
 	// compressed (ir.SetMemoryBudget).
 	MemoryBudget int
+	// DataDir, when set, enables durability: POST /node/snapshot
+	// persists the fragment to DataDir/index.snap (atomic write), and
+	// the owning process snapshots on graceful shutdown via
+	// NodeServer.Snapshot. Restore-on-boot happens before the server
+	// exists (persist.LoadIndex in cmd/dlserve), so a handler is never
+	// constructed over a partially restored index.
+	DataDir string
 }
 
-// nodeHandler serves one shared-nothing index fragment over the node
-// wire protocol. All index access goes through a dist.LocalNode,
-// which arbitrates the one-writer rule (adds and freezes exclusive,
-// queries shared) and runs the cached-resolution top-N path — the
-// handler itself only speaks JSON and validates.
-type nodeHandler struct {
+// NodeServer serves one shared-nothing index fragment over the node
+// wire protocol and owns its durability hooks. All index access goes
+// through a dist.LocalNode, which arbitrates the one-writer rule
+// (adds, freezes and state exports exclusive, queries shared) and runs
+// the cached-resolution top-N path — the handler itself only speaks
+// JSON and validates.
+type NodeServer struct {
 	node    *dist.LocalNode
 	maxBody int64
+	maxConc int
+	dataDir string
+	snapMu  sync.Mutex // serialises snapshot writes
 }
 
-// NewNodeHandler returns the HTTP handler serving ix as a remote
-// cluster node: POST /node/add, GET /node/stats, POST /node/topn,
-// GET /node/load, GET /healthz. A nil cfg selects defaults.
-func NewNodeHandler(ix *ir.Index, cfg *NodeConfig) http.Handler {
-	h := &nodeHandler{node: dist.NewLocalNode(ix), maxBody: DefaultMaxBody}
-	maxConc := DefaultMaxConcurrent
+// NewNodeServer builds the node server for ix. A nil cfg selects
+// defaults. If the index was restored from a snapshot, pass the
+// restore time through MarkRestored so /node/load reports a snapshot
+// age instead of "never".
+func NewNodeServer(ix *ir.Index, cfg *NodeConfig) *NodeServer {
+	s := &NodeServer{
+		node:    dist.NewLocalNode(ix),
+		maxBody: DefaultMaxBody,
+		maxConc: DefaultMaxConcurrent,
+	}
 	if cfg != nil {
 		if cfg.MaxBody > 0 {
-			h.maxBody = cfg.MaxBody
+			s.maxBody = cfg.MaxBody
 		}
 		if cfg.MaxConcurrent > 0 {
-			maxConc = cfg.MaxConcurrent
+			s.maxConc = cfg.MaxConcurrent
 		}
 		if cfg.Cache != nil {
-			h.node.SetResolver(cfg.Cache.Resolve)
-			h.node.SetRankingCache(cfg.Cache)
+			s.node.SetResolver(cfg.Cache.Resolve)
+			s.node.SetRankingCache(cfg.Cache)
 		}
 		if cfg.MemoryBudget > 0 {
 			ix.SetMemoryBudget(cfg.MemoryBudget)
 		}
+		s.dataDir = cfg.DataDir
 	}
+	return s
+}
+
+// Handler returns the HTTP handler serving the node wire protocol:
+// POST /node/add, /node/add/batch, /node/topn, /node/search,
+// /node/snapshot, GET /node/stats, /node/load, /healthz.
+func (s *NodeServer) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc(dist.PathNodeAdd, h.add)
-	mux.HandleFunc(dist.PathNodeAddBatch, h.addBatch)
-	mux.HandleFunc(dist.PathNodeStats, h.stats)
-	mux.HandleFunc(dist.PathNodeTopN, h.topn)
-	mux.HandleFunc(dist.PathNodeSearch, h.search)
-	mux.HandleFunc(dist.PathNodeLoad, h.load)
+	mux.HandleFunc(dist.PathNodeAdd, s.add)
+	mux.HandleFunc(dist.PathNodeAddBatch, s.addBatch)
+	mux.HandleFunc(dist.PathNodeStats, s.stats)
+	mux.HandleFunc(dist.PathNodeTopN, s.topn)
+	mux.HandleFunc(dist.PathNodeSearch, s.search)
+	mux.HandleFunc(dist.PathNodeLoad, s.load)
+	mux.HandleFunc(dist.PathNodeSnapshot, s.snapshot)
 	// The health probe bypasses the semaphore: a saturated node is
 	// busy, not dead, and must not be ejected by its load balancer.
 	outer := http.NewServeMux()
-	outer.HandleFunc(dist.PathHealthz, h.healthz)
-	outer.Handle("/", limitConcurrency(maxConc, mux))
+	outer.HandleFunc(dist.PathHealthz, s.healthz)
+	outer.Handle("/", limitConcurrency(s.maxConc, mux))
 	return outer
 }
 
-func (h *nodeHandler) add(w http.ResponseWriter, r *http.Request) {
+// NewNodeHandler returns the HTTP handler serving ix as a remote
+// cluster node — the historical constructor, for callers that need no
+// durability hooks. A nil cfg selects defaults.
+func NewNodeHandler(ix *ir.Index, cfg *NodeConfig) http.Handler {
+	return NewNodeServer(ix, cfg).Handler()
+}
+
+// MarkRestored records that the served index was restored from a
+// snapshot persisted at unix, so snapshot age starts from the restored
+// snapshot instead of "never".
+func (s *NodeServer) MarkRestored(unix int64) { s.node.MarkSnapshot(unix) }
+
+// Snapshot persists the node's fragment to its data dir: the state is
+// exported under the node's write lock (a consistent cut — concurrent
+// adds wait, queries drain first) and written atomically. Returns
+// metadata about the written snapshot. Fails when the server was
+// built without a data dir.
+func (s *NodeServer) Snapshot() (dist.SnapshotResponse, error) {
+	if s.dataDir == "" {
+		return dist.SnapshotResponse{}, errNoDataDir
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	start := time.Now()
+	st := s.node.ExportState()
+	path := persist.SnapshotPath(s.dataDir)
+	if err := persist.SaveFile(path, st); err != nil {
+		return dist.SnapshotResponse{}, err
+	}
+	now := time.Now()
+	s.node.MarkSnapshot(now.Unix())
+	resp := dist.SnapshotResponse{
+		Path:   path,
+		Docs:   len(st.Docs),
+		Terms:  len(st.Terms),
+		TookMS: now.Sub(start).Milliseconds(),
+		Unix:   now.Unix(),
+	}
+	if fi, err := os.Stat(path); err == nil {
+		resp.Bytes = fi.Size()
+	}
+	return resp, nil
+}
+
+// errNoDataDir reports a snapshot request against a node running
+// without durability.
+var errNoDataDir = errors.New("node runs without -data-dir: nowhere to snapshot")
+
+func (s *NodeServer) add(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
 	var req dist.AddRequest
-	if !readJSON(w, r, h.maxBody, &req) {
+	if !readJSON(w, r, s.maxBody, &req) {
 		return
 	}
 	if req.Doc == 0 {
 		fail(w, http.StatusBadRequest, "missing document oid")
 		return
 	}
-	h.node.Add(r.Context(), bat.OID(req.Doc), req.URL, req.Text)
+	s.node.Add(r.Context(), bat.OID(req.Doc), req.URL, req.Text)
 	writeJSON(w, http.StatusOK, struct{}{})
 }
 
-func (h *nodeHandler) addBatch(w http.ResponseWriter, r *http.Request) {
+func (s *NodeServer) addBatch(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
 	var req dist.AddBatchRequest
-	if !readJSON(w, r, h.maxBody, &req) {
+	if !readJSON(w, r, s.maxBody, &req) {
 		return
 	}
 	if len(req.Docs) == 0 {
@@ -105,27 +182,27 @@ func (h *nodeHandler) addBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		docs[i] = dist.Doc{OID: bat.OID(d.Doc), URL: d.URL, Text: d.Text}
 	}
-	if err := h.node.AddBatch(r.Context(), docs); err != nil {
+	if err := s.node.AddBatch(r.Context(), docs); err != nil {
 		fail(w, http.StatusBadGateway, "batch add failed: "+err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, struct{}{})
 }
 
-func (h *nodeHandler) stats(w http.ResponseWriter, r *http.Request) {
+func (s *NodeServer) stats(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	st, _ := h.node.Stats(r.Context())
+	st, _ := s.node.Stats(r.Context())
 	writeJSON(w, http.StatusOK, dist.StatsToJSON(st))
 }
 
-func (h *nodeHandler) topn(w http.ResponseWriter, r *http.Request) {
+func (s *NodeServer) topn(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
 	var req dist.TopNRequest
-	if !readJSON(w, r, h.maxBody, &req) {
+	if !readJSON(w, r, s.maxBody, &req) {
 		return
 	}
 	// Empty queries and non-positive n are well-defined (an empty
@@ -133,21 +210,21 @@ func (h *nodeHandler) topn(w http.ResponseWriter, r *http.Request) {
 	// client-facing validation lives in the coordinator, and the
 	// cluster's local/remote transparency depends on the node
 	// protocol never rejecting what a LocalNode accepts.
-	res, _ := h.node.TopNWithStats(r.Context(), req.Query, req.N, dist.StatsFromJSON(req.Stats))
+	res, _ := s.node.TopNWithStats(r.Context(), req.Query, req.N, dist.StatsFromJSON(req.Stats))
 	writeJSON(w, http.StatusOK, dist.TopNResponse{Results: dist.ResultsToJSON(res)})
 }
 
-func (h *nodeHandler) search(w http.ResponseWriter, r *http.Request) {
+func (s *NodeServer) search(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
 	var req dist.SearchPlanRequest
-	if !readJSON(w, r, h.maxBody, &req) {
+	if !readJSON(w, r, s.maxBody, &req) {
 		return
 	}
 	// Degenerate plans mirror LocalNode (empty ranking, exact quality)
 	// for the same transparency reason as /node/topn.
-	res, est, _ := h.node.SearchPlan(r.Context(), req.Query, dist.PlanFromJSON(req.Plan),
+	res, est, _ := s.node.SearchPlan(r.Context(), req.Query, dist.PlanFromJSON(req.Plan),
 		dist.StatsFromJSON(req.Stats))
 	writeJSON(w, http.StatusOK, dist.SearchPlanResponse{
 		Results: dist.ResultsToJSON(res),
@@ -155,14 +232,34 @@ func (h *nodeHandler) search(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (h *nodeHandler) load(w http.ResponseWriter, r *http.Request) {
+func (s *NodeServer) load(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	l, _ := h.node.Load(r.Context())
-	writeJSON(w, http.StatusOK, dist.LoadResponse{Docs: l.Docs, MaxDoc: uint64(l.MaxDoc)})
+	l, _ := s.node.Load(r.Context())
+	writeJSON(w, http.StatusOK, dist.LoadResponse{
+		Docs:         l.Docs,
+		MaxDoc:       uint64(l.MaxDoc),
+		SnapshotUnix: l.SnapshotUnix,
+	})
 }
 
-func (h *nodeHandler) healthz(w http.ResponseWriter, r *http.Request) {
+func (s *NodeServer) snapshot(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	if s.dataDir == "" {
+		fail(w, http.StatusPreconditionFailed, errNoDataDir.Error())
+		return
+	}
+	resp, err := s.Snapshot()
+	if err != nil {
+		fail(w, http.StatusInternalServerError, "snapshot failed: "+err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *NodeServer) healthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }

@@ -15,6 +15,7 @@ import (
 	"dlsearch/internal/core"
 	"dlsearch/internal/dist"
 	"dlsearch/internal/ir"
+	"dlsearch/internal/persist"
 )
 
 func postJSON(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
@@ -535,5 +536,334 @@ func TestNodeBatchAndSearchEndpoints(t *testing.T) {
 	}
 	if w := postJSON(t, h, dist.PathNodeSearch, `{"query":"","plan":{"n":0},"stats":{}}`); w.Code != http.StatusOK {
 		t.Fatalf("degenerate node search = %d, want 200", w.Code)
+	}
+}
+
+// --- durability & replication ---
+
+// TestNodeSnapshotEndpoint: POST /node/snapshot persists the fragment,
+// /node/load reports the snapshot time, and a "restarted" node built
+// from the snapshot file serves byte-identical rankings.
+func TestNodeSnapshotEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	ix := ir.NewIndex()
+	ns := NewNodeServer(ix, &NodeConfig{DataDir: dir})
+	h := ns.Handler()
+	texts := []string{"melbourne champion trophy", "champion winner serve", "volley smash rally"}
+	for i, text := range texts {
+		w := postJSON(t, h, dist.PathNodeAdd, fmt.Sprintf(`{"doc":%d,"text":%q}`, i+1, text))
+		if w.Code != http.StatusOK {
+			t.Fatalf("add = %d: %s", w.Code, w.Body)
+		}
+	}
+	w := postJSON(t, h, dist.PathNodeSnapshot, `{}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/node/snapshot = %d: %s", w.Code, w.Body)
+	}
+	var snap dist.SnapshotResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Docs != len(texts) || snap.Bytes == 0 || snap.Unix == 0 {
+		t.Fatalf("snapshot response = %+v", snap)
+	}
+	var load dist.LoadResponse
+	if err := json.Unmarshal(get(t, h, dist.PathNodeLoad).Body.Bytes(), &load); err != nil {
+		t.Fatal(err)
+	}
+	if load.SnapshotUnix != snap.Unix {
+		t.Fatalf("load.snapshot_unix = %d, want %d", load.SnapshotUnix, snap.Unix)
+	}
+
+	// "Restart": rebuild the node from the snapshot file alone.
+	restored, err := persist.LoadIndex(snap.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := NewNodeHandler(restored, nil)
+	body := `{"query":"champion","n":10,"stats":{"df":{"champion":2},"total_df":9,"docs":3}}`
+	before := postJSON(t, h, dist.PathNodeTopN, body)
+	after := postJSON(t, h2, dist.PathNodeTopN, body)
+	if before.Code != http.StatusOK || after.Code != http.StatusOK {
+		t.Fatalf("topn = %d / %d", before.Code, after.Code)
+	}
+	if before.Body.String() != after.Body.String() {
+		t.Fatalf("restored ranking differs:\n pre: %s\npost: %s", before.Body, after.Body)
+	}
+}
+
+// TestNodeSnapshotWithoutDataDir: a node running without durability
+// answers 412 instead of pretending to persist.
+func TestNodeSnapshotWithoutDataDir(t *testing.T) {
+	h := NewNodeHandler(ir.NewIndex(), nil)
+	if w := postJSON(t, h, dist.PathNodeSnapshot, `{}`); w.Code != http.StatusPreconditionFailed {
+		t.Fatalf("/node/snapshot = %d, want 412", w.Code)
+	}
+	if w := get(t, h, dist.PathNodeSnapshot); w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /node/snapshot = %d, want 405", w.Code)
+	}
+}
+
+// TestCoordinatorReplicaStats: /stats reports every replica of every
+// partition — reachability, routing health, snapshot age — plus the
+// cluster's cumulative failover/dropped counters; /search surfaces the
+// failovers a degraded query needed while staying complete.
+func TestCoordinatorReplicaStats(t *testing.T) {
+	dir := t.TempDir()
+	servers := make([]*httptest.Server, 2)
+	nodes := make([]dist.Node, 2)
+	for i := range servers {
+		cfg := &NodeConfig{}
+		if i == 0 {
+			cfg.DataDir = dir
+		}
+		srv := httptest.NewServer(NewNodeHandler(ir.NewIndex(), cfg))
+		t.Cleanup(srv.Close)
+		servers[i] = srv
+		nodes[i] = dist.NewRemoteNode(srv.URL, srv.Client())
+	}
+	cluster, err := dist.NewReplicatedCluster(nodes, 2, &dist.Options{NodeTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := NewCoordinator(map[string]*dist.Cluster{"a": cluster}, nil)
+	h := co.Handler()
+	for _, text := range []string{"melbourne champion trophy", "champion winner serve"} {
+		if w := postJSON(t, h, "/add", fmt.Sprintf(`{"text":%q}`, text)); w.Code != http.StatusOK {
+			t.Fatalf("/add = %d: %s", w.Code, w.Body)
+		}
+	}
+	// Snapshot replica 0 so its age surfaces.
+	if _, err := dist.NewRemoteNode(servers[0].URL, servers[0].Client()).Snapshot(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var st StatsResponse
+	if err := json.Unmarshal(get(t, h, "/stats").Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	ixst := st.Indexes["a"]
+	if ixst.Nodes != 1 || len(ixst.Groups) != 1 || len(ixst.Groups[0].Replicas) != 2 {
+		t.Fatalf("index stats shape = %+v", ixst)
+	}
+	r0, r1 := ixst.Groups[0].Replicas[0], ixst.Groups[0].Replicas[1]
+	if !r0.Reachable || !r1.Reachable || !r0.Healthy || !r1.Healthy {
+		t.Fatalf("healthy replicas reported degraded: %+v %+v", r0, r1)
+	}
+	if r0.Docs != 2 || r1.Docs != 2 {
+		t.Fatalf("replica docs = %d/%d, want 2/2 (write fan-out)", r0.Docs, r1.Docs)
+	}
+	if r0.SnapshotUnix == 0 || r0.SnapshotAgeSeconds < 0 {
+		t.Fatalf("snapshotted replica reports no snapshot: %+v", r0)
+	}
+	if r1.SnapshotUnix != 0 {
+		t.Fatalf("never-snapshotted replica reports one: %+v", r1)
+	}
+
+	// Kill the primary: /search stays complete but reports failovers,
+	// and /stats shows the dead replica plus moved counters.
+	servers[0].Close()
+	cluster.InvalidateStats()
+	w := postJSON(t, h, "/search", `{"query":"champion","n":5}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("post-kill /search = %d: %s", w.Code, w.Body)
+	}
+	var sr SearchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Complete || len(sr.Dropped) != 0 || len(sr.Results) == 0 {
+		t.Fatalf("post-kill search degraded: %+v", sr)
+	}
+	if err := json.Unmarshal(get(t, h, "/stats").Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	ixst = st.Indexes["a"]
+	if ixst.Failovers == 0 {
+		t.Fatalf("failover counter = 0 after killing the primary: %+v", ixst)
+	}
+	if ixst.DroppedNodes != 0 {
+		t.Fatalf("dropped counter moved with a live replica: %+v", ixst)
+	}
+	r0 = ixst.Groups[0].Replicas[0]
+	if r0.Reachable || r0.Healthy {
+		t.Fatalf("dead replica reported fine: %+v", r0)
+	}
+	if ixst.Docs != 2 {
+		t.Fatalf("docs = %d, want 2 (served by the survivor)", ixst.Docs)
+	}
+}
+
+// TestCoordinatorAddBatchOutcomes: /add/batch reports per-partition
+// commit results — a dead partition's documents land in "failed"
+// (retry-safe) while the healthy partition commits, and the response
+// still carries every assigned oid.
+func TestCoordinatorAddBatchOutcomes(t *testing.T) {
+	servers := make([]*httptest.Server, 2)
+	nodes := make([]dist.Node, 2)
+	for i := range servers {
+		srv := httptest.NewServer(NewNodeHandler(ir.NewIndex(), nil))
+		t.Cleanup(srv.Close)
+		servers[i] = srv
+		nodes[i] = dist.NewRemoteNode(srv.URL, srv.Client())
+	}
+	cluster := dist.NewClusterOf(nodes, &dist.Options{NodeTimeout: 5 * time.Second})
+	co := NewCoordinator(map[string]*dist.Cluster{"a": cluster}, nil)
+	h := co.Handler()
+
+	// Healthy batch: per-partition outcomes all committed, no failed.
+	w := postJSON(t, h, "/add/batch",
+		`{"docs":[{"doc":1,"text":"melbourne champion"},{"doc":2,"text":"winner serve"},{"doc":3,"text":"volley smash"}]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/add/batch = %d: %s", w.Code, w.Body)
+	}
+	var ok AddBatchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &ok); err != nil {
+		t.Fatal(err)
+	}
+	if len(ok.Partitions) != 2 || len(ok.Failed) != 0 || len(ok.Degraded) != 0 {
+		t.Fatalf("healthy batch outcomes = %+v", ok)
+	}
+	for _, p := range ok.Partitions {
+		if p.Committed != p.Replicas || p.Error != "" {
+			t.Fatalf("healthy partition outcome = %+v", p)
+		}
+	}
+
+	// Warm the global statistics while both partitions are alive, so
+	// post-kill searches can degrade to the stale-stats path instead of
+	// failing outright on a never-aggregated cluster.
+	if w := postJSON(t, h, "/search", `{"query":"champion","n":5}`); w.Code != http.StatusOK {
+		t.Fatalf("warm /search = %d: %s", w.Code, w.Body)
+	}
+
+	// Kill partition 1's only node: its documents come back in
+	// "failed", partition 0's commit.
+	servers[1].Close()
+	w = postJSON(t, h, "/add/batch",
+		`{"docs":[{"doc":11,"text":"trophy rally"},{"doc":12,"text":"ace court"}]}`)
+	if w.Code != http.StatusBadGateway {
+		t.Fatalf("partial /add/batch = %d, want 502: %s", w.Code, w.Body)
+	}
+	var partial AddBatchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &partial); err != nil {
+		t.Fatal(err)
+	}
+	// Round-robin: oid 11 -> partition 0 (alive), oid 12 -> partition 1 (dead).
+	if len(partial.Docs) != 2 || partial.Docs[0] != 11 || partial.Docs[1] != 12 {
+		t.Fatalf("assigned oids = %v", partial.Docs)
+	}
+	if len(partial.Failed) != 1 || partial.Failed[0] != 12 {
+		t.Fatalf("failed docs = %v, want [12]", partial.Failed)
+	}
+	if len(partial.Degraded) != 0 {
+		t.Fatalf("degraded = %v, want none (whole partition failed)", partial.Degraded)
+	}
+	if partial.Error == "" {
+		t.Fatal("partial batch response has no error summary")
+	}
+	committed := false
+	for _, p := range partial.Partitions {
+		switch p.Partition {
+		case 0:
+			if p.Committed != 1 || p.Error != "" {
+				t.Fatalf("alive partition outcome = %+v", p)
+			}
+			committed = true
+		case 1:
+			if p.Committed != 0 || p.Error == "" {
+				t.Fatalf("dead partition outcome = %+v", p)
+			}
+		}
+	}
+	if !committed {
+		t.Fatal("partition 0 outcome missing")
+	}
+	// Searches keep answering over the surviving partition, flagged as
+	// degraded: stale statistics (re-aggregation needs the dead node)
+	// and the dead partition dropped.
+	w = postJSON(t, h, "/search", `{"query":"champion","n":10}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("post-partial-batch /search = %d: %s", w.Code, w.Body)
+	}
+	var sr SearchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Complete || !sr.StaleStats || len(sr.Dropped) != 1 || sr.Dropped[0] != 1 {
+		t.Fatalf("post-partial-batch search not flagged degraded: %+v", sr)
+	}
+	if len(sr.Results) == 0 {
+		t.Fatalf("no results from the surviving partition: %+v", sr)
+	}
+}
+
+// TestCoordinatorAddPartialCommit: a single-document /add against a
+// degraded replica group must not masquerade as "not indexed": the
+// 502 body reports how many replicas committed so the client knows a
+// blind retry would double-fold term frequencies.
+func TestCoordinatorAddPartialCommit(t *testing.T) {
+	servers := make([]*httptest.Server, 2)
+	nodes := make([]dist.Node, 2)
+	for i := range servers {
+		srv := httptest.NewServer(NewNodeHandler(ir.NewIndex(), nil))
+		t.Cleanup(srv.Close)
+		servers[i] = srv
+		nodes[i] = dist.NewRemoteNode(srv.URL, srv.Client())
+	}
+	cluster, err := dist.NewReplicatedCluster(nodes, 2, &dist.Options{NodeTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := NewCoordinator(map[string]*dist.Cluster{"a": cluster}, nil)
+	h := co.Handler()
+
+	w := postJSON(t, h, "/add", `{"doc":1,"text":"melbourne champion"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("healthy /add = %d: %s", w.Code, w.Body)
+	}
+	var added AddDocResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &added); err != nil {
+		t.Fatal(err)
+	}
+	if added.Committed != 2 || added.Replicas != 2 || added.Degraded {
+		t.Fatalf("healthy add outcome = %+v", added)
+	}
+
+	// One replica dead: 502, but the response says one replica HAS the
+	// document (degraded), so the client must not re-post it.
+	servers[1].Close()
+	w = postJSON(t, h, "/add", `{"doc":2,"text":"winner serve"}`)
+	if w.Code != http.StatusBadGateway {
+		t.Fatalf("degraded /add = %d, want 502: %s", w.Code, w.Body)
+	}
+	var degraded AddDocResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &degraded); err != nil {
+		t.Fatal(err)
+	}
+	if degraded.Committed != 1 || degraded.Replicas != 2 || !degraded.Degraded || degraded.Error == "" {
+		t.Fatalf("degraded add outcome = %+v", degraded)
+	}
+	// The degraded document is searchable via the survivor.
+	w = postJSON(t, h, "/search", `{"query":"winner","n":5}`)
+	var sr SearchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Results) != 1 || sr.Results[0].Doc != 2 {
+		t.Fatalf("degraded doc not searchable: %+v", sr)
+	}
+
+	// Whole group dead: committed 0 — retry-safe (connection-level).
+	servers[0].Close()
+	w = postJSON(t, h, "/add", `{"doc":3,"text":"volley smash"}`)
+	if w.Code != http.StatusBadGateway {
+		t.Fatalf("dead-group /add = %d, want 502: %s", w.Code, w.Body)
+	}
+	var failed AddDocResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &failed); err != nil {
+		t.Fatal(err)
+	}
+	if failed.Committed != 0 || failed.Degraded {
+		t.Fatalf("dead-group add outcome = %+v", failed)
 	}
 }
