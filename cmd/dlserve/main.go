@@ -15,7 +15,12 @@
 //	    deadlines and straggler handling. With -replicas R the node
 //	    list is sliced into replica groups of R: writes fan out to all
 //	    replicas of a partition and reads fail over between them, so
-//	    killing any single node does not degrade the ranking.
+//	    killing any single node does not degrade the ranking. With
+//	    -anti-entropy-interval the coordinator periodically compares
+//	    replica content checksums within each group and resyncs a
+//	    divergent or wiped replica from the healthiest member — the
+//	    cluster heals itself without operator action (also on demand
+//	    via POST /anti-entropy).
 //
 // A replicated two-partition deployment is four `dlserve node`
 // processes plus one coordinator pointed at them:
@@ -72,6 +77,8 @@ func main() {
 	minQuality := fs.Float64("min-quality", 0, "default /search quality floor in (0,1], 0 disables (coordinator)")
 	memBudget := fs.Int("mem-budget", 0, "posting-store memory budget in bytes, cold lists held compressed, 0 disables (node)")
 	dataDir := fs.String("data-dir", "", "durability directory: restore on boot, snapshot on shutdown and on POST /node/snapshot (node)")
+	resyncFrom := fs.String("resync", "", "peer node base URL to pull the fragment from at boot — seeds a fresh or wiped replica from a live group member (node)")
+	antiEntropy := fs.Duration("anti-entropy-interval", 0, "periodic replica checksum comparison + auto-resync interval, 0 disables (coordinator)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -84,7 +91,7 @@ func main() {
 		if *addr == "" {
 			*addr = ":8081"
 		}
-		runNode(ctx, *addr, *lambda, *cache, *maxConc, *memBudget, *dataDir)
+		runNode(ctx, *addr, *lambda, *cache, *maxConc, *memBudget, *dataDir, *resyncFrom)
 	case "coordinator":
 		if *addr == "" {
 			*addr = ":8080"
@@ -101,6 +108,12 @@ func main() {
 			FragBudget:    *fragBudget,
 			MinQuality:    *minQuality,
 		})
+		if *antiEntropy > 0 {
+			// Background self-healing: periodically compare replica
+			// checksums within each group and resync divergent replicas
+			// from their group — no operator action needed.
+			go cluster.RunAntiEntropy(ctx, *antiEntropy)
+		}
 		fmt.Fprintf(os.Stderr, "dlserve: coordinator listening on %s\n", *addr)
 		if err := server.Run(ctx, *addr, co.Handler(), 0); err != nil {
 			fatal(err)
@@ -114,15 +127,23 @@ func main() {
 // runNode boots one fragment server: restore from the data dir's
 // snapshot if one exists (a corrupt snapshot is fatal — the node
 // refuses to serve a partial index rather than silently dropping
-// documents from every ranking), serve until the context cancels,
-// then snapshot the fragment so the next boot restores it.
-func runNode(ctx context.Context, addr string, lambda float64, cacheCap, maxConc, memBudget int, dataDir string) {
+// documents from every ranking), or pull the fragment from a live
+// peer (-resync, which overrides any local snapshot — the peer's
+// state IS the group truth), serve until the context cancels, then
+// snapshot the fragment so the next boot restores it.
+func runNode(ctx context.Context, addr string, lambda float64, cacheCap, maxConc, memBudget int, dataDir, resyncFrom string) {
 	ix := ir.NewIndex()
 	restoredUnix := int64(0)
 	if dataDir != "" {
 		if err := os.MkdirAll(dataDir, 0o755); err != nil {
 			fatal(err)
 		}
+	}
+	// -resync overrides the local snapshot entirely — the peer's state
+	// IS the group truth — so the disk restore is skipped, which also
+	// lets -resync heal a node whose local snapshot is corrupt (the
+	// very case it exists for) instead of dying on the corrupt file.
+	if dataDir != "" && resyncFrom == "" {
 		path := persist.SnapshotPath(dataDir)
 		restored, err := persist.LoadIndex(path)
 		switch {
@@ -139,6 +160,22 @@ func runNode(ctx context.Context, addr string, lambda float64, cacheCap, maxConc
 			fatal(fmt.Errorf("refusing to serve: %w", err))
 		}
 	}
+	resynced := false
+	if resyncFrom != "" {
+		peer := dist.NewRemoteNode(resyncFrom, nil)
+		st, err := peer.SnapshotState(ctx)
+		if err != nil {
+			fatal(fmt.Errorf("resync from %s: %w", resyncFrom, err))
+		}
+		restored, err := ir.ImportState(st)
+		if err != nil {
+			fatal(fmt.Errorf("resync from %s: %w", resyncFrom, err))
+		}
+		ix = restored
+		resynced = true
+		fmt.Fprintf(os.Stderr, "dlserve: resynced %d docs, %d terms from %s\n",
+			ix.DocCount(), ix.TermCount(), resyncFrom)
+	}
 	if lambda != 0 {
 		ix.SetLambda(lambda)
 	}
@@ -153,6 +190,16 @@ func runNode(ctx context.Context, addr string, lambda float64, cacheCap, maxConc
 	ns := server.NewNodeServer(ix, cfg)
 	if restoredUnix > 0 {
 		ns.MarkRestored(restoredUnix)
+	}
+	if resynced && dataDir != "" {
+		// Persist the pulled fragment before serving: a crash between
+		// boot and the first snapshot must not resurrect the state the
+		// resync replaced.
+		if snap, err := ns.Snapshot(); err != nil {
+			fmt.Fprintln(os.Stderr, "dlserve: post-resync snapshot failed:", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "dlserve: snapshot %s (%d docs)\n", snap.Path, snap.Docs)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "dlserve: node listening on %s\n", addr)
 	err := server.Run(ctx, addr, ns.Handler(), 0)
@@ -227,7 +274,9 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: dlserve {node|coordinator} [flags]
 
   dlserve node -addr :8081 -data-dir /var/lib/dlsearch/node1
+  dlserve node -addr :8081 -resync http://h2:8082     (seed from a live peer)
   dlserve coordinator -addr :8080 -nodes http://h1:8081,http://h2:8082
-  dlserve coordinator -addr :8080 -replicas 2 -nodes http://h1:8081,...
+  dlserve coordinator -addr :8080 -replicas 2 -anti-entropy-interval 30s \
+      -nodes http://h1:8081,...
   dlserve coordinator -addr :8080 -local 4`)
 }

@@ -169,6 +169,15 @@ type (
 	ClusterTelemetry = dist.Telemetry
 	// PartitionResult is one partition's commit outcome of a batch add.
 	PartitionResult = dist.PartitionResult
+	// AntiEntropyReport summarises one Cluster.CheckReplicas pass:
+	// divergences detected by replica checksum comparison, stale
+	// quarantines cleared, replicas resynced.
+	AntiEntropyReport = dist.AntiEntropyReport
+	// ReplicaCheck is one replica's outcome of an anti-entropy pass.
+	ReplicaCheck = dist.ReplicaCheck
+	// ClusterNodeLoad is one node's load probe: doc count, max oid,
+	// snapshot age and the fragment's content checksum.
+	ClusterNodeLoad = dist.NodeLoad
 )
 
 // ErrSnapshotCorrupt reports a snapshot that failed integrity

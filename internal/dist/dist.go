@@ -99,14 +99,18 @@ func roundRobin(doc bat.OID, k int) int {
 // would serve rankings silently missing committed documents. A
 // diverged replica routes last (better a stale ranking than a dropped
 // partition), searches it serves are flagged, and the mark outlives
-// reconnects: clearing it requires restoring the replica and
-// rebuilding the cluster (ROADMAP: automatic resync).
+// reconnects: it clears only when the replica provably matches its
+// group again — after a resync (ResyncReplica), or when an
+// anti-entropy pass observes its content checksum equal to the group's
+// (an operator restored it, or an idempotent retry re-fed it the
+// missed documents).
 type replicaStatus struct {
-	fails    uint64
-	lastErr  string
-	lastOK   time.Time
-	lastFail time.Time
-	diverged bool
+	fails      uint64
+	lastErr    string
+	lastOK     time.Time
+	lastFail   time.Time
+	diverged   bool
+	lastResync time.Time // when the replica last healed from a group member
 }
 
 // groupHealth tracks the routing state of one replica group.
@@ -128,9 +132,14 @@ type ReplicaHealth struct {
 	LastOKUnix   int64
 	LastFailUnix int64
 	// Diverged marks a replica that failed a write its group
-	// committed: its copy is missing documents and needs restoration
-	// (snapshot restore) before it can serve as an equal again.
+	// committed, or whose content checksum disagreed with its group's
+	// during an anti-entropy pass: its copy differs from the committed
+	// state and needs resync (ResyncReplica, or an anti-entropy pass
+	// with repair enabled) before it can serve as an equal again.
 	Diverged bool
+	// LastResyncUnix is when the replica last healed from a group
+	// member (unix seconds, 0 = never).
+	LastResyncUnix int64
 }
 
 // Healthy reports whether the replica's last call succeeded AND its
@@ -149,6 +158,16 @@ type Cluster struct {
 	partition func(bat.OID, int) int
 	timeout   time.Duration
 
+	// ingest is the per-group write/resync arbiter: writes (fanToGroup)
+	// hold the read side for the duration of the fan-out, a resync holds
+	// the write side across its export→import window. This is what makes
+	// resync safe under concurrent ingest: no write can land on the
+	// source after the export but on the target before the import (it
+	// would be erased by the import and silently lost) — a racing write
+	// either completes on every replica before the resync starts, or
+	// applies on top of the restored state after it finishes.
+	ingest []*sync.RWMutex
+
 	mu         sync.Mutex // guards the stats fields below
 	stats      ir.Stats
 	fresh      bool      // stats reflect all Adds routed through this cluster
@@ -159,6 +178,8 @@ type Cluster struct {
 	searchCount   atomic.Uint64 // searches served
 	failoverCount atomic.Uint64 // replica failovers across all searches
 	droppedCount  atomic.Uint64 // partitions dropped from merges
+	resyncCount   atomic.Uint64 // successful replica resyncs
+	divergeCount  atomic.Uint64 // divergences detected by anti-entropy
 }
 
 // NewCluster builds a cluster of k in-process single-replica
@@ -228,11 +249,13 @@ func NewReplicatedClusterOf(groups [][]Node, opts *Options) *Cluster {
 	}
 	c := &Cluster{groups: groups, partition: roundRobin}
 	c.health = make([]*groupHealth, len(groups))
+	c.ingest = make([]*sync.RWMutex, len(groups))
 	for g, reps := range groups {
 		if len(reps) == 0 {
 			panic("dist: replica group must hold at least one node")
 		}
 		c.health[g] = &groupHealth{reps: make([]replicaStatus, len(reps))}
+		c.ingest[g] = &sync.RWMutex{}
 	}
 	if opts != nil {
 		if opts.Partition != nil {
@@ -280,6 +303,9 @@ func (c *Cluster) ReplicaHealth() [][]ReplicaHealth {
 			if !st.lastFail.IsZero() {
 				h.LastFailUnix = st.lastFail.Unix()
 			}
+			if !st.lastResync.IsZero() {
+				h.LastResyncUnix = st.lastResync.Unix()
+			}
 			out[g][r] = h
 		}
 		gh.mu.Unlock()
@@ -295,14 +321,22 @@ type Telemetry struct {
 	// a dead primary it can legitimately exceed Searches.
 	Failovers uint64
 	Dropped   uint64 // partitions dropped from merged rankings
+	// Resyncs counts replicas healed from a group member's snapshot;
+	// DivergenceDetected counts divergences anti-entropy found BEFORE
+	// they served (write-failure quarantines are not counted here —
+	// they are detected at the write, not by checksum comparison).
+	Resyncs            uint64
+	DivergenceDetected uint64
 }
 
 // Telemetry returns the cumulative counters.
 func (c *Cluster) Telemetry() Telemetry {
 	return Telemetry{
-		Searches:  c.searchCount.Load(),
-		Failovers: c.failoverCount.Load(),
-		Dropped:   c.droppedCount.Load(),
+		Searches:           c.searchCount.Load(),
+		Failovers:          c.failoverCount.Load(),
+		Dropped:            c.droppedCount.Load(),
+		Resyncs:            c.resyncCount.Load(),
+		DivergenceDetected: c.divergeCount.Load(),
 	}
 }
 
@@ -338,6 +372,29 @@ func (c *Cluster) isDiverged(g, r int) bool {
 	gh.mu.Lock()
 	defer gh.mu.Unlock()
 	return gh.reps[r].diverged
+}
+
+// clearDiverged removes a replica's divergence mark — called only when
+// the replica's content checksum provably matches its group again.
+func (c *Cluster) clearDiverged(g, r int) {
+	gh := c.health[g]
+	gh.mu.Lock()
+	gh.reps[r].diverged = false
+	gh.mu.Unlock()
+}
+
+// markResynced records a completed resync: the replica holds a fresh
+// copy of the group state, so the quarantine lifts, its failure streak
+// resets (it just answered a restore) and the resync age starts.
+func (c *Cluster) markResynced(g, r int) {
+	gh := c.health[g]
+	gh.mu.Lock()
+	st := &gh.reps[r]
+	st.diverged = false
+	st.fails = 0
+	st.lastErr = ""
+	st.lastResync = time.Now()
+	gh.mu.Unlock()
 }
 
 // replicaOrder returns the routing order for a group's replicas:
@@ -432,6 +489,11 @@ func groupCall[T any](c *Cluster, ctx context.Context, g, scale int, call func(c
 // from a snapshot (or re-fed the documents) before they can serve
 // again. The serving layer surfaces this through per-replica health.
 func (c *Cluster) fanToGroup(ctx context.Context, g, scale int, call func(context.Context, Node) error) (int, error) {
+	// Shared side of the write/resync arbiter: writes proceed
+	// concurrently with each other, but never overlap a resync of this
+	// group (which would lose them on the resynced replica).
+	c.ingest[g].RLock()
+	defer c.ingest[g].RUnlock()
 	reps := c.groups[g]
 	errs := make([]error, len(reps))
 	var wg sync.WaitGroup
@@ -542,18 +604,20 @@ func (c *Cluster) Add(doc bat.OID, url, text string) {
 // ACKNOWLEDGED committing them, and the joined error when any replica
 // failed.
 //
-// Retry semantics: a partition with Committed == 0 acknowledged none
-// of its documents — retrying exactly those documents is safe when the
-// failures were connection-level (node down, connection refused). A
-// TIMED-OUT replica is ambiguous: it may have applied the batch
-// without the acknowledgement arriving, in which case a retry
-// double-folds term frequencies (ir.Index.Add merges tf by design);
-// the error text names the failure, so treat deadline errors as
-// needs-verification, not retry-safe. A partition with
-// 0 < Committed < Replicas is DEGRADED, never retryable: the
-// acknowledged replicas would double-fold; the failed replicas need
-// restoration instead (snapshot restore, or administrative re-add
-// against the lagging node only).
+// Retry semantics: the cluster's own nodes (LocalNode, RemoteNode)
+// de-duplicate ingest per document oid (IdempotentIngest), which
+// collapses the old at-least-once ambiguity: re-posting a partition's
+// documents with the same oids is ALWAYS safe against them — a replica
+// that timed out AFTER applying the batch skips it on the retry
+// instead of double-folding term frequencies, and a replica that
+// missed the batch applies it, converging the group. So a partition
+// with Committed == 0 is retry-safe, and retrying a DEGRADED partition
+// (0 < Committed < Replicas) heals the lagging replicas rather than
+// corrupting the committed ones. Only third-party nodes without the
+// IdempotentIngest marker keep the conservative contract: a partial
+// per-document application there is flagged Ambiguous (a blind retry
+// would double-fold the applied prefix), and their timeouts remain
+// needs-verification.
 type PartitionResult struct {
 	Partition int
 	Docs      []bat.OID // the batch's documents routed here, request order
@@ -568,8 +632,9 @@ type PartitionResult struct {
 }
 
 // Failed reports whether no replica acknowledged the commit and no
-// partial application was observed — the (connection-level-failure)
-// retry-safe case; see the type comment for the timeout caveat.
+// ambiguous partial application was observed — the retry-safe case
+// (with idempotent nodes that is every Committed == 0 outcome; see the
+// type comment for the third-party-node caveat).
 func (p *PartitionResult) Failed() bool {
 	return p.Committed == 0 && p.Err != nil && !p.Ambiguous
 }
@@ -616,9 +681,14 @@ func (c *Cluster) AddBatchResults(ctx context.Context, docs []Doc) []PartitionRe
 				if ba, ok := n.(BatchAdder); ok {
 					return ba.AddBatch(nctx, part)
 				}
+				_, idempotent := n.(IdempotentIngest)
 				for j, d := range part {
 					if err := n.Add(nctx, d.OID, d.URL, d.Text); err != nil {
-						if j > 0 {
+						if j > 0 && !idempotent {
+							// Only a node WITHOUT per-oid de-duplication
+							// turns a partial prefix into ambiguity — an
+							// idempotent node replays the whole partition
+							// safely, the applied prefix skipping itself.
 							return &partialApplyError{applied: j, total: len(part), err: err}
 						}
 						return err

@@ -41,13 +41,29 @@ type Node interface {
 
 // NodeLoad describes one node's document load: how many documents it
 // holds, the highest oid among them (so central oid allocators can
-// continue the sequence without reusing a live oid), and when the node
+// continue the sequence without reusing a live oid), when the node
 // last persisted a snapshot (unix seconds, 0 = never) so operators can
-// see how much work a crash would lose.
+// see how much work a crash would lose, and the content checksum of
+// its fragment (ir.Index.Checksum) — the anti-entropy comparison key:
+// replicas of a group holding identical documents report identical
+// checksums no matter how the writes interleaved. Load itself never
+// computes a digest (probes must stay O(1)), so Checksum may be empty
+// when the content changed since the last digest; anti-entropy probes
+// through ChecksumLoader, which forces a fresh one.
 type NodeLoad struct {
 	Docs         int
 	MaxDoc       bat.OID
 	SnapshotUnix int64
+	Checksum     string
+}
+
+// ChecksumLoader is an optional Node capability: a load probe that
+// guarantees a FRESH content checksum, paying the freeze + digest cost
+// when the content changed since the last one. Anti-entropy uses it;
+// plain Load keeps monitoring probes (/stats scrapes, doc counts)
+// cheap by reporting only a cached digest, possibly empty.
+type ChecksumLoader interface {
+	LoadChecksum(ctx context.Context) (NodeLoad, error)
 }
 
 // Doc is one document of a batch add.
@@ -63,6 +79,39 @@ type Doc struct {
 // capability stays optional for third-party nodes.
 type BatchAdder interface {
 	AddBatch(ctx context.Context, docs []Doc) error
+}
+
+// IdempotentIngest is an optional Node capability marker: a node
+// implementing it guarantees that Add and AddBatch de-duplicate per
+// document oid — re-posting a document that was already applied is a
+// no-op, never a tf double-fold. Document oids are write-once at such
+// a node's boundary. This is what makes at-least-once ingest safe: a
+// replica that timed out AFTER applying a batch (the acknowledgement
+// was lost) can simply be retried, and a partially applied per-document
+// loop can be replayed from the start — the applied prefix skips
+// itself. LocalNode and RemoteNode (whose server wraps a LocalNode)
+// both implement it; the cluster treats nodes without the marker
+// conservatively (see PartitionResult.Ambiguous).
+type IdempotentIngest interface {
+	IdempotentIngest()
+}
+
+// StateSource is an optional Node capability: exporting the node's
+// complete fragment state as one consistent cut. It is the read side
+// of replica resync — the healthiest member of a replica group serves
+// as the source a diverged or lagging member heals from.
+type StateSource interface {
+	SnapshotState(ctx context.Context) (*ir.IndexState, error)
+}
+
+// StateSink is an optional Node capability: atomically replacing the
+// node's entire fragment with the supplied state. It is the write side
+// of replica resync. Implementations must install the state under
+// their write lock with the freeze epoch advanced strictly past the
+// pre-restore epoch, so epoch-guarded query caches can never serve
+// pre-restore rankings.
+type StateSink interface {
+	RestoreState(ctx context.Context, st *ir.IndexState) error
 }
 
 // RankingCache is the serving layer's RES-set cache boundary: rankings
@@ -111,24 +160,39 @@ func (n *LocalNode) SetResolver(f func(*ir.Index, string) ([]string, []bat.OID))
 // it before the node starts serving queries.
 func (n *LocalNode) SetRankingCache(rc RankingCache) { n.rank = rc }
 
-// Add implements Node.
+// Add implements Node. Ingest is idempotent per document oid: a doc
+// already in the index is skipped, so retrying a write whose
+// acknowledgement was lost (the at-least-once ambiguity of networked
+// ingest) never double-folds term frequencies. Document oids are
+// therefore write-once at the node boundary; folding more text into an
+// existing document remains an ir.Index-level operation for engines
+// that own their index outright.
 func (n *LocalNode) Add(_ context.Context, doc bat.OID, url, text string) error {
 	n.mu.Lock()
-	n.ix.Add(doc, url, text)
+	if !n.ix.HasDoc(doc) {
+		n.ix.Add(doc, url, text)
+	}
 	n.mu.Unlock()
 	return nil
 }
 
 // AddBatch implements BatchAdder: the whole batch lands under one
-// write-lock acquisition.
+// write-lock acquisition, each document idempotently (see Add) — a
+// replayed batch, including one that previously applied only a prefix,
+// is applied exactly once.
 func (n *LocalNode) AddBatch(_ context.Context, docs []Doc) error {
 	n.mu.Lock()
 	for _, d := range docs {
-		n.ix.Add(d.OID, d.URL, d.Text)
+		if !n.ix.HasDoc(d.OID) {
+			n.ix.Add(d.OID, d.URL, d.Text)
+		}
 	}
 	n.mu.Unlock()
 	return nil
 }
+
+// IdempotentIngest marks the per-oid de-duplication above.
+func (n *LocalNode) IdempotentIngest() {}
 
 // Stats implements Node: it freezes the index (so concurrent read-only
 // queries never mutate it) and extracts the local statistics.
@@ -205,14 +269,38 @@ func (n *LocalNode) planWithStats(query string, plan ir.EvalPlan, global ir.Stat
 	return n.ix.TopNPlanWithStats(query, plan, global)
 }
 
-// Load implements Node.
+// Load implements Node. It is always O(1) under the shared read lock:
+// the checksum comes from its per-epoch cache and is empty when the
+// content changed since the last digest — monitoring probes (/stats
+// scrapes, doc-count reads) must never stall serving behind a freeze
+// or an O(index) hash. Anti-entropy, which needs a guaranteed-fresh
+// digest, probes through LoadChecksum instead.
 func (n *LocalNode) Load(context.Context) (NodeLoad, error) {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
+	sum, _ := n.ix.ChecksumCached()
 	return NodeLoad{
 		Docs:         n.ix.DocCount(),
 		MaxDoc:       n.ix.MaxDoc(),
 		SnapshotUnix: n.lastSnap.Load(),
+		Checksum:     sum,
+	}, nil
+}
+
+// LoadChecksum implements ChecksumLoader: like Load, but when the
+// cached digest is stale it takes the write lock and recomputes
+// (freeze + O(index) hash) so the reported checksum is always fresh.
+func (n *LocalNode) LoadChecksum(ctx context.Context) (NodeLoad, error) {
+	if l, err := n.Load(ctx); err != nil || l.Checksum != "" {
+		return l, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return NodeLoad{
+		Docs:         n.ix.DocCount(),
+		MaxDoc:       n.ix.MaxDoc(),
+		SnapshotUnix: n.lastSnap.Load(),
+		Checksum:     n.ix.Checksum(),
 	}, nil
 }
 
@@ -224,6 +312,41 @@ func (n *LocalNode) ExportState() *ir.IndexState {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.ix.ExportState()
+}
+
+// SnapshotState implements StateSource over ExportState.
+func (n *LocalNode) SnapshotState(context.Context) (*ir.IndexState, error) {
+	return n.ExportState(), nil
+}
+
+// RestoreState implements StateSink: the node's entire fragment is
+// replaced by the supplied state under the write lock — queries
+// blocked behind the restore resume against exactly the restored
+// state, adds blocked behind it apply on top of it (so a write racing
+// a resync lands in the restored index instead of being lost). The
+// rebuilt index's freeze epoch is advanced strictly past the
+// pre-restore epoch: even if the imported state carries the same epoch
+// number and the same global-statistics fingerprint as the content it
+// replaces, every cached term resolution and RES set captured before
+// the restore is invalidated. A state that fails ImportState's
+// referential validation leaves the node serving its previous fragment
+// untouched.
+func (n *LocalNode) RestoreState(_ context.Context, st *ir.IndexState) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ix, err := ir.ImportState(st)
+	if err != nil {
+		return err
+	}
+	// The state carries the SOURCE's tuning; this node keeps its own.
+	// λ and the memory budget are deployment configuration (replicas of
+	// a group are configured alike), not content — a resync from an
+	// unbudgeted peer must not silently lift this node's -mem-budget.
+	ix.SetLambda(n.ix.Lambda())
+	ix.SetMemoryBudget(n.ix.MemoryBudget())
+	ix.AdvanceEpoch(n.ix.Epoch())
+	n.ix = ix
+	return nil
 }
 
 // MarkSnapshot records that a snapshot of this node's state was

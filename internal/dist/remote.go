@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -12,6 +13,7 @@ import (
 
 	"dlsearch/internal/bat"
 	"dlsearch/internal/ir"
+	"dlsearch/internal/persist"
 )
 
 // The node wire protocol: four JSON endpoints mirroring the Node
@@ -27,6 +29,7 @@ const (
 	PathNodeSearch   = "/node/search"
 	PathNodeLoad     = "/node/load"
 	PathNodeSnapshot = "/node/snapshot"
+	PathNodeRestore  = "/node/restore"
 	PathHealthz      = "/healthz"
 )
 
@@ -169,22 +172,43 @@ func ResultsFromJSON(ws []ResultJSON) []ir.Result {
 }
 
 // LoadResponse is the body answering GET /node/load. SnapshotUnix is
-// when the node last persisted a snapshot (unix seconds, 0 = never).
+// when the node last persisted a snapshot (unix seconds, 0 = never);
+// Checksum is the fragment's content checksum, the anti-entropy
+// comparison key.
 type LoadResponse struct {
 	Docs         int    `json:"docs"`
 	MaxDoc       uint64 `json:"max_doc"`
 	SnapshotUnix int64  `json:"snapshot_unix,omitempty"`
+	Checksum     string `json:"checksum,omitempty"`
 }
 
 // SnapshotResponse answers POST /node/snapshot: where the snapshot
-// landed and what it covers.
+// landed and what it covers. Checksum is the content checksum of the
+// persisted state — the value a replica restored from this snapshot
+// will report in /node/load.
 type SnapshotResponse struct {
-	Path   string `json:"path"`
-	Bytes  int64  `json:"bytes"`
-	Docs   int    `json:"docs"`
-	Terms  int    `json:"terms"`
-	TookMS int64  `json:"took_ms"`
-	Unix   int64  `json:"unix"`
+	Path     string `json:"path"`
+	Bytes    int64  `json:"bytes"`
+	Docs     int    `json:"docs"`
+	Terms    int    `json:"terms"`
+	TookMS   int64  `json:"took_ms"`
+	Unix     int64  `json:"unix"`
+	Checksum string `json:"checksum,omitempty"`
+}
+
+// RestoreResponse answers POST /node/restore: what the node now
+// serves. SnapshotUnix is set when the node also persisted the
+// restored state to its data dir (so a crash right after a resync
+// cannot resurrect the pre-resync fragment); SnapshotError reports a
+// failed post-restore persist — the restore itself succeeded in
+// memory, but the durability promise did not hold and a crash would
+// resurrect the pre-resync snapshot.
+type RestoreResponse struct {
+	Docs          int    `json:"docs"`
+	Terms         int    `json:"terms"`
+	Checksum      string `json:"checksum,omitempty"`
+	SnapshotUnix  int64  `json:"snapshot_unix,omitempty"`
+	SnapshotError string `json:"snapshot_error,omitempty"`
 }
 
 // RemoteNode implements Node over the HTTP/JSON node protocol, so a
@@ -201,6 +225,24 @@ type RemoteNode struct {
 // client; connection pooling across nodes of the same host is what a
 // coordinator wants by default.
 var defaultClient = &http.Client{Timeout: 30 * time.Second}
+
+// defaultTransferClient serves the state-transfer calls
+// (SnapshotState/RestoreState) for nodes built on defaultClient: no
+// overall timeout, because a fragment transfer's duration scales with
+// the fragment and must be bounded by the caller's ctx, not by the
+// per-operation budget sized for one JSON round-trip. It shares
+// defaultClient's (default) transport pool.
+var defaultTransferClient = &http.Client{}
+
+// transferClient picks the client for whole-fragment transfers: a
+// caller-supplied client is honoured as-is; the shared default is
+// swapped for its timeout-free sibling.
+func (rn *RemoteNode) transferClient() *http.Client {
+	if rn.client == defaultClient {
+		return defaultTransferClient
+	}
+	return rn.client
+}
 
 // NewRemoteNode returns a node speaking the HTTP protocol at baseURL
 // (e.g. "http://host:8081"). A nil client selects a shared pooled
@@ -308,14 +350,25 @@ func (rn *RemoteNode) SearchPlan(ctx context.Context, query string, plan ir.Eval
 
 // Load implements Node.
 func (rn *RemoteNode) Load(ctx context.Context) (NodeLoad, error) {
+	return rn.load(ctx, PathNodeLoad)
+}
+
+// LoadChecksum implements ChecksumLoader: GET /node/load?fresh=1 makes
+// the node compute a fresh content digest before answering.
+func (rn *RemoteNode) LoadChecksum(ctx context.Context) (NodeLoad, error) {
+	return rn.load(ctx, PathNodeLoad+"?fresh=1")
+}
+
+func (rn *RemoteNode) load(ctx context.Context, path string) (NodeLoad, error) {
 	var resp LoadResponse
-	if err := rn.do(ctx, PathNodeLoad, nil, &resp); err != nil {
+	if err := rn.do(ctx, path, nil, &resp); err != nil {
 		return NodeLoad{}, err
 	}
 	return NodeLoad{
 		Docs:         resp.Docs,
 		MaxDoc:       bat.OID(resp.MaxDoc),
 		SnapshotUnix: resp.SnapshotUnix,
+		Checksum:     resp.Checksum,
 	}, nil
 }
 
@@ -326,6 +379,76 @@ func (rn *RemoteNode) Snapshot(ctx context.Context) (SnapshotResponse, error) {
 	var resp SnapshotResponse
 	err := rn.do(ctx, PathNodeSnapshot, struct{}{}, &resp)
 	return resp, err
+}
+
+// IdempotentIngest marks the node protocol's per-oid de-duplication:
+// the node server wraps a LocalNode, so /node/add and /node/add/batch
+// retries are no-ops for already-applied documents.
+func (rn *RemoteNode) IdempotentIngest() {}
+
+// SnapshotState implements StateSource: GET /node/snapshot streams the
+// node's live fragment state in the internal/persist binary format —
+// no data dir needed on the serving side; the persist checksum fails
+// a truncated or corrupted transfer closed.
+func (rn *RemoteNode) SnapshotState(ctx context.Context) (*ir.IndexState, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rn.base+PathNodeSnapshot, nil)
+	if err != nil {
+		return nil, fmt.Errorf("dist: request %s: %w", PathNodeSnapshot, err)
+	}
+	resp, err := rn.transferClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("dist: node %s%s: %w", rn.base, PathNodeSnapshot, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, fmt.Errorf("dist: node %s%s: status %d: %s",
+			rn.base, PathNodeSnapshot, resp.StatusCode, strings.TrimSpace(string(snippet)))
+	}
+	st, err := persist.Load(bufio.NewReader(resp.Body))
+	if err != nil {
+		return nil, fmt.Errorf("dist: node %s%s: %w", rn.base, PathNodeSnapshot, err)
+	}
+	return st, nil
+}
+
+// RestoreState implements StateSink: the state ships to
+// POST /node/restore in the persist binary format and the remote node
+// installs it under its write lock. A restore that succeeded in memory
+// but failed to persist durably (SnapshotError in the response) is
+// reported as an error: the caller must not record a durable resync
+// that a crash would undo — the replica serves the restored state
+// either way, and the next anti-entropy pass re-admits it by checksum
+// match once it really is healthy.
+func (rn *RemoteNode) RestoreState(ctx context.Context, st *ir.IndexState) error {
+	var buf bytes.Buffer
+	if err := persist.Save(&buf, st); err != nil {
+		return fmt.Errorf("dist: encode %s: %w", PathNodeRestore, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rn.base+PathNodeRestore, &buf)
+	if err != nil {
+		return fmt.Errorf("dist: request %s: %w", PathNodeRestore, err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := rn.transferClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("dist: node %s%s: %w", rn.base, PathNodeRestore, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("dist: node %s%s: status %d: %s",
+			rn.base, PathNodeRestore, resp.StatusCode, strings.TrimSpace(string(snippet)))
+	}
+	var rr RestoreResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		return fmt.Errorf("dist: decode %s%s: %w", rn.base, PathNodeRestore, err)
+	}
+	if rr.SnapshotError != "" {
+		return fmt.Errorf("dist: node %s%s: restored in memory but not persisted: %s",
+			rn.base, PathNodeRestore, rr.SnapshotError)
+	}
+	return nil
 }
 
 // Healthy reports whether the remote node answers its health probe.

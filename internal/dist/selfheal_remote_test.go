@@ -1,0 +1,130 @@
+package dist_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"dlsearch/internal/bat"
+	"dlsearch/internal/dist"
+	"dlsearch/internal/ir"
+	"dlsearch/internal/server"
+)
+
+// TestHTTPResyncByteIdentical is the tentpole's end-to-end proof over
+// real HTTP: kill a replica's state on a live R=2 cluster of node
+// servers, let one anti-entropy pass detect the divergence and pull
+// the healthy member's snapshot over GET /node/snapshot into
+// POST /node/restore, then force the healed replica to serve — the
+// ranking must be byte-identical to the pre-fault one with
+// complete:true, with zero operator action.
+func TestHTTPResyncByteIdentical(t *testing.T) {
+	servers := make([]*httptest.Server, 4)
+	nodes := make([]dist.Node, 4)
+	for i := range servers {
+		servers[i] = httptest.NewServer(server.NewNodeHandler(ir.NewIndex(), nil))
+		t.Cleanup(servers[i].Close)
+		nodes[i] = dist.NewRemoteNode(servers[i].URL, servers[i].Client())
+	}
+	c, err := dist.NewReplicatedCluster(nodes, 2, &dist.Options{NodeTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range remoteCorpus(80, 11) {
+		if err := c.AddContext(context.Background(), bat.OID(i+1), "u", d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	queries := []string{"champion winner serve", "seles", "melbourne trophy volley match"}
+	before := make([]*dist.SearchResult, len(queries))
+	for i, q := range queries {
+		sr, err := c.Search(context.Background(), q, 10)
+		if err != nil || !sr.Complete() {
+			t.Fatalf("pre-fault %q: %v / %+v", q, err, sr)
+		}
+		before[i] = sr
+	}
+	// Kill replica (0,1)'s state: the node now serves an empty fragment
+	// — the HTTP equivalent of a process restarted with a wiped data
+	// dir. The cluster has not noticed anything.
+	target := c.ReplicaAt(0, 1).(*dist.RemoteNode)
+	if err := target.RestoreState(context.Background(), ir.NewIndex().ExportState()); err != nil {
+		t.Fatal(err)
+	}
+	if l, err := target.LoadChecksum(context.Background()); err != nil || l.Docs != 0 {
+		t.Fatalf("wipe did not take: %v %+v", err, l)
+	}
+	// One anti-entropy pass: checksum mismatch detected, replica
+	// resynced from its group over the wire.
+	rep := c.CheckReplicas(context.Background(), true)
+	if rep.Detected != 1 || rep.Resynced != 1 {
+		t.Fatalf("anti-entropy pass = %+v", rep)
+	}
+	healed, err := target.LoadChecksum(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := c.ReplicaAt(0, 0).(*dist.RemoteNode).LoadChecksum(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healed.Docs != ref.Docs || healed.Checksum != ref.Checksum {
+		t.Fatalf("healed replica differs from its group:\n ref    %d %s\n healed %d %s",
+			ref.Docs, ref.Checksum, healed.Docs, healed.Checksum)
+	}
+	// Force the healed replica to serve partition 0: kill its partner.
+	servers[0].Close()
+	for i, q := range queries {
+		sr, err := c.Search(context.Background(), q, 10)
+		if err != nil {
+			t.Fatalf("post-heal %q: %v", q, err)
+		}
+		if !sr.Complete() {
+			t.Fatalf("post-heal %q degraded: %+v", q, sr)
+		}
+		if len(sr.Results) != len(before[i].Results) {
+			t.Fatalf("post-heal %q: %d results, want %d", q, len(sr.Results), len(before[i].Results))
+		}
+		for j := range sr.Results {
+			if sr.Results[j] != before[i].Results[j] {
+				t.Fatalf("post-heal %q rank %d = %+v, want %+v", q, j, sr.Results[j], before[i].Results[j])
+			}
+		}
+	}
+}
+
+// TestHTTPBatchReplayIdentical: replaying a batch against node servers
+// over HTTP (the lost-acknowledgement retry) changes nothing — the
+// server-side LocalNode de-duplicates per oid.
+func TestHTTPBatchReplayIdentical(t *testing.T) {
+	srv := httptest.NewServer(server.NewNodeHandler(ir.NewIndex(), nil))
+	t.Cleanup(srv.Close)
+	c := dist.NewClusterOf([]dist.Node{dist.NewRemoteNode(srv.URL, srv.Client())}, nil)
+	docs := make([]dist.Doc, 0, 20)
+	for i, text := range remoteCorpus(20, 23) {
+		docs = append(docs, dist.Doc{OID: bat.OID(i + 1), URL: "u", Text: text})
+	}
+	if err := c.AddBatchContext(context.Background(), docs); err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.Search(context.Background(), "champion winner serve", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddBatchContext(context.Background(), docs); err != nil {
+		t.Fatalf("replay rejected: %v", err)
+	}
+	got, err := c.Search(context.Background(), "champion winner serve", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != len(want.Results) {
+		t.Fatalf("replay changed the ranking size: %d vs %d", len(got.Results), len(want.Results))
+	}
+	for i := range want.Results {
+		if got.Results[i] != want.Results[i] {
+			t.Fatalf("replay changed rank %d: %+v vs %+v", i, got.Results[i], want.Results[i])
+		}
+	}
+}

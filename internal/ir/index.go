@@ -98,6 +98,15 @@ type Index struct {
 	fragOf    map[bat.OID]int // term -> fragment index
 	fragK     int             // granularity Fragmentize was last asked for
 
+	// Content checksum, cached per freeze epoch (see checksum.go).
+	// checksumDocs guards the one mutation Freeze cannot see: adding a
+	// document whose text contributes no terms changes the doc count
+	// without dirtying any term.
+	checksum      string
+	checksumEpoch uint64
+	checksumDocs  int
+	checksumOK    bool
+
 	// Memory budget over the columnar posting lists: when positive,
 	// Freeze keeps the plain slot/tf columns within the budget by
 	// holding the coldest (lowest idf, largest) lists delta+varint
@@ -132,6 +141,12 @@ func NewIndex() *Index {
 
 // SetLambda overrides the smoothing parameter (0 < λ < 1).
 func (ix *Index) SetLambda(l float64) { ix.lambda = l }
+
+// Lambda returns the smoothing parameter of the retrieval model.
+func (ix *Index) Lambda() float64 { return ix.lambda }
+
+// MemoryBudget returns the posting-store memory budget (0 = unbounded).
+func (ix *Index) MemoryBudget() int { return ix.memBudget }
 
 // slotOf returns the dense slot of a document, registering it if new.
 func (ix *Index) slotOf(doc bat.OID) int32 {

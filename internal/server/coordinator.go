@@ -129,13 +129,15 @@ func NewCoordinator(indexes map[string]*dist.Cluster, cfg *CoordinatorConfig) *C
 }
 
 // Handler returns the coordinator's HTTP handler: POST /search,
-// POST /add, GET /stats, GET /healthz.
+// POST /add, POST /add/batch, POST /anti-entropy, GET /stats,
+// GET /healthz.
 func (co *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/search", co.search)
 	mux.HandleFunc("/add", co.add)
 	mux.HandleFunc("/add/batch", co.addBatch)
 	mux.HandleFunc("/stats", co.statsHandler)
+	mux.HandleFunc("/anti-entropy", co.antiEntropy)
 	// The health probe bypasses the semaphore: a saturated
 	// coordinator is busy, not dead, and must not be ejected by its
 	// load balancer.
@@ -337,13 +339,14 @@ type AddDocRequest struct {
 
 // AddDocResponse reports the oid the document was indexed under and —
 // with replication — how many of its partition's replicas acknowledged
-// it. On failure (502) the same shape comes back with Error set:
-// Committed 0 means no replica acknowledged (retry-safe for
-// connection-level failures; a timeout is ambiguous — the replica may
-// have applied the add without acknowledging), while Degraded means
-// SOME replicas committed — the document is searchable, re-posting it
-// would double-fold its term frequencies on the committed replicas,
-// and the lagging replicas need restoration instead.
+// it. On failure (502) the same shape comes back with Error set.
+// Ingest is idempotent per oid at the nodes, so re-posting the SAME
+// document with the SAME oid is always safe: a replica that applied it
+// without acknowledging (lost ack, timeout) skips it, a replica that
+// missed it applies it. Committed 0 means no replica acknowledged;
+// Degraded means SOME replicas committed — the document is already
+// searchable and a retry heals the lagging replicas (as does the
+// cluster's anti-entropy resync, without any client action).
 type AddDocResponse struct {
 	Index     string `json:"index"`
 	Doc       uint64 `json:"doc"`
@@ -433,22 +436,23 @@ type BatchPartitionJSON struct {
 
 // AddBatchResponse reports the oids the documents were indexed under,
 // in request order, plus the per-partition commit outcomes. Partition
-// groups commit independently, so on partial failure (502) the client
-// must NOT re-post the whole batch — that would fold term frequencies
-// in twice on the partitions that committed. Instead:
+// groups commit independently. Ingest is idempotent per oid at the
+// nodes, so re-posting documents with the oids this response assigned
+// is always safe — already-applied documents are skipped, never
+// double-folded — and a retry of a partially committed partition heals
+// its lagging replicas:
 //
 //   - Failed lists the documents of partitions NO replica
-//     acknowledged: safe to retry with the same oids when the failures
-//     were connection-level (node down). A timed-out partition is
-//     ambiguous — the node may have applied the batch without the
-//     acknowledgement arriving — so check the per-partition error text
-//     before retrying.
-//   - Degraded lists partitions that must NOT be blindly retried:
-//     either SOME but not all replicas committed (documents
-//     searchable; the failed replicas are stale and need restoration,
-//     not a retry), or a replica demonstrably applied part of the
-//     batch before failing (unknown prefix — verify before
-//     re-ingesting).
+//     acknowledged: retry them with the same oids (including after
+//     timeouts — a node that applied the batch without the
+//     acknowledgement arriving skips the replay).
+//   - Degraded lists partitions where SOME but not all replicas
+//     committed (documents searchable; a retry with the same oids
+//     converges the lagging replicas) or where a node without
+//     idempotent ingest applied an unknown prefix (third-party nodes
+//     only — verify before re-ingesting there). Left alone, the
+//     cluster's anti-entropy pass detects and resyncs the lagging
+//     replicas without client action.
 type AddBatchResponse struct {
 	Index      string               `json:"index"`
 	Docs       []uint64             `json:"docs"`
@@ -583,7 +587,12 @@ type IndexStats struct {
 	Searches     uint64 `json:"searches"`
 	Failovers    uint64 `json:"failovers"`
 	DroppedNodes uint64 `json:"dropped_nodes"`
-	Error        string `json:"error,omitempty"`
+	// Resyncs/DivergenceDetected are the self-healing counters: how
+	// many replicas were healed from a group member's snapshot, and how
+	// many divergences anti-entropy checksum comparison caught.
+	Resyncs            uint64 `json:"resyncs"`
+	DivergenceDetected uint64 `json:"divergence_detected"`
+	Error              string `json:"error,omitempty"`
 }
 
 // GroupStats is one partition's replica set.
@@ -599,15 +608,24 @@ type ReplicaStats struct {
 	MaxDoc    uint64 `json:"max_doc"`
 	Reachable bool   `json:"reachable"`
 	Healthy   bool   `json:"healthy"` // last call succeeded AND not diverged
-	// Diverged marks a replica that failed a write its group
-	// committed: it is missing documents and needs a snapshot restore.
+	// Diverged marks a replica whose copy differs from its group's
+	// committed state (failed write or anti-entropy checksum mismatch);
+	// it is quarantined until resynced or restored.
 	Diverged  bool   `json:"diverged,omitempty"`
 	Fails     uint64 `json:"fails,omitempty"`
 	LastError string `json:"last_error,omitempty"`
+	// Checksum is the replica's content checksum — replicas of a group
+	// serving identical documents report identical checksums, which is
+	// exactly what anti-entropy verifies.
+	Checksum string `json:"checksum,omitempty"`
 	// SnapshotUnix / SnapshotAgeSeconds report durability lag: when the
 	// replica last persisted a snapshot (0 / absent = never).
 	SnapshotUnix       int64   `json:"snapshot_unix,omitempty"`
 	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds,omitempty"`
+	// ResyncUnix / ResyncAgeSeconds report when the replica last healed
+	// from a group member (absent = never).
+	ResyncUnix       int64   `json:"resync_unix,omitempty"`
+	ResyncAgeSeconds float64 `json:"resync_age_seconds,omitempty"`
 }
 
 // QueryCacheStats are the engine's query-side cache counters: term
@@ -644,18 +662,38 @@ func (co *Coordinator) statsHandler(w http.ResponseWriter, r *http.Request) {
 		c := co.indexes[name]
 		tel := c.Telemetry()
 		st := IndexStats{
-			Nodes:        c.Size(),
-			NodeLoads:    make([]int, c.Size()),
-			Searches:     tel.Searches,
-			Failovers:    tel.Failovers,
-			DroppedNodes: tel.Dropped,
+			Nodes:              c.Size(),
+			NodeLoads:          make([]int, c.Size()),
+			Searches:           tel.Searches,
+			Failovers:          tel.Failovers,
+			DroppedNodes:       tel.Dropped,
+			Resyncs:            tel.Resyncs,
+			DivergenceDetected: tel.DivergenceDetected,
 		}
 		// One probe of every replica serves both views: the per-replica
-		// report AND the per-partition loads (first reachable replica
-		// speaks for its group, replicas counted once) — /stats never
-		// routes through the failover path nor touches routing health.
+		// report AND the per-partition loads (replicas counted once) —
+		// /stats never routes through the failover path nor touches
+		// routing health. The partition's doc count comes from the first
+		// reachable HEALTHY replica, matching the routing layer's
+		// preference: a freshly wiped or diverged replica must not make
+		// the partition's committed documents look lost while a healthy
+		// member holds them all. Only a group with no healthy reachable
+		// member falls back to whatever replica answers.
 		for g, reps := range c.ReplicaInfoContext(r.Context()) {
 			gs := GroupStats{Partition: g, Replicas: make([]ReplicaStats, len(reps))}
+			countFrom := -1
+			for ri, info := range reps {
+				if info.Err != nil {
+					continue
+				}
+				if info.Health.Healthy() {
+					countFrom = ri
+					break
+				}
+				if countFrom == -1 {
+					countFrom = ri
+				}
+			}
 			counted := false
 			for ri, info := range reps {
 				rs := ReplicaStats{
@@ -665,14 +703,19 @@ func (co *Coordinator) statsHandler(w http.ResponseWriter, r *http.Request) {
 					Fails:     info.Health.Fails,
 					LastError: info.Health.LastErr,
 				}
+				if info.Health.LastResyncUnix > 0 {
+					rs.ResyncUnix = info.Health.LastResyncUnix
+					rs.ResyncAgeSeconds = now.Sub(time.Unix(info.Health.LastResyncUnix, 0)).Seconds()
+				}
 				if info.Err == nil {
 					rs.Docs = info.Load.Docs
 					rs.MaxDoc = uint64(info.Load.MaxDoc)
+					rs.Checksum = info.Load.Checksum
 					if info.Load.SnapshotUnix > 0 {
 						rs.SnapshotUnix = info.Load.SnapshotUnix
 						rs.SnapshotAgeSeconds = now.Sub(time.Unix(info.Load.SnapshotUnix, 0)).Seconds()
 					}
-					if !counted {
+					if ri == countFrom {
 						st.NodeLoads[g] = info.Load.Docs
 						st.Docs += info.Load.Docs
 						counted = true
@@ -696,6 +739,87 @@ func (co *Coordinator) statsHandler(w http.ResponseWriter, r *http.Request) {
 			Hits: hits, Misses: misses, Entries: co.cfg.Cache.Len(),
 			RankHits: rankHits, RankMisses: rankMisses, RankEntries: co.cfg.Cache.RankLen(),
 		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// AntiEntropyResponse answers POST /anti-entropy: one pass's outcome
+// per index.
+type AntiEntropyResponse struct {
+	Indexes map[string]AntiEntropyIndexJSON `json:"indexes"`
+}
+
+// AntiEntropyIndexJSON is one index's anti-entropy pass summary.
+type AntiEntropyIndexJSON struct {
+	Detected int                      `json:"divergence_detected"`
+	Cleared  int                      `json:"cleared"`
+	Resynced int                      `json:"resynced"`
+	Replicas []AntiEntropyReplicaJSON `json:"replicas"`
+}
+
+// AntiEntropyReplicaJSON is one replica's outcome of the pass.
+type AntiEntropyReplicaJSON struct {
+	Partition int    `json:"partition"`
+	Replica   int    `json:"replica"`
+	Docs      int    `json:"docs"`
+	Checksum  string `json:"checksum,omitempty"`
+	Diverged  bool   `json:"diverged,omitempty"`
+	Cleared   bool   `json:"cleared,omitempty"`
+	Resynced  bool   `json:"resynced,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+// antiEntropy runs one on-demand anti-entropy pass over every served
+// index (or the one named by ?index=): replica checksums are compared
+// within each replica group and divergent replicas are resynced from
+// their group, unless ?repair=false limits the pass to detection.
+func (co *Coordinator) antiEntropy(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	repair := true
+	if v := r.URL.Query().Get("repair"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			fail(w, http.StatusBadRequest, "bad repair parameter: "+v)
+			return
+		}
+		repair = b
+	}
+	clusters := co.indexes
+	if name := r.URL.Query().Get("index"); name != "" {
+		c, ok := co.indexes[name]
+		if !ok {
+			fail(w, http.StatusNotFound, "unknown index: "+name)
+			return
+		}
+		clusters = map[string]*dist.Cluster{name: c}
+	}
+	resp := AntiEntropyResponse{Indexes: make(map[string]AntiEntropyIndexJSON, len(clusters))}
+	for name, c := range clusters {
+		rep := c.CheckReplicas(r.Context(), repair)
+		ij := AntiEntropyIndexJSON{
+			Detected: rep.Detected,
+			Cleared:  rep.Cleared,
+			Resynced: rep.Resynced,
+			Replicas: make([]AntiEntropyReplicaJSON, len(rep.Replicas)),
+		}
+		for i, chk := range rep.Replicas {
+			rj := AntiEntropyReplicaJSON{
+				Partition: chk.Partition,
+				Replica:   chk.Replica,
+				Docs:      chk.Load.Docs,
+				Checksum:  chk.Load.Checksum,
+				Diverged:  chk.Diverged,
+				Cleared:   chk.Cleared,
+				Resynced:  chk.Resynced,
+			}
+			if chk.Err != nil {
+				rj.Error = chk.Err.Error()
+			}
+			ij.Replicas[i] = rj
+		}
+		resp.Indexes[name] = ij
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

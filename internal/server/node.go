@@ -33,6 +33,10 @@ type NodeConfig struct {
 	// exists (persist.LoadIndex in cmd/dlserve), so a handler is never
 	// constructed over a partially restored index.
 	DataDir string
+	// MaxRestoreBody caps POST /node/restore bodies (0 selects
+	// DefaultMaxRestoreBody). Restores ship whole fragment snapshots,
+	// so they are capped independently of MaxBody.
+	MaxRestoreBody int64
 }
 
 // NodeServer serves one shared-nothing index fragment over the node
@@ -42,11 +46,12 @@ type NodeConfig struct {
 // the cached-resolution top-N path — the handler itself only speaks
 // JSON and validates.
 type NodeServer struct {
-	node    *dist.LocalNode
-	maxBody int64
-	maxConc int
-	dataDir string
-	snapMu  sync.Mutex // serialises snapshot writes
+	node       *dist.LocalNode
+	maxBody    int64
+	maxRestore int64
+	maxConc    int
+	dataDir    string
+	snapMu     sync.Mutex // serialises snapshot writes
 }
 
 // NewNodeServer builds the node server for ix. A nil cfg selects
@@ -55,13 +60,17 @@ type NodeServer struct {
 // age instead of "never".
 func NewNodeServer(ix *ir.Index, cfg *NodeConfig) *NodeServer {
 	s := &NodeServer{
-		node:    dist.NewLocalNode(ix),
-		maxBody: DefaultMaxBody,
-		maxConc: DefaultMaxConcurrent,
+		node:       dist.NewLocalNode(ix),
+		maxBody:    DefaultMaxBody,
+		maxRestore: DefaultMaxRestoreBody,
+		maxConc:    DefaultMaxConcurrent,
 	}
 	if cfg != nil {
 		if cfg.MaxBody > 0 {
 			s.maxBody = cfg.MaxBody
+		}
+		if cfg.MaxRestoreBody > 0 {
+			s.maxRestore = cfg.MaxRestoreBody
 		}
 		if cfg.MaxConcurrent > 0 {
 			s.maxConc = cfg.MaxConcurrent
@@ -80,7 +89,9 @@ func NewNodeServer(ix *ir.Index, cfg *NodeConfig) *NodeServer {
 
 // Handler returns the HTTP handler serving the node wire protocol:
 // POST /node/add, /node/add/batch, /node/topn, /node/search,
-// /node/snapshot, GET /node/stats, /node/load, /healthz.
+// /node/snapshot (persist to disk), /node/restore (replace the
+// fragment), GET /node/stats, /node/load, /node/snapshot (stream the
+// live fragment state), /healthz.
 func (s *NodeServer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc(dist.PathNodeAdd, s.add)
@@ -90,6 +101,7 @@ func (s *NodeServer) Handler() http.Handler {
 	mux.HandleFunc(dist.PathNodeSearch, s.search)
 	mux.HandleFunc(dist.PathNodeLoad, s.load)
 	mux.HandleFunc(dist.PathNodeSnapshot, s.snapshot)
+	mux.HandleFunc(dist.PathNodeRestore, s.restore)
 	// The health probe bypasses the semaphore: a saturated node is
 	// busy, not dead, and must not be ejected by its load balancer.
 	outer := http.NewServeMux()
@@ -130,11 +142,12 @@ func (s *NodeServer) Snapshot() (dist.SnapshotResponse, error) {
 	now := time.Now()
 	s.node.MarkSnapshot(now.Unix())
 	resp := dist.SnapshotResponse{
-		Path:   path,
-		Docs:   len(st.Docs),
-		Terms:  len(st.Terms),
-		TookMS: now.Sub(start).Milliseconds(),
-		Unix:   now.Unix(),
+		Path:     path,
+		Docs:     len(st.Docs),
+		Terms:    len(st.Terms),
+		TookMS:   now.Sub(start).Milliseconds(),
+		Unix:     now.Unix(),
+		Checksum: st.Checksum(),
 	}
 	if fi, err := os.Stat(path); err == nil {
 		resp.Bytes = fi.Size()
@@ -236,26 +249,93 @@ func (s *NodeServer) load(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	l, _ := s.node.Load(r.Context())
+	var l dist.NodeLoad
+	if r.URL.Query().Get("fresh") != "" {
+		// The anti-entropy probe: guarantee a fresh content digest even
+		// if that means freezing and hashing the fragment.
+		l, _ = s.node.LoadChecksum(r.Context())
+	} else {
+		l, _ = s.node.Load(r.Context())
+	}
 	writeJSON(w, http.StatusOK, dist.LoadResponse{
 		Docs:         l.Docs,
 		MaxDoc:       uint64(l.MaxDoc),
 		SnapshotUnix: l.SnapshotUnix,
+		Checksum:     l.Checksum,
 	})
 }
 
 func (s *NodeServer) snapshot(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		// Stream the LIVE fragment state in the persist binary format —
+		// the resync transfer. No data dir is needed: the state is
+		// exported under the node's write lock (a consistent cut), and
+		// the format's own checksum fails a truncated transfer closed on
+		// the receiving side.
+		st := s.node.ExportState()
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if err := persist.Save(w, st); err != nil {
+			// Headers are gone; aborting the connection mid-body is the
+			// only honest signal left (a clean close would present the
+			// truncated stream as a complete 200 — persist.Load would
+			// still reject it, but a non-persist reader would not).
+			panic(http.ErrAbortHandler)
+		}
+	case http.MethodPost:
+		if s.dataDir == "" {
+			fail(w, http.StatusPreconditionFailed, errNoDataDir.Error())
+			return
+		}
+		resp, err := s.Snapshot()
+		if err != nil {
+			fail(w, http.StatusInternalServerError, "snapshot failed: "+err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		fail(w, http.StatusMethodNotAllowed, "method not allowed")
+	}
+}
+
+// restore replaces the served fragment with the snapshot in the
+// request body (persist binary format): the state installs under the
+// node's write lock with the freeze epoch advanced past the
+// pre-restore epoch, so no query cache can serve pre-restore rankings.
+// A corrupt body fails closed — the node keeps serving its previous
+// fragment. With a data dir configured the restored state is also
+// persisted immediately, so a crash right after a resync cannot
+// resurrect the pre-resync fragment on the next boot.
+func (s *NodeServer) restore(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
-	if s.dataDir == "" {
-		fail(w, http.StatusPreconditionFailed, errNoDataDir.Error())
+	st, err := persist.Load(http.MaxBytesReader(w, r.Body, s.maxRestore))
+	if err != nil {
+		// Corruption, truncation and an over-cap body all surface here;
+		// the error text names the cause. Fails closed either way.
+		fail(w, http.StatusBadRequest, "unusable snapshot body: "+err.Error())
 		return
 	}
-	resp, err := s.Snapshot()
-	if err != nil {
-		fail(w, http.StatusInternalServerError, "snapshot failed: "+err.Error())
+	if err := s.node.RestoreState(r.Context(), st); err != nil {
+		fail(w, http.StatusBadRequest, "restore rejected: "+err.Error())
 		return
+	}
+	resp := dist.RestoreResponse{
+		Docs:     len(st.Docs),
+		Terms:    len(st.Terms),
+		Checksum: st.Checksum(),
+	}
+	if s.dataDir != "" {
+		if snap, err := s.Snapshot(); err == nil {
+			resp.SnapshotUnix = snap.Unix
+		} else {
+			// The in-memory restore stands, but the durability promise
+			// (crash cannot resurrect the pre-resync fragment) does not
+			// — say so instead of silently omitting the snapshot time.
+			resp.SnapshotError = err.Error()
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -29,6 +29,10 @@ const (
 	DefaultMaxBody       = 1 << 20 // 1 MiB request-body cap
 	DefaultMaxConcurrent = 64      // in-flight requests per handler
 	DefaultMaxTopN       = 1000    // /search n is clamped to this
+	// DefaultMaxRestoreBody caps POST /node/restore bodies separately
+	// from DefaultMaxBody: a restore ships a whole fragment snapshot,
+	// which legitimately dwarfs any JSON request.
+	DefaultMaxRestoreBody = 1 << 30 // 1 GiB
 )
 
 // errorResponse is the uniform error body of both servers.

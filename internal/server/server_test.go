@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -593,14 +594,19 @@ func TestNodeSnapshotEndpoint(t *testing.T) {
 }
 
 // TestNodeSnapshotWithoutDataDir: a node running without durability
-// answers 412 instead of pretending to persist.
+// answers 412 to POST (nowhere to persist) but still STREAMS its live
+// state to GET — the resync transfer needs no data dir.
 func TestNodeSnapshotWithoutDataDir(t *testing.T) {
 	h := NewNodeHandler(ir.NewIndex(), nil)
 	if w := postJSON(t, h, dist.PathNodeSnapshot, `{}`); w.Code != http.StatusPreconditionFailed {
 		t.Fatalf("/node/snapshot = %d, want 412", w.Code)
 	}
-	if w := get(t, h, dist.PathNodeSnapshot); w.Code != http.StatusMethodNotAllowed {
-		t.Fatalf("GET /node/snapshot = %d, want 405", w.Code)
+	w := get(t, h, dist.PathNodeSnapshot)
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET /node/snapshot = %d, want 200", w.Code)
+	}
+	if st, err := persist.Load(w.Body); err != nil || len(st.Docs) != 0 {
+		t.Fatalf("streamed snapshot unusable: %v", err)
 	}
 }
 
@@ -865,5 +871,205 @@ func TestCoordinatorAddPartialCommit(t *testing.T) {
 	}
 	if failed.Committed != 0 || failed.Degraded {
 		t.Fatalf("dead-group add outcome = %+v", failed)
+	}
+}
+
+// --- self-healing: snapshot streaming, restore, anti-entropy ---
+
+// streamState GETs /node/snapshot and decodes the binary stream.
+func streamState(t *testing.T, h http.Handler) *ir.IndexState {
+	t.Helper()
+	w := get(t, h, dist.PathNodeSnapshot)
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET /node/snapshot = %d: %s", w.Code, w.Body)
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("snapshot content type = %q", ct)
+	}
+	st, err := persist.Load(w.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestNodeSnapshotStreamAndRestore: the resync transfer pair — the
+// state streamed by GET /node/snapshot installs via POST /node/restore
+// on another node, which then serves byte-identical rankings; the
+// restored node's /node/load reports the source's content checksum.
+func TestNodeSnapshotStreamAndRestore(t *testing.T) {
+	source := ir.NewIndex()
+	for i, text := range []string{"melbourne champion trophy", "champion winner serve", "volley smash rally"} {
+		source.Add(bat.OID(i+1), "u", text)
+	}
+	hSrc := NewNodeHandler(source, nil)
+	st := streamState(t, hSrc)
+	if len(st.Docs) != 3 {
+		t.Fatalf("streamed %d docs, want 3", len(st.Docs))
+	}
+
+	hDst := NewNodeHandler(ir.NewIndex(), nil)
+	var buf bytes.Buffer
+	if err := persist.Save(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, dist.PathNodeRestore, &buf)
+	req.Header.Set("Content-Type", "application/octet-stream")
+	w := httptest.NewRecorder()
+	hDst.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("POST /node/restore = %d: %s", w.Code, w.Body)
+	}
+	var rr dist.RestoreResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Docs != 3 || rr.Checksum == "" || rr.Checksum != st.Checksum() {
+		t.Fatalf("restore response = %+v", rr)
+	}
+	var lr dist.LoadResponse
+	if err := json.Unmarshal(get(t, hDst, dist.PathNodeLoad+"?fresh=1").Body.Bytes(), &lr); err != nil {
+		t.Fatal(err)
+	}
+	if lr.Docs != 3 || lr.Checksum != rr.Checksum {
+		t.Fatalf("restored load = %+v, want checksum %s", lr, rr.Checksum)
+	}
+	// The plain probe stays cheap: it serves the now-cached digest.
+	if err := json.Unmarshal(get(t, hDst, dist.PathNodeLoad).Body.Bytes(), &lr); err != nil {
+		t.Fatal(err)
+	}
+	if lr.Checksum != rr.Checksum {
+		t.Fatalf("cached load checksum = %q, want %s", lr.Checksum, rr.Checksum)
+	}
+	body := `{"query":"champion","n":10,"stats":{"df":{"champion":2},"total_df":9,"docs":3}}`
+	before := postJSON(t, hSrc, dist.PathNodeTopN, body)
+	after := postJSON(t, hDst, dist.PathNodeTopN, body)
+	if before.Body.String() != after.Body.String() {
+		t.Fatalf("restored ranking differs:\n src: %s\n dst: %s", before.Body, after.Body)
+	}
+}
+
+// TestNodeRestoreFailsClosed: corrupt bodies are rejected and the node
+// keeps serving its previous fragment.
+func TestNodeRestoreFailsClosed(t *testing.T) {
+	ix := ir.NewIndex()
+	ix.Add(1, "u", "champion trophy")
+	h := NewNodeHandler(ix, nil)
+	for name, body := range map[string]string{
+		"garbage":   "not a snapshot",
+		"truncated": "DLSNAP\x00\x01",
+		"empty":     "",
+	} {
+		req := httptest.NewRequest(http.MethodPost, dist.PathNodeRestore, strings.NewReader(body))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusBadRequest {
+			t.Fatalf("%s restore = %d, want 400: %s", name, w.Code, w.Body)
+		}
+	}
+	if w := get(t, h, dist.PathNodeRestore); w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /node/restore = %d, want 405", w.Code)
+	}
+	// The fragment survived every rejected restore.
+	var lr dist.LoadResponse
+	if err := json.Unmarshal(get(t, h, dist.PathNodeLoad).Body.Bytes(), &lr); err != nil {
+		t.Fatal(err)
+	}
+	if lr.Docs != 1 {
+		t.Fatalf("fragment lost after rejected restores: %+v", lr)
+	}
+}
+
+// TestCoordinatorAntiEntropyEndpoint: POST /anti-entropy runs one pass
+// — detection and repair — over a replicated cluster whose replica was
+// wiped behind the coordinator's back, and /stats surfaces the
+// checksums, resync age and the new counters.
+func TestCoordinatorAntiEntropyEndpoint(t *testing.T) {
+	servers := make([]*httptest.Server, 2)
+	nodes := make([]dist.Node, 2)
+	for i := range servers {
+		servers[i] = httptest.NewServer(NewNodeHandler(ir.NewIndex(), nil))
+		t.Cleanup(servers[i].Close)
+		nodes[i] = dist.NewRemoteNode(servers[i].URL, servers[i].Client())
+	}
+	cluster, err := dist.NewReplicatedCluster(nodes, 2, &dist.Options{NodeTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := NewCoordinator(map[string]*dist.Cluster{"a": cluster}, nil)
+	h := co.Handler()
+	for _, text := range []string{"melbourne champion trophy", "champion winner serve"} {
+		if w := postJSON(t, h, "/add", fmt.Sprintf(`{"text":%q}`, text)); w.Code != http.StatusOK {
+			t.Fatalf("/add = %d: %s", w.Code, w.Body)
+		}
+	}
+	pre := postJSON(t, h, "/search", `{"query":"champion","n":10}`)
+	// Wipe replica 1 directly against its node server.
+	if err := nodes[1].(*dist.RemoteNode).RestoreState(context.Background(), ir.NewIndex().ExportState()); err != nil {
+		t.Fatal(err)
+	}
+	if w := postJSON(t, h, "/anti-entropy?repair=bogus", ``); w.Code != http.StatusBadRequest {
+		t.Fatalf("bad repair param = %d", w.Code)
+	}
+	if w := postJSON(t, h, "/anti-entropy?index=nope", ``); w.Code != http.StatusNotFound {
+		t.Fatalf("unknown index = %d", w.Code)
+	}
+	w := postJSON(t, h, "/anti-entropy", ``)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/anti-entropy = %d: %s", w.Code, w.Body)
+	}
+	var ae AntiEntropyResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &ae); err != nil {
+		t.Fatal(err)
+	}
+	pass := ae.Indexes["a"]
+	if pass.Detected != 1 || pass.Resynced != 1 {
+		t.Fatalf("anti-entropy pass = %+v", pass)
+	}
+	// A second pass is a no-op (and warms the healed replica's digest
+	// cache, so the cheap /stats probe below reports its checksum).
+	if err := json.Unmarshal(postJSON(t, h, "/anti-entropy", ``).Body.Bytes(), &ae); err != nil {
+		t.Fatal(err)
+	}
+	if p := ae.Indexes["a"]; p.Detected != 0 || p.Resynced != 0 || p.Cleared != 0 {
+		t.Fatalf("second pass not a no-op: %+v", p)
+	}
+	// Kill the intact replica: the healed one must serve the identical
+	// ranking, complete.
+	servers[0].Close()
+	cluster.InvalidateStats()
+	post := postJSON(t, h, "/search", `{"query":"champion","n":10}`)
+	var preSR, postSR SearchResponse
+	if err := json.Unmarshal(pre.Body.Bytes(), &preSR); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(post.Body.Bytes(), &postSR); err != nil {
+		t.Fatal(err)
+	}
+	if !postSR.Complete {
+		t.Fatalf("post-heal search degraded: %+v", postSR)
+	}
+	if len(postSR.Results) != len(preSR.Results) {
+		t.Fatalf("post-heal results = %d, want %d", len(postSR.Results), len(preSR.Results))
+	}
+	for i := range preSR.Results {
+		if postSR.Results[i] != preSR.Results[i] {
+			t.Fatalf("post-heal rank %d = %+v, want %+v", i, postSR.Results[i], preSR.Results[i])
+		}
+	}
+	var st StatsResponse
+	if err := json.Unmarshal(get(t, h, "/stats").Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	ixst := st.Indexes["a"]
+	if ixst.Resyncs != 1 || ixst.DivergenceDetected != 1 {
+		t.Fatalf("stats counters = %+v", ixst)
+	}
+	healed := ixst.Groups[0].Replicas[1]
+	if healed.Checksum == "" || healed.ResyncUnix == 0 || healed.ResyncAgeSeconds < 0 {
+		t.Fatalf("healed replica stats = %+v", healed)
+	}
+	if healed.Diverged || !healed.Healthy {
+		t.Fatalf("healed replica still quarantined: %+v", healed)
 	}
 }
