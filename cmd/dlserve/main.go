@@ -4,10 +4,12 @@
 //	dlserve node -addr :8081 -data-dir /var/lib/dlsearch/node1
 //	    serve one index fragment (the dist.Node operations) so a
 //	    coordinator can address it as a remote cluster node. With a
-//	    data dir the node restores its fragment from the last snapshot
-//	    on boot, persists one on graceful shutdown, and accepts
-//	    POST /node/snapshot to persist one on demand — a restarted
-//	    node serves its pre-restart fragment without reindexing.
+//	    data dir the node keeps a write-ahead op log (every ingest is
+//	    fsynced to it before being applied) and boots by restoring the
+//	    last snapshot plus replaying the log's suffix — acknowledged
+//	    writes survive even kill -9. Snapshots (graceful shutdown,
+//	    POST /node/snapshot, periodic -compact-interval) double as log
+//	    compaction points, bounding replay time.
 //
 //	dlserve coordinator -addr :8080 -nodes http://h1:8081,http://h2:8082
 //	    serve /search, /add, /stats and /healthz over a cluster of
@@ -77,7 +79,10 @@ func main() {
 	minQuality := fs.Float64("min-quality", 0, "default /search quality floor in (0,1], 0 disables (coordinator)")
 	memBudget := fs.Int("mem-budget", 0, "posting-store memory budget in bytes, cold lists held compressed, 0 disables (node)")
 	dataDir := fs.String("data-dir", "", "durability directory: restore on boot, snapshot on shutdown and on POST /node/snapshot (node)")
+	oplogDir := fs.String("oplog-dir", "", "write-ahead op log directory — ingest is logged durably before applying and replayed over the snapshot on boot; defaults to -data-dir (node)")
+	compactInterval := fs.Duration("compact-interval", 0, "periodic snapshot + op-log compaction interval, 0 disables; requires -data-dir (node)")
 	resyncFrom := fs.String("resync", "", "peer node base URL to pull the fragment from at boot — seeds a fresh or wiped replica from a live group member (node)")
+	verifyPeer := fs.String("verify", "", "peer node base URL to compare content checksums with after boot recovery — a mismatch pulls the peer's state instead of serving wrong rankings (node)")
 	antiEntropy := fs.Duration("anti-entropy-interval", 0, "periodic replica checksum comparison + auto-resync interval, 0 disables (coordinator)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
@@ -91,7 +96,7 @@ func main() {
 		if *addr == "" {
 			*addr = ":8081"
 		}
-		runNode(ctx, *addr, *lambda, *cache, *maxConc, *memBudget, *dataDir, *resyncFrom)
+		runNode(ctx, *addr, *lambda, *cache, *maxConc, *memBudget, *dataDir, *oplogDir, *resyncFrom, *verifyPeer, *compactInterval)
 	case "coordinator":
 		if *addr == "" {
 			*addr = ":8080"
@@ -124,19 +129,32 @@ func main() {
 	}
 }
 
-// runNode boots one fragment server: restore from the data dir's
-// snapshot if one exists (a corrupt snapshot is fatal — the node
-// refuses to serve a partial index rather than silently dropping
-// documents from every ranking), or pull the fragment from a live
-// peer (-resync, which overrides any local snapshot — the peer's
-// state IS the group truth), serve until the context cancels, then
-// snapshot the fragment so the next boot restores it.
-func runNode(ctx context.Context, addr string, lambda float64, cacheCap, maxConc, memBudget int, dataDir, resyncFrom string) {
+// runNode boots one fragment server. Recovery is snapshot + op-log
+// replay: restore the data dir's snapshot if one exists (a corrupt
+// snapshot is fatal — the node refuses to serve a partial index
+// rather than silently dropping documents from every ranking), then
+// replay the write-ahead op log's suffix past the snapshot's recorded
+// position, so ingest acknowledged before a crash — even kill -9 —
+// survives the restart. -resync instead pulls the fragment from a
+// live peer (overriding any local state — the peer IS the group
+// truth) and resets the log to the pulled position. The node serves
+// until the context cancels, then snapshots the fragment (compacting
+// the log) so the next boot replays almost nothing.
+func runNode(ctx context.Context, addr string, lambda float64, cacheCap, maxConc, memBudget int, dataDir, oplogDir, resyncFrom, verifyPeer string, compactInterval time.Duration) {
+	if oplogDir == "" {
+		oplogDir = dataDir
+	}
+	if compactInterval > 0 && dataDir == "" {
+		fatal(fmt.Errorf("-compact-interval requires -data-dir (compaction persists a snapshot)"))
+	}
 	ix := ir.NewIndex()
 	restoredUnix := int64(0)
-	if dataDir != "" {
-		if err := os.MkdirAll(dataDir, 0o755); err != nil {
-			fatal(err)
+	snapPos := uint64(0)
+	for _, dir := range []string{dataDir, oplogDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fatal(err)
+			}
 		}
 	}
 	// -resync overrides the local snapshot entirely — the peer's state
@@ -145,20 +163,29 @@ func runNode(ctx context.Context, addr string, lambda float64, cacheCap, maxConc
 	// very case it exists for) instead of dying on the corrupt file.
 	if dataDir != "" && resyncFrom == "" {
 		path := persist.SnapshotPath(dataDir)
-		restored, err := persist.LoadIndex(path)
+		st, err := persist.LoadFile(path)
 		switch {
 		case err == nil:
+			restored, ierr := ir.ImportState(st)
+			if ierr != nil {
+				fatal(fmt.Errorf("refusing to serve: %w: %v", persist.ErrCorrupt, ierr))
+			}
 			ix = restored
+			snapPos = st.LogPos
 			if fi, serr := os.Stat(path); serr == nil {
 				restoredUnix = fi.ModTime().Unix()
 			}
-			fmt.Fprintf(os.Stderr, "dlserve: restored %d docs, %d terms from %s\n",
-				ix.DocCount(), ix.TermCount(), path)
+			fmt.Fprintf(os.Stderr, "dlserve: restored %d docs, %d terms from %s (log position %d)\n",
+				ix.DocCount(), ix.TermCount(), path, snapPos)
 		case errors.Is(err, fs.ErrNotExist):
 			// First boot: nothing to restore.
 		default:
 			fatal(fmt.Errorf("refusing to serve: %w", err))
 		}
+	}
+	var oplog *persist.OpLog
+	if oplogDir != "" && resyncFrom == "" {
+		oplog = openAndReplayLog(oplogDir, snapPos, ix)
 	}
 	resynced := false
 	if resyncFrom != "" {
@@ -173,8 +200,46 @@ func runNode(ctx context.Context, addr string, lambda float64, cacheCap, maxConc
 		}
 		ix = restored
 		resynced = true
-		fmt.Fprintf(os.Stderr, "dlserve: resynced %d docs, %d terms from %s\n",
-			ix.DocCount(), ix.TermCount(), resyncFrom)
+		oplog = resetLogTo(oplogDir, st.LogPos)
+		fmt.Fprintf(os.Stderr, "dlserve: resynced %d docs, %d terms from %s (log position %d)\n",
+			ix.DocCount(), ix.TermCount(), resyncFrom, st.LogPos)
+	}
+	if verifyPeer != "" {
+		// Checksum-verified rejoin: compare content checksums with a
+		// group peer before serving. Equal checksums prove recovery
+		// reproduced the group's exact state; a mismatch means this
+		// replica would serve wrong rankings, so pull the peer's full
+		// state instead of joining divergent.
+		peer := dist.NewRemoteNode(verifyPeer, nil)
+		pl, err := peer.LoadChecksum(ctx)
+		if err != nil || pl.Checksum == "" {
+			fatal(fmt.Errorf("verify against %s: no checksum (%v) — refusing to serve unverified", verifyPeer, err))
+		}
+		if own := ix.Checksum(); own == pl.Checksum {
+			fmt.Fprintf(os.Stderr, "dlserve: checksum verified against %s (%s)\n", verifyPeer, own)
+		} else {
+			fmt.Fprintf(os.Stderr, "dlserve: checksum mismatch with %s (local %s, peer %s) — pulling peer state\n",
+				verifyPeer, own, pl.Checksum)
+			st, err := peer.SnapshotState(ctx)
+			if err != nil {
+				fatal(fmt.Errorf("verify-heal from %s: %w", verifyPeer, err))
+			}
+			restored, err := ir.ImportState(st)
+			if err != nil {
+				fatal(fmt.Errorf("verify-heal from %s: %w", verifyPeer, err))
+			}
+			ix = restored
+			resynced = true
+			if oplog != nil {
+				if err := oplog.Reset(st.LogPos); err != nil {
+					fatal(fmt.Errorf("op log reset: %w", err))
+				}
+			} else {
+				oplog = resetLogTo(oplogDir, st.LogPos)
+			}
+			fmt.Fprintf(os.Stderr, "dlserve: healed from %s: %d docs, %d terms (log position %d)\n",
+				verifyPeer, ix.DocCount(), ix.TermCount(), st.LogPos)
+		}
 	}
 	if lambda != 0 {
 		ix.SetLambda(lambda)
@@ -183,6 +248,7 @@ func runNode(ctx context.Context, addr string, lambda float64, cacheCap, maxConc
 		MaxConcurrent: maxConc,
 		MemoryBudget:  memBudget,
 		DataDir:       dataDir,
+		OpLog:         oplog,
 	}
 	if cacheCap > 0 {
 		cfg.Cache = core.NewQueryCache(cacheCap)
@@ -201,6 +267,29 @@ func runNode(ctx context.Context, addr string, lambda float64, cacheCap, maxConc
 			fmt.Fprintf(os.Stderr, "dlserve: snapshot %s (%d docs)\n", snap.Path, snap.Docs)
 		}
 	}
+	if compactInterval > 0 {
+		// Periodic snapshot + log compaction: bound boot-time replay by
+		// regularly folding the log's prefix into a snapshot. A failed
+		// pass only costs replay time on the next boot, never
+		// correctness, so it logs and keeps ticking.
+		go func() {
+			t := time.NewTicker(compactInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if snap, err := ns.Snapshot(); err != nil {
+						fmt.Fprintln(os.Stderr, "dlserve: periodic snapshot failed:", err)
+					} else {
+						fmt.Fprintf(os.Stderr, "dlserve: compacted: snapshot %s (%d docs, %d bytes)\n",
+							snap.Path, snap.Docs, snap.Bytes)
+					}
+				}
+			}
+		}()
+	}
 	fmt.Fprintf(os.Stderr, "dlserve: node listening on %s\n", addr)
 	err := server.Run(ctx, addr, ns.Handler(), 0)
 	if dataDir != "" && ctx.Err() != nil {
@@ -216,6 +305,65 @@ func runNode(ctx context.Context, addr string, lambda float64, cacheCap, maxConc
 	if err != nil {
 		fatal(err)
 	}
+}
+
+// openAndReplayLog opens the write-ahead op log and folds its suffix
+// past the snapshot position into ix. A torn tail (kill -9 mid-append)
+// was never acknowledged, so truncating it is safe and logged;
+// interior corruption is fatal — the log is the source of truth and a
+// hole in it means acknowledged writes are unrecoverable here (boot
+// with -resync to pull the fragment from a live peer instead). Replay
+// starts at the log's base, not the snapshot position: the overlap is
+// deduplicated by oid, and over-replay is the cheap direction.
+func openAndReplayLog(dir string, snapPos uint64, ix *ir.Index) *persist.OpLog {
+	l, err := persist.OpenOpLog(dir)
+	if err != nil {
+		fatal(fmt.Errorf("refusing to serve: %w", err))
+	}
+	if tb := l.TruncatedBytes(); tb > 0 {
+		fmt.Fprintf(os.Stderr, "dlserve: op log: truncated %d-byte torn tail (unacknowledged partial append)\n", tb)
+	}
+	if l.Base() > snapPos {
+		fatal(fmt.Errorf("refusing to serve: op log starts at position %d but the snapshot covers only %d — operations in between are lost", l.Base(), snapPos))
+	}
+	replayed := 0
+	if err := l.Replay(l.Base(), func(op persist.Op) error {
+		if !ix.HasDoc(op.Doc) {
+			ix.Add(op.Doc, op.URL, op.Text)
+			replayed++
+		}
+		return nil
+	}); err != nil {
+		fatal(fmt.Errorf("refusing to serve: op log replay: %w", err))
+	}
+	if l.Pos() > snapPos {
+		fmt.Fprintf(os.Stderr, "dlserve: replayed op log %d..%d (%d new docs), now %d docs\n",
+			snapPos, l.Pos(), replayed, ix.DocCount())
+	}
+	return l
+}
+
+// resetLogTo replaces the node's op log with an empty one at base —
+// the position of the full state that was just pulled from a peer,
+// which subsumes every local record. A local log too corrupt to open
+// is simply recreated: the resync exists to discard local state.
+func resetLogTo(dir string, base uint64) *persist.OpLog {
+	if dir == "" {
+		return nil
+	}
+	l, err := persist.OpenOpLog(dir)
+	if err != nil {
+		if rerr := os.Remove(persist.OpLogPath(dir)); rerr != nil {
+			fatal(fmt.Errorf("op log unreadable (%v) and unremovable: %w", err, rerr))
+		}
+		if l, err = persist.OpenOpLog(dir); err != nil {
+			fatal(fmt.Errorf("op log: %w", err))
+		}
+	}
+	if err := l.Reset(base); err != nil {
+		fatal(fmt.Errorf("op log reset: %w", err))
+	}
+	return l
 }
 
 // buildCluster assembles the coordinator's cluster: remote nodes from
@@ -274,7 +422,9 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: dlserve {node|coordinator} [flags]
 
   dlserve node -addr :8081 -data-dir /var/lib/dlsearch/node1
+  dlserve node -addr :8081 -data-dir d1 -compact-interval 5m   (bounded replay)
   dlserve node -addr :8081 -resync http://h2:8082     (seed from a live peer)
+  dlserve node -addr :8081 -data-dir d1 -verify http://h2:8082 (checksum rejoin)
   dlserve coordinator -addr :8080 -nodes http://h1:8081,http://h2:8082
   dlserve coordinator -addr :8080 -replicas 2 -anti-entropy-interval 30s \
       -nodes http://h1:8081,...

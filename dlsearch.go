@@ -178,7 +178,28 @@ type (
 	// ClusterNodeLoad is one node's load probe: doc count, max oid,
 	// snapshot age and the fragment's content checksum.
 	ClusterNodeLoad = dist.NodeLoad
+	// OpLog is a node's write-ahead op log: ingest is appended and
+	// fsynced before it is applied, so acknowledged writes survive a
+	// crash and boot recovery is snapshot + log replay.
+	OpLog = persist.OpLog
+	// LoggedOp is one logged ingest operation (index one document).
+	LoggedOp = persist.Op
 )
+
+// ErrDeltaUnavailable reports that a node cannot serve the requested
+// op-log suffix (no log, or the suffix was compacted away) — heal by
+// full snapshot instead. ErrPosMismatch reports a delta that does not
+// start exactly at the target replica's log position.
+var (
+	ErrDeltaUnavailable = dist.ErrDeltaUnavailable
+	ErrPosMismatch      = dist.ErrPosMismatch
+)
+
+// OpenOpLog opens (or creates) the write-ahead op log in dir,
+// truncating a torn tail left by a crash mid-append and failing
+// closed on interior corruption. Wire it into a node with
+// LocalNode.SetOpLog.
+func OpenOpLog(dir string) (*OpLog, error) { return persist.OpenOpLog(dir) }
 
 // ErrSnapshotCorrupt reports a snapshot that failed integrity
 // verification (bad magic, truncation, checksum mismatch, or an

@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"dlsearch/internal/ir"
+	"dlsearch/internal/persist"
 )
 
 // Anti-entropy is the self-healing half of replication: PR 4's replica
@@ -221,6 +224,14 @@ func (c *Cluster) ResyncReplica(ctx context.Context, g, r int) error {
 		if src == r || c.isDiverged(g, src) {
 			continue
 		}
+		if len(errs) > 0 {
+			// A source just failed: back off (exponentially, jittered)
+			// before hitting the next candidate, so a group recovering
+			// from a shared fault isn't stormed by its own healing.
+			if sleepCtx(ctx, backoffDelay(len(errs)-1, resyncRetryBase, 2*time.Second)) != nil {
+				break
+			}
+		}
 		if err := c.resyncLocked(ctx, g, r, src); err != nil {
 			errs = append(errs, err)
 			continue
@@ -233,8 +244,29 @@ func (c *Cluster) ResyncReplica(ctx context.Context, g, r int) error {
 	return errors.Join(errs...)
 }
 
+// resyncRetryBase paces retries and source-candidate fallbacks on the
+// self-healing paths (exponential with jitter, see backoffDelay).
+const resyncRetryBase = 100 * time.Millisecond
+
+// resyncRetries bounds how many times a transiently failing resync
+// RPC is attempted before the error propagates.
+const resyncRetries = 3
+
 // resyncLocked moves src's state onto replica r of group g. The caller
 // holds the group's ingest write lock.
+//
+// The cheap path ships an op-log delta: when both ends speak the
+// delta protocol and the source's log still covers the target's
+// position, only the missing log suffix travels — cost proportional
+// to the LAG, not the fragment. Positions alone cannot prove the two
+// histories share a prefix (a replica may hold the right COUNT of the
+// wrong documents), so the delta is an optimization verified by
+// content checksum: after the apply, source and target must report
+// identical fresh checksums, and any mismatch falls back to the full
+// snapshot below. The full path is the unconditional truth-mover —
+// and it too verifies before readmitting: the target's fresh checksum
+// must equal the shipped state's, or the replica STAYS quarantined
+// (checksum-verified rejoin) rather than serving wrong rankings.
 func (c *Cluster) resyncLocked(ctx context.Context, g, r, src int) error {
 	source, ok := c.groups[g][src].(StateSource)
 	if !ok {
@@ -244,20 +276,119 @@ func (c *Cluster) resyncLocked(ctx context.Context, g, r, src int) error {
 	if !ok {
 		return fmt.Errorf("dist: partition %d replica %d cannot import state", g, r)
 	}
-	st, err := source.SnapshotState(ctx)
-	if err != nil {
+	if c.tryDeltaResync(ctx, g, r, src) {
+		return nil
+	}
+	var st *ir.IndexState
+	if err := withRetry(ctx, resyncRetries, resyncRetryBase, func() error {
+		var err error
+		st, err = source.SnapshotState(ctx)
+		return err
+	}); err != nil {
 		return fmt.Errorf("dist: resync %d/%d: export from replica %d: %w", g, r, src, err)
 	}
-	if err := sink.RestoreState(ctx, st); err != nil {
+	if err := withRetry(ctx, resyncRetries, resyncRetryBase, func() error {
+		return sink.RestoreState(ctx, st)
+	}); err != nil {
 		return fmt.Errorf("dist: resync %d/%d: import: %w", g, r, err)
 	}
+	if bytes, err := persist.SizeOf(st); err == nil {
+		c.resyncBytes.Add(uint64(bytes))
+	}
+	c.resyncFullCount.Add(1)
+	// Checksum-verified rejoin: before the replica re-enters routing,
+	// its content must provably equal what was shipped. A target that
+	// cannot report a fresh checksum (a third-party Node) keeps the
+	// pre-verification contract — RestoreState succeeded, readmit.
+	if tcl, ok := c.groups[g][r].(ChecksumLoader); ok {
+		want := st.Checksum()
+		var got NodeLoad
+		verr := withRetry(ctx, resyncRetries, resyncRetryBase, func() error {
+			nctx, cancel := c.nodeCtx(ctx)
+			defer cancel()
+			var err error
+			got, err = tcl.LoadChecksum(nctx)
+			return err
+		})
+		if verr != nil || got.Checksum != want {
+			c.markDiverged(g, r)
+			if verr != nil {
+				return fmt.Errorf("dist: resync %d/%d: post-restore checksum probe: %w", g, r, verr)
+			}
+			return fmt.Errorf("dist: resync %d/%d: post-restore checksum %s does not match shipped state %s — replica stays quarantined", g, r, got.Checksum, want)
+		}
+	}
+	c.finishResync(g, r)
+	return nil
+}
+
+// tryDeltaResync attempts the log-suffix path of resyncLocked and
+// reports whether it fully healed (applied AND checksum-verified)
+// replica r from src. Every failure — missing capability, compacted
+// log, position mismatch, transfer error, checksum disagreement —
+// returns false and the caller falls back to the full snapshot; the
+// fallback overwrites whatever a partial delta left behind.
+func (c *Cluster) tryDeltaResync(ctx context.Context, g, r, src int) bool {
+	ds, ok := c.groups[g][src].(DeltaSource)
+	if !ok {
+		return false
+	}
+	sink, ok := c.groups[g][r].(DeltaSink)
+	if !ok {
+		return false
+	}
+	scl, sok := c.groups[g][src].(ChecksumLoader)
+	tcl, tok := c.groups[g][r].(ChecksumLoader)
+	if !sok || !tok {
+		// Without fresh checksums on both ends the delta cannot be
+		// verified, and an unverified delta is a silent-wrong-ranking
+		// machine. Full snapshot only.
+		return false
+	}
+	nctx, cancel := c.nodeCtx(ctx)
+	target, err := c.groups[g][r].Load(nctx)
+	cancel()
+	if err != nil {
+		return false
+	}
+	ops, err := ds.OpsSince(ctx, target.LogPos)
+	if err != nil {
+		return false
+	}
+	if err := sink.ApplyOps(ctx, target.LogPos, ops); err != nil {
+		return false
+	}
+	// Verify: the whole point of the delta gamble. Fresh digests from
+	// both ends; the group ingest lock (held by our caller) guarantees
+	// nothing is being written between the two probes.
+	var srcLoad, tgtLoad NodeLoad
+	nctx, cancel = c.nodeCtx(ctx)
+	srcLoad, err = scl.LoadChecksum(nctx)
+	cancel()
+	if err != nil || srcLoad.Checksum == "" {
+		return false
+	}
+	nctx, cancel = c.nodeCtx(ctx)
+	tgtLoad, err = tcl.LoadChecksum(nctx)
+	cancel()
+	if err != nil || tgtLoad.Checksum != srcLoad.Checksum {
+		return false
+	}
+	c.resyncBytes.Add(uint64(persist.OpsSize(ops)))
+	c.resyncDeltaCount.Add(1)
+	c.finishResync(g, r)
+	return true
+}
+
+// finishResync records a verified resync: quarantine lifts, counters
+// bump, statistics re-aggregate.
+func (c *Cluster) finishResync(g, r int) {
 	c.markResynced(g, r)
 	c.resyncCount.Add(1)
 	// The replica's content changed behind the aggregated statistics:
 	// logically it now equals the group (same stats), but a resync that
 	// repaired real divergence may shift global df/Σdf — re-aggregate.
 	c.InvalidateStats()
-	return nil
 }
 
 // RunAntiEntropy runs CheckReplicas with repair on every interval
@@ -269,8 +400,12 @@ func (c *Cluster) resyncLocked(ctx context.Context, g, r, src int) error {
 // (releasing the lock, unblocking writes) rather than wedge the loop
 // and the partition forever. A resync of a fragment too large to ship
 // within one interval simply needs a larger interval.
+//
+// Each sleep is jittered over [0.5·interval, 1.5·interval): multiple
+// coordinators (or many groups behind one) started together must not
+// probe — and stall ingest — in lockstep forever.
 func (c *Cluster) RunAntiEntropy(ctx context.Context, interval time.Duration) {
-	t := time.NewTicker(interval)
+	t := time.NewTimer(jitterInterval(interval))
 	defer t.Stop()
 	for {
 		select {
@@ -280,6 +415,7 @@ func (c *Cluster) RunAntiEntropy(ctx context.Context, interval time.Duration) {
 			tctx, cancel := context.WithTimeout(ctx, interval)
 			c.CheckReplicas(tctx, true)
 			cancel()
+			t.Reset(jitterInterval(interval))
 		}
 	}
 }

@@ -1,0 +1,81 @@
+package dist
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Retry pacing for the self-healing paths. Resync and anti-entropy
+// RPCs retry transient failures with exponential backoff and full
+// jitter — a replica group recovering from a network blip must not
+// hammer the surviving member in lockstep — and the anti-entropy
+// sweep interval itself is jittered so coordinators started together
+// don't probe (and hold ingest locks) in phase forever.
+
+// backoffDelay returns the sleep before retry attempt (0-based):
+// base·2^attempt capped at max, then scaled by a uniform factor in
+// [0.5, 1.5) so concurrent retriers decorrelate.
+func backoffDelay(attempt int, base, max time.Duration) time.Duration {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return time.Duration((0.5 + rand.Float64()) * float64(d))
+}
+
+// jitterInterval spreads a periodic interval over [0.5·d, 1.5·d).
+func jitterInterval(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return time.Duration((0.5 + rand.Float64()) * float64(d))
+}
+
+// sleepCtx sleeps for d or until ctx cancels, reporting ctx's error
+// when it cancelled first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// withRetry runs fn up to attempts times, backing off with jitter
+// between failures. It returns nil on the first success, ctx's error
+// if cancelled mid-backoff, and the last failure otherwise. fn must
+// be safe to repeat — the self-healing paths only retry reads
+// (exports, load probes) and idempotent installs.
+func withRetry(ctx context.Context, attempts int, base time.Duration, fn func() error) error {
+	var err error
+	for a := 0; a < attempts; a++ {
+		if err = fn(); err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+		if a < attempts-1 {
+			if serr := sleepCtx(ctx, backoffDelay(a, base, 5*time.Second)); serr != nil {
+				return err
+			}
+		}
+	}
+	return err
+}

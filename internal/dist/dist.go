@@ -180,6 +180,10 @@ type Cluster struct {
 	droppedCount  atomic.Uint64 // partitions dropped from merges
 	resyncCount   atomic.Uint64 // successful replica resyncs
 	divergeCount  atomic.Uint64 // divergences detected by anti-entropy
+
+	resyncDeltaCount atomic.Uint64 // resyncs healed by op-log delta
+	resyncFullCount  atomic.Uint64 // resyncs that shipped a full snapshot
+	resyncBytes      atomic.Uint64 // bytes shipped by resyncs (delta or full)
 }
 
 // NewCluster builds a cluster of k in-process single-replica
@@ -327,6 +331,15 @@ type Telemetry struct {
 	// they are detected at the write, not by checksum comparison).
 	Resyncs            uint64
 	DivergenceDetected uint64
+	// ResyncsDelta / ResyncsFull split Resyncs by transfer strategy:
+	// a delta resync shipped only the op-log suffix the replica was
+	// missing, a full resync shipped the whole fragment snapshot.
+	// ResyncBytes totals the bytes shipped either way — with a mostly
+	// delta-healing cluster it stays far below fragments × snapshot
+	// size, which is the whole point of the op log.
+	ResyncsDelta uint64
+	ResyncsFull  uint64
+	ResyncBytes  uint64
 }
 
 // Telemetry returns the cumulative counters.
@@ -337,6 +350,9 @@ func (c *Cluster) Telemetry() Telemetry {
 		Dropped:            c.droppedCount.Load(),
 		Resyncs:            c.resyncCount.Load(),
 		DivergenceDetected: c.divergeCount.Load(),
+		ResyncsDelta:       c.resyncDeltaCount.Load(),
+		ResyncsFull:        c.resyncFullCount.Load(),
+		ResyncBytes:        c.resyncBytes.Load(),
 	}
 }
 

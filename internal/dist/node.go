@@ -2,11 +2,14 @@ package dist
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"dlsearch/internal/bat"
 	"dlsearch/internal/ir"
+	"dlsearch/internal/persist"
 )
 
 // Node is one shared-nothing member of a Cluster. The interface is the
@@ -55,6 +58,13 @@ type NodeLoad struct {
 	MaxDoc       bat.OID
 	SnapshotUnix int64
 	Checksum     string
+	// LogPos is the node's op-log position — how many ingest
+	// operations its history holds. Replicas of a group converge to
+	// equal positions (writes fan to every member, idempotent ingest
+	// de-duplicates), so the group maximum minus a replica's position
+	// is that replica's lag, and the position is what the delta-resync
+	// path ships a log suffix from.
+	LogPos uint64
 }
 
 // ChecksumLoader is an optional Node capability: a load probe that
@@ -114,6 +124,36 @@ type StateSink interface {
 	RestoreState(ctx context.Context, st *ir.IndexState) error
 }
 
+// ErrDeltaUnavailable reports that a node cannot serve the requested
+// op-log suffix — the position predates its log's base (compacted into
+// a snapshot), or the node keeps no log at all. The caller falls back
+// to a full-snapshot resync; nothing is wrong with the node.
+var ErrDeltaUnavailable = errors.New("dist: op-log delta unavailable for requested position")
+
+// ErrPosMismatch reports a delta whose starting position does not
+// equal the applying node's position: the histories cannot be proven
+// to align, so the node rejects the delta and the caller falls back
+// to a full-snapshot resync.
+var ErrPosMismatch = errors.New("dist: delta position does not match node position")
+
+// DeltaSource is an optional Node capability, the read side of delta
+// resync: the node's op-log suffix from position from (every operation
+// a replica at that position is missing). ErrDeltaUnavailable means
+// the suffix was compacted away and only a full snapshot covers it.
+type DeltaSource interface {
+	OpsSince(ctx context.Context, from uint64) ([]persist.Op, error)
+}
+
+// DeltaSink is an optional Node capability, the write side of delta
+// resync: append-and-apply a log suffix. The node must reject a delta
+// whose from does not equal its own position — positions are the only
+// alignment evidence the delta path has, so applying at an offset
+// would silently interleave histories. Applying is idempotent per
+// document oid, like all ingest.
+type DeltaSink interface {
+	ApplyOps(ctx context.Context, from uint64, ops []persist.Op) error
+}
+
 // RankingCache is the serving layer's RES-set cache boundary: rankings
 // keyed by (index, query), reusable for any n the cached ranking
 // covers. core.QueryCache implements it; the interface lives here so
@@ -140,6 +180,15 @@ type LocalNode struct {
 	resolve  func(*ir.Index, string) ([]string, []bat.OID)
 	rank     RankingCache
 	lastSnap atomic.Int64 // unix seconds of the last persisted snapshot
+
+	// oplog, when attached, is the node's write-ahead log: every
+	// ingest operation is appended (and fsynced) BEFORE it is applied
+	// to the index, so a crash between the two replays the operation
+	// on boot instead of losing it. pos mirrors the log's position and
+	// is maintained even without a log (guarded by mu), so replica lag
+	// stays observable on log-less nodes.
+	oplog *persist.OpLog
+	pos   uint64
 }
 
 // NewLocalNode wraps an index as a cluster node.
@@ -160,34 +209,141 @@ func (n *LocalNode) SetResolver(f func(*ir.Index, string) ([]string, []bat.OID))
 // it before the node starts serving queries.
 func (n *LocalNode) SetRankingCache(rc RankingCache) { n.rank = rc }
 
+// SetOpLog attaches a write-ahead op log: from now on every ingest
+// appends to it durably before applying, and the node's position
+// continues from the log's. Attach at boot, after replaying the log
+// into the index and before the node starts serving — the attach
+// itself takes the write lock, but ingest racing the replay would
+// interleave positions.
+func (n *LocalNode) SetOpLog(l *persist.OpLog) {
+	n.mu.Lock()
+	n.oplog = l
+	if l != nil {
+		n.pos = l.Pos()
+	}
+	n.mu.Unlock()
+}
+
+// OpLog returns the attached write-ahead log (nil when none).
+func (n *LocalNode) OpLog() *persist.OpLog {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.oplog
+}
+
+// LogPos returns the node's op-log position.
+func (n *LocalNode) LogPos() uint64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.pos
+}
+
+// logThenApply is the write-ahead ingest core; the caller holds the
+// write lock. The fresh (not-yet-indexed) subset of docs is appended
+// to the op log — one durable fsynced write — and applied to the
+// index only after the append succeeded, so every applied operation
+// is recoverable by replay. A failed append applies NOTHING: the
+// caller's error tells it the write did not happen, and the torn
+// bytes a crashed append may leave are truncated by the next open.
+// Duplicate oids are skipped entirely (not logged, not applied) —
+// that is what keeps replica positions aligned: every member of a
+// group sees the same fan-out and filters the same duplicates.
+func (n *LocalNode) logThenApply(docs []Doc) error {
+	fresh := docs[:0:0]
+	for _, d := range docs {
+		if !n.ix.HasDoc(d.OID) {
+			fresh = append(fresh, d)
+		}
+	}
+	if len(fresh) == 0 {
+		return nil
+	}
+	if n.oplog != nil {
+		ops := make([]persist.Op, len(fresh))
+		for i, d := range fresh {
+			ops[i] = persist.Op{Doc: d.OID, URL: d.URL, Text: d.Text}
+		}
+		if err := n.oplog.Append(ops...); err != nil {
+			return err
+		}
+	}
+	for _, d := range fresh {
+		n.ix.Add(d.OID, d.URL, d.Text)
+	}
+	n.pos += uint64(len(fresh))
+	return nil
+}
+
 // Add implements Node. Ingest is idempotent per document oid: a doc
 // already in the index is skipped, so retrying a write whose
 // acknowledgement was lost (the at-least-once ambiguity of networked
 // ingest) never double-folds term frequencies. Document oids are
 // therefore write-once at the node boundary; folding more text into an
 // existing document remains an ir.Index-level operation for engines
-// that own their index outright.
+// that own their index outright. With an op log attached the document
+// is durably logged before it is applied (see logThenApply).
 func (n *LocalNode) Add(_ context.Context, doc bat.OID, url, text string) error {
 	n.mu.Lock()
-	if !n.ix.HasDoc(doc) {
-		n.ix.Add(doc, url, text)
-	}
-	n.mu.Unlock()
-	return nil
+	defer n.mu.Unlock()
+	return n.logThenApply([]Doc{{OID: doc, URL: url, Text: text}})
 }
 
 // AddBatch implements BatchAdder: the whole batch lands under one
-// write-lock acquisition, each document idempotently (see Add) — a
-// replayed batch, including one that previously applied only a prefix,
-// is applied exactly once.
+// write-lock acquisition — and, with an op log attached, one durable
+// log append — each document idempotently (see Add). A replayed
+// batch, including one that previously applied only a prefix, is
+// applied exactly once.
 func (n *LocalNode) AddBatch(_ context.Context, docs []Doc) error {
 	n.mu.Lock()
-	for _, d := range docs {
-		if !n.ix.HasDoc(d.OID) {
-			n.ix.Add(d.OID, d.URL, d.Text)
+	defer n.mu.Unlock()
+	return n.logThenApply(docs)
+}
+
+// OpsSince implements DeltaSource: the attached log's suffix from
+// position from. Without a log, or when the suffix was compacted into
+// a snapshot, it reports ErrDeltaUnavailable and the caller falls
+// back to a full-snapshot resync.
+func (n *LocalNode) OpsSince(_ context.Context, from uint64) ([]persist.Op, error) {
+	n.mu.RLock()
+	l := n.oplog
+	n.mu.RUnlock()
+	if l == nil {
+		return nil, ErrDeltaUnavailable
+	}
+	ops, err := l.OpsSince(from)
+	if errors.Is(err, persist.ErrLogGap) {
+		return nil, fmt.Errorf("%w: %v", ErrDeltaUnavailable, err)
+	}
+	return ops, err
+}
+
+// ApplyOps implements DeltaSink: append a log suffix durably and
+// apply it. The delta must start exactly at this node's position —
+// positions are the delta path's only alignment evidence, so an
+// offset delta is rejected rather than interleaved. EVERY received
+// op is appended to the log (duplicates included) so the position
+// advances in lockstep with the source's; only not-yet-indexed
+// documents are applied.
+func (n *LocalNode) ApplyOps(_ context.Context, from uint64, ops []persist.Op) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if from != n.pos {
+		return fmt.Errorf("%w: delta starts at %d, node is at %d", ErrPosMismatch, from, n.pos)
+	}
+	if len(ops) == 0 {
+		return nil
+	}
+	if n.oplog != nil {
+		if err := n.oplog.Append(ops...); err != nil {
+			return err
 		}
 	}
-	n.mu.Unlock()
+	for i := range ops {
+		if !n.ix.HasDoc(ops[i].Doc) {
+			n.ix.Add(ops[i].Doc, ops[i].URL, ops[i].Text)
+		}
+	}
+	n.pos += uint64(len(ops))
 	return nil
 }
 
@@ -284,6 +440,7 @@ func (n *LocalNode) Load(context.Context) (NodeLoad, error) {
 		MaxDoc:       n.ix.MaxDoc(),
 		SnapshotUnix: n.lastSnap.Load(),
 		Checksum:     sum,
+		LogPos:       n.pos,
 	}, nil
 }
 
@@ -301,6 +458,7 @@ func (n *LocalNode) LoadChecksum(ctx context.Context) (NodeLoad, error) {
 		MaxDoc:       n.ix.MaxDoc(),
 		SnapshotUnix: n.lastSnap.Load(),
 		Checksum:     n.ix.Checksum(),
+		LogPos:       n.pos,
 	}, nil
 }
 
@@ -311,7 +469,13 @@ func (n *LocalNode) LoadChecksum(ctx context.Context) (NodeLoad, error) {
 func (n *LocalNode) ExportState() *ir.IndexState {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.ix.ExportState()
+	st := n.ix.ExportState()
+	// Stamp the export with the node's op-log position: the state
+	// covers exactly this log prefix, so a snapshot written from it
+	// may compact the log up to here, and a replica restored from it
+	// continues its history from here.
+	st.LogPos = n.pos
+	return st
 }
 
 // SnapshotState implements StateSource over ExportState.
@@ -345,6 +509,17 @@ func (n *LocalNode) RestoreState(_ context.Context, st *ir.IndexState) error {
 	ix.SetLambda(n.ix.Lambda())
 	ix.SetMemoryBudget(n.ix.MemoryBudget())
 	ix.AdvanceEpoch(n.ix.Epoch())
+	// A full restore subsumes the node's entire logged history: the
+	// position jumps to the state's, and the log restarts empty at
+	// that base — every record below it is covered by the restored
+	// state, every record above it described the REPLACED index and
+	// must not replay on top of this one.
+	if n.oplog != nil {
+		if err := n.oplog.Reset(st.LogPos); err != nil {
+			return err
+		}
+	}
+	n.pos = st.LogPos
 	n.ix = ix
 	return nil
 }

@@ -1,0 +1,162 @@
+package dist_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dlsearch/internal/bat"
+	"dlsearch/internal/dist"
+	"dlsearch/internal/ir"
+	"dlsearch/internal/persist"
+	"dlsearch/internal/server"
+)
+
+// loggedServer boots a node server whose ingest is write-ahead logged
+// (and, with a data dir, snapshot-compacted) like a real dlserve node.
+func loggedServer(t *testing.T, dataDir string) (*httptest.Server, *persist.OpLog) {
+	t.Helper()
+	l, err := persist.OpenOpLog(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	srv := httptest.NewServer(server.NewNodeServer(ir.NewIndex(), &server.NodeConfig{
+		DataDir: dataDir,
+		OpLog:   l,
+	}).Handler())
+	t.Cleanup(srv.Close)
+	return srv, l
+}
+
+// TestHTTPDeltaResync: the delta path end to end over real HTTP — a
+// lagging replica is healed via GET /node/oplog + POST /node/oplog,
+// shipping only the missing suffix, checksum-verified before rejoin.
+func TestHTTPDeltaResync(t *testing.T) {
+	srvA, _ := loggedServer(t, "")
+	srvB, _ := loggedServer(t, "")
+	a := dist.NewRemoteNode(srvA.URL, srvA.Client())
+	b := dist.NewRemoteNode(srvB.URL, srvB.Client())
+	c := dist.NewReplicatedClusterOf([][]dist.Node{{a, b}}, &dist.Options{NodeTimeout: 5 * time.Second})
+	for i, text := range remoteCorpus(50, 61) {
+		if err := c.AddContext(context.Background(), bat.OID(i+1), "u", text); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// B misses a tail of writes (its process was down; the coordinator
+	// kept writing to A).
+	for i := 50; i < 56; i++ {
+		if err := a.Add(context.Background(), bat.OID(i+1), "u", fmt.Sprintf("volley smash doc%d", i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	la, err := a.Load(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := b.Load(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la.LogPos != 56 || lb.LogPos != 50 {
+		t.Fatalf("positions a=%d b=%d, want 56/50", la.LogPos, lb.LogPos)
+	}
+	rep := c.CheckReplicas(context.Background(), true)
+	if rep.Detected != 1 || rep.Resynced != 1 {
+		t.Fatalf("anti-entropy pass = %+v", rep)
+	}
+	if tel := c.Telemetry(); tel.ResyncsDelta != 1 || tel.ResyncsFull != 0 || tel.ResyncBytes == 0 {
+		t.Fatalf("telemetry = %+v, want one delta resync over the wire", tel)
+	}
+	ca, err := a.LoadChecksum(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := b.LoadChecksum(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca.Checksum != cb.Checksum || cb.LogPos != 56 {
+		t.Fatalf("healed replica: pos=%d checksum %s vs %s", cb.LogPos, cb.Checksum, ca.Checksum)
+	}
+	// The healed replica serves identically: kill A, search must stay
+	// complete and rank the delta's documents.
+	srvA.Close()
+	sr, err := c.Search(context.Background(), "volley smash", 10)
+	if err != nil || !sr.Complete() {
+		t.Fatalf("post-heal search: %v / %+v", err, sr)
+	}
+}
+
+// TestHTTPOpsSinceCompactedIs416: a snapshot compacts the server's
+// log; asking for a position below the new base must map to
+// ErrDeltaUnavailable (HTTP 416), steering the caller to the full
+// snapshot path instead of an empty delta.
+func TestHTTPOpsSinceCompactedIs416(t *testing.T) {
+	srv, _ := loggedServer(t, t.TempDir())
+	rn := dist.NewRemoteNode(srv.URL, srv.Client())
+	for i := 0; i < 10; i++ {
+		if err := rn.Add(context.Background(), bat.OID(i+1), "u", fmt.Sprintf("champion doc%d", i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Before compaction the whole history is servable.
+	ops, err := rn.OpsSince(context.Background(), 0)
+	if err != nil || len(ops) != 10 {
+		t.Fatalf("OpsSince(0) = %d ops, %v", len(ops), err)
+	}
+	// POST /node/snapshot persists and compacts to position 10.
+	resp, err := srv.Client().Post(srv.URL+"/node/snapshot", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot: HTTP %d", resp.StatusCode)
+	}
+	if _, err := rn.OpsSince(context.Background(), 0); !errors.Is(err, dist.ErrDeltaUnavailable) {
+		t.Fatalf("OpsSince below compacted base: %v, want ErrDeltaUnavailable", err)
+	}
+	if ops, err := rn.OpsSince(context.Background(), 10); err != nil || len(ops) != 0 {
+		t.Fatalf("OpsSince(10) = %d ops, %v", len(ops), err)
+	}
+}
+
+// TestHTTPApplyOpsMisaligned: a misaligned delta is rejected with
+// HTTP 409 → ErrPosMismatch, and malformed /node/oplog requests are
+// 400s, not crashes.
+func TestHTTPApplyOpsMisaligned(t *testing.T) {
+	srv, _ := loggedServer(t, "")
+	rn := dist.NewRemoteNode(srv.URL, srv.Client())
+	ops := []persist.Op{{Doc: 1, URL: "u", Text: "champion"}}
+	if err := rn.ApplyOps(context.Background(), 7, ops); !errors.Is(err, dist.ErrPosMismatch) {
+		t.Fatalf("misaligned delta: %v, want ErrPosMismatch", err)
+	}
+	if err := rn.ApplyOps(context.Background(), 0, ops); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"/node/oplog?from=abc", "/node/oplog"} {
+		resp, err := srv.Client().Get(srv.URL + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if bad == "/node/oplog?from=abc" && resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET %s: HTTP %d, want 400", bad, resp.StatusCode)
+		}
+	}
+	// A garbage POST body fails closed.
+	resp, err := srv.Client().Post(srv.URL+"/node/oplog", "application/octet-stream", strings.NewReader("not a delta"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage delta: HTTP %d, want 400", resp.StatusCode)
+	}
+}

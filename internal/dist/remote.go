@@ -30,6 +30,7 @@ const (
 	PathNodeLoad     = "/node/load"
 	PathNodeSnapshot = "/node/snapshot"
 	PathNodeRestore  = "/node/restore"
+	PathNodeOpLog    = "/node/oplog"
 	PathHealthz      = "/healthz"
 )
 
@@ -180,6 +181,7 @@ type LoadResponse struct {
 	MaxDoc       uint64 `json:"max_doc"`
 	SnapshotUnix int64  `json:"snapshot_unix,omitempty"`
 	Checksum     string `json:"checksum,omitempty"`
+	LogPos       uint64 `json:"log_pos,omitempty"`
 }
 
 // SnapshotResponse answers POST /node/snapshot: where the snapshot
@@ -369,6 +371,7 @@ func (rn *RemoteNode) load(ctx context.Context, path string) (NodeLoad, error) {
 		MaxDoc:       bat.OID(resp.MaxDoc),
 		SnapshotUnix: resp.SnapshotUnix,
 		Checksum:     resp.Checksum,
+		LogPos:       resp.LogPos,
 	}, nil
 }
 
@@ -448,6 +451,75 @@ func (rn *RemoteNode) RestoreState(ctx context.Context, st *ir.IndexState) error
 		return fmt.Errorf("dist: node %s%s: restored in memory but not persisted: %s",
 			rn.base, PathNodeRestore, rr.SnapshotError)
 	}
+	return nil
+}
+
+// OpsSince implements DeltaSource: GET /node/oplog?from=P streams the
+// node's log suffix in the persist delta wire format (per-record
+// checksums travel with the data, so a corrupted transfer fails
+// closed here). A 416 answer means the node compacted that suffix
+// away (or keeps no log) — mapped to ErrDeltaUnavailable so the
+// caller falls back to a full snapshot.
+func (rn *RemoteNode) OpsSince(ctx context.Context, from uint64) ([]persist.Op, error) {
+	url := fmt.Sprintf("%s%s?from=%d", rn.base, PathNodeOpLog, from)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, fmt.Errorf("dist: request %s: %w", PathNodeOpLog, err)
+	}
+	resp, err := rn.transferClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("dist: node %s%s: %w", rn.base, PathNodeOpLog, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusRequestedRangeNotSatisfiable {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("%w: node %s", ErrDeltaUnavailable, rn.base)
+	}
+	if resp.StatusCode != http.StatusOK {
+		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, fmt.Errorf("dist: node %s%s: status %d: %s",
+			rn.base, PathNodeOpLog, resp.StatusCode, strings.TrimSpace(string(snippet)))
+	}
+	got, ops, err := persist.DecodeOps(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("dist: node %s%s: %w", rn.base, PathNodeOpLog, err)
+	}
+	if got != from {
+		return nil, fmt.Errorf("dist: node %s%s: asked for position %d, got %d", rn.base, PathNodeOpLog, from, got)
+	}
+	return ops, nil
+}
+
+// ApplyOps implements DeltaSink: the suffix ships to
+// POST /node/oplog in the persist delta wire format and the remote
+// node appends-and-applies it at exactly position from. A 409 answer
+// is the position-mismatch rejection — the histories cannot be
+// aligned by this delta and the caller falls back to a full snapshot.
+func (rn *RemoteNode) ApplyOps(ctx context.Context, from uint64, ops []persist.Op) error {
+	var buf bytes.Buffer
+	if err := persist.EncodeOps(&buf, from, ops); err != nil {
+		return fmt.Errorf("dist: encode %s: %w", PathNodeOpLog, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rn.base+PathNodeOpLog, &buf)
+	if err != nil {
+		return fmt.Errorf("dist: request %s: %w", PathNodeOpLog, err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := rn.transferClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("dist: node %s%s: %w", rn.base, PathNodeOpLog, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusConflict {
+		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("%w: node %s: %s", ErrPosMismatch, rn.base, strings.TrimSpace(string(snippet)))
+	}
+	if resp.StatusCode != http.StatusOK {
+		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("dist: node %s%s: status %d: %s",
+			rn.base, PathNodeOpLog, resp.StatusCode, strings.TrimSpace(string(snippet)))
+	}
+	io.Copy(io.Discard, resp.Body)
 	return nil
 }
 

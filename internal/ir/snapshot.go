@@ -26,6 +26,7 @@ type IndexState struct {
 	NextOID   bat.OID // sequence position: restored allocations continue past it
 	MemBudget int     // posting-store memory budget (0 = unbounded)
 	FragK     int     // granularity Fragmentize was last asked for (0 = never)
+	LogPos    uint64  // op-log position this state covers (0 = no log)
 
 	Docs      []DocState
 	Terms     []TermState // ascending by term oid

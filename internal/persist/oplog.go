@@ -1,0 +1,571 @@
+// The op log is the crash-safety half of the durability layer: an
+// append-only file of checksummed ingest records that is written —
+// and fsynced — BEFORE a document is applied to the in-memory index.
+// Recovery on boot is the last snapshot plus a replay of the log
+// suffix past the snapshot's recorded position; because ingest is
+// idempotent per document oid at the node boundary, replaying an
+// over-long suffix is safe by construction.
+//
+// The log is also the replication delta stream: a lagging replica
+// resyncs by shipping only the records past its own position
+// (Cluster.ResyncReplica), instead of the whole fragment.
+//
+// File format (all integers little-endian / unsigned varint):
+//
+//	magic    [8]byte  "DLOPLG\x00\x01"
+//	version  uint32   format version (currently 1)
+//	base     uint64   position of the file's first record
+//	record*:
+//	  length   uvarint  payload length in bytes
+//	  checksum [32]byte SHA-256 of the payload
+//	  payload  [length]byte  — one Op: doc uvarint, url str, text str
+//
+// A record's POSITION is base plus its index in the file: position p
+// means "p operations precede this one in this node's history".
+// Compaction (a snapshot at position p) rewrites the file atomically
+// with base = p, dropping the records a snapshot now covers.
+//
+// Failure semantics mirror the snapshot format's, with one deliberate
+// asymmetry: a record cut short by the end of the file — the torn
+// tail a kill -9 mid-append leaves — is truncated away on open
+// (fail-safe: the operation never acknowledged, so dropping it is
+// correct), while a record whose bytes are all present but whose
+// checksum disagrees is interior corruption and fails closed with
+// ErrCorrupt, exactly like a corrupt snapshot. A length field that
+// exceeds MaxOpBytes also fails closed: it cannot be a torn tail of a
+// record this log could have written.
+package persist
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"dlsearch/internal/bat"
+)
+
+// OpLogVersion is the current op-log format version.
+const OpLogVersion = 1
+
+// OpLogFile is the canonical op-log name inside a node data dir.
+const OpLogFile = "ops.log"
+
+// MaxOpBytes bounds one record's payload. A length above it cannot
+// have been written by this code, so it is corruption, not a torn
+// tail — failing closed beats silently truncating every record that
+// happens to follow a flipped length bit.
+const MaxOpBytes = 1 << 30
+
+// oplogMagic identifies a dlsearch op-log file.
+var oplogMagic = [8]byte{'D', 'L', 'O', 'P', 'L', 'G', 0, 1}
+
+// ErrLogGap reports a read below the log's base position: the
+// requested suffix was compacted away and only a full snapshot can
+// cover it.
+var ErrLogGap = errors.New("persist: position compacted out of the op log")
+
+// OpLogPath returns the canonical op-log path for a data dir.
+func OpLogPath(dir string) string { return filepath.Join(dir, OpLogFile) }
+
+// Op is one logged ingest operation: index one document. Replay is
+// idempotent per document oid (the node boundary treats oids as
+// write-once), which is what makes over-replay after a crash or a
+// duplicated delta safe.
+type Op struct {
+	Doc  bat.OID
+	URL  string
+	Text string
+}
+
+// OpLog is a crash-safe append-only operation log. All methods are
+// safe for concurrent use; Append is atomic with respect to readers
+// of the same OpLog (OpsSince never observes a half-written record).
+type OpLog struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	base uint64 // position of the file's first record
+	pos  uint64 // position after the last record (base + record count)
+	// truncated reports how many torn-tail bytes the last Open dropped.
+	truncated int64
+}
+
+// OpenOpLog opens (or creates) the op log in dir, verifying every
+// record: a torn tail is truncated away (the write never acknowledged)
+// and the log opens at the last intact record, while interior
+// corruption — a checksum mismatch on a fully present record, or an
+// impossible length — fails closed with ErrCorrupt.
+func OpenOpLog(dir string) (*OpLog, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: oplog dir: %w", err)
+	}
+	path := OpLogPath(dir)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("persist: open oplog: %w", err)
+	}
+	l := &OpLog{f: f, path: path}
+	if err := l.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// recover scans the freshly opened file, establishing base/pos and
+// truncating a torn tail. The caller holds no lock yet (construction).
+func (l *OpLog) recover() error {
+	fi, err := l.f.Stat()
+	if err != nil {
+		return fmt.Errorf("persist: oplog stat: %w", err)
+	}
+	if fi.Size() == 0 {
+		// Fresh log: write the header for base 0.
+		return l.writeHeader(0)
+	}
+	r := bufio.NewReader(io.NewSectionReader(l.f, 0, fi.Size()))
+	var hdr [8 + 4 + 8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("%w: oplog header truncated: %v", ErrCorrupt, err)
+	}
+	if !bytes.Equal(hdr[:8], oplogMagic[:]) {
+		return fmt.Errorf("%w: bad oplog magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != OpLogVersion {
+		return fmt.Errorf("persist: unsupported oplog version %d (this build reads %d)", v, OpLogVersion)
+	}
+	l.base = binary.LittleEndian.Uint64(hdr[12:20])
+	l.pos = l.base
+	good := int64(len(hdr)) // offset past the last intact record
+	for {
+		_, n, err := readRecord(r)
+		if err == nil {
+			good += n
+			l.pos++
+			continue
+		}
+		if errors.Is(err, io.EOF) && n == 0 {
+			break // clean end of log
+		}
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			// Torn tail: the record ran out of file. The operation it
+			// framed was never acknowledged — drop it.
+			l.truncated = fi.Size() - good
+			if err := l.f.Truncate(good); err != nil {
+				return fmt.Errorf("persist: truncate torn oplog tail: %w", err)
+			}
+			if err := l.f.Sync(); err != nil {
+				return fmt.Errorf("persist: sync truncated oplog: %w", err)
+			}
+			break
+		}
+		return err // interior corruption: fail closed
+	}
+	if _, err := l.f.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("persist: oplog seek: %w", err)
+	}
+	return nil
+}
+
+// writeHeader initialises an empty log file at the given base.
+func (l *OpLog) writeHeader(base uint64) error {
+	var hdr [8 + 4 + 8]byte
+	copy(hdr[:8], oplogMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:12], OpLogVersion)
+	binary.LittleEndian.PutUint64(hdr[12:20], base)
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("persist: oplog truncate: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("persist: oplog seek: %w", err)
+	}
+	if _, err := l.f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("persist: oplog header: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("persist: oplog sync: %w", err)
+	}
+	l.base = base
+	l.pos = base
+	return nil
+}
+
+// Base returns the position of the first record still in the log:
+// deltas from positions below it were compacted into a snapshot.
+func (l *OpLog) Base() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base
+}
+
+// Pos returns the position after the last appended record — the
+// node's log position, recorded in snapshots and compared by the
+// delta-resync path.
+func (l *OpLog) Pos() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.pos
+}
+
+// TruncatedBytes reports how many torn-tail bytes the open dropped
+// (0 when the log was intact) — surfaced so boot logs can say a crash
+// was recovered from rather than silently absorbing it.
+func (l *OpLog) TruncatedBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.truncated
+}
+
+// Path returns the log file's path.
+func (l *OpLog) Path() string { return l.path }
+
+// Append durably appends ops as one write followed by one fsync and
+// advances the position by len(ops). It returns only after the
+// records are on stable storage — the write-ahead contract: callers
+// apply to the in-memory index strictly after Append returns nil. On
+// error nothing is acknowledged; a torn tail the failed write may
+// have left behind is truncated by the next Open.
+func (l *OpLog) Append(ops ...Op) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	var buf bytes.Buffer
+	for i := range ops {
+		appendRecord(&buf, &ops[i])
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.f.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("persist: oplog append: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("persist: oplog sync: %w", err)
+	}
+	l.pos += uint64(len(ops))
+	return nil
+}
+
+// OpsSince returns every op from position from (inclusive) to the
+// current position — the delta a replica at position from is missing.
+// A from below the log's base reports ErrLogGap (the suffix was
+// compacted away; only a full snapshot covers it); a from at or past
+// the current position returns an empty delta.
+func (l *OpLog) OpsSince(from uint64) ([]Op, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from < l.base {
+		return nil, fmt.Errorf("%w: want %d, log starts at %d", ErrLogGap, from, l.base)
+	}
+	if from >= l.pos {
+		return nil, nil
+	}
+	fi, err := l.f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("persist: oplog stat: %w", err)
+	}
+	r := bufio.NewReader(io.NewSectionReader(l.f, 8+4+8, fi.Size()-(8+4+8)))
+	skip := from - l.base
+	out := make([]Op, 0, l.pos-from)
+	for p := l.base; p < l.pos; p++ {
+		op, _, err := readRecord(r)
+		if err != nil {
+			return nil, fmt.Errorf("persist: oplog read at position %d: %w", p, err)
+		}
+		if p-l.base < skip {
+			continue
+		}
+		out = append(out, op)
+	}
+	return out, nil
+}
+
+// Replay streams every op from position from to fn in order, stopping
+// at fn's first error. It is OpsSince without materialising the
+// slice — boot-time recovery uses it to fold a large suffix into the
+// index without holding two copies.
+func (l *OpLog) Replay(from uint64, fn func(Op) error) error {
+	ops, err := l.OpsSince(from)
+	if err != nil {
+		return err
+	}
+	for i := range ops {
+		if err := fn(ops[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Compact drops every record below keepFrom — typically the position
+// a just-written snapshot recorded, which now covers them. The log is
+// rewritten atomically (temp file, fsync, rename), so a crash
+// mid-compaction leaves the previous log intact. Records at or past
+// keepFrom (appended after the snapshot's cut) are preserved. A
+// keepFrom past the current position is clamped; one below base is a
+// no-op (already compacted).
+func (l *OpLog) Compact(keepFrom uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if keepFrom > l.pos {
+		keepFrom = l.pos
+	}
+	if keepFrom <= l.base {
+		return nil
+	}
+	// Collect the surviving suffix before touching anything.
+	var tail []Op
+	if keepFrom < l.pos {
+		fi, err := l.f.Stat()
+		if err != nil {
+			return fmt.Errorf("persist: oplog stat: %w", err)
+		}
+		r := bufio.NewReader(io.NewSectionReader(l.f, 8+4+8, fi.Size()-(8+4+8)))
+		for p := l.base; p < l.pos; p++ {
+			op, _, err := readRecord(r)
+			if err != nil {
+				return fmt.Errorf("persist: oplog read at position %d: %w", p, err)
+			}
+			if p >= keepFrom {
+				tail = append(tail, op)
+			}
+		}
+	}
+	dir := filepath.Dir(l.path)
+	tmp, err := os.CreateTemp(dir, ".oplog-*")
+	if err != nil {
+		return fmt.Errorf("persist: oplog compact: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	var hdr [8 + 4 + 8]byte
+	copy(hdr[:8], oplogMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:12], OpLogVersion)
+	binary.LittleEndian.PutUint64(hdr[12:20], keepFrom)
+	var buf bytes.Buffer
+	buf.Write(hdr[:])
+	for i := range tail {
+		appendRecord(&buf, &tail[i])
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("persist: oplog compact write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("persist: oplog compact sync: %w", err)
+	}
+	name := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("persist: oplog compact close: %w", err)
+	}
+	tmp = nil
+	if err := os.Rename(name, l.path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("persist: oplog compact rename: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	// Swap the open handle to the new file.
+	f, err := os.OpenFile(l.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: oplog reopen: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: oplog seek: %w", err)
+	}
+	l.f.Close()
+	l.f = f
+	l.base = keepFrom
+	return nil
+}
+
+// Reset replaces the log with an empty one starting at base — the
+// position of the full snapshot that just replaced this node's whole
+// state (RestoreState): every logged record is subsumed by it.
+func (l *OpLog) Reset(base uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.writeHeader(base)
+}
+
+// Close closes the log file. Appends after Close fail.
+func (l *OpLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}
+
+// appendRecord encodes one framed record into buf.
+func appendRecord(buf *bytes.Buffer, op *Op) {
+	var payload bytes.Buffer
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) { payload.Write(tmp[:binary.PutUvarint(tmp[:], v)]) }
+	str := func(s string) { put(uint64(len(s))); payload.WriteString(s) }
+	put(uint64(op.Doc))
+	str(op.URL)
+	str(op.Text)
+	sum := sha256.Sum256(payload.Bytes())
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(payload.Len()))])
+	buf.Write(sum[:])
+	buf.Write(payload.Bytes())
+}
+
+// recordSize returns the framed size of one op — how many log bytes a
+// delta of these ops ships.
+func recordSize(op *Op) int64 {
+	payload := binary.PutUvarint(make([]byte, binary.MaxVarintLen64), uint64(op.Doc)) +
+		uvarintLen(uint64(len(op.URL))) + len(op.URL) +
+		uvarintLen(uint64(len(op.Text))) + len(op.Text)
+	return int64(uvarintLen(uint64(payload)) + sha256.Size + payload)
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// OpsSize returns the framed size of a delta in bytes — the transfer
+// cost a delta resync reports against a full snapshot's size.
+func OpsSize(ops []Op) int64 {
+	var n int64
+	for i := range ops {
+		n += recordSize(&ops[i])
+	}
+	return n
+}
+
+// readRecord decodes one framed record from r, returning the op and
+// how many bytes the record occupied. io.EOF with n == 0 is a clean
+// end; io.EOF / io.ErrUnexpectedEOF with n > 0 marks a torn record
+// (callers decide whether to truncate); any other error wraps
+// ErrCorrupt.
+func readRecord(r *bufio.Reader) (Op, int64, error) {
+	length, err := binary.ReadUvarint(r)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			// A partially written varint surfaces as EOF after >0 bytes,
+			// which ReadUvarint reports as io.EOF too; distinguishing is
+			// unnecessary — either way the tail is torn or clean-ended,
+			// and n>0 only matters once the length framed real bytes.
+			return Op{}, 0, io.EOF
+		}
+		return Op{}, 0, fmt.Errorf("%w: oplog record length: %v", ErrCorrupt, err)
+	}
+	if length > MaxOpBytes {
+		return Op{}, 1, fmt.Errorf("%w: oplog record length %d exceeds limit", ErrCorrupt, length)
+	}
+	var sum [sha256.Size]byte
+	if _, err := io.ReadFull(r, sum[:]); err != nil {
+		return Op{}, 1, fmt.Errorf("torn oplog checksum: %w", io.ErrUnexpectedEOF)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Op{}, 1, fmt.Errorf("torn oplog payload: %w", io.ErrUnexpectedEOF)
+	}
+	if got := sha256.Sum256(payload); !bytes.Equal(got[:], sum[:]) {
+		return Op{}, 1, fmt.Errorf("%w: oplog record checksum mismatch", ErrCorrupt)
+	}
+	op, err := decodeOpPayload(payload)
+	if err != nil {
+		return Op{}, 1, err
+	}
+	n := int64(uvarintLen(length)) + sha256.Size + int64(length)
+	return op, n, nil
+}
+
+// decodeOpPayload decodes one op payload (checksum already verified).
+func decodeOpPayload(payload []byte) (Op, error) {
+	d := &decoder{buf: payload}
+	op := Op{Doc: bat.OID(d.uvarint()), URL: d.str(), Text: d.str()}
+	if d.err != nil {
+		return Op{}, fmt.Errorf("%w: oplog op decode: %v", ErrCorrupt, d.err)
+	}
+	if len(d.buf) != 0 {
+		return Op{}, fmt.Errorf("%w: oplog op: %d trailing bytes", ErrCorrupt, len(d.buf))
+	}
+	return op, nil
+}
+
+// The delta wire format ships a log suffix between nodes
+// (GET/POST /node/oplog): a header naming the starting position and
+// record count, then the records in the log's own framing — the
+// per-record checksums travel with the data, so a corrupted transfer
+// fails closed on the receiving side.
+//
+//	magic    [8]byte  "DLOPLG\x00\x01"
+//	version  uint32
+//	from     uint64   position of the first shipped record
+//	count    uint64   records that follow
+//	record*  (log record framing)
+
+// EncodeOps writes a delta stream to w.
+func EncodeOps(w io.Writer, from uint64, ops []Op) error {
+	var hdr [8 + 4 + 8 + 8]byte
+	copy(hdr[:8], oplogMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:12], OpLogVersion)
+	binary.LittleEndian.PutUint64(hdr[12:20], from)
+	binary.LittleEndian.PutUint64(hdr[20:28], uint64(len(ops)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("persist: delta header: %w", err)
+	}
+	var buf bytes.Buffer
+	for i := range ops {
+		buf.Reset()
+		appendRecord(&buf, &ops[i])
+		if _, err := w.Write(buf.Bytes()); err != nil {
+			return fmt.Errorf("persist: delta record: %w", err)
+		}
+	}
+	return nil
+}
+
+// DecodeOps reads a delta stream from r, failing closed on any
+// truncation or corruption — a delta is a transfer, not a local log,
+// so a torn tail here means the transfer broke and nothing of it is
+// trustworthy as "applied".
+func DecodeOps(r io.Reader) (from uint64, ops []Op, err error) {
+	br := bufio.NewReader(r)
+	var hdr [8 + 4 + 8 + 8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("%w: delta header: %v", ErrCorrupt, err)
+	}
+	if !bytes.Equal(hdr[:8], oplogMagic[:]) {
+		return 0, nil, fmt.Errorf("%w: bad delta magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != OpLogVersion {
+		return 0, nil, fmt.Errorf("persist: unsupported delta version %d (this build reads %d)", v, OpLogVersion)
+	}
+	from = binary.LittleEndian.Uint64(hdr[12:20])
+	count := binary.LittleEndian.Uint64(hdr[20:28])
+	if count > 1<<32 {
+		return 0, nil, fmt.Errorf("%w: absurd delta record count %d", ErrCorrupt, count)
+	}
+	ops = make([]Op, 0, min(count, 1<<16))
+	for i := uint64(0); i < count; i++ {
+		op, _, err := readRecord(br)
+		if err != nil {
+			return 0, nil, fmt.Errorf("%w: delta record %d: %v", ErrCorrupt, i, err)
+		}
+		ops = append(ops, op)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return 0, nil, fmt.Errorf("%w: trailing bytes after delta", ErrCorrupt)
+	}
+	return from, ops, nil
+}

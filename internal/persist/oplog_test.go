@@ -1,0 +1,344 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+
+	"dlsearch/internal/bat"
+)
+
+func logOps(n int) []Op {
+	ops := make([]Op, n)
+	for i := range ops {
+		ops[i] = Op{
+			Doc:  bat.OID(i + 1),
+			URL:  fmt.Sprintf("d%d", i+1),
+			Text: fmt.Sprintf("champion trophy melbourne doc %d", i+1),
+		}
+	}
+	return ops
+}
+
+func sameOps(t *testing.T, ctx string, got, want []Op) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d ops, want %d", ctx, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: op %d = %+v, want %+v", ctx, i, got[i], want[i])
+		}
+	}
+}
+
+// TestOpLogRoundTrip: append across two handles, read back every
+// suffix; position and base survive reopen.
+func TestOpLogRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ops := logOps(20)
+	l, err := OpenOpLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(ops[:12]...); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l, err = OpenOpLog(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l.Close()
+	if l.Pos() != 12 || l.Base() != 0 {
+		t.Fatalf("reopen: pos=%d base=%d, want 12/0", l.Pos(), l.Base())
+	}
+	if err := l.Append(ops[12:]...); err != nil {
+		t.Fatal(err)
+	}
+	for _, from := range []uint64{0, 7, 19, 20} {
+		got, err := l.OpsSince(from)
+		if err != nil {
+			t.Fatalf("OpsSince(%d): %v", from, err)
+		}
+		sameOps(t, fmt.Sprintf("OpsSince(%d)", from), got, ops[from:])
+	}
+	if _, err := l.OpsSince(21); err != nil {
+		t.Fatalf("OpsSince past end: %v", err)
+	}
+	var replayed []Op
+	if err := l.Replay(5, func(op Op) error {
+		replayed = append(replayed, op)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sameOps(t, "Replay(5)", replayed, ops[5:])
+}
+
+// TestOpLogTornTailTruncated: a crash mid-append leaves a partial
+// record at the tail. Reopen at EVERY possible truncation point must
+// succeed, recover exactly the fully-written prefix, and stay
+// appendable — a torn write was never acknowledged, so dropping it is
+// the fail-safe direction.
+func TestOpLogTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	ops := logOps(6)
+	l, err := OpenOpLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(ops...); err != nil {
+		t.Fatal(err)
+	}
+	path := l.Path()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr := int64(20) // magic + version + base
+	// Record byte offsets: replaying prefix lengths tells us how many
+	// whole records each truncation point preserves.
+	var bounds []int64
+	off := hdr
+	for i := range ops {
+		off += recordSize(&ops[i])
+		bounds = append(bounds, off)
+	}
+	if bounds[len(bounds)-1] != int64(len(whole)) {
+		t.Fatalf("size accounting: records end at %d, file is %d", bounds[len(bounds)-1], len(whole))
+	}
+	for cut := hdr + 1; cut < int64(len(whole)); cut++ {
+		if err := os.WriteFile(path, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, err := OpenOpLog(dir)
+		if err != nil {
+			t.Fatalf("cut=%d: open: %v", cut, err)
+		}
+		want := 0
+		for _, b := range bounds {
+			if b <= cut {
+				want++
+			}
+		}
+		if int(l.Pos()) != want {
+			t.Fatalf("cut=%d: pos=%d, want %d whole records", cut, l.Pos(), want)
+		}
+		torn := cut - (hdr + OpsSize(ops[:want]))
+		if l.TruncatedBytes() != torn {
+			t.Fatalf("cut=%d: truncated %d bytes, want %d", cut, l.TruncatedBytes(), torn)
+		}
+		// The log must stay appendable after recovery.
+		if err := l.Append(Op{Doc: 99, URL: "x", Text: "after crash"}); err != nil {
+			t.Fatalf("cut=%d: append after recovery: %v", cut, err)
+		}
+		got, err := l.OpsSince(0)
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		sameOps(t, fmt.Sprintf("cut=%d", cut), got, append(append([]Op{}, ops[:want]...), Op{Doc: 99, URL: "x", Text: "after crash"}))
+		l.Close()
+	}
+}
+
+// TestOpLogInteriorCorruptionFailsClosed: a bit flip in a fully
+// present record is not a torn tail — it means acknowledged history
+// is damaged, and the log must refuse to open rather than silently
+// replay wrong state.
+func TestOpLogInteriorCorruptionFailsClosed(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenOpLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(logOps(8)...); err != nil {
+		t.Fatal(err)
+	}
+	path := l.Path()
+	l.Close()
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte in the middle of the file (inside record data,
+	// well before the tail).
+	mid := len(whole) / 2
+	corrupt := append([]byte{}, whole...)
+	corrupt[mid] ^= 0x40
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenOpLog(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open with interior bit flip: %v, want ErrCorrupt", err)
+	}
+	// Bad magic fails closed too.
+	corrupt = append([]byte{}, whole...)
+	corrupt[0] = 'X'
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenOpLog(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open with bad magic: %v, want ErrCorrupt", err)
+	}
+}
+
+// TestOpLogCompact: compaction drops the prefix, keeps the suffix,
+// and survives reopen; reads below the new base report ErrLogGap so
+// callers fall back to a full snapshot instead of assuming an empty
+// delta.
+func TestOpLogCompact(t *testing.T) {
+	dir := t.TempDir()
+	ops := logOps(30)
+	l, err := OpenOpLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(ops...); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Compact(20); err != nil {
+		t.Fatal(err)
+	}
+	if l.Base() != 20 || l.Pos() != 30 {
+		t.Fatalf("after compact: base=%d pos=%d, want 20/30", l.Base(), l.Pos())
+	}
+	if _, err := l.OpsSince(19); !errors.Is(err, ErrLogGap) {
+		t.Fatalf("OpsSince below base: %v, want ErrLogGap", err)
+	}
+	got, err := l.OpsSince(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameOps(t, "post-compact suffix", got, ops[20:])
+	// The log stays appendable and the compaction survives reopen.
+	if err := l.Append(Op{Doc: 31, URL: "d31", Text: "late"}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l2, err := OpenOpLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Base() != 20 || l2.Pos() != 31 {
+		t.Fatalf("reopen after compact: base=%d pos=%d, want 20/31", l2.Base(), l2.Pos())
+	}
+	// Compacting everything empties the log at the current position.
+	if err := l2.Compact(31); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := l2.OpsSince(31); err != nil || len(got) != 0 {
+		t.Fatalf("empty suffix: %v ops, err %v", got, err)
+	}
+	// Compact beyond pos clamps rather than inventing history.
+	if err := l2.Compact(99); err != nil {
+		t.Fatal(err)
+	}
+	if l2.Base() != 31 || l2.Pos() != 31 {
+		t.Fatalf("over-compact: base=%d pos=%d, want 31/31", l2.Base(), l2.Pos())
+	}
+}
+
+// TestOpLogReset: Reset discards all records and rebases — the
+// snapshot-restore path where the pulled state subsumes the log.
+func TestOpLogReset(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenOpLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(logOps(5)...); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Reset(42); err != nil {
+		t.Fatal(err)
+	}
+	if l.Base() != 42 || l.Pos() != 42 {
+		t.Fatalf("after reset: base=%d pos=%d, want 42/42", l.Base(), l.Pos())
+	}
+	if _, err := l.OpsSince(0); !errors.Is(err, ErrLogGap) {
+		t.Fatalf("OpsSince(0) after reset: %v, want ErrLogGap", err)
+	}
+	if err := l.Append(Op{Doc: 43, URL: "d43", Text: "post reset"}); err != nil {
+		t.Fatal(err)
+	}
+	if l.Pos() != 43 {
+		t.Fatalf("pos after post-reset append: %d, want 43", l.Pos())
+	}
+}
+
+// TestOpsWireRoundTrip: the /node/oplog delta framing round-trips and
+// fails closed on every truncation — a cut transfer must never apply
+// a partial delta.
+func TestOpsWireRoundTrip(t *testing.T) {
+	ops := logOps(9)
+	var buf bytes.Buffer
+	if err := EncodeOps(&buf, 17, ops); err != nil {
+		t.Fatal(err)
+	}
+	from, got, err := DecodeOps(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != 17 {
+		t.Fatalf("from=%d, want 17", from)
+	}
+	sameOps(t, "wire", got, ops)
+	// Empty delta is legal (replica already caught up).
+	var empty bytes.Buffer
+	if err := EncodeOps(&empty, 5, nil); err != nil {
+		t.Fatal(err)
+	}
+	if from, got, err := DecodeOps(bytes.NewReader(empty.Bytes())); err != nil || from != 5 || len(got) != 0 {
+		t.Fatalf("empty delta: from=%d ops=%d err=%v", from, len(got), err)
+	}
+	// Any truncation fails closed.
+	wire := buf.Bytes()
+	for cut := 0; cut < len(wire); cut++ {
+		if _, _, err := DecodeOps(bytes.NewReader(wire[:cut])); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("cut=%d: %v, want ErrCorrupt", cut, err)
+		}
+	}
+	// Trailing garbage fails closed too.
+	if _, _, err := DecodeOps(bytes.NewReader(append(append([]byte{}, wire...), 0xee))); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing byte: %v, want ErrCorrupt", err)
+	}
+	// A flipped bit inside a record fails the checksum.
+	flip := append([]byte{}, wire...)
+	flip[len(flip)/2] ^= 0x01
+	if _, _, err := DecodeOps(bytes.NewReader(flip)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bit flip: %v, want ErrCorrupt", err)
+	}
+}
+
+// TestSnapshotCarriesLogPos: the v2 snapshot format persists the
+// op-log position so boot knows where replay starts.
+func TestSnapshotCarriesLogPos(t *testing.T) {
+	ix := snapCorpus(50, 7)
+	st := ix.ExportState()
+	st.LogPos = 1234
+	var buf bytes.Buffer
+	if err := Save(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LogPos != 1234 {
+		t.Fatalf("LogPos=%d, want 1234", got.LogPos)
+	}
+	if n, err := SizeOf(st); err != nil || n != int64(buf.Len()) {
+		t.Fatalf("SizeOf=%d err=%v, want %d", n, err, buf.Len())
+	}
+}

@@ -42,8 +42,10 @@ import (
 	"dlsearch/internal/ir"
 )
 
-// Version is the current snapshot format version.
-const Version = 1
+// Version is the current snapshot format version. Version 2 added the
+// op-log position (IndexState.LogPos) so a snapshot records exactly
+// which log prefix it compacts.
+const Version = 2
 
 // magic identifies a dlsearch snapshot file. The trailing bytes leave
 // room for a major-format bump that even pre-versioning readers reject.
@@ -162,6 +164,24 @@ func SaveFile(path string, st *ir.IndexState) error {
 	return nil
 }
 
+// SizeOf returns the encoded size of a full snapshot of st in bytes —
+// the transfer cost of a full-snapshot resync, which delta resyncs
+// report their shipped bytes against.
+func SizeOf(st *ir.IndexState) (int64, error) {
+	var n countingWriter
+	if err := Save(&n, st); err != nil {
+		return 0, err
+	}
+	return int64(n), nil
+}
+
+type countingWriter int64
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	*c += countingWriter(len(p))
+	return len(p), nil
+}
+
 // LoadFile reads the snapshot at path. A missing file reports
 // fs.ErrNotExist (first boot — distinguishable from corruption).
 func LoadFile(path string) (*ir.IndexState, error) {
@@ -240,6 +260,7 @@ func (e *encoder) state(st *ir.IndexState) {
 	}
 	e.uvarint(uint64(mb))
 	e.uvarint(uint64(st.FragK))
+	e.uvarint(st.LogPos)
 	e.uvarint(uint64(len(st.Docs)))
 	for _, d := range st.Docs {
 		e.uvarint(uint64(d.OID))
@@ -354,6 +375,7 @@ func (d *decoder) state() *ir.IndexState {
 		NextOID:   bat.OID(d.uvarint()),
 		MemBudget: int(d.uvarint()),
 		FragK:     int(d.uvarint()),
+		LogPos:    d.uvarint(),
 	}
 	st.Docs = make([]ir.DocState, d.count(3))
 	for i := range st.Docs {

@@ -592,7 +592,14 @@ type IndexStats struct {
 	// many divergences anti-entropy checksum comparison caught.
 	Resyncs            uint64 `json:"resyncs"`
 	DivergenceDetected uint64 `json:"divergence_detected"`
-	Error              string `json:"error,omitempty"`
+	// ResyncsDelta/ResyncsFull split Resyncs by transfer strategy
+	// (op-log suffix vs whole snapshot); ResyncBytes totals the bytes
+	// resyncs shipped either way — the number the op log is meant to
+	// keep far below fragments × snapshot size.
+	ResyncsDelta uint64 `json:"resyncs_delta"`
+	ResyncsFull  uint64 `json:"resyncs_full"`
+	ResyncBytes  uint64 `json:"resync_bytes"`
+	Error        string `json:"error,omitempty"`
 }
 
 // GroupStats is one partition's replica set.
@@ -626,6 +633,12 @@ type ReplicaStats struct {
 	// from a group member (absent = never).
 	ResyncUnix       int64   `json:"resync_unix,omitempty"`
 	ResyncAgeSeconds float64 `json:"resync_age_seconds,omitempty"`
+	// LogPos is the replica's op-log position (operations in its
+	// history); LogLag is how many operations it trails the most
+	// advanced reachable member of its group — 0 for a replica in
+	// step, and the size of the delta a resync would ship otherwise.
+	LogPos uint64 `json:"log_pos,omitempty"`
+	LogLag uint64 `json:"log_lag,omitempty"`
 }
 
 // QueryCacheStats are the engine's query-side cache counters: term
@@ -669,6 +682,9 @@ func (co *Coordinator) statsHandler(w http.ResponseWriter, r *http.Request) {
 			DroppedNodes:       tel.Dropped,
 			Resyncs:            tel.Resyncs,
 			DivergenceDetected: tel.DivergenceDetected,
+			ResyncsDelta:       tel.ResyncsDelta,
+			ResyncsFull:        tel.ResyncsFull,
+			ResyncBytes:        tel.ResyncBytes,
 		}
 		// One probe of every replica serves both views: the per-replica
 		// report AND the per-partition loads (replicas counted once) —
@@ -694,6 +710,14 @@ func (co *Coordinator) statsHandler(w http.ResponseWriter, r *http.Request) {
 					countFrom = ri
 				}
 			}
+			// The group's most advanced reachable position defines each
+			// member's replication lag.
+			var maxPos uint64
+			for _, info := range reps {
+				if info.Err == nil && info.Load.LogPos > maxPos {
+					maxPos = info.Load.LogPos
+				}
+			}
 			counted := false
 			for ri, info := range reps {
 				rs := ReplicaStats{
@@ -711,6 +735,8 @@ func (co *Coordinator) statsHandler(w http.ResponseWriter, r *http.Request) {
 					rs.Docs = info.Load.Docs
 					rs.MaxDoc = uint64(info.Load.MaxDoc)
 					rs.Checksum = info.Load.Checksum
+					rs.LogPos = info.Load.LogPos
+					rs.LogLag = maxPos - info.Load.LogPos
 					if info.Load.SnapshotUnix > 0 {
 						rs.SnapshotUnix = info.Load.SnapshotUnix
 						rs.SnapshotAgeSeconds = now.Sub(time.Unix(info.Load.SnapshotUnix, 0)).Seconds()

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"net/http"
 	"os"
+	"strconv"
 	"sync"
 	"time"
 
@@ -37,6 +38,14 @@ type NodeConfig struct {
 	// DefaultMaxRestoreBody). Restores ship whole fragment snapshots,
 	// so they are capped independently of MaxBody.
 	MaxRestoreBody int64
+	// OpLog, when set, attaches a write-ahead op log: ingest appends
+	// durably before applying, GET/POST /node/oplog serve the delta
+	// resync protocol, and a successful snapshot compacts the log up
+	// to the snapshot's recorded position. The caller opens (and
+	// replays) the log BEFORE constructing the server — boot recovery
+	// is snapshot + replay, and the handler must never serve a
+	// half-replayed index.
+	OpLog *persist.OpLog
 }
 
 // NodeServer serves one shared-nothing index fragment over the node
@@ -51,6 +60,7 @@ type NodeServer struct {
 	maxRestore int64
 	maxConc    int
 	dataDir    string
+	oplog      *persist.OpLog
 	snapMu     sync.Mutex // serialises snapshot writes
 }
 
@@ -83,6 +93,10 @@ func NewNodeServer(ix *ir.Index, cfg *NodeConfig) *NodeServer {
 			ix.SetMemoryBudget(cfg.MemoryBudget)
 		}
 		s.dataDir = cfg.DataDir
+		if cfg.OpLog != nil {
+			s.oplog = cfg.OpLog
+			s.node.SetOpLog(cfg.OpLog)
+		}
 	}
 	return s
 }
@@ -102,6 +116,7 @@ func (s *NodeServer) Handler() http.Handler {
 	mux.HandleFunc(dist.PathNodeLoad, s.load)
 	mux.HandleFunc(dist.PathNodeSnapshot, s.snapshot)
 	mux.HandleFunc(dist.PathNodeRestore, s.restore)
+	mux.HandleFunc(dist.PathNodeOpLog, s.oplogHandler)
 	// The health probe bypasses the semaphore: a saturated node is
 	// busy, not dead, and must not be ejected by its load balancer.
 	outer := http.NewServeMux()
@@ -141,6 +156,15 @@ func (s *NodeServer) Snapshot() (dist.SnapshotResponse, error) {
 	}
 	now := time.Now()
 	s.node.MarkSnapshot(now.Unix())
+	if s.oplog != nil {
+		// The snapshot covers every operation up to its recorded
+		// position — the log prefix below it is now redundant and
+		// compacts away, which is what keeps the log (and boot-time
+		// replay) bounded by the snapshot INTERVAL instead of the
+		// node's whole history. A failed compaction costs only disk
+		// and replay time, never correctness: replay is idempotent.
+		_ = s.oplog.Compact(st.LogPos)
+	}
 	resp := dist.SnapshotResponse{
 		Path:     path,
 		Docs:     len(st.Docs),
@@ -262,7 +286,59 @@ func (s *NodeServer) load(w http.ResponseWriter, r *http.Request) {
 		MaxDoc:       uint64(l.MaxDoc),
 		SnapshotUnix: l.SnapshotUnix,
 		Checksum:     l.Checksum,
+		LogPos:       l.LogPos,
 	})
+}
+
+// oplogHandler serves the delta-resync protocol. GET ?from=P streams
+// the node's op-log suffix from position P in the persist delta wire
+// format; a position the log no longer covers (compacted, or no log)
+// answers 416 so the caller falls back to a full snapshot. POST
+// appends-and-applies a delta at exactly the node's position; a
+// mismatched position answers 409 — the histories cannot be aligned
+// by this delta.
+func (s *NodeServer) oplogHandler(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
+		if err != nil {
+			fail(w, http.StatusBadRequest, "missing or malformed from position")
+			return
+		}
+		ops, err := s.node.OpsSince(r.Context(), from)
+		if err != nil {
+			if errors.Is(err, dist.ErrDeltaUnavailable) {
+				fail(w, http.StatusRequestedRangeNotSatisfiable, err.Error())
+				return
+			}
+			fail(w, http.StatusInternalServerError, "oplog read failed: "+err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if err := persist.EncodeOps(w, from, ops); err != nil {
+			// Headers are gone; aborting mid-body is the only honest
+			// signal left (see the snapshot GET handler).
+			panic(http.ErrAbortHandler)
+		}
+	case http.MethodPost:
+		from, ops, err := persist.DecodeOps(http.MaxBytesReader(w, r.Body, s.maxRestore))
+		if err != nil {
+			fail(w, http.StatusBadRequest, "unusable delta body: "+err.Error())
+			return
+		}
+		if err := s.node.ApplyOps(r.Context(), from, ops); err != nil {
+			if errors.Is(err, dist.ErrPosMismatch) {
+				fail(w, http.StatusConflict, err.Error())
+				return
+			}
+			fail(w, http.StatusInternalServerError, "delta apply failed: "+err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, struct{}{})
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		fail(w, http.StatusMethodNotAllowed, "method not allowed")
+	}
 }
 
 func (s *NodeServer) snapshot(w http.ResponseWriter, r *http.Request) {
