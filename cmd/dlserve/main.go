@@ -258,14 +258,19 @@ func runNode(ctx context.Context, addr string, lambda float64, cacheCap, maxConc
 		ns.MarkRestored(restoredUnix)
 	}
 	if resynced && dataDir != "" {
-		// Persist the pulled fragment before serving: a crash between
-		// boot and the first snapshot must not resurrect the state the
-		// resync replaced.
-		if snap, err := ns.Snapshot(); err != nil {
-			fmt.Fprintln(os.Stderr, "dlserve: post-resync snapshot failed:", err)
-		} else {
-			fmt.Fprintf(os.Stderr, "dlserve: snapshot %s (%d docs)\n", snap.Path, snap.Docs)
+		// Persist the pulled fragment before serving. The op log was
+		// just reset to base = the pulled position, so until a snapshot
+		// recording that position is on disk, a crash leaves the next
+		// boot with no snapshot and a log starting past 0 — it would
+		// refuse to serve and need another manual -resync. Failing to
+		// write that snapshot is therefore fatal, not a warning: the
+		// resynced state and the reset log base must agree on disk
+		// before the node serves.
+		snap, err := ns.Snapshot()
+		if err != nil {
+			fatal(fmt.Errorf("refusing to serve: post-resync snapshot: %w", err))
 		}
+		fmt.Fprintf(os.Stderr, "dlserve: snapshot %s (%d docs)\n", snap.Path, snap.Docs)
 	}
 	if compactInterval > 0 {
 		// Periodic snapshot + log compaction: bound boot-time replay by

@@ -292,10 +292,6 @@ func (c *Cluster) resyncLocked(ctx context.Context, g, r, src int) error {
 	}); err != nil {
 		return fmt.Errorf("dist: resync %d/%d: import: %w", g, r, err)
 	}
-	if bytes, err := persist.SizeOf(st); err == nil {
-		c.resyncBytes.Add(uint64(bytes))
-	}
-	c.resyncFullCount.Add(1)
 	// Checksum-verified rejoin: before the replica re-enters routing,
 	// its content must provably equal what was shipped. A target that
 	// cannot report a fresh checksum (a third-party Node) keeps the
@@ -318,6 +314,14 @@ func (c *Cluster) resyncLocked(ctx context.Context, g, r, src int) error {
 			return fmt.Errorf("dist: resync %d/%d: post-restore checksum %s does not match shipped state %s — replica stays quarantined", g, r, got.Checksum, want)
 		}
 	}
+	// Count the full resync (and its shipped bytes) only now that it is
+	// verified: a rejoin that failed verification leaves the replica
+	// quarantined and must not be reported as a completed heal —
+	// otherwise ResyncsFull+ResyncsDelta could exceed Resyncs.
+	if bytes, err := persist.SizeOf(st); err == nil {
+		c.resyncBytes.Add(uint64(bytes))
+	}
+	c.resyncFullCount.Add(1)
 	c.finishResync(g, r)
 	return nil
 }

@@ -93,8 +93,13 @@ type OpLog struct {
 	path string
 	base uint64 // position of the file's first record
 	pos  uint64 // position after the last record (base + record count)
+	size int64  // byte offset just past the last acknowledged record
 	// truncated reports how many torn-tail bytes the last Open dropped.
 	truncated int64
+	// failed, once set, poisons the log: a failed append left bytes in
+	// the file that could not be truncated away, so further appends
+	// would land after garbage and turn it into interior corruption.
+	failed error
 }
 
 // OpenOpLog opens (or creates) the op log in dir, verifying every
@@ -168,6 +173,7 @@ func (l *OpLog) recover() error {
 		}
 		return err // interior corruption: fail closed
 	}
+	l.size = good
 	if _, err := l.f.Seek(0, io.SeekEnd); err != nil {
 		return fmt.Errorf("persist: oplog seek: %w", err)
 	}
@@ -194,6 +200,7 @@ func (l *OpLog) writeHeader(base uint64) error {
 	}
 	l.base = base
 	l.pos = base
+	l.size = int64(len(hdr))
 	return nil
 }
 
@@ -230,8 +237,12 @@ func (l *OpLog) Path() string { return l.path }
 // advances the position by len(ops). It returns only after the
 // records are on stable storage — the write-ahead contract: callers
 // apply to the in-memory index strictly after Append returns nil. On
-// error nothing is acknowledged; a torn tail the failed write may
-// have left behind is truncated by the next Open.
+// error nothing is acknowledged, and any bytes the failed write left
+// behind are truncated away immediately: the process keeps running, so
+// leaving them for the next Open's torn-tail recovery would let the
+// NEXT successful append land after the garbage and turn it into
+// interior corruption. If that truncation itself fails the log is
+// poisoned — every later Append refuses rather than gamble.
 func (l *OpLog) Append(ops ...Op) error {
 	if len(ops) == 0 {
 		return nil
@@ -242,14 +253,43 @@ func (l *OpLog) Append(ops ...Op) error {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.failed != nil {
+		return fmt.Errorf("persist: oplog failed, refusing append: %w", l.failed)
+	}
 	if _, err := l.f.Write(buf.Bytes()); err != nil {
+		l.rollback(err)
 		return fmt.Errorf("persist: oplog append: %w", err)
 	}
 	if err := l.f.Sync(); err != nil {
+		// After a failed fsync the kernel may have dropped the dirty
+		// pages: what is on disk past the last acknowledged record is
+		// unknowable, so those bytes are unacknowledged garbage either
+		// way — truncate them like a failed write.
+		l.rollback(err)
 		return fmt.Errorf("persist: oplog sync: %w", err)
 	}
 	l.pos += uint64(len(ops))
+	l.size += int64(buf.Len())
 	return nil
+}
+
+// rollback restores the file to end exactly at the last acknowledged
+// record after a failed append (caller holds l.mu). A rollback that
+// cannot complete poisons the log instead of leaving interior garbage
+// for future appends to bury.
+func (l *OpLog) rollback(cause error) {
+	if err := l.f.Truncate(l.size); err != nil {
+		l.failed = fmt.Errorf("append failed (%v), truncate to last good offset %d also failed: %w", cause, l.size, err)
+		return
+	}
+	if _, err := l.f.Seek(l.size, io.SeekStart); err != nil {
+		l.failed = fmt.Errorf("append failed (%v), seek to last good offset %d also failed: %w", cause, l.size, err)
+		return
+	}
+	// Best-effort: persist the truncation. If this sync fails the torn
+	// bytes are gone from the file's logical size anyway, which is what
+	// protects later appends.
+	l.f.Sync()
 }
 
 // OpsSince returns every op from position from (inclusive) to the
@@ -388,6 +428,7 @@ func (l *OpLog) Compact(keepFrom uint64) error {
 	l.f.Close()
 	l.f = f
 	l.base = keepFrom
+	l.size = int64(buf.Len())
 	return nil
 }
 
@@ -459,11 +500,16 @@ func readRecord(r *bufio.Reader) (Op, int64, error) {
 	length, err := binary.ReadUvarint(r)
 	if err != nil {
 		if errors.Is(err, io.EOF) {
-			// A partially written varint surfaces as EOF after >0 bytes,
-			// which ReadUvarint reports as io.EOF too; distinguishing is
-			// unnecessary — either way the tail is torn or clean-ended,
-			// and n>0 only matters once the length framed real bytes.
+			// Not a single byte of this record exists: clean end of log.
 			return Op{}, 0, io.EOF
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			// ReadUvarint reports io.ErrUnexpectedEOF once the file ends
+			// after ≥1 byte of the varint — a write torn mid-length (any
+			// payload ≥128 bytes has a multi-byte length varint). That is
+			// a torn tail, not corruption: the record was never
+			// acknowledged.
+			return Op{}, 1, io.ErrUnexpectedEOF
 		}
 		return Op{}, 0, fmt.Errorf("%w: oplog record length: %v", ErrCorrupt, err)
 	}

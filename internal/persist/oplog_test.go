@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"strings"
 	"testing"
 
 	"dlsearch/internal/bat"
@@ -146,6 +147,135 @@ func TestOpLogTornTailTruncated(t *testing.T) {
 		}
 		sameOps(t, fmt.Sprintf("cut=%d", cut), got, append(append([]Op{}, ops[:want]...), Op{Doc: 99, URL: "x", Text: "after crash"}))
 		l.Close()
+	}
+}
+
+// TestOpLogTornLengthVarint: a payload of 128 bytes or more has a
+// multi-byte length varint, and a kill -9 can tear the write INSIDE
+// that varint (binary.ReadUvarint then reports io.ErrUnexpectedEOF,
+// not io.EOF). Every cut point — including mid-varint — must recover
+// as a truncated torn tail, never fail closed: the record was not
+// acknowledged, and refusing to boot over it would be exactly the
+// crash the log exists to survive.
+func TestOpLogTornLengthVarint(t *testing.T) {
+	dir := t.TempDir()
+	big := Op{Doc: 1, URL: "big", Text: strings.Repeat("melbourne champion trophy ", 10)}
+	if len(big.Text) < 128 {
+		t.Fatalf("test payload must force a multi-byte length varint, got %d bytes", len(big.Text))
+	}
+	small := Op{Doc: 2, URL: "d2", Text: "tail"}
+	l, err := OpenOpLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(big, small); err != nil {
+		t.Fatal(err)
+	}
+	path := l.Path()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr := int64(20) // magic + version + base
+	bounds := []int64{hdr + recordSize(&big), hdr + recordSize(&big) + recordSize(&small)}
+	for cut := hdr; cut < int64(len(whole)); cut++ {
+		if err := os.WriteFile(path, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, err := OpenOpLog(dir)
+		if err != nil {
+			t.Fatalf("cut=%d: open: %v", cut, err)
+		}
+		want := 0
+		for _, b := range bounds {
+			if b <= cut {
+				want++
+			}
+		}
+		if int(l.Pos()) != want {
+			t.Fatalf("cut=%d: pos=%d, want %d whole records", cut, l.Pos(), want)
+		}
+		if err := l.Append(Op{Doc: 9, URL: "x", Text: "post crash"}); err != nil {
+			t.Fatalf("cut=%d: append after recovery: %v", cut, err)
+		}
+		l.Close()
+	}
+}
+
+// TestOpLogAppendRollback: a failed append (transient ENOSPC, say) may
+// leave partial bytes in the file while the process keeps running. They
+// must be truncated away immediately — otherwise the next successful
+// append lands after them and the torn record becomes interior
+// corruption that fails the next boot closed, taking acknowledged
+// writes with it.
+func TestOpLogAppendRollback(t *testing.T) {
+	dir := t.TempDir()
+	ops := logOps(4)
+	l, err := OpenOpLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(ops[:2]...); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the torn write Append's error path sees: partial garbage
+	// reached the file, then the write errored before acknowledging.
+	l.mu.Lock()
+	if _, err := l.f.Write([]byte{0x85, 0xee, 0x07}); err != nil {
+		l.mu.Unlock()
+		t.Fatal(err)
+	}
+	l.rollback(errors.New("injected write failure"))
+	l.mu.Unlock()
+	// The log stays usable and the next append lands cleanly after the
+	// last acknowledged record.
+	if err := l.Append(ops[2:]...); err != nil {
+		t.Fatalf("append after rollback: %v", err)
+	}
+	got, err := l.OpsSince(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameOps(t, "after rollback", got, ops)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The file on disk is fully intact: reopen finds every record and
+	// nothing to truncate.
+	l2, err := OpenOpLog(dir)
+	if err != nil {
+		t.Fatalf("reopen after rollback: %v", err)
+	}
+	defer l2.Close()
+	if l2.Pos() != 4 || l2.TruncatedBytes() != 0 {
+		t.Fatalf("reopen: pos=%d truncated=%d, want 4/0", l2.Pos(), l2.TruncatedBytes())
+	}
+}
+
+// TestOpLogAppendPoisonedAfterFailedRollback: when the rollback itself
+// fails, torn bytes may still sit in the file — further appends must
+// refuse rather than bury them under acknowledged records.
+func TestOpLogAppendPoisonedAfterFailedRollback(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenOpLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(logOps(2)...); err != nil {
+		t.Fatal(err)
+	}
+	// Closing the handle makes the write AND the rollback's truncate
+	// fail, which must poison the log.
+	l.f.Close()
+	if err := l.Append(Op{Doc: 9, URL: "x", Text: "y"}); err == nil {
+		t.Fatal("append on closed file: want error")
+	}
+	err = l.Append(Op{Doc: 10, URL: "x", Text: "y"})
+	if err == nil || !strings.Contains(err.Error(), "refusing append") {
+		t.Fatalf("append on poisoned log = %v, want refusal", err)
 	}
 }
 

@@ -6,7 +6,7 @@
 // Format (all integers little-endian / unsigned varint):
 //
 //	magic    [8]byte  "DLSNAP\x00\x01"
-//	version  uint32   format version (currently 1)
+//	version  uint32   format version (currently 2; readers accept 1)
 //	length   uint64   payload length in bytes
 //	checksum [32]byte SHA-256 of the payload
 //	payload  [length]byte
@@ -96,8 +96,9 @@ func Load(r io.Reader) (*ir.IndexState, error) {
 	if !bytes.Equal(hdr[:8], magic[:]) {
 		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
-	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != Version {
-		return nil, fmt.Errorf("persist: unsupported snapshot version %d (this build reads %d)", v, Version)
+	v := binary.LittleEndian.Uint32(hdr[8:12])
+	if v == 0 || v > Version {
+		return nil, fmt.Errorf("persist: unsupported snapshot version %d (this build reads 1..%d)", v, Version)
 	}
 	plen := binary.LittleEndian.Uint64(hdr[12:20])
 	// Read through a limit reader and compare lengths instead of
@@ -113,7 +114,7 @@ func Load(r io.Reader) (*ir.IndexState, error) {
 	if sum := sha256.Sum256(payload); !bytes.Equal(sum[:], hdr[20:]) {
 		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
 	}
-	dec := &decoder{buf: payload}
+	dec := &decoder{buf: payload, ver: v}
 	st := dec.state()
 	if dec.err != nil {
 		return nil, fmt.Errorf("%w: decode: %v", ErrCorrupt, dec.err)
@@ -305,6 +306,11 @@ func (e *encoder) state(st *ir.IndexState) {
 type decoder struct {
 	buf []byte
 	err error
+	// ver is the snapshot format version being decoded (fields added
+	// in later versions are absent below it). Zero means "current" —
+	// non-snapshot users of the decoder (op-log payloads) never
+	// versioned their framing.
+	ver uint32
 }
 
 func (d *decoder) fail(msg string) {
@@ -375,7 +381,12 @@ func (d *decoder) state() *ir.IndexState {
 		NextOID:   bat.OID(d.uvarint()),
 		MemBudget: int(d.uvarint()),
 		FragK:     int(d.uvarint()),
-		LogPos:    d.uvarint(),
+	}
+	if d.ver != 1 {
+		// Version 2 added the op-log position. A v1 snapshot predates
+		// the op log entirely, so "position 0 = no log prefix covered"
+		// is exactly its meaning — the next save writes version 2.
+		st.LogPos = d.uvarint()
 	}
 	st.Docs = make([]ir.DocState, d.count(3))
 	for i := range st.Docs {
