@@ -21,6 +21,7 @@ import (
 	"dlsearch/internal/dist"
 	"dlsearch/internal/ir"
 	"dlsearch/internal/monetxml"
+	"dlsearch/internal/obs"
 	"dlsearch/internal/server"
 	"dlsearch/internal/video"
 )
@@ -441,4 +442,42 @@ func BenchmarkE19CompressedScoring(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- E20: observability overhead ---
+
+// The instrumentation must be invisible on the hot path: with metrics
+// attached, LocalNode.TopNWithStats adds exactly one clock read and
+// one atomic histogram observation around the identical scoring code —
+// no locks, no allocations. The "bare" and "instrumented" sub-benches
+// run the same node-level top-N; the delta IS the cost of observation
+// and must stay within a few percent with 0 allocs/op difference.
+func BenchmarkE20ObservabilityOverhead(b *testing.B) {
+	docs := textCorpus(5000, 21)
+	ix := ir.NewIndex()
+	for i, d := range docs {
+		ix.Add(bat.OID(i+1), "u", d)
+	}
+	node := dist.NewLocalNode(ix)
+	global, err := node.Stats(context.Background())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const query = "seles champion volley match"
+	run := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := node.TopNWithStats(context.Background(), query, 10, global)
+			if err != nil || len(res) == 0 {
+				b.Fatalf("topn: %v (%d results)", err, len(res))
+			}
+		}
+	}
+	b.Run("bare", run)
+	reg := obs.NewRegistry()
+	node.SetMetrics(&dist.NodeMetrics{
+		Scoring:    reg.Histogram("dl_node_scoring_seconds", "scoring wall time", "", obs.LatencyBounds()),
+		IngestDocs: reg.Counter("dl_node_ingest_docs_total", "ingested docs", ""),
+	})
+	b.Run("instrumented", run)
 }

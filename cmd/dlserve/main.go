@@ -44,6 +44,8 @@ import (
 	"flag"
 	"fmt"
 	"io/fs"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux, served only on -pprof-addr
 	"os"
 	"os/signal"
 	"strings"
@@ -53,9 +55,14 @@ import (
 	"dlsearch/internal/core"
 	"dlsearch/internal/dist"
 	"dlsearch/internal/ir"
+	"dlsearch/internal/obs"
 	"dlsearch/internal/persist"
 	"dlsearch/internal/server"
 )
+
+// logger is the process's one leveled logger; -log-level adjusts it
+// before anything else runs.
+var logger = obs.NewLogger(os.Stderr, "dlserve", obs.LevelInfo)
 
 func main() {
 	if len(os.Args) < 2 {
@@ -84,8 +91,35 @@ func main() {
 	resyncFrom := fs.String("resync", "", "peer node base URL to pull the fragment from at boot — seeds a fresh or wiped replica from a live group member (node)")
 	verifyPeer := fs.String("verify", "", "peer node base URL to compare content checksums with after boot recovery — a mismatch pulls the peer's state instead of serving wrong rankings (node)")
 	antiEntropy := fs.Duration("anti-entropy-interval", 0, "periodic replica checksum comparison + auto-resync interval, 0 disables (coordinator)")
+	logLevel := fs.String("log-level", "info", "log threshold: debug, info, warn or error (background-loop noise logs at debug)")
+	slowQueryMS := fs.Int("slow-query-ms", 0, "log one JSON line with the full span breakdown for every query slower than this; 0 disables, negative logs every query")
+	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060), empty disables")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
+	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	logger.SetLevel(level)
+	if *pprofAddr != "" {
+		go func() {
+			logger.Infof("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				logger.Errorf("pprof server: %v", err)
+			}
+		}()
+	}
+	// One metrics registry per process, served on GET /metrics by
+	// whichever role runs; the slow-query log shares its stderr stream
+	// with the leveled logger.
+	reg := obs.NewRegistry()
+	var slow *obs.SlowQueryLog
+	switch {
+	case *slowQueryMS > 0:
+		slow = obs.NewSlowQueryLog(os.Stderr, time.Duration(*slowQueryMS)*time.Millisecond)
+	case *slowQueryMS < 0:
+		slow = obs.NewSlowQueryLog(os.Stderr, time.Nanosecond)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -96,12 +130,12 @@ func main() {
 		if *addr == "" {
 			*addr = ":8081"
 		}
-		runNode(ctx, *addr, *lambda, *cache, *maxConc, *memBudget, *dataDir, *oplogDir, *resyncFrom, *verifyPeer, *compactInterval)
+		runNode(ctx, *addr, *lambda, *cache, *maxConc, *memBudget, *dataDir, *oplogDir, *resyncFrom, *verifyPeer, *compactInterval, reg, slow)
 	case "coordinator":
 		if *addr == "" {
 			*addr = ":8080"
 		}
-		cluster, qc, err := buildCluster(*nodes, *local, *replicas, *lambda, *nodeTimeout, *cache)
+		cluster, qc, err := buildCluster(*nodes, *local, *replicas, *lambda, *nodeTimeout, *cache, reg)
 		if err != nil {
 			fatal(err)
 		}
@@ -112,6 +146,8 @@ func main() {
 			Frags:         *frags,
 			FragBudget:    *fragBudget,
 			MinQuality:    *minQuality,
+			Metrics:       reg,
+			SlowQuery:     slow,
 		})
 		if *antiEntropy > 0 {
 			// Background self-healing: periodically compare replica
@@ -119,7 +155,7 @@ func main() {
 			// from their group — no operator action needed.
 			go cluster.RunAntiEntropy(ctx, *antiEntropy)
 		}
-		fmt.Fprintf(os.Stderr, "dlserve: coordinator listening on %s\n", *addr)
+		logger.Infof("coordinator listening on %s", *addr)
 		if err := server.Run(ctx, *addr, co.Handler(), 0); err != nil {
 			fatal(err)
 		}
@@ -140,7 +176,7 @@ func main() {
 // truth) and resets the log to the pulled position. The node serves
 // until the context cancels, then snapshots the fragment (compacting
 // the log) so the next boot replays almost nothing.
-func runNode(ctx context.Context, addr string, lambda float64, cacheCap, maxConc, memBudget int, dataDir, oplogDir, resyncFrom, verifyPeer string, compactInterval time.Duration) {
+func runNode(ctx context.Context, addr string, lambda float64, cacheCap, maxConc, memBudget int, dataDir, oplogDir, resyncFrom, verifyPeer string, compactInterval time.Duration, reg *obs.Registry, slow *obs.SlowQueryLog) {
 	if oplogDir == "" {
 		oplogDir = dataDir
 	}
@@ -175,7 +211,7 @@ func runNode(ctx context.Context, addr string, lambda float64, cacheCap, maxConc
 			if fi, serr := os.Stat(path); serr == nil {
 				restoredUnix = fi.ModTime().Unix()
 			}
-			fmt.Fprintf(os.Stderr, "dlserve: restored %d docs, %d terms from %s (log position %d)\n",
+			logger.Infof("restored %d docs, %d terms from %s (log position %d)",
 				ix.DocCount(), ix.TermCount(), path, snapPos)
 		case errors.Is(err, fs.ErrNotExist):
 			// First boot: nothing to restore.
@@ -201,7 +237,7 @@ func runNode(ctx context.Context, addr string, lambda float64, cacheCap, maxConc
 		ix = restored
 		resynced = true
 		oplog = resetLogTo(oplogDir, st.LogPos)
-		fmt.Fprintf(os.Stderr, "dlserve: resynced %d docs, %d terms from %s (log position %d)\n",
+		logger.Infof("resynced %d docs, %d terms from %s (log position %d)",
 			ix.DocCount(), ix.TermCount(), resyncFrom, st.LogPos)
 	}
 	if verifyPeer != "" {
@@ -216,9 +252,9 @@ func runNode(ctx context.Context, addr string, lambda float64, cacheCap, maxConc
 			fatal(fmt.Errorf("verify against %s: no checksum (%v) — refusing to serve unverified", verifyPeer, err))
 		}
 		if own := ix.Checksum(); own == pl.Checksum {
-			fmt.Fprintf(os.Stderr, "dlserve: checksum verified against %s (%s)\n", verifyPeer, own)
+			logger.Infof("checksum verified against %s (%s)", verifyPeer, own)
 		} else {
-			fmt.Fprintf(os.Stderr, "dlserve: checksum mismatch with %s (local %s, peer %s) — pulling peer state\n",
+			logger.Warnf("checksum mismatch with %s (local %s, peer %s) — pulling peer state",
 				verifyPeer, own, pl.Checksum)
 			st, err := peer.SnapshotState(ctx)
 			if err != nil {
@@ -237,7 +273,7 @@ func runNode(ctx context.Context, addr string, lambda float64, cacheCap, maxConc
 			} else {
 				oplog = resetLogTo(oplogDir, st.LogPos)
 			}
-			fmt.Fprintf(os.Stderr, "dlserve: healed from %s: %d docs, %d terms (log position %d)\n",
+			logger.Infof("healed from %s: %d docs, %d terms (log position %d)",
 				verifyPeer, ix.DocCount(), ix.TermCount(), st.LogPos)
 		}
 	}
@@ -249,6 +285,8 @@ func runNode(ctx context.Context, addr string, lambda float64, cacheCap, maxConc
 		MemoryBudget:  memBudget,
 		DataDir:       dataDir,
 		OpLog:         oplog,
+		Metrics:       reg,
+		SlowQuery:     slow,
 	}
 	if cacheCap > 0 {
 		cfg.Cache = core.NewQueryCache(cacheCap)
@@ -270,7 +308,7 @@ func runNode(ctx context.Context, addr string, lambda float64, cacheCap, maxConc
 		if err != nil {
 			fatal(fmt.Errorf("refusing to serve: post-resync snapshot: %w", err))
 		}
-		fmt.Fprintf(os.Stderr, "dlserve: snapshot %s (%d docs)\n", snap.Path, snap.Docs)
+		logger.Infof("snapshot %s (%d docs)", snap.Path, snap.Docs)
 	}
 	if compactInterval > 0 {
 		// Periodic snapshot + log compaction: bound boot-time replay by
@@ -286,25 +324,24 @@ func runNode(ctx context.Context, addr string, lambda float64, cacheCap, maxConc
 					return
 				case <-t.C:
 					if snap, err := ns.Snapshot(); err != nil {
-						fmt.Fprintln(os.Stderr, "dlserve: periodic snapshot failed:", err)
+						logger.Warnf("periodic snapshot failed: %v", err)
 					} else {
-						fmt.Fprintf(os.Stderr, "dlserve: compacted: snapshot %s (%d docs, %d bytes)\n",
+						logger.Debugf("compacted: snapshot %s (%d docs, %d bytes)",
 							snap.Path, snap.Docs, snap.Bytes)
 					}
 				}
 			}
 		}()
 	}
-	fmt.Fprintf(os.Stderr, "dlserve: node listening on %s\n", addr)
+	logger.Infof("node listening on %s", addr)
 	err := server.Run(ctx, addr, ns.Handler(), 0)
 	if dataDir != "" && ctx.Err() != nil {
 		// Graceful shutdown (not a listen failure): persist the
 		// fragment so a restart serves it without reindexing.
 		if snap, serr := ns.Snapshot(); serr != nil {
-			fmt.Fprintln(os.Stderr, "dlserve: shutdown snapshot failed:", serr)
+			logger.Warnf("shutdown snapshot failed: %v", serr)
 		} else {
-			fmt.Fprintf(os.Stderr, "dlserve: snapshot %s (%d docs, %d bytes)\n",
-				snap.Path, snap.Docs, snap.Bytes)
+			logger.Infof("snapshot %s (%d docs, %d bytes)", snap.Path, snap.Docs, snap.Bytes)
 		}
 	}
 	if err != nil {
@@ -326,7 +363,7 @@ func openAndReplayLog(dir string, snapPos uint64, ix *ir.Index) *persist.OpLog {
 		fatal(fmt.Errorf("refusing to serve: %w", err))
 	}
 	if tb := l.TruncatedBytes(); tb > 0 {
-		fmt.Fprintf(os.Stderr, "dlserve: op log: truncated %d-byte torn tail (unacknowledged partial append)\n", tb)
+		logger.Warnf("op log: truncated %d-byte torn tail (unacknowledged partial append)", tb)
 	}
 	if l.Base() > snapPos {
 		fatal(fmt.Errorf("refusing to serve: op log starts at position %d but the snapshot covers only %d — operations in between are lost", l.Base(), snapPos))
@@ -342,7 +379,7 @@ func openAndReplayLog(dir string, snapPos uint64, ix *ir.Index) *persist.OpLog {
 		fatal(fmt.Errorf("refusing to serve: op log replay: %w", err))
 	}
 	if l.Pos() > snapPos {
-		fmt.Fprintf(os.Stderr, "dlserve: replayed op log %d..%d (%d new docs), now %d docs\n",
+		logger.Infof("replayed op log %d..%d (%d new docs), now %d docs",
 			snapPos, l.Pos(), replayed, ix.DocCount())
 	}
 	return l
@@ -377,16 +414,35 @@ func resetLogTo(dir string, base uint64) *persist.OpLog {
 // the local mode, where it sits on the nodes' top-N path and its
 // /stats counters mean something; remote nodes cache server-side
 // (their own -cache flag) instead.
-func buildCluster(nodeURLs string, local, r int, lambda float64, nodeTimeout time.Duration, cacheCap int) (*dist.Cluster, *core.QueryCache, error) {
-	opts := &dist.Options{Lambda: lambda, NodeTimeout: nodeTimeout}
+func buildCluster(nodeURLs string, local, r int, lambda float64, nodeTimeout time.Duration, cacheCap int, reg *obs.Registry) (*dist.Cluster, *core.QueryCache, error) {
+	opts := &dist.Options{Lambda: lambda, NodeTimeout: nodeTimeout, Logger: logger}
+	if reg != nil {
+		opts.Metrics = &dist.ClusterMetrics{
+			RPCLatency:     reg.Histogram("dl_rpc_latency_seconds", "Routed per-node cluster call latency (failures included).", "", obs.LatencyBounds()),
+			AntiEntropyDur: reg.Histogram("dl_anti_entropy_seconds", "Full anti-entropy pass duration.", "", obs.LatencyBounds()),
+			ResyncDur:      reg.Histogram("dl_resync_seconds", "Replica resync duration.", "", obs.LatencyBounds()),
+			Retries:        reg.Counter("dl_retries_total", "Self-healing RPC retries.", ""),
+			BackoffSeconds: reg.Histogram("dl_backoff_seconds", "Backoff sleeps between retries.", "", obs.LatencyBounds()),
+		}
+	}
 	if nodeURLs != "" {
+		var rm *dist.RemoteMetrics
+		if reg != nil {
+			rm = &dist.RemoteMetrics{
+				Latency:  reg.Histogram("dl_rpc_client_seconds", "Remote-node HTTP round-trip latency.", "", obs.LatencyBounds()),
+				BytesOut: reg.Counter("dl_rpc_bytes_out_total", "Request bytes sent to remote nodes.", ""),
+				BytesIn:  reg.Counter("dl_rpc_bytes_in_total", "Response bytes read from remote nodes.", ""),
+			}
+		}
 		var members []dist.Node
 		for _, u := range strings.Split(nodeURLs, ",") {
 			u = strings.TrimSpace(u)
 			if u == "" {
 				continue
 			}
-			members = append(members, dist.NewRemoteNode(u, nil))
+			rn := dist.NewRemoteNode(u, nil)
+			rn.SetMetrics(rm)
+			members = append(members, rn)
 		}
 		if len(members) == 0 {
 			return nil, nil, fmt.Errorf("no node URLs in -nodes")
@@ -401,6 +457,13 @@ func buildCluster(nodeURLs string, local, r int, lambda float64, nodeTimeout tim
 	if cacheCap > 0 {
 		qc = core.NewQueryCache(cacheCap)
 	}
+	var nm *dist.NodeMetrics
+	if reg != nil {
+		nm = &dist.NodeMetrics{
+			Scoring:    reg.Histogram("dl_node_scoring_seconds", "Local query evaluation wall time.", "", obs.LatencyBounds()),
+			IngestDocs: reg.Counter("dl_node_ingest_docs_total", "Documents indexed on in-process nodes.", ""),
+		}
+	}
 	members := make([]dist.Node, local)
 	for i := range members {
 		ix := ir.NewIndex()
@@ -412,6 +475,7 @@ func buildCluster(nodeURLs string, local, r int, lambda float64, nodeTimeout tim
 			ln.SetResolver(qc.Resolve)
 			ln.SetRankingCache(qc)
 		}
+		ln.SetMetrics(nm)
 		members[i] = ln
 	}
 	cluster, err := dist.NewReplicatedCluster(members, r, opts)
@@ -419,7 +483,7 @@ func buildCluster(nodeURLs string, local, r int, lambda float64, nodeTimeout tim
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "dlserve:", err)
+	logger.Errorf("%v", err)
 	os.Exit(1)
 }
 

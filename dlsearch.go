@@ -31,7 +31,9 @@ package dlsearch
 
 import (
 	"context"
+	"io"
 	"net/http"
+	"time"
 
 	"dlsearch/internal/cobra"
 	"dlsearch/internal/core"
@@ -43,6 +45,7 @@ import (
 	"dlsearch/internal/fg"
 	"dlsearch/internal/ir"
 	"dlsearch/internal/monetxml"
+	"dlsearch/internal/obs"
 	"dlsearch/internal/persist"
 	"dlsearch/internal/query"
 	"dlsearch/internal/server"
@@ -347,4 +350,51 @@ func NewCoordinator(indexes map[string]*Cluster, cfg *CoordinatorConfig) *Coordi
 // gracefully, draining in-flight requests.
 func ServeUntil(ctx context.Context, addr string, h http.Handler) error {
 	return server.Run(ctx, addr, h, 0)
+}
+
+// Observability: the dependency-free instruments of internal/obs.
+// Wire a registry into the serving layer via NodeServerConfig.Metrics
+// / CoordinatorConfig.Metrics (GET /metrics then serves Prometheus
+// text) and a slow-query log via the configs' SlowQuery field; both
+// are nil-safe — a nil registry compiles every instrument out of the
+// hot path.
+type (
+	// MetricsRegistry collects counters, gauges and log-bucketed
+	// histograms and renders them in Prometheus text form (Handler).
+	MetricsRegistry = obs.Registry
+	// Trace records per-stage spans of one request under one request
+	// ID, propagated coordinator→node via the X-DL-Request header.
+	Trace = obs.Trace
+	// Logger is a leveled logger (debug/info/warn/error).
+	Logger = obs.Logger
+	// LogLevel is a Logger threshold; parse one with ParseLogLevel.
+	LogLevel = obs.Level
+	// SlowQueryLog emits one JSON SlowQueryRecord line for every query
+	// slower than its threshold.
+	SlowQueryLog = obs.SlowQueryLog
+	// SlowQueryRecord is the slow-query log's line format, including
+	// the full per-stage span breakdown.
+	SlowQueryRecord = obs.SlowQueryRecord
+)
+
+// HeaderRequestID is the HTTP header carrying the request ID across
+// process boundaries (coordinator → node, and echoed to clients).
+const HeaderRequestID = obs.HeaderRequestID
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewLogger returns a leveled logger writing "prefix: level: message"
+// lines at or above level to w.
+func NewLogger(w io.Writer, prefix string, level LogLevel) *Logger {
+	return obs.NewLogger(w, prefix, level)
+}
+
+// ParseLogLevel parses "debug", "info", "warn" or "error".
+func ParseLogLevel(s string) (LogLevel, error) { return obs.ParseLevel(s) }
+
+// NewSlowQueryLog returns a slow-query log writing to w; threshold <=
+// 0 returns nil (disabled), which every recording method tolerates.
+func NewSlowQueryLog(w io.Writer, threshold time.Duration) *SlowQueryLog {
+	return obs.NewSlowQueryLog(w, threshold)
 }

@@ -76,10 +76,17 @@ type AntiEntropyReport struct {
 // plus any resync it needs; other groups are unaffected. Single-node
 // groups have nothing to compare and are reported as-is.
 func (c *Cluster) CheckReplicas(ctx context.Context, repair bool) *AntiEntropyReport {
+	start := time.Now()
 	report := &AntiEntropyReport{}
 	for g := range c.groups {
 		c.checkGroup(ctx, g, repair, report)
 	}
+	if c.met != nil {
+		c.met.AntiEntropyDur.ObserveSince(start)
+	}
+	c.log.Debugf("anti-entropy pass: %d replicas checked, %d diverged, %d cleared, %d resynced in %v",
+		len(report.Replicas), report.Detected, report.Cleared, report.Resynced,
+		time.Since(start).Round(time.Millisecond))
 	return report
 }
 
@@ -177,6 +184,8 @@ func (c *Cluster) checkGroup(ctx context.Context, g int, repair bool, report *An
 				c.markDiverged(g, r)
 				c.divergeCount.Add(1)
 				report.Detected++
+				c.log.Warnf("anti-entropy: partition %d replica %d diverged (checksum %s, reference replica %d has %s)",
+					g, r, chk.Load.Checksum, ref, checks[ref].Load.Checksum)
 			}
 			if !match && repair {
 				if err := c.resyncLocked(ctx, g, r, ref); err != nil {
@@ -228,7 +237,7 @@ func (c *Cluster) ResyncReplica(ctx context.Context, g, r int) error {
 			// A source just failed: back off (exponentially, jittered)
 			// before hitting the next candidate, so a group recovering
 			// from a shared fault isn't stormed by its own healing.
-			if sleepCtx(ctx, backoffDelay(len(errs)-1, resyncRetryBase, 2*time.Second)) != nil {
+			if c.backoffSleep(ctx, len(errs)-1, resyncRetryBase, 2*time.Second) != nil {
 				break
 			}
 		}
@@ -268,6 +277,22 @@ const resyncRetries = 3
 // must equal the shipped state's, or the replica STAYS quarantined
 // (checksum-verified rejoin) rather than serving wrong rankings.
 func (c *Cluster) resyncLocked(ctx context.Context, g, r, src int) error {
+	start := time.Now()
+	err := c.doResyncLocked(ctx, g, r, src)
+	if c.met != nil {
+		c.met.ResyncDur.ObserveSince(start)
+	}
+	if err != nil {
+		c.log.Warnf("resync %d/%d from replica %d failed after %v: %v",
+			g, r, src, time.Since(start).Round(time.Millisecond), err)
+	} else {
+		c.log.Infof("resync %d/%d from replica %d completed in %v",
+			g, r, src, time.Since(start).Round(time.Millisecond))
+	}
+	return err
+}
+
+func (c *Cluster) doResyncLocked(ctx context.Context, g, r, src int) error {
 	source, ok := c.groups[g][src].(StateSource)
 	if !ok {
 		return fmt.Errorf("dist: partition %d replica %d cannot export state", g, src)
@@ -280,14 +305,14 @@ func (c *Cluster) resyncLocked(ctx context.Context, g, r, src int) error {
 		return nil
 	}
 	var st *ir.IndexState
-	if err := withRetry(ctx, resyncRetries, resyncRetryBase, func() error {
+	if err := c.withRetry(ctx, resyncRetries, resyncRetryBase, func() error {
 		var err error
 		st, err = source.SnapshotState(ctx)
 		return err
 	}); err != nil {
 		return fmt.Errorf("dist: resync %d/%d: export from replica %d: %w", g, r, src, err)
 	}
-	if err := withRetry(ctx, resyncRetries, resyncRetryBase, func() error {
+	if err := c.withRetry(ctx, resyncRetries, resyncRetryBase, func() error {
 		return sink.RestoreState(ctx, st)
 	}); err != nil {
 		return fmt.Errorf("dist: resync %d/%d: import: %w", g, r, err)
@@ -299,7 +324,7 @@ func (c *Cluster) resyncLocked(ctx context.Context, g, r, src int) error {
 	if tcl, ok := c.groups[g][r].(ChecksumLoader); ok {
 		want := st.Checksum()
 		var got NodeLoad
-		verr := withRetry(ctx, resyncRetries, resyncRetryBase, func() error {
+		verr := c.withRetry(ctx, resyncRetries, resyncRetryBase, func() error {
 			nctx, cancel := c.nodeCtx(ctx)
 			defer cancel()
 			var err error

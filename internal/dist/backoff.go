@@ -57,14 +57,30 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	}
 }
 
+// backoffSleep sleeps one jittered backoff step, recording the sleep
+// in the cluster's metrics and debug log. It reports ctx's error when
+// cancelled first.
+func (c *Cluster) backoffSleep(ctx context.Context, attempt int, base, max time.Duration) error {
+	d := backoffDelay(attempt, base, max)
+	if c.met != nil {
+		c.met.BackoffSeconds.Observe(d.Seconds())
+	}
+	c.log.Debugf("backoff: sleeping %v before retry %d", d.Round(time.Millisecond), attempt+1)
+	return sleepCtx(ctx, d)
+}
+
 // withRetry runs fn up to attempts times, backing off with jitter
-// between failures. It returns nil on the first success, ctx's error
-// if cancelled mid-backoff, and the last failure otherwise. fn must
-// be safe to repeat — the self-healing paths only retry reads
-// (exports, load probes) and idempotent installs.
-func withRetry(ctx context.Context, attempts int, base time.Duration, fn func() error) error {
+// between failures (retries and backoff sleeps feed the cluster's
+// metrics). It returns nil on the first success, ctx's error if
+// cancelled mid-backoff, and the last failure otherwise. fn must be
+// safe to repeat — the self-healing paths only retry reads (exports,
+// load probes) and idempotent installs.
+func (c *Cluster) withRetry(ctx context.Context, attempts int, base time.Duration, fn func() error) error {
 	var err error
 	for a := 0; a < attempts; a++ {
+		if a > 0 && c.met != nil {
+			c.met.Retries.Inc()
+		}
 		if err = fn(); err == nil {
 			return nil
 		}
@@ -72,7 +88,8 @@ func withRetry(ctx context.Context, attempts int, base time.Duration, fn func() 
 			return err
 		}
 		if a < attempts-1 {
-			if serr := sleepCtx(ctx, backoffDelay(a, base, 5*time.Second)); serr != nil {
+			c.log.Debugf("retry %d/%d after: %v", a+1, attempts-1, err)
+			if serr := c.backoffSleep(ctx, a, base, 5*time.Second); serr != nil {
 				return err
 			}
 		}

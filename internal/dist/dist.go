@@ -57,6 +57,7 @@ import (
 
 	"dlsearch/internal/bat"
 	"dlsearch/internal/ir"
+	"dlsearch/internal/obs"
 )
 
 // Options configures a Cluster. The zero value (or a nil *Options)
@@ -80,6 +81,41 @@ type Options struct {
 	// and only a partition with no responsive replica left is dropped
 	// from the merge. 0 means no per-node deadline.
 	NodeTimeout time.Duration
+
+	// Logger, when set, gives the cluster's background machinery
+	// (anti-entropy passes, resyncs, retry backoff) a voice: routine
+	// activity at Debug, divergence and healing at Warn/Info. Nil is
+	// silent.
+	Logger *obs.Logger
+
+	// Metrics, when set, opts the cluster into duration/counter
+	// instrumentation (see ClusterMetrics). Nil — the default, and
+	// what every benchmark uses — records nothing and costs nothing on
+	// the hot path beyond a nil check.
+	Metrics *ClusterMetrics
+}
+
+// ClusterMetrics are the cluster's opt-in instruments. Every field is
+// optional (a nil histogram or counter ignores observations), so a
+// caller wires only what it exposes.
+type ClusterMetrics struct {
+	// RPCLatency observes the duration of every routed per-node call
+	// (reads via groupCall, writes via fanToGroup), in seconds —
+	// failures included, since a timeout's cost is exactly what an
+	// operator hunting stragglers needs to see.
+	RPCLatency *obs.Histogram
+	// AntiEntropyDur observes the duration of each anti-entropy pass
+	// (CheckReplicas), in seconds.
+	AntiEntropyDur *obs.Histogram
+	// ResyncDur observes the duration of each attempted replica resync
+	// (delta or full, success or failure), in seconds.
+	ResyncDur *obs.Histogram
+	// Retries counts retry attempts on the self-healing paths (every
+	// re-invocation after a failure).
+	Retries *obs.Counter
+	// BackoffSeconds observes each backoff sleep on the self-healing
+	// paths, in seconds — cumulative time spent waiting out failures.
+	BackoffSeconds *obs.Histogram
 }
 
 // roundRobin is the default partitioning: dense oids spread evenly.
@@ -111,6 +147,12 @@ type replicaStatus struct {
 	lastFail   time.Time
 	diverged   bool
 	lastResync time.Time // when the replica last healed from a group member
+
+	// rpcCalls / rpcTotal accumulate the latency of every routed call
+	// to this replica (success or failure), feeding the per-replica
+	// RPC latency the serving layer's /stats reports.
+	rpcCalls uint64
+	rpcTotal time.Duration
 }
 
 // groupHealth tracks the routing state of one replica group.
@@ -140,6 +182,11 @@ type ReplicaHealth struct {
 	// LastResyncUnix is when the replica last healed from a group
 	// member (unix seconds, 0 = never).
 	LastResyncUnix int64
+	// RPCCalls / RPCTotalUS are the replica's cumulative routed-call
+	// count and latency (microseconds), failures included — the
+	// per-replica RPC latency surfaced in /stats.
+	RPCCalls   uint64
+	RPCTotalUS int64
 }
 
 // Healthy reports whether the replica's last call succeeded AND its
@@ -157,6 +204,8 @@ type Cluster struct {
 	health    []*groupHealth
 	partition func(bat.OID, int) int
 	timeout   time.Duration
+	log       *obs.Logger     // nil is silent
+	met       *ClusterMetrics // nil records nothing
 
 	// ingest is the per-group write/resync arbiter: writes (fanToGroup)
 	// hold the read side for the duration of the fan-out, a resync holds
@@ -266,8 +315,26 @@ func NewReplicatedClusterOf(groups [][]Node, opts *Options) *Cluster {
 			c.partition = opts.Partition
 		}
 		c.timeout = opts.NodeTimeout
+		c.log = opts.Logger
+		c.met = opts.Metrics
 	}
 	return c
+}
+
+// SetLogger attaches (or replaces) the cluster's background-loop
+// logger after construction. Call before background loops start.
+func (c *Cluster) SetLogger(l *obs.Logger) { c.log = l }
+
+// SetMetrics opts the cluster into instrumentation after
+// construction. Call before the cluster starts serving.
+func (c *Cluster) SetMetrics(m *ClusterMetrics) { c.met = m }
+
+// rpcObserve folds one routed call's latency into the cluster-wide
+// RPC histogram.
+func (c *Cluster) rpcObserve(d time.Duration) {
+	if c.met != nil {
+		c.met.RPCLatency.Observe(d.Seconds())
+	}
 }
 
 // Size returns the number of partitions (replica groups).
@@ -300,7 +367,10 @@ func (c *Cluster) ReplicaHealth() [][]ReplicaHealth {
 		gh.mu.Lock()
 		out[g] = make([]ReplicaHealth, len(gh.reps))
 		for r, st := range gh.reps {
-			h := ReplicaHealth{Fails: st.fails, LastErr: st.lastErr, Diverged: st.diverged}
+			h := ReplicaHealth{
+				Fails: st.fails, LastErr: st.lastErr, Diverged: st.diverged,
+				RPCCalls: st.rpcCalls, RPCTotalUS: st.rpcTotal.Microseconds(),
+			}
 			if !st.lastOK.IsZero() {
 				h.LastOKUnix = st.lastOK.Unix()
 			}
@@ -356,11 +426,14 @@ func (c *Cluster) Telemetry() Telemetry {
 	}
 }
 
-// record folds one call outcome into a replica's routing state.
-func (c *Cluster) record(g, r int, err error) {
+// record folds one call outcome — and its latency — into a replica's
+// routing state.
+func (c *Cluster) record(g, r int, err error, d time.Duration) {
 	gh := c.health[g]
 	gh.mu.Lock()
 	st := &gh.reps[r]
+	st.rpcCalls++
+	st.rpcTotal += d
 	if err == nil {
 		st.fails = 0
 		st.lastErr = ""
@@ -371,6 +444,7 @@ func (c *Cluster) record(g, r int, err error) {
 		st.lastFail = time.Now()
 	}
 	gh.mu.Unlock()
+	c.rpcObserve(d)
 }
 
 // markDiverged flags a replica whose copy is known to be missing
@@ -475,11 +549,13 @@ func groupCall[T any](c *Cluster, ctx context.Context, g, scale int, call func(c
 			break
 		}
 		nctx, cancel := c.nodeCtxN(ctx, scale)
+		start := time.Now()
 		v, err := call(nctx, c.groups[g][r])
+		took := time.Since(start)
 		cancel()
 		tried++
 		if err == nil {
-			c.record(g, r, nil)
+			c.record(g, r, nil, took)
 			return v, tried - 1, c.isDiverged(g, r), nil
 		}
 		lastErr = err
@@ -488,7 +564,7 @@ func groupCall[T any](c *Cluster, ctx context.Context, g, scale int, call func(c
 			// says nothing about this replica.
 			break
 		}
-		c.record(g, r, err)
+		c.record(g, r, err, took)
 	}
 	failovers := tried - 1
 	if failovers < 0 {
@@ -519,11 +595,12 @@ func (c *Cluster) fanToGroup(ctx context.Context, g, scale int, call func(contex
 			defer wg.Done()
 			nctx, cancel := c.nodeCtxN(ctx, scale)
 			defer cancel()
+			start := time.Now()
 			err := call(nctx, node)
 			if err == nil || ctx.Err() == nil {
 				// A failure caused by the caller's own cancellation
 				// says nothing about the replica — don't record it.
-				c.record(g, r, err)
+				c.record(g, r, err, time.Since(start))
 			}
 			if err != nil {
 				errs[r] = fmt.Errorf("partition %d replica %d: %w", g, r, err)
@@ -1032,7 +1109,12 @@ func (c *Cluster) SearchPlan(ctx context.Context, query string, plan ir.EvalPlan
 	if plan.N <= 0 {
 		return sr, nil // degenerate: empty ranking, no fan-out
 	}
+	// Stage spans join the caller's trace when one rides in ctx (the
+	// coordinator's /search path); a nil trace records nothing.
+	tr := obs.FromContext(ctx)
+	statsStart := time.Now()
 	global, err := c.GlobalStatsContext(ctx)
+	tr.AddSpan("stats", statsStart)
 	if err != nil {
 		stale, ok := c.lastStats()
 		if !ok {
@@ -1041,6 +1123,7 @@ func (c *Cluster) SearchPlan(ctx context.Context, query string, plan ir.EvalPlan
 		global, sr.StaleStats = stale, true
 	}
 	c.searchCount.Add(1)
+	fanStart := time.Now()
 	type planRes struct {
 		res []ir.Result
 		est ir.QualityEstimate
@@ -1108,8 +1191,11 @@ collect:
 	sort.Ints(sr.Dropped)
 	sort.Ints(sr.Diverged)
 	c.droppedCount.Add(uint64(len(sr.Dropped)))
+	tr.AddSpan("fanout", fanStart)
+	mergeStart := time.Now()
 	sr.Results = ir.Merge(plan.N, rankings...)
 	sr.Quality = ir.MergeQuality(ests...)
+	tr.AddSpan("merge", mergeStart)
 	return sr, nil
 }
 

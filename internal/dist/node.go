@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dlsearch/internal/bat"
 	"dlsearch/internal/ir"
+	"dlsearch/internal/obs"
 	"dlsearch/internal/persist"
 )
 
@@ -189,7 +191,28 @@ type LocalNode struct {
 	// stays observable on log-less nodes.
 	oplog *persist.OpLog
 	pos   uint64
+
+	// met, when set, records node-side serving telemetry. nil means no
+	// instrumentation at all: the hot query path pays one pointer
+	// compare and nothing else.
+	met *NodeMetrics
 }
+
+// NodeMetrics is the node-side instrumentation a serving layer may
+// attach to a LocalNode. All fields are optional (nil instruments are
+// no-ops).
+type NodeMetrics struct {
+	// Scoring observes the wall time of every local query evaluation
+	// (exact and budgeted), in seconds.
+	Scoring *obs.Histogram
+	// IngestDocs counts freshly indexed documents (duplicates a
+	// retried write re-posts are not counted).
+	IngestDocs *obs.Counter
+}
+
+// SetMetrics attaches node-side instrumentation. Set it before the
+// node starts serving; nil detaches.
+func (n *LocalNode) SetMetrics(m *NodeMetrics) { n.met = m }
 
 // NewLocalNode wraps an index as a cluster node.
 func NewLocalNode(ix *ir.Index) *LocalNode { return &LocalNode{ix: ix} }
@@ -271,6 +294,9 @@ func (n *LocalNode) logThenApply(docs []Doc) error {
 		n.ix.Add(d.OID, d.URL, d.Text)
 	}
 	n.pos += uint64(len(fresh))
+	if n.met != nil {
+		n.met.IngestDocs.Add(uint64(len(fresh)))
+	}
 	return nil
 }
 
@@ -365,12 +391,23 @@ func (n *LocalNode) Stats(context.Context) (ir.Stats, error) {
 // injected, short-circuits repeated exact queries — top-N-aware, so a
 // cached top-50 answers any n ≤ 50.
 func (n *LocalNode) TopNWithStats(_ context.Context, query string, topn int, global ir.Stats) ([]ir.Result, error) {
+	if n.met == nil {
+		return n.topNWithStats(query, topn, global), nil
+	}
+	start := time.Now()
+	res := n.topNWithStats(query, topn, global)
+	n.met.Scoring.ObserveSince(start)
+	return res, nil
+}
+
+// topNWithStats is TopNWithStats without the instrumentation wrapper.
+func (n *LocalNode) topNWithStats(query string, topn int, global ir.Stats) []ir.Result {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	clean := !n.ix.Dirty()
 	if n.rank != nil && clean {
 		if res, ok := n.rank.Ranking(n.ix, query, topn, global); ok {
-			return res, nil
+			return res
 		}
 	}
 	var res []ir.Result
@@ -383,7 +420,7 @@ func (n *LocalNode) TopNWithStats(_ context.Context, query string, topn int, glo
 	if n.rank != nil && clean {
 		n.rank.StoreRanking(n.ix, query, topn, global, res)
 	}
-	return res, nil
+	return res
 }
 
 // SearchPlan implements Node. An exact plan takes the TopNWithStats
@@ -401,11 +438,24 @@ func (n *LocalNode) SearchPlan(ctx context.Context, query string, plan ir.EvalPl
 		res, err := n.TopNWithStats(ctx, query, plan.N, global)
 		return res, ir.QualityEstimate{}, err
 	}
+	if n.met == nil {
+		res, est := n.searchPlanBudgeted(query, plan, global)
+		return res, est, nil
+	}
+	start := time.Now()
+	res, est := n.searchPlanBudgeted(query, plan, global)
+	n.met.Scoring.ObserveSince(start)
+	return res, est, nil
+}
+
+// searchPlanBudgeted is SearchPlan's budgeted path without the
+// instrumentation wrapper.
+func (n *LocalNode) searchPlanBudgeted(query string, plan ir.EvalPlan, global ir.Stats) ([]ir.Result, ir.QualityEstimate) {
 	n.mu.RLock()
 	if n.ix.PlanReady(plan) {
 		defer n.mu.RUnlock()
 		res, est := n.planWithStats(query, plan, global)
-		return res, est, nil
+		return res, est
 	}
 	n.mu.RUnlock()
 	n.mu.Lock()
@@ -413,7 +463,7 @@ func (n *LocalNode) SearchPlan(ctx context.Context, query string, plan ir.EvalPl
 	n.ix.Freeze()
 	n.ix.EnsureFragments(plan)
 	res, est := n.planWithStats(query, plan, global)
-	return res, est, nil
+	return res, est
 }
 
 // planWithStats evaluates a budgeted plan; the caller holds the lock.

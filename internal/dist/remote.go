@@ -13,6 +13,7 @@ import (
 
 	"dlsearch/internal/bat"
 	"dlsearch/internal/ir"
+	"dlsearch/internal/obs"
 	"dlsearch/internal/persist"
 )
 
@@ -221,6 +222,38 @@ type RestoreResponse struct {
 type RemoteNode struct {
 	base   string
 	client *http.Client
+
+	// met, when set, records this node's client-side RPC telemetry.
+	met *RemoteMetrics
+}
+
+// RemoteMetrics is client-side RPC instrumentation for one or more
+// RemoteNodes (they may share one set — the histograms are mergeable
+// and the counters atomic). All fields optional.
+type RemoteMetrics struct {
+	// Latency observes every JSON round-trip (failures included), in
+	// seconds. Whole-fragment transfers are not observed here — their
+	// durations scale with the fragment, not the RPC path.
+	Latency *obs.Histogram
+	// BytesOut counts JSON request-body bytes sent.
+	BytesOut *obs.Counter
+	// BytesIn counts response-body bytes received.
+	BytesIn *obs.Counter
+}
+
+// SetMetrics attaches client-side RPC instrumentation; nil detaches.
+func (rn *RemoteNode) SetMetrics(m *RemoteMetrics) { rn.met = m }
+
+// countingReader counts bytes as they are read.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // defaultClient is shared by RemoteNodes built without an explicit
@@ -260,14 +293,34 @@ func NewRemoteNode(baseURL string, client *http.Client) *RemoteNode {
 func (rn *RemoteNode) BaseURL() string { return rn.base }
 
 // do runs one round-trip: POST body as JSON if in is non-nil, GET
-// otherwise; decode the 200 response into out if out is non-nil.
+// otherwise; decode the 200 response into out if out is non-nil. The
+// round-trip (body decode included, failures included) feeds the
+// attached RPC latency histogram, and a trace riding the context gets
+// an "rpc:<path>" span plus the request-ID header the node echoes
+// into its own telemetry.
 func (rn *RemoteNode) do(ctx context.Context, path string, in, out any) error {
+	if rn.met == nil && obs.FromContext(ctx) == nil {
+		return rn.roundTrip(ctx, path, in, out)
+	}
+	start := time.Now()
+	err := rn.roundTrip(ctx, path, in, out)
+	if rn.met != nil {
+		rn.met.Latency.ObserveSince(start)
+	}
+	obs.FromContext(ctx).AddSpan("rpc:"+path, start)
+	return err
+}
+
+func (rn *RemoteNode) roundTrip(ctx context.Context, path string, in, out any) error {
 	var body io.Reader
 	method := http.MethodGet
 	if in != nil {
 		buf, err := json.Marshal(in)
 		if err != nil {
 			return fmt.Errorf("dist: encode %s: %w", path, err)
+		}
+		if rn.met != nil {
+			rn.met.BytesOut.Add(uint64(len(buf)))
 		}
 		body = bytes.NewReader(buf)
 		method = http.MethodPost
@@ -279,21 +332,30 @@ func (rn *RemoteNode) do(ctx context.Context, path string, in, out any) error {
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if tr := obs.FromContext(ctx); tr != nil && tr.ID != "" {
+		req.Header.Set(obs.HeaderRequestID, tr.ID)
+	}
 	resp, err := rn.client.Do(req)
 	if err != nil {
 		return fmt.Errorf("dist: node %s%s: %w", rn.base, path, err)
 	}
 	defer resp.Body.Close()
+	var rbody io.Reader = resp.Body
+	if rn.met != nil {
+		cr := &countingReader{r: resp.Body}
+		defer func() { rn.met.BytesIn.Add(uint64(cr.n)) }()
+		rbody = cr
+	}
 	if resp.StatusCode != http.StatusOK {
-		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		snippet, _ := io.ReadAll(io.LimitReader(rbody, 256))
 		return fmt.Errorf("dist: node %s%s: status %d: %s",
 			rn.base, path, resp.StatusCode, strings.TrimSpace(string(snippet)))
 	}
 	if out == nil {
-		io.Copy(io.Discard, resp.Body)
+		io.Copy(io.Discard, rbody)
 		return nil
 	}
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+	if err := json.NewDecoder(rbody).Decode(out); err != nil {
 		return fmt.Errorf("dist: decode %s%s: %w", rn.base, path, err)
 	}
 	return nil

@@ -216,7 +216,7 @@ func TestDivergedReplicaQuarantinedAndFlagged(t *testing.T) {
 	if _, err := c.groups[0][1].Load(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	c.record(0, 1, nil) // simulate the probe success reaching health
+	c.record(0, 1, nil, 0) // simulate the probe success reaching health
 	if h := c.ReplicaHealth()[0][1]; !h.Diverged || h.Healthy() {
 		t.Fatalf("probe success cleared the divergence mark: %+v", h)
 	}

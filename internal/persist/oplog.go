@@ -47,8 +47,10 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"dlsearch/internal/bat"
+	"dlsearch/internal/obs"
 )
 
 // OpLogVersion is the current op-log format version.
@@ -100,6 +102,21 @@ type OpLog struct {
 	// the file that could not be truncated away, so further appends
 	// would land after garbage and turn it into interior corruption.
 	failed error
+	// appendH and fsyncH, when set, observe append (whole call) and
+	// fsync durations in seconds. Observing is nil-safe, so the hot
+	// path records unconditionally.
+	appendH *obs.Histogram
+	fsyncH  *obs.Histogram
+}
+
+// Instrument attaches duration histograms to the log: appendH observes
+// every durable Append end to end, fsyncH just the fsync inside it.
+// Attach at boot, before the log is shared; either may be nil.
+func (l *OpLog) Instrument(appendH, fsyncH *obs.Histogram) {
+	l.mu.Lock()
+	l.appendH = appendH
+	l.fsyncH = fsyncH
+	l.mu.Unlock()
 }
 
 // OpenOpLog opens (or creates) the op log in dir, verifying every
@@ -251,6 +268,7 @@ func (l *OpLog) Append(ops ...Op) error {
 	for i := range ops {
 		appendRecord(&buf, &ops[i])
 	}
+	start := time.Now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.failed != nil {
@@ -260,6 +278,7 @@ func (l *OpLog) Append(ops ...Op) error {
 		l.rollback(err)
 		return fmt.Errorf("persist: oplog append: %w", err)
 	}
+	syncStart := time.Now()
 	if err := l.f.Sync(); err != nil {
 		// After a failed fsync the kernel may have dropped the dirty
 		// pages: what is on disk past the last acknowledged record is
@@ -268,8 +287,10 @@ func (l *OpLog) Append(ops ...Op) error {
 		l.rollback(err)
 		return fmt.Errorf("persist: oplog sync: %w", err)
 	}
+	l.fsyncH.ObserveSince(syncStart)
 	l.pos += uint64(len(ops))
 	l.size += int64(buf.Len())
+	l.appendH.ObserveSince(start)
 	return nil
 }
 

@@ -14,6 +14,7 @@ import (
 	"dlsearch/internal/core"
 	"dlsearch/internal/dist"
 	"dlsearch/internal/ir"
+	"dlsearch/internal/obs"
 )
 
 // CoordinatorConfig tunes a coordinator. The zero value selects the
@@ -40,6 +41,17 @@ type CoordinatorConfig struct {
 	Frags      int
 	FragBudget int
 	MinQuality float64
+	// Metrics, when set, receives the coordinator's serving telemetry —
+	// request counters, per-index search latency and served-quality
+	// histograms, the clusters' availability counters, Go runtime
+	// gauges — and is served in Prometheus text format on GET /metrics
+	// (outside the concurrency semaphore, like /healthz). nil disables
+	// both the instrumentation and the endpoint.
+	Metrics *obs.Registry
+	// SlowQuery, when set, emits one JSON line (request ID, index,
+	// query, span breakdown) for every /search slower than its
+	// threshold. nil disables the slow-query log.
+	SlowQuery *obs.SlowQueryLog
 }
 
 // docSeq assigns document oids for /add requests without an explicit
@@ -91,10 +103,16 @@ type Coordinator struct {
 	seqs    map[string]*docSeq // auto-assigned doc oids per index
 	cfg     CoordinatorConfig
 	start   time.Time
+	sem     *semaphore
 
 	searches atomic.Uint64
 	adds     atomic.Uint64
 	errs     atomic.Uint64
+
+	// latency and quality hold the per-index /search histograms
+	// (seconds / QualityEstimate.Value), nil maps without a registry.
+	latency map[string]*obs.Histogram
+	quality map[string]*obs.Histogram
 }
 
 // NewCoordinator builds a coordinator over named clusters. The map
@@ -125,6 +143,57 @@ func NewCoordinator(indexes map[string]*dist.Cluster, cfg *CoordinatorConfig) *C
 	for name := range indexes {
 		co.seqs[name] = &docSeq{}
 	}
+	co.sem = newSemaphore(co.cfg.MaxConcurrent)
+	if reg := co.cfg.Metrics; reg != nil {
+		reg.RegisterRuntimeGauges()
+		reg.CounterFunc("dl_coordinator_requests_total",
+			"Coordinator requests served, by operation.",
+			obs.Labels("op", "search"), co.searches.Load)
+		reg.CounterFunc("dl_coordinator_requests_total", "",
+			obs.Labels("op", "add"), co.adds.Load)
+		reg.CounterFunc("dl_coordinator_errors_total",
+			"Coordinator requests answered with an error status.",
+			"", co.errs.Load)
+		reg.CounterFunc("dl_coordinator_shed_total",
+			"Requests shed with 503 because the concurrency semaphore was full.",
+			"", co.sem.Shed)
+		reg.GaugeFunc("dl_coordinator_in_flight",
+			"Requests currently holding a concurrency-semaphore slot.",
+			"", func() float64 { return float64(co.sem.InFlight()) })
+		co.latency = make(map[string]*obs.Histogram, len(indexes))
+		co.quality = make(map[string]*obs.Histogram, len(indexes))
+		for name, c := range indexes {
+			co.latency[name] = reg.Histogram("dl_search_latency_seconds",
+				"End-to-end /search latency by index.",
+				obs.Labels("index", name), obs.LatencyBounds())
+			co.quality[name] = reg.Histogram("dl_search_quality",
+				"Served quality estimate (QualityEstimate.Value) by index.",
+				obs.Labels("index", name), obs.QualityBounds())
+			cl := c
+			tel := func(f func(dist.Telemetry) uint64) func() uint64 {
+				return func() uint64 { return f(cl.Telemetry()) }
+			}
+			lbl := obs.Labels("index", name)
+			reg.CounterFunc("dl_cluster_searches_total",
+				"Searches fanned out over the cluster, by index.",
+				lbl, tel(func(t dist.Telemetry) uint64 { return t.Searches }))
+			reg.CounterFunc("dl_cluster_failovers_total",
+				"Replica failovers the routed calls needed, by index.",
+				lbl, tel(func(t dist.Telemetry) uint64 { return t.Failovers }))
+			reg.CounterFunc("dl_cluster_dropped_nodes_total",
+				"Partitions dropped from merged rankings, by index.",
+				lbl, tel(func(t dist.Telemetry) uint64 { return t.Dropped }))
+			reg.CounterFunc("dl_cluster_resyncs_total",
+				"Replicas healed from a group member, by index.",
+				lbl, tel(func(t dist.Telemetry) uint64 { return t.Resyncs }))
+			reg.CounterFunc("dl_cluster_divergence_detected_total",
+				"Divergences anti-entropy checksum comparison caught, by index.",
+				lbl, tel(func(t dist.Telemetry) uint64 { return t.DivergenceDetected }))
+			reg.CounterFunc("dl_cluster_resync_bytes_total",
+				"Bytes resyncs shipped (delta and full), by index.",
+				lbl, tel(func(t dist.Telemetry) uint64 { return t.ResyncBytes }))
+		}
+	}
 	return co
 }
 
@@ -143,7 +212,12 @@ func (co *Coordinator) Handler() http.Handler {
 	// load balancer.
 	outer := http.NewServeMux()
 	outer.HandleFunc(dist.PathHealthz, co.healthz)
-	outer.Handle("/", limitConcurrency(co.cfg.MaxConcurrent, mux))
+	// /metrics also bypasses the semaphore: a saturated coordinator is
+	// precisely when its telemetry matters most.
+	if co.cfg.Metrics != nil {
+		outer.Handle("/metrics", co.cfg.Metrics.Handler())
+	}
+	outer.Handle("/", co.sem.wrap(mux))
 	return outer
 }
 
@@ -215,6 +289,15 @@ func (co *Coordinator) search(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
+	// Every /search gets a trace: a client-supplied X-DL-Request is
+	// honoured (so an upstream proxy can stitch its own trace through),
+	// otherwise a fresh ID is generated. The ID is echoed in the
+	// response header and propagated to every node RPC this search
+	// fans out to, so coordinator- and node-side slow-query log lines
+	// for one query join on it.
+	tr := obs.NewTrace(r.Header.Get(obs.HeaderRequestID))
+	w.Header().Set(obs.HeaderRequestID, tr.ID)
+	parseStart := time.Now()
 	var req SearchRequest
 	if !readJSON(w, r, co.cfg.MaxBody, &req) {
 		co.errs.Add(1)
@@ -243,7 +326,8 @@ func (co *Coordinator) search(w http.ResponseWriter, r *http.Request) {
 		co.errs.Add(1)
 		return
 	}
-	ctx := r.Context()
+	tr.AddSpan("parse", parseStart)
+	ctx := obs.NewContext(r.Context(), tr)
 	if co.cfg.SearchTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, co.cfg.SearchTimeout)
@@ -252,6 +336,7 @@ func (co *Coordinator) search(w http.ResponseWriter, r *http.Request) {
 	sr, err := cluster.SearchPlan(ctx, req.Query, plan)
 	if err != nil {
 		co.errs.Add(1)
+		co.observeSearch(name, tr, &req, nil)
 		fail(w, http.StatusBadGateway, "cluster unavailable: "+err.Error())
 		return
 	}
@@ -266,6 +351,30 @@ func (co *Coordinator) search(w http.ResponseWriter, r *http.Request) {
 		StaleStats: sr.StaleStats,
 		Complete:   sr.Complete(),
 	})
+	co.observeSearch(name, tr, &req, sr)
+}
+
+// observeSearch records one finished /search into the per-index
+// latency and quality histograms and, when configured, the slow-query
+// log. sr is nil for a failed search (latency still observed).
+func (co *Coordinator) observeSearch(name string, tr *obs.Trace, req *SearchRequest, sr *dist.SearchResult) {
+	took := tr.Elapsed()
+	if h := co.latency[name]; h != nil {
+		h.Observe(took.Seconds())
+	}
+	rec := obs.SlowQueryRecord{
+		Role:  "coordinator",
+		Index: name,
+		Query: req.Query,
+	}
+	if sr != nil {
+		rec.Quality = sr.Quality.Value()
+		rec.Results = len(sr.Results)
+		if h := co.quality[name]; h != nil {
+			h.Observe(rec.Quality)
+		}
+	}
+	co.cfg.SlowQuery.Record(tr, rec)
 }
 
 // buildPlan folds the config defaults, the request body and the URL
@@ -557,8 +666,45 @@ func (co *Coordinator) addBatch(w http.ResponseWriter, r *http.Request) {
 type StatsResponse struct {
 	UptimeSeconds float64               `json:"uptime_seconds"`
 	Requests      RequestStats          `json:"requests"`
+	Concurrency   *ConcurrencyStats     `json:"concurrency,omitempty"`
 	Indexes       map[string]IndexStats `json:"indexes"`
 	QueryCache    *QueryCacheStats      `json:"query_cache,omitempty"`
+}
+
+// ConcurrencyStats reports the coordinator's semaphore pressure: how
+// many requests are in flight right now, the configured limit, and
+// how many requests overload has shed with a 503 since boot.
+type ConcurrencyStats struct {
+	InFlight int    `json:"in_flight"`
+	Limit    int    `json:"limit"`
+	Shed     uint64 `json:"shed_503_total"`
+}
+
+// QuantilesJSON summarises a histogram for /stats: count, mean and
+// interpolated p50/p95/p99 (each accurate to its bucket's width).
+type QuantilesJSON struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// quantilesJSON renders a histogram snapshot, scaling every value by
+// scale (1e3 turns seconds into milliseconds). nil for an empty or
+// absent histogram.
+func quantilesJSON(h *obs.Histogram, scale float64) *QuantilesJSON {
+	snap := h.Snapshot()
+	if snap.Count == 0 {
+		return nil
+	}
+	return &QuantilesJSON{
+		Count: snap.Count,
+		Mean:  snap.Mean() * scale,
+		P50:   snap.Quantile(0.50) * scale,
+		P95:   snap.Quantile(0.95) * scale,
+		P99:   snap.Quantile(0.99) * scale,
+	}
 }
 
 // RequestStats are the coordinator's cumulative request counters.
@@ -599,7 +745,14 @@ type IndexStats struct {
 	ResyncsDelta uint64 `json:"resyncs_delta"`
 	ResyncsFull  uint64 `json:"resyncs_full"`
 	ResyncBytes  uint64 `json:"resync_bytes"`
-	Error        string `json:"error,omitempty"`
+	// LatencyMS and Quality summarise this coordinator's served
+	// /search outcomes for the index — p50/p95/p99 end-to-end latency
+	// in milliseconds, and the distribution of served quality
+	// estimates. Absent until a search was served (or without a
+	// Metrics registry).
+	LatencyMS *QuantilesJSON `json:"latency_ms,omitempty"`
+	Quality   *QuantilesJSON `json:"quality,omitempty"`
+	Error     string         `json:"error,omitempty"`
 }
 
 // GroupStats is one partition's replica set.
@@ -639,6 +792,11 @@ type ReplicaStats struct {
 	// step, and the size of the delta a resync would ship otherwise.
 	LogPos uint64 `json:"log_pos,omitempty"`
 	LogLag uint64 `json:"log_lag,omitempty"`
+	// RPCCalls / RPCAvgMS are the routed calls this coordinator made
+	// to the replica and their mean latency — per-replica visibility
+	// into which member of a group is slow.
+	RPCCalls uint64  `json:"rpc_calls,omitempty"`
+	RPCAvgMS float64 `json:"rpc_avg_ms,omitempty"`
 }
 
 // QueryCacheStats are the engine's query-side cache counters: term
@@ -665,6 +823,11 @@ func (co *Coordinator) statsHandler(w http.ResponseWriter, r *http.Request) {
 		},
 		Indexes: make(map[string]IndexStats, len(co.indexes)),
 	}
+	resp.Concurrency = &ConcurrencyStats{
+		InFlight: co.sem.InFlight(),
+		Limit:    co.sem.Limit(),
+		Shed:     co.sem.Shed(),
+	}
 	names := make([]string, 0, len(co.indexes))
 	for name := range co.indexes {
 		names = append(names, name)
@@ -685,6 +848,8 @@ func (co *Coordinator) statsHandler(w http.ResponseWriter, r *http.Request) {
 			ResyncsDelta:       tel.ResyncsDelta,
 			ResyncsFull:        tel.ResyncsFull,
 			ResyncBytes:        tel.ResyncBytes,
+			LatencyMS:          quantilesJSON(co.latency[name], 1e3),
+			Quality:            quantilesJSON(co.quality[name], 1),
 		}
 		// One probe of every replica serves both views: the per-replica
 		// report AND the per-partition loads (replicas counted once) —
@@ -726,6 +891,10 @@ func (co *Coordinator) statsHandler(w http.ResponseWriter, r *http.Request) {
 					Diverged:  info.Health.Diverged,
 					Fails:     info.Health.Fails,
 					LastError: info.Health.LastErr,
+					RPCCalls:  info.Health.RPCCalls,
+				}
+				if info.Health.RPCCalls > 0 {
+					rs.RPCAvgMS = float64(info.Health.RPCTotalUS) / float64(info.Health.RPCCalls) / 1e3
 				}
 				if info.Health.LastResyncUnix > 0 {
 					rs.ResyncUnix = info.Health.LastResyncUnix

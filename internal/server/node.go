@@ -12,6 +12,7 @@ import (
 	"dlsearch/internal/core"
 	"dlsearch/internal/dist"
 	"dlsearch/internal/ir"
+	"dlsearch/internal/obs"
 	"dlsearch/internal/persist"
 )
 
@@ -46,6 +47,19 @@ type NodeConfig struct {
 	// is snapshot + replay, and the handler must never serve a
 	// half-replayed index.
 	OpLog *persist.OpLog
+	// Metrics, when set, receives the node's serving telemetry —
+	// per-endpoint request counters and latency histograms, local
+	// scoring time, ingested documents, op-log append/fsync durations,
+	// Go runtime gauges — served in Prometheus text format on
+	// GET /metrics (outside the concurrency semaphore). nil disables
+	// both the instrumentation and the endpoint; the query hot path
+	// then stays byte-identical to an uninstrumented server.
+	Metrics *obs.Registry
+	// SlowQuery, when set, emits one JSON line per /node/topn or
+	// /node/search slower than its threshold, carrying the
+	// coordinator's request ID (X-DL-Request) so node-side lines join
+	// the coordinator's. nil disables.
+	SlowQuery *obs.SlowQueryLog
 }
 
 // NodeServer serves one shared-nothing index fragment over the node
@@ -62,6 +76,10 @@ type NodeServer struct {
 	dataDir    string
 	oplog      *persist.OpLog
 	snapMu     sync.Mutex // serialises snapshot writes
+
+	reg     *obs.Registry     // nil = uninstrumented
+	slow    *obs.SlowQueryLog // nil = no slow-query log
+	scoring *obs.Histogram    // local scoring time, shared with the LocalNode
 }
 
 // NewNodeServer builds the node server for ix. A nil cfg selects
@@ -97,6 +115,26 @@ func NewNodeServer(ix *ir.Index, cfg *NodeConfig) *NodeServer {
 			s.oplog = cfg.OpLog
 			s.node.SetOpLog(cfg.OpLog)
 		}
+		s.slow = cfg.SlowQuery
+		if reg := cfg.Metrics; reg != nil {
+			s.reg = reg
+			reg.RegisterRuntimeGauges()
+			s.scoring = reg.Histogram("dl_node_scoring_seconds",
+				"Local query evaluation (scoring) time.", "", obs.LatencyBounds())
+			s.node.SetMetrics(&dist.NodeMetrics{
+				Scoring: s.scoring,
+				IngestDocs: reg.Counter("dl_node_ingest_docs_total",
+					"Documents freshly indexed on this node (retried duplicates excluded).", ""),
+			})
+			if s.oplog != nil {
+				s.oplog.Instrument(
+					reg.Histogram("dl_oplog_append_seconds",
+						"Durable op-log append time, end to end.", "", obs.LatencyBounds()),
+					reg.Histogram("dl_oplog_fsync_seconds",
+						"The fsync inside each op-log append.", "", obs.LatencyBounds()),
+				)
+			}
+		}
 	}
 	return s
 }
@@ -108,21 +146,65 @@ func NewNodeServer(ix *ir.Index, cfg *NodeConfig) *NodeServer {
 // live fragment state), /healthz.
 func (s *NodeServer) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc(dist.PathNodeAdd, s.add)
-	mux.HandleFunc(dist.PathNodeAddBatch, s.addBatch)
-	mux.HandleFunc(dist.PathNodeStats, s.stats)
-	mux.HandleFunc(dist.PathNodeTopN, s.topn)
-	mux.HandleFunc(dist.PathNodeSearch, s.search)
-	mux.HandleFunc(dist.PathNodeLoad, s.load)
-	mux.HandleFunc(dist.PathNodeSnapshot, s.snapshot)
-	mux.HandleFunc(dist.PathNodeRestore, s.restore)
-	mux.HandleFunc(dist.PathNodeOpLog, s.oplogHandler)
+	for path, h := range map[string]http.HandlerFunc{
+		dist.PathNodeAdd:      s.add,
+		dist.PathNodeAddBatch: s.addBatch,
+		dist.PathNodeStats:    s.stats,
+		dist.PathNodeTopN:     s.topn,
+		dist.PathNodeSearch:   s.search,
+		dist.PathNodeLoad:     s.load,
+		dist.PathNodeSnapshot: s.snapshot,
+		dist.PathNodeRestore:  s.restore,
+		dist.PathNodeOpLog:    s.oplogHandler,
+	} {
+		mux.HandleFunc(path, s.instrument(path, h))
+	}
 	// The health probe bypasses the semaphore: a saturated node is
 	// busy, not dead, and must not be ejected by its load balancer.
+	// /metrics does too — a saturated node is when its telemetry
+	// matters most.
 	outer := http.NewServeMux()
 	outer.HandleFunc(dist.PathHealthz, s.healthz)
-	outer.Handle("/", limitConcurrency(s.maxConc, mux))
+	if s.reg != nil {
+		outer.Handle("/metrics", s.reg.Handler())
+	}
+	outer.Handle("/", newSemaphore(s.maxConc).wrap(mux))
 	return outer
+}
+
+// instrument wraps a handler with a per-endpoint request counter and
+// latency histogram. Without a registry the handler is returned
+// unchanged, so the uninstrumented serving path is byte-identical to
+// the pre-instrumentation one.
+func (s *NodeServer) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
+	if s.reg == nil {
+		return h
+	}
+	count := s.reg.Counter("dl_node_requests_total",
+		"Node requests served, by endpoint.", obs.Labels("path", path))
+	lat := s.reg.Histogram("dl_node_request_seconds",
+		"Node request handling time, by endpoint.",
+		obs.Labels("path", path), obs.LatencyBounds())
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		count.Inc()
+		h(w, r)
+		lat.ObserveSince(start)
+	}
+}
+
+// queryTrace builds the node-side trace for a query endpoint: created
+// only when the coordinator sent a request ID (X-DL-Request) or a
+// slow-query log wants spans, so the untraced hot path allocates
+// nothing. The ID is echoed in the response headers.
+func (s *NodeServer) queryTrace(w http.ResponseWriter, r *http.Request) *obs.Trace {
+	id := r.Header.Get(obs.HeaderRequestID)
+	if id == "" && s.slow == nil {
+		return nil
+	}
+	tr := obs.NewTrace(id)
+	w.Header().Set(obs.HeaderRequestID, tr.ID)
+	return tr
 }
 
 // NewNodeHandler returns the HTTP handler serving ix as a remote
@@ -247,8 +329,19 @@ func (s *NodeServer) topn(w http.ResponseWriter, r *http.Request) {
 	// client-facing validation lives in the coordinator, and the
 	// cluster's local/remote transparency depends on the node
 	// protocol never rejecting what a LocalNode accepts.
+	tr := s.queryTrace(w, r)
+	if tr == nil {
+		res, _ := s.node.TopNWithStats(r.Context(), req.Query, req.N, dist.StatsFromJSON(req.Stats))
+		writeJSON(w, http.StatusOK, dist.TopNResponse{Results: dist.ResultsToJSON(res)})
+		return
+	}
+	scoreStart := time.Now()
 	res, _ := s.node.TopNWithStats(r.Context(), req.Query, req.N, dist.StatsFromJSON(req.Stats))
+	tr.AddSpan("scoring", scoreStart)
 	writeJSON(w, http.StatusOK, dist.TopNResponse{Results: dist.ResultsToJSON(res)})
+	s.slow.Record(tr, obs.SlowQueryRecord{
+		Role: "node", Query: req.Query, Results: len(res),
+	})
 }
 
 func (s *NodeServer) search(w http.ResponseWriter, r *http.Request) {
@@ -261,11 +354,26 @@ func (s *NodeServer) search(w http.ResponseWriter, r *http.Request) {
 	}
 	// Degenerate plans mirror LocalNode (empty ranking, exact quality)
 	// for the same transparency reason as /node/topn.
+	tr := s.queryTrace(w, r)
+	if tr == nil {
+		res, est, _ := s.node.SearchPlan(r.Context(), req.Query, dist.PlanFromJSON(req.Plan),
+			dist.StatsFromJSON(req.Stats))
+		writeJSON(w, http.StatusOK, dist.SearchPlanResponse{
+			Results: dist.ResultsToJSON(res),
+			Quality: dist.QualityToJSON(est),
+		})
+		return
+	}
+	scoreStart := time.Now()
 	res, est, _ := s.node.SearchPlan(r.Context(), req.Query, dist.PlanFromJSON(req.Plan),
 		dist.StatsFromJSON(req.Stats))
+	tr.AddSpan("scoring", scoreStart)
 	writeJSON(w, http.StatusOK, dist.SearchPlanResponse{
 		Results: dist.ResultsToJSON(res),
 		Quality: dist.QualityToJSON(est),
+	})
+	s.slow.Record(tr, obs.SlowQueryRecord{
+		Role: "node", Query: req.Query, Quality: est.Value(), Results: len(res),
 	})
 }
 

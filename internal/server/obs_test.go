@@ -1,0 +1,194 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dlsearch/internal/dist"
+	"dlsearch/internal/ir"
+	"dlsearch/internal/obs"
+)
+
+// syncBuffer is a goroutine-safe log sink for the slow-query logs.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestObservabilityEndToEnd drives a coordinator over two remote node
+// servers with full instrumentation: the coordinator's request ID must
+// be echoed in the /search response AND appear in the node-side
+// slow-query log (propagated via X-DL-Request), /metrics must serve
+// Prometheus text on both roles, and /stats must report latency
+// quantiles and semaphore pressure.
+func TestObservabilityEndToEnd(t *testing.T) {
+	var nodeSlow syncBuffer
+	nodeReg := obs.NewRegistry()
+	var nodeServers []*httptest.Server
+	var nodes []dist.Node
+	for i := 0; i < 2; i++ {
+		ix := ir.NewIndex()
+		h := NewNodeHandler(ix, &NodeConfig{
+			Metrics:   nodeReg,
+			SlowQuery: obs.NewSlowQueryLog(&nodeSlow, time.Nanosecond),
+		})
+		ts := httptest.NewServer(h)
+		defer ts.Close()
+		nodeServers = append(nodeServers, ts)
+		nodes = append(nodes, dist.NewRemoteNode(ts.URL, nil))
+	}
+	cluster := dist.NewClusterOf(nodes, nil)
+
+	var coSlow syncBuffer
+	coReg := obs.NewRegistry()
+	co := NewCoordinator(map[string]*dist.Cluster{"lib": cluster}, &CoordinatorConfig{
+		Metrics:   coReg,
+		SlowQuery: obs.NewSlowQueryLog(&coSlow, time.Nanosecond),
+	})
+	cot := httptest.NewServer(co.Handler())
+	defer cot.Close()
+
+	post := func(path, body string) (*http.Response, []byte) {
+		resp, err := http.Post(cot.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp, buf.Bytes()
+	}
+	get := func(url string) string {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, buf.String())
+		}
+		return buf.String()
+	}
+
+	if resp, body := post("/add", `{"text":"tennis champion trophy"}`); resp.StatusCode != 200 {
+		t.Fatalf("/add: %d %s", resp.StatusCode, body)
+	}
+	if resp, body := post("/add", `{"text":"winning serve at the open"}`); resp.StatusCode != 200 {
+		t.Fatalf("/add: %d %s", resp.StatusCode, body)
+	}
+
+	const searches = 5
+	var reqID string
+	for i := 0; i < searches; i++ {
+		resp, body := post("/search", `{"query":"champion serve","n":5}`)
+		if resp.StatusCode != 200 {
+			t.Fatalf("/search: %d %s", resp.StatusCode, body)
+		}
+		reqID = resp.Header.Get(obs.HeaderRequestID)
+		if reqID == "" {
+			t.Fatal("no X-DL-Request header echoed on /search")
+		}
+	}
+
+	// The coordinator's request ID must appear in BOTH slow-query logs
+	// — that is the trace join the whole feature is for.
+	for _, log := range []struct{ role, text string }{
+		{"coordinator", coSlow.String()},
+		{"node", nodeSlow.String()},
+	} {
+		if !strings.Contains(log.text, reqID) {
+			t.Fatalf("%s slow-query log does not carry request ID %s:\n%s", log.role, reqID, log.text)
+		}
+		var rec obs.SlowQueryRecord
+		line := log.text[:strings.IndexByte(log.text, '\n')]
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("%s slow-query line is not JSON: %v\n%s", log.role, err, line)
+		}
+		if rec.Role != log.role || len(rec.Spans) == 0 {
+			t.Fatalf("%s slow-query record = %+v, want role %q with spans", log.role, rec, log.role)
+		}
+	}
+
+	// Coordinator /metrics: Prometheus text with the search counter at
+	// the served count and a non-empty latency histogram.
+	met := get(cot.URL + "/metrics")
+	for _, want := range []string{
+		`dl_coordinator_requests_total{op="search"} 5`,
+		`dl_search_latency_seconds_bucket{index="lib",le="+Inf"} 5`,
+		`dl_search_quality_count{index="lib"} 5`,
+		"go_goroutines",
+	} {
+		if !strings.Contains(met, want) {
+			t.Fatalf("coordinator /metrics missing %q:\n%s", want, met)
+		}
+	}
+	// Node /metrics: per-endpoint counters and scoring histogram fed.
+	nmet := get(nodeServers[0].URL + "/metrics")
+	for _, want := range []string{
+		`dl_node_requests_total{path="/node/topn"}`,
+		"dl_node_scoring_seconds_count",
+		"dl_node_ingest_docs_total",
+	} {
+		if !strings.Contains(nmet, want) {
+			t.Fatalf("node /metrics missing %q:\n%s", want, nmet)
+		}
+	}
+
+	// /stats: latency/quality quantiles per index plus semaphore
+	// pressure.
+	var st StatsResponse
+	if err := json.Unmarshal([]byte(get(cot.URL+"/stats")), &st); err != nil {
+		t.Fatal(err)
+	}
+	lib := st.Indexes["lib"]
+	if lib.LatencyMS == nil || lib.LatencyMS.Count != searches || lib.LatencyMS.P95 <= 0 {
+		t.Fatalf("stats latency quantiles = %+v, want count %d with positive p95", lib.LatencyMS, searches)
+	}
+	if lib.Quality == nil || lib.Quality.Count != searches {
+		t.Fatalf("stats quality quantiles = %+v, want count %d", lib.Quality, searches)
+	}
+	if st.Concurrency == nil || st.Concurrency.Limit != DefaultMaxConcurrent {
+		t.Fatalf("stats concurrency = %+v, want limit %d", st.Concurrency, DefaultMaxConcurrent)
+	}
+	if len(lib.Groups) == 0 || lib.Groups[0].Replicas[0].RPCCalls == 0 {
+		t.Fatalf("replica RPC telemetry missing: %+v", lib.Groups)
+	}
+}
+
+// TestNodeQueryUntracedWhenUninstrumented: without a request ID and
+// without a slow-query log, the node query path must not create a
+// trace (no echoed header) — that is what keeps the benchmark path
+// allocation-free.
+func TestNodeQueryUntracedWhenUninstrumented(t *testing.T) {
+	h := NewNodeHandler(ir.NewIndex(), nil)
+	w := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, dist.PathNodeTopN,
+		strings.NewReader(`{"query":"q","n":3,"stats":{"df":{},"total_df":0,"docs":0}}`))
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("topn = %d: %s", w.Code, w.Body)
+	}
+	if got := w.Header().Get(obs.HeaderRequestID); got != "" {
+		t.Fatalf("uninstrumented node invented a request ID %q", got)
+	}
+}

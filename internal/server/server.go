@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"sync/atomic"
 	"time"
 )
 
@@ -84,22 +85,43 @@ func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
 	return true
 }
 
-// limitConcurrency bounds the handler to max in-flight requests; a
-// request arriving while the semaphore is full is answered 503
-// immediately — under overload the server sheds load instead of
-// queueing unboundedly.
-func limitConcurrency(max int, h http.Handler) http.Handler {
-	sem := make(chan struct{}, max)
+// semaphore bounds a handler to a fixed number of in-flight requests
+// and keeps its own pressure observable: current occupancy, the
+// configured limit, and how many requests were shed with a 503. Under
+// overload the server sheds load instead of queueing unboundedly.
+type semaphore struct {
+	ch    chan struct{}
+	limit int
+	shed  atomic.Uint64
+}
+
+func newSemaphore(max int) *semaphore {
+	return &semaphore{ch: make(chan struct{}, max), limit: max}
+}
+
+// wrap bounds h to the semaphore's limit; a request arriving while it
+// is full is answered 503 immediately and counted in Shed.
+func (s *semaphore) wrap(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		select {
-		case sem <- struct{}{}:
-			defer func() { <-sem }()
+		case s.ch <- struct{}{}:
+			defer func() { <-s.ch }()
 			h.ServeHTTP(w, r)
 		default:
+			s.shed.Add(1)
 			fail(w, http.StatusServiceUnavailable, "server at capacity")
 		}
 	})
 }
+
+// InFlight reports the requests currently holding a slot.
+func (s *semaphore) InFlight() int { return len(s.ch) }
+
+// Limit reports the configured in-flight bound.
+func (s *semaphore) Limit() int { return s.limit }
+
+// Shed reports the cumulative 503-shed request count.
+func (s *semaphore) Shed() uint64 { return s.shed.Load() }
 
 // Run serves h on addr until ctx is cancelled, then drains in-flight
 // requests through a graceful shutdown (bounded by grace; 0 selects

@@ -312,7 +312,8 @@ func TestCoordinatorConcurrentAddSearch(t *testing.T) {
 func TestConcurrencyLimit(t *testing.T) {
 	release := make(chan struct{})
 	entered := make(chan struct{}, 1)
-	h := limitConcurrency(1, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	sem := newSemaphore(1)
+	h := sem.wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		entered <- struct{}{}
 		<-release
 		w.WriteHeader(http.StatusOK)
@@ -329,6 +330,10 @@ func TestConcurrencyLimit(t *testing.T) {
 	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/", nil))
 	if w.Code != http.StatusServiceUnavailable {
 		t.Fatalf("second request = %d, want 503", w.Code)
+	}
+	if sem.Shed() != 1 || sem.Limit() != 1 || sem.InFlight() != 1 {
+		t.Fatalf("semaphore pressure shed=%d limit=%d inflight=%d, want 1/1/1",
+			sem.Shed(), sem.Limit(), sem.InFlight())
 	}
 	close(release)
 	wg.Wait()
