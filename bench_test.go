@@ -481,3 +481,58 @@ func BenchmarkE20ObservabilityOverhead(b *testing.B) {
 	})
 	b.Run("instrumented", run)
 }
+
+// --- E21: binary wire protocol + persistent-connection transport ---
+
+// BenchmarkE21BinaryWire re-runs E11RemoteTopN's distributed top-N
+// under each wire codec: "json" is the pr2_network protocol (one HTTP
+// round-trip of JSON per node per query), "binary" swaps the bodies
+// for the framed binary codec (same HTTP machinery), and "wire" adds
+// the persistent-connection transport — one upgraded conn per node,
+// one frame out and one back per RPC, no per-query HTTP. The
+// acceptance bar of the binary-wire PR reads the nodes=1 rows:
+// codec=wire must carry ≥5× fewer bytes/op and allocs/op than
+// pr2_network's JSON baseline (15329 B/op, 223 allocs/op).
+func BenchmarkE21BinaryWire(b *testing.B) {
+	docs := textCorpus(2000, 4)
+	ctx := context.Background()
+	codecs := []struct {
+		name  string
+		codec dist.Codec
+	}{
+		{"json", dist.CodecJSON},
+		{"binary", dist.CodecBinary},
+		{"wire", dist.CodecWire},
+	}
+	for _, cc := range codecs {
+		for _, k := range []int{1, 2, 4, 8} {
+			nodes := make([]dist.Node, k)
+			for i := range nodes {
+				srv := httptest.NewServer(server.NewNodeHandler(ir.NewIndex(),
+					&server.NodeConfig{Cache: core.NewQueryCache(64)}))
+				b.Cleanup(srv.Close)
+				rn := dist.NewRemoteNode(srv.URL, srv.Client())
+				rn.SetCodec(cc.codec)
+				nodes[i] = rn
+			}
+			c := dist.NewClusterOf(nodes, nil)
+			for i, d := range docs {
+				if err := c.AddContext(ctx, bat.OID(i+1), "u", d); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.Run(fmt.Sprintf("codec=%s/nodes=%d", cc.name, k), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					sr, err := c.Search(ctx, "champion winner serve", 10)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(sr.Results) != 10 || !sr.Complete() {
+						b.Fatalf("results=%d dropped=%v", len(sr.Results), sr.Dropped)
+					}
+				}
+			})
+		}
+	}
+}

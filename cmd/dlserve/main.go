@@ -91,6 +91,7 @@ func main() {
 	resyncFrom := fs.String("resync", "", "peer node base URL to pull the fragment from at boot — seeds a fresh or wiped replica from a live group member (node)")
 	verifyPeer := fs.String("verify", "", "peer node base URL to compare content checksums with after boot recovery — a mismatch pulls the peer's state instead of serving wrong rankings (node)")
 	antiEntropy := fs.Duration("anti-entropy-interval", 0, "periodic replica checksum comparison + auto-resync interval, 0 disables (coordinator)")
+	wire := fs.String("wire", "binary", "node wire protocol: binary (framed codec, persistent connections, falls back to JSON per peer) or json (HTTP/JSON only — debugging and third-party nodes)")
 	logLevel := fs.String("log-level", "info", "log threshold: debug, info, warn or error (background-loop noise logs at debug)")
 	slowQueryMS := fs.Int("slow-query-ms", 0, "log one JSON line with the full span breakdown for every query slower than this; 0 disables, negative logs every query")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060), empty disables")
@@ -102,6 +103,10 @@ func main() {
 		fatal(err)
 	}
 	logger.SetLevel(level)
+	if *wire != "binary" && *wire != "json" {
+		fatal(fmt.Errorf("-wire must be binary or json, got %q", *wire))
+	}
+	jsonWire := *wire == "json"
 	if *pprofAddr != "" {
 		go func() {
 			logger.Infof("pprof listening on %s", *pprofAddr)
@@ -130,12 +135,12 @@ func main() {
 		if *addr == "" {
 			*addr = ":8081"
 		}
-		runNode(ctx, *addr, *lambda, *cache, *maxConc, *memBudget, *dataDir, *oplogDir, *resyncFrom, *verifyPeer, *compactInterval, reg, slow)
+		runNode(ctx, *addr, *lambda, *cache, *maxConc, *memBudget, *dataDir, *oplogDir, *resyncFrom, *verifyPeer, *compactInterval, jsonWire, reg, slow)
 	case "coordinator":
 		if *addr == "" {
 			*addr = ":8080"
 		}
-		cluster, qc, err := buildCluster(*nodes, *local, *replicas, *lambda, *nodeTimeout, *cache, reg)
+		cluster, qc, err := buildCluster(*nodes, *local, *replicas, *lambda, *nodeTimeout, *cache, jsonWire, reg)
 		if err != nil {
 			fatal(err)
 		}
@@ -176,7 +181,7 @@ func main() {
 // truth) and resets the log to the pulled position. The node serves
 // until the context cancels, then snapshots the fragment (compacting
 // the log) so the next boot replays almost nothing.
-func runNode(ctx context.Context, addr string, lambda float64, cacheCap, maxConc, memBudget int, dataDir, oplogDir, resyncFrom, verifyPeer string, compactInterval time.Duration, reg *obs.Registry, slow *obs.SlowQueryLog) {
+func runNode(ctx context.Context, addr string, lambda float64, cacheCap, maxConc, memBudget int, dataDir, oplogDir, resyncFrom, verifyPeer string, compactInterval time.Duration, jsonWire bool, reg *obs.Registry, slow *obs.SlowQueryLog) {
 	if oplogDir == "" {
 		oplogDir = dataDir
 	}
@@ -285,6 +290,7 @@ func runNode(ctx context.Context, addr string, lambda float64, cacheCap, maxConc
 		MemoryBudget:  memBudget,
 		DataDir:       dataDir,
 		OpLog:         oplog,
+		JSONOnly:      jsonWire,
 		Metrics:       reg,
 		SlowQuery:     slow,
 	}
@@ -414,7 +420,7 @@ func resetLogTo(dir string, base uint64) *persist.OpLog {
 // the local mode, where it sits on the nodes' top-N path and its
 // /stats counters mean something; remote nodes cache server-side
 // (their own -cache flag) instead.
-func buildCluster(nodeURLs string, local, r int, lambda float64, nodeTimeout time.Duration, cacheCap int, reg *obs.Registry) (*dist.Cluster, *core.QueryCache, error) {
+func buildCluster(nodeURLs string, local, r int, lambda float64, nodeTimeout time.Duration, cacheCap int, jsonWire bool, reg *obs.Registry) (*dist.Cluster, *core.QueryCache, error) {
 	opts := &dist.Options{Lambda: lambda, NodeTimeout: nodeTimeout, Logger: logger}
 	if reg != nil {
 		opts.Metrics = &dist.ClusterMetrics{
@@ -441,6 +447,14 @@ func buildCluster(nodeURLs string, local, r int, lambda float64, nodeTimeout tim
 				continue
 			}
 			rn := dist.NewRemoteNode(u, nil)
+			if jsonWire {
+				rn.SetCodec(dist.CodecJSON)
+			} else {
+				// Real remote processes: open the persistent-connection
+				// transport; peers that refuse it (older or -wire=json
+				// nodes) negotiate down to HTTP binary or JSON per node.
+				rn.SetCodec(dist.CodecWire)
+			}
 			rn.SetMetrics(rm)
 			members = append(members, rn)
 		}

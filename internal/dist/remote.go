@@ -5,10 +5,15 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"net/url"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"dlsearch/internal/bat"
@@ -32,7 +37,35 @@ const (
 	PathNodeSnapshot = "/node/snapshot"
 	PathNodeRestore  = "/node/restore"
 	PathNodeOpLog    = "/node/oplog"
+	PathNodeWire     = "/node/wire"
 	PathHealthz      = "/healthz"
+)
+
+// Codec selects how a RemoteNode speaks to its node on the query hot
+// path (/node/topn, /node/search, /node/stats, /node/add/batch).
+type Codec int
+
+const (
+	// CodecBinary (the default) negotiates compact framed binary
+	// bodies over HTTP (Content-Type/Accept) and falls back to JSON
+	// against a peer that does not speak them — permanently per peer,
+	// so a mixed deployment costs one failed probe per node, not per
+	// request. Every RPC is still an ordinary HTTP request, so node
+	// liveness, timeouts and load balancers behave exactly as with
+	// JSON.
+	CodecBinary Codec = iota
+	// CodecJSON forces the HTTP/JSON protocol: the debugging and
+	// third-party-node mode.
+	CodecJSON
+	// CodecWire adds the persistent-connection transport on top of
+	// CodecBinary: an upgraded long-lived conn per node, one frame
+	// out and one back per RPC, no per-query HTTP machinery. Falls
+	// back to CodecBinary behaviour (and from there to JSON) against
+	// peers that refuse the upgrade. Opt-in because a pooled upgraded
+	// conn bypasses the HTTP client's lifecycle: a node is presumed
+	// dead only when its conns break, which is right for real
+	// processes but not for in-process test servers.
+	CodecWire
 )
 
 // AddRequest is the body of POST /node/add, and one element of a
@@ -225,6 +258,25 @@ type RemoteNode struct {
 
 	// met, when set, records this node's client-side RPC telemetry.
 	met *RemoteMetrics
+
+	// codec is the configured preference; jsonOnly sticks once the
+	// peer proves it does not accept binary bodies (415, or a JSON
+	// parse error against the binary payload from an older node).
+	codec    Codec
+	jsonOnly atomic.Bool
+
+	// pool holds this node's persistent upgraded connections; nil
+	// unless CodecWire is selected and the base URL is upgradable
+	// (plain http with a host).
+	pool *wirePool
+
+	// urls caches the parsed hot-path URLs so the binary round-trip
+	// builds requests without re-parsing; nil when base does not parse.
+	urls map[string]*url.URL
+
+	// bytesOut/bytesIn count request/response body and frame bytes
+	// over every codec — the per-replica numbers /stats surfaces.
+	bytesOut, bytesIn atomic.Uint64
 }
 
 // RemoteMetrics is client-side RPC instrumentation for one or more
@@ -256,18 +308,34 @@ func (c *countingReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
+// defaultTransport is tuned for a coordinator fanning every query out
+// to the same small node set: generous idle-connection limits keep one
+// warm connection per in-flight request per node (net/http's default
+// of 2 idle conns per host redials constantly under fan-out
+// concurrency), and keep-alives hold them open between queries.
+var defaultTransport = &http.Transport{
+	Proxy: http.ProxyFromEnvironment,
+	DialContext: (&net.Dialer{
+		Timeout:   10 * time.Second,
+		KeepAlive: 30 * time.Second,
+	}).DialContext,
+	MaxIdleConns:        512,
+	MaxIdleConnsPerHost: 128,
+	IdleConnTimeout:     90 * time.Second,
+}
+
 // defaultClient is shared by RemoteNodes built without an explicit
 // client; connection pooling across nodes of the same host is what a
 // coordinator wants by default.
-var defaultClient = &http.Client{Timeout: 30 * time.Second}
+var defaultClient = &http.Client{Timeout: 30 * time.Second, Transport: defaultTransport}
 
 // defaultTransferClient serves the state-transfer calls
 // (SnapshotState/RestoreState) for nodes built on defaultClient: no
 // overall timeout, because a fragment transfer's duration scales with
 // the fragment and must be bounded by the caller's ctx, not by the
 // per-operation budget sized for one JSON round-trip. It shares
-// defaultClient's (default) transport pool.
-var defaultTransferClient = &http.Client{}
+// defaultClient's transport pool.
+var defaultTransferClient = &http.Client{Transport: defaultTransport}
 
 // transferClient picks the client for whole-fragment transfers: a
 // caller-supplied client is honoured as-is; the shared default is
@@ -279,18 +347,201 @@ func (rn *RemoteNode) transferClient() *http.Client {
 	return rn.client
 }
 
-// NewRemoteNode returns a node speaking the HTTP protocol at baseURL
+// NewRemoteNode returns a node speaking the node protocol at baseURL
 // (e.g. "http://host:8081"). A nil client selects a shared pooled
-// default; pass a custom client to control transport details.
+// default; pass a custom client to control transport details. The hot
+// path defaults to the binary codec with negotiation (SetCodec forces
+// JSON); every other endpoint speaks HTTP/JSON or the persist binary
+// transfer formats as before.
 func NewRemoteNode(baseURL string, client *http.Client) *RemoteNode {
 	if client == nil {
 		client = defaultClient
 	}
-	return &RemoteNode{base: strings.TrimRight(baseURL, "/"), client: client}
+	rn := &RemoteNode{base: strings.TrimRight(baseURL, "/"), client: client}
+	if u, err := url.Parse(rn.base); err == nil && u.Host != "" {
+		rn.urls = make(map[string]*url.URL, 4)
+		for _, p := range []string{PathNodeTopN, PathNodeSearch, PathNodeAddBatch, PathNodeStats} {
+			pu := *u
+			pu.Path = p
+			rn.urls[p] = &pu
+		}
+	}
+	return rn
+}
+
+// SetCodec selects the hot-path codec. CodecWire opens the
+// persistent-connection transport; CodecJSON disables every binary
+// layer (the debugging mode, and the mode for third-party nodes that
+// log unknown content types noisily). Call before the node serves
+// traffic — the setting is not synchronised with in-flight RPCs.
+func (rn *RemoteNode) SetCodec(c Codec) {
+	rn.codec = c
+	if c == CodecWire && rn.pool == nil {
+		rn.pool = newWirePool(rn.base)
+	}
+	if c != CodecWire && rn.pool != nil {
+		rn.pool.closeIdle()
+		rn.pool = nil
+	}
+}
+
+// WireInfo reports the codec this node is effectively spoken with —
+// "wire" (persistent-connection transport open), "binary" (HTTP
+// binary bodies), "json" (configured), or "json-fallback" (peer
+// refused binary) — and the cumulative body and frame bytes exchanged
+// with it over every codec.
+func (rn *RemoteNode) WireInfo() (codec string, bytesIn, bytesOut uint64) {
+	switch {
+	case rn.codec == CodecJSON:
+		codec = "json"
+	case rn.jsonOnly.Load():
+		codec = "json-fallback"
+	case rn.pool != nil && !rn.pool.isUnsupported():
+		codec = "wire"
+	default:
+		codec = "binary"
+	}
+	return codec, rn.bytesIn.Load(), rn.bytesOut.Load()
+}
+
+// timeout is the per-RPC budget for the persistent-connection
+// transport when the caller's context carries no deadline.
+func (rn *RemoteNode) timeout() time.Duration {
+	if rn.client.Timeout > 0 {
+		return rn.client.Timeout
+	}
+	return 30 * time.Second
 }
 
 // BaseURL returns the node's base URL.
 func (rn *RemoteNode) BaseURL() string { return rn.base }
+
+// wireHeader is the shared hot-path request header: never mutated, so
+// concurrent requests can carry the same map and the per-call header
+// allocation disappears. Requests that add headers (a trace ID) clone
+// a fresh map instead.
+var wireHeader = http.Header{
+	"Content-Type": {persist.WireContentType},
+	"Accept":       {persist.WireContentType + ", application/json"},
+}
+
+// useBinary reports whether the binary codec should be attempted.
+func (rn *RemoteNode) useBinary() bool {
+	return rn.codec != CodecJSON && !rn.jsonOnly.Load() && rn.urls != nil
+}
+
+// doBinary runs one hot-path RPC over the best available binary
+// layer: the persistent-connection transport when the peer speaks it
+// (and no trace needs HTTP headers), else binary bodies over HTTP.
+// handle receives the verified response frame. errWireUnsupported
+// means the peer speaks neither binary layer — the caller retries the
+// RPC in JSON and rn remembers via jsonOnly.
+func (rn *RemoteNode) doBinary(ctx context.Context, path string, req *persist.WireBuffer, handle func(frame []byte) error) error {
+	if rn.met == nil && obs.FromContext(ctx) == nil {
+		return rn.binaryRoundTrip(ctx, path, req, handle)
+	}
+	start := time.Now()
+	err := rn.binaryRoundTrip(ctx, path, req, handle)
+	if rn.met != nil {
+		rn.met.Latency.ObserveSince(start)
+	}
+	obs.FromContext(ctx).AddSpan("rpc:"+path, start)
+	return err
+}
+
+func (rn *RemoteNode) binaryRoundTrip(ctx context.Context, path string, req *persist.WireBuffer, handle func(frame []byte) error) error {
+	if rn.pool != nil && obs.FromContext(ctx) == nil {
+		err := rn.connRPC(ctx, path, req, handle)
+		if !errors.Is(err, errWireUnsupported) {
+			return err
+		}
+		// The peer refused the upgrade; try binary bodies over HTTP.
+	}
+	return rn.httpBinary(ctx, path, req, handle)
+}
+
+// httpBinary POSTs one framed binary request over HTTP and decodes
+// the framed response. A 415, a "malformed JSON" rejection (an older
+// node parsing the binary body as JSON) or a JSON 200 mark the peer
+// jsonOnly and report errWireUnsupported so the caller re-sends in
+// JSON.
+func (rn *RemoteNode) httpBinary(ctx context.Context, path string, wb *persist.WireBuffer, handle func(frame []byte) error) error {
+	if err := wb.Err(); err != nil {
+		return fmt.Errorf("dist: encode %s: %w", path, err)
+	}
+	body := wb.Bytes()
+	hreq := &http.Request{
+		Method:        http.MethodPost,
+		URL:           rn.urls[path],
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        wireHeader,
+		Body:          io.NopCloser(bytes.NewReader(body)),
+		GetBody:       func() (io.ReadCloser, error) { return io.NopCloser(bytes.NewReader(body)), nil },
+		ContentLength: int64(len(body)),
+		Host:          rn.urls[path].Host,
+	}
+	if tr := obs.FromContext(ctx); tr != nil && tr.ID != "" {
+		h := make(http.Header, 3)
+		h["Content-Type"] = wireHeader["Content-Type"]
+		h["Accept"] = wireHeader["Accept"]
+		h.Set(obs.HeaderRequestID, tr.ID)
+		hreq.Header = h
+	}
+	hreq = hreq.WithContext(ctx)
+	resp, err := rn.client.Do(hreq)
+	if err != nil {
+		return fmt.Errorf("dist: node %s%s: %w", rn.base, path, err)
+	}
+	defer resp.Body.Close()
+	rn.bytesOut.Add(uint64(len(body)))
+	if rn.met != nil {
+		rn.met.BytesOut.Add(uint64(len(body)))
+	}
+	buf := respBufPool.Get().(*bytes.Buffer)
+	defer func() {
+		buf.Reset()
+		respBufPool.Put(buf)
+	}()
+	buf.Reset()
+	if _, err := buf.ReadFrom(io.LimitReader(resp.Body, maxWireResponse)); err != nil {
+		return fmt.Errorf("dist: node %s%s: read response: %w", rn.base, path, err)
+	}
+	rn.bytesIn.Add(uint64(buf.Len()))
+	if rn.met != nil {
+		rn.met.BytesIn.Add(uint64(buf.Len()))
+	}
+	if resp.StatusCode == http.StatusUnsupportedMediaType {
+		rn.jsonOnly.Store(true)
+		return fmt.Errorf("%w (node %s answered 415)", errWireUnsupported, rn.base)
+	}
+	if resp.StatusCode != http.StatusOK {
+		snippet := buf.Bytes()
+		if len(snippet) > 256 {
+			snippet = snippet[:256]
+		}
+		if resp.StatusCode == http.StatusBadRequest && bytes.Contains(snippet, []byte("malformed JSON")) {
+			// An older node tried to parse the binary body as JSON.
+			rn.jsonOnly.Store(true)
+			return fmt.Errorf("%w (node %s rejected the binary body as JSON)", errWireUnsupported, rn.base)
+		}
+		return fmt.Errorf("dist: node %s%s: status %d: %s",
+			rn.base, path, resp.StatusCode, strings.TrimSpace(string(snippet)))
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, persist.WireContentType) {
+		// A 200 that ignored our Accept: the peer does not speak binary.
+		rn.jsonOnly.Store(true)
+		return fmt.Errorf("%w (node %s answered %q to a binary request)", errWireUnsupported, rn.base, ct)
+	}
+	if err := handle(buf.Bytes()); err != nil {
+		return fmt.Errorf("dist: node %s%s: %w", rn.base, path, err)
+	}
+	return nil
+}
+
+// respBufPool pools HTTP binary response bodies.
+var respBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 // do runs one round-trip: POST body as JSON if in is non-nil, GET
 // otherwise; decode the 200 response into out if out is non-nil. The
@@ -319,6 +570,7 @@ func (rn *RemoteNode) roundTrip(ctx context.Context, path string, in, out any) e
 		if err != nil {
 			return fmt.Errorf("dist: encode %s: %w", path, err)
 		}
+		rn.bytesOut.Add(uint64(len(buf)))
 		if rn.met != nil {
 			rn.met.BytesOut.Add(uint64(len(buf)))
 		}
@@ -340,12 +592,14 @@ func (rn *RemoteNode) roundTrip(ctx context.Context, path string, in, out any) e
 		return fmt.Errorf("dist: node %s%s: %w", rn.base, path, err)
 	}
 	defer resp.Body.Close()
-	var rbody io.Reader = resp.Body
-	if rn.met != nil {
-		cr := &countingReader{r: resp.Body}
-		defer func() { rn.met.BytesIn.Add(uint64(cr.n)) }()
-		rbody = cr
-	}
+	cr := &countingReader{r: resp.Body}
+	defer func() {
+		rn.bytesIn.Add(uint64(cr.n))
+		if rn.met != nil {
+			rn.met.BytesIn.Add(uint64(cr.n))
+		}
+	}()
+	var rbody io.Reader = cr
 	if resp.StatusCode != http.StatusOK {
 		snippet, _ := io.ReadAll(io.LimitReader(rbody, 256))
 		return fmt.Errorf("dist: node %s%s: status %d: %s",
@@ -369,6 +623,19 @@ func (rn *RemoteNode) Add(ctx context.Context, doc bat.OID, url, text string) er
 // AddBatch implements BatchAdder: the node's partition of a batch in
 // one round-trip.
 func (rn *RemoteNode) AddBatch(ctx context.Context, docs []Doc) error {
+	if rn.useBinary() {
+		wb := persist.GetWireBuffer()
+		ops := make([]persist.Op, len(docs))
+		for i, d := range docs {
+			ops[i] = persist.Op{Doc: d.OID, URL: d.URL, Text: d.Text}
+		}
+		wb.EncodeAddBatchRequest(ops)
+		err := rn.doBinary(ctx, PathNodeAddBatch, wb, persist.DecodeAck)
+		persist.PutWireBuffer(wb)
+		if !errors.Is(err, errWireUnsupported) {
+			return err
+		}
+	}
 	req := &AddBatchRequest{Docs: make([]AddRequest, len(docs))}
 	for i, d := range docs {
 		req.Docs[i] = AddRequest{Doc: uint64(d.OID), URL: d.URL, Text: d.Text}
@@ -378,6 +645,23 @@ func (rn *RemoteNode) AddBatch(ctx context.Context, docs []Doc) error {
 
 // Stats implements Node.
 func (rn *RemoteNode) Stats(ctx context.Context) (ir.Stats, error) {
+	if rn.useBinary() && rn.pool != nil && obs.FromContext(ctx) == nil {
+		// Over the persistent-connection transport stats are one frame
+		// each way; over HTTP they stay a JSON GET (the endpoint is off
+		// the per-query hot path — the coordinator caches global stats).
+		wb := persist.GetWireBuffer()
+		wb.EncodeStatsRequest()
+		var out ir.Stats
+		err := rn.connRPC(ctx, PathNodeStats, wb, func(frame []byte) error {
+			st, err := persist.DecodeStatsResponse(frame)
+			out = st
+			return err
+		})
+		persist.PutWireBuffer(wb)
+		if !errors.Is(err, errWireUnsupported) {
+			return out, err
+		}
+	}
 	var w StatsJSON
 	if err := rn.do(ctx, PathNodeStats, nil, &w); err != nil {
 		return ir.Stats{}, err
@@ -387,6 +671,20 @@ func (rn *RemoteNode) Stats(ctx context.Context) (ir.Stats, error) {
 
 // TopNWithStats implements Node.
 func (rn *RemoteNode) TopNWithStats(ctx context.Context, query string, n int, global ir.Stats) ([]ir.Result, error) {
+	if rn.useBinary() {
+		wb := persist.GetWireBuffer()
+		wb.EncodeTopNRequest(query, n, global)
+		var out []ir.Result
+		err := rn.doBinary(ctx, PathNodeTopN, wb, func(frame []byte) error {
+			rs, err := persist.DecodeTopNResponse(frame)
+			out = rs
+			return err
+		})
+		persist.PutWireBuffer(wb)
+		if !errors.Is(err, errWireUnsupported) {
+			return out, err
+		}
+	}
 	var resp TopNResponse
 	req := &TopNRequest{Query: query, N: n, Stats: StatsToJSON(global)}
 	if err := rn.do(ctx, PathNodeTopN, req, &resp); err != nil {
@@ -403,6 +701,21 @@ func (rn *RemoteNode) SearchPlan(ctx context.Context, query string, plan ir.Eval
 	if plan.Exact() {
 		res, err := rn.TopNWithStats(ctx, query, plan.N, global)
 		return res, ir.QualityEstimate{}, err
+	}
+	if rn.useBinary() {
+		wb := persist.GetWireBuffer()
+		wb.EncodeSearchRequest(query, plan, global)
+		var out []ir.Result
+		var outQ ir.QualityEstimate
+		err := rn.doBinary(ctx, PathNodeSearch, wb, func(frame []byte) error {
+			rs, q, err := persist.DecodeSearchResponse(frame)
+			out, outQ = rs, q
+			return err
+		})
+		persist.PutWireBuffer(wb)
+		if !errors.Is(err, errWireUnsupported) {
+			return out, outQ, err
+		}
 	}
 	var resp SearchPlanResponse
 	req := &SearchPlanRequest{Query: query, Plan: PlanToJSON(plan), Stats: StatsToJSON(global)}

@@ -1,0 +1,225 @@
+package dist_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"dlsearch/internal/bat"
+	"dlsearch/internal/dist"
+	"dlsearch/internal/ir"
+	"dlsearch/internal/server"
+)
+
+// startCodecCluster spins up k node servers and a cluster of
+// RemoteNodes speaking the given codec to them.
+func startCodecCluster(t testing.TB, k int, codec dist.Codec, jsonOnlyNodes bool) *dist.Cluster {
+	t.Helper()
+	nodes := make([]dist.Node, k)
+	for i := 0; i < k; i++ {
+		cfg := &server.NodeConfig{JSONOnly: jsonOnlyNodes}
+		srv := httptest.NewServer(server.NewNodeHandler(ir.NewIndex(), cfg))
+		t.Cleanup(srv.Close)
+		rn := dist.NewRemoteNode(srv.URL, srv.Client())
+		rn.SetCodec(codec)
+		nodes[i] = rn
+	}
+	return dist.NewClusterOf(nodes, nil)
+}
+
+// TestCodecsByteIdentical is the cross-codec property: for k ∈
+// {1, 2, 4, 8}, the JSON protocol, binary HTTP bodies and the
+// persistent-connection transport return byte-identical rankings —
+// documents AND float-bit-exact scores — and identical quality, both
+// on the exact path and under a budgeted plan.
+func TestCodecsByteIdentical(t *testing.T) {
+	docs := remoteCorpus(300, 11)
+	queries := []string{
+		"champion winner serve",
+		"seles",
+		"melbourne trophy volley match",
+		"quetzalcoatl", // unknown term
+	}
+	codecs := []struct {
+		name  string
+		codec dist.Codec
+	}{
+		{"json", dist.CodecJSON},
+		{"binary", dist.CodecBinary},
+		{"wire", dist.CodecWire},
+	}
+	for _, k := range []int{1, 2, 4, 8} {
+		clusters := make([]*dist.Cluster, len(codecs))
+		for ci, c := range codecs {
+			clusters[ci] = startCodecCluster(t, k, c.codec, false)
+			for i, d := range docs {
+				if err := clusters[ci].AddContext(context.Background(), bat.OID(i+1), "u", d); err != nil {
+					t.Fatalf("codec=%s k=%d add: %v", c.name, k, err)
+				}
+			}
+		}
+		for _, q := range queries {
+			for _, n := range []int{1, 2, 4, 8} {
+				base, err := clusters[0].Search(context.Background(), q, n)
+				if err != nil {
+					t.Fatalf("k=%d q=%q json search: %v", k, q, err)
+				}
+				basePlan, err := clusters[0].SearchPlan(context.Background(), q, ir.EvalPlan{N: n, Budget: 1})
+				if err != nil {
+					t.Fatalf("k=%d q=%q json planned search: %v", k, q, err)
+				}
+				for ci := 1; ci < len(codecs); ci++ {
+					ctxs := fmt.Sprintf("codec=%s k=%d q=%q n=%d", codecs[ci].name, k, q, n)
+					sr, err := clusters[ci].Search(context.Background(), q, n)
+					if err != nil {
+						t.Fatalf("%s: %v", ctxs, err)
+					}
+					if !sr.Complete() {
+						t.Fatalf("%s: dropped %v", ctxs, sr.Dropped)
+					}
+					if len(sr.Results) != len(base.Results) {
+						t.Fatalf("%s: %d results, want %d", ctxs, len(sr.Results), len(base.Results))
+					}
+					for i := range base.Results {
+						if sr.Results[i] != base.Results[i] {
+							t.Fatalf("%s: rank %d = %+v, want %+v", ctxs, i, sr.Results[i], base.Results[i])
+						}
+					}
+					pr, err := clusters[ci].SearchPlan(context.Background(), q, ir.EvalPlan{N: n, Budget: 1})
+					if err != nil {
+						t.Fatalf("%s planned: %v", ctxs, err)
+					}
+					if len(pr.Results) != len(basePlan.Results) {
+						t.Fatalf("%s planned: %d results, want %d", ctxs, len(pr.Results), len(basePlan.Results))
+					}
+					for i := range basePlan.Results {
+						if pr.Results[i] != basePlan.Results[i] {
+							t.Fatalf("%s planned: rank %d = %+v, want %+v", ctxs, i, pr.Results[i], basePlan.Results[i])
+						}
+					}
+					if pr.Quality != basePlan.Quality {
+						t.Fatalf("%s planned: quality %v, want %v", ctxs, pr.Quality, basePlan.Quality)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWireFallsBackToJSONOnlyNode: a CodecWire client against a node
+// started -wire=json negotiates all the way down — the upgrade is
+// refused, binary bodies answer 415 — and every RPC still succeeds
+// over JSON, permanently remembered per peer.
+func TestWireFallsBackToJSONOnlyNode(t *testing.T) {
+	c := startCodecCluster(t, 2, dist.CodecWire, true)
+	docs := remoteCorpus(60, 5)
+	for i, d := range docs {
+		if err := c.AddContext(context.Background(), bat.OID(i+1), "u", d); err != nil {
+			t.Fatalf("add: %v", err)
+		}
+	}
+	sr, err := c.Search(context.Background(), "champion serve", 5)
+	if err != nil {
+		t.Fatalf("search: %v", err)
+	}
+	if !sr.Complete() || len(sr.Results) == 0 {
+		t.Fatalf("degraded search over JSON-only nodes: %+v", sr)
+	}
+}
+
+// TestWireConnTransport exercises the persistent-connection hot path
+// directly: WireInfo reports the upgraded transport, traffic is
+// counted, and the node server's graceful shutdown reaps the
+// hijacked connections (which left the http.Server's own accounting).
+func TestWireConnTransport(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: server.NewNodeHandler(ir.NewIndex(), nil)}
+	done := make(chan struct{})
+	go func() { srv.Serve(ln); close(done) }()
+
+	rn := dist.NewRemoteNode("http://"+ln.Addr().String(), &http.Client{Timeout: 5 * time.Second})
+	rn.SetCodec(dist.CodecWire)
+	ctx := context.Background()
+	if err := rn.Add(ctx, 1, "u", "melbourne champion ace"); err != nil {
+		t.Fatalf("add: %v", err)
+	}
+	stats, err := rn.Stats(ctx)
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	rs, err := rn.TopNWithStats(ctx, "champion", 5, stats)
+	if err != nil {
+		t.Fatalf("topn: %v", err)
+	}
+	if len(rs) != 1 || rs[0].Doc != 1 {
+		t.Fatalf("topn over wire conn: %+v", rs)
+	}
+	codec, in, out := rn.WireInfo()
+	if codec != "wire" {
+		t.Fatalf("codec = %q, want wire", codec)
+	}
+	if in == 0 || out == 0 {
+		t.Fatalf("wire traffic not counted: in=%d out=%d", in, out)
+	}
+
+	// Graceful shutdown must close the upgraded conns, not leave their
+	// serve loops running: afterwards the same RemoteNode cannot reach
+	// the node at all (redial refused), like any dead peer.
+	sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	<-done
+	if _, err := rn.TopNWithStats(ctx, "champion", 5, stats); err == nil {
+		t.Fatal("RPC succeeded against a shut-down node")
+	}
+}
+
+// TestWireConnSaturationSheds: framed RPCs draw from the same
+// in-flight budget as HTTP requests — a saturated node answers a
+// framed 503 rather than queueing unboundedly, and the client
+// surfaces it as an error.
+func TestWireConnSaturationSheds(t *testing.T) {
+	// MaxConcurrent 1 and a burst of 16 concurrent framed RPCs: the
+	// slot serialises them, and any RPC arriving while the slot is
+	// held is answered with a framed 503 that surfaces as a clean
+	// client-side error — never a deadlock, never a torn stream.
+	ix := ir.NewIndex()
+	ix.Add(1, "u", "champion")
+	srv := httptest.NewServer(server.NewNodeHandler(ix, &server.NodeConfig{MaxConcurrent: 1}))
+	t.Cleanup(srv.Close)
+
+	rn := dist.NewRemoteNode(srv.URL, srv.Client())
+	rn.SetCodec(dist.CodecWire)
+	stats, err := rn.Stats(context.Background())
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		go func() {
+			_, err := rn.TopNWithStats(context.Background(), "champion", 3, stats)
+			errs <- err
+		}()
+	}
+	var ok, shed int
+	for i := 0; i < 16; i++ {
+		if err := <-errs; err == nil {
+			ok++
+		} else {
+			shed++
+		}
+	}
+	if ok == 0 {
+		t.Fatal("every concurrent wire RPC failed")
+	}
+	t.Logf("16 concurrent RPCs over MaxConcurrent=1: %d served, %d shed", ok, shed)
+}

@@ -368,9 +368,12 @@ func (l *OpLog) Replay(from uint64, fn func(Op) error) error {
 // a just-written snapshot recorded, which now covers them. The log is
 // rewritten atomically (temp file, fsync, rename), so a crash
 // mid-compaction leaves the previous log intact. Records at or past
-// keepFrom (appended after the snapshot's cut) are preserved. A
-// keepFrom past the current position is clamped; one below base is a
-// no-op (already compacted).
+// keepFrom (appended after the snapshot's cut) are preserved,
+// streamed to the replacement file one record at a time — compaction
+// memory is one record, not the surviving suffix, so a node with a
+// large post-snapshot backlog compacts without a proportional
+// allocation spike. A keepFrom past the current position is clamped;
+// one below base is a no-op (already compacted).
 func (l *OpLog) Compact(keepFrom uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -379,24 +382,6 @@ func (l *OpLog) Compact(keepFrom uint64) error {
 	}
 	if keepFrom <= l.base {
 		return nil
-	}
-	// Collect the surviving suffix before touching anything.
-	var tail []Op
-	if keepFrom < l.pos {
-		fi, err := l.f.Stat()
-		if err != nil {
-			return fmt.Errorf("persist: oplog stat: %w", err)
-		}
-		r := bufio.NewReader(io.NewSectionReader(l.f, 8+4+8, fi.Size()-(8+4+8)))
-		for p := l.base; p < l.pos; p++ {
-			op, _, err := readRecord(r)
-			if err != nil {
-				return fmt.Errorf("persist: oplog read at position %d: %w", p, err)
-			}
-			if p >= keepFrom {
-				tail = append(tail, op)
-			}
-		}
 	}
 	dir := filepath.Dir(l.path)
 	tmp, err := os.CreateTemp(dir, ".oplog-*")
@@ -413,12 +398,35 @@ func (l *OpLog) Compact(keepFrom uint64) error {
 	copy(hdr[:8], oplogMagic[:])
 	binary.LittleEndian.PutUint32(hdr[8:12], OpLogVersion)
 	binary.LittleEndian.PutUint64(hdr[12:20], keepFrom)
-	var buf bytes.Buffer
-	buf.Write(hdr[:])
-	for i := range tail {
-		appendRecord(&buf, &tail[i])
+	w := bufio.NewWriterSize(tmp, 1<<16)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("persist: oplog compact write: %w", err)
 	}
-	if _, err := tmp.Write(buf.Bytes()); err != nil {
+	size := int64(len(hdr))
+	if keepFrom < l.pos {
+		fi, err := l.f.Stat()
+		if err != nil {
+			return fmt.Errorf("persist: oplog stat: %w", err)
+		}
+		r := bufio.NewReader(io.NewSectionReader(l.f, 8+4+8, fi.Size()-(8+4+8)))
+		var rec bytes.Buffer
+		for p := l.base; p < l.pos; p++ {
+			op, _, err := readRecord(r)
+			if err != nil {
+				return fmt.Errorf("persist: oplog read at position %d: %w", p, err)
+			}
+			if p < keepFrom {
+				continue // dropped: verified and discarded, never buffered
+			}
+			rec.Reset()
+			appendRecord(&rec, &op)
+			if _, err := w.Write(rec.Bytes()); err != nil {
+				return fmt.Errorf("persist: oplog compact write: %w", err)
+			}
+			size += int64(rec.Len())
+		}
+	}
+	if err := w.Flush(); err != nil {
 		return fmt.Errorf("persist: oplog compact write: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
@@ -449,7 +457,7 @@ func (l *OpLog) Compact(keepFrom uint64) error {
 	l.f.Close()
 	l.f = f
 	l.base = keepFrom
-	l.size = int64(buf.Len())
+	l.size = size
 	return nil
 }
 

@@ -472,3 +472,55 @@ func TestSnapshotCarriesLogPos(t *testing.T) {
 		t.Fatalf("SizeOf=%d err=%v, want %d", n, err, buf.Len())
 	}
 }
+
+// TestOpLogCompactLargeSuffix: compaction streams the kept records to
+// the replacement file (memory stays one record deep, not the whole
+// suffix) — this exercises that path at a size where buffering bugs
+// and size-accounting drift would show: the compacted log must carry
+// the exact suffix, keep appending at the right offsets, and reopen
+// cleanly.
+func TestOpLogCompactLargeSuffix(t *testing.T) {
+	dir := t.TempDir()
+	const total, keepFrom = 5000, 1500
+	ops := make([]Op, total)
+	filler := strings.Repeat("lorem ipsum fragment evaluation ", 8)
+	for i := range ops {
+		ops[i] = Op{Doc: bat.OID(i + 1), URL: fmt.Sprintf("u%d", i), Text: filler}
+	}
+	l, err := OpenOpLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(ops...); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Compact(keepFrom); err != nil {
+		t.Fatal(err)
+	}
+	got, err := l.OpsSince(keepFrom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameOps(t, "large compacted suffix", got, ops[keepFrom:])
+	// Appends continue against the streamed file's true size.
+	if err := l.Append(Op{Doc: total + 1, URL: "late", Text: "late"}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l2, err := OpenOpLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Base() != keepFrom || l2.Pos() != total+1 {
+		t.Fatalf("reopen: base=%d pos=%d, want %d/%d", l2.Base(), l2.Pos(), keepFrom, total+1)
+	}
+	got, err = l2.OpsSince(keepFrom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != total-keepFrom+1 || got[len(got)-1].Doc != total+1 {
+		t.Fatalf("reopened suffix: %d ops, last doc %d", len(got), got[len(got)-1].Doc)
+	}
+}

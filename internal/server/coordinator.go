@@ -797,6 +797,21 @@ type ReplicaStats struct {
 	// into which member of a group is slow.
 	RPCCalls uint64  `json:"rpc_calls,omitempty"`
 	RPCAvgMS float64 `json:"rpc_avg_ms,omitempty"`
+	// WireCodec is the codec this coordinator effectively speaks to
+	// the replica — "wire" (persistent-connection transport),
+	// "binary" (HTTP binary bodies), "json", or "json-fallback" (the
+	// peer refused binary); absent for in-process replicas. The byte
+	// counters cover request and response bodies over every codec, so
+	// a codec rollout is verifiable per replica from /stats alone.
+	WireCodec    string `json:"wire_codec,omitempty"`
+	WireBytesIn  uint64 `json:"wire_bytes_in,omitempty"`
+	WireBytesOut uint64 `json:"wire_bytes_out,omitempty"`
+}
+
+// wireInfoNode is the optional interface a cluster node implements to
+// report its client-side codec and traffic (dist.RemoteNode does).
+type wireInfoNode interface {
+	WireInfo() (codec string, bytesIn, bytesOut uint64)
 }
 
 // QueryCacheStats are the engine's query-side cache counters: term
@@ -895,6 +910,9 @@ func (co *Coordinator) statsHandler(w http.ResponseWriter, r *http.Request) {
 				}
 				if info.Health.RPCCalls > 0 {
 					rs.RPCAvgMS = float64(info.Health.RPCTotalUS) / float64(info.Health.RPCCalls) / 1e3
+				}
+				if wn, ok := c.ReplicaAt(g, ri).(wireInfoNode); ok {
+					rs.WireCodec, rs.WireBytesIn, rs.WireBytesOut = wn.WireInfo()
 				}
 				if info.Health.LastResyncUnix > 0 {
 					rs.ResyncUnix = info.Health.LastResyncUnix

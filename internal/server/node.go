@@ -2,10 +2,12 @@ package server
 
 import (
 	"errors"
+	"net"
 	"net/http"
 	"os"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dlsearch/internal/bat"
@@ -60,6 +62,11 @@ type NodeConfig struct {
 	// coordinator's request ID (X-DL-Request) so node-side lines join
 	// the coordinator's. nil disables.
 	SlowQuery *obs.SlowQueryLog
+	// JSONOnly disables the binary wire codec: binary request bodies
+	// answer 415 and the /node/wire upgrade endpoint is absent, so a
+	// negotiating client settles on JSON. The debugging mode, and the
+	// stand-in for a third-party JSON node in mixed-codec tests.
+	JSONOnly bool
 }
 
 // NodeServer serves one shared-nothing index fragment over the node
@@ -76,6 +83,27 @@ type NodeServer struct {
 	dataDir    string
 	oplog      *persist.OpLog
 	snapMu     sync.Mutex // serialises snapshot writes
+
+	// sem bounds in-flight work across both transports: HTTP requests
+	// and framed RPCs on upgraded connections draw from the same pool.
+	sem *semaphore
+	// jsonOnly disables the binary codec (NodeConfig.JSONOnly).
+	jsonOnly bool
+	// statsCache interns the decoded global-statistics block binary
+	// requests carry — identical between ingests, decoded once.
+	statsCache persist.WireStatsCache
+	// wireConns counts live upgraded connections (capped at maxConc).
+	wireConns atomic.Int64
+	// wireMu guards the live upgraded-connection set and the servers
+	// whose graceful shutdown has been hooked to reap it: a hijacked
+	// conn leaves the http.Server's bookkeeping, so Shutdown would
+	// otherwise leave wire conns (and their serve goroutines) alive.
+	wireMu   sync.Mutex
+	wireLive map[net.Conn]struct{}
+	wireSrvs map[*http.Server]bool
+	// wireMet mirrors the per-endpoint HTTP instrumentation for framed
+	// RPCs; nil when uninstrumented.
+	wireMet map[persist.WireKind]wireEndpointMetrics
 
 	reg     *obs.Registry     // nil = uninstrumented
 	slow    *obs.SlowQueryLog // nil = no slow-query log
@@ -115,6 +143,7 @@ func NewNodeServer(ix *ir.Index, cfg *NodeConfig) *NodeServer {
 			s.oplog = cfg.OpLog
 			s.node.SetOpLog(cfg.OpLog)
 		}
+		s.jsonOnly = cfg.JSONOnly
 		s.slow = cfg.SlowQuery
 		if reg := cfg.Metrics; reg != nil {
 			s.reg = reg
@@ -135,6 +164,10 @@ func NewNodeServer(ix *ir.Index, cfg *NodeConfig) *NodeServer {
 				)
 			}
 		}
+	}
+	s.sem = newSemaphore(s.maxConc)
+	if !s.jsonOnly {
+		s.initWireMetrics(s.reg)
 	}
 	return s
 }
@@ -168,7 +201,13 @@ func (s *NodeServer) Handler() http.Handler {
 	if s.reg != nil {
 		outer.Handle("/metrics", s.reg.Handler())
 	}
-	outer.Handle("/", newSemaphore(s.maxConc).wrap(mux))
+	if !s.jsonOnly {
+		// The upgrade endpoint holds its connection open for the life of
+		// the transport, so it lives outside the request semaphore; each
+		// framed RPC on the connection acquires a slot instead.
+		outer.HandleFunc(dist.PathNodeWire, s.wireUpgrade)
+	}
+	outer.Handle("/", s.sem.wrap(mux))
 	return outer
 }
 
@@ -285,27 +324,59 @@ func (s *NodeServer) addBatch(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
-	var req dist.AddBatchRequest
-	if !readJSON(w, r, s.maxBody, &req) {
-		return
-	}
-	if len(req.Docs) == 0 {
-		fail(w, http.StatusBadRequest, "empty batch")
-		return
-	}
-	docs := make([]dist.Doc, len(req.Docs))
-	for i, d := range req.Docs {
-		if d.Doc == 0 {
-			fail(w, http.StatusBadRequest, "missing document oid in batch")
+	var docs []dist.Doc
+	if isWireRequest(r) {
+		if s.jsonOnly {
+			failWireDisabled(w)
 			return
 		}
-		docs[i] = dist.Doc{OID: bat.OID(d.Doc), URL: d.URL, Text: d.Text}
+		body, release, ok := readWireBody(w, r, s.maxBody)
+		if !ok {
+			return
+		}
+		ops, err := persist.DecodeAddBatchRequest(body)
+		release()
+		if err != nil {
+			// Fails closed: a truncated or bit-flipped batch decodes to an
+			// error, never to a prefix of itself — nothing was applied.
+			fail(w, http.StatusBadRequest, "unusable wire body: "+err.Error())
+			return
+		}
+		var errmsg string
+		if docs, errmsg = batchDocs(ops); errmsg != "" {
+			fail(w, http.StatusBadRequest, errmsg)
+			return
+		}
+	} else {
+		var req dist.AddBatchRequest
+		if !readJSON(w, r, s.maxBody, &req) {
+			return
+		}
+		if len(req.Docs) == 0 {
+			fail(w, http.StatusBadRequest, "empty batch")
+			return
+		}
+		docs = make([]dist.Doc, len(req.Docs))
+		for i, d := range req.Docs {
+			if d.Doc == 0 {
+				fail(w, http.StatusBadRequest, "missing document oid in batch")
+				return
+			}
+			docs[i] = dist.Doc{OID: bat.OID(d.Doc), URL: d.URL, Text: d.Text}
+		}
 	}
 	if err := s.node.AddBatch(r.Context(), docs); err != nil {
 		fail(w, http.StatusBadGateway, "batch add failed: "+err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, struct{}{})
+	if !s.jsonOnly && wantsWire(r) {
+		wb := persist.GetWireBuffer()
+		wb.EncodeAck()
+		writeWire(w, wb)
+		persist.PutWireBuffer(wb)
+	} else {
+		writeJSON(w, http.StatusOK, struct{}{})
+	}
 }
 
 func (s *NodeServer) stats(w http.ResponseWriter, r *http.Request) {
@@ -313,6 +384,13 @@ func (s *NodeServer) stats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st, _ := s.node.Stats(r.Context())
+	if !s.jsonOnly && wantsWire(r) {
+		wb := persist.GetWireBuffer()
+		wb.EncodeStatsResponse(st)
+		writeWire(w, wb)
+		persist.PutWireBuffer(wb)
+		return
+	}
 	writeJSON(w, http.StatusOK, dist.StatsToJSON(st))
 }
 
@@ -320,9 +398,27 @@ func (s *NodeServer) topn(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
-	var req dist.TopNRequest
-	if !readJSON(w, r, s.maxBody, &req) {
-		return
+	// Decode by Content-Type…
+	var (
+		query string
+		n     int
+		stats ir.Stats
+	)
+	if isWireRequest(r) {
+		if s.jsonOnly {
+			failWireDisabled(w)
+			return
+		}
+		var ok bool
+		if query, n, stats, ok = s.decodeWireTopN(w, r); !ok {
+			return
+		}
+	} else {
+		var req dist.TopNRequest
+		if !readJSON(w, r, s.maxBody, &req) {
+			return
+		}
+		query, n, stats = req.Query, req.N, dist.StatsFromJSON(req.Stats)
 	}
 	// Empty queries and non-positive n are well-defined (an empty
 	// ranking) and must behave exactly like a LocalNode would —
@@ -330,51 +426,82 @@ func (s *NodeServer) topn(w http.ResponseWriter, r *http.Request) {
 	// cluster's local/remote transparency depends on the node
 	// protocol never rejecting what a LocalNode accepts.
 	tr := s.queryTrace(w, r)
-	if tr == nil {
-		res, _ := s.node.TopNWithStats(r.Context(), req.Query, req.N, dist.StatsFromJSON(req.Stats))
-		writeJSON(w, http.StatusOK, dist.TopNResponse{Results: dist.ResultsToJSON(res)})
-		return
+	var scoreStart time.Time
+	if tr != nil {
+		scoreStart = time.Now()
 	}
-	scoreStart := time.Now()
-	res, _ := s.node.TopNWithStats(r.Context(), req.Query, req.N, dist.StatsFromJSON(req.Stats))
-	tr.AddSpan("scoring", scoreStart)
-	writeJSON(w, http.StatusOK, dist.TopNResponse{Results: dist.ResultsToJSON(res)})
-	s.slow.Record(tr, obs.SlowQueryRecord{
-		Role: "node", Query: req.Query, Results: len(res),
-	})
+	res, _ := s.node.TopNWithStats(r.Context(), query, n, stats)
+	if tr != nil {
+		tr.AddSpan("scoring", scoreStart)
+	}
+	// …encode by Accept.
+	if !s.jsonOnly && wantsWire(r) {
+		wb := persist.GetWireBuffer()
+		wb.EncodeTopNResponse(res)
+		writeWire(w, wb)
+		persist.PutWireBuffer(wb)
+	} else {
+		writeJSON(w, http.StatusOK, dist.TopNResponse{Results: dist.ResultsToJSON(res)})
+	}
+	if tr != nil {
+		s.slow.Record(tr, obs.SlowQueryRecord{
+			Role: "node", Query: query, Results: len(res),
+		})
+	}
 }
 
 func (s *NodeServer) search(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
-	var req dist.SearchPlanRequest
-	if !readJSON(w, r, s.maxBody, &req) {
-		return
+	var (
+		query string
+		plan  ir.EvalPlan
+		stats ir.Stats
+	)
+	if isWireRequest(r) {
+		if s.jsonOnly {
+			failWireDisabled(w)
+			return
+		}
+		var ok bool
+		if query, plan, stats, ok = s.decodeWireSearch(w, r); !ok {
+			return
+		}
+	} else {
+		var req dist.SearchPlanRequest
+		if !readJSON(w, r, s.maxBody, &req) {
+			return
+		}
+		query, plan, stats = req.Query, dist.PlanFromJSON(req.Plan), dist.StatsFromJSON(req.Stats)
 	}
 	// Degenerate plans mirror LocalNode (empty ranking, exact quality)
 	// for the same transparency reason as /node/topn.
 	tr := s.queryTrace(w, r)
-	if tr == nil {
-		res, est, _ := s.node.SearchPlan(r.Context(), req.Query, dist.PlanFromJSON(req.Plan),
-			dist.StatsFromJSON(req.Stats))
+	var scoreStart time.Time
+	if tr != nil {
+		scoreStart = time.Now()
+	}
+	res, est, _ := s.node.SearchPlan(r.Context(), query, plan, stats)
+	if tr != nil {
+		tr.AddSpan("scoring", scoreStart)
+	}
+	if !s.jsonOnly && wantsWire(r) {
+		wb := persist.GetWireBuffer()
+		wb.EncodeSearchResponse(res, est)
+		writeWire(w, wb)
+		persist.PutWireBuffer(wb)
+	} else {
 		writeJSON(w, http.StatusOK, dist.SearchPlanResponse{
 			Results: dist.ResultsToJSON(res),
 			Quality: dist.QualityToJSON(est),
 		})
-		return
 	}
-	scoreStart := time.Now()
-	res, est, _ := s.node.SearchPlan(r.Context(), req.Query, dist.PlanFromJSON(req.Plan),
-		dist.StatsFromJSON(req.Stats))
-	tr.AddSpan("scoring", scoreStart)
-	writeJSON(w, http.StatusOK, dist.SearchPlanResponse{
-		Results: dist.ResultsToJSON(res),
-		Quality: dist.QualityToJSON(est),
-	})
-	s.slow.Record(tr, obs.SlowQueryRecord{
-		Role: "node", Query: req.Query, Quality: est.Value(), Results: len(res),
-	})
+	if tr != nil {
+		s.slow.Record(tr, obs.SlowQueryRecord{
+			Role: "node", Query: query, Quality: est.Value(), Results: len(res),
+		})
+	}
 }
 
 func (s *NodeServer) load(w http.ResponseWriter, r *http.Request) {

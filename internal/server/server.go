@@ -16,10 +16,12 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -41,11 +43,33 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// jsonBufPool pools JSON response encode buffers: encoding lands in a
+// reused buffer and the response writes out in one call, so steady
+// traffic stops allocating a fresh growth chain per response.
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledJSON caps the buffer capacity worth pooling; a one-off
+// giant response must not pin its footprint.
+const maxPooledJSON = 1 << 20
+
 // writeJSON encodes v as the response with the given status.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		// Encoding our own response types cannot fail; guard anyway.
+		buf.Reset()
+		jsonBufPool.Put(buf)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	w.Write(buf.Bytes())
+	if buf.Cap() <= maxPooledJSON {
+		jsonBufPool.Put(buf)
+	}
 }
 
 // fail writes a JSON error response.
@@ -113,6 +137,22 @@ func (s *semaphore) wrap(h http.Handler) http.Handler {
 		}
 	})
 }
+
+// TryAcquire claims a slot without blocking; Release returns it. The
+// persistent-connection transport uses the pair so framed RPCs draw
+// from the same in-flight budget as HTTP requests.
+func (s *semaphore) TryAcquire() bool {
+	select {
+	case s.ch <- struct{}{}:
+		return true
+	default:
+		s.shed.Add(1)
+		return false
+	}
+}
+
+// Release returns a slot claimed by TryAcquire.
+func (s *semaphore) Release() { <-s.ch }
 
 // InFlight reports the requests currently holding a slot.
 func (s *semaphore) InFlight() int { return len(s.ch) }
