@@ -13,6 +13,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"dlsearch/internal/bat"
 	"dlsearch/internal/cobra"
@@ -23,6 +24,7 @@ import (
 	"dlsearch/internal/monetxml"
 	"dlsearch/internal/obs"
 	"dlsearch/internal/server"
+	"dlsearch/internal/slo"
 	"dlsearch/internal/video"
 )
 
@@ -534,5 +536,75 @@ func BenchmarkE21BinaryWire(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// --- E22: adaptive serving (SLO budget controller) ---
+
+// BenchmarkE22AdaptiveServe prices the PR 9 control loop. "decide" is
+// the coordinator's per-query hot path — one controller decision plus
+// one curve observation over a fully warmed quality/latency curve —
+// and must report 0 allocs/op (the E20 discipline: observation may not
+// allocate). The budget sweep re-runs E18's budgeted remote top-N with
+// the cost model attached: every node reports (budget, latency,
+// quality) into the curve on every query, so the delta against E18's
+// raw numbers is the full price of learning the curve in production.
+func BenchmarkE22AdaptiveServe(b *testing.B) {
+	ctl := slo.New(slo.Config{Target: 10 * time.Millisecond, MaxBudget: 8, MinQuality: 0.3})
+	curve := ctl.Curve("bench")
+	for budget := 1; budget <= 8; budget++ {
+		for i := 0; i < 50; i++ {
+			curve.ObserveCost(budget, float64(budget)*0.002, float64(budget)/8)
+		}
+	}
+	b.Run("decide", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d := ctl.Decide("bench", ctl.Target(), 1.5)
+			curve.ObserveCost(d.Budget, 0.004, 0.5)
+		}
+	})
+
+	docs := textCorpus(2000, 4)
+	ctx := context.Background()
+	const k = 4
+	nodes := make([]dist.Node, k)
+	for i := range nodes {
+		srv := httptest.NewServer(server.NewNodeHandler(ir.NewIndex(), nil))
+		b.Cleanup(srv.Close)
+		nodes[i] = dist.NewRemoteNode(srv.URL, srv.Client())
+	}
+	c := dist.NewClusterOf(nodes, nil)
+	served := slo.New(slo.Config{Target: 50 * time.Millisecond, MaxBudget: 8})
+	c.SetCostCurve(served.Curve("bench"))
+	for i, d := range docs {
+		if err := c.AddContext(ctx, bat.OID(i+1), "u", d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	const query = "seles champion volley match"
+	for _, budget := range []int{1, 2, 4, 8} {
+		plan := ir.EvalPlan{N: 10, Frags: 8, Budget: budget}
+		sr, err := c.SearchPlan(ctx, query, plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		quality := sr.Quality.Value()
+		b.Run(fmt.Sprintf("observed/budget=%d-of-8", budget), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ReportMetric(quality, "quality")
+			for i := 0; i < b.N; i++ {
+				sr, err := c.SearchPlan(ctx, query, plan)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(sr.Results) == 0 || !sr.Complete() {
+					b.Fatalf("results=%d dropped=%v", len(sr.Results), sr.Dropped)
+				}
+			}
+		})
+	}
+	if pts := served.Curve("bench").Snapshot(); len(pts) == 0 {
+		b.Fatal("benchmark ran with no curve observations")
 	}
 }

@@ -58,6 +58,7 @@ import (
 	"dlsearch/internal/obs"
 	"dlsearch/internal/persist"
 	"dlsearch/internal/server"
+	"dlsearch/internal/slo"
 )
 
 // logger is the process's one leveled logger; -log-level adjusts it
@@ -84,6 +85,7 @@ func main() {
 	frags := fs.Int("frags", 0, "per-node idf fragmentation granularity for budgeted /search, 0 selects the default (coordinator)")
 	fragBudget := fs.Int("frag-budget", 0, "default /search fragment budget: leading fragments evaluated per node, 0 = exact (coordinator)")
 	minQuality := fs.Float64("min-quality", 0, "default /search quality floor in (0,1], 0 disables (coordinator)")
+	sloMS := fs.Float64("slo-ms", 0, "target /search latency SLO in milliseconds — enables the adaptive budget controller: fragment budgets are picked from the learned quality/latency curve and overload degrades quality instead of 503ing (503 only below -min-quality); 0 keeps /search manual (coordinator)")
 	memBudget := fs.Int("mem-budget", 0, "posting-store memory budget in bytes, cold lists held compressed, 0 disables (node)")
 	dataDir := fs.String("data-dir", "", "durability directory: restore on boot, snapshot on shutdown and on POST /node/snapshot (node)")
 	oplogDir := fs.String("oplog-dir", "", "write-ahead op log directory — ingest is logged durably before applying and replayed over the snapshot on boot; defaults to -data-dir (node)")
@@ -140,6 +142,21 @@ func main() {
 		if *addr == "" {
 			*addr = ":8080"
 		}
+		// Adaptive serving: the controller owns the per-index
+		// quality/latency curve; every node of the cluster feeds it
+		// through its cost hook.
+		var ctl *slo.Controller
+		if *sloMS > 0 {
+			fragK := *frags
+			if fragK <= 0 {
+				fragK = ir.DefaultFragments
+			}
+			ctl = slo.New(slo.Config{
+				Target:     time.Duration(*sloMS * float64(time.Millisecond)),
+				MaxBudget:  fragK,
+				MinQuality: *minQuality,
+			})
+		}
 		cluster, qc, err := buildCluster(*nodes, *local, *replicas, *lambda, *nodeTimeout, *cache, jsonWire, reg)
 		if err != nil {
 			fatal(err)
@@ -153,6 +170,7 @@ func main() {
 			MinQuality:    *minQuality,
 			Metrics:       reg,
 			SlowQuery:     slow,
+			SLO:           ctl,
 		})
 		if *antiEntropy > 0 {
 			// Background self-healing: periodically compare replica

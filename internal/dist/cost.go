@@ -1,0 +1,76 @@
+package dist
+
+import (
+	"time"
+
+	"dlsearch/internal/ir"
+)
+
+// CostCurve is the sink a serving layer attaches to a node to learn
+// the quality/latency curve of budgeted evaluation: one call per
+// budgeted search with the effective fragment budget (after any
+// quality-floor extension), the observed wall time, and the achieved
+// quality. slo.Curve implements it; implementations must be cheap,
+// allocation-free, and safe for concurrent use.
+type CostCurve interface {
+	ObserveCost(budget int, seconds, quality float64)
+}
+
+// SetCostCurve attaches a cost sink to the node: every budgeted
+// evaluation reports its (budget, latency, quality) sample through
+// the index's ir cost hook. Set before the node starts serving; nil
+// detaches. The hook survives RestoreState (it is re-installed on the
+// replacement index).
+func (n *LocalNode) SetCostCurve(c CostCurve) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cost = c
+	n.installCostObserver()
+}
+
+// installCostObserver (re)wires the ir cost hook onto the node's
+// current index; the caller holds the write lock. The adapter closure
+// allocates once here, never on the query path.
+func (n *LocalNode) installCostObserver() {
+	if n.cost == nil {
+		n.ix.SetCostObserver(nil)
+		return
+	}
+	c := n.cost
+	n.ix.SetCostObserver(func(s ir.PlanCostSample) {
+		c.ObserveCost(s.Budget, s.Seconds, s.Quality)
+	})
+}
+
+// SetCostCurve attaches a cost sink to every node of the cluster —
+// local nodes report through the ir cost hook, remote nodes through
+// RPC round-trip timing. Nodes of other types are skipped. Call before
+// the cluster starts serving; nil detaches.
+func (c *Cluster) SetCostCurve(curve CostCurve) {
+	for _, group := range c.groups {
+		for _, n := range group {
+			switch node := n.(type) {
+			case *LocalNode:
+				node.SetCostCurve(curve)
+			case *RemoteNode:
+				node.SetCostCurve(curve)
+			}
+		}
+	}
+}
+
+// SetCostCurve attaches a cost sink to the remote node: every
+// budgeted SearchPlan RPC reports (effective budget, round-trip wall
+// time, achieved quality). The round trip includes the wire, which is
+// exactly what a coordinator's SLO is accountable for. Set before
+// serving; nil detaches.
+func (rn *RemoteNode) SetCostCurve(c CostCurve) { rn.cost = c }
+
+// observeCost reports one budgeted remote evaluation to the attached
+// sink, if any.
+func (rn *RemoteNode) observeCost(start time.Time, est ir.QualityEstimate) {
+	if rn.cost == nil {
+		return
+	}
+	rn.cost.ObserveCost(est.FragsUsed, time.Since(start).Seconds(), est.Value())
+}

@@ -196,6 +196,10 @@ type LocalNode struct {
 	// instrumentation at all: the hot query path pays one pointer
 	// compare and nothing else.
 	met *NodeMetrics
+
+	// cost, when set, receives budgeted-evaluation cost samples via
+	// the index's ir hook (see SetCostCurve in cost.go).
+	cost CostCurve
 }
 
 // NodeMetrics is the node-side instrumentation a serving layer may
@@ -571,6 +575,9 @@ func (n *LocalNode) RestoreState(_ context.Context, st *ir.IndexState) error {
 	}
 	n.pos = st.LogPos
 	n.ix = ix
+	// The restored index starts without the cost hook — re-wire it so
+	// the quality/latency curve keeps learning across resyncs.
+	n.installCostObserver()
 	return nil
 }
 

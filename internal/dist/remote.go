@@ -277,6 +277,10 @@ type RemoteNode struct {
 	// bytesOut/bytesIn count request/response body and frame bytes
 	// over every codec — the per-replica numbers /stats surfaces.
 	bytesOut, bytesIn atomic.Uint64
+
+	// cost, when set, receives budgeted SearchPlan cost samples
+	// (effective budget, round-trip seconds, achieved quality).
+	cost CostCurve
 }
 
 // RemoteMetrics is client-side RPC instrumentation for one or more
@@ -702,6 +706,20 @@ func (rn *RemoteNode) SearchPlan(ctx context.Context, query string, plan ir.Eval
 		res, err := rn.TopNWithStats(ctx, query, plan.N, global)
 		return res, ir.QualityEstimate{}, err
 	}
+	if rn.cost == nil {
+		return rn.searchPlanBudgeted(ctx, query, plan, global)
+	}
+	start := time.Now()
+	res, est, err := rn.searchPlanBudgeted(ctx, query, plan, global)
+	if err == nil {
+		rn.observeCost(start, est)
+	}
+	return res, est, err
+}
+
+// searchPlanBudgeted is SearchPlan's budgeted RPC without the
+// cost-curve wrapper.
+func (rn *RemoteNode) searchPlanBudgeted(ctx context.Context, query string, plan ir.EvalPlan, global ir.Stats) ([]ir.Result, ir.QualityEstimate, error) {
 	if rn.useBinary() {
 		wb := persist.GetWireBuffer()
 		wb.EncodeSearchRequest(query, plan, global)

@@ -5,6 +5,7 @@ import (
 	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"dlsearch/internal/bat"
 )
@@ -97,6 +98,12 @@ type Index struct {
 	fragments []Fragment
 	fragOf    map[bat.OID]int // term -> fragment index
 	fragK     int             // granularity Fragmentize was last asked for
+
+	// Plan-cost accounting (see cost.go): per-fragment evaluated-postings
+	// counters (atomic.Pointer so /metrics scrapes race-free against
+	// re-fragmentation) and the budgeted-evaluation cost observer.
+	fragEval atomic.Pointer[[]atomic.Int64]
+	costObs  func(PlanCostSample)
 
 	// Content checksum, cached per freeze epoch (see checksum.go).
 	// checksumDocs guards the one mutation Freeze cannot see: adding a
@@ -630,6 +637,9 @@ func (ix *Index) Fragmentize(k int) {
 	if len(cur.Terms) > 0 {
 		ix.fragments = append(ix.fragments, cur)
 	}
+	// Fresh fragmentation, fresh per-fragment cost counters (cost.go).
+	fe := make([]atomic.Int64, len(ix.fragments))
+	ix.fragEval.Store(&fe)
 }
 
 // placeFragTerm incrementally maintains the fragmentation when Add

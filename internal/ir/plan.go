@@ -3,6 +3,7 @@ package ir
 import (
 	"slices"
 	"sort"
+	"time"
 
 	"dlsearch/internal/bat"
 )
@@ -135,6 +136,13 @@ func (ix *Index) PlanReady(plan EvalPlan) bool {
 // accumulates floating-point scores in exactly the order the exact
 // path does — byte-identical rankings, not just equivalent ones.
 func (ix *Index) evalPlan(s *scorer, stems []string, oids []bat.OID, plan EvalPlan, global *Stats) QualityEstimate {
+	// Cost accounting (cost.go): clock reads only when an observer is
+	// installed, per-fragment counters only when fragmented. Both are
+	// allocation-free on this path.
+	var costStart time.Time
+	if ix.costObs != nil {
+		costStart = time.Now()
+	}
 	frags := len(ix.fragments)
 	if frags == 0 {
 		frags = 1 // unfragmented: one implicit fragment holding everything
@@ -198,17 +206,34 @@ func (ix *Index) evalPlan(s *scorer, stems []string, oids []bat.OID, plan EvalPl
 			budget = b
 		}
 	}
+	fe := ix.fragEval.Load()
+	postings := 0
 	for i, id := range oids {
 		if int(frag[i]) >= budget {
 			continue // a-priori ignored fragment
 		}
-		df, totalDF := ix.df[id], ix.totalDF
+		ldf := ix.df[id] // local posting-list length: the physical cost
+		postings += ldf
+		if fe != nil && int(frag[i]) < len(*fe) {
+			(*fe)[frag[i]].Add(int64(ldf))
+		}
+		df, totalDF := ldf, ix.totalDF
 		if global != nil && stems != nil {
 			df, totalDF = global.DF[stems[i]], global.TotalDF
 		}
 		ix.scoreTerm(s, id, df, totalDF, nil)
 	}
-	return QualityEstimate{CoveredIDF: covered, TotalIDF: total, FragsUsed: budget, FragsTotal: frags}
+	est := QualityEstimate{CoveredIDF: covered, TotalIDF: total, FragsUsed: budget, FragsTotal: frags}
+	if ix.costObs != nil {
+		ix.costObs(PlanCostSample{
+			Frags:    frags,
+			Budget:   budget,
+			Postings: postings,
+			Seconds:  time.Since(costStart).Seconds(),
+			Quality:  est.Value(),
+		})
+	}
+	return est
 }
 
 // TopNPlan evaluates the query under the plan against this index alone

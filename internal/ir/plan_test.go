@@ -236,3 +236,36 @@ func TestPlanReadyEmptyIndex(t *testing.T) {
 		t.Fatal("dirty index reported plan-ready")
 	}
 }
+
+// TestQualityZeroIDFMass: an estimate carrying no idf mass — an empty
+// query, a term unknown to every node, or the exact plan's shortcut —
+// is exact by definition. Both the scalar and the cluster-wide merge
+// must report quality 1, never 0/0.
+func TestQualityZeroIDFMass(t *testing.T) {
+	zero := QualityEstimate{FragsUsed: 4, FragsTotal: 4}
+	if v := zero.Value(); v != 1.0 {
+		t.Fatalf("zero-mass estimate Value() = %v, want 1", v)
+	}
+	if !zero.Exact() {
+		t.Fatal("zero-mass estimate is not Exact()")
+	}
+	// Merging nodes that all report zero mass (e.g. the query's terms
+	// appear on no partition) must stay exact.
+	m := MergeQuality(zero, QualityEstimate{FragsTotal: 8}, QualityEstimate{})
+	if v := m.Value(); v != 1.0 {
+		t.Fatalf("merged zero-mass estimate Value() = %v, want 1", v)
+	}
+	if m.FragsUsed != 4 || m.FragsTotal != 8 {
+		t.Fatalf("merged fragment accounting = %+v", m)
+	}
+	// One node with mass dominates: the zero-mass peers must not drag
+	// the merged quality down (0/0 contributes nothing, not zero).
+	m = MergeQuality(zero, QualityEstimate{CoveredIDF: 3, TotalIDF: 4})
+	if v := m.Value(); v != 0.75 {
+		t.Fatalf("mixed merge Value() = %v, want 0.75", v)
+	}
+	// And the degenerate merge of nothing at all.
+	if v := MergeQuality().Value(); v != 1.0 {
+		t.Fatalf("empty merge Value() = %v, want 1", v)
+	}
+}

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistSnapshotQuantileEdgeCases(t *testing.T) {
+	// Empty snapshot: every quantile is 0, never a panic or NaN.
+	var empty HistSnapshot
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if v := empty.Quantile(q); v != 0 {
+			t.Fatalf("empty Quantile(%v) = %v, want 0", q, v)
+		}
+	}
+	if empty.Mean() != 0 {
+		t.Fatalf("empty Mean() = %v, want 0", empty.Mean())
+	}
+
+	// Single observation: every quantile collapses onto its bucket, and
+	// out-of-range q clamps instead of extrapolating.
+	h := NewHistogram([]float64{1, 2, 4})
+	h.Observe(1.5)
+	s := h.Snapshot()
+	for _, q := range []float64{0.01, 0.5, 0.99, 1, 7} {
+		if v := s.Quantile(q); v <= 1 || v > 2 {
+			t.Fatalf("single-observation Quantile(%v) = %v, want in (1, 2]", q, v)
+		}
+	}
+	// q ≤ 0 clamps to rank 0, which may land on an empty leading
+	// bucket's upper edge — defined, bounded, no panic.
+	if v := s.Quantile(-0.5); v < 0 || v > 2 {
+		t.Fatalf("single-observation Quantile(-0.5) = %v, want in [0, 2]", v)
+	}
+
+	// A single +Inf-bucket observation reports the highest finite edge —
+	// the best defensible point estimate.
+	h = NewHistogram([]float64{1, 2, 4})
+	h.Observe(1000)
+	if v := h.Snapshot().Quantile(0.5); v != 4 {
+		t.Fatalf("+Inf-bucket Quantile = %v, want highest finite edge 4", v)
+	}
+}
+
+func TestHistSnapshotMergeDisjointBounds(t *testing.T) {
+	a := NewHistogram([]float64{1, 2}).Snapshot()
+	b := NewHistogram([]float64{1, 2, 4}).Snapshot()
+	// Both empty: merging is a no-op regardless of shape.
+	if out := a.Merge(b); out.Count != 0 {
+		t.Fatalf("empty disjoint merge = %+v", out)
+	}
+	// Merging into a zero-value snapshot adopts the other side whole.
+	hb := NewHistogram([]float64{1, 2, 4})
+	hb.Observe(3)
+	if out := (HistSnapshot{}).Merge(hb.Snapshot()); out.Count != 1 || len(out.Bounds) != 3 {
+		t.Fatalf("zero-value merge = %+v", out)
+	}
+	// Two populated snapshots with different bucket layouts cannot be
+	// merged meaningfully: that is a programming error and must panic
+	// loudly, not silently misalign buckets.
+	ha := NewHistogram([]float64{1, 2})
+	ha.Observe(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging populated snapshots with disjoint bounds did not panic")
+		}
+	}()
+	ha.Snapshot().Merge(hb.Snapshot())
+}
+
+func TestHistogramConcurrentSnapshotMerge(t *testing.T) {
+	// Race-test the observe/snapshot/merge triangle: writers observe
+	// while readers snapshot and merge. Invariant: every snapshot is
+	// internally consistent (Count == Σ Counts).
+	h1 := NewHistogram(LatencyBounds())
+	h2 := NewHistogram(LatencyBounds())
+	var writers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < 2000; i++ {
+				h1.Observe(float64(i%7) * 1e-3)
+				h2.Observe(float64(i%13) * 1e-3)
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m := h1.Snapshot().Merge(h2.Snapshot())
+			var sum uint64
+			for _, c := range m.Counts {
+				sum += c
+			}
+			if sum != m.Count {
+				panic("merged snapshot count out of sync with buckets")
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	<-readerDone
+	total := h1.Snapshot().Merge(h2.Snapshot())
+	if total.Count != 16000 {
+		t.Fatalf("merged count = %d, want 16000", total.Count)
+	}
+}
+
+func TestDecayedHistBasics(t *testing.T) {
+	// Empty and nil histograms answer zeros, never panic.
+	var nilHist *DecayedHist
+	nilHist.Observe(1)
+	if nilHist.Quantile(0.5) != 0 || nilHist.Weight() != 0 || nilHist.Mean() != 0 {
+		t.Fatal("nil DecayedHist is not a no-op")
+	}
+	h := NewDecayedHist([]float64{1, 2, 4}, 64)
+	if h.Quantile(0.5) != 0 || h.Weight() != 0 {
+		t.Fatal("empty DecayedHist reports evidence")
+	}
+	// Single observation: quantiles collapse onto its bucket.
+	h.Observe(1.5)
+	if v := h.Quantile(0.95); v <= 1 || v > 2 {
+		t.Fatalf("single-observation quantile = %v, want in (1, 2]", v)
+	}
+	if w := h.Weight(); w != 1 {
+		t.Fatalf("weight after one observation = %v, want 1", w)
+	}
+	if m := h.Mean(); m != 1.5 {
+		t.Fatalf("mean = %v, want 1.5", m)
+	}
+	// +Inf bucket clamps to the highest finite edge.
+	h = NewDecayedHist([]float64{1, 2, 4}, 64)
+	h.Observe(99)
+	if v := h.Quantile(0.5); v != 4 {
+		t.Fatalf("+Inf-bucket quantile = %v, want 4", v)
+	}
+}
+
+func TestDecayedHistHalfLife(t *testing.T) {
+	// After exactly halfLife further observations, the first sample's
+	// weight contribution must be one half.
+	const halfLife = 32
+	h := NewDecayedHist([]float64{1e9}, halfLife) // one catch-all bucket
+	h.Observe(1)
+	for i := 0; i < halfLife; i++ {
+		h.Observe(1)
+	}
+	// weight = Σ alpha^i for i=0..halfLife; the oldest term is 0.5.
+	alpha := math.Exp(math.Ln2 / -float64(halfLife))
+	if w := math.Pow(alpha, halfLife); math.Abs(w-0.5) > 1e-12 {
+		t.Fatalf("alpha^halfLife = %v, want 0.5", w)
+	}
+	want := 0.0
+	for i := 0; i <= halfLife; i++ {
+		want += math.Pow(alpha, float64(i))
+	}
+	if got := h.Weight(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("weight = %v, want %v", got, want)
+	}
+}
+
+func TestDecayedHistAscendingBoundsEnforced(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-ascending bounds did not panic")
+		}
+	}()
+	NewDecayedHist([]float64{1, 1}, 0)
+}
+
+func TestDecayedHistObserveAllocationFree(t *testing.T) {
+	h := NewDecayedHist(LatencyBounds(), 0)
+	if n := testing.AllocsPerRun(200, func() { h.Observe(0.003) }); n != 0 {
+		t.Fatalf("Observe allocates %v per run, want 0", n)
+	}
+}
+
+func TestDecayedHistConcurrent(t *testing.T) {
+	h := NewDecayedHist(LatencyBounds(), 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.001)
+				_ = h.Quantile(0.95)
+				_ = h.Weight()
+			}
+		}()
+	}
+	wg.Wait()
+	if w := h.Weight(); w <= 0 {
+		t.Fatalf("weight = %v after 4000 observations", w)
+	}
+}

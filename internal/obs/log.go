@@ -125,7 +125,23 @@ type SlowQueryRecord struct {
 	TookUS    int64      `json:"took_us"`
 	Quality   float64    `json:"quality,omitempty"`
 	Results   int        `json:"results,omitempty"`
-	Spans     []SpanJSON `json:"spans"`
+	// SLO is the budget controller's decision for this query, when the
+	// coordinator served it adaptively.
+	SLO   *SLOJSON   `json:"slo,omitempty"`
+	Spans []SpanJSON `json:"spans"`
+}
+
+// SLOJSON renders one budget-controller decision in the slow-query
+// log: what budget was chosen, what the curve predicted, what the
+// query actually cost, and how much pressure shedding was applied.
+type SLOJSON struct {
+	Budget      int     `json:"budget"`
+	PredictedMS float64 `json:"predicted_ms"`
+	AchievedMS  float64 `json:"achieved_ms"`
+	Confidence  float64 `json:"confidence"`
+	ShedLevel   int     `json:"shed_level,omitempty"`
+	Degraded    bool    `json:"degraded,omitempty"`
+	FloorHit    bool    `json:"floor_hit,omitempty"`
 }
 
 // SpanJSON is a span rendered with microsecond offsets for the

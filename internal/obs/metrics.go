@@ -455,16 +455,23 @@ func (r *Registry) RegisterRuntimeGauges() {
 func (r *Registry) WritePrometheus(w io.Writer) {
 	r.mu.Lock()
 	hooks := append([]func(){}, r.onScrape...)
+	r.mu.Unlock()
+
+	// Hooks run before the series list is snapshotted so that series a
+	// hook registers lazily (e.g. per-fragment counters whose
+	// cardinality is only known at scrape time) appear in the same
+	// scrape that created them.
+	for _, fn := range hooks {
+		fn()
+	}
+
+	r.mu.Lock()
 	keys := append([]string{}, r.order...)
 	byKey := make(map[string]*metric, len(r.metrics))
 	for k, m := range r.metrics {
 		byKey[k] = m
 	}
 	r.mu.Unlock()
-
-	for _, fn := range hooks {
-		fn()
-	}
 
 	// Group series of the same family so # HELP/# TYPE headers are
 	// emitted once, with families in first-registration order.

@@ -15,6 +15,7 @@ import (
 	"dlsearch/internal/dist"
 	"dlsearch/internal/ir"
 	"dlsearch/internal/obs"
+	"dlsearch/internal/slo"
 )
 
 // CoordinatorConfig tunes a coordinator. The zero value selects the
@@ -52,6 +53,16 @@ type CoordinatorConfig struct {
 	// query, span breakdown) for every /search slower than its
 	// threshold. nil disables the slow-query log.
 	SlowQuery *obs.SlowQueryLog
+	// SLO, when set, turns /search adaptive: the budget controller
+	// picks each query's fragment budget from the learned
+	// quality/latency curve, and the concurrency semaphore becomes an
+	// admission controller — overload degrades budget (shedding
+	// quality) instead of answering 503, which is reserved for
+	// decisions clamped at the quality floor under heavy occupancy.
+	// Requests carrying an explicit budget (body `budget` or `?frag=`)
+	// bypass the controller and keep the classic 503-when-saturated
+	// contract. nil keeps /search fully manual.
+	SLO *slo.Controller
 }
 
 // docSeq assigns document oids for /add requests without an explicit
@@ -113,6 +124,12 @@ type Coordinator struct {
 	// (seconds / QualityEstimate.Value), nil maps without a registry.
 	latency map[string]*obs.Histogram
 	quality map[string]*obs.Histogram
+
+	// sloBudget and sloPredErr hold the per-index controller
+	// histograms: chosen budgets and |achieved − predicted| latency.
+	// nil maps without a registry or a controller.
+	sloBudget  map[string]*obs.Histogram
+	sloPredErr map[string]*obs.Histogram
 }
 
 // NewCoordinator builds a coordinator over named clusters. The map
@@ -144,6 +161,13 @@ func NewCoordinator(indexes map[string]*dist.Cluster, cfg *CoordinatorConfig) *C
 		co.seqs[name] = &docSeq{}
 	}
 	co.sem = newSemaphore(co.cfg.MaxConcurrent)
+	if ctl := co.cfg.SLO; ctl != nil {
+		// Close the control loop: every node of every cluster feeds its
+		// cost samples into the index's quality/latency curve.
+		for name, cluster := range indexes {
+			cluster.SetCostCurve(ctl.Curve(name))
+		}
+	}
 	if reg := co.cfg.Metrics; reg != nil {
 		reg.RegisterRuntimeGauges()
 		reg.CounterFunc("dl_coordinator_requests_total",
@@ -160,8 +184,49 @@ func NewCoordinator(indexes map[string]*dist.Cluster, cfg *CoordinatorConfig) *C
 		reg.GaugeFunc("dl_coordinator_in_flight",
 			"Requests currently holding a concurrency-semaphore slot.",
 			"", func() float64 { return float64(co.sem.InFlight()) })
+		reg.GaugeFunc("dl_coordinator_waiting",
+			"Requests blocked waiting for a concurrency-semaphore slot (adaptive admission only).",
+			"", func() float64 { return float64(co.sem.Waiting()) })
 		co.latency = make(map[string]*obs.Histogram, len(indexes))
 		co.quality = make(map[string]*obs.Histogram, len(indexes))
+		if ctl := co.cfg.SLO; ctl != nil {
+			co.sloBudget = make(map[string]*obs.Histogram, len(indexes))
+			co.sloPredErr = make(map[string]*obs.Histogram, len(indexes))
+			budgetBounds := make([]float64, ctl.MaxBudget())
+			for i := range budgetBounds {
+				budgetBounds[i] = float64(i + 1)
+			}
+			for name := range indexes {
+				ix, lbl := name, obs.Labels("index", name)
+				cnt := func(f func(slo.Counters) uint64) func() uint64 {
+					return func() uint64 { return f(ctl.Counters(ix)) }
+				}
+				reg.CounterFunc("dl_slo_decisions_total",
+					"Budget-controller decisions taken, by index.",
+					lbl, cnt(func(c slo.Counters) uint64 { return c.Decisions }))
+				reg.CounterFunc("dl_slo_degraded_total",
+					"Decisions that chose a below-full-quality budget, by index.",
+					lbl, cnt(func(c slo.Counters) uint64 { return c.Degraded }))
+				reg.CounterFunc("dl_slo_overrides_total",
+					"Requests that overrode the SLO target via slo_ms, by index.",
+					lbl, cnt(func(c slo.Counters) uint64 { return c.Overrides }))
+				reg.CounterFunc("dl_slo_floor_hits_total",
+					"Decisions clamped upward by the quality floor, by index.",
+					lbl, cnt(func(c slo.Counters) uint64 { return c.FloorHits }))
+				reg.CounterFunc("dl_slo_rejected_total",
+					"Queries refused because the quality floor left nothing to shed, by index.",
+					lbl, cnt(func(c slo.Counters) uint64 { return c.Rejected }))
+				reg.GaugeFunc("dl_slo_shed_level",
+					"Admission-pressure shed level of the latest decision, by index.",
+					lbl, func() float64 { return float64(ctl.Counters(ix).ShedLevel) })
+				co.sloBudget[name] = reg.Histogram("dl_slo_budget",
+					"Fragment budgets the controller chose, by index.",
+					lbl, budgetBounds)
+				co.sloPredErr[name] = reg.Histogram("dl_slo_prediction_error_seconds",
+					"Absolute error of the curve's latency prediction, by index.",
+					lbl, obs.LatencyBounds())
+			}
+		}
 		for name, c := range indexes {
 			co.latency[name] = reg.Histogram("dl_search_latency_seconds",
 				"End-to-end /search latency by index.",
@@ -217,6 +282,12 @@ func (co *Coordinator) Handler() http.Handler {
 	if co.cfg.Metrics != nil {
 		outer.Handle("/metrics", co.cfg.Metrics.Handler())
 	}
+	// Adaptive serving moves /search outside the semaphore wrapper: the
+	// handler does its own admission (blocking acquire + quality
+	// shedding) instead of the wrapper's immediate 503.
+	if co.cfg.SLO != nil {
+		outer.HandleFunc("/search", co.search)
+	}
 	outer.Handle("/", co.sem.wrap(mux))
 	return outer
 }
@@ -262,6 +333,11 @@ type SearchRequest struct {
 	Budget *int `json:"budget,omitempty"`
 	// MinQuality is the quality floor in [0, 1]; 0 disables it.
 	MinQuality *float64 `json:"min_quality,omitempty"`
+	// SLOMs overrides the coordinator's target latency SLO for this
+	// request, in milliseconds (adaptive coordinators only; also
+	// accepted as `?slo_ms=`). 0 means "no latency target": only
+	// pressure shedding applies.
+	SLOMs *float64 `json:"slo_ms,omitempty"`
 }
 
 // SearchResponse answers POST /search. Complete is false when the
@@ -316,7 +392,7 @@ func (co *Coordinator) search(w http.ResponseWriter, r *http.Request) {
 	if req.N > co.cfg.MaxTopN {
 		req.N = co.cfg.MaxTopN
 	}
-	plan, ok := co.buildPlan(w, r, &req)
+	plan, explicitBudget, ok := co.buildPlan(w, r, &req)
 	if !ok {
 		co.errs.Add(1)
 		return
@@ -333,10 +409,49 @@ func (co *Coordinator) search(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, co.cfg.SearchTimeout)
 		defer cancel()
 	}
+	// Adaptive admission: Handler routed /search around the semaphore
+	// wrapper, so this handler claims the slot itself — deciding a
+	// (possibly degraded) budget first, blocking for capacity instead
+	// of 503ing, and rejecting only decisions clamped at the quality
+	// floor under heavy occupancy. Requests that pinned their own
+	// budget keep the classic contract: immediate 503 when saturated.
+	var dec *slo.Decision
+	if ctl := co.cfg.SLO; ctl != nil {
+		admitStart := time.Now()
+		if explicitBudget {
+			if !co.sem.TryAcquire() {
+				co.errs.Add(1)
+				fail(w, http.StatusServiceUnavailable, "server at capacity")
+				return
+			}
+		} else {
+			target, ok := co.sloTarget(w, r, &req, ctl, name)
+			if !ok {
+				co.errs.Add(1)
+				return
+			}
+			occupancy := float64(co.sem.InFlight()+co.sem.Waiting()+1) / float64(co.sem.Limit())
+			d := ctl.Decide(name, target, occupancy)
+			dec = &d
+			if d.Reject {
+				co.errs.Add(1)
+				fail(w, http.StatusServiceUnavailable, "server at capacity: quality floor reached")
+				return
+			}
+			plan.Budget = d.Budget
+			if !co.sem.Acquire(ctx) {
+				co.errs.Add(1)
+				fail(w, http.StatusServiceUnavailable, "timed out waiting for capacity")
+				return
+			}
+		}
+		defer co.sem.Release()
+		tr.AddSpan("admit", admitStart)
+	}
 	sr, err := cluster.SearchPlan(ctx, req.Query, plan)
 	if err != nil {
 		co.errs.Add(1)
-		co.observeSearch(name, tr, &req, nil)
+		co.observeSearch(name, tr, &req, nil, dec)
 		fail(w, http.StatusBadGateway, "cluster unavailable: "+err.Error())
 		return
 	}
@@ -351,13 +466,46 @@ func (co *Coordinator) search(w http.ResponseWriter, r *http.Request) {
 		StaleStats: sr.StaleStats,
 		Complete:   sr.Complete(),
 	})
-	co.observeSearch(name, tr, &req, sr)
+	co.observeSearch(name, tr, &req, sr, dec)
+}
+
+// sloTarget resolves the request's effective latency target: the
+// per-request slo_ms override (query parameter over body field) or
+// the controller's configured SLO. Overrides are validated (400 on a
+// malformed or negative value) and counted per index.
+func (co *Coordinator) sloTarget(w http.ResponseWriter, r *http.Request, req *SearchRequest, ctl *slo.Controller, name string) (time.Duration, bool) {
+	target := ctl.Target()
+	override := false
+	if req.SLOMs != nil {
+		if *req.SLOMs < 0 {
+			fail(w, http.StatusBadRequest, "slo_ms must be non-negative")
+			return 0, false
+		}
+		target = time.Duration(*req.SLOMs * float64(time.Millisecond))
+		override = true
+	}
+	if v := r.URL.Query().Get("slo_ms"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 0 {
+			fail(w, http.StatusBadRequest, "bad slo_ms parameter: "+v)
+			return 0, false
+		}
+		target = time.Duration(f * float64(time.Millisecond))
+		override = true
+	}
+	if override {
+		ctl.RecordOverride(name)
+	}
+	return target, true
 }
 
 // observeSearch records one finished /search into the per-index
 // latency and quality histograms and, when configured, the slow-query
-// log. sr is nil for a failed search (latency still observed).
-func (co *Coordinator) observeSearch(name string, tr *obs.Trace, req *SearchRequest, sr *dist.SearchResult) {
+// log. sr is nil for a failed search (latency still observed). dec is
+// the budget controller's decision for adaptively served queries: the
+// chosen budget and the prediction error land in the dl_slo_*
+// histograms, and the whole decision in the slow-query record.
+func (co *Coordinator) observeSearch(name string, tr *obs.Trace, req *SearchRequest, sr *dist.SearchResult, dec *slo.Decision) {
 	took := tr.Elapsed()
 	if h := co.latency[name]; h != nil {
 		h.Observe(took.Seconds())
@@ -374,6 +522,27 @@ func (co *Coordinator) observeSearch(name string, tr *obs.Trace, req *SearchRequ
 			h.Observe(rec.Quality)
 		}
 	}
+	if dec != nil {
+		if h := co.sloBudget[name]; h != nil {
+			h.Observe(float64(dec.Budget))
+		}
+		if h := co.sloPredErr[name]; h != nil && dec.Predicted > 0 {
+			err := (took - dec.Predicted).Seconds()
+			if err < 0 {
+				err = -err
+			}
+			h.Observe(err)
+		}
+		rec.SLO = &obs.SLOJSON{
+			Budget:      dec.Budget,
+			PredictedMS: float64(dec.Predicted) / float64(time.Millisecond),
+			AchievedMS:  float64(took) / float64(time.Millisecond),
+			Confidence:  dec.Confidence,
+			ShedLevel:   dec.ShedLevel,
+			Degraded:    dec.Degraded,
+			FloorHit:    dec.FloorHit,
+		}
+	}
 	co.cfg.SlowQuery.Record(tr, rec)
 }
 
@@ -381,7 +550,15 @@ func (co *Coordinator) observeSearch(name string, tr *obs.Trace, req *SearchRequ
 // query parameters (highest precedence) into the evaluation plan,
 // answering 400 on malformed parameters itself. Body fields are held
 // to the same validity rules as their query-parameter spellings.
-func (co *Coordinator) buildPlan(w http.ResponseWriter, r *http.Request, req *SearchRequest) (ir.EvalPlan, bool) {
+// explicit reports whether the request pinned the budget itself (body
+// `budget` or `?frag=`) — such requests bypass the budget controller.
+func (co *Coordinator) buildPlan(w http.ResponseWriter, r *http.Request, req *SearchRequest) (plan ir.EvalPlan, explicit, ok bool) {
+	plan, ok = co.buildPlanInner(w, r, req)
+	explicit = req.Budget != nil || r.URL.Query().Get("frag") != ""
+	return plan, explicit, ok
+}
+
+func (co *Coordinator) buildPlanInner(w http.ResponseWriter, r *http.Request, req *SearchRequest) (ir.EvalPlan, bool) {
 	plan := ir.EvalPlan{
 		N:          req.N,
 		Frags:      co.cfg.Frags,
@@ -675,9 +852,12 @@ type StatsResponse struct {
 // many requests are in flight right now, the configured limit, and
 // how many requests overload has shed with a 503 since boot.
 type ConcurrencyStats struct {
-	InFlight int    `json:"in_flight"`
-	Limit    int    `json:"limit"`
-	Shed     uint64 `json:"shed_503_total"`
+	InFlight int `json:"in_flight"`
+	Limit    int `json:"limit"`
+	// Waiting counts requests blocked for a slot (adaptive admission
+	// queues instead of shedding).
+	Waiting int    `json:"waiting,omitempty"`
+	Shed    uint64 `json:"shed_503_total"`
 }
 
 // QuantilesJSON summarises a histogram for /stats: count, mean and
@@ -752,7 +932,11 @@ type IndexStats struct {
 	// Metrics registry).
 	LatencyMS *QuantilesJSON `json:"latency_ms,omitempty"`
 	Quality   *QuantilesJSON `json:"quality,omitempty"`
-	Error     string         `json:"error,omitempty"`
+	// SLO is the budget controller's state for this index — the
+	// learned quality/latency curve, the current shed level, and the
+	// decision counters. Absent on non-adaptive coordinators.
+	SLO   *slo.IndexStats `json:"slo,omitempty"`
+	Error string          `json:"error,omitempty"`
 }
 
 // GroupStats is one partition's replica set.
@@ -841,6 +1025,7 @@ func (co *Coordinator) statsHandler(w http.ResponseWriter, r *http.Request) {
 	resp.Concurrency = &ConcurrencyStats{
 		InFlight: co.sem.InFlight(),
 		Limit:    co.sem.Limit(),
+		Waiting:  co.sem.Waiting(),
 		Shed:     co.sem.Shed(),
 	}
 	names := make([]string, 0, len(co.indexes))
@@ -865,6 +1050,10 @@ func (co *Coordinator) statsHandler(w http.ResponseWriter, r *http.Request) {
 			ResyncBytes:        tel.ResyncBytes,
 			LatencyMS:          quantilesJSON(co.latency[name], 1e3),
 			Quality:            quantilesJSON(co.quality[name], 1),
+		}
+		if ctl := co.cfg.SLO; ctl != nil {
+			s := ctl.Stats(name)
+			st.SLO = &s
 		}
 		// One probe of every replica serves both views: the per-replica
 		// report AND the per-partition loads (replicas counted once) —

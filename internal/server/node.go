@@ -155,6 +155,24 @@ func NewNodeServer(ix *ir.Index, cfg *NodeConfig) *NodeServer {
 				IngestDocs: reg.Counter("dl_node_ingest_docs_total",
 					"Documents freshly indexed on this node (retried duplicates excluded).", ""),
 			})
+			// Per-fragment cost accounting: postings evaluated per idf
+			// fragment (fragment 0 holds the rarest terms). The fragment
+			// count is only known after the first budgeted evaluation, so
+			// the counters register lazily at scrape time — registration
+			// is idempotent per label set.
+			reg.OnScrape(func() {
+				for i := range ix.FragmentPostings() {
+					frag := i
+					reg.CounterFunc("dl_node_frag_postings_total",
+						"Postings evaluated per idf fragment (frag 0 = rarest terms); shows where the budget cut lands.",
+						obs.Labels("frag", strconv.Itoa(frag)), func() uint64 {
+							if fp := ix.FragmentPostings(); frag < len(fp) {
+								return uint64(fp[frag])
+							}
+							return 0
+						})
+				}
+			})
 			if s.oplog != nil {
 				s.oplog.Instrument(
 					reg.Histogram("dl_oplog_append_seconds",

@@ -114,9 +114,10 @@ func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
 // configured limit, and how many requests were shed with a 503. Under
 // overload the server sheds load instead of queueing unboundedly.
 type semaphore struct {
-	ch    chan struct{}
-	limit int
-	shed  atomic.Uint64
+	ch      chan struct{}
+	limit   int
+	shed    atomic.Uint64
+	waiting atomic.Int64
 }
 
 func newSemaphore(max int) *semaphore {
@@ -153,6 +154,31 @@ func (s *semaphore) TryAcquire() bool {
 
 // Release returns a slot claimed by TryAcquire.
 func (s *semaphore) Release() { <-s.ch }
+
+// Acquire claims a slot, blocking until one frees or ctx is done; it
+// reports whether the slot was claimed. Unlike TryAcquire a failed
+// (cancelled) wait is not counted as shed — the adaptive admission
+// path sheds quality, not queries, and accounts its own rejections.
+// Waiters are visible through Waiting so the admission controller can
+// read queue pressure.
+func (s *semaphore) Acquire(ctx context.Context) bool {
+	select {
+	case s.ch <- struct{}{}: // fast path: free slot, no bookkeeping
+		return true
+	default:
+	}
+	s.waiting.Add(1)
+	defer s.waiting.Add(-1)
+	select {
+	case s.ch <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Waiting reports the requests currently blocked in Acquire.
+func (s *semaphore) Waiting() int { return int(s.waiting.Load()) }
 
 // InFlight reports the requests currently holding a slot.
 func (s *semaphore) InFlight() int { return len(s.ch) }
