@@ -24,6 +24,15 @@
 //	    cluster heals itself without operator action (also on demand
 //	    via POST /anti-entropy).
 //
+//	dlserve coordinator -addr :8080 -engine ausopen \
+//	    -indexes Article.body,Player.history -local 2
+//	    additionally host a conceptual engine: POST /query evaluates the
+//	    paper's query language (SELECT ... WHERE contains(...) AND
+//	    About(...)), fanning every contains predicate over the cluster
+//	    named by its "Class.attr" key, and POST /add/stream ingests an
+//	    NDJSON stream of webspace documents and owned content one line
+//	    at a time — the stream may be far larger than -max-body.
+//
 // A replicated two-partition deployment is four `dlserve node`
 // processes plus one coordinator pointed at them:
 //
@@ -58,6 +67,7 @@ import (
 	"dlsearch/internal/obs"
 	"dlsearch/internal/persist"
 	"dlsearch/internal/server"
+	"dlsearch/internal/site"
 	"dlsearch/internal/slo"
 )
 
@@ -79,6 +89,10 @@ func main() {
 	local := fs.Int("local", 0, "number of in-process nodes when -nodes is empty (coordinator)")
 	replicas := fs.Int("replicas", 1, "replication factor: nodes are sliced into replica groups of this size (coordinator)")
 	index := fs.String("index", "default", "name of the served index (coordinator)")
+	indexes := fs.String("indexes", "", "comma-separated names of several served indexes, each its own cluster: remote -nodes are split evenly across them in order, or every index gets -local in-process nodes; empty serves the single -index (coordinator)")
+	engineKind := fs.String("engine", "", "conceptual engine serving POST /query and webspace stream lines: 'ausopen' hosts the paper's Australian Open schema; empty disables (coordinator)")
+	maxBody := fs.Int64("max-body", 0, "request body cap in bytes, 0 selects the default; the /add/stream body is exempt — only its per-line size is capped (coordinator)")
+	streamFlush := fs.Int("stream-flush", 0, "per-index document batch size of /add/stream, 0 selects the default (coordinator)")
 	nodeTimeout := fs.Duration("node-timeout", 2*time.Second, "per-node call deadline, 0 disables (coordinator)")
 	searchTimeout := fs.Duration("search-timeout", 5*time.Second, "end-to-end /search deadline, 0 disables (coordinator)")
 	maxConc := fs.Int("max-concurrent", server.DefaultMaxConcurrent, "bound on in-flight requests")
@@ -157,11 +171,60 @@ func main() {
 				MinQuality: *minQuality,
 			})
 		}
-		cluster, qc, err := buildCluster(*nodes, *local, *replicas, *lambda, *nodeTimeout, *cache, jsonWire, reg)
-		if err != nil {
-			fatal(err)
+		names := []string{*index}
+		if *indexes != "" {
+			names = names[:0]
+			for _, n := range strings.Split(*indexes, ",") {
+				if n = strings.TrimSpace(n); n != "" {
+					names = append(names, n)
+				}
+			}
+			if len(names) == 0 {
+				fatal(fmt.Errorf("-indexes names no index"))
+			}
 		}
-		co := server.NewCoordinator(map[string]*dist.Cluster{*index: cluster}, &server.CoordinatorConfig{
+		nodeLists := make([]string, len(names))
+		if *nodes != "" && len(names) > 1 {
+			// Remote nodes are sliced evenly across the indexes, in
+			// order: 4 nodes over 2 indexes = 2 nodes each.
+			urls := splitURLs(*nodes)
+			if len(urls)%len(names) != 0 {
+				fatal(fmt.Errorf("-nodes lists %d nodes, not divisible over %d indexes", len(urls), len(names)))
+			}
+			per := len(urls) / len(names)
+			for i := range names {
+				nodeLists[i] = strings.Join(urls[i*per:(i+1)*per], ",")
+			}
+		} else {
+			for i := range names {
+				nodeLists[i] = *nodes
+			}
+		}
+		clusters := make(map[string]*dist.Cluster, len(names))
+		var qc *core.QueryCache
+		for i, name := range names {
+			cluster, cqc, err := buildCluster(nodeLists[i], *local, *replicas, *lambda, *nodeTimeout, *cache, jsonWire, reg)
+			if err != nil {
+				fatal(err)
+			}
+			clusters[name] = cluster
+			if qc == nil {
+				qc = cqc
+			}
+		}
+		var eng *core.Engine
+		switch *engineKind {
+		case "":
+		case "ausopen":
+			var err error
+			if eng, err = core.NewAusOpen(site.Generate(1)); err != nil {
+				fatal(fmt.Errorf("-engine ausopen: %w", err))
+			}
+		default:
+			fatal(fmt.Errorf("-engine must be empty or ausopen, got %q", *engineKind))
+		}
+		co := server.NewCoordinator(clusters, &server.CoordinatorConfig{
+			MaxBody:       *maxBody,
 			MaxConcurrent: *maxConc,
 			SearchTimeout: *searchTimeout,
 			Cache:         qc,
@@ -171,12 +234,16 @@ func main() {
 			Metrics:       reg,
 			SlowQuery:     slow,
 			SLO:           ctl,
+			Engine:        eng,
+			StreamFlush:   *streamFlush,
 		})
 		if *antiEntropy > 0 {
 			// Background self-healing: periodically compare replica
 			// checksums within each group and resync divergent replicas
 			// from their group — no operator action needed.
-			go cluster.RunAntiEntropy(ctx, *antiEntropy)
+			for _, cluster := range clusters {
+				go cluster.RunAntiEntropy(ctx, *antiEntropy)
+			}
 		}
 		logger.Infof("coordinator listening on %s", *addr)
 		if err := server.Run(ctx, *addr, co.Handler(), 0); err != nil {
@@ -438,6 +505,17 @@ func resetLogTo(dir string, base uint64) *persist.OpLog {
 // the local mode, where it sits on the nodes' top-N path and its
 // /stats counters mean something; remote nodes cache server-side
 // (their own -cache flag) instead.
+// splitURLs splits a comma-separated URL list, dropping blanks.
+func splitURLs(s string) []string {
+	var out []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
 func buildCluster(nodeURLs string, local, r int, lambda float64, nodeTimeout time.Duration, cacheCap int, jsonWire bool, reg *obs.Registry) (*dist.Cluster, *core.QueryCache, error) {
 	opts := &dist.Options{Lambda: lambda, NodeTimeout: nodeTimeout, Logger: logger}
 	if reg != nil {
@@ -529,5 +607,10 @@ func usage() {
   dlserve coordinator -addr :8080 -nodes http://h1:8081,http://h2:8082
   dlserve coordinator -addr :8080 -replicas 2 -anti-entropy-interval 30s \
       -nodes http://h1:8081,...
-  dlserve coordinator -addr :8080 -local 4`)
+  dlserve coordinator -addr :8080 -local 4
+  dlserve coordinator -addr :8080 -engine ausopen \
+      -indexes Article.body,Player.history -nodes http://h1:8081,...,http://h4:8084
+      (conceptual engine: POST /query runs the paper's query language with
+      contains() fanned over the named clusters; POST /add/stream ingests
+      NDJSON webspace documents and owned content with bounded memory)`)
 }

@@ -1,0 +1,60 @@
+package dist
+
+import "dlsearch/internal/ir"
+
+// SearchBackend is the content-serving boundary behind a LocalNode:
+// where the node's full-text fragment physically lives and how ingest
+// reaches it. The classic deployment serves a bare ir.Index
+// (IndexBackend); an engine-backed deployment serves one of a
+// core.Engine's per-attribute indexes, so a partition can host the
+// full conceptual engine while the cluster machinery — statistics
+// aggregation, budgeted plans, replication, resync — stays unchanged.
+//
+// The node caches ContentIndex() and keeps doing all read-path work
+// (scoring, freezing, checksums, state export) directly against that
+// index, so the IR-only path pays nothing for the abstraction; the
+// backend is consulted only where ownership matters: applying fresh
+// ingest and swapping the index on a state restore.
+//
+// Implementations are called under the owning node's write lock and
+// must not retain the doc slices they are handed.
+type SearchBackend interface {
+	// Kind is a short static label for telemetry: "ir" for a bare
+	// fragment, "engine" for a conceptual-engine-owned index.
+	Kind() string
+	// ContentIndex returns the index the node serves. It must be
+	// non-nil and stable between SwapIndex calls.
+	ContentIndex() *ir.Index
+	// ApplyDocs indexes freshly deduplicated documents (the caller has
+	// already filtered re-posted oids and logged the batch).
+	ApplyDocs(docs []Doc)
+	// SwapIndex atomically replaces the served index — the write side
+	// of a full-state resync. An engine-owned backend re-homes the new
+	// index under its owner so later conceptual queries rank against
+	// the restored content.
+	SwapIndex(ix *ir.Index)
+}
+
+// IndexBackend serves a bare ir.Index fragment — today's path, and the
+// backend NewLocalNode wraps every index in. It adds no behaviour:
+// ingest is a plain per-document Add, a swap is a pointer replacement.
+type IndexBackend struct{ ix *ir.Index }
+
+// NewIndexBackend wraps an index as a SearchBackend.
+func NewIndexBackend(ix *ir.Index) *IndexBackend { return &IndexBackend{ix: ix} }
+
+// Kind implements SearchBackend.
+func (b *IndexBackend) Kind() string { return "ir" }
+
+// ContentIndex implements SearchBackend.
+func (b *IndexBackend) ContentIndex() *ir.Index { return b.ix }
+
+// ApplyDocs implements SearchBackend.
+func (b *IndexBackend) ApplyDocs(docs []Doc) {
+	for _, d := range docs {
+		b.ix.Add(d.OID, d.URL, d.Text)
+	}
+}
+
+// SwapIndex implements SearchBackend.
+func (b *IndexBackend) SwapIndex(ix *ir.Index) { b.ix = ix }

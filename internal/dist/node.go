@@ -168,16 +168,23 @@ type RankingCache interface {
 	StoreRanking(ix *ir.Index, query string, n int, global ir.Stats, res []ir.Result)
 }
 
-// LocalNode adapts an in-process ir.Index to the Node interface. Its
-// methods never fail and ignore context cancellation mid-call (an
-// in-memory query completes in microseconds); the cluster's straggler
-// machinery still applies uniformly.
+// LocalNode adapts an in-process search backend — a bare ir.Index or
+// a conceptual engine's per-attribute index (see SearchBackend) — to
+// the Node interface. Its methods never fail and ignore context
+// cancellation mid-call (an in-memory query completes in
+// microseconds); the cluster's straggler machinery still applies
+// uniformly.
 //
 // A RWMutex arbitrates the index's one-writer rule so a serving layer
 // may add documents and answer queries concurrently: Add and Stats
 // (which freezes) take the write lock, queries the read lock.
 type LocalNode struct {
-	mu       sync.RWMutex
+	mu sync.RWMutex
+	// backend owns the served index; ix caches backend.ContentIndex()
+	// so every hot read path stays one pointer dereference, exactly as
+	// before the backend existed. The two are updated together under
+	// the write lock (RestoreState).
+	backend  SearchBackend
 	ix       *ir.Index
 	resolve  func(*ir.Index, string) ([]string, []bat.OID)
 	rank     RankingCache
@@ -218,12 +225,30 @@ type NodeMetrics struct {
 // node starts serving; nil detaches.
 func (n *LocalNode) SetMetrics(m *NodeMetrics) { n.met = m }
 
-// NewLocalNode wraps an index as a cluster node.
-func NewLocalNode(ix *ir.Index) *LocalNode { return &LocalNode{ix: ix} }
+// NewLocalNode wraps an index as a cluster node (an IndexBackend —
+// the classic bare-fragment path).
+func NewLocalNode(ix *ir.Index) *LocalNode {
+	return NewLocalNodeBackend(NewIndexBackend(ix))
+}
+
+// NewLocalNodeBackend wraps a search backend as a cluster node, so a
+// partition can host whatever owns the index — a bare fragment or a
+// full conceptual engine. It panics on a nil backend or content index
+// (a node with nothing to serve is a construction bug, and a deferred
+// nil dereference on the first query would be far harder to diagnose).
+func NewLocalNodeBackend(b SearchBackend) *LocalNode {
+	if b == nil || b.ContentIndex() == nil {
+		panic("dist: LocalNode requires a backend with a content index")
+	}
+	return &LocalNode{backend: b, ix: b.ContentIndex()}
+}
 
 // Index exposes the underlying index for experiments and tests. Do
 // not mutate it while the node is serving queries — go through Add.
 func (n *LocalNode) Index() *ir.Index { return n.ix }
+
+// Backend exposes the node's search backend (never nil).
+func (n *LocalNode) Backend() SearchBackend { return n.backend }
 
 // SetResolver injects a query-term resolver — the engine's query-side
 // LRU cache (core.QueryCache.Resolve fits the signature) — so this
@@ -294,9 +319,7 @@ func (n *LocalNode) logThenApply(docs []Doc) error {
 			return err
 		}
 	}
-	for _, d := range fresh {
-		n.ix.Add(d.OID, d.URL, d.Text)
-	}
+	n.backend.ApplyDocs(fresh)
 	n.pos += uint64(len(fresh))
 	if n.met != nil {
 		n.met.IngestDocs.Add(uint64(len(fresh)))
@@ -368,11 +391,13 @@ func (n *LocalNode) ApplyOps(_ context.Context, from uint64, ops []persist.Op) e
 			return err
 		}
 	}
+	fresh := make([]Doc, 0, len(ops))
 	for i := range ops {
 		if !n.ix.HasDoc(ops[i].Doc) {
-			n.ix.Add(ops[i].Doc, ops[i].URL, ops[i].Text)
+			fresh = append(fresh, Doc{OID: ops[i].Doc, URL: ops[i].URL, Text: ops[i].Text})
 		}
 	}
+	n.backend.ApplyDocs(fresh)
 	n.pos += uint64(len(ops))
 	return nil
 }
@@ -574,6 +599,10 @@ func (n *LocalNode) RestoreState(_ context.Context, st *ir.IndexState) error {
 		}
 	}
 	n.pos = st.LogPos
+	// Re-home the restored index under its owner (an engine-owned
+	// backend re-binds it so conceptual queries rank against the
+	// restored content), then refresh the node's hot-path cache.
+	n.backend.SwapIndex(ix)
 	n.ix = ix
 	// The restored index starts without the cost hook — re-wire it so
 	// the quality/latency curve keeps learning across resyncs.

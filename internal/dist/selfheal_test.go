@@ -9,9 +9,36 @@ import (
 	"testing"
 
 	"dlsearch/internal/bat"
-	"dlsearch/internal/core"
 	"dlsearch/internal/ir"
 )
+
+// epochRankCache is a minimal RankingCache with the same validation
+// rule as the serving layer's real cache (core.QueryCache): an entry
+// is served only while the index's freeze epoch and global-statistics
+// fingerprint still match the ones it was stored under. Defined here
+// because dist cannot import core (core's engine backend imports
+// dist).
+type epochRankCache struct {
+	key     string
+	epoch   uint64
+	totalDF int
+	docs    int
+	res     []ir.Result
+}
+
+func (c *epochRankCache) Ranking(ix *ir.Index, query string, n int, global ir.Stats) ([]ir.Result, bool) {
+	fresh := c.key == query && c.epoch == ix.Epoch() &&
+		c.totalDF == global.TotalDF && c.docs == global.Docs
+	if c.res == nil || !fresh || len(c.res) < n && len(c.res) < ix.DocCount() {
+		return nil, false
+	}
+	return c.res, true
+}
+
+func (c *epochRankCache) StoreRanking(ix *ir.Index, query string, n int, global ir.Stats, res []ir.Result) {
+	c.key, c.epoch, c.res = query, ix.Epoch(), res
+	c.totalDF, c.docs = global.TotalDF, global.Docs
+}
 
 // groupChecksums probes every replica of partition g for a FRESH
 // content checksum.
@@ -450,9 +477,11 @@ func TestRestoreInvalidatesRankingCache(t *testing.T) {
 	}
 	global := ir.MergeStats(ixA.StatsLocal())
 	node := NewLocalNode(ixA)
-	qc := core.NewQueryCache(16)
+	qc := &epochRankCache{}
 	node.SetRankingCache(qc)
-	node.SetResolver(qc.Resolve)
+	node.SetResolver(func(ix *ir.Index, q string) ([]string, []bat.OID) {
+		return ix.ResolveQuery(q)
+	})
 	res, err := node.TopNWithStats(context.Background(), "melbourne", 5, global)
 	if err != nil || len(res) == 0 || res[0].Doc != 1 {
 		t.Fatalf("pre-restore ranking: %v %+v", err, res)

@@ -50,6 +50,16 @@ func (db *Database) InvalidateCaches() {
 	db.events = nil
 }
 
+// Warm builds the derived access paths eagerly. The paths are
+// otherwise built lazily on first use, which is unsafe once a serving
+// layer evaluates queries concurrently — call Warm under the writer's
+// lock after ingest (and after InvalidateCaches) so concurrent readers
+// only ever see fully built caches.
+func (db *Database) Warm() {
+	db.index()
+	db.VideoEvents()
+}
+
 // --- conceptual object access over the path relations ---
 
 // objectIndex is a derived access path over the webspace relations:

@@ -31,6 +31,27 @@ type ExecStats struct {
 	BindingsEnumerated   int // join bindings considered
 }
 
+// ContentRanker evaluates the content-based (contains) predicates of
+// a query: the executor resolves every structural and conceptual
+// predicate itself, and hands each IR ranking to the ranker. The
+// default ranker scores the database's local per-attribute indexes;
+// a serving layer may inject one that fans the ranking out over a
+// distributed cluster instead — the conceptual engine then runs
+// unchanged on top of remote content.
+type ContentRanker interface {
+	// Collection reports the document count behind the index key
+	// ("Class.attr") and whether the key is served at all; the count
+	// is the unrestricted ranking's n.
+	Collection(key string) (int, bool)
+	// Rank returns the RES set of one contains predicate: at most n
+	// results over the key's collection, restricted to the candidate
+	// set when non-nil (a nil map means unrestricted). The quality
+	// estimate is the zero value for an exact evaluation and the
+	// budgeted plan's accounting otherwise; the executor folds
+	// non-zero estimates into its cumulative Quality.
+	Rank(key, text string, n int, candidates map[bat.OID]bool) ([]ir.Result, ir.QualityEstimate, error)
+}
+
 // Executor evaluates queries against a Database. The default plan
 // applies the paper's optimizer hooks: cheap conceptual selections
 // restrict the candidate set a-priori before the IR ranking runs
@@ -43,10 +64,15 @@ type ExecStats struct {
 // restriction fall back to exact evaluation: the conceptual
 // restriction is already the cheaper cut, and stacking a lossy one on
 // top would make the quality accounting lie about it.
+//
+// Ranker, when set, replaces the database's local index scoring for
+// contains predicates (see ContentRanker); nil selects the local
+// ranker, byte-identical to the pre-interface executor.
 type Executor struct {
 	DB                 *Database
 	DisableRestriction bool
 	Plan               *ir.EvalPlan
+	Ranker             ContentRanker
 	Quality            ir.QualityEstimate
 	Stats              ExecStats
 }
@@ -54,30 +80,54 @@ type Executor struct {
 // NewExecutor returns an executor over the database.
 func NewExecutor(db *Database) *Executor { return &Executor{DB: db} }
 
-// rank evaluates one IR predicate (nil candidates = unrestricted),
-// going through the database's term resolver — the engine's query
-// cache — when one is injected, and through the budgeted plan when
-// one is picked and the predicate is unrestricted.
-func (ex *Executor) rank(idx *ir.Index, text string, n int, candidates map[bat.OID]bool) []ir.Result {
-	if ex.Plan != nil && candidates == nil {
-		plan := *ex.Plan
+// ranker resolves the effective content ranker. The local default is
+// the executor itself under a named type, so selecting it allocates
+// nothing (a pointer conversion, not a wrapper struct).
+func (ex *Executor) ranker() ContentRanker {
+	if ex.Ranker != nil {
+		return ex.Ranker
+	}
+	return (*localRanker)(ex)
+}
+
+// localRanker is the default ContentRanker: it scores the database's
+// own per-attribute indexes, going through the database's term
+// resolver — the engine's query cache — when one is injected, and
+// through the budgeted plan when one is picked and the predicate is
+// unrestricted.
+type localRanker Executor
+
+// Collection implements ContentRanker.
+func (r *localRanker) Collection(key string) (int, bool) {
+	idx := r.DB.IR[key]
+	if idx == nil {
+		return 0, false
+	}
+	return idx.DocCount(), true
+}
+
+// Rank implements ContentRanker (nil candidates = unrestricted).
+func (r *localRanker) Rank(key, text string, n int, candidates map[bat.OID]bool) ([]ir.Result, ir.QualityEstimate, error) {
+	idx := r.DB.IR[key]
+	if idx == nil {
+		return nil, ir.QualityEstimate{}, fmt.Errorf("query: no full-text index for %s", key)
+	}
+	if r.Plan != nil && candidates == nil {
+		plan := *r.Plan
 		plan.N = n
-		var res []ir.Result
-		var est ir.QualityEstimate
-		if ex.DB.ResolveTerms != nil {
+		if r.DB.ResolveTerms != nil {
 			idx.Freeze() // resolve against frozen state, like the exact path
-			res, est = idx.TopNPlanTerms(ex.DB.ResolveTerms(idx, text), plan)
-		} else {
-			res, est = idx.TopNPlan(text, plan)
+			res, est := idx.TopNPlanTerms(r.DB.ResolveTerms(idx, text), plan)
+			return res, est, nil
 		}
-		ex.Quality = ir.MergeQuality(ex.Quality, est)
-		return res
+		res, est := idx.TopNPlan(text, plan)
+		return res, est, nil
 	}
-	if ex.DB.ResolveTerms != nil {
+	if r.DB.ResolveTerms != nil {
 		idx.Freeze()
-		return idx.TopNTermsRestricted(ex.DB.ResolveTerms(idx, text), n, candidates)
+		return idx.TopNTermsRestricted(r.DB.ResolveTerms(idx, text), n, candidates), ir.QualityEstimate{}, nil
 	}
-	return idx.TopNRestricted(text, n, candidates)
+	return idx.TopNRestricted(text, n, candidates), ir.QualityEstimate{}, nil
 }
 
 // Run evaluates a parsed query.
@@ -109,21 +159,30 @@ func (ex *Executor) Run(q *Query) (*Result, error) {
 		ex.Stats.ConceptualCandidates += len(set)
 	}
 
-	// 3. Content-based IR predicates.
+	// 3. Content-based IR predicates, evaluated by the content ranker
+	// (local indexes by default, a cluster fan-out when injected).
+	ranker := ex.ranker()
 	for _, p := range q.Preds {
 		cp, ok := p.(*ContainsPred)
 		if !ok {
 			continue
 		}
 		b, _ := q.Binding(cp.Field.Var)
-		idx := ex.DB.IR[b.Class+"."+cp.Field.Attr]
-		if idx == nil {
+		key := b.Class + "." + cp.Field.Attr
+		total, served := ranker.Collection(key)
+		if !served {
 			return nil, fmt.Errorf("query: no full-text index for %s.%s", b.Class, cp.Field.Attr)
 		}
 		var ranked []rankedDoc
+		var est ir.QualityEstimate
 		if ex.DisableRestriction {
 			// Unoptimized: rank the whole collection, filter late.
-			for _, r := range ex.rank(idx, cp.Text, idx.DocCount(), nil) {
+			res, e, err := ranker.Rank(key, cp.Text, total, nil)
+			if err != nil {
+				return nil, err
+			}
+			est = e
+			for _, r := range res {
 				ranked = append(ranked, rankedDoc{r.Doc, r.Score})
 			}
 		} else {
@@ -133,9 +192,17 @@ func (ex *Executor) Run(q *Query) (*Result, error) {
 			for _, oid := range cands[cp.Field.Var] {
 				set[oid] = true
 			}
-			for _, r := range ex.rank(idx, cp.Text, len(set), set) {
+			res, e, err := ranker.Rank(key, cp.Text, len(set), set)
+			if err != nil {
+				return nil, err
+			}
+			est = e
+			for _, r := range res {
 				ranked = append(ranked, rankedDoc{r.Doc, r.Score})
 			}
+		}
+		if est != (ir.QualityEstimate{}) {
+			ex.Quality = ir.MergeQuality(ex.Quality, est)
 		}
 		ex.Stats.IRDocsScored += len(ranked)
 		sc := scores[cp.Field.Var]

@@ -2,6 +2,8 @@ package server
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -53,6 +55,20 @@ type CoordinatorConfig struct {
 	// query, span breakdown) for every /search slower than its
 	// threshold. nil disables the slow-query log.
 	SlowQuery *obs.SlowQueryLog
+	// Engine, when set, serves the conceptual layer on POST /query:
+	// the paper's query language parsed and executed against this
+	// engine's webspace schema, monetxml store and meta-index, with
+	// every contains predicate fanned out over the cluster whose index
+	// name equals the predicate's "Class.attr" key. The coordinator
+	// owns the engine's write lock; in-process writers must not mutate
+	// it while the coordinator serves. nil disables /query (404) and
+	// the conceptual line kinds of /add/stream.
+	Engine *core.Engine
+	// StreamFlush is the per-index batch size of POST /add/stream: how
+	// many decoded documents accumulate before one AddBatchResults
+	// round-trip. 0 selects DefaultStreamFlush. Memory is bounded by
+	// StreamFlush × line size per index, never by the stream length.
+	StreamFlush int
 	// SLO, when set, turns /search adaptive: the budget controller
 	// picks each query's fragment budget from the learned
 	// quality/latency curve, and the concurrency semaphore becomes an
@@ -118,7 +134,18 @@ type Coordinator struct {
 
 	searches atomic.Uint64
 	adds     atomic.Uint64
+	queries  atomic.Uint64
+	streams  atomic.Uint64
 	errs     atomic.Uint64
+
+	// engineMu guards cfg.Engine: /query executes under the read lock,
+	// /add/stream's conceptual writes (and the cache warm that follows
+	// them) under the write lock.
+	engineMu sync.RWMutex
+
+	// queryLatency holds the /query end-to-end latency histogram, nil
+	// without a registry.
+	queryLatency *obs.Histogram
 
 	// latency and quality hold the per-index /search histograms
 	// (seconds / QualityEstimate.Value), nil maps without a registry.
@@ -161,6 +188,12 @@ func NewCoordinator(indexes map[string]*dist.Cluster, cfg *CoordinatorConfig) *C
 		co.seqs[name] = &docSeq{}
 	}
 	co.sem = newSemaphore(co.cfg.MaxConcurrent)
+	if e := co.cfg.Engine; e != nil {
+		// Build the derived access paths before the first concurrent
+		// /query: they are otherwise filled lazily on first use, which
+		// would race between parallel readers.
+		e.DB.Warm()
+	}
 	if ctl := co.cfg.SLO; ctl != nil {
 		// Close the control loop: every node of every cluster feeds its
 		// cost samples into the index's quality/latency curve.
@@ -175,6 +208,15 @@ func NewCoordinator(indexes map[string]*dist.Cluster, cfg *CoordinatorConfig) *C
 			obs.Labels("op", "search"), co.searches.Load)
 		reg.CounterFunc("dl_coordinator_requests_total", "",
 			obs.Labels("op", "add"), co.adds.Load)
+		reg.CounterFunc("dl_coordinator_requests_total", "",
+			obs.Labels("op", "query"), co.queries.Load)
+		reg.CounterFunc("dl_coordinator_requests_total", "",
+			obs.Labels("op", "add_stream"), co.streams.Load)
+		if co.cfg.Engine != nil {
+			co.queryLatency = reg.Histogram("dl_query_latency_seconds",
+				"End-to-end conceptual /query latency.",
+				"", obs.LatencyBounds())
+		}
 		reg.CounterFunc("dl_coordinator_errors_total",
 			"Coordinator requests answered with an error status.",
 			"", co.errs.Load)
@@ -216,6 +258,9 @@ func NewCoordinator(indexes map[string]*dist.Cluster, cfg *CoordinatorConfig) *C
 				reg.CounterFunc("dl_slo_rejected_total",
 					"Queries refused because the quality floor left nothing to shed, by index.",
 					lbl, cnt(func(c slo.Counters) uint64 { return c.Rejected }))
+				reg.CounterFunc("dl_slo_probes_total",
+					"Decisions that explored one budget above the choice to refresh stale curve points, by index.",
+					lbl, cnt(func(c slo.Counters) uint64 { return c.Probes }))
 				reg.GaugeFunc("dl_slo_shed_level",
 					"Admission-pressure shed level of the latest decision, by index.",
 					lbl, func() float64 { return float64(ctl.Counters(ix).ShedLevel) })
@@ -263,13 +308,15 @@ func NewCoordinator(indexes map[string]*dist.Cluster, cfg *CoordinatorConfig) *C
 }
 
 // Handler returns the coordinator's HTTP handler: POST /search,
-// POST /add, POST /add/batch, POST /anti-entropy, GET /stats,
-// GET /healthz.
+// POST /query, POST /add, POST /add/batch, POST /add/stream,
+// POST /anti-entropy, GET /stats, GET /healthz.
 func (co *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/search", co.search)
+	mux.HandleFunc("/query", co.query)
 	mux.HandleFunc("/add", co.add)
 	mux.HandleFunc("/add/batch", co.addBatch)
+	mux.HandleFunc("/add/stream", co.addStream)
 	mux.HandleFunc("/stats", co.statsHandler)
 	mux.HandleFunc("/anti-entropy", co.antiEntropy)
 	// The health probe bypasses the semaphore: a saturated
@@ -748,12 +795,88 @@ type AddBatchResponse struct {
 	Error      string               `json:"error,omitempty"`
 }
 
+// readBatchJSON decodes an AddBatchRequest under the same byte cap and
+// status contract as readJSON (400 malformed / trailing data, 413
+// oversized), but walks the docs array one element at a time so a JSON
+// error inside it is reported with the offending document index —
+// "malformed JSON in docs[17]: ..." instead of a bare decode error the
+// client cannot locate in a thousand-document batch.
+func readBatchJSON(w http.ResponseWriter, r *http.Request, maxBody int64, req *AddBatchRequest) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+	dec := json.NewDecoder(r.Body)
+	handle := func(err error, context string) bool {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			fail(w, http.StatusRequestEntityTooLarge, "request body too large")
+		} else {
+			fail(w, http.StatusBadRequest, "malformed JSON"+context+": "+err.Error())
+		}
+		return false
+	}
+	tok, err := dec.Token()
+	if err != nil {
+		return handle(err, "")
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '{' {
+		fail(w, http.StatusBadRequest, "malformed JSON: request body must be an object")
+		return false
+	}
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return handle(err, "")
+		}
+		key, _ := keyTok.(string)
+		switch key {
+		case "docs":
+			tok, err := dec.Token()
+			if err != nil {
+				return handle(err, " in docs")
+			}
+			if tok == nil { // "docs": null
+				continue
+			}
+			if d, ok := tok.(json.Delim); !ok || d != '[' {
+				fail(w, http.StatusBadRequest, "malformed JSON: docs must be an array")
+				return false
+			}
+			for dec.More() {
+				var bd BatchDoc
+				if err := dec.Decode(&bd); err != nil {
+					return handle(err, " in docs["+strconv.Itoa(len(req.Docs))+"]")
+				}
+				req.Docs = append(req.Docs, bd)
+			}
+			if _, err := dec.Token(); err != nil { // closing ']'
+				return handle(err, " in docs")
+			}
+		case "index":
+			if err := dec.Decode(&req.Index); err != nil {
+				return handle(err, " in index")
+			}
+		default:
+			var raw json.RawMessage
+			if err := dec.Decode(&raw); err != nil {
+				return handle(err, "")
+			}
+		}
+	}
+	if _, err := dec.Token(); err != nil { // closing '}'
+		return handle(err, "")
+	}
+	if dec.More() {
+		fail(w, http.StatusBadRequest, "trailing data after JSON body")
+		return false
+	}
+	return true
+}
+
 func (co *Coordinator) addBatch(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
 	var req AddBatchRequest
-	if !readJSON(w, r, co.cfg.MaxBody, &req) {
+	if !readBatchJSON(w, r, co.cfg.MaxBody, &req) {
 		co.errs.Add(1)
 		return
 	}

@@ -67,6 +67,12 @@ type NodeConfig struct {
 	// negotiating client settles on JSON. The debugging mode, and the
 	// stand-in for a third-party JSON node in mixed-codec tests.
 	JSONOnly bool
+	// Backend, when set, is the search backend this node serves instead
+	// of a bare index — e.g. core.NewEngineBackend, so the partition
+	// hosts a full conceptual engine behind the same wire protocol. The
+	// ix argument of NewNodeServer is ignored in favour of the
+	// backend's content index.
+	Backend dist.SearchBackend
 }
 
 // NodeServer serves one shared-nothing index fragment over the node
@@ -115,8 +121,15 @@ type NodeServer struct {
 // restore time through MarkRestored so /node/load reports a snapshot
 // age instead of "never".
 func NewNodeServer(ix *ir.Index, cfg *NodeConfig) *NodeServer {
+	backend := dist.SearchBackend(nil)
+	if cfg != nil && cfg.Backend != nil {
+		backend = cfg.Backend
+		ix = backend.ContentIndex()
+	} else {
+		backend = dist.NewIndexBackend(ix)
+	}
 	s := &NodeServer{
-		node:       dist.NewLocalNode(ix),
+		node:       dist.NewLocalNodeBackend(backend),
 		maxBody:    DefaultMaxBody,
 		maxRestore: DefaultMaxRestoreBody,
 		maxConc:    DefaultMaxConcurrent,
@@ -148,6 +161,9 @@ func NewNodeServer(ix *ir.Index, cfg *NodeConfig) *NodeServer {
 		if reg := cfg.Metrics; reg != nil {
 			s.reg = reg
 			reg.RegisterRuntimeGauges()
+			reg.GaugeFunc("dl_node_backend_info",
+				"Constant 1, labelled with the kind of search backend this node serves.",
+				obs.Labels("kind", backend.Kind()), func() float64 { return 1 })
 			s.scoring = reg.Histogram("dl_node_scoring_seconds",
 				"Local query evaluation (scoring) time.", "", obs.LatencyBounds())
 			s.node.SetMetrics(&dist.NodeMetrics{

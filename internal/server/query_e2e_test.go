@@ -1,0 +1,242 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dlsearch/internal/core"
+	"dlsearch/internal/crawler"
+	"dlsearch/internal/dist"
+	"dlsearch/internal/ir"
+	"dlsearch/internal/site"
+	"dlsearch/internal/webspace"
+)
+
+// TestQueryClusterMatchesSingleProcess is the tentpole acceptance
+// test: the same corpus, once populated into a single-process
+// core.Engine and once streamed as NDJSON through POST /add/stream
+// into an HTTP cluster (2 partitions per full-text index, content
+// living only on the nodes), must answer the paper's Figure 13 query
+// byte-identically through POST /query.
+//
+// The stream is deliberately larger than the coordinator's request
+// body cap — the whole point of streaming ingest.
+func TestQueryClusterMatchesSingleProcess(t *testing.T) {
+	// Reference: the fully populated single-process engine.
+	ref, s, _, err := core.BuildAusOpen(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Query(core.Figure13Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Rows) == 0 {
+		t.Fatal("reference answer is empty")
+	}
+
+	// Cluster side: a cold engine over the same schema. Media objects
+	// (video/image) are analyzed locally — binary media does not travel
+	// over the ingest stream — but every conceptual document and every
+	// hypertext body arrives via NDJSON.
+	eng, err := core.NewAusOpen(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := crawler.New(eng.Schema, s.Fetch)
+	res, err := c.Crawl(s.BaseURL + "/index.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var media crawler.Result
+	var stream bytes.Buffer
+	enc := json.NewEncoder(&stream)
+	for _, doc := range res.Documents {
+		if err := enc.Encode(StreamLine{Webspace: doc}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, m := range res.Media {
+		if m.Type != webspace.Hypertext {
+			media.Media = append(media.Media, m)
+			continue
+		}
+		if err := enc.Encode(StreamLine{
+			Index: m.Class + "." + m.Attr,
+			Owner: m.Owner,
+			Text:  m.Inline,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := eng.Populate(&media); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two HTTP node servers per hypertext index; the coordinator's
+	// engine holds no full-text content of its own.
+	indexes := map[string]*dist.Cluster{}
+	for _, key := range []string{"Article.body", "Player.history"} {
+		var nodes []dist.Node
+		for i := 0; i < 2; i++ {
+			srv := httptest.NewServer(NewNodeHandler(ir.NewIndex(), nil))
+			t.Cleanup(srv.Close)
+			nodes = append(nodes, dist.NewRemoteNode(srv.URL, srv.Client()))
+		}
+		indexes[key] = dist.NewClusterOf(nodes, &dist.Options{NodeTimeout: 5 * time.Second})
+	}
+	cfg := &CoordinatorConfig{Engine: eng, MaxBody: 4096, StreamFlush: 8}
+	if int64(stream.Len()) <= cfg.MaxBody {
+		t.Fatalf("stream is %d bytes, not larger than the %d body cap", stream.Len(), cfg.MaxBody)
+	}
+	co := NewCoordinator(indexes, cfg)
+	h := co.Handler()
+
+	req := httptest.NewRequest(http.MethodPost, "/add/stream", &stream)
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("stream status = %d: %s", w.Code, w.Body)
+	}
+	var sum StreamSummaryLine
+	sc := bufio.NewScanner(w.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var last string
+	for sc.Scan() {
+		if len(sc.Bytes()) > 0 {
+			last = sc.Text()
+		}
+	}
+	if err := json.Unmarshal([]byte(last), &sum); err != nil {
+		t.Fatalf("summary line %q: %v", last, err)
+	}
+	if !sum.Summary || sum.Errors != 0 || sum.Failed != 0 || sum.Degraded != 0 {
+		t.Fatalf("stream summary = %+v", sum)
+	}
+	if sum.Committed != sum.Lines {
+		t.Fatalf("committed %d of %d lines", sum.Committed, sum.Lines)
+	}
+
+	// The conceptual query over the cluster.
+	body, _ := json.Marshal(QueryRequest{Query: core.Figure13Query})
+	qw := postJSON(t, h, "/query", string(body))
+	if qw.Code != http.StatusOK {
+		t.Fatalf("query status = %d: %s", qw.Code, qw.Body)
+	}
+	var got QueryResponse
+	if err := json.Unmarshal(qw.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Complete || got.Dropped != 0 || got.Diverged != 0 {
+		t.Fatalf("degraded answer: %+v", got)
+	}
+	if strings.Join(got.Columns, ",") != strings.Join(want.Columns, ",") {
+		t.Fatalf("columns = %v, want %v", got.Columns, want.Columns)
+	}
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("rows = %d, want %d\ngot %+v\nwant %+v",
+			len(got.Rows), len(want.Rows), got.Rows, want.Rows)
+	}
+	for i, wr := range want.Rows {
+		gr := got.Rows[i]
+		if strings.Join(gr.Values, "|") != strings.Join(wr.Values, "|") {
+			t.Fatalf("row %d values = %v, want %v", i, gr.Values, wr.Values)
+		}
+		if gr.Score != wr.Score {
+			t.Fatalf("row %d score = %v, want %v (not byte-identical)", i, gr.Score, wr.Score)
+		}
+		if len(gr.Shots) != len(wr.Shots) {
+			t.Fatalf("row %d shots = %d, want %d", i, len(gr.Shots), len(wr.Shots))
+		}
+		for j, ws := range wr.Shots {
+			gs := gr.Shots[j]
+			if gs.Begin != ws.Begin || gs.End != ws.End || gs.Tennis != ws.Tennis || gs.Netplay != ws.Netplay {
+				t.Fatalf("row %d shot %d = %+v, want %+v", i, j, gs, ws)
+			}
+		}
+	}
+}
+
+// TestQueryNoEngine: /query on a coordinator without a conceptual
+// engine answers 404, not a panic.
+func TestQueryNoEngine(t *testing.T) {
+	_, h := testCoordinator(t, nil)
+	w := postJSON(t, h, "/query", `{"query":"SELECT p.name FROM Player p"}`)
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404 (%s)", w.Code, w.Body)
+	}
+}
+
+// TestQueryValidation: parse errors, bad plan overrides and contains
+// predicates over indexes no cluster serves are 400s carrying the
+// diagnostic, not 500s.
+func TestQueryValidation(t *testing.T) {
+	eng, err := core.NewAusOpen(site.Generate(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := &webspace.Document{
+		URL: "u",
+		Objects: []*webspace.Object{
+			{Class: "Player", ID: "p1", Attrs: map[string]string{"name": "Ada"}},
+		},
+	}
+	if err := eng.AddDocument(doc); err != nil {
+		t.Fatal(err)
+	}
+	co := NewCoordinator(map[string]*dist.Cluster{"a": dist.NewCluster(1, nil)},
+		&CoordinatorConfig{Engine: eng})
+	h := co.Handler()
+	cases := []struct {
+		name, body, wantErr string
+		status              int
+	}{
+		{"missing query", `{}`, "missing query", http.StatusBadRequest},
+		{"parse error", `{"query":"FROM Player p"}`, "query: expected SELECT", http.StatusBadRequest},
+		{"bad frags", `{"query":"SELECT p.name FROM Player p","frags":-1}`,
+			"frags must be non-negative", http.StatusBadRequest},
+		{"bad budget", `{"query":"SELECT p.name FROM Player p","budget":-1}`,
+			"budget must be non-negative", http.StatusBadRequest},
+		{"bad min_quality", `{"query":"SELECT p.name FROM Player p","min_quality":1.5}`,
+			"min_quality must be in [0, 1]", http.StatusBadRequest},
+		{"unserved index", `{"query":"SELECT p.name FROM Player p WHERE contains(p.history, 'x')"}`,
+			"query: no full-text index for Player.history", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			w := postJSON(t, h, "/query", c.body)
+			if w.Code != c.status {
+				t.Fatalf("status = %d, want %d (%s)", w.Code, c.status, w.Body)
+			}
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil {
+				t.Fatal(err)
+			}
+			if e.Error != c.wantErr {
+				t.Fatalf("error = %q, want %q", e.Error, c.wantErr)
+			}
+		})
+	}
+	// A structural query with no contains predicate never touches the
+	// cluster and answers from the engine alone.
+	w := postJSON(t, h, "/query", `{"query":"SELECT p.name FROM Player p"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("engine-only query = %d (%s)", w.Code, w.Body)
+	}
+	var got QueryResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != 1 || got.Rows[0].Values[0] != "Ada" || !got.Complete {
+		t.Fatalf("engine-only answer = %+v", got)
+	}
+}

@@ -1,0 +1,302 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"dlsearch/internal/bat"
+	"dlsearch/internal/dist"
+	"dlsearch/internal/webspace"
+)
+
+// DefaultStreamFlush is the per-index batch size of POST /add/stream
+// when the config does not override it.
+const DefaultStreamFlush = 256
+
+// StreamLine is one NDJSON line of POST /add/stream. Three kinds of
+// line feed the two backend kinds:
+//
+//   - {"index":..., "doc":N, "url":..., "text":...} — a plain IR
+//     document for the named cluster (doc 0 auto-assigns the next oid
+//     of the index's sequence, like /add).
+//   - {"webspace": {...}} — one conceptual webspace.Document, stored
+//     in the coordinator's engine (requires an engine).
+//   - {"index":..., "owner":"Class:id", "text":...} — content owned
+//     by a conceptual object: the oid is resolved from the owner's
+//     qualified id, so the cluster's document ids line up with the
+//     engine's object element oids (requires an engine, and the
+//     owner's webspace line must precede it in the stream).
+//
+// The request body is NOT subject to the coordinator's MaxBody cap —
+// the whole point of streaming ingest. Memory is bounded per line
+// (MaxBody each) and per index (StreamFlush buffered documents).
+type StreamLine struct {
+	Index    string             `json:"index,omitempty"`
+	Doc      uint64             `json:"doc,omitempty"`
+	URL      string             `json:"url,omitempty"`
+	Owner    string             `json:"owner,omitempty"`
+	Text     string             `json:"text,omitempty"`
+	Webspace *webspace.Document `json:"webspace,omitempty"`
+}
+
+// StreamResultLine is one NDJSON line of the response: the outcome of
+// one input line, correlated by its 1-based line number. IR documents
+// report their outcome when their batch flushes (so records are not
+// necessarily in line order); conceptual documents report immediately
+// with Committed 1. Error is set for a line that was not applied —
+// the stream continues past semantic per-line errors and stops only
+// on a malformed line (framing can no longer be trusted).
+type StreamResultLine struct {
+	Line      int    `json:"line"`
+	Doc       uint64 `json:"doc,omitempty"`
+	Replicas  int    `json:"replicas,omitempty"`
+	Committed int    `json:"committed,omitempty"`
+	Degraded  bool   `json:"degraded,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+// StreamSummaryLine is the final NDJSON line of the response.
+type StreamSummaryLine struct {
+	Summary   bool `json:"summary"`
+	Lines     int  `json:"lines"`
+	Committed int  `json:"committed"`
+	Degraded  int  `json:"degraded"`
+	Failed    int  `json:"failed"`
+	Errors    int  `json:"errors"`
+}
+
+// pendingStreamDoc is one queued IR document awaiting its batch flush.
+type pendingStreamDoc struct {
+	line int
+	doc  dist.Doc
+}
+
+// addStream serves POST /add/stream: NDJSON ingest decoded one line
+// at a time with per-index batching, reporting per-line outcomes as
+// NDJSON back. See StreamLine for the accepted line kinds.
+func (co *Coordinator) addStream(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	flushEvery := co.cfg.StreamFlush
+	if flushEvery <= 0 {
+		flushEvery = DefaultStreamFlush
+	}
+	// The response streams outcome records while the request body is
+	// still being consumed; without full duplex the HTTP/1.x server
+	// closes the body on the first response flush, killing the stream
+	// mid-corpus ("invalid Read on closed Body").
+	_ = http.NewResponseController(w).EnableFullDuplex()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	emit := func(v any) {
+		enc.Encode(v)
+	}
+
+	sc := bufio.NewScanner(r.Body)
+	maxLine := int(co.cfg.MaxBody)
+	if maxLine < 64*1024 {
+		maxLine = 64 * 1024
+	}
+	sc.Buffer(make([]byte, 0, 64*1024), maxLine)
+
+	var sum StreamSummaryLine
+	engineTouched := false
+	pending := map[string][]pendingStreamDoc{}
+
+	// flushIndex commits one index's queued documents in one cluster
+	// round-trip and emits their outcome records in line order.
+	flushIndex := func(name string) {
+		batch := pending[name]
+		if len(batch) == 0 {
+			return
+		}
+		delete(pending, name)
+		cluster := co.indexes[name]
+		docs := make([]dist.Doc, len(batch))
+		lineOf := make(map[bat.OID]int, len(batch))
+		for i, p := range batch {
+			docs[i] = p.doc
+			lineOf[p.doc.OID] = p.line
+		}
+		var recs []StreamResultLine
+		for _, p := range cluster.AddBatchResults(r.Context(), docs) {
+			for _, oid := range p.Docs {
+				rec := StreamResultLine{
+					Line:      lineOf[oid],
+					Doc:       uint64(oid),
+					Replicas:  p.Replicas,
+					Committed: p.Committed,
+				}
+				switch {
+				case p.Err == nil:
+					sum.Committed++
+				case p.Failed():
+					sum.Failed++
+					rec.Error = "node unavailable: " + p.Err.Error()
+				default:
+					// Some replica state committed: searchable (or at
+					// least partially applied) but degraded.
+					sum.Degraded++
+					rec.Degraded = true
+					rec.Error = p.Err.Error()
+				}
+				recs = append(recs, rec)
+			}
+		}
+		sort.Slice(recs, func(i, j int) bool { return recs[i].Line < recs[j].Line })
+		for _, rec := range recs {
+			emit(rec)
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	line := 0
+	for sc.Scan() {
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue // blank separator lines are not counted
+		}
+		line++
+		sum.Lines++
+		var sl StreamLine
+		if err := json.Unmarshal(raw, &sl); err != nil {
+			// Malformed framing: report and stop — everything after this
+			// byte offset is untrustworthy.
+			sum.Errors++
+			emit(StreamResultLine{Line: line, Error: "malformed JSON: " + err.Error()})
+			break
+		}
+		switch {
+		case sl.Webspace != nil:
+			if co.cfg.Engine == nil {
+				sum.Errors++
+				emit(StreamResultLine{Line: line, Error: "no conceptual engine configured"})
+				continue
+			}
+			co.engineMu.Lock()
+			err := co.cfg.Engine.AddDocument(sl.Webspace)
+			co.engineMu.Unlock()
+			if err != nil {
+				sum.Errors++
+				emit(StreamResultLine{Line: line, Error: err.Error()})
+				continue
+			}
+			engineTouched = true
+			sum.Committed++
+			emit(StreamResultLine{Line: line, Committed: 1})
+		case sl.Text == "":
+			sum.Errors++
+			emit(StreamResultLine{Line: line, Error: "missing text"})
+		default:
+			cluster, name, ok := co.streamIndex(sl.Index)
+			if !ok {
+				sum.Errors++
+				if sl.Index == "" {
+					emit(StreamResultLine{Line: line, Error: "missing index name"})
+				} else {
+					emit(StreamResultLine{Line: line, Error: "unknown index: " + sl.Index})
+				}
+				continue
+			}
+			var doc bat.OID
+			switch {
+			case sl.Owner != "":
+				if co.cfg.Engine == nil {
+					sum.Errors++
+					emit(StreamResultLine{Line: line, Error: "no conceptual engine configured"})
+					continue
+				}
+				// OIDOf may (re)build the derived access paths, so it
+				// needs the write lock like any other engine mutation.
+				co.engineMu.Lock()
+				oid, ok := co.cfg.Engine.DB.OIDOf(sl.Owner)
+				co.engineMu.Unlock()
+				if !ok {
+					sum.Errors++
+					emit(StreamResultLine{Line: line, Error: "unknown owner: " + sl.Owner})
+					continue
+				}
+				doc = oid
+				if sl.URL == "" {
+					sl.URL = sl.Owner
+				}
+				co.seqs[name].observe(doc)
+			case sl.Doc != 0:
+				doc = bat.OID(sl.Doc)
+				co.seqs[name].observe(doc)
+			default:
+				var err error
+				if doc, err = co.seqs[name].assign(r.Context(), cluster); err != nil {
+					sum.Errors++
+					emit(StreamResultLine{Line: line, Error: "cannot assign oid: " + err.Error()})
+					continue
+				}
+			}
+			pending[name] = append(pending[name], pendingStreamDoc{
+				line: line,
+				doc:  dist.Doc{OID: doc, URL: sl.URL, Text: sl.Text},
+			})
+			if len(pending[name]) >= flushEvery {
+				flushIndex(name)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		sum.Errors++
+		msg := "read: " + err.Error()
+		if err == bufio.ErrTooLong {
+			msg = "line " + strconv.Itoa(line+1) + " exceeds the per-line cap of " +
+				strconv.Itoa(maxLine) + " bytes"
+		}
+		emit(StreamResultLine{Line: line + 1, Error: msg})
+	}
+	// Flush the remaining batches in a deterministic order.
+	names := make([]string, 0, len(pending))
+	for name := range pending {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		flushIndex(name)
+	}
+	if engineTouched {
+		// Rebuild the derived access paths once, so concurrent /query
+		// readers never trigger a lazy build.
+		co.engineMu.Lock()
+		co.cfg.Engine.DB.Warm()
+		co.engineMu.Unlock()
+	}
+	co.streams.Add(1)
+	if sum.Errors > 0 || sum.Failed > 0 {
+		co.errs.Add(1)
+	}
+	co.adds.Add(uint64(sum.Committed))
+	sum.Summary = true
+	emit(sum)
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// streamIndex resolves a stream line's index name without writing an
+// HTTP error (per-line outcomes carry the error instead): an empty
+// name selects the sole index when exactly one is served.
+func (co *Coordinator) streamIndex(name string) (*dist.Cluster, string, bool) {
+	if name == "" {
+		if len(co.indexes) == 1 {
+			for n, c := range co.indexes {
+				return c, n, true
+			}
+		}
+		return nil, "", false
+	}
+	c, ok := co.indexes[name]
+	return c, name, ok
+}

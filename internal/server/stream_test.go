@@ -1,0 +1,181 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// streamLines posts an NDJSON body to /add/stream and decodes the
+// response lines: per-line records first, the summary last.
+func streamLines(t *testing.T, h http.Handler, body string) ([]StreamResultLine, StreamSummaryLine) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/add/stream", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", w.Code, w.Body)
+	}
+	var recs []StreamResultLine
+	var sum StreamSummaryLine
+	sawSummary := false
+	sc := bufio.NewScanner(w.Body)
+	for sc.Scan() {
+		if sawSummary {
+			t.Fatalf("output after the summary line: %s", sc.Text())
+		}
+		var probe struct {
+			Summary bool `json:"summary"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if probe.Summary {
+			if err := json.Unmarshal(sc.Bytes(), &sum); err != nil {
+				t.Fatal(err)
+			}
+			sawSummary = true
+			continue
+		}
+		var rec StreamResultLine
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec)
+	}
+	if !sawSummary {
+		t.Fatal("no summary line")
+	}
+	return recs, sum
+}
+
+// TestAddStreamOutcomes: semantic per-line errors are reported and the
+// stream continues; searchable content lands in the cluster.
+func TestAddStreamOutcomes(t *testing.T) {
+	co, h := testCoordinator(t, nil)
+	body := `{"index":"articles","text":"federer wins the final"}
+{"index":"nope","text":"lost"}
+{"index":"articles"}
+
+{"index":"articles","text":"rally at the net"}
+`
+	recs, sum := streamLines(t, h, body)
+	if sum.Lines != 4 || sum.Committed != 2 || sum.Errors != 2 || sum.Failed != 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	byLine := map[int]StreamResultLine{}
+	for _, r := range recs {
+		byLine[r.Line] = r
+	}
+	if r := byLine[2]; r.Error != "unknown index: nope" {
+		t.Fatalf("line 2 = %+v", r)
+	}
+	if r := byLine[3]; r.Error != "missing text" {
+		t.Fatalf("line 3 = %+v", r)
+	}
+	for _, line := range []int{1, 4} {
+		r := byLine[line]
+		if r.Error != "" || r.Committed == 0 || r.Doc == 0 {
+			t.Fatalf("line %d = %+v", line, r)
+		}
+	}
+	// The committed documents are searchable.
+	w := postJSON(t, h, "/search", `{"index":"articles","query":"federer","n":5}`)
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), `"results"`) {
+		t.Fatalf("search after stream = %d: %s", w.Code, w.Body)
+	}
+	_ = co
+}
+
+// TestAddStreamStopsOnMalformedLine: broken framing reports the line
+// and stops — later lines are never applied.
+func TestAddStreamStopsOnMalformedLine(t *testing.T) {
+	_, h := testCoordinator(t, nil)
+	body := `{"index":"articles","text":"good line"}
+{"index":"articles", busted
+{"index":"articles","text":"never reached"}
+`
+	recs, sum := streamLines(t, h, body)
+	if sum.Lines != 2 || sum.Committed != 1 || sum.Errors != 1 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	found := false
+	for _, r := range recs {
+		if r.Line == 2 {
+			found = true
+			if !strings.HasPrefix(r.Error, "malformed JSON: ") {
+				t.Fatalf("line 2 error = %q", r.Error)
+			}
+		}
+		if r.Line > 2 {
+			t.Fatalf("line after the malformed one was processed: %+v", r)
+		}
+	}
+	if !found {
+		t.Fatal("no record for the malformed line")
+	}
+}
+
+// TestAddStreamExplicitOids: lines may pin their own document oids,
+// like /add does.
+func TestAddStreamExplicitOids(t *testing.T) {
+	_, h := testCoordinator(t, nil)
+	recs, sum := streamLines(t, h,
+		`{"index":"articles","doc":100,"url":"u100","text":"pinned oid"}`+"\n")
+	if sum.Committed != 1 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if len(recs) != 1 || recs[0].Doc != 100 {
+		t.Fatalf("recs = %+v", recs)
+	}
+}
+
+// TestAddStreamEngineLinesRequireEngine: webspace and owner lines on a
+// coordinator without an engine fail per line, not per request.
+func TestAddStreamEngineLinesRequireEngine(t *testing.T) {
+	_, h := testCoordinator(t, nil)
+	body := `{"webspace":{"URL":"u","Objects":[{"Class":"Player","ID":"p1"}]}}
+{"index":"articles","owner":"Player:p1","text":"x"}
+`
+	recs, sum := streamLines(t, h, body)
+	if sum.Errors != 2 || sum.Committed != 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	for _, r := range recs {
+		if r.Error != "no conceptual engine configured" {
+			t.Fatalf("rec = %+v", r)
+		}
+	}
+}
+
+// TestAddBatchMalformedDocIndex is the error-reporting satellite: a
+// decode failure inside the docs array names the offending element.
+func TestAddBatchMalformedDocIndex(t *testing.T) {
+	_, h := testCoordinator(t, nil)
+	w := postJSON(t, h, "/add/batch",
+		`{"index":"articles","docs":[{"text":"fine"},{"text":42},{"text":"never"}]}`)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d: %s", w.Code, w.Body)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(e.Error, "malformed JSON in docs[1]: ") {
+		t.Fatalf("error = %q, want docs[1] named", e.Error)
+	}
+	// The whole-body contract is unchanged.
+	if w := postJSON(t, h, "/add/batch", `{"docs": 7}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("docs-not-array = %d: %s", w.Code, w.Body)
+	}
+	if w := postJSON(t, h, "/add/batch", `{"index":"articles","docs":[{"text":"a"}]} extra`); w.Code != http.StatusBadRequest ||
+		!strings.Contains(w.Body.String(), "trailing data") {
+		t.Fatalf("trailing data = %d: %s", w.Code, w.Body)
+	}
+}

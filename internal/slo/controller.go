@@ -34,6 +34,14 @@ type Config struct {
 	// HalfLife is the curve's observation half-life (see
 	// obs.NewDecayedHist); < 1 selects obs.DefaultCurveHalfLife.
 	HalfLife int
+	// ProbeEvery re-probes stale curve points: every ProbeEvery-th
+	// unshedded, target-limited decision explores one budget above the
+	// controller's choice, so a budget remembered as "too slow" keeps
+	// collecting fresh cost samples and can be re-learned after load
+	// drops — without probing, a budget the curve rejects is never
+	// evaluated again and its decayed observations never refresh.
+	// 0 selects DefaultProbeEvery; < 0 disables probing.
+	ProbeEvery int
 }
 
 // DefaultRejectOccupancy: with a full semaphore and twice the limit
@@ -49,6 +57,12 @@ const DefaultMinWeight = 4.0
 // the budget is 1/32 of base, i.e. already 1 for any realistic
 // fragmentation.
 const MaxShedLevel = 5
+
+// DefaultProbeEvery: one decision in 32 explores one budget above the
+// controller's choice — frequent enough to re-learn a recovered budget
+// within a curve half-life, rare enough that the p95 impact of the
+// slower probes stays in the noise.
+const DefaultProbeEvery = 32
 
 // Decision is one controller verdict, recorded in the query trace and
 // the slow-query log.
@@ -78,6 +92,10 @@ type Decision struct {
 	// quality is already at the floor and occupancy is past the
 	// rejection threshold.
 	Reject bool
+	// Probe reports that this decision deliberately explored one
+	// budget above the target-fitting choice to refresh the curve's
+	// evidence there (Config.ProbeEvery).
+	Probe bool
 }
 
 // Controller picks per-query fragment budgets from learned
@@ -99,6 +117,8 @@ type indexState struct {
 	overrides atomic.Uint64
 	floorHits atomic.Uint64
 	rejected  atomic.Uint64
+	probes    atomic.Uint64
+	probeTick atomic.Uint64
 	shedLevel atomic.Int64
 }
 
@@ -113,6 +133,9 @@ func New(cfg Config) *Controller {
 	}
 	if cfg.MinWeight < 1 {
 		cfg.MinWeight = DefaultMinWeight
+	}
+	if cfg.ProbeEvery == 0 {
+		cfg.ProbeEvery = DefaultProbeEvery
 	}
 	return &Controller{cfg: cfg, ix: make(map[string]*indexState)}
 }
@@ -254,6 +277,22 @@ func (c *Controller) Decide(index string, target time.Duration, occupancy float6
 	}
 	reject := floorHit && c.cfg.MinQuality > 0 && occupancy >= c.cfg.RejectOccupancy
 
+	// Stale-point re-probing: the target loop only ever evaluates
+	// budgets the curve predicts to fit, so a budget once learned as
+	// "too slow" would keep its decaying evidence forever. Every
+	// ProbeEvery-th unshedded, target-limited decision explores one
+	// budget above the choice — its cost sample refreshes the curve,
+	// and if load has dropped the larger budget wins the target loop
+	// again. Probing never overrides shedding or a rejection.
+	probe := false
+	if c.cfg.ProbeEvery > 0 && target > 0 && shed == 0 && !reject && budget < maxB {
+		if st.probeTick.Add(1)%uint64(c.cfg.ProbeEvery) == 0 {
+			budget++
+			probe = true
+			st.probes.Add(1)
+		}
+	}
+
 	if budget != base || pred == 0 {
 		pred, conf = c.predict(st, budget)
 	}
@@ -284,6 +323,7 @@ func (c *Controller) Decide(index string, target time.Duration, occupancy float6
 		Degraded:         degraded,
 		FloorHit:         floorHit,
 		Reject:           reject,
+		Probe:            probe,
 	}
 }
 
@@ -298,6 +338,7 @@ type Counters struct {
 	Overrides uint64
 	FloorHits uint64
 	Rejected  uint64
+	Probes    uint64
 	ShedLevel int
 }
 
@@ -317,6 +358,7 @@ func (c *Controller) Counters(index string) Counters {
 		Overrides: st.overrides.Load(),
 		FloorHits: st.floorHits.Load(),
 		Rejected:  st.rejected.Load(),
+		Probes:    st.probes.Load(),
 		ShedLevel: int(st.shedLevel.Load()),
 	}
 }
@@ -332,6 +374,7 @@ type IndexStats struct {
 	Overrides  uint64  `json:"overrides"`
 	FloorHits  uint64  `json:"floor_hits"`
 	Rejected   uint64  `json:"rejected"`
+	Probes     uint64  `json:"probes"`
 	Curve      []Point `json:"curve,omitempty"`
 }
 
@@ -349,6 +392,7 @@ func (c *Controller) Stats(index string) IndexStats {
 		Overrides:  ct.Overrides,
 		FloorHits:  ct.FloorHits,
 		Rejected:   ct.Rejected,
+		Probes:     ct.Probes,
 	}
 	c.mu.RLock()
 	st := c.ix[index]

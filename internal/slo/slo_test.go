@@ -250,3 +250,65 @@ func TestControllerConcurrent(t *testing.T) {
 		t.Fatalf("decisions = %d, want 2000", c.Decisions)
 	}
 }
+
+func TestControllerProbeRelearnsAfterLoadDrop(t *testing.T) {
+	ctl := New(Config{Target: 12 * time.Millisecond, MaxBudget: 8, HalfLife: 32})
+	curve := ctl.Curve("ix")
+	// Overload: 10ms per fragment. The controller converges to budget 1
+	// and every larger budget is remembered as "too slow".
+	cost := func(b int) float64 { return float64(b) * 0.010 }
+	var d Decision
+	for i := 0; i < 200; i++ {
+		d = ctl.Decide("ix", ctl.Target(), 0)
+		curve.ObserveCost(d.Budget, cost(d.Budget), float64(d.Budget)/8)
+	}
+	if d.Budget != 1 {
+		t.Fatalf("overloaded budget = %d, want 1", d.Budget)
+	}
+	// Load drops to 1ms per fragment. Without probing the target loop
+	// would never evaluate a larger budget again, so its curve point
+	// could never refresh; the periodic probes feed fresh samples one
+	// budget above the choice and the controller climbs back.
+	cost = func(b int) float64 { return float64(b) * 0.001 }
+	sawProbe := false
+	for i := 0; i < 4000; i++ {
+		d = ctl.Decide("ix", ctl.Target(), 0)
+		if d.Probe {
+			sawProbe = true
+		}
+		curve.ObserveCost(d.Budget, cost(d.Budget), float64(d.Budget)/8)
+	}
+	if !sawProbe {
+		t.Fatal("no probe decision among 4000 target-limited decisions")
+	}
+	if d.Budget <= 1 {
+		t.Fatalf("budget still %d after load dropped — stale points never re-learned", d.Budget)
+	}
+	if c := ctl.Counters("ix"); c.Probes == 0 {
+		t.Fatalf("probe counter = %+v, want Probes > 0", c)
+	}
+	if s := ctl.Stats("ix"); s.Probes == 0 {
+		t.Fatalf("stats probes = %d, want > 0", s.Probes)
+	}
+}
+
+func TestControllerProbeDisabled(t *testing.T) {
+	ctl := New(Config{Target: 12 * time.Millisecond, MaxBudget: 8, HalfLife: 32, ProbeEvery: -1})
+	curve := ctl.Curve("ix")
+	cost := func(b int) float64 { return float64(b) * 0.010 }
+	for i := 0; i < 200; i++ {
+		d := ctl.Decide("ix", ctl.Target(), 0)
+		curve.ObserveCost(d.Budget, cost(d.Budget), float64(d.Budget)/8)
+	}
+	cost = func(b int) float64 { return float64(b) * 0.001 }
+	for i := 0; i < 4000; i++ {
+		d := ctl.Decide("ix", ctl.Target(), 0)
+		if d.Probe {
+			t.Fatal("probe decision with ProbeEvery < 0")
+		}
+		curve.ObserveCost(d.Budget, cost(d.Budget), float64(d.Budget)/8)
+	}
+	if c := ctl.Counters("ix"); c.Probes != 0 {
+		t.Fatalf("probe counter = %d with probing disabled", c.Probes)
+	}
+}

@@ -1,0 +1,101 @@
+package webspace
+
+import "testing"
+
+// TestSchemaErrorMessages pins the schema layer's diagnostics: the
+// crawler and the streaming-ingest endpoint surface these verbatim, so
+// a rejected definition or document must name the offending entity.
+func TestSchemaErrorMessages(t *testing.T) {
+	s := NewSchema("x")
+	if err := s.AddClass("A", Attribute{Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	check := func(err error, want string) {
+		t.Helper()
+		if err == nil {
+			t.Errorf("accepted, want %q", want)
+			return
+		}
+		if err.Error() != want {
+			t.Errorf("got  %q\nwant %q", err.Error(), want)
+		}
+	}
+	check(s.AddClass("A"), "webspace: class A already defined")
+	check(s.AddClass("B", Attribute{Name: "x"}, Attribute{Name: "x"}),
+		"webspace: class B has duplicate attribute x")
+	check(s.AddAssociation("r", "Nope", "A"),
+		"webspace: association r: unknown class Nope")
+	check(s.AddAssociation("r", "A", "Nope"),
+		"webspace: association r: unknown class Nope")
+	if err := s.AddAssociation("r", "A", "A"); err != nil {
+		t.Fatal(err)
+	}
+	check(s.AddAssociation("r", "A", "A"), "webspace: association r already defined")
+
+	// Validate re-verifies endpoints even after definition-time checks:
+	// a hand-assembled schema with a dangling association must fail.
+	dangling := NewSchema("y")
+	dangling.Associations = append(dangling.Associations,
+		Association{Name: "ghost", From: "A", To: "B"})
+	check(dangling.Validate(), "webspace: association ghost references unknown classes")
+}
+
+// TestDocumentValidateErrorMessages covers every Document.Validate
+// rejection path with its exact message. These are the per-line errors
+// a client of POST /add/stream sees for a bad webspace line.
+func TestDocumentValidateErrorMessages(t *testing.T) {
+	s := AusOpenSchema()
+	cases := []struct {
+		doc  *Document
+		want string
+	}{
+		{
+			&Document{URL: "u", Objects: []*Object{{Class: "Nope", ID: "x"}}},
+			"webspace: u: unknown class Nope",
+		},
+		{
+			&Document{URL: "u", Objects: []*Object{{Class: "Player", ID: ""}}},
+			"webspace: u: object of class Player without id",
+		},
+		{
+			&Document{URL: "u", Objects: []*Object{
+				{Class: "Player", ID: "p", Attrs: map[string]string{"zzz": "1"}}}},
+			"webspace: u: class Player has no attribute zzz",
+		},
+		{
+			&Document{URL: "u", Links: []Link{
+				{Association: "Nope", From: "A:1", To: "B:2"}}},
+			"webspace: u: unknown association Nope",
+		},
+		{
+			&Document{URL: "u", Links: []Link{
+				{Association: "About", From: "Player:x", To: "Player:y"}}},
+			"webspace: u: association About source Player:x is not a Profile",
+		},
+		{
+			&Document{URL: "u", Links: []Link{
+				{Association: "About", From: "Profile:x", To: "Article:y"}}},
+			"webspace: u: association About target Article:y is not a Player",
+		},
+	}
+	for _, tc := range cases {
+		err := tc.doc.Validate(s)
+		if err == nil {
+			t.Errorf("accepted, want %q", tc.want)
+			continue
+		}
+		if err.Error() != tc.want {
+			t.Errorf("got  %q\nwant %q", err.Error(), tc.want)
+		}
+	}
+}
+
+// TestDocumentFromXMLRootError: a non-webspace root is named in the
+// error.
+func TestDocumentFromXMLRootError(t *testing.T) {
+	n := monetxmlElem("html")
+	if _, err := DocumentFromXML(n); err == nil ||
+		err.Error() != `webspace: root is "html", want webspace` {
+		t.Fatalf("err = %v", err)
+	}
+}
