@@ -201,16 +201,23 @@ func main() {
 			}
 		}
 		clusters := make(map[string]*dist.Cluster, len(names))
-		var qc *core.QueryCache
+		caches := map[string]*core.QueryCache{}
 		for i, name := range names {
 			cluster, cqc, err := buildCluster(nodeLists[i], *local, *replicas, *lambda, *nodeTimeout, *cache, jsonWire, reg)
 			if err != nil {
 				fatal(err)
 			}
 			clusters[name] = cluster
-			if qc == nil {
-				qc = cqc
+			if cqc != nil {
+				caches[name] = cqc
 			}
+		}
+		// A single index reports its cache top-level; with several,
+		// each local cluster owns its own cache, reported per index.
+		var qc *core.QueryCache
+		if len(names) == 1 {
+			qc = caches[names[0]]
+			caches = nil
 		}
 		var eng *core.Engine
 		switch *engineKind {
@@ -228,6 +235,7 @@ func main() {
 			MaxConcurrent: *maxConc,
 			SearchTimeout: *searchTimeout,
 			Cache:         qc,
+			Caches:        caches,
 			Frags:         *frags,
 			FragBudget:    *fragBudget,
 			MinQuality:    *minQuality,
@@ -499,12 +507,6 @@ func resetLogTo(dir string, base uint64) *persist.OpLog {
 	return l
 }
 
-// buildCluster assembles the coordinator's cluster: remote nodes from
-// the URL list (sliced into replica groups of r), or k in-process
-// nodes as a single-binary deployment. The query cache exists only in
-// the local mode, where it sits on the nodes' top-N path and its
-// /stats counters mean something; remote nodes cache server-side
-// (their own -cache flag) instead.
 // splitURLs splits a comma-separated URL list, dropping blanks.
 func splitURLs(s string) []string {
 	var out []string
@@ -516,6 +518,12 @@ func splitURLs(s string) []string {
 	return out
 }
 
+// buildCluster assembles the coordinator's cluster: remote nodes from
+// the URL list (sliced into replica groups of r), or k in-process
+// nodes as a single-binary deployment. The query cache exists only in
+// the local mode, where it sits on the nodes' top-N path and its
+// /stats counters mean something; remote nodes cache server-side
+// (their own -cache flag) instead.
 func buildCluster(nodeURLs string, local, r int, lambda float64, nodeTimeout time.Duration, cacheCap int, jsonWire bool, reg *obs.Registry) (*dist.Cluster, *core.QueryCache, error) {
 	opts := &dist.Options{Lambda: lambda, NodeTimeout: nodeTimeout, Logger: logger}
 	if reg != nil {

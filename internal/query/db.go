@@ -60,6 +60,13 @@ func (db *Database) Warm() {
 	db.VideoEvents()
 }
 
+// Warmed reports whether the derived access paths are currently built:
+// a reader holding only a shared lock may execute queries iff this is
+// true, since nothing will trigger a lazy rebuild.
+func (db *Database) Warmed() bool {
+	return db.objects != nil && db.events != nil
+}
+
 // --- conceptual object access over the path relations ---
 
 // objectIndex is a derived access path over the webspace relations:

@@ -35,6 +35,11 @@ type CoordinatorConfig struct {
 	// hit/miss counters appear under query_cache in /stats. The local
 	// nodes served by this process share it via their NodeConfig.
 	Cache *core.QueryCache
+	// Caches holds per-index query caches for a coordinator whose
+	// local clusters each own one (multi-index mode): every entry's
+	// counters appear under its index in /stats. Use Cache instead
+	// when one cache is shared.
+	Caches map[string]*core.QueryCache
 	// Frags, FragBudget and MinQuality form the default evaluation
 	// plan applied to /search requests that do not carry their own
 	// plan fields: the fragmentation granularity each node uses for
@@ -140,7 +145,9 @@ type Coordinator struct {
 
 	// engineMu guards cfg.Engine: /query executes under the read lock,
 	// /add/stream's conceptual writes (and the cache warm that follows
-	// them) under the write lock.
+	// them) under the write lock. When a stream in flight has left the
+	// derived caches invalidated, /query upgrades to the write lock to
+	// re-warm them before executing — readers never lazily rebuild.
 	engineMu sync.RWMutex
 
 	// queryLatency holds the /query end-to-end latency histogram, nil
@@ -1058,8 +1065,12 @@ type IndexStats struct {
 	// SLO is the budget controller's state for this index — the
 	// learned quality/latency curve, the current shed level, and the
 	// decision counters. Absent on non-adaptive coordinators.
-	SLO   *slo.IndexStats `json:"slo,omitempty"`
-	Error string          `json:"error,omitempty"`
+	SLO *slo.IndexStats `json:"slo,omitempty"`
+	// QueryCache reports this index's own query cache in multi-index
+	// mode, where each local cluster owns one (CoordinatorConfig.Caches);
+	// a single shared cache reports top-level instead.
+	QueryCache *QueryCacheStats `json:"query_cache,omitempty"`
+	Error      string           `json:"error,omitempty"`
 }
 
 // GroupStats is one partition's replica set.
@@ -1132,6 +1143,16 @@ type QueryCacheStats struct {
 	RankEntries int    `json:"rank_entries"`
 }
 
+// queryCacheStats snapshots one cache's counters for /stats.
+func queryCacheStats(c *core.QueryCache) *QueryCacheStats {
+	hits, misses := c.Counters()
+	rankHits, rankMisses := c.RankCounters()
+	return &QueryCacheStats{
+		Hits: hits, Misses: misses, Entries: c.Len(),
+		RankHits: rankHits, RankMisses: rankMisses, RankEntries: c.RankLen(),
+	}
+}
+
 func (co *Coordinator) statsHandler(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
@@ -1177,6 +1198,9 @@ func (co *Coordinator) statsHandler(w http.ResponseWriter, r *http.Request) {
 		if ctl := co.cfg.SLO; ctl != nil {
 			s := ctl.Stats(name)
 			st.SLO = &s
+		}
+		if c := co.cfg.Caches[name]; c != nil {
+			st.QueryCache = queryCacheStats(c)
 		}
 		// One probe of every replica serves both views: the per-replica
 		// report AND the per-partition loads (replicas counted once) —
@@ -1258,12 +1282,7 @@ func (co *Coordinator) statsHandler(w http.ResponseWriter, r *http.Request) {
 		resp.Indexes[name] = st
 	}
 	if co.cfg.Cache != nil {
-		hits, misses := co.cfg.Cache.Counters()
-		rankHits, rankMisses := co.cfg.Cache.RankCounters()
-		resp.QueryCache = &QueryCacheStats{
-			Hits: hits, Misses: misses, Entries: co.cfg.Cache.Len(),
-			RankHits: rankHits, RankMisses: rankMisses, RankEntries: co.cfg.Cache.RankLen(),
-		}
+		resp.QueryCache = queryCacheStats(co.cfg.Cache)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -249,6 +249,19 @@ func (co *Coordinator) query(w http.ResponseWriter, r *http.Request) {
 	execStart := time.Now()
 	cr := newClusterRanker(co, ctx, plan)
 	co.engineMu.RLock()
+	// A streaming ingest in flight invalidates the engine's derived
+	// access paths between its conceptual lines; executing now would
+	// lazily rebuild them under the shared lock, racing with parallel
+	// queries. Upgrade to the write lock and warm first. Loop: another
+	// conceptual write can sneak in between the Unlock and the
+	// re-acquired read lock and invalidate again.
+	for !co.cfg.Engine.DB.Warmed() {
+		co.engineMu.RUnlock()
+		co.engineMu.Lock()
+		co.cfg.Engine.DB.Warm()
+		co.engineMu.Unlock()
+		co.engineMu.RLock()
+	}
 	ex := query.NewExecutor(co.cfg.Engine.DB)
 	ex.Ranker = cr
 	ex.DisableRestriction = req.DisableRestriction

@@ -4,9 +4,13 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -161,6 +165,95 @@ func TestQueryClusterMatchesSingleProcess(t *testing.T) {
 				t.Fatalf("row %d shot %d = %+v, want %+v", i, j, gs, ws)
 			}
 		}
+	}
+}
+
+// TestQueryDuringStreamWarm: conceptual queries racing a streaming
+// ingest must never observe half-built derived caches. A webspace
+// line invalidates them mid-stream; /query upgrades to the write lock
+// and re-warms before executing (run with -race to catch regressions:
+// a lazy rebuild under the shared lock is a concurrent map write).
+func TestQueryDuringStreamWarm(t *testing.T) {
+	eng, err := core.NewAusOpen(site.Generate(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fat conceptual store widens the race window: every lazy
+	// rebuild of the derived caches walks all of it.
+	const seeded = 2000
+	for i := 0; i < seeded; i++ {
+		doc := &webspace.Document{
+			URL: fmt.Sprintf("seed%d", i),
+			Objects: []*webspace.Object{{
+				Class: "Player", ID: fmt.Sprintf("s%d", i),
+				Attrs: map[string]string{"name": fmt.Sprintf("S%d", i)},
+			}},
+		}
+		if err := eng.AddDocument(doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	co := NewCoordinator(map[string]*dist.Cluster{"a": dist.NewCluster(1, nil)},
+		&CoordinatorConfig{Engine: eng, StreamFlush: 4})
+	h := co.Handler()
+
+	// The stream body is a pipe paced by the test: webspace lines keep
+	// flowing (each one invalidates the derived caches) until every
+	// query goroutine has run its quota against the live stream.
+	pr, pw := io.Pipe()
+	streamDone := make(chan struct{})
+	go func() {
+		defer close(streamDone)
+		req := httptest.NewRequest(http.MethodPost, "/add/stream", pr)
+		req.Header.Set("Content-Type", "application/x-ndjson")
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			t.Errorf("stream status = %d: %s", w.Code, w.Body)
+		}
+	}()
+	const perGoroutine = 50
+	var wg sync.WaitGroup
+	var queries atomic.Int64
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perGoroutine; i++ {
+				req := httptest.NewRequest(http.MethodPost, "/query",
+					strings.NewReader(`{"query":"SELECT p.name FROM Player p"}`))
+				w := httptest.NewRecorder()
+				h.ServeHTTP(w, req)
+				queries.Add(1)
+				if w.Code != http.StatusOK {
+					t.Errorf("query status = %d: %s", w.Code, w.Body)
+					return
+				}
+			}
+		}()
+	}
+	lines := 0
+	for queries.Load() < 4*perGoroutine {
+		fmt.Fprintf(pw,
+			`{"webspace":{"URL":"u%d","Objects":[{"Class":"Player","ID":"p%d","Attrs":{"name":"N%d"}}]}}`+"\n",
+			lines, lines, lines)
+		lines++
+	}
+	wg.Wait()
+	pw.Close()
+	<-streamDone
+
+	// After the stream every streamed object is visible.
+	w := postJSON(t, h, "/query", `{"query":"SELECT p.name FROM Player p"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("final query = %d: %s", w.Code, w.Body)
+	}
+	var got QueryResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != seeded+lines {
+		t.Fatalf("rows = %d, want %d", len(got.Rows), seeded+lines)
 	}
 }
 

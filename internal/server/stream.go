@@ -43,7 +43,9 @@ type StreamLine struct {
 }
 
 // StreamResultLine is one NDJSON line of the response: the outcome of
-// one input line, correlated by its 1-based line number. IR documents
+// one input line, correlated by its 1-based line number in the request
+// body (blank separator lines count, but never produce a record). IR
+// documents
 // report their outcome when their batch flushes (so records are not
 // necessarily in line order); conceptual documents report immediately
 // with Committed 1. Error is set for a line that was not applied —
@@ -58,7 +60,9 @@ type StreamResultLine struct {
 	Error     string `json:"error,omitempty"`
 }
 
-// StreamSummaryLine is the final NDJSON line of the response.
+// StreamSummaryLine is the final NDJSON line of the response. Lines
+// counts the non-blank input lines processed (blank separators are
+// skipped, though they still advance the line numbering).
 type StreamSummaryLine struct {
 	Summary   bool `json:"summary"`
 	Lines     int  `json:"lines"`
@@ -107,6 +111,7 @@ func (co *Coordinator) addStream(w http.ResponseWriter, r *http.Request) {
 	var sum StreamSummaryLine
 	engineTouched := false
 	pending := map[string][]pendingStreamDoc{}
+	pendingOIDs := map[string]map[bat.OID]bool{}
 
 	// flushIndex commits one index's queued documents in one cluster
 	// round-trip and emits their outcome records in line order.
@@ -116,6 +121,7 @@ func (co *Coordinator) addStream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		delete(pending, name)
+		delete(pendingOIDs, name)
 		cluster := co.indexes[name]
 		docs := make([]dist.Doc, len(batch))
 		lineOf := make(map[bat.OID]int, len(batch))
@@ -159,11 +165,13 @@ func (co *Coordinator) addStream(w http.ResponseWriter, r *http.Request) {
 
 	line := 0
 	for sc.Scan() {
+		line++
 		raw := sc.Bytes()
 		if len(raw) == 0 {
-			continue // blank separator lines are not counted
+			// Blank separator lines keep their line number (so outcome
+			// records match the client's file) but get no record.
+			continue
 		}
-		line++
 		sum.Lines++
 		var sl StreamLine
 		if err := json.Unmarshal(raw, &sl); err != nil {
@@ -239,6 +247,20 @@ func (co *Coordinator) addStream(w http.ResponseWriter, r *http.Request) {
 					continue
 				}
 			}
+			if pendingOIDs[name][doc] {
+				// The oid is already queued in this flush window (the
+				// same owner twice, or a repeated explicit doc id).
+				// Flush first: batched together the two lines would
+				// collide in the flush's oid→line correlation, and the
+				// earlier one would lose its outcome record. Flushing
+				// keeps one record per line and gives the later line
+				// the node's ordinary re-posted-oid semantics.
+				flushIndex(name)
+			}
+			if pendingOIDs[name] == nil {
+				pendingOIDs[name] = map[bat.OID]bool{}
+			}
+			pendingOIDs[name][doc] = true
 			pending[name] = append(pending[name], pendingStreamDoc{
 				line: line,
 				doc:  dist.Doc{OID: doc, URL: sl.URL, Text: sl.Text},

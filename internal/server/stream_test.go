@@ -77,7 +77,9 @@ func TestAddStreamOutcomes(t *testing.T) {
 	if r := byLine[3]; r.Error != "missing text" {
 		t.Fatalf("line 3 = %+v", r)
 	}
-	for _, line := range []int{1, 4} {
+	// The blank separator keeps its line number: the last document is
+	// on file line 5, and the summary counts 4 processed lines.
+	for _, line := range []int{1, 5} {
 		r := byLine[line]
 		if r.Error != "" || r.Committed == 0 || r.Doc == 0 {
 			t.Fatalf("line %d = %+v", line, r)
@@ -131,6 +133,29 @@ func TestAddStreamExplicitOids(t *testing.T) {
 	}
 	if len(recs) != 1 || recs[0].Doc != 100 {
 		t.Fatalf("recs = %+v", recs)
+	}
+}
+
+// TestAddStreamDuplicateOidInWindow: two lines carrying the same oid
+// inside one flush window each keep their own outcome record — the
+// pending batch is flushed at the repeat instead of letting the two
+// lines collide in the flush's oid→line correlation.
+func TestAddStreamDuplicateOidInWindow(t *testing.T) {
+	_, h := testCoordinator(t, nil)
+	body := `{"index":"articles","doc":7,"url":"a","text":"first version"}
+{"index":"articles","doc":7,"url":"b","text":"second version"}
+`
+	recs, sum := streamLines(t, h, body)
+	if sum.Committed != 2 || sum.Errors != 0 || sum.Failed != 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("recs = %+v, want one record per line", recs)
+	}
+	for i, r := range recs {
+		if r.Line != i+1 || r.Doc != 7 || r.Committed == 0 || r.Error != "" {
+			t.Fatalf("rec %d = %+v", i, r)
+		}
 	}
 }
 
